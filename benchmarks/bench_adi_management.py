@@ -1,0 +1,177 @@
+"""M1 — Section 4.3 ablation: retained-ADI growth management strategies.
+
+"Providing the policy contains the last step of a business context, or
+it can be implied, then no administrative management of the retained ADI
+is needed.  But for cases where a business context has no defined or
+implied last step, then a control mechanism is needed to manage the
+retained ADI, otherwise it will get too large and performance will be
+degraded."
+
+Compares store growth under three strategies over the same workload:
+(a) a policy *with* a last step — bounded automatically;
+(b) no last step, no management — unbounded growth (the paper's warning);
+(c) no last step + periodic retention sweeps through the management
+    port — bounded with a sawtooth.
+"""
+
+from conftest import emit, format_rows
+
+from repro.core import (
+    CONTROLLER_ROLE,
+    MMER,
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    RetainedADIManagementPort,
+    Role,
+)
+from repro.core.policy import Step
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+CLOSE = Step("closePeriod", "ledger://close")
+
+N_PERIODS = 40
+REQUESTS_PER_PERIOD = 25
+
+
+def policy_set(with_last_step):
+    return MSoDPolicySet(
+        [
+            MSoDPolicy(
+                ContextName.parse("Branch=*, Period=!"),
+                mmers=[MMER([TELLER, AUDITOR], 2)],
+                last_step=CLOSE if with_last_step else None,
+                policy_id="bank",
+            )
+        ]
+    )
+
+
+def run_workload(engine, sweep_every=None, port=None):
+    """Serve N_PERIODS periods; return the peak and final store size."""
+    peak = 0
+    timestamp = 0.0
+    for period in range(N_PERIODS):
+        context = ContextName.parse(f"Branch=York, Period=P{period}")
+        for index in range(REQUESTS_PER_PERIOD):
+            timestamp += 1.0
+            engine.check(
+                DecisionRequest(
+                    user_id=f"user-{period}-{index}",
+                    roles=(TELLER,),
+                    operation="handleCash",
+                    target="till://1",
+                    context_instance=context,
+                    timestamp=timestamp,
+                )
+            )
+        peak = max(peak, engine.store.count())
+        if engine.policy_set.policies[0].last_step is not None:
+            timestamp += 1.0
+            engine.check(
+                DecisionRequest(
+                    user_id=f"closer-{period}",
+                    roles=(AUDITOR,),
+                    operation=CLOSE.operation,
+                    target=CLOSE.target,
+                    context_instance=context,
+                    timestamp=timestamp,
+                )
+            )
+        if sweep_every and port is not None and (period + 1) % sweep_every == 0:
+            # Purge history older than the last two periods.
+            cutoff = timestamp - 2 * (REQUESTS_PER_PERIOD + 1)
+            port.purge_older_than([CONTROLLER_ROLE], cutoff)
+        peak = max(peak, engine.store.count())
+    return peak, engine.store.count()
+
+
+def test_m1_growth_strategies(benchmark):
+    rows = []
+
+    with_last = MSoDEngine(policy_set(True), InMemoryRetainedADIStore())
+    peak, final = run_workload(with_last)
+    rows.append(["last step in policy", peak, final])
+
+    unmanaged = MSoDEngine(policy_set(False), InMemoryRetainedADIStore())
+    peak, final = run_workload(unmanaged)
+    rows.append(["no last step, unmanaged", peak, final])
+
+    swept = MSoDEngine(policy_set(False), InMemoryRetainedADIStore())
+    port = RetainedADIManagementPort(swept.store)
+    peak, final = run_workload(swept, sweep_every=4, port=port)
+    rows.append(["no last step + retention sweep (4.3)", peak, final])
+
+    table = format_rows(
+        ["strategy", "peak records", "final records"], rows
+    )
+    emit("M1_adi_management", table)
+
+    # Shapes: the last step bounds growth to one period's records; the
+    # unmanaged store retains everything; the sweep keeps a small window.
+    last_step_peak = rows[0][1]
+    unmanaged_final = rows[1][2]
+    swept_final = rows[2][2]
+    assert last_step_peak <= 2 * REQUESTS_PER_PERIOD
+    assert unmanaged_final >= N_PERIODS * REQUESTS_PER_PERIOD
+    assert swept_final < unmanaged_final / 4
+
+    def rerun():
+        engine = MSoDEngine(policy_set(True), InMemoryRetainedADIStore())
+        return run_workload(engine)
+
+    benchmark.pedantic(rerun, rounds=3, iterations=1)
+
+
+def test_m1_latency_tracks_store_size(benchmark):
+    """The performance degradation the paper predicts for an unmanaged
+    store shows up as per-user history length grows."""
+    import time
+
+    engine = MSoDEngine(policy_set(False), InMemoryRetainedADIStore())
+    context = ContextName.parse("Branch=York, Period=Pfixed")
+    rows = []
+    hoarder = "hoarder"
+    timestamp = 0.0
+    for generation in range(3):
+        for _ in range(2_000):
+            timestamp += 1.0
+            engine.check(
+                DecisionRequest(
+                    user_id=hoarder,
+                    roles=(TELLER,),
+                    operation="handleCash",
+                    target="till://1",
+                    context_instance=context,
+                    timestamp=timestamp,
+                )
+            )
+        started = time.perf_counter()
+        for _ in range(50):
+            timestamp += 1.0
+            engine.check(
+                DecisionRequest(
+                    user_id=hoarder,
+                    roles=(TELLER,),
+                    operation="handleCash",
+                    target="till://1",
+                    context_instance=context,
+                    timestamp=timestamp,
+                )
+            )
+        per_decision_us = (time.perf_counter() - started) / 50 * 1e6
+        rows.append([engine.store.count(), f"{per_decision_us:.0f}"])
+    table = format_rows(
+        ["records for one user+context", "decision latency (us)"], rows
+    )
+    emit("M1_unmanaged_latency", table)
+
+    # Monotone degradation (the Section 4.3 motivation).
+    latencies = [float(row[1]) for row in rows]
+    assert latencies[-1] > latencies[0]
+
+    benchmark(engine.store.count)

@@ -1,0 +1,127 @@
+"""A1 — Section 4.2 algorithm: engine throughput and mode ablation.
+
+Sweeps the structural parameters of the algorithm — number of policies,
+MMER set width, user-history length — and ablates the strict vs literal
+step-4 evaluation modes (see DESIGN.md).
+"""
+
+import pytest
+from conftest import emit, format_rows
+
+from repro.core import (
+    MMER,
+    MODE_LITERAL,
+    MODE_STRICT,
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Role,
+)
+from repro.workload import decision_request_stream
+from repro.xmlpolicy import bank_policy_set
+
+
+def wide_policy_set(n_policies, mmer_width=2):
+    """n policies all matching the same contexts, each with one MMER."""
+    policies = []
+    for index in range(n_policies):
+        roles = [
+            Role("employee", f"R{index}-{position}")
+            for position in range(mmer_width)
+        ]
+        policies.append(
+            MSoDPolicy(
+                ContextName.parse("Branch=*, Period=!"),
+                mmers=[MMER(roles, 2)],
+                policy_id=f"wide-{index}",
+            )
+        )
+    return MSoDPolicySet(policies)
+
+
+def teller_request(index=0):
+    return DecisionRequest(
+        user_id=f"user-{index % 20}",
+        roles=(Role("employee", "R0-0"),),
+        operation="work",
+        target="desk://1",
+        context_instance=ContextName.parse("Branch=B, Period=P"),
+        timestamp=float(index),
+    )
+
+
+@pytest.mark.parametrize("n_policies", [1, 10, 50])
+def test_a1_throughput_vs_policy_count(benchmark, n_policies):
+    engine = MSoDEngine(wide_policy_set(n_policies), InMemoryRetainedADIStore())
+    counter = [0]
+
+    def decide():
+        counter[0] += 1
+        return engine.check(teller_request(counter[0]))
+
+    decision = benchmark(decide)
+    assert decision.granted
+
+
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_a1_throughput_vs_mmer_width(benchmark, width):
+    engine = MSoDEngine(
+        wide_policy_set(1, mmer_width=width), InMemoryRetainedADIStore()
+    )
+    counter = [0]
+
+    def decide():
+        counter[0] += 1
+        return engine.check(teller_request(counter[0]))
+
+    decision = benchmark(decide)
+    assert decision.granted
+
+
+@pytest.mark.parametrize("mode", [MODE_STRICT, MODE_LITERAL])
+def test_a1_mode_ablation(benchmark, mode):
+    """Strict closes the simultaneous-start hole at negligible cost."""
+    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore(), mode=mode)
+    requests = list(decision_request_stream(200, seed=21))
+
+    def run_stream():
+        engine.store.clear()
+        return sum(1 for r in requests if engine.check(r).denied)
+
+    denies = benchmark(run_stream)
+    assert denies >= 0
+
+
+def test_a1_scaling_series(benchmark):
+    """The A1 series: throughput vs policy count and MMER width."""
+    import time
+
+    rows = []
+    for n_policies in (1, 10, 50):
+        engine = MSoDEngine(
+            wide_policy_set(n_policies), InMemoryRetainedADIStore()
+        )
+        started = time.perf_counter()
+        for index in range(500):
+            engine.check(teller_request(index))
+        elapsed = time.perf_counter() - started
+        rows.append(
+            ["policies", n_policies, f"{500 / elapsed:,.0f}"]
+        )
+    for width in (2, 8, 32):
+        engine = MSoDEngine(
+            wide_policy_set(1, mmer_width=width), InMemoryRetainedADIStore()
+        )
+        started = time.perf_counter()
+        for index in range(500):
+            engine.check(teller_request(index))
+        elapsed = time.perf_counter() - started
+        rows.append(["MMER width", width, f"{500 / elapsed:,.0f}"])
+    table = format_rows(["swept parameter", "value", "decisions/s"], rows)
+    emit("A1_algorithm_scaling", table)
+
+    engine = MSoDEngine(wide_policy_set(1), InMemoryRetainedADIStore())
+    benchmark(engine.check, teller_request(0))

@@ -1,0 +1,232 @@
+"""B1 — the Section-6 related-work comparison: who catches what.
+
+Runs every implemented SoD mechanism over one seeded workload containing
+all seven injected conflict classes plus benign traffic, and reproduces
+the paper's qualitative claims as a detection-rate table:
+
+* MSoD catches every multi-session class with zero false positives;
+* ANSI SSD only catches conflicts visible to a single authority at
+  assignment time; ANSI DSD only same-session co-activation;
+* an omniscient global SSD catches everything at assignment but blocks
+  legitimate cross-period role changes (Example 1's motivation);
+* Crampton's anti-roles are context-blind (false positives) and lose
+  history at each purge;
+* Bertino's and Sandhu's mechanisms only see declared-workflow /
+  per-object conflicts respectively;
+* Gligor's operational/history DSoD formalisms catch the object-scoped
+  completion class but are blind to roles and business contexts;
+* nobody catches unlinked federated identities (Section 6), and only
+  MSoD with identity linking catches the linked variant.
+"""
+
+from conftest import emit
+
+from repro.baselines import (
+    AnsiDsdChecker,
+    HistoryDSoDChecker,
+    OperationalDSoDChecker,
+    AnsiSsdChecker,
+    AntiRoleChecker,
+    BertinoWorkflowChecker,
+    MSoDChecker,
+    SandhuTCEChecker,
+    TaskConstraint,
+    TCEStep,
+    TransactionControlExpression,
+)
+from repro.rbac import DsdConstraint, SsdConstraint
+from repro.workload import (
+    AUDITOR,
+    BENIGN,
+    COMBINE,
+    CONFIRM,
+    CROSS_SESSION,
+    FEDERATED_LINKED,
+    FEDERATED_UNLINKED,
+    OBJECT_COMPLETION,
+    PREPARE,
+    REPEATED_PRIVILEGE,
+    SAME_SESSION,
+    SINGLE_AUTHORITY,
+    TELLER,
+    ScenarioGenerator,
+    format_detection_table,
+    run_comparison,
+)
+from repro.xmlpolicy import combined_policy_set
+
+SSD = [SsdConstraint("teller-auditor", ["Teller", "Auditor"], 2)]
+DSD = [DsdConstraint("teller-auditor", ["Teller", "Auditor"], 2)]
+CONFLICT_ROLES = [frozenset({TELLER, AUDITOR})]
+
+
+def build_checkers(generator, scenarios):
+    all_users = {
+        step.user_id for scenario in scenarios for step in scenario.steps
+    }
+    bertino = BertinoWorkflowChecker(
+        "taxRefundProcess",
+        [
+            TaskConstraint("prepareCheck", must_differ_from=("confirmCheck",)),
+            TaskConstraint(
+                "approve/disapproveCheck",
+                must_differ_from=("combineResults",),
+                max_per_user=1,
+            ),
+            TaskConstraint(
+                "combineResults", must_differ_from=("approve/disapproveCheck",)
+            ),
+            TaskConstraint("confirmCheck", must_differ_from=("prepareCheck",)),
+        ],
+        all_users,
+    )
+    tce = SandhuTCEChecker(
+        [
+            TransactionControlExpression(
+                PREPARE.target,
+                [
+                    TCEStep("prepareCheck"),
+                    TCEStep("approve/disapproveCheck"),
+                    TCEStep("approve/disapproveCheck"),
+                ],
+            ),
+            TransactionControlExpression(
+                COMBINE.target, [TCEStep("combineResults")]
+            ),
+            TransactionControlExpression(
+                CONFIRM.target, [TCEStep("confirmCheck")]
+            ),
+        ]
+    )
+    sensitive_ops = [frozenset({PREPARE.operation, CONFIRM.operation})]
+    return [
+        MSoDChecker(combined_policy_set()),
+        MSoDChecker(
+            combined_policy_set(),
+            linker=generator.identity_linker,
+            name="MSoD + identity linking",
+        ),
+        AnsiSsdChecker(SSD),
+        AnsiSsdChecker(SSD, global_view=True),
+        AnsiDsdChecker(DSD),
+        AntiRoleChecker(CONFLICT_ROLES),
+        bertino,
+        tce,
+        OperationalDSoDChecker(sensitive_ops),
+        HistoryDSoDChecker(sensitive_ops),
+    ]
+
+
+def test_b1_detection_rate_table(benchmark):
+    generator = ScenarioGenerator(seed=2007)
+    scenarios = generator.mixed_stream(per_class=25, benign_per_class=25)
+    checkers = build_checkers(generator, scenarios)
+
+    reports = benchmark.pedantic(
+        run_comparison, args=(checkers, scenarios), rounds=3, iterations=1
+    )
+    table = format_detection_table(reports)
+    emit("B1_detection_rates", table)
+
+    by_name = {report.checker_name: report for report in reports}
+    msod = by_name["MSoD"]
+    linked = by_name["MSoD + identity linking"]
+    ssd = by_name["ANSI SSD"]
+    ssd_global = by_name["ANSI SSD (global)"]
+    dsd = by_name["ANSI DSD"]
+    anti = by_name["Anti-role"]
+    bertino = by_name["Bertino workflow"]
+    tce = by_name["Sandhu TCE"]
+
+    gligor_op = by_name["Gligor operational DSoD"]
+    gligor_hist = by_name["Gligor history DSoD"]
+
+    # MSoD: full coverage of multi-session classes, zero FPs.
+    for label in (SAME_SESSION, SINGLE_AUTHORITY, CROSS_SESSION,
+                  REPEATED_PRIVILEGE, OBJECT_COMPLETION):
+        assert msod.detection_rate(label) == 1.0, label
+    assert msod.false_positive_rate() == 0.0
+    # The Section-6 limitation, and its identity-linking fix.
+    assert msod.detection_rate(FEDERATED_UNLINKED) == 0.0
+    assert msod.detection_rate(FEDERATED_LINKED) == 0.0
+    assert linked.detection_rate(FEDERATED_LINKED) == 1.0
+    assert linked.detection_rate(FEDERATED_UNLINKED) == 0.0
+    # ANSI baselines: each catches exactly its own enforcement point.
+    assert ssd.detection_rate(SINGLE_AUTHORITY) == 1.0
+    assert ssd.detection_rate(CROSS_SESSION) == 0.0
+    assert dsd.detection_rate(SAME_SESSION) == 1.0
+    assert dsd.detection_rate(CROSS_SESSION) == 0.0
+    # Omniscient SSD over-blocks benign cross-period role changes.
+    assert ssd_global.detection_rate(CROSS_SESSION) == 1.0
+    assert ssd_global.false_positive_rate() > 0.0
+    # Anti-roles catch history conflicts but are context-blind.
+    assert anti.detection_rate(CROSS_SESSION) == 1.0
+    assert anti.false_positive_rate() > 0.0
+    # Workflow/object-scoped baselines only see their own domain.
+    assert bertino.detection_rate(REPEATED_PRIVILEGE) == 1.0
+    assert bertino.detection_rate(CROSS_SESSION) == 0.0
+    assert tce.detection_rate(REPEATED_PRIVILEGE) == 1.0
+    assert tce.detection_rate(CROSS_SESSION) == 0.0
+    # Gligor formalisms: the history variant catches the object-scoped
+    # class without false positives; the operational variant catches it
+    # too but blocks benign cross-instance work (object-blindness); both
+    # are blind to the role-based multi-session classes.
+    assert gligor_hist.detection_rate(OBJECT_COMPLETION) == 1.0
+    assert gligor_hist.false_positive_rate() == 0.0
+    assert gligor_op.detection_rate(OBJECT_COMPLETION) == 1.0
+    assert gligor_op.false_positive_rate() > 0.0
+    for gligor in (gligor_op, gligor_hist):
+        assert gligor.detection_rate(CROSS_SESSION) == 0.0
+        assert gligor.detection_rate(SAME_SESSION) == 0.0
+    # Nobody (access-time) catches unlinked federated conflicts.
+    for report in (dsd, anti, bertino, tce, gligor_op, gligor_hist):
+        assert report.detection_rate(FEDERATED_UNLINKED) == 0.0
+
+
+def test_b1_anti_role_purge_tradeoff(benchmark):
+    """Crampton's periodic purge trades false positives for misses."""
+    from conftest import format_rows
+
+    rows = []
+    for purge_every in (None, 50, 10):
+        generator = ScenarioGenerator(seed=99)
+        scenarios = generator.mixed_stream(per_class=30, benign_per_class=30)
+        checker = AntiRoleChecker(CONFLICT_ROLES, purge_every=purge_every)
+        (report,) = run_comparison([checker], scenarios)
+        rows.append(
+            [
+                "never" if purge_every is None else str(purge_every),
+                f"{report.detection_rate(CROSS_SESSION):.2f}",
+                f"{report.false_positive_rate():.2f}",
+            ]
+        )
+    table = format_rows(
+        ["purge every N accesses", "cross-session detection", "benign FP"],
+        rows,
+    )
+    emit("B1_anti_role_purge_tradeoff", table)
+
+    # More aggressive purging loses detections.
+    assert float(rows[-1][1]) < float(rows[0][1])
+
+    generator = ScenarioGenerator(seed=3)
+    scenarios = generator.mixed_stream(per_class=5, benign_per_class=5)
+    checker = AntiRoleChecker(CONFLICT_ROLES)
+    benchmark(run_comparison, [checker], scenarios)
+
+
+def test_b1_checker_throughput(benchmark):
+    """Steps/second through the paper's own mechanism."""
+    generator = ScenarioGenerator(seed=11)
+    scenarios = generator.mixed_stream(per_class=10, benign_per_class=10)
+    steps = [step for scenario in scenarios for step in scenario.steps]
+    checker = MSoDChecker(combined_policy_set())
+
+    def run_all():
+        checker.reset()
+        return sum(
+            1 for step in steps if checker.process_step(step)[0]
+        )
+
+    blocked = benchmark(run_all)
+    assert blocked > 0

@@ -1,0 +1,145 @@
+"""E2 — Example 2 (tax refund): reproduction + workflow throughput.
+
+Reproduces every separation rule of the four-task process from the
+paper's own Section-3 XML policy, then measures the cost of a complete
+compliant process instance through PEP → PDP → MSoD.
+"""
+
+import itertools
+
+from conftest import emit, format_rows
+
+from repro.core import (
+    ContextName,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    Privilege,
+    Role,
+)
+from repro.framework import (
+    PolicyEnforcementPoint,
+    ReferenceRBACMSoDPDP,
+    RoleTargetAccessPolicy,
+    SimulatedClock,
+)
+from repro.workflow import ProcessInstance, tax_refund_process
+from repro.xmlpolicy import tax_refund_policy_set
+
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+PREPARE = Privilege("prepareCheck", "http://www.myTaxOffice.com/Check")
+APPROVE = Privilege("approve/disapproveCheck", "http://www.myTaxOffice.com/Check")
+COMBINE = Privilege("combineResults", "http://secret.location.com/results")
+CONFIRM = Privilege("confirmCheck", "http://secret.location.com/audit")
+
+_IDS = itertools.count(1)
+
+
+def build_pep():
+    access = RoleTargetAccessPolicy(
+        {CLERK: [PREPARE, CONFIRM], MANAGER: [APPROVE, COMBINE]}
+    )
+    engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+    return PolicyEnforcementPoint(
+        ReferenceRBACMSoDPDP(access, engine), SimulatedClock()
+    )
+
+
+def run_compliant_instance(pep):
+    instance = ProcessInstance(
+        tax_refund_process(),
+        f"bench-{next(_IDS)}",
+        ContextName.parse("TaxOffice=Leeds"),
+        pep,
+    )
+    instance.attempt("T1", "clerk1", [CLERK])
+    instance.attempt("T2", "mgr1", [MANAGER])
+    instance.attempt("T2", "mgr2", [MANAGER])
+    instance.attempt("T3", "mgr3", [MANAGER])
+    instance.attempt("T4", "clerk2", [CLERK])
+    return instance
+
+
+def test_example2_reproduction_table(benchmark):
+    """Each attempted violation of Example 2, with its verdict."""
+    pep = build_pep()
+    instance = ProcessInstance(
+        tax_refund_process(), "repro", ContextName.parse("TaxOffice=Leeds"), pep
+    )
+    rows = []
+
+    def attempt(task, user, role, expectation):
+        decision = instance.attempt(task, user, [role])
+        rows.append(
+            [
+                task,
+                user,
+                decision.effect.upper(),
+                expectation,
+            ]
+        )
+        return decision
+
+    attempt("T1", "clerk1", CLERK, "clerk prepares the check")
+    attempt("T2", "mgr1", MANAGER, "first approval")
+    d = attempt("T2", "mgr1", MANAGER, "same manager again -> must DENY")
+    assert d.denied
+    attempt("T2", "mgr2", MANAGER, "second approval by a different manager")
+    d = attempt("T3", "mgr1", MANAGER, "approver collects results -> must DENY")
+    assert d.denied
+    attempt("T3", "mgr3", MANAGER, "fresh manager collects results")
+    d = attempt("T4", "clerk1", CLERK, "preparing clerk confirms -> must DENY")
+    assert d.denied
+    d = attempt("T4", "clerk2", CLERK, "different clerk issues the check")
+    assert d.granted
+    assert instance.is_complete()
+
+    table = format_rows(["task", "user", "verdict", "paper rule"], rows)
+    emit("E2_taxrefund_rules", table)
+
+    # Throughput of a full compliant instance (5 PDP decisions).
+    pep2 = build_pep()
+    result = benchmark(run_compliant_instance, pep2)
+    assert result.is_complete()
+
+
+def test_example2_store_stays_bounded(benchmark):
+    """confirmCheck is the last step: completed instances leave no
+    retained ADI, so the store does not grow with completed processes."""
+    pep = build_pep()
+    for _ in range(100):
+        run_compliant_instance(pep)
+    store = pep.pdp.msod_engine.store
+    assert store.count() == 0
+
+    counts = benchmark(store.count)
+    assert counts == 0
+
+
+def test_example2_open_instances_grow_linearly(benchmark):
+    """Instances that never reach the last step retain history."""
+    pep = build_pep()
+    store = pep.pdp.msod_engine.store
+    rows = []
+
+    def grow():
+        for n_open in (10, 50, 100):
+            start = store.count()
+            for _ in range(n_open):
+                instance = ProcessInstance(
+                    tax_refund_process(),
+                    f"open-{next(_IDS)}",
+                    ContextName.parse("TaxOffice=Leeds"),
+                    pep,
+                )
+                instance.attempt("T1", "clerk1", [CLERK])
+                instance.attempt("T2", "mgr1", [MANAGER])
+            rows.append([n_open, store.count() - start])
+
+    benchmark.pedantic(grow, rounds=1, iterations=1)
+    rows[:] = rows[:3]
+    table = format_rows(["new open instances", "retained records added"], rows)
+    emit("E2_open_instance_growth", table)
+    # Three retained records per open instance: the T1 context-start
+    # record, T1's MMEP match record, and one T2 approval record.
+    assert rows[0][1] == 30

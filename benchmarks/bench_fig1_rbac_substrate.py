@@ -1,0 +1,104 @@
+"""F1 — Figure 1 (ANSI RBAC model): substrate conformance + cost.
+
+Exercises the standard enforcement points the paper builds on — SSD at
+assignment, DSD at activation, CheckAccess through a role hierarchy —
+and measures their cost as the hierarchy deepens.
+"""
+
+from conftest import emit, format_rows
+
+from repro.errors import ConstraintViolationError
+from repro.rbac import Permission, RBACSystem
+
+
+def build_bank(hierarchy_depth=0):
+    system = RBACSystem()
+    system.add_user("alice")
+    for role in ("teller", "auditor"):
+        system.add_role(role)
+    system.grant_permission("teller", Permission("handleCash", "till"))
+    system.grant_permission("auditor", Permission("audit", "ledger"))
+    previous = "teller"
+    for level in range(hierarchy_depth):
+        senior = f"senior-{level}"
+        system.add_ascendant(senior, previous)
+        previous = senior
+    return system, previous
+
+
+def test_fig1_enforcement_points(benchmark):
+    """The Figure-1 conformance table: where SSD and DSD fire."""
+    rows = []
+
+    system, _ = build_bank()
+    system.create_ssd_set("ssd", ["teller", "auditor"], 2)
+    system.assign_user("alice", "teller")
+    try:
+        system.assign_user("alice", "auditor")
+        rows.append(["SSD at assignment", "MISSED"])
+    except ConstraintViolationError:
+        rows.append(["SSD at assignment (same admin)", "blocked"])
+
+    system, _ = build_bank()
+    system.create_dsd_set("dsd", ["teller", "auditor"], 2)
+    system.assign_user("alice", "teller")
+    system.assign_user("alice", "auditor")
+    session = system.create_session("alice", ["teller"])
+    try:
+        system.add_active_role(session.session_id, "auditor")
+        rows.append(["DSD simultaneous activation", "MISSED"])
+    except ConstraintViolationError:
+        rows.append(["DSD simultaneous activation", "blocked"])
+
+    # The blind spot that motivates MSoD: sequential sessions pass.
+    system.delete_session(session.session_id)
+    second = system.create_session("alice", ["auditor"])
+    rows.append(
+        [
+            "DSD across sequential sessions",
+            "granted (the Example-1 blind spot)"
+            if system.session_roles(second.session_id) == {"auditor"}
+            else "blocked",
+        ]
+    )
+    table = format_rows(["enforcement point", "outcome"], rows)
+    emit("F1_rbac_enforcement_points", table)
+    assert rows[0][1] == "blocked"
+    assert rows[1][1] == "blocked"
+    assert rows[2][1].startswith("granted")
+
+    def assignment_round():
+        fresh, _ = build_bank()
+        fresh.create_ssd_set("ssd", ["teller", "auditor"], 2)
+        fresh.assign_user("alice", "teller")
+
+    benchmark(assignment_round)
+
+
+def test_fig1_check_access_vs_hierarchy_depth(benchmark):
+    """CheckAccess cost with a 32-level role hierarchy."""
+    system, top = build_bank(hierarchy_depth=32)
+    system.assign_user("alice", top)
+    session = system.create_session("alice", [top])
+
+    allowed = benchmark(
+        system.check_access, session.session_id, "handleCash", "till"
+    )
+    assert allowed
+
+
+def test_fig1_ssd_validation_vs_population(benchmark):
+    """Cost of the global SSD re-validation as users grow."""
+    system = RBACSystem()
+    for role in ("teller", "auditor", "clerk"):
+        system.add_role(role)
+    for index in range(500):
+        user = f"user-{index}"
+        system.add_user(user)
+        system.assign_user(user, "teller" if index % 2 else "clerk")
+    system.create_ssd_set("ssd", ["teller", "auditor"], 2)
+
+    def revalidate():
+        system._validate_all_ssd()
+
+    benchmark(revalidate)

@@ -1,0 +1,117 @@
+"""F2 — Figure 2 (business-context hierarchy): matching semantics + cost.
+
+Reproduces the figure's three policy scopings — ``Branch=*, Period=!``,
+``Branch=!, Period=!`` and ``Branch=York, Period=!`` — applied to a
+concrete instance hierarchy, then measures context matching as names
+deepen and policy sets grow.
+"""
+
+from conftest import emit, format_rows
+
+from repro.core import ContextName
+
+POLICIES = {
+    "Branch=*, Period=!": "whole bank, per audit period",
+    "Branch=!, Period=!": "per branch, per audit period",
+    "Branch=York, Period=!": "York branch only, per period",
+}
+
+INSTANCES = [
+    "Branch=York, Period=2006",
+    "Branch=Leeds, Period=2006",
+    "Branch=York, Period=2007",
+    "Branch=York, Period=2006, Till=3",
+]
+
+
+def test_fig2_policy_scoping_table(benchmark):
+    """Which policy business contexts match which concrete instances."""
+    rows = []
+    for instance_text in INSTANCES:
+        instance = ContextName.parse(instance_text)
+        row = [instance_text]
+        for policy_text in POLICIES:
+            policy = ContextName.parse(policy_text)
+            if instance.is_equal_or_subordinate_to(policy):
+                effective = policy.instantiate(instance)
+                row.append(f"-> [{effective}]")
+            else:
+                row.append("no match")
+        rows.append(row)
+    table = format_rows(["instance"] + list(POLICIES), rows)
+    emit("F2_context_scoping", table)
+
+    # Shape assertions from the paper's Figure-2 discussion:
+    york_2006 = ContextName.parse("Branch=York, Period=2006")
+    leeds_2006 = ContextName.parse("Branch=Leeds, Period=2006")
+    bank_wide = ContextName.parse("Branch=*, Period=!")
+    per_branch = ContextName.parse("Branch=!, Period=!")
+    york_only = ContextName.parse("Branch=York, Period=!")
+    # Bank-wide: York and Leeds share one effective context per period.
+    assert bank_wide.instantiate(york_2006) == bank_wide.instantiate(leeds_2006)
+    # Per-branch: they do not.
+    assert per_branch.instantiate(york_2006) != per_branch.instantiate(leeds_2006)
+    # York-only matches only York.
+    assert york_2006.is_equal_or_subordinate_to(york_only)
+    assert not leeds_2006.is_equal_or_subordinate_to(york_only)
+
+    policy = ContextName.parse("Branch=*, Period=!")
+    instance = ContextName.parse("Branch=York, Period=2006")
+    benchmark(instance.is_equal_or_subordinate_to, policy)
+
+
+def test_fig2_matching_cost_vs_depth(benchmark):
+    """Matching cost grows with name depth (linear component count)."""
+    rows = []
+    for depth in (2, 8, 32):
+        policy = ContextName(
+            ContextName.parse(
+                ", ".join(f"L{i}=!" for i in range(depth))
+            ).components
+        )
+        instance = ContextName.parse(
+            ", ".join(f"L{i}=v{i}" for i in range(depth))
+        )
+        assert instance.is_equal_or_subordinate_to(policy)
+        rows.append([depth, "matches"])
+    emit(
+        "F2_matching_depth",
+        format_rows(["context depth", "result"], rows),
+    )
+
+    deep_policy = ContextName.parse(", ".join(f"L{i}=!" for i in range(32)))
+    deep_instance = ContextName.parse(
+        ", ".join(f"L{i}=v{i}" for i in range(32))
+    )
+    benchmark(deep_instance.is_equal_or_subordinate_to, deep_policy)
+
+
+def test_fig2_instantiate_cost(benchmark):
+    policy = ContextName.parse("Branch=*, Period=!, Desk=!, Till=!")
+    instance = ContextName.parse("Branch=York, Period=2006, Desk=D1, Till=3")
+    effective = benchmark(policy.instantiate, instance)
+    assert str(effective) == "Branch=*, Period=2006, Desk=D1, Till=3"
+
+
+def test_fig2_policy_selection_vs_policy_count(benchmark):
+    """Step-1 policy selection over a 200-policy set."""
+    from repro.core import MMER, MSoDPolicy, MSoDPolicySet, Role
+
+    policies = []
+    for index in range(200):
+        policies.append(
+            MSoDPolicy(
+                ContextName.parse(f"Dept=D{index}, Task=!"),
+                mmers=[
+                    MMER(
+                        [Role("employee", f"A{index}"), Role("employee", f"B{index}")],
+                        2,
+                    )
+                ],
+                policy_id=f"policy-{index}",
+            )
+        )
+    policy_set = MSoDPolicySet(policies)
+    instance = ContextName.parse("Dept=D150, Task=t9")
+    matched = benchmark(policy_set.matching, instance)
+    assert len(matched) == 1

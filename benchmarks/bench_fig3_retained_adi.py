@@ -1,0 +1,129 @@
+"""F3 — Figure 3 (ISO framework / retained ADI): latency vs history size.
+
+The retained ADI is the component Figure 3 adds to the classic PEP/PDP
+loop.  This bench measures decision latency as the retained history
+grows, for both store backends, and confirms the deny path never writes.
+"""
+
+import pytest
+from conftest import emit, format_rows
+
+from repro.core import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    SQLiteRetainedADIStore,
+    store_digest,
+)
+from repro.workload import AUDITOR, TELLER, decision_request_stream
+from repro.xmlpolicy import bank_policy_set
+
+ADI_SIZES = (1_000, 10_000)
+SQLITE_SIZES = (1_000, 5_000)
+
+_PROBE_COUNTER = [0]
+
+
+def engine_with_history(store, n_requests):
+    engine = MSoDEngine(bank_policy_set(), store)
+    for request in decision_request_stream(
+        n_requests, n_users=max(50, n_requests // 10), seed=13
+    ):
+        engine.check(request)
+    return engine
+
+
+def probe(engine, index=None):
+    """One decision by a fresh user (so probing itself does not skew the
+    per-user history the measurement depends on)."""
+    if index is None:
+        _PROBE_COUNTER[0] += 1
+        index = _PROBE_COUNTER[0]
+    return engine.check(
+        DecisionRequest(
+            user_id=f"probe-user-{index}",
+            roles=(TELLER,),
+            operation="handleCash",
+            target="till://cash",
+            context_instance=ContextName.parse("Branch=B0, Period=P0"),
+            timestamp=1e9 + index,
+        )
+    )
+
+
+@pytest.mark.parametrize("size", ADI_SIZES)
+def test_fig3_memory_store_latency(benchmark, size):
+    engine = engine_with_history(InMemoryRetainedADIStore(), size)
+    decision = benchmark(probe, engine)
+    assert decision.granted
+
+
+@pytest.mark.parametrize("size", SQLITE_SIZES)
+def test_fig3_sqlite_store_latency(benchmark, size):
+    store = SQLiteRetainedADIStore(":memory:")
+    engine = engine_with_history(store, size)
+    decision = benchmark(probe, engine)
+    assert decision.granted
+    store.close()
+
+
+def test_fig3_scaling_series(benchmark):
+    """The F3 series: records retained vs requests served, per backend."""
+    import time
+
+    rows = []
+    for size in (500, 2_000, 8_000):
+        for backend, store in (
+            ("memory", InMemoryRetainedADIStore()),
+            ("sqlite", SQLiteRetainedADIStore(":memory:")),
+        ):
+            started = time.perf_counter()
+            engine = engine_with_history(store, size)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                [
+                    backend,
+                    size,
+                    engine.store.count(),
+                    f"{size / elapsed:,.0f}",
+                ]
+            )
+            store.close()
+    table = format_rows(
+        ["backend", "requests served", "records retained", "decisions/s"],
+        rows,
+    )
+    emit("F3_retained_adi_scaling", table)
+
+    engine = engine_with_history(InMemoryRetainedADIStore(), 500)
+    benchmark(probe, engine)
+
+
+def test_fig3_deny_never_writes(benchmark):
+    """Figure-3 contract: only grants reach the retained ADI."""
+    engine = engine_with_history(InMemoryRetainedADIStore(), 1_000)
+    ctx = ContextName.parse("Branch=B0, Period=P0")
+    engine.check(
+        DecisionRequest(
+            user_id="victim",
+            roles=(TELLER,),
+            operation="handleCash",
+            target="till://cash",
+            context_instance=ctx,
+            timestamp=5e8,
+        )
+    )
+    digest_before = store_digest(engine.store)
+    conflict = DecisionRequest(
+        user_id="victim",
+        roles=(AUDITOR,),
+        operation="auditBooks",
+        target="ledger://books",
+        context_instance=ctx,
+        timestamp=5e8 + 1,
+    )
+
+    decision = benchmark(engine.check, conflict)
+    assert decision.denied
+    assert store_digest(engine.store) == digest_before

@@ -1,0 +1,137 @@
+"""F4 — Figure 4 / Section 5 (PERMIS CVS/PDP): full-pipeline cost.
+
+Measures each stage of the PERMIS pipeline — credential validation,
+RBAC check, MSoD check, audit-trail write — and reproduces the paper's
+architectural claim that MSoD needed no API change: the business-context
+instance is just one extra decision parameter.
+"""
+
+import pytest
+from conftest import emit, format_rows
+
+from repro.audit import AuditTrailManager
+from repro.core import ContextName, Privilege, Role
+from repro.permis import (
+    CredentialValidationService,
+    LdapDirectory,
+    PermisPDP,
+    PermisPolicyBuilder,
+    PrivilegeAllocator,
+    TrustStore,
+)
+from repro.xmlpolicy import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+HANDLE_CASH = Privilege("handleCash", "till://main")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://main")
+CTX = ContextName.parse("Branch=York, Period=2006")
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    directory = LdapDirectory()
+    soa = PrivilegeAllocator("cn=SOA,o=bank,c=gb", b"key", directory)
+    trust = TrustStore()
+    trust.trust(soa.soa_dn, soa.verification_key)
+    policy = (
+        PermisPolicyBuilder()
+        .allow_assignment(soa.soa_dn, [TELLER, AUDITOR], "o=bank,c=gb")
+        .grant(TELLER, [HANDLE_CASH])
+        .grant(AUDITOR, [AUDIT_BOOKS])
+        .with_msod(bank_policy_set())
+        .build()
+    )
+    for index in range(200):
+        soa.issue(f"cn=user{index},o=bank,c=gb", [TELLER], 0, 1e12)
+    audit = AuditTrailManager(
+        str(tmp_path_factory.mktemp("trails")), b"trail-key", max_records=100_000
+    )
+    return {
+        "directory": directory,
+        "trust": trust,
+        "policy": policy,
+        "audit": audit,
+        "soa": soa,
+    }
+
+
+def test_fig4_cvs_validation_cost(benchmark, world):
+    cvs = CredentialValidationService(
+        world["policy"], world["trust"], world["directory"]
+    )
+    result = benchmark(cvs.validate, "cn=user7,o=bank,c=gb", None, 5.0)
+    assert result.valid_roles == {TELLER}
+
+
+def test_fig4_pipeline_without_audit(benchmark, world):
+    pdp = PermisPDP(world["policy"], world["trust"], world["directory"])
+    counter = [0]
+
+    def decide():
+        counter[0] += 1
+        return pdp.decision(
+            f"cn=user{counter[0] % 200},o=bank,c=gb",
+            "handleCash",
+            "till://main",
+            CTX,
+            at=float(counter[0]),
+        )
+
+    decision = benchmark(decide)
+    assert decision.granted
+
+
+def test_fig4_pipeline_with_audit(benchmark, world):
+    pdp = PermisPDP(
+        world["policy"], world["trust"], world["directory"], audit=world["audit"]
+    )
+    counter = [0]
+
+    def decide():
+        counter[0] += 1
+        return pdp.decision(
+            f"cn=user{counter[0] % 200},o=bank,c=gb",
+            "handleCash",
+            "till://main",
+            CTX,
+            at=float(counter[0]),
+        )
+
+    decision = benchmark(decide)
+    assert decision.granted
+
+
+def test_fig4_stage_breakdown(benchmark, world):
+    """Per-stage timing table for one grant decision."""
+    import time
+
+    pdp_plain = PermisPDP(world["policy"], world["trust"], world["directory"])
+    cvs = pdp_plain.cvs
+
+    def timed(fn, *args, repeat=200):
+        started = time.perf_counter()
+        for _ in range(repeat):
+            fn(*args)
+        return (time.perf_counter() - started) / repeat * 1e6
+
+    cvs_us = timed(cvs.validate, "cn=user3,o=bank,c=gb", None, 5.0)
+    rbac_us = timed(
+        world["policy"].permits, frozenset({TELLER}), HANDLE_CASH
+    )
+    msod_us = timed(
+        lambda: pdp_plain.decision(
+            "cn=user3,o=bank,c=gb", "handleCash", "till://main", CTX, at=9.0
+        )
+    )
+    table = format_rows(
+        ["stage", "mean latency (us)"],
+        [
+            ["CVS (pull + validate)", f"{cvs_us:.1f}"],
+            ["RBAC target-access check", f"{rbac_us:.1f}"],
+            ["full pipeline (CVS+RBAC+MSoD)", f"{msod_us:.1f}"],
+        ],
+    )
+    emit("F4_permis_stage_breakdown", table)
+
+    benchmark(world["policy"].permits, frozenset({TELLER}), HANDLE_CASH)

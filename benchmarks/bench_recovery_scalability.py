@@ -1,0 +1,135 @@
+"""S1 — the Section-6 scalability limitation: retained-ADI recovery.
+
+"We anticipate that our current implementation will not be scalable,
+due to the time taken to initialize the retained ADI from the secure
+audit trails.  Thus our next implementation will use a secure relational
+database to store the retained ADI instead of in-core memory."
+
+Measures exactly that: audit-trail replay time vs trail length (growing
+linearly, which is the paper's concern), against the constant-time
+reopen of a SQLite-backed retained ADI.
+"""
+
+import time
+
+import pytest
+from conftest import emit, format_rows
+
+from repro.audit import (
+    AuditTrailManager,
+    EVENT_DECISION,
+    decision_event_payload,
+    recover_retained_adi,
+)
+from repro.core import (
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    SQLiteRetainedADIStore,
+    store_digest,
+)
+from repro.workload import decision_request_stream
+from repro.xmlpolicy import bank_policy_set
+
+KEY = b"bench-trail-key"
+
+
+def populate(tmp_path, n_events, sqlite_path=None):
+    """Serve n requests, logging to trails and (optionally) SQLite."""
+    audit = AuditTrailManager(str(tmp_path), KEY, max_records=5_000)
+    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    sqlite_engine = None
+    if sqlite_path is not None:
+        sqlite_engine = MSoDEngine(
+            bank_policy_set(), SQLiteRetainedADIStore(sqlite_path)
+        )
+    for request in decision_request_stream(
+        n_events, n_users=max(50, n_events // 20), seed=5
+    ):
+        decision = engine.check(request)
+        if sqlite_engine is not None:
+            sqlite_engine.check(request)
+        audit.append(
+            EVENT_DECISION, request.timestamp, decision_event_payload(decision)
+        )
+    if sqlite_engine is not None:
+        sqlite_engine.store.close()
+    return audit, engine
+
+
+@pytest.mark.parametrize("n_events", [1_000, 4_000])
+def test_s1_replay_recovery(benchmark, tmp_path, n_events):
+    audit, engine = populate(tmp_path, n_events)
+
+    def recover():
+        store = InMemoryRetainedADIStore()
+        recover_retained_adi(audit, bank_policy_set(), store)
+        return store
+
+    recovered = benchmark(recover)
+    assert store_digest(recovered) == store_digest(engine.store)
+
+
+def test_s1_sqlite_reopen(benchmark, tmp_path):
+    db_path = str(tmp_path / "adi.db")
+    populate(tmp_path / "trails", 4_000, sqlite_path=db_path)
+
+    def reopen():
+        store = SQLiteRetainedADIStore(db_path)
+        count = store.count()
+        store.close()
+        return count
+
+    count = benchmark(reopen)
+    assert count > 0
+
+
+def test_s1_scalability_table(benchmark, tmp_path):
+    """The headline S1 table: replay time grows with the trail, SQLite
+    reopen does not."""
+    rows = []
+    for n_events in (500, 2_000, 8_000):
+        trail_dir = tmp_path / f"trails-{n_events}"
+        db_path = str(tmp_path / f"adi-{n_events}.db")
+        audit, engine = populate(trail_dir, n_events, sqlite_path=db_path)
+
+        started = time.perf_counter()
+        store = InMemoryRetainedADIStore()
+        report = recover_retained_adi(audit, bank_policy_set(), store)
+        replay_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        sqlite_store = SQLiteRetainedADIStore(db_path)
+        sqlite_count = sqlite_store.count()
+        reopen_ms = (time.perf_counter() - started) * 1000
+        sqlite_store.close()
+
+        rows.append(
+            [
+                n_events,
+                report.events_scanned,
+                store.count(),
+                f"{replay_ms:.1f}",
+                f"{reopen_ms:.2f}",
+            ]
+        )
+        assert sqlite_count == store.count()
+    table = format_rows(
+        ["decisions logged", "events replayed", "records recovered",
+         "trail replay (ms)", "SQLite reopen (ms)"],
+        rows,
+    )
+    emit("S1_recovery_scalability", table)
+
+    # Shape: replay cost grows ~linearly with the trail; reopen does not.
+    replay_times = [float(row[3]) for row in rows]
+    reopen_times = [float(row[4]) for row in rows]
+    assert replay_times[-1] > replay_times[0] * 4  # 16x data, superlinear floor
+    assert reopen_times[-1] < replay_times[-1] / 10
+
+    audit, _ = populate(tmp_path / "probe", 200)
+    benchmark(
+        recover_retained_adi,
+        audit,
+        bank_policy_set(),
+        InMemoryRetainedADIStore(),
+    )

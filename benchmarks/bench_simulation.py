@@ -1,0 +1,153 @@
+"""SIM1 — organisational-scale counterfactual: what MSoD prevents.
+
+Runs the identical seeded bank year twice — with the Section-3 MSoD
+policy enforced and with it switched off — and reports the
+counterfactual: every separation failure in the unenforced run
+corresponds to denials in the enforced one, and the enforced run has
+zero failures.  Also measures end-to-end throughput of the full PERMIS
+stack under the simulated load.
+"""
+
+from conftest import emit, format_rows
+
+from repro.simulation import (
+    BankSimulation,
+    ENFORCEMENT_MSOD,
+    SimulationConfig,
+    run_paired_simulation,
+)
+
+CONFIG = SimulationConfig(
+    seed=2007,
+    n_staff=40,
+    n_branches=3,
+    n_periods=6,
+    actions_per_staff_period=4,
+    promotion_rate=0.15,
+)
+
+
+def test_sim1_counterfactual_table(benchmark):
+    enforced, unenforced = run_paired_simulation(CONFIG)
+
+    rows = [
+        [
+            "MSoD enforced",
+            enforced.decisions,
+            enforced.grants,
+            enforced.msod_denials,
+            enforced.separation_failures,
+        ],
+        [
+            "no MSoD (counterfactual)",
+            unenforced.decisions,
+            unenforced.grants,
+            unenforced.msod_denials,
+            unenforced.separation_failures,
+        ],
+    ]
+    table = format_rows(
+        ["run", "decisions", "grants", "MSoD denials", "separation failures"],
+        rows,
+    )
+    emit("SIM1_counterfactual", table)
+
+    per_period = format_rows(
+        ["period", "denials (enforced)", "failures (unenforced)"],
+        [
+            [stats.period, stats.msod_denials, counter.cross_duty_staff]
+            for stats, counter in zip(enforced.periods, unenforced.periods)
+        ],
+    )
+    emit("SIM1_per_period", per_period)
+
+    # The paper's purpose, quantified: zero failures under enforcement,
+    # a strictly positive failure count without it.
+    assert enforced.separation_failures == 0
+    assert unenforced.separation_failures > 0
+    assert enforced.msod_denials > 0
+    assert enforced.decisions == unenforced.decisions
+
+    def run_enforced():
+        return BankSimulation(CONFIG, ENFORCEMENT_MSOD).run()
+
+    report = benchmark.pedantic(run_enforced, rounds=2, iterations=1)
+    assert report.separation_failures == 0
+
+
+def test_sim2_tax_office_counterfactual(benchmark):
+    """Example 2 at scale: per-rule breaches prevented."""
+    from repro.simulation import (
+        RULES,
+        TaxOfficeConfig,
+        run_paired_tax_simulation,
+    )
+
+    config = TaxOfficeConfig(
+        seed=42, n_clerks=6, n_managers=8, n_processes=80,
+        misbehaviour_rate=0.3,
+    )
+    enforced, unenforced = run_paired_tax_simulation(config)
+
+    rows = [
+        [
+            rule,
+            enforced.attempted[rule],
+            enforced.denied[rule],
+            unenforced.breached[rule],
+        ]
+        for rule in RULES
+    ]
+    table = format_rows(
+        ["forbidden move", "attempts", "denied (MSoD)",
+         "breaches (no MSoD)"],
+        rows,
+    )
+    emit("SIM2_tax_office", table)
+
+    assert enforced.total_breached == 0
+    assert enforced.total_denied == enforced.total_attempted > 0
+    assert unenforced.total_breached == unenforced.total_attempted
+    assert enforced.processes_completed == config.n_processes
+    assert unenforced.processes_completed == config.n_processes
+
+    small = TaxOfficeConfig(seed=1, n_processes=20)
+
+    def run_small_office():
+        from repro.simulation import TaxOfficeSimulation
+
+        return TaxOfficeSimulation(small, enforced=True).run()
+
+    report = benchmark.pedantic(run_small_office, rounds=3, iterations=1)
+    assert report.total_breached == 0
+
+
+def test_sim1_throughput_scaling(benchmark):
+    """Full-stack decisions/second as the organisation grows."""
+    import time
+
+    rows = []
+    for n_staff in (20, 40, 80):
+        config = SimulationConfig(
+            seed=5, n_staff=n_staff, n_branches=3, n_periods=3,
+            actions_per_staff_period=3,
+        )
+        simulation = BankSimulation(config, ENFORCEMENT_MSOD)
+        started = time.perf_counter()
+        report = simulation.run()
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [n_staff, report.decisions, f"{report.decisions / elapsed:,.0f}"]
+        )
+    table = format_rows(["staff", "decisions", "decisions/s"], rows)
+    emit("SIM1_throughput", table)
+
+    small = SimulationConfig(
+        seed=5, n_staff=10, n_branches=2, n_periods=1,
+        actions_per_staff_period=2,
+    )
+
+    def run_small():
+        return BankSimulation(small, ENFORCEMENT_MSOD).run()
+
+    benchmark.pedantic(run_small, rounds=3, iterations=1)

@@ -1,0 +1,154 @@
+"""V1 — the VO / federation scenario (Sections 1, 2.1 and 6).
+
+Reproduces the multi-authority story end to end on the PERMIS stack:
+local SSD at each authority passes, partial disclosure defeats DSD, and
+MSoD catches the conflict — except behind unlinked per-session handles,
+where identity linking is required (Section 6).  Also measures CVS cost
+as the number of authorities grows.
+"""
+
+import pytest
+from conftest import emit, format_rows
+
+from repro.baselines import MSoDChecker
+from repro.core import Role
+from repro.errors import ConstraintViolationError
+from repro.permis import (
+    CredentialValidationService,
+    LdapDirectory,
+    PermisPolicyBuilder,
+    TrustStore,
+)
+from repro.rbac import SsdConstraint
+from repro.vo import RoleAuthority
+from repro.workload import (
+    CROSS_SESSION,
+    FEDERATED_LINKED,
+    FEDERATED_UNLINKED,
+    ScenarioGenerator,
+    run_comparison,
+)
+from repro.xmlpolicy import combined_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+SSD = SsdConstraint("teller-auditor", ["Teller", "Auditor"], 2)
+ALICE = "cn=alice,o=vo,c=gb"
+
+
+def build_vo(n_authorities):
+    directory = LdapDirectory()
+    trust = TrustStore()
+    builder = PermisPolicyBuilder()
+    authorities = []
+    for index in range(n_authorities):
+        authority = RoleAuthority(
+            f"auth{index}",
+            f"cn=soa{index},o=vo,c=gb",
+            f"key-{index}".encode(),
+            directory,
+            [SSD],
+        )
+        trust.trust(authority.soa_dn, authority.verification_key)
+        builder.allow_assignment(
+            authority.soa_dn, [TELLER, AUDITOR], "o=vo,c=gb"
+        )
+        authorities.append(authority)
+    policy = builder.with_msod(combined_policy_set()).build()
+    return directory, trust, policy, authorities
+
+
+def test_v1_federation_story(benchmark):
+    """The V1 narrative table: each enforcement point's verdict."""
+    directory, trust, policy, authorities = build_vo(2)
+    auth_a, auth_b = authorities
+    rows = []
+
+    auth_a.assign(ALICE, TELLER, 0, 1000)
+    rows.append(["authority A assigns Teller", "issued (local SSD ok)"])
+    try:
+        auth_a.assign(ALICE, AUDITOR, 0, 1000)
+        rows.append(["authority A assigns Auditor", "ISSUED (should not be)"])
+    except ConstraintViolationError:
+        rows.append(["authority A assigns Auditor", "refused by local SSD"])
+    auth_b.assign(ALICE, AUDITOR, 0, 1000)
+    rows.append(
+        ["authority B assigns Auditor", "issued (cross-authority blind spot)"]
+    )
+
+    cvs = CredentialValidationService(policy, trust, directory)
+    result = cvs.validate(ALICE, at=5.0)
+    rows.append(
+        ["CVS validates Alice", f"roles = {sorted(map(str, result.valid_roles))}"]
+    )
+
+    generator = ScenarioGenerator(seed=41)
+    scenarios = [generator.cross_session() for _ in range(10)]
+    (report,) = run_comparison([MSoDChecker(combined_policy_set())], scenarios)
+    rows.append(
+        [
+            "MSoD at the resource PDP",
+            f"detects {report.detection_rate(CROSS_SESSION):.0%} of "
+            "partial-disclosure conflicts",
+        ]
+    )
+    table = format_rows(["step", "outcome"], rows)
+    emit("V1_federation_story", table)
+    assert report.detection_rate(CROSS_SESSION) == 1.0
+
+    benchmark(cvs.validate, ALICE, None, 5.0)
+
+
+def test_v1_identity_linking_matrix(benchmark):
+    """Detection with/without identity linking (the Section-6 table)."""
+    generator = ScenarioGenerator(seed=42)
+    scenarios = []
+    for _ in range(15):
+        scenarios.append(generator.federated(linked=False))
+        scenarios.append(generator.federated(linked=True))
+    checkers = [
+        MSoDChecker(combined_policy_set(), name="MSoD (no linking)"),
+        MSoDChecker(
+            combined_policy_set(),
+            linker=generator.identity_linker,
+            name="MSoD + identity linking",
+        ),
+    ]
+    reports = benchmark.pedantic(
+        run_comparison, args=(checkers, scenarios), rounds=3, iterations=1
+    )
+    rows = [
+        [
+            report.checker_name,
+            f"{report.detection_rate(FEDERATED_UNLINKED):.2f}",
+            f"{report.detection_rate(FEDERATED_LINKED):.2f}",
+        ]
+        for report in reports
+    ]
+    table = format_rows(
+        ["mechanism", "Shibboleth handles (unlinked)", "Liberty aliases (linked)"],
+        rows,
+    )
+    emit("V1_identity_linking", table)
+
+    by_name = {report.checker_name: report for report in reports}
+    assert by_name["MSoD (no linking)"].detection_rate(FEDERATED_LINKED) == 0.0
+    assert (
+        by_name["MSoD + identity linking"].detection_rate(FEDERATED_LINKED)
+        == 1.0
+    )
+    # Unlinked handles defeat both (the paper's stated limitation).
+    for report in reports:
+        assert report.detection_rate(FEDERATED_UNLINKED) == 0.0
+
+
+@pytest.mark.parametrize("n_authorities", [1, 4, 16])
+def test_v1_cvs_cost_vs_authorities(benchmark, n_authorities):
+    """CVS validation cost as trusted authorities multiply."""
+    directory, trust, policy, authorities = build_vo(n_authorities)
+    for index, authority in enumerate(authorities):
+        role = TELLER if index % 2 == 0 else AUDITOR
+        authority.assign(ALICE, role, 0, 1000, enforce_local_ssd=False)
+    cvs = CredentialValidationService(policy, trust, directory)
+    result = benchmark(cvs.validate, ALICE, None, 5.0)
+    assert result.valid_roles

@@ -1,0 +1,114 @@
+"""X1 — Section 3 / Appendix A: XML policy parsing and validation.
+
+Round-trips the two policies exactly as the paper prints them, then
+measures parse/write/validate throughput as policy documents grow.
+"""
+
+import pytest
+from conftest import emit, format_rows
+
+from repro.core import MMER, ContextName, MSoDPolicy, MSoDPolicySet, Role
+from repro.xmlpolicy import (
+    BANK_POLICY_XML,
+    COMBINED_POLICY_XML,
+    TAX_REFUND_POLICY_XML,
+    parse_policy_set,
+    validate_policy_document,
+    write_policy_set,
+)
+
+
+def synthetic_policy_set(n_policies):
+    policies = []
+    for index in range(n_policies):
+        policies.append(
+            MSoDPolicy(
+                ContextName.parse(f"Dept=D{index}, Task=!"),
+                mmers=[
+                    MMER(
+                        [
+                            Role("employee", f"Role{index}A"),
+                            Role("employee", f"Role{index}B"),
+                            Role("employee", f"Role{index}C"),
+                        ],
+                        2,
+                    )
+                ],
+                policy_id=f"p{index}",
+            )
+        )
+    return MSoDPolicySet(policies)
+
+
+def test_x1_paper_policies_reproduction(benchmark):
+    """Parse the published Section-3 policies and report their contents."""
+    rows = []
+    for name, xml in (
+        ("bank cash processing", BANK_POLICY_XML),
+        ("tax refund", TAX_REFUND_POLICY_XML),
+    ):
+        policy_set = parse_policy_set(xml)
+        policy = policy_set.policies[0]
+        rows.append(
+            [
+                name,
+                str(policy.business_context),
+                str(policy.first_step or "-"),
+                str(policy.last_step or "-"),
+                len(policy.mmers),
+                len(policy.mmeps),
+                validate_policy_document(xml) == [],
+            ]
+        )
+    table = format_rows(
+        ["policy", "business context", "first step", "last step",
+         "#MMER", "#MMEP", "valid"],
+        rows,
+    )
+    emit("X1_paper_policies", table)
+    assert all(row[-1] for row in rows)
+
+    policy_set = benchmark(parse_policy_set, COMBINED_POLICY_XML)
+    assert len(policy_set) == 2
+
+
+@pytest.mark.parametrize("n_policies", [10, 100])
+def test_x1_parse_throughput(benchmark, n_policies):
+    xml = write_policy_set(synthetic_policy_set(n_policies))
+    policy_set = benchmark(parse_policy_set, xml)
+    assert len(policy_set) == n_policies
+
+
+def test_x1_write_throughput(benchmark):
+    policy_set = synthetic_policy_set(100)
+    xml = benchmark(write_policy_set, policy_set)
+    assert xml.count("<MSoDPolicy ") == 100
+
+
+def test_x1_validate_throughput(benchmark):
+    xml = write_policy_set(synthetic_policy_set(100))
+    problems = benchmark(validate_policy_document, xml)
+    assert problems == []
+
+
+def test_x1_permis_policy_round_trip(benchmark):
+    """The enclosing PERMIS XML policy (with embedded MSoD component)."""
+    from repro.core import Privilege
+    from repro.permis import (
+        PermisPolicyBuilder,
+        parse_permis_policy,
+        write_permis_policy,
+    )
+
+    builder = PermisPolicyBuilder()
+    for index in range(50):
+        role = Role("employee", f"R{index}")
+        builder.allow_assignment(
+            "cn=soa,o=org,c=gb", [role], "o=org,c=gb"
+        ).grant(role, [Privilege(f"op{index}", f"t://{index}")])
+    policy = builder.with_msod(synthetic_policy_set(20)).build()
+    xml = write_permis_policy(policy)
+
+    restored = benchmark(parse_permis_policy, xml)
+    assert len(restored.assignment_rules) == 50
+    assert len(restored.msod_policy_set) == 20

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench both *measures* (via pytest-benchmark) and *reproduces* a
+paper artefact: the reproduction tables are printed and also written to
+``benchmarks/results/<experiment>.txt`` so they survive pytest's output
+capture.  EXPERIMENTS.md records the expected shapes.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n=== {experiment} {'=' * max(1, 70 - len(experiment))}\n"
+    print(banner + text)
+    with open(
+        os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write(text.rstrip() + "\n")
+
+
+def format_rows(header: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    table = [header] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A simulated bank year: counting what MSoD actually prevents.
+
+Simulates several audit periods of a multi-branch bank on the full
+PERMIS stack — staff working in thousands of short sessions, tellers
+promoted to auditors mid-period, audits committed at each period's end —
+then replays the *identical* seeded schedule with MSoD switched off to
+count the separation-of-duty failures the mechanism prevented.
+
+Run:  python examples/bank_year_simulation.py
+"""
+
+from repro.simulation import SimulationConfig, run_paired_simulation
+
+
+def main() -> None:
+    config = SimulationConfig(
+        seed=2007,
+        n_staff=40,
+        n_branches=3,
+        n_periods=6,
+        actions_per_staff_period=4,
+        promotion_rate=0.15,
+    )
+    print(
+        f"Simulating {config.n_periods} audit periods of a "
+        f"{config.n_branches}-branch bank with {config.n_staff} staff\n"
+        f"(promotion rate {config.promotion_rate:.0%} per period; "
+        "every action is its own access-control session)...\n"
+    )
+    enforced, unenforced = run_paired_simulation(config)
+
+    print(f"{'':28s}{'MSoD enforced':>16s}{'no MSoD':>12s}")
+    print(f"{'decisions':28s}{enforced.decisions:>16,}{unenforced.decisions:>12,}")
+    print(f"{'grants':28s}{enforced.grants:>16,}{unenforced.grants:>12,}")
+    print(
+        f"{'MSoD denials':28s}{enforced.msod_denials:>16,}"
+        f"{unenforced.msod_denials:>12,}"
+    )
+    print(
+        f"{'separation failures':28s}{enforced.separation_failures:>16,}"
+        f"{unenforced.separation_failures:>12,}"
+    )
+
+    print("\nPer period (denials under enforcement vs failures without):")
+    for on, off in zip(enforced.periods, unenforced.periods):
+        bar = "#" * off.cross_duty_staff
+        print(
+            f"  P{on.period}: {on.msod_denials:3d} denials | "
+            f"{off.cross_duty_staff:2d} failures prevented {bar}"
+        )
+
+    print(
+        "\nEvery failure in the right column is a person who handled cash"
+        "\nand audited the books in the same period — exactly what the"
+        "\npaper's Example 1 policy exists to stop.  With MSoD enforced"
+        f"\nthe failure count is {enforced.separation_failures}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""PERMIS extras on top of MSoD: conditions and delegation of authority.
+
+Two PERMIS capabilities the MSoD paper inherits from its host
+infrastructure: IF-conditions on target-access rules (Section 4.1's
+environmental/contextual inputs) and delegation-of-authority chains.
+Both compose with MSoD — a delegated teller is still a teller for the
+retained ADI.
+
+Run:  python examples/conditions_and_delegation.py
+"""
+
+from repro.core import ContextName, Privilege, Role
+from repro.permis import (
+    AttributeCredential,
+    CredentialValidationService,
+    EnvEquals,
+    LdapDirectory,
+    PermisPDP,
+    PermisPolicyBuilder,
+    PrivilegeAllocator,
+    TimeWindow,
+    TrustStore,
+    sign_credential,
+)
+from repro.xmlpolicy import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+HANDLE_CASH = Privilege("handleCash", "till://main")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://main")
+
+SOA_DN = "cn=SOA,o=bank,c=gb"
+MANAGER_DN = "cn=manager,o=bank,c=gb"
+TEMP_DN = "cn=temp-worker,o=bank,c=gb"
+CTX = ContextName.parse("Branch=York, Period=2006")
+
+NINE_AM = 9 * 3600.0
+FIVE_PM = 17 * 3600.0
+MANAGER_KEY = b"manager-signing-key"
+
+
+def verdict(decision):
+    return f"{decision.effect.upper()}" + (
+        f" — {decision.reason}" if decision.denied else ""
+    )
+
+
+def main() -> None:
+    directory = LdapDirectory()
+    soa = PrivilegeAllocator(SOA_DN, b"soa-key", directory)
+    trust = TrustStore()
+    trust.trust(soa.soa_dn, soa.verification_key)
+    # The branch manager's verification key is published in the
+    # directory, standing in for their PKI certificate.
+    directory.ensure_entry(MANAGER_DN).add_value(
+        CredentialValidationService.SUBJECT_KEY_ATTRIBUTE, MANAGER_KEY
+    )
+
+    policy = (
+        PermisPolicyBuilder()
+        # Tellers may handle cash only during opening hours, and only
+        # from a registered till terminal.
+        .grant(
+            TELLER,
+            [HANDLE_CASH],
+            condition=TimeWindow(NINE_AM, FIVE_PM)
+            & EnvEquals("terminal", "till-3"),
+        )
+        .grant(AUDITOR, [AUDIT_BOOKS])
+        # The SOA may assign both roles and allow one delegation step.
+        .allow_assignment(
+            SOA_DN, [TELLER, AUDITOR], "o=bank,c=gb", max_delegation_depth=1
+        )
+        .with_msod(bank_policy_set())
+        .build()
+    )
+    pdp = PermisPDP(policy, trust, directory)
+
+    print("1. The SOA empowers the branch manager (teller + auditor):")
+    manager_cred = soa.issue(MANAGER_DN, [TELLER, AUDITOR], 0, 1e9)
+    print("   credential issued and published.")
+
+    print("\n2. The manager DELEGATES the teller role to a temp worker")
+    print("   (a chain the CVS validates back to the SOA):")
+    delegated = sign_credential(
+        AttributeCredential(TEMP_DN, MANAGER_DN, (TELLER,), 0, 1e9),
+        MANAGER_KEY,
+    )
+    chain_result = pdp.cvs.validate_delegation_chain(
+        TEMP_DN, [manager_cred, delegated], at=NINE_AM
+    )
+    print(f"   delegated roles: {sorted(map(str, chain_result.valid_roles))}")
+
+    print("\n3. The temp worker handles cash — conditions apply:")
+    for label, environment, at in (
+        ("during opening hours, till-3", {"terminal": "till-3"}, NINE_AM + 60),
+        ("after hours, till-3", {"terminal": "till-3"}, FIVE_PM + 3600),
+        ("opening hours, unregistered till", {"terminal": "till-9"}, NINE_AM + 60),
+    ):
+        decision = pdp.decision(
+            TEMP_DN,
+            "handleCash",
+            "till://main",
+            CTX,
+            roles=chain_result.valid_roles,
+            environment=environment,
+            at=at,
+        )
+        print(f"   {label}: {verdict(decision)}")
+
+    print("\n4. MSoD still sees through delegation: having acted as a")
+    print("   (delegated) teller, the temp worker may not audit this period")
+    print("   even if someone hands them an auditor credential:")
+    soa.issue(TEMP_DN, [AUDITOR], 0, 1e9)
+    decision = pdp.decision(
+        TEMP_DN, "auditBooks", "ledger://main", CTX, at=NINE_AM + 7200
+    )
+    print(f"   audit attempt: {verdict(decision)}")
+
+    print("\n5. An over-reaching delegation is rejected by the CVS:")
+    escalated = sign_credential(
+        AttributeCredential(TEMP_DN, MANAGER_DN, (TELLER, AUDITOR), 0, 1e9),
+        MANAGER_KEY,
+    )
+    tellers_only = soa.issue(MANAGER_DN, [TELLER], 0, 1e9, publish=False)
+    result = pdp.cvs.validate_delegation_chain(
+        TEMP_DN, [tellers_only, escalated], at=NINE_AM
+    )
+    print(f"   {result.rejections[0].reason}")
+
+
+if __name__ == "__main__":
+    main()

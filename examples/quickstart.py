@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: define an MSoD policy and watch it deny a multi-session
+conflict that ANSI SSD/DSD cannot see.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MMER,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Role,
+)
+from repro.core import Step
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+
+def main() -> None:
+    # Paper Example 1: no one may act as both Teller and Auditor within
+    # the same audit period, across all branches of the bank.
+    policy = MSoDPolicy(
+        business_context=ContextName.parse("Branch=*, Period=!"),
+        mmers=[MMER([TELLER, AUDITOR], forbidden_cardinality=2)],
+        last_step=Step("CommitAudit", "http://audit.location.com/audit"),
+        policy_id="bank-cash-processing",
+    )
+    engine = MSoDEngine(MSoDPolicySet([policy]), InMemoryRetainedADIStore())
+
+    def ask(user, role, operation, target, context, at):
+        decision = engine.check(
+            DecisionRequest(
+                user_id=user,
+                roles=(role,),
+                operation=operation,
+                target=target,
+                context_instance=ContextName.parse(context),
+                timestamp=at,
+            )
+        )
+        print(f"  t={at:>4}: {decision}")
+        return decision
+
+    print("Session 1 — Alice works as a teller in York:")
+    ask("alice", TELLER, "handleCash", "till://york/1",
+        "Branch=York, Period=2006", 1.0)
+
+    print("\nSession 2, months later — Alice (now an auditor) tries to")
+    print("audit the *Leeds* branch in the same period:")
+    ask("alice", AUDITOR, "auditBooks", "ledger://leeds",
+        "Branch=Leeds, Period=2006", 200.0)
+
+    print("\nSame request in the *next* audit period (a new context instance):")
+    ask("alice", AUDITOR, "auditBooks", "ledger://leeds",
+        "Branch=Leeds, Period=2007", 400.0)
+
+    print("\nBob commits the 2006 audit — the policy's last step — which")
+    print("terminates the context instance and flushes its history:")
+    ask("bob", AUDITOR, "CommitAudit", "http://audit.location.com/audit",
+        "Branch=York, Period=2006", 500.0)
+    remaining_2006 = len(engine.store.find(
+        ContextName.parse("Branch=*, Period=2006").instantiate(
+            ContextName.parse("Branch=York, Period=2006")
+        )
+    ))
+    print(f"\n  retained-ADI records left for Period=2006: {remaining_2006}")
+    print(f"  total records (Period=2007 is still open): {engine.store.count()}")
+
+
+if __name__ == "__main__":
+    main()

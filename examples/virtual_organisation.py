@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""A multi-authority virtual organisation (Sections 1, 2.1 and 6).
+
+Two independent authorities each assign one of a pair of conflicting
+roles to the same person.  Each authority's local SSD check passes (it
+cannot see the other's assignment), per-session DSD never fires (the
+roles are activated in different sessions) — but MSoD catches the
+conflict at decision time.  The script then reproduces the Section-6
+federation limitation: per-session Shibboleth handles defeat MSoD until
+Liberty-style identity linking is configured.
+
+Run:  python examples/virtual_organisation.py
+"""
+
+from repro.core import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    Role,
+)
+from repro.errors import ConstraintViolationError
+from repro.permis import (
+    CredentialValidationService,
+    LdapDirectory,
+    PermisPolicyBuilder,
+    TrustStore,
+)
+from repro.rbac import SsdConstraint
+from repro.vo import (
+    IdentityLinker,
+    LibertyAliasService,
+    RoleAuthority,
+    ShibbolethIdP,
+)
+from repro.xmlpolicy import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+ALICE = "cn=alice,o=vo,c=gb"
+SSD = SsdConstraint("teller-auditor", ["Teller", "Auditor"], 2)
+CTX = ContextName.parse("Branch=York, Period=2006")
+
+
+def check(engine, identity, role, operation, target, at):
+    decision = engine.check(
+        DecisionRequest(
+            user_id=identity,
+            roles=(role,),
+            operation=operation,
+            target=target,
+            context_instance=CTX,
+            timestamp=at,
+        )
+    )
+    print(f"    as {identity!r}: {decision.effect.upper()}"
+          + (f" — {decision.reason}" if decision.denied else ""))
+    return decision
+
+
+def main() -> None:
+    directory = LdapDirectory()
+    auth_a = RoleAuthority(
+        "authorityA", "cn=soaA,o=vo,c=gb", b"key-a", directory, [SSD]
+    )
+    auth_b = RoleAuthority(
+        "authorityB", "cn=soaB,o=vo,c=gb", b"key-b", directory, [SSD]
+    )
+
+    print("Step 1 — authority A assigns Alice the Teller role:")
+    auth_a.assign(ALICE, TELLER, 0, 1000)
+    print("    issued (local SSD satisfied: A sees only Teller)")
+
+    print("\nStep 2 — authority A refuses to also make her an Auditor:")
+    try:
+        auth_a.assign(ALICE, AUDITOR, 0, 1000)
+    except ConstraintViolationError as exc:
+        print(f"    refused: {exc}")
+
+    print("\nStep 3 — but authority B, which knows nothing of A's")
+    print("assignments, happily issues the Auditor credential:")
+    auth_b.assign(ALICE, AUDITOR, 0, 1000)
+    print("    issued (local SSD satisfied: B sees only Auditor)")
+
+    print("\nStep 4 — the resource's CVS validates both credentials:")
+    trust = TrustStore()
+    trust.trust(auth_a.soa_dn, auth_a.verification_key)
+    trust.trust(auth_b.soa_dn, auth_b.verification_key)
+    policy = (
+        PermisPolicyBuilder()
+        .allow_assignment(auth_a.soa_dn, [TELLER, AUDITOR], "o=vo,c=gb")
+        .allow_assignment(auth_b.soa_dn, [TELLER, AUDITOR], "o=vo,c=gb")
+        .with_msod(bank_policy_set())
+        .build()
+    )
+    cvs = CredentialValidationService(policy, trust, directory)
+    result = cvs.validate(ALICE, at=5.0)
+    print(f"    valid roles for Alice: {sorted(map(str, result.valid_roles))}")
+
+    print("\nStep 5 — Alice discloses one role per session.  MSoD links her")
+    print("sessions by user ID and denies the second conflicting duty:")
+    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    check(engine, ALICE, TELLER, "handleCash", "till://1", 1.0)
+    check(engine, ALICE, AUDITOR, "auditBooks", "ledger://1", 2.0)
+
+    print("\n--- The Section-6 federation limitation ----------------------")
+    print("With a Shibboleth IdP issuing a fresh handle per session, the")
+    print("PDP cannot join the sessions:")
+    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    idp = ShibbolethIdP("vo-idp")
+    check(engine, idp.new_session("alice"), TELLER, "handleCash", "till://1", 1.0)
+    check(engine, idp.new_session("alice"), AUDITOR, "auditBooks", "ledger://1", 2.0)
+    print("    → the conflict went UNDETECTED (the paper's stated limit).")
+
+    print("\nWith Liberty pairwise aliases linked to a local identity, the")
+    print("PDP keys its retained ADI on the resolved local ID:")
+    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    aliases = LibertyAliasService()
+    linker = IdentityLinker()
+    alias_1 = aliases.alias_for("alice", "sp-cash")
+    alias_2 = aliases.alias_for("alice", "sp-audit")
+    linker.link(alias_1, "alice@local")
+    linker.link(alias_2, "alice@local")
+    check(engine, linker.resolve(alias_1), TELLER, "handleCash", "till://1", 1.0)
+    check(engine, linker.resolve(alias_2), AUDITOR, "auditBooks", "ledger://1", 2.0)
+    print("    → identity linking restores MSoD enforcement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of "Multi-session Separation of Duties (MSoD)
+for RBAC" (Chadwick, Xu, Otenko, Laborde, Nasser — ICDE 2007).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: business contexts,
+  MMER/MMEP constraints, MSoD policies, the retained ADI and the
+  Section 4.2 enforcement engine.
+* :mod:`repro.rbac` — an ANSI INCITS 359-2004 RBAC substrate (core,
+  hierarchical, SSD and DSD RBAC with review functions).
+* :mod:`repro.xmlpolicy` — the Appendix-A XML policy language.
+* :mod:`repro.framework` — the ISO 10181-3 PEP/PDP access-control
+  framework with retained ADI.
+* :mod:`repro.permis` — a PERMIS-like privilege management
+  infrastructure: credentials, directory, privilege allocation, CVS and
+  PDP (Section 5).
+* :mod:`repro.audit` — the secure audit trail and retained-ADI recovery.
+* :mod:`repro.vo` — multi-authority virtual-organisation simulation
+  (partial role disclosure, Shibboleth handles, Liberty identity
+  linking).
+* :mod:`repro.workflow` — a workflow engine driving the tax-refund
+  example.
+* :mod:`repro.baselines` — comparators: ANSI SSD/DSD, Crampton
+  anti-roles, Bertino workflow authorization, Sandhu transaction control
+  expressions.
+* :mod:`repro.workload` — seeded synthetic workload generators for the
+  benchmark harness.
+"""
+
+from repro.core import (
+    MMEP,
+    MMER,
+    ContextName,
+    Decision,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Privilege,
+    Role,
+    SQLiteRetainedADIStore,
+    Step,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ContextName",
+    "Role",
+    "Privilege",
+    "MMER",
+    "MMEP",
+    "MSoDPolicy",
+    "MSoDPolicySet",
+    "Step",
+    "MSoDEngine",
+    "InMemoryRetainedADIStore",
+    "SQLiteRetainedADIStore",
+    "Decision",
+    "DecisionRequest",
+]

@@ -1,0 +1,29 @@
+"""Secure audit trail and retained-ADI recovery (Section 5.2, ref [5])."""
+
+from repro.audit.recovery import (
+    RecoveryReport,
+    decision_event_payload,
+    recover_retained_adi,
+)
+from repro.audit.trail import (
+    EVENT_ADMIN,
+    EVENT_DECISION,
+    EVENT_PURGE,
+    GENESIS_HASH,
+    AuditEvent,
+    AuditTrailManager,
+    SecureAuditTrail,
+)
+
+__all__ = [
+    "SecureAuditTrail",
+    "AuditTrailManager",
+    "AuditEvent",
+    "GENESIS_HASH",
+    "EVENT_DECISION",
+    "EVENT_PURGE",
+    "EVENT_ADMIN",
+    "decision_event_payload",
+    "recover_retained_adi",
+    "RecoveryReport",
+]

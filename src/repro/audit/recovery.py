@@ -1,0 +1,107 @@
+"""Retained-ADI recovery from secure audit trails (paper Section 5.2).
+
+"At start up, the PDP reads in its policy, and then processes the last
+*n* audit trails starting from time *t* ... It extracts the retained ADI
+from these according to its current set of MSoD policies.  Once its
+retained ADI is recovered to memory, the PDP is ready to start making
+access control decisions again."
+
+The paper flags this replay as its scalability limitation (Section 6);
+``benchmarks/bench_recovery_scalability.py`` measures it against the
+SQLite store that needs no replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import ContextName
+from repro.core.decision import Decision, Effect
+from repro.core.policy import MSoDPolicySet
+from repro.core.retained_adi import RetainedADIRecord, RetainedADIStore
+from repro.audit.trail import (
+    EVENT_DECISION,
+    EVENT_PURGE,
+    AuditTrailManager,
+)
+
+
+def decision_event_payload(decision: Decision) -> dict:
+    """Serialise a decision (and its ADI mutation) for the audit trail."""
+    request = decision.request
+    return {
+        "effect": decision.effect,
+        "reason": decision.reason,
+        "request": {
+            "user_id": request.user_id,
+            "roles": [[role.role_type, role.value] for role in request.roles],
+            "operation": request.operation,
+            "target": request.target,
+            "context_instance": str(request.context_instance),
+            "request_id": request.request_id,
+            "timestamp": request.timestamp,
+        },
+        "matched_policies": list(decision.matched_policy_ids),
+        "adi_adds": [record.to_dict() for record in decision.adi_adds],
+        "adi_purges": [str(context) for context in decision.adi_purged_contexts],
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """Statistics from one recovery run."""
+
+    events_scanned: int
+    records_replayed: int
+    records_skipped: int
+    purges_replayed: int
+
+    @property
+    def recovered(self) -> int:
+        return self.records_replayed
+
+
+def recover_retained_adi(
+    trails: AuditTrailManager,
+    policy_set: MSoDPolicySet,
+    store: RetainedADIStore,
+    last_n_trails: int | None = None,
+    since: float = 0.0,
+) -> RecoveryReport:
+    """Rebuild a retained-ADI store by replaying granted decisions.
+
+    Only records whose business-context instance is still matched by the
+    *current* policy set are recovered ("according to its current set of
+    MSoD policies"); purge events replay unconditionally so contexts
+    terminated before the restart stay terminated.
+    """
+    events_scanned = 0
+    replayed = 0
+    skipped = 0
+    purges = 0
+    for event in trails.events(last_n_trails=last_n_trails, since=since):
+        events_scanned += 1
+        if event.event_type == EVENT_DECISION:
+            payload = event.payload
+            if payload.get("effect") != Effect.GRANT:
+                continue
+            for context_text in payload.get("adi_purges", ()):
+                store.purge_context(ContextName.parse(context_text))
+                purges += 1
+            for record_dict in payload.get("adi_adds", ()):
+                record = RetainedADIRecord.from_dict(record_dict)
+                if policy_set.is_relevant(record.context_instance):
+                    store.add(record)
+                    replayed += 1
+                else:
+                    skipped += 1
+        elif event.event_type == EVENT_PURGE:
+            context = ContextName.parse(event.payload["context"])
+            store.purge_context(context)
+            purges += 1
+    return RecoveryReport(
+        events_scanned=events_scanned,
+        records_replayed=replayed,
+        records_skipped=skipped,
+        purges_replayed=purges,
+    )

@@ -1,0 +1,307 @@
+"""A tamper-evident secure audit trail (paper Section 5.2, reference [5]).
+
+The paper logs every PDP request/response in "a cryptographically
+protected log of events in stable storage" (a PKI-based secure audit web
+service).  We reproduce its tamper-evidence with stdlib primitives:
+
+* each trail is an append-only JSONL file;
+* record *i* carries ``hash_i = SHA-256(hash_{i-1} || canonical payload)``
+  (a hash chain, so any modification, insertion, deletion or reordering
+  breaks verification from that point on);
+* each record additionally carries ``tag_i = HMAC-SHA256(key, hash_i)``,
+  standing in for the per-record digital signature of the PKI service —
+  an attacker without the trail key cannot re-seal a forged chain.
+
+The substitution (HMAC for PKI signatures) preserves the property the
+MSoD implementation relies on: recovered retained ADI comes from a log
+that cannot be silently altered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AuditTrailError
+
+GENESIS_HASH = "0" * 64
+
+#: Event types written by the PERMIS PDP.
+EVENT_DECISION = "decision"
+EVENT_PURGE = "purge"
+EVENT_ADMIN = "admin"
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _chain_hash(prev_hash: str, payload: dict) -> str:
+    digest = hashlib.sha256()
+    digest.update(prev_hash.encode())
+    digest.update(_canonical(payload))
+    return digest.hexdigest()
+
+
+def _seal(key: bytes, record_hash: str) -> str:
+    return hmac.new(key, record_hash.encode(), hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class AuditEvent:
+    """One verified event read back from a trail."""
+
+    seq: int
+    timestamp: float
+    event_type: str
+    payload: dict
+
+
+class SecureAuditTrail:
+    """One append-only, hash-chained, HMAC-sealed trail file.
+
+    A hash chain alone cannot detect *truncation* — removing the final
+    records leaves a shorter but internally consistent chain.  Each
+    append therefore also rewrites a sealed checkpoint sidecar
+    (``<path>.chk``) recording the expected record count and chain tip;
+    verification compares the replayed chain against it.
+    """
+
+    def __init__(self, path: str, key: bytes) -> None:
+        if not key:
+            raise AuditTrailError("audit trail key must be non-empty")
+        self._path = path
+        self._key = key
+        self._last_hash = GENESIS_HASH
+        self._next_seq = 0
+        if os.path.exists(path):
+            # Re-open an existing trail: verify and pick up the chain tip.
+            for _ in self.verify_and_read():
+                pass
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def record_count(self) -> int:
+        return self._next_seq
+
+    # ------------------------------------------------------------------
+    def append(self, event_type: str, timestamp: float, payload: dict) -> int:
+        """Append one event; returns its sequence number."""
+        body = {
+            "seq": self._next_seq,
+            "ts": timestamp,
+            "type": event_type,
+            "payload": payload,
+        }
+        record_hash = _chain_hash(self._last_hash, body)
+        line = dict(body, hash=record_hash, tag=_seal(self._key, record_hash))
+        try:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(line, sort_keys=True))
+                handle.write("\n")
+        except OSError as exc:
+            raise AuditTrailError(f"cannot append to {self._path!r}: {exc}") from exc
+        self._last_hash = record_hash
+        self._next_seq += 1
+        self._write_checkpoint()
+        return body["seq"]
+
+    # ------------------------------------------------------------------
+    @property
+    def _checkpoint_path(self) -> str:
+        return self._path + ".chk"
+
+    def _checkpoint_tag(self, count: int, last_hash: str) -> str:
+        return _seal(self._key, f"{count}|{last_hash}")
+
+    def _write_checkpoint(self) -> None:
+        checkpoint = {
+            "count": self._next_seq,
+            "last_hash": self._last_hash,
+            "tag": self._checkpoint_tag(self._next_seq, self._last_hash),
+        }
+        try:
+            with open(self._checkpoint_path, "w", encoding="utf-8") as handle:
+                json.dump(checkpoint, handle)
+        except OSError as exc:
+            raise AuditTrailError(
+                f"cannot write checkpoint {self._checkpoint_path!r}: {exc}"
+            ) from exc
+
+    def _verify_checkpoint(self, count: int, last_hash: str) -> None:
+        """Detect truncation (or checkpoint tampering) after a replay."""
+        if not os.path.exists(self._checkpoint_path):
+            if count:
+                raise AuditTrailError(
+                    f"{self._path}: checkpoint file missing for a non-empty "
+                    "trail (possible truncation)"
+                )
+            return
+        try:
+            with open(self._checkpoint_path, "r", encoding="utf-8") as handle:
+                checkpoint = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AuditTrailError(
+                f"{self._path}: unreadable checkpoint: {exc}"
+            ) from exc
+        expected_tag = self._checkpoint_tag(
+            checkpoint.get("count", -1), checkpoint.get("last_hash", "")
+        )
+        if not hmac.compare_digest(checkpoint.get("tag", ""), expected_tag):
+            raise AuditTrailError(f"{self._path}: checkpoint seal invalid")
+        if checkpoint["count"] != count or checkpoint["last_hash"] != last_hash:
+            raise AuditTrailError(
+                f"{self._path}: trail does not match its checkpoint "
+                f"(expected {checkpoint['count']} records, found {count}; "
+                "possible truncation)"
+            )
+
+    # ------------------------------------------------------------------
+    def verify_and_read(self) -> Iterator[AuditEvent]:
+        """Yield every event, verifying the chain and seals as it goes.
+
+        Raises :class:`~repro.errors.AuditTrailError` at the first record
+        whose hash chain or HMAC seal does not verify.  Also updates the
+        in-memory chain tip so :meth:`append` continues the chain.
+        """
+        if not os.path.exists(self._path):
+            self._verify_checkpoint(0, GENESIS_HASH)
+            return
+        prev_hash = GENESIS_HASH
+        expected_seq = 0
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise AuditTrailError(
+                        f"{self._path}:{line_no}: corrupt JSON"
+                    ) from exc
+                body = {
+                    "seq": record.get("seq"),
+                    "ts": record.get("ts"),
+                    "type": record.get("type"),
+                    "payload": record.get("payload"),
+                }
+                if body["seq"] != expected_seq:
+                    raise AuditTrailError(
+                        f"{self._path}:{line_no}: sequence break "
+                        f"(expected {expected_seq}, got {body['seq']})"
+                    )
+                record_hash = _chain_hash(prev_hash, body)
+                if record.get("hash") != record_hash:
+                    raise AuditTrailError(
+                        f"{self._path}:{line_no}: hash chain broken"
+                    )
+                if not hmac.compare_digest(
+                    record.get("tag", ""), _seal(self._key, record_hash)
+                ):
+                    raise AuditTrailError(
+                        f"{self._path}:{line_no}: HMAC seal invalid"
+                    )
+                prev_hash = record_hash
+                expected_seq += 1
+                yield AuditEvent(
+                    seq=body["seq"],
+                    timestamp=body["ts"],
+                    event_type=body["type"],
+                    payload=body["payload"],
+                )
+        self._verify_checkpoint(expected_seq, prev_hash)
+        self._last_hash = prev_hash
+        self._next_seq = expected_seq
+
+    def verify(self) -> int:
+        """Verify the whole trail; return the number of valid records."""
+        count = 0
+        for _ in self.verify_and_read():
+            count += 1
+        return count
+
+
+class AuditTrailManager:
+    """A directory of rotated trails, as processed at PDP start-up.
+
+    Section 5.2: "the PDP ... processes the last *n* audit trails
+    starting from time *t* (where *t* and *n* are administrative
+    parameters)".  The manager rotates the active trail after
+    ``max_records`` events and can list/select trails for recovery.
+    """
+
+    def __init__(self, directory: str, key: bytes, max_records: int = 10_000) -> None:
+        if max_records < 1:
+            raise AuditTrailError("max_records must be >= 1")
+        os.makedirs(directory, exist_ok=True)
+        self._directory = directory
+        self._key = key
+        self._max_records = max_records
+        self._active: SecureAuditTrail | None = None
+        existing = self.trail_paths()
+        if existing:
+            self._active = SecureAuditTrail(existing[-1], key)
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def trail_paths(self) -> list[str]:
+        """All trail files, oldest first (lexicographic index order)."""
+        names = sorted(
+            name
+            for name in os.listdir(self._directory)
+            if name.startswith("audit-") and name.endswith(".log")
+        )
+        return [os.path.join(self._directory, name) for name in names]
+
+    def _new_trail(self) -> SecureAuditTrail:
+        index = len(self.trail_paths())
+        path = os.path.join(self._directory, f"audit-{index:06d}.log")
+        return SecureAuditTrail(path, self._key)
+
+    def append(self, event_type: str, timestamp: float, payload: dict) -> None:
+        """Append to the active trail, rotating when it is full."""
+        if self._active is None or self._active.record_count >= self._max_records:
+            self._active = self._new_trail()
+        self._active.append(event_type, timestamp, payload)
+
+    def last_trails(self, n: int) -> list[SecureAuditTrail]:
+        """The last ``n`` trails (or all of them when fewer exist)."""
+        if n < 0:
+            raise AuditTrailError("n must be >= 0")
+        return [
+            SecureAuditTrail(path, self._key) for path in self.trail_paths()[-n:]
+        ] if n else []
+
+    def verify_all(self) -> int:
+        """Verify every trail in the directory; return total records.
+
+        Raises :class:`~repro.errors.AuditTrailError` at the first trail
+        that fails its hash chain, seals or checkpoint.
+        """
+        total = 0
+        for path in self.trail_paths():
+            total += SecureAuditTrail(path, self._key).verify()
+        return total
+
+    def events(
+        self, last_n_trails: int | None = None, since: float = 0.0
+    ) -> Iterator[AuditEvent]:
+        """Verified events from the last *n* trails, from time *t* on."""
+        paths = self.trail_paths()
+        if last_n_trails is not None:
+            paths = paths[-last_n_trails:] if last_n_trails else []
+        for path in paths:
+            trail = SecureAuditTrail(path, self._key)
+            for event in trail.verify_and_read():
+                if event.timestamp >= since:
+                    yield event

@@ -1,0 +1,46 @@
+"""Comparator SoD mechanisms from the paper's related-work section.
+
+Every baseline the paper positions MSoD against is implemented behind
+one interface (:class:`~repro.baselines.base.SoDChecker`) so the
+detection-rate bench can run them over identical workloads:
+
+* :class:`~repro.baselines.ansi.AnsiSsdChecker` — ANSI SSD at
+  assignment time (per-authority or omniscient view);
+* :class:`~repro.baselines.ansi.AnsiDsdChecker` — ANSI DSD at
+  activation time;
+* :class:`~repro.baselines.anti_role.AntiRoleChecker` — Crampton's
+  anti-roles with periodic purge [18];
+* :class:`~repro.baselines.bertino.BertinoWorkflowChecker` — Bertino et
+  al.'s pre-computed workflow assignments [12];
+* :class:`~repro.baselines.sandhu.SandhuTCEChecker` — Sandhu's
+  transaction control expressions [4];
+* :class:`~repro.baselines.msod_checker.MSoDChecker` — the paper's own
+  mechanism, in the same harness.
+"""
+
+from repro.baselines.ansi import AnsiDsdChecker, AnsiSsdChecker
+from repro.baselines.anti_role import AntiRoleChecker
+from repro.baselines.base import SoDChecker
+from repro.baselines.bertino import BertinoWorkflowChecker, TaskConstraint
+from repro.baselines.gligor import HistoryDSoDChecker, OperationalDSoDChecker
+from repro.baselines.msod_checker import MSoDChecker
+from repro.baselines.sandhu import (
+    SandhuTCEChecker,
+    TCEStep,
+    TransactionControlExpression,
+)
+
+__all__ = [
+    "SoDChecker",
+    "AnsiSsdChecker",
+    "AnsiDsdChecker",
+    "AntiRoleChecker",
+    "BertinoWorkflowChecker",
+    "OperationalDSoDChecker",
+    "HistoryDSoDChecker",
+    "TaskConstraint",
+    "SandhuTCEChecker",
+    "TCEStep",
+    "TransactionControlExpression",
+    "MSoDChecker",
+]

@@ -1,0 +1,80 @@
+"""The ANSI RBAC baselines: SSD at assignment, DSD at activation.
+
+These are the two standard enforcement points (paper Section 2.1) whose
+blind spots motivate MSoD:
+
+* :class:`AnsiSsdChecker` blocks a role *assignment* that would give a
+  user two conflicting roles — but each authority only sees its own
+  assignments, so cross-authority conflicts pass (Section 1).  The
+  ``global_view`` flag models a hypothetical omniscient administrator
+  for ablation.
+* :class:`AnsiDsdChecker` blocks a role *activation* that would make
+  conflicting roles simultaneously active in one session — conflicts
+  spread over different sessions never trigger it (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.base import SoDChecker
+from repro.rbac.constraints import SoDSet
+from repro.workload.events import STEP_ACCESS, STEP_ACTIVATE, STEP_ASSIGN, Step
+
+
+class AnsiSsdChecker(SoDChecker):
+    """Assignment-time SSD with per-authority (or global) visibility."""
+
+    def __init__(self, ssd_sets: Iterable[SoDSet], global_view: bool = False) -> None:
+        self._ssd = tuple(ssd_sets)
+        self._global_view = global_view
+        self.name = "ANSI SSD (global)" if global_view else "ANSI SSD"
+        # (visibility key, user) -> assigned role values
+        self._assigned: dict[tuple[str, str], set[str]] = {}
+
+    def reset(self) -> None:
+        self._assigned.clear()
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind != STEP_ASSIGN:
+            return False, ""
+        view = "*" if self._global_view else step.authority
+        key = (view, step.user_id)
+        assigned = self._assigned.setdefault(key, set())
+        prospective = assigned | {role.value for role in step.roles}
+        for constraint in self._ssd:
+            if constraint.violated_by(prospective):
+                return True, (
+                    f"SSD set {constraint.name!r} violated for {step.user_id!r} "
+                    f"as seen by {view!r}"
+                )
+        assigned.update(role.value for role in step.roles)
+        return False, ""
+
+
+class AnsiDsdChecker(SoDChecker):
+    """Activation-time DSD over each session's active role set."""
+
+    name = "ANSI DSD"
+
+    def __init__(self, dsd_sets: Iterable[SoDSet]) -> None:
+        self._dsd = tuple(dsd_sets)
+        self._active: dict[str, set[str]] = {}  # session -> active role values
+
+    def reset(self) -> None:
+        self._active.clear()
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind not in (STEP_ACTIVATE, STEP_ACCESS):
+            return False, ""
+        # Using a role in an access implies it is active in the session.
+        active = self._active.setdefault(step.session_id, set())
+        prospective = active | {role.value for role in step.roles}
+        for constraint in self._dsd:
+            if constraint.violated_by(prospective):
+                return True, (
+                    f"DSD set {constraint.name!r} violated in session "
+                    f"{step.session_id!r}"
+                )
+        active.update(role.value for role in step.roles)
+        return False, ""

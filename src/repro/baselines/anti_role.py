@@ -1,0 +1,69 @@
+"""Crampton's anti-role baseline (paper Section 6, reference [18]).
+
+"Crampton proposes to enforce SoD via an anti-role.  As a role is
+associated with a set of permissions, an anti-role is associated with a
+set of prohibitions that constitute a blacklist for each user.  Crampton
+proposes that implementations should periodically purge the assignments
+of sanitized permissions, thus deleting the anti-role effect."
+
+The checker reproduces both halves of the paper's critique:
+
+* prohibitions are *context-blind* — a user who legitimately performs
+  conflicting duties in two different business-context instances is
+  wrongly blocked (false positives on benign cross-instance work);
+* the periodic purge erases history wholesale, so conflicts that span a
+  purge boundary are missed — unlike MSoD, whose retained ADI is purged
+  per business context exactly when the context terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.base import SoDChecker
+from repro.core.constraints import Role
+from repro.workload.events import STEP_ACCESS, Step
+
+
+class AntiRoleChecker(SoDChecker):
+    """Blacklist-based SoD with periodic wholesale purging."""
+
+    def __init__(
+        self,
+        conflicting_role_sets: Iterable[frozenset[Role]],
+        purge_every: int | None = None,
+    ) -> None:
+        self._conflict_sets = tuple(frozenset(s) for s in conflicting_role_sets)
+        self._purge_every = purge_every
+        suffix = f", purge every {purge_every}" if purge_every else ""
+        self.name = f"Anti-role{suffix}"
+        self._prohibitions: dict[str, set[Role]] = {}  # presented id -> roles
+        self._steps_seen = 0
+
+    def reset(self) -> None:
+        self._prohibitions.clear()
+        self._steps_seen = 0
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind != STEP_ACCESS:
+            return False, ""
+        self._steps_seen += 1
+        if self._purge_every and self._steps_seen % self._purge_every == 0:
+            # Periodic sanitisation deletes every anti-role assignment.
+            self._prohibitions.clear()
+        prohibited = self._prohibitions.get(step.presented_id, set())
+        for role in step.roles:
+            if role in prohibited:
+                return True, (
+                    f"anti-role prohibition: {step.presented_id!r} is "
+                    f"blacklisted for {role}"
+                )
+        # Exercising a conflicting role blacklists its counterparts.
+        for conflict_set in self._conflict_sets:
+            used = conflict_set & set(step.roles)
+            if used:
+                blacklist = self._prohibitions.setdefault(
+                    step.presented_id, set()
+                )
+                blacklist.update(conflict_set - used)
+        return False, ""

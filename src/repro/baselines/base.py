@@ -1,0 +1,38 @@
+"""The common interface every SoD mechanism implements for comparison.
+
+A checker consumes scenario steps in order and may *block* one of them;
+a blocked step means the mechanism prevented the (attempted) violation.
+Checkers are stateful across scenarios — exactly like a live system —
+so the workload generator isolates scenarios through fresh users,
+sessions and context instances.
+"""
+
+from __future__ import annotations
+
+from repro.workload.events import Scenario, ScenarioOutcome, Step
+
+
+class SoDChecker:
+    """Base class: runs scenarios step by step until a block."""
+
+    name = "abstract"
+
+    def reset(self) -> None:
+        """Drop all accumulated state."""
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        """Return ``(blocked, reason)`` for one step."""
+        raise NotImplementedError
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioOutcome:
+        """Process steps in order; stop at the first blocked step."""
+        for index, step in enumerate(scenario.steps):
+            blocked, reason = self.process_step(step)
+            if blocked:
+                return ScenarioOutcome(
+                    scenario=scenario,
+                    blocked=True,
+                    blocked_step=index,
+                    reason=reason,
+                )
+        return ScenarioOutcome(scenario=scenario, blocked=False)

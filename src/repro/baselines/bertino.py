@@ -1,0 +1,105 @@
+"""Bertino et al.'s workflow authorization baseline (Section 6, ref [12]).
+
+Bertino, Ferrari and Atluri enforce SoD in workflow management systems
+by computing, *before the workflow starts*, the set of role and user
+assignments per task that satisfy all constraints, and checking each
+activation against it.  The paper's critique, which this checker
+reproduces structurally:
+
+* "the solution is based on a central authority that knows all the
+  users, roles and user role assignments" — users unknown to the central
+  authority (e.g. holding roles from an external VO authority) bypass
+  the pre-computed assignments entirely;
+* it "requires prior specification and knowledge of the workflow and
+  its tasks" — accesses outside a declared workflow (like Example 1's
+  bank audit) carry no constraints at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines.base import SoDChecker
+from repro.workload.events import STEP_ACCESS, Step
+
+
+@dataclass(frozen=True, slots=True)
+class TaskConstraint:
+    """Constraints on one workflow task, Bertino-style.
+
+    ``must_differ_from`` lists tasks whose executors must all be
+    different from this task's executor; ``max_per_user`` caps how many
+    times one user may execute this task in one workflow instance.
+    """
+
+    operation: str  # task identified by its operation name
+    must_differ_from: tuple[str, ...] = ()
+    max_per_user: int = 1
+
+
+class BertinoWorkflowChecker(SoDChecker):
+    """Pre-computed workflow assignments with a central user registry."""
+
+    name = "Bertino workflow"
+
+    def __init__(
+        self,
+        context_type: str,
+        constraints: Iterable[TaskConstraint],
+        known_users: Iterable[str],
+    ) -> None:
+        self._context_type = context_type
+        self._constraints = {c.operation: c for c in constraints}
+        self._known_users = set(known_users)
+        # (instance value) -> operation -> list of executing users
+        self._executions: dict[str, dict[str, list[str]]] = {}
+
+    def reset(self) -> None:
+        self._executions.clear()
+
+    def register_user(self, user_id: str) -> None:
+        """Teach the central authority about a user."""
+        self._known_users.add(user_id)
+
+    def _instance_of(self, step: Step) -> str | None:
+        if step.context_instance is None:
+            return None
+        for component in step.context_instance:
+            if component.ctx_type == self._context_type:
+                return component.value
+        return None
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind != STEP_ACCESS:
+            return False, ""
+        instance = self._instance_of(step)
+        if instance is None:
+            # Not a declared workflow: Bertino's model imposes nothing.
+            return False, ""
+        constraint = self._constraints.get(step.operation)
+        if constraint is None:
+            return False, ""
+        if step.user_id not in self._known_users:
+            # The central authority has never heard of this user: their
+            # role assignment is invisible, so the pre-computed valid
+            # assignments cannot exclude them.
+            return False, ""
+        history = self._executions.setdefault(instance, {})
+        # Separation from other tasks' executors.
+        for other_op in constraint.must_differ_from:
+            if step.user_id in history.get(other_op, ()):
+                return True, (
+                    f"Bertino: {step.user_id!r} already executed "
+                    f"{other_op!r} in workflow instance {instance!r}"
+                )
+        # Per-task repetition cap.
+        executions = history.get(step.operation, [])
+        if executions.count(step.user_id) >= constraint.max_per_user:
+            return True, (
+                f"Bertino: {step.user_id!r} already executed "
+                f"{step.operation!r} {constraint.max_per_user} time(s) in "
+                f"instance {instance!r}"
+            )
+        history.setdefault(step.operation, []).append(step.user_id)
+        return False, ""

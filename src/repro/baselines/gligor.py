@@ -1,0 +1,92 @@
+"""Gligor, Gavrila & Ferraiolo's SoD taxonomy (Section 6, reference [9]).
+
+The paper credits [9] with "an excellent formalization of SoD policies
+at the conceptual level" — per-role static/dynamic SoD (the ANSI
+checkers), plus *operational* and *history-based* dynamic SoD — while
+noting that "business process contexts are not explicitly expressed in
+their work" and no enforcement mechanism was given.  These two checkers
+make the stronger history-based variants executable so the comparison
+bench can show precisely what business contexts add:
+
+* :class:`OperationalDSoDChecker` — no single user may perform **every**
+  operation of a sensitive business function, ever (identity-keyed,
+  object- and context-blind).
+* :class:`HistoryDSoDChecker` — no single user may perform every
+  operation of a sensitive combination **upon the same object** over
+  time.  The "object" here is the business-context instance, the
+  closest analogue available at the enforcement point; the checker is
+  still blind to the `*`/`!` scoping and the role dimension that MSoD
+  adds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.base import SoDChecker
+from repro.workload.events import STEP_ACCESS, Step
+
+
+class OperationalDSoDChecker(SoDChecker):
+    """Blocks the operation completing a sensitive function's op set."""
+
+    def __init__(self, operation_sets: Iterable[frozenset[str]]) -> None:
+        self._operation_sets = tuple(frozenset(s) for s in operation_sets)
+        if any(len(s) < 2 for s in self._operation_sets):
+            raise ValueError("operation sets need at least 2 operations")
+        self.name = "Gligor operational DSoD"
+        self._performed: dict[str, set[str]] = {}  # presented id -> ops
+
+    def reset(self) -> None:
+        self._performed.clear()
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind != STEP_ACCESS:
+            return False, ""
+        history = self._performed.setdefault(step.presented_id, set())
+        prospective = history | {step.operation}
+        for operation_set in self._operation_sets:
+            if step.operation in operation_set and operation_set <= prospective:
+                return True, (
+                    f"operational DSoD: {step.presented_id!r} would complete "
+                    f"the whole operation set {sorted(operation_set)}"
+                )
+        history.add(step.operation)
+        return False, ""
+
+
+class HistoryDSoDChecker(SoDChecker):
+    """Blocks completing a sensitive op combination on one object."""
+
+    def __init__(self, operation_sets: Iterable[frozenset[str]]) -> None:
+        self._operation_sets = tuple(frozenset(s) for s in operation_sets)
+        if any(len(s) < 2 for s in self._operation_sets):
+            raise ValueError("operation sets need at least 2 operations")
+        self.name = "Gligor history DSoD"
+        # (presented id, object) -> operations performed
+        self._performed: dict[tuple[str, str], set[str]] = {}
+
+    def reset(self) -> None:
+        self._performed.clear()
+
+    def _object_of(self, step: Step) -> str:
+        return (
+            str(step.context_instance)
+            if step.context_instance is not None
+            else step.target
+        )
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind != STEP_ACCESS:
+            return False, ""
+        key = (step.presented_id, self._object_of(step))
+        history = self._performed.setdefault(key, set())
+        prospective = history | {step.operation}
+        for operation_set in self._operation_sets:
+            if step.operation in operation_set and operation_set <= prospective:
+                return True, (
+                    f"history DSoD: {step.presented_id!r} would complete "
+                    f"{sorted(operation_set)} on object {key[1]!r}"
+                )
+        history.add(step.operation)
+        return False, ""

@@ -1,0 +1,107 @@
+"""Sandhu's transaction control expressions baseline (Section 6, ref [4]).
+
+Sandhu (ACSAC'88) attaches a *transaction control expression* to each
+object: an ordered list of transaction steps, where by default every
+step must be executed by a different user (identity-based separation).
+A ``same_user`` marker (Sandhu's ditto notation) instead requires the
+step to be executed by the same user as the previous step.
+
+The paper's critique, reproduced here: enforcement is per-object and
+identity-based, with no notion of roles, business contexts or
+cross-object conflicts — so role conflicts that span different target
+objects (Example 1's teller/auditor) are invisible to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines.base import SoDChecker
+from repro.workload.events import STEP_ACCESS, Step
+
+
+@dataclass(frozen=True, slots=True)
+class TCEStep:
+    """One step of a transaction control expression."""
+
+    operation: str
+    same_user: bool = False  # Sandhu's ditto: same executor as previous step
+
+
+class TransactionControlExpression:
+    """An ordered expression applied to every instance of one object."""
+
+    def __init__(self, target: str, steps: Iterable[TCEStep]) -> None:
+        self.target = target
+        self.steps = tuple(steps)
+
+
+class SandhuTCEChecker(SoDChecker):
+    """Per-object transaction histories with different-user steps."""
+
+    name = "Sandhu TCE"
+
+    def __init__(self, expressions: Iterable[TransactionControlExpression]) -> None:
+        self._expressions = {expr.target: expr for expr in expressions}
+        # (target, object instance) -> list of (step index, user)
+        self._histories: dict[tuple[str, str], list[tuple[int, str]]] = {}
+
+    def reset(self) -> None:
+        self._histories.clear()
+
+    def _object_instance(self, step: Step) -> str:
+        # The per-instance object is identified by the business-context
+        # instance when present (one check per tax-refund process), else
+        # the raw target.
+        if step.context_instance is not None:
+            return str(step.context_instance)
+        return step.target
+
+    def process_step(self, step: Step) -> tuple[bool, str]:
+        if step.kind != STEP_ACCESS:
+            return False, ""
+        expression = self._expressions.get(step.target)
+        if expression is None:
+            return False, ""
+        key = (step.target, self._object_instance(step))
+        history = self._histories.setdefault(key, [])
+        executed_indexes = {index for index, _ in history}
+        # The next unexecuted expression step with this operation.
+        step_index = next(
+            (
+                index
+                for index, tce_step in enumerate(expression.steps)
+                if index not in executed_indexes
+                and tce_step.operation == step.operation
+            ),
+            None,
+        )
+        if step_index is None:
+            # Operation exhausted for this object: the expression only
+            # authorises each listed step once.
+            if any(
+                tce_step.operation == step.operation
+                for tce_step in expression.steps
+            ):
+                return True, (
+                    f"TCE: all {step.operation!r} steps already executed on "
+                    f"{key[1]!r}"
+                )
+            return False, ""
+        tce_step = expression.steps[step_index]
+        if tce_step.same_user:
+            if history and history[-1][1] != step.presented_id:
+                return True, (
+                    f"TCE: step {step_index} requires the same user as the "
+                    f"previous step on {key[1]!r}"
+                )
+        else:
+            previous_users = {user for _, user in history}
+            if step.presented_id in previous_users:
+                return True, (
+                    f"TCE: {step.presented_id!r} already executed an earlier "
+                    f"step on {key[1]!r}"
+                )
+        history.append((step_index, step.presented_id))
+        return False, ""

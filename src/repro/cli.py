@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI drives the MSoD engine against an on-disk SQLite retained ADI,
+so *separate invocations are separate user sessions* — exactly the
+setting the paper targets.  A denied second invocation demonstrates
+multi-session SoD from a shell:
+
+.. code-block:: console
+
+   $ python -m repro decide policy.xml --adi adi.db --user alice \\
+         --role employee:Teller --operation handleCash \\
+         --target till://1 --context "Branch=York, Period=2006"
+   GRANT ...
+   $ python -m repro decide policy.xml --adi adi.db --user alice \\
+         --role employee:Auditor --operation auditBooks \\
+         --target ledger://1 --context "Branch=Leeds, Period=2006"
+   DENY ...
+
+Commands: ``validate``, ``show``, ``compile``, ``decompile``, ``lint``,
+``decide``, ``explain``, ``history``, ``purge``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.core import (
+    CONTROLLER_ROLE,
+    ContextName,
+    DecisionRequest,
+    MSoDEngine,
+    RetainedADIManagementPort,
+    Role,
+    SQLiteRetainedADIStore,
+)
+from repro.errors import ReproError
+from repro.xmlpolicy import (
+    parse_policy_set_file,
+    validate_policy_document,
+)
+
+
+def _parse_role(text: str) -> Role:
+    role_type, sep, value = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"role {text!r} must be of the form type:value"
+        )
+    return Role(role_type, value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-session Separation of Duties (MSoD) for RBAC",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate an MSoD policy XML document"
+    )
+    validate.add_argument("policy", help="path to the policy XML file")
+
+    show = commands.add_parser("show", help="summarise an MSoD policy set")
+    show.add_argument("policy", help="path to the policy XML file")
+
+    decide = commands.add_parser(
+        "decide", help="evaluate one access request (one 'session')"
+    )
+    decide.add_argument("policy", help="path to the policy XML file")
+    decide.add_argument("--adi", required=True, help="SQLite retained-ADI path")
+    decide.add_argument("--user", required=True, help="user ID")
+    decide.add_argument(
+        "--role",
+        action="append",
+        required=True,
+        type=_parse_role,
+        help="activated role as type:value (repeatable)",
+    )
+    decide.add_argument("--operation", required=True)
+    decide.add_argument("--target", required=True)
+    decide.add_argument(
+        "--context", required=True, help='business-context instance, e.g. "A=1, B=2"'
+    )
+    decide.add_argument(
+        "--literal",
+        action="store_true",
+        help="use the literal published step order instead of strict mode",
+    )
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile the authoring DSL to Appendix-A XML"
+    )
+    compile_cmd.add_argument("source", help="path to a .msod DSL file")
+    compile_cmd.add_argument(
+        "-o", "--output", help="output XML path (default: stdout)"
+    )
+
+    decompile_cmd = commands.add_parser(
+        "decompile", help="render an XML policy set as authoring DSL"
+    )
+    decompile_cmd.add_argument("policy", help="path to the policy XML file")
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyse a PERMIS XML policy and its MSoD component",
+    )
+    lint.add_argument("policy", help="path to a PermisRBACPolicy XML file")
+
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="dry-run a request and narrate the §4.2 evaluation "
+        "(never modifies the retained ADI)",
+    )
+    explain_cmd.add_argument("policy", help="path to the policy XML file")
+    explain_cmd.add_argument("--adi", required=True)
+    explain_cmd.add_argument("--user", required=True)
+    explain_cmd.add_argument(
+        "--role", action="append", required=True, type=_parse_role
+    )
+    explain_cmd.add_argument("--operation", required=True)
+    explain_cmd.add_argument("--target", required=True)
+    explain_cmd.add_argument("--context", required=True)
+
+    history = commands.add_parser(
+        "history", help="list the retained-ADI records"
+    )
+    history.add_argument("--adi", required=True)
+
+    purge = commands.add_parser(
+        "purge", help="administratively purge retained-ADI records (§4.3)"
+    )
+    purge.add_argument("--adi", required=True)
+    group = purge.add_mutually_exclusive_group(required=True)
+    group.add_argument("--context", help="purge a business context [instance]")
+    group.add_argument("--user", help="purge one user's records")
+    group.add_argument(
+        "--older-than", type=float, help="purge records granted before this time"
+    )
+    group.add_argument("--all", action="store_true", help="purge everything")
+    return parser
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate an MSoD XML document; exit 1 on problems."""
+    with open(args.policy, "r", encoding="utf-8") as handle:
+        problems = validate_policy_document(handle.read())
+    if not problems:
+        print("policy document is valid")
+        return 0
+    for problem in problems:
+        print(f"problem: {problem}")
+    return 1
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """Print a human-readable summary of an MSoD policy set."""
+    policy_set = parse_policy_set_file(args.policy)
+    print(f"{len(policy_set)} MSoD polic{'y' if len(policy_set) == 1 else 'ies'}")
+    for policy in policy_set:
+        print(f"\n[{policy.policy_id}]")
+        print(f"  business context: {policy.business_context}")
+        if policy.first_step is not None:
+            print(f"  first step: {policy.first_step}")
+        if policy.last_step is not None:
+            print(f"  last step:  {policy.last_step}")
+        for mmer in policy.mmers:
+            roles = ", ".join(str(role) for role in mmer.roles)
+            print(f"  MMER m={mmer.forbidden_cardinality}: {{{roles}}}")
+        for mmep in policy.mmeps:
+            privileges = ", ".join(str(priv) for priv in mmep.privileges)
+            print(f"  MMEP m={mmep.forbidden_cardinality}: {{{privileges}}}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile authoring-DSL text to Appendix-A XML."""
+    from repro.xmlpolicy import compile_policy_set, write_policy_set
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        policy_set = compile_policy_set(handle.read())
+    xml = write_policy_set(policy_set)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(xml + "\n")
+        print(f"wrote {len(policy_set)} policies to {args.output}")
+    else:
+        print(xml)
+    return 0
+
+
+def cmd_decompile(args: argparse.Namespace) -> int:
+    """Render an XML policy set as authoring DSL."""
+    from repro.xmlpolicy import decompile_policy_set
+
+    policy_set = parse_policy_set_file(args.policy)
+    print(decompile_policy_set(policy_set), end="")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically analyse a PERMIS policy; exit 1 on errors."""
+    from repro.permis import SEVERITY_ERROR, analyze_policy, parse_permis_policy
+
+    with open(args.policy, "r", encoding="utf-8") as handle:
+        policy = parse_permis_policy(handle.read())
+    findings = analyze_policy(policy)
+    if not findings:
+        print("no findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    has_errors = any(
+        finding.severity == SEVERITY_ERROR for finding in findings
+    )
+    return 1 if has_errors else 0
+
+
+def cmd_decide(args: argparse.Namespace) -> int:
+    """Evaluate one request as its own session; exit 2 on deny."""
+    from repro.core.engine import MODE_LITERAL, MODE_STRICT
+
+    policy_set = parse_policy_set_file(args.policy)
+    store = SQLiteRetainedADIStore(args.adi)
+    try:
+        engine = MSoDEngine(
+            policy_set,
+            store,
+            mode=MODE_LITERAL if args.literal else MODE_STRICT,
+        )
+        decision = engine.check(
+            DecisionRequest(
+                user_id=args.user,
+                roles=tuple(args.role),
+                operation=args.operation,
+                target=args.target,
+                context_instance=ContextName.parse(args.context),
+                timestamp=time.time(),
+            )
+        )
+        print(decision)
+        if decision.granted:
+            print(
+                f"recorded {decision.records_added} record(s), "
+                f"purged {decision.records_purged}"
+            )
+        return 0 if decision.granted else 2
+    finally:
+        store.close()
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Dry-run a request and narrate the evaluation (no writes)."""
+    from repro.core import explain
+
+    policy_set = parse_policy_set_file(args.policy)
+    store = SQLiteRetainedADIStore(args.adi)
+    try:
+        engine = MSoDEngine(policy_set, store)
+        explanation = explain(
+            engine,
+            DecisionRequest(
+                user_id=args.user,
+                roles=tuple(args.role),
+                operation=args.operation,
+                target=args.target,
+                context_instance=ContextName.parse(args.context),
+                timestamp=time.time(),
+            ),
+        )
+        print(explanation.render())
+        return 0 if explanation.granted else 2
+    finally:
+        store.close()
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """List every record in the retained-ADI store."""
+    store = SQLiteRetainedADIStore(args.adi)
+    try:
+        port = RetainedADIManagementPort(store)
+        records = port.list_records([CONTROLLER_ROLE])
+        print(f"{len(records)} retained record(s)")
+        for record in records:
+            roles = ",".join(str(role) for role in record.roles)
+            print(
+                f"  #{record.record_id} t={record.granted_at:.0f} "
+                f"{record.user_id} [{roles}] {record.operation}@{record.target} "
+                f"in [{record.context_instance}]"
+            )
+        return 0
+    finally:
+        store.close()
+
+
+def cmd_purge(args: argparse.Namespace) -> int:
+    """Administratively purge retained-ADI records (Section 4.3)."""
+    store = SQLiteRetainedADIStore(args.adi)
+    try:
+        port = RetainedADIManagementPort(store)
+        roles = [CONTROLLER_ROLE]
+        if args.all:
+            outcome = port.purge_all(roles)
+        elif args.context is not None:
+            outcome = port.purge_context(roles, ContextName.parse(args.context))
+        elif args.user is not None:
+            outcome = port.purge_user(roles, args.user)
+        else:
+            outcome = port.purge_older_than(roles, args.older_than)
+        print(f"{outcome.detail}: {outcome.affected} record(s) removed")
+        return 0
+    finally:
+        store.close()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "validate": cmd_validate,
+        "show": cmd_show,
+        "compile": cmd_compile,
+        "decompile": cmd_decompile,
+        "lint": cmd_lint,
+        "decide": cmd_decide,
+        "explain": cmd_explain,
+        "history": cmd_history,
+        "purge": cmd_purge,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

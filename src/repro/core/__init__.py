@@ -1,0 +1,91 @@
+"""The paper's primary contribution: MSoD policies and their enforcement.
+
+Public surface:
+
+* :class:`~repro.core.context.ContextName` — hierarchical business
+  contexts with ``*`` / ``!`` wildcards (Section 2.2).
+* :class:`~repro.core.constraints.MMER` /
+  :class:`~repro.core.constraints.MMEP` — multi-session mutually
+  exclusive roles/privileges (Sections 2.3-2.4).
+* :class:`~repro.core.policy.MSoDPolicy` /
+  :class:`~repro.core.policy.MSoDPolicySet` — the policy model
+  (Section 3).
+* :class:`~repro.core.retained_adi.InMemoryRetainedADIStore` /
+  :class:`~repro.core.retained_adi.SQLiteRetainedADIStore` — retained-ADI
+  backends (Sections 4.1, 5.2, 6).
+* :class:`~repro.core.engine.MSoDEngine` — the Section 4.2 enforcement
+  algorithm.
+* :class:`~repro.core.admin.RetainedADIManagementPort` — the Section 4.3
+  management port.
+"""
+
+from repro.core.admin import (
+    CONTROLLER_ROLE,
+    RETAINED_ADI_TARGET,
+    ManagementOutcome,
+    RetainedADIManagementPort,
+)
+from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.context import (
+    ALL_INSTANCES,
+    PER_INSTANCE,
+    ContextComponent,
+    ContextHierarchy,
+    ContextName,
+    common_supercontext,
+)
+from repro.core.decision import (
+    Decision,
+    DecisionRequest,
+    Effect,
+    MSoDViolation,
+    next_request_id,
+)
+from repro.core.engine import MODE_LITERAL, MODE_STRICT, MSoDEngine
+from repro.core.explain import Explanation, TraceLine, explain
+from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
+from repro.core.retained_adi import (
+    ADIMutation,
+    InMemoryRetainedADIStore,
+    RetainedADIRecord,
+    RetainedADIStore,
+    SQLiteRetainedADIStore,
+    store_digest,
+)
+
+__all__ = [
+    "ALL_INSTANCES",
+    "PER_INSTANCE",
+    "ContextComponent",
+    "ContextHierarchy",
+    "ContextName",
+    "common_supercontext",
+    "Role",
+    "Privilege",
+    "MMER",
+    "MMEP",
+    "MSoDPolicy",
+    "MSoDPolicySet",
+    "Step",
+    "RetainedADIRecord",
+    "RetainedADIStore",
+    "InMemoryRetainedADIStore",
+    "SQLiteRetainedADIStore",
+    "ADIMutation",
+    "store_digest",
+    "Decision",
+    "DecisionRequest",
+    "Effect",
+    "MSoDViolation",
+    "next_request_id",
+    "MSoDEngine",
+    "explain",
+    "Explanation",
+    "TraceLine",
+    "MODE_STRICT",
+    "MODE_LITERAL",
+    "RetainedADIManagementPort",
+    "ManagementOutcome",
+    "CONTROLLER_ROLE",
+    "RETAINED_ADI_TARGET",
+]

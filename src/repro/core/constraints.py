@@ -1,0 +1,214 @@
+"""MMER and MMEP constraints (paper Sections 2.3 and 2.4).
+
+A *multi-session mutually exclusive roles* (MMER) constraint
+``MMER({r1..rn}, m, BC)`` forbids a user from activating ``m`` or more of
+the ``n`` listed roles within the same business context [instance].
+
+A *multi-session mutually exclusive privileges* (MMEP) constraint
+``MMEP({p1..pn}, m, BC)`` forbids a user from exercising ``m`` or more of
+the ``n`` listed privileges within the same business context [instance].
+The same privilege may be listed several times: listing a privilege ``k``
+times with forbidden cardinality ``k`` caps the number of times a single
+user may exercise it at ``k - 1`` (paper Section 2.4, the
+``MMEP({p1, p1}, 2, ...)`` example).
+
+The business context itself lives on the enclosing :class:`~repro.core.
+policy.MSoDPolicy`; the constraint classes here carry the role/privilege
+sets and the forbidden cardinality, mirroring the XML of Appendix A.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True, slots=True)
+class Role:
+    """A role reference: an attribute ``type`` and ``value``.
+
+    Matches the ``<Role type=... value=.../>`` element of the Appendix A
+    schema, e.g. ``Role(type='employee', value='Teller')``.
+    """
+
+    role_type: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.role_type:
+            raise ConstraintError("role type must be non-empty")
+        if not self.value:
+            raise ConstraintError("role value must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.role_type}:{self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Privilege:
+    """An operation on a target (the paper's operation/object pair).
+
+    Matches the ``<Privilege operation=... target=.../>`` element of the
+    Appendix A schema (rendered ``<Operation value=... target=.../>`` in
+    the Section 3 examples).
+    """
+
+    operation: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise ConstraintError("privilege operation must be non-empty")
+        if not self.target:
+            raise ConstraintError("privilege target must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.operation}@{self.target}"
+
+
+def _check_cardinality(size: int, cardinality: int, kind: str) -> None:
+    if size < 2:
+        raise ConstraintError(f"{kind} needs at least 2 entries, got {size}")
+    if not 1 < cardinality <= size:
+        raise ConstraintError(
+            f"{kind} forbidden cardinality must satisfy 1 < m <= n "
+            f"(got m={cardinality}, n={size})"
+        )
+
+
+class MMER:
+    """Multi-session mutually exclusive roles: m-out-of-n forbidden.
+
+    Roles in an MMER set are distinct (a duplicate role would make the
+    constraint unsatisfiable in a useful way — role activation history is
+    a set, unlike privilege-exercise history which is a sequence of
+    events; the paper's repetition idiom exists only for MMEP).
+    """
+
+    __slots__ = ("_roles", "_cardinality")
+
+    def __init__(self, roles: Iterable[Role], forbidden_cardinality: int) -> None:
+        role_tuple = tuple(roles)
+        if len(set(role_tuple)) != len(role_tuple):
+            raise ConstraintError("MMER role set must not contain duplicates")
+        _check_cardinality(len(role_tuple), forbidden_cardinality, "MMER")
+        self._roles = role_tuple
+        self._cardinality = forbidden_cardinality
+
+    @property
+    def roles(self) -> tuple[Role, ...]:
+        return self._roles
+
+    @property
+    def forbidden_cardinality(self) -> int:
+        return self._cardinality
+
+    def matched_roles(self, activated: Iterable[Role]) -> frozenset[Role]:
+        """The subset of ``activated`` roles that are in this MMER set.
+
+        Algorithm step 5.i: "Match activated role(s) against MMER
+        role(s)."
+        """
+        member = set(self._roles)
+        return frozenset(role for role in activated if role in member)
+
+    def remaining_roles(self, matched: Iterable[Role]) -> frozenset[Role]:
+        """MMER roles other than the currently matched ones (step 5.iii)."""
+        matched_set = set(matched)
+        return frozenset(role for role in self._roles if role not in matched_set)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MMER):
+            return NotImplemented
+        return (
+            set(self._roles) == set(other._roles)
+            and self._cardinality == other._cardinality
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._roles), self._cardinality))
+
+    def __repr__(self) -> str:
+        roles = ", ".join(str(role) for role in self._roles)
+        return f"MMER({{{roles}}}, m={self._cardinality})"
+
+
+class MMEP:
+    """Multi-session mutually exclusive privileges: m-out-of-n forbidden.
+
+    Unlike MMER, the privilege list is a *multiset*: the same privilege
+    listed ``k`` times permits at most ``k - 1`` exercises per user per
+    business context [instance] when the forbidden cardinality is ``k``.
+    """
+
+    __slots__ = ("_privileges", "_cardinality")
+
+    def __init__(
+        self, privileges: Iterable[Privilege], forbidden_cardinality: int
+    ) -> None:
+        priv_tuple = tuple(privileges)
+        _check_cardinality(len(priv_tuple), forbidden_cardinality, "MMEP")
+        self._privileges = priv_tuple
+        self._cardinality = forbidden_cardinality
+
+    @property
+    def privileges(self) -> tuple[Privilege, ...]:
+        return self._privileges
+
+    @property
+    def forbidden_cardinality(self) -> int:
+        return self._cardinality
+
+    def matches(self, privilege: Privilege) -> bool:
+        """True when the requested privilege appears in this MMEP set."""
+        return privilege in self._privileges
+
+    def remaining_privileges(self, matched: Privilege) -> Counter:
+        """The multiset of privileges minus *one* occurrence of ``matched``.
+
+        Algorithm step 6.iii: "Ignoring current matched operation and
+        target in MMEP" — exactly one occurrence is ignored, which is what
+        gives the duplicate-privilege idiom its at-most-once semantics.
+        """
+        remaining = Counter(self._privileges)
+        remaining[matched] -= 1
+        if remaining[matched] <= 0:
+            del remaining[matched]
+        return remaining
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MMEP):
+            return NotImplemented
+        return (
+            Counter(self._privileges) == Counter(other._privileges)
+            and self._cardinality == other._cardinality
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(Counter(self._privileges).items()), self._cardinality))
+
+    def __repr__(self) -> str:
+        privs = ", ".join(str(priv) for priv in self._privileges)
+        return f"MMEP({{{privs}}}, m={self._cardinality})"
+
+
+def count_history_matches(
+    remaining: Counter, history: Sequence[Privilege]
+) -> int:
+    """Pair remaining MMEP entries with distinct historical exercises.
+
+    Each entry of the ``remaining`` multiset is matched against a distinct
+    record from ``history`` (step 6.iii "count number of remaining
+    operation and targets in the MMEP that match an operation and target
+    from retained ADI").  A privilege listed twice in ``remaining`` needs
+    two historical records to contribute a count of two; conversely many
+    historical records for a privilege listed once contribute one.
+    """
+    history_counts = Counter(history)
+    return sum(
+        min(multiplicity, history_counts[privilege])
+        for privilege, multiplicity in remaining.items()
+    )

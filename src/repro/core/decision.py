@@ -1,0 +1,115 @@
+"""Decision request/response types exchanged between PEP and PDP.
+
+Section 4.1 lists the parameters the AEF/PEP must pass to the ADF/PDP for
+an MSoD-capable RBAC decision:
+
+1. the user's attributes/roles — with the user's ID now *mandatory*, so
+   that the PDP can link the user's sessions together;
+2. the requested operation and its parameters;
+3. the requested target object;
+4. environmental/contextual information (e.g. time of day);
+5. the business-context instance (kept as a separate parameter because
+   the hierarchical matching rules of Section 4.2 apply to it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.constraints import Privilege, Role
+from repro.core.context import ContextName
+from repro.errors import PolicyError
+
+_REQUEST_COUNTER = itertools.count(1)
+
+
+def next_request_id() -> str:
+    """A process-unique identifier for a decision request."""
+    return f"req-{next(_REQUEST_COUNTER):08d}"
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRequest:
+    """One access-control decision request (the five Section 4.1 inputs)."""
+
+    user_id: str
+    roles: tuple[Role, ...]
+    operation: str
+    target: str
+    context_instance: ContextName
+    timestamp: float = 0.0
+    environment: Mapping[str, str] = field(default_factory=dict)
+    request_id: str = field(default_factory=next_request_id)
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise PolicyError(
+                "MSoD decisions require the user's ID (paper Section 4.1)"
+            )
+        if not self.context_instance.is_concrete:
+            raise PolicyError(
+                "the business-context instance passed by the PEP must be "
+                f"concrete, got {self.context_instance}"
+            )
+
+    @property
+    def privilege(self) -> Privilege:
+        return Privilege(self.operation, self.target)
+
+
+class Effect:
+    """Decision outcomes."""
+
+    GRANT = "grant"
+    DENY = "deny"
+
+
+@dataclass(frozen=True, slots=True)
+class MSoDViolation:
+    """Details of the constraint that triggered a deny."""
+
+    policy_id: str
+    constraint_kind: str  # "MMER" or "MMEP"
+    constraint_repr: str
+    effective_context: ContextName
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """The PDP's answer, with MSoD diagnostics for auditing.
+
+    ``adi_adds`` and ``adi_purged_contexts`` expose the retained-ADI
+    mutation the grant committed, so the PERMIS PDP can log it to the
+    secure audit trail and recovery can replay it (Section 5.2).
+    """
+
+    effect: str
+    request: DecisionRequest
+    violation: MSoDViolation | None = None
+    matched_policy_ids: tuple[str, ...] = ()
+    records_added: int = 0
+    records_purged: int = 0
+    reason: str = ""
+    adi_adds: tuple = ()
+    adi_purged_contexts: tuple[ContextName, ...] = ()
+
+    @property
+    def granted(self) -> bool:
+        return self.effect == Effect.GRANT
+
+    @property
+    def denied(self) -> bool:
+        return self.effect == Effect.DENY
+
+    def __str__(self) -> str:
+        verdict = self.effect.upper()
+        core = (
+            f"{verdict} {self.request.user_id} {self.request.operation}"
+            f"@{self.request.target} [{self.request.context_instance}]"
+        )
+        if self.violation is not None:
+            core += f" ({self.violation.constraint_kind}: {self.violation.detail})"
+        return core

@@ -1,0 +1,320 @@
+"""The MSoD enforcement engine: the 8-step algorithm of Section 4.2.
+
+The engine is invoked by a PDP *after* its ordinary RBAC check has
+returned an interim grant.  It evaluates every matching MSoD policy
+against the retained ADI and either leaves the grant unaltered or turns
+it into a deny.  Only granted requests mutate the retained ADI (the
+Section 4.2 note), which the engine guarantees by buffering all store
+mutations in an :class:`~repro.core.retained_adi.ADIMutation` and
+committing it atomically iff the final decision is a grant.
+
+Two evaluation modes are provided:
+
+``strict`` (default)
+    MMER/MMEP constraints are evaluated even on the request that *starts*
+    a business-context instance.  This closes a corner case in the
+    literal algorithm text: a user who simultaneously activates ``m``
+    mutually exclusive roles in the very first in-context request would
+    otherwise be granted (step 4 jumps straight to step 7, bypassing the
+    constraint checks of steps 5 and 6).
+
+``literal``
+    Follows the published step order exactly — step 4 adds the
+    context-starting record and jumps to step 7.  Kept for fidelity and
+    for the ablation bench ``benchmarks/bench_algorithm_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.constraints import MMEP, MMER, count_history_matches
+from repro.core.context import ContextName
+from repro.core.decision import (
+    Decision,
+    DecisionRequest,
+    Effect,
+    MSoDViolation,
+)
+from repro.core.policy import MSoDPolicy, MSoDPolicySet
+from repro.core.retained_adi import (
+    ADIMutation,
+    RetainedADIRecord,
+    RetainedADIStore,
+)
+from repro.errors import PolicyError
+
+#: Evaluation modes (see module docstring).
+MODE_STRICT = "strict"
+MODE_LITERAL = "literal"
+
+
+class MSoDEngine:
+    """Evaluates MSoD policies over a retained-ADI store."""
+
+    def __init__(
+        self,
+        policy_set: MSoDPolicySet,
+        store: RetainedADIStore,
+        mode: str = MODE_STRICT,
+    ) -> None:
+        if mode not in (MODE_STRICT, MODE_LITERAL):
+            raise PolicyError(f"unknown engine mode {mode!r}")
+        self._policy_set = policy_set
+        self._store = store
+        self._mode = mode
+
+    # ------------------------------------------------------------------
+    @property
+    def policy_set(self) -> MSoDPolicySet:
+        return self._policy_set
+
+    @property
+    def store(self) -> RetainedADIStore:
+        return self._store
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def replace_policy_set(self, policy_set: MSoDPolicySet) -> None:
+        """Swap in a new policy set (PDP re-initialisation)."""
+        self._policy_set = policy_set
+
+    # ------------------------------------------------------------------
+    def check(self, request: DecisionRequest) -> Decision:
+        """Run the Section 4.2 algorithm for one interim-granted request."""
+        # Step 1: match the input business-context instance against the
+        # business contexts in the MSoD set of policies.
+        matched_policies = self._policy_set.matching(request.context_instance)
+        if not matched_policies:
+            return Decision(
+                effect=Effect.GRANT,
+                request=request,
+                reason="no MSoD policy matches the business context",
+            )
+
+        mutation = ADIMutation()
+        matched_ids = tuple(policy.policy_id for policy in matched_policies)
+
+        # Step 2: for each matched MSoD policy...
+        for policy in matched_policies:
+            violation = self._evaluate_policy(policy, request, mutation)
+            if violation is not None:
+                # Deny: discard the buffered mutation entirely.
+                return Decision(
+                    effect=Effect.DENY,
+                    request=request,
+                    violation=violation,
+                    matched_policy_ids=matched_ids,
+                    reason=violation.detail,
+                )
+
+        records_purged = self._commit(mutation)
+        return Decision(
+            effect=Effect.GRANT,
+            request=request,
+            matched_policy_ids=matched_ids,
+            records_added=len(mutation.adds),
+            records_purged=records_purged,
+            reason="granted under MSoD",
+            adi_adds=tuple(mutation.adds),
+            adi_purged_contexts=tuple(mutation.purge_contexts),
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_policy(
+        self,
+        policy: MSoDPolicy,
+        request: DecisionRequest,
+        mutation: ADIMutation,
+    ) -> MSoDViolation | None:
+        """Steps 3-7 for one matched policy.
+
+        Returns a violation to deny, or ``None`` to continue; grants
+        append their retained-ADI records to ``mutation``.
+        """
+        # Step 1 (tail): bind '!' components to the request's instance.
+        effective_context = policy.business_context.instantiate(
+            request.context_instance
+        )
+        pending: list[RetainedADIRecord] = []
+
+        # Step 3: does the retained ADI already hold records for this
+        # effective policy context?
+        context_started = self._store.has_context(effective_context)
+
+        if not context_started:
+            # Step 4: the context has not started.  If the request is the
+            # first step (or the policy has no first step), the context
+            # starts now; otherwise MSoD enforcement has not begun for
+            # this context instance and the policy imposes nothing.
+            first = policy.first_step
+            starts_now = first is None or first.matches(
+                request.operation, request.target
+            )
+            if not starts_now:
+                return None
+            pending.append(self._base_record(request))
+            if self._mode == MODE_LITERAL:
+                # Literal step 4: "add a new entry ... then goto 7".
+                self._finish_policy(policy, request, effective_context, pending, mutation)
+                return None
+
+        # Step 5: MMER constraints.
+        for mmer in policy.mmers:
+            violation = self._check_mmer(
+                mmer, policy, request, effective_context, pending
+            )
+            if violation is not None:
+                return violation
+
+        # Step 6: MMEP constraints.
+        for mmep in policy.mmeps:
+            violation = self._check_mmep(
+                mmep, policy, request, effective_context, pending
+            )
+            if violation is not None:
+                return violation
+
+        # Step 7: last-step handling / store the retainedADIlist.
+        self._finish_policy(policy, request, effective_context, pending, mutation)
+        return None
+
+    def _check_mmer(
+        self,
+        mmer: MMER,
+        policy: MSoDPolicy,
+        request: DecisionRequest,
+        effective_context: ContextName,
+        pending: list[RetainedADIRecord],
+    ) -> MSoDViolation | None:
+        # 5.i: match activated role(s) against MMER role(s).
+        matched = mmer.matched_roles(request.roles)
+        if not matched:
+            # 5.ii: no match, next MMER.
+            return None
+        # 5.iii: count remaining MMER roles present in the user's history
+        # for this policy context.
+        remaining = mmer.remaining_roles(matched)
+        historic = self._store.user_roles(request.user_id, effective_context)
+        count = len(remaining & historic)
+        # 5.iv: grant-and-record or deny.
+        if count < mmer.forbidden_cardinality - len(matched):
+            pending.extend(
+                self._role_record(request, role) for role in sorted(
+                    matched, key=str
+                )
+            )
+            return None
+        return MSoDViolation(
+            policy_id=policy.policy_id,
+            constraint_kind="MMER",
+            constraint_repr=repr(mmer),
+            effective_context=effective_context,
+            detail=(
+                f"user {request.user_id!r} would hold {count + len(matched)} of "
+                f"{len(mmer.roles)} mutually exclusive roles (forbidden "
+                f"cardinality {mmer.forbidden_cardinality}) in context "
+                f"[{effective_context}]"
+            ),
+        )
+
+    def _check_mmep(
+        self,
+        mmep: MMEP,
+        policy: MSoDPolicy,
+        request: DecisionRequest,
+        effective_context: ContextName,
+        pending: list[RetainedADIRecord],
+    ) -> MSoDViolation | None:
+        # 6.i: match requested operation and target against MMEP
+        # privilege(s).
+        if not mmep.matches(request.privilege):
+            # 6.ii: no match, next MMEP.
+            return None
+        # 6.iii: ignoring one occurrence of the matched privilege, count
+        # remaining MMEP entries matching the user's exercise history.
+        remaining = mmep.remaining_privileges(request.privilege)
+        history = self._store.user_privilege_exercises(
+            request.user_id, effective_context
+        )
+        count = count_history_matches(remaining, history)
+        if count < mmep.forbidden_cardinality - 1:
+            pending.append(self._base_record(request))
+            return None
+        return MSoDViolation(
+            policy_id=policy.policy_id,
+            constraint_kind="MMEP",
+            constraint_repr=repr(mmep),
+            effective_context=effective_context,
+            detail=(
+                f"user {request.user_id!r} would exercise {count + 1} of "
+                f"{len(mmep.privileges)} mutually exclusive privileges "
+                f"(forbidden cardinality {mmep.forbidden_cardinality}) in "
+                f"context [{effective_context}]"
+            ),
+        )
+
+    def _finish_policy(
+        self,
+        policy: MSoDPolicy,
+        request: DecisionRequest,
+        effective_context: ContextName,
+        pending: list[RetainedADIRecord],
+        mutation: ADIMutation,
+    ) -> None:
+        """Step 7: purge on last step, otherwise store the pending list."""
+        last = policy.last_step
+        if last is not None and last.matches(request.operation, request.target):
+            mutation.purge_contexts.append(effective_context)
+        else:
+            mutation.adds.extend(pending)
+
+    def _commit(self, mutation: ADIMutation) -> int:
+        """Apply a granted request's mutation; return purged-record count.
+
+        Delegated to the store so backends can make the whole mutation
+        atomic (the SQLite store runs it as one transaction).
+        """
+        return self._store.apply(mutation)
+
+    # ------------------------------------------------------------------
+    def _base_record(self, request: DecisionRequest) -> RetainedADIRecord:
+        return RetainedADIRecord(
+            user_id=request.user_id,
+            roles=request.roles,
+            operation=request.operation,
+            target=request.target,
+            context_instance=request.context_instance,
+            granted_at=request.timestamp,
+            request_id=request.request_id,
+        )
+
+    def _role_record(self, request: DecisionRequest, role) -> RetainedADIRecord:
+        """Step 5.iv adds one record per matched activated role."""
+        return RetainedADIRecord(
+            user_id=request.user_id,
+            roles=(role,),
+            operation=request.operation,
+            target=request.target,
+            context_instance=request.context_instance,
+            granted_at=request.timestamp,
+            request_id=request.request_id,
+        )
+
+    # ------------------------------------------------------------------
+    def notify_context_terminated(self, context: ContextName) -> int:
+        """Implied termination (Section 2.2 / Section 3).
+
+        When the application knows a business context [instance] has
+        finished — e.g. because a *containing* context completed, "since
+        all the contained ones must also be terminated" — it informs the
+        engine, which purges the instance's history exactly as a granted
+        last step would.  Returns the number of purged records.
+        """
+        return self._store.purge_context(context)
+
+    def bulk_check(self, requests: Iterable[DecisionRequest]) -> list[Decision]:
+        """Evaluate a request stream in order (benchmark convenience)."""
+        return [self.check(request) for request in requests]

@@ -1,0 +1,197 @@
+"""Dry-run explanation of an MSoD decision (the §4.2 algorithm, narrated).
+
+``explain(engine, request)`` walks exactly the evaluation the engine
+would perform — policy matching, ``!`` re-binding, the first-step gate,
+every MMER/MMEP count — and returns a step-by-step trace *without
+mutating the retained ADI*.  Operators use it to answer "why was this
+denied?" (or "why would it be granted?") against live history; the
+``repro explain`` CLI command exposes it.
+
+The explanation's verdict always equals what :meth:`MSoDEngine.check`
+would return on the same store state (property-tested), but unlike
+``check`` it is safe to call any number of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import count_history_matches
+from repro.core.decision import DecisionRequest, Effect
+from repro.core.engine import MODE_LITERAL, MSoDEngine
+
+
+@dataclass(frozen=True, slots=True)
+class TraceLine:
+    """One narrated step of the evaluation."""
+
+    step: str  # the §4.2 step number this line belongs to
+    message: str
+
+    def __str__(self) -> str:
+        return f"[step {self.step}] {self.message}"
+
+
+@dataclass(slots=True)
+class Explanation:
+    """The dry-run result: a verdict plus the trace that led to it."""
+
+    effect: str
+    request: DecisionRequest
+    lines: list[TraceLine] = field(default_factory=list)
+
+    @property
+    def granted(self) -> bool:
+        return self.effect == Effect.GRANT
+
+    def render(self) -> str:
+        header = (
+            f"{self.effect.upper()} {self.request.user_id} "
+            f"{self.request.operation}@{self.request.target} "
+            f"[{self.request.context_instance}]"
+        )
+        return "\n".join([header] + [f"  {line}" for line in self.lines])
+
+
+def explain(engine: MSoDEngine, request: DecisionRequest) -> Explanation:
+    """Narrate the evaluation of ``request`` against the engine's state."""
+    explanation = Explanation(effect=Effect.GRANT, request=request)
+    lines = explanation.lines
+    store = engine.store
+
+    matched = engine.policy_set.matching(request.context_instance)
+    if not matched:
+        lines.append(
+            TraceLine(
+                "1",
+                f"context [{request.context_instance}] matches no MSoD "
+                "policy; grant unaltered",
+            )
+        )
+        return explanation
+    lines.append(
+        TraceLine(
+            "1",
+            f"context [{request.context_instance}] matches "
+            f"{len(matched)} policy(ies): "
+            + ", ".join(policy.policy_id for policy in matched),
+        )
+    )
+
+    for policy in matched:
+        effective = policy.business_context.instantiate(
+            request.context_instance
+        )
+        lines.append(
+            TraceLine(
+                "1",
+                f"policy {policy.policy_id!r}: effective context "
+                f"[{effective}]",
+            )
+        )
+        started = store.has_context(effective)
+        if not started:
+            first = policy.first_step
+            starts_now = first is None or first.matches(
+                request.operation, request.target
+            )
+            if not starts_now:
+                lines.append(
+                    TraceLine(
+                        "4",
+                        f"context not started and request is not the first "
+                        f"step ({first}); policy imposes nothing",
+                    )
+                )
+                continue
+            lines.append(
+                TraceLine(
+                    "4",
+                    "context starts with this request"
+                    + (" (no first step declared)" if first is None else ""),
+                )
+            )
+            if engine.mode == MODE_LITERAL:
+                lines.append(
+                    TraceLine(
+                        "4",
+                        "literal mode: constraint checks skipped on the "
+                        "context-starting request",
+                    )
+                )
+                _explain_step7(policy, request, lines)
+                continue
+
+        for mmer in policy.mmers:
+            matched_roles = mmer.matched_roles(request.roles)
+            if not matched_roles:
+                lines.append(
+                    TraceLine("5", f"{mmer!r}: no activated role matches")
+                )
+                continue
+            remaining = mmer.remaining_roles(matched_roles)
+            historic = store.user_roles(request.user_id, effective)
+            count = len(remaining & historic)
+            needed = mmer.forbidden_cardinality - len(matched_roles)
+            verdict = "ok" if count < needed else "VIOLATION"
+            lines.append(
+                TraceLine(
+                    "5",
+                    f"{mmer!r}: nr={len(matched_roles)} matched "
+                    f"({', '.join(sorted(map(str, matched_roles)))}); "
+                    f"{count} remaining role(s) in user's history; "
+                    f"deny when count >= {needed} -> {verdict}",
+                )
+            )
+            if count >= needed:
+                explanation.effect = Effect.DENY
+                return explanation
+
+        for mmep in policy.mmeps:
+            if not mmep.matches(request.privilege):
+                lines.append(
+                    TraceLine(
+                        "6", f"{mmep!r}: requested privilege not in set"
+                    )
+                )
+                continue
+            remaining = mmep.remaining_privileges(request.privilege)
+            history = store.user_privilege_exercises(
+                request.user_id, effective
+            )
+            count = count_history_matches(remaining, history)
+            needed = mmep.forbidden_cardinality - 1
+            verdict = "ok" if count < needed else "VIOLATION"
+            lines.append(
+                TraceLine(
+                    "6",
+                    f"{mmep!r}: {count} of the remaining privileges found "
+                    f"in user's {len(history)} past exercise(s); deny when "
+                    f"count >= {needed} -> {verdict}",
+                )
+            )
+            if count >= needed:
+                explanation.effect = Effect.DENY
+                return explanation
+
+        _explain_step7(policy, request, lines)
+
+    return explanation
+
+
+def _explain_step7(policy, request, lines) -> None:
+    last = policy.last_step
+    if last is not None and last.matches(request.operation, request.target):
+        lines.append(
+            TraceLine(
+                "7",
+                f"request is the last step ({last}): a grant terminates "
+                "the context instance and purges its retained history",
+            )
+        )
+    else:
+        lines.append(
+            TraceLine(
+                "7", "a grant would store the pending retained-ADI records"
+            )
+        )

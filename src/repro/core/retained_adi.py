@@ -1,0 +1,593 @@
+"""Retained Access-control Decision Information (paper Sections 4.1-4.3).
+
+The retained ADI is the history of *granted* decisions that the PDP needs
+in order to evaluate MSoD policies.  Each record is the 6-tuple of
+Section 4.2: user ID, activated role(s), operation granted, target
+accessed, business-context instance, and time of the grant decision.  Two
+bookkeeping fields are added: a store-assigned ``record_id`` and the
+``request_id`` of the decision request that produced the record (step 5.iv
+adds one record per matched role for a single request; grouping by
+``request_id`` lets privilege-exercise counting treat them as one event).
+
+Two store backends are provided:
+
+* :class:`InMemoryRetainedADIStore` — what the paper's first PERMIS
+  implementation used (Section 5.2, rebuilt from audit trails at start-up).
+* :class:`SQLiteRetainedADIStore` — the "secure relational database" the
+  paper proposes as its next implementation (Section 6), which avoids the
+  audit-trail replay cost measured in ``benchmarks/bench_recovery_
+  scalability.py``.
+
+Both honour the same :class:`RetainedADIStore` interface so the engine and
+benchmarks can ablate them.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.constraints import Privilege, Role
+from repro.core.context import ContextName
+from repro.errors import StoreError
+
+
+@dataclass(frozen=True, slots=True)
+class RetainedADIRecord:
+    """One granted decision retained for MSoD evaluation."""
+
+    user_id: str
+    roles: tuple[Role, ...]
+    operation: str
+    target: str
+    context_instance: ContextName
+    granted_at: float
+    request_id: str
+    record_id: int | None = None
+
+    @property
+    def privilege(self) -> Privilege:
+        return Privilege(self.operation, self.target)
+
+    def in_context(self, effective_context: ContextName) -> bool:
+        """True when this record's instance matches the policy context.
+
+        Step 3: "Retained ADI context instance matches if it is equal or
+        subordinate to policy context, noting that policy context of *
+        matches all instance values."
+        """
+        return self.context_instance.is_equal_or_subordinate_to(effective_context)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (for audit trails and SQLite)."""
+        return {
+            "user_id": self.user_id,
+            "roles": [[role.role_type, role.value] for role in self.roles],
+            "operation": self.operation,
+            "target": self.target,
+            "context_instance": str(self.context_instance),
+            "granted_at": self.granted_at,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, record_id: int | None = None) -> "RetainedADIRecord":
+        return cls(
+            user_id=data["user_id"],
+            roles=tuple(Role(rt, rv) for rt, rv in data["roles"]),
+            operation=data["operation"],
+            target=data["target"],
+            context_instance=ContextName.parse(data["context_instance"]),
+            granted_at=data["granted_at"],
+            request_id=data["request_id"],
+            record_id=record_id,
+        )
+
+
+@dataclass(slots=True)
+class ADIMutation:
+    """A buffered set of store mutations, committed only on grant.
+
+    Section 4.2 note: "if the access request is denied, then no change
+    needs to be made to the retained ADI database".  The engine builds one
+    :class:`ADIMutation` per request and applies it atomically iff the
+    final decision is a grant.
+    """
+
+    adds: list[RetainedADIRecord] = field(default_factory=list)
+    purge_contexts: list[ContextName] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.adds and not self.purge_contexts
+
+
+class RetainedADIStore:
+    """Abstract interface every retained-ADI backend implements."""
+
+    def add(self, record: RetainedADIRecord) -> RetainedADIRecord:
+        """Persist one record, returning it with ``record_id`` assigned."""
+        raise NotImplementedError
+
+    def records(self) -> Iterator[RetainedADIRecord]:
+        """Iterate over every retained record."""
+        raise NotImplementedError
+
+    def find(self, effective_context: ContextName) -> list[RetainedADIRecord]:
+        """Records whose instance is equal/subordinate to the context."""
+        raise NotImplementedError
+
+    def find_user(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        """Like :meth:`find`, restricted to one user."""
+        raise NotImplementedError
+
+    def has_context(self, effective_context: ContextName) -> bool:
+        """True when any record matches the context (step 3 existence)."""
+        raise NotImplementedError
+
+    def purge_context(self, effective_context: ContextName) -> int:
+        """Delete all records matching the context; return the count."""
+        raise NotImplementedError
+
+    def purge_user(self, user_id: str) -> int:
+        """Delete all records for a user (management port operation)."""
+        raise NotImplementedError
+
+    def purge_older_than(self, cutoff: float) -> int:
+        """Delete records granted before ``cutoff`` (management port)."""
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        """Delete everything; return the number of deleted records."""
+        raise NotImplementedError
+
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources.  Idempotent."""
+
+    # ------------------------------------------------------------------
+    def apply(self, mutation: ADIMutation) -> int:
+        """Apply a buffered mutation: purges first, then adds.
+
+        Purge-before-add matters: a granted *last step* both terminates
+        the context (purging its history) and must not leave its own
+        record behind — step 7 deletes instead of storing.  The engine
+        only puts adds and purges for *different* policies in one
+        mutation, and purges always win for their own context.
+
+        Returns the number of purged records.  Backends override this to
+        make the whole mutation atomic (one decision = one transaction).
+        """
+        purged = 0
+        for context in mutation.purge_contexts:
+            purged += self.purge_context(context)
+        for record in mutation.adds:
+            self.add(record)
+        return purged
+
+    # Helper views used by the engine --------------------------------
+    def user_roles(
+        self, user_id: str, effective_context: ContextName
+    ) -> frozenset[Role]:
+        """Roles the user has historically activated in the context."""
+        return frozenset(
+            role
+            for record in self.find_user(user_id, effective_context)
+            for role in record.roles
+        )
+
+    def user_privilege_exercises(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[Privilege]:
+        """Privileges historically exercised, one entry per request.
+
+        Records created from the same decision request (same
+        ``request_id``) count as a single exercise of the operation/target
+        pair.
+        """
+        seen_requests: set[str] = set()
+        exercises: list[Privilege] = []
+        for record in self.find_user(user_id, effective_context):
+            if record.request_id in seen_requests:
+                continue
+            seen_requests.add(record.request_id)
+            exercises.append(record.privilege)
+        return exercises
+
+
+class InMemoryRetainedADIStore(RetainedADIStore):
+    """Retained ADI held in memory (paper Section 5.2).
+
+    Records are indexed by user and by concrete context instance: the
+    number of *distinct* active context instances is tiny compared to
+    the record count, so context-scoped queries (the hot path of
+    algorithm steps 3 and 7) touch only the matching instances' buckets
+    instead of scanning every record.
+    """
+
+    def __init__(self, records: Iterable[RetainedADIRecord] = ()) -> None:
+        self._records: dict[int, RetainedADIRecord] = {}
+        self._by_user: dict[str, list[int]] = {}
+        self._by_context: dict[ContextName, set[int]] = {}
+        self._next_id = 1
+        for record in records:
+            self.add(record)
+
+    def add(self, record: RetainedADIRecord) -> RetainedADIRecord:
+        stored = RetainedADIRecord(
+            user_id=record.user_id,
+            roles=record.roles,
+            operation=record.operation,
+            target=record.target,
+            context_instance=record.context_instance,
+            granted_at=record.granted_at,
+            request_id=record.request_id,
+            record_id=self._next_id,
+        )
+        self._records[self._next_id] = stored
+        self._by_user.setdefault(record.user_id, []).append(self._next_id)
+        self._by_context.setdefault(record.context_instance, set()).add(
+            self._next_id
+        )
+        self._next_id += 1
+        return stored
+
+    def records(self) -> Iterator[RetainedADIRecord]:
+        return iter(list(self._records.values()))
+
+    def _matching_contexts(
+        self, effective_context: ContextName
+    ) -> list[ContextName]:
+        return [
+            context
+            for context in self._by_context
+            if context.is_equal_or_subordinate_to(effective_context)
+        ]
+
+    def find(self, effective_context: ContextName) -> list[RetainedADIRecord]:
+        found = []
+        for context in self._matching_contexts(effective_context):
+            found.extend(
+                self._records[record_id]
+                for record_id in self._by_context[context]
+            )
+        found.sort(key=lambda record: record.record_id)
+        return found
+
+    def find_user(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        ids = self._by_user.get(user_id, ())
+        return [
+            self._records[record_id]
+            for record_id in ids
+            if record_id in self._records
+            and self._records[record_id].in_context(effective_context)
+        ]
+
+    def has_context(self, effective_context: ContextName) -> bool:
+        return any(
+            context.is_equal_or_subordinate_to(effective_context)
+            for context in self._by_context
+        )
+
+    def _delete(self, record_id: int) -> None:
+        record = self._records.pop(record_id)
+        bucket = self._by_context.get(record.context_instance)
+        if bucket is not None:
+            bucket.discard(record_id)
+            if not bucket:
+                del self._by_context[record.context_instance]
+
+    def purge_context(self, effective_context: ContextName) -> int:
+        doomed = [
+            record_id
+            for context in self._matching_contexts(effective_context)
+            for record_id in list(self._by_context[context])
+        ]
+        for record_id in doomed:
+            self._delete(record_id)
+        return len(doomed)
+
+    def purge_user(self, user_id: str) -> int:
+        ids = self._by_user.pop(user_id, [])
+        removed = 0
+        for record_id in ids:
+            if record_id in self._records:
+                self._delete(record_id)
+                removed += 1
+        return removed
+
+    def purge_older_than(self, cutoff: float) -> int:
+        doomed = [
+            record_id
+            for record_id, record in self._records.items()
+            if record.granted_at < cutoff
+        ]
+        for record_id in doomed:
+            self._delete(record_id)
+        return len(doomed)
+
+    def clear(self) -> int:
+        removed = len(self._records)
+        self._records.clear()
+        self._by_user.clear()
+        self._by_context.clear()
+        return removed
+
+    def count(self) -> int:
+        return len(self._records)
+
+
+class SQLiteRetainedADIStore(RetainedADIStore):
+    """Retained ADI in a relational database (the Section 6 proposal).
+
+    Records survive PDP restarts without replaying audit trails.  Context
+    matching with ``*`` wildcards cannot be expressed as a plain SQL
+    prefix query, so candidate rows are narrowed by user where possible
+    and matched in Python; this keeps semantics identical across
+    backends.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        try:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as exc:  # pragma: no cover - environment issue
+            raise StoreError(f"cannot open retained-ADI database {path!r}") from exc
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS retained_adi (
+                record_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                user_id TEXT NOT NULL,
+                context TEXT NOT NULL,
+                payload TEXT NOT NULL,
+                granted_at REAL NOT NULL
+            )
+            """
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_adi_user ON retained_adi(user_id)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_adi_context ON retained_adi(context)"
+        )
+        self._conn.commit()
+
+    @staticmethod
+    def _context_like_pattern(effective_context: ContextName) -> str:
+        """A SQL LIKE *prefilter* for context matching.
+
+        ``*`` components become ``%``; a trailing ``%`` admits
+        subordinate instances.  LIKE wildcards can cross component
+        boundaries, so matches are over-approximate — every candidate is
+        re-checked precisely in Python — but the prefilter keeps the
+        scan off rows in unrelated contexts.
+        """
+        if effective_context.is_root:
+            return "%"
+        parts = []
+        for component in effective_context:
+            escaped_type = (
+                component.ctx_type.replace("\\", "\\\\")
+                .replace("%", "\\%")
+                .replace("_", "\\_")
+            )
+            if component.is_wildcard:
+                parts.append(f"{escaped_type}=%")
+            else:
+                escaped_value = (
+                    component.value.replace("\\", "\\\\")
+                    .replace("%", "\\%")
+                    .replace("_", "\\_")
+                )
+                parts.append(f"{escaped_type}={escaped_value}")
+        return ", ".join(parts) + "%"
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError("retained-ADI store is closed")
+
+    def add(self, record: RetainedADIRecord) -> RetainedADIRecord:
+        self._ensure_open()
+        payload = json.dumps(record.to_dict(), sort_keys=True)
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO retained_adi"
+                " (user_id, context, payload, granted_at) VALUES (?, ?, ?, ?)",
+                (
+                    record.user_id,
+                    str(record.context_instance),
+                    payload,
+                    record.granted_at,
+                ),
+            )
+            self._conn.commit()
+            record_id = cursor.lastrowid
+        return RetainedADIRecord.from_dict(record.to_dict(), record_id=record_id)
+
+    def _rows_to_records(self, rows: Iterable[tuple]) -> list[RetainedADIRecord]:
+        return [
+            RetainedADIRecord.from_dict(json.loads(payload), record_id=record_id)
+            for record_id, payload in rows
+        ]
+
+    def records(self) -> Iterator[RetainedADIRecord]:
+        self._ensure_open()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT record_id, payload FROM retained_adi ORDER BY record_id"
+            ).fetchall()
+        return iter(self._rows_to_records(rows))
+
+    def _candidate_rows(self, effective_context: ContextName) -> list[tuple]:
+        pattern = self._context_like_pattern(effective_context)
+        with self._lock:
+            return self._conn.execute(
+                "SELECT record_id, payload FROM retained_adi"
+                " WHERE context LIKE ? ESCAPE '\\' ORDER BY record_id",
+                (pattern,),
+            ).fetchall()
+
+    def find(self, effective_context: ContextName) -> list[RetainedADIRecord]:
+        self._ensure_open()
+        return [
+            record
+            for record in self._rows_to_records(
+                self._candidate_rows(effective_context)
+            )
+            if record.in_context(effective_context)
+        ]
+
+    def find_user(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        self._ensure_open()
+        pattern = self._context_like_pattern(effective_context)
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT record_id, payload FROM retained_adi"
+                " WHERE user_id = ? AND context LIKE ? ESCAPE '\\'"
+                " ORDER BY record_id",
+                (user_id, pattern),
+            ).fetchall()
+        return [
+            record
+            for record in self._rows_to_records(rows)
+            if record.in_context(effective_context)
+        ]
+
+    def has_context(self, effective_context: ContextName) -> bool:
+        self._ensure_open()
+        pattern = self._context_like_pattern(effective_context)
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT context FROM retained_adi"
+                " WHERE context LIKE ? ESCAPE '\\'",
+                (pattern,),
+            )
+            # Lazy scan with early exit: the LIKE prefilter rarely admits
+            # false positives, so the first candidate usually decides.
+            for (context,) in cursor:
+                if ContextName.parse(context).is_equal_or_subordinate_to(
+                    effective_context
+                ):
+                    return True
+        return False
+
+    def purge_context(self, effective_context: ContextName) -> int:
+        doomed = [record.record_id for record in self.find(effective_context)]
+        if not doomed:
+            return 0
+        with self._lock:
+            self._conn.executemany(
+                "DELETE FROM retained_adi WHERE record_id = ?",
+                [(record_id,) for record_id in doomed],
+            )
+            self._conn.commit()
+        return len(doomed)
+
+    def purge_user(self, user_id: str) -> int:
+        self._ensure_open()
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM retained_adi WHERE user_id = ?", (user_id,)
+            )
+            self._conn.commit()
+        return cursor.rowcount
+
+    def purge_older_than(self, cutoff: float) -> int:
+        self._ensure_open()
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM retained_adi WHERE granted_at < ?", (cutoff,)
+            )
+            self._conn.commit()
+        return cursor.rowcount
+
+    def clear(self) -> int:
+        self._ensure_open()
+        with self._lock:
+            cursor = self._conn.execute("DELETE FROM retained_adi")
+            self._conn.commit()
+        return cursor.rowcount
+
+    def count(self) -> int:
+        self._ensure_open()
+        with self._lock:
+            (total,) = self._conn.execute(
+                "SELECT COUNT(*) FROM retained_adi"
+            ).fetchone()
+        return total
+
+    def apply(self, mutation: ADIMutation) -> int:
+        """Apply the whole mutation in ONE SQLite transaction.
+
+        A decision's purges and adds either all land or none do, even if
+        the process dies mid-commit — the property the audit-trail
+        recovery path otherwise has to repair.
+        """
+        self._ensure_open()
+        doomed = [
+            record.record_id
+            for context in mutation.purge_contexts
+            for record in self.find(context)
+        ]
+        with self._lock:
+            try:
+                with self._conn:  # implicit BEGIN ... COMMIT/ROLLBACK
+                    self._conn.executemany(
+                        "DELETE FROM retained_adi WHERE record_id = ?",
+                        [(record_id,) for record_id in doomed],
+                    )
+                    self._conn.executemany(
+                        "INSERT INTO retained_adi"
+                        " (user_id, context, payload, granted_at)"
+                        " VALUES (?, ?, ?, ?)",
+                        [
+                            (
+                                record.user_id,
+                                str(record.context_instance),
+                                json.dumps(record.to_dict(), sort_keys=True),
+                                record.granted_at,
+                            )
+                            for record in mutation.adds
+                        ],
+                    )
+            except sqlite3.Error as exc:
+                raise StoreError(f"mutation failed atomically: {exc}") from exc
+        return len(doomed)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._conn.close()
+
+
+def store_digest(store: RetainedADIStore) -> tuple:
+    """A hashable snapshot of a store's contents, for invariant tests.
+
+    Property tests assert that a denied request leaves the digest
+    unchanged (the Section 4.2 note).
+    """
+    return tuple(
+        sorted(
+            (
+                record.user_id,
+                tuple(sorted(str(role) for role in record.roles)),
+                record.operation,
+                record.target,
+                str(record.context_instance),
+                record.request_id,
+            )
+            for record in store.records()
+        )
+    )

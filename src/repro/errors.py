@@ -1,0 +1,72 @@
+"""Exception hierarchy for the MSoD reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ContextNameError(ReproError):
+    """A business-context name is syntactically or semantically invalid."""
+
+
+class ConstraintError(ReproError):
+    """An MMER/MMEP constraint definition is invalid."""
+
+
+class PolicyError(ReproError):
+    """An MSoD (or RBAC) policy definition is invalid."""
+
+
+class PolicyParseError(PolicyError):
+    """An XML policy document could not be parsed or failed validation."""
+
+
+class RBACError(ReproError):
+    """Base class for errors raised by the ANSI RBAC substrate."""
+
+
+class UnknownEntityError(RBACError):
+    """A referenced user, role, operation, object or session is unknown."""
+
+
+class DuplicateEntityError(RBACError):
+    """An entity with the same identifier already exists."""
+
+
+class ConstraintViolationError(RBACError):
+    """An administrative command would violate an SSD/DSD constraint."""
+
+
+class SessionError(RBACError):
+    """An illegal session operation (e.g. activating an unassigned role)."""
+
+
+class StoreError(ReproError):
+    """A retained-ADI store failed (I/O, closed handle, corruption...)."""
+
+
+class CredentialError(ReproError):
+    """A credential is malformed, untrusted, expired or tampered with."""
+
+
+class AuditTrailError(ReproError):
+    """An audit trail is corrupt, unverifiable or cannot be written."""
+
+
+class WorkflowError(ReproError):
+    """An illegal workflow operation (bad routing, repeated task...)."""
+
+
+class DirectoryError(ReproError):
+    """An LDAP-like directory operation failed (unknown DN, bad filter)."""
+
+
+class AdminError(ReproError):
+    """A retained-ADI management-port operation was rejected."""

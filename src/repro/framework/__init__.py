@@ -1,0 +1,31 @@
+"""The ISO 10181-3 access-control framework with retained ADI (Figure 3)."""
+
+from repro.framework.adi import (
+    AccessRequestADI,
+    ContextualInformation,
+    InitiatorADI,
+    TargetADI,
+)
+from repro.framework.pdp import (
+    PolicyDecisionPoint,
+    ReferenceRBACMSoDPDP,
+    RoleTargetAccessPolicy,
+)
+from repro.framework.pep import (
+    AccessDeniedError,
+    PolicyEnforcementPoint,
+    SimulatedClock,
+)
+
+__all__ = [
+    "InitiatorADI",
+    "AccessRequestADI",
+    "TargetADI",
+    "ContextualInformation",
+    "PolicyDecisionPoint",
+    "RoleTargetAccessPolicy",
+    "ReferenceRBACMSoDPDP",
+    "PolicyEnforcementPoint",
+    "AccessDeniedError",
+    "SimulatedClock",
+]

@@ -1,0 +1,56 @@
+"""Access-control Decision Information elements of ISO 10181-3 (Figure 3).
+
+The ISO framework feeds the ADF (PDP) four kinds of ADI — initiator,
+access-request, target and retained — plus contextual information.  The
+classes here model the first three and the contextual information; the
+retained ADI lives in :mod:`repro.core.retained_adi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.constraints import Role
+
+
+@dataclass(frozen=True, slots=True)
+class InitiatorADI:
+    """Who is asking: the user's ID (mandatory for MSoD) and roles.
+
+    Section 4.1: "In order to make multi-session access control
+    decisions, the user's ID becomes mandatory so that the ADF/PDP can
+    link together the user's sessions."
+    """
+
+    user_id: str
+    roles: tuple[Role, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRequestADI:
+    """What is being asked: the operation and its parameters."""
+
+    operation: str
+    parameters: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class TargetADI:
+    """What is being accessed: the target object's identifying attributes."""
+
+    target: str
+    attributes: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class ContextualInformation:
+    """Environmental facts such as time of day.
+
+    The business-context instance is deliberately *not* folded in here —
+    the paper keeps it a separate parameter "because special matching
+    rules apply to it" (Section 4.1).
+    """
+
+    environment: Mapping[str, str] = field(default_factory=dict)
+    time_of_day: float = 0.0

@@ -1,0 +1,81 @@
+"""The ADF / Policy Decision Point side of the ISO framework (Figure 3).
+
+:class:`PolicyDecisionPoint` is the interface every PDP in this
+repository implements (the reference PDP here, the PERMIS PDP in
+:mod:`repro.permis.pdp`).  :class:`ReferenceRBACMSoDPDP` is the minimal
+composition the paper describes in Section 4.2: "The PDP first performs
+its normal checking against the RBAC policy, and if the interim result
+is grant, then the PDP will further perform the [MSoD] algorithm."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.constraints import Privilege, Role
+from repro.core.decision import Decision, DecisionRequest, Effect
+from repro.core.engine import MSoDEngine
+
+
+class PolicyDecisionPoint:
+    """Abstract ADF: turns a decision request into a decision."""
+
+    def decide(self, request: DecisionRequest) -> Decision:
+        raise NotImplementedError
+
+
+class RoleTargetAccessPolicy:
+    """A plain RBAC target-access policy: role → set of privileges.
+
+    This is the "normal checking against the RBAC policy" that precedes
+    the MSoD algorithm.  (The PERMIS subsystem has a richer version with
+    subject/target domains; this one is the framework-level reference.)
+    """
+
+    def __init__(self, grants: Mapping[Role, Iterable[Privilege]]) -> None:
+        self._grants: dict[Role, frozenset[Privilege]] = {
+            role: frozenset(privileges) for role, privileges in grants.items()
+        }
+
+    def permits(self, roles: Iterable[Role], privilege: Privilege) -> bool:
+        """True when any presented role is granted the privilege."""
+        return any(
+            privilege in self._grants.get(role, frozenset()) for role in roles
+        )
+
+    def privileges_of(self, role: Role) -> frozenset[Privilege]:
+        return self._grants.get(role, frozenset())
+
+    def roles(self) -> frozenset[Role]:
+        return frozenset(self._grants)
+
+
+class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
+    """RBAC interim check, then the Section 4.2 MSoD algorithm."""
+
+    def __init__(
+        self, access_policy: RoleTargetAccessPolicy, msod_engine: MSoDEngine
+    ) -> None:
+        self._access_policy = access_policy
+        self._msod = msod_engine
+
+    @property
+    def msod_engine(self) -> MSoDEngine:
+        return self._msod
+
+    @property
+    def access_policy(self) -> RoleTargetAccessPolicy:
+        return self._access_policy
+
+    def decide(self, request: DecisionRequest) -> Decision:
+        if not self._access_policy.permits(request.roles, request.privilege):
+            return Decision(
+                effect=Effect.DENY,
+                request=request,
+                reason=(
+                    "RBAC: no presented role grants "
+                    f"{request.operation!r} on {request.target!r}"
+                ),
+            )
+        # Interim grant — now the MSoD set of policies (Section 4.2).
+        return self._msod.check(request)

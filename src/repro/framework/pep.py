@@ -1,0 +1,117 @@
+"""The AEF / Policy Enforcement Point side of the ISO framework.
+
+"The PEP, being part of the application, is easily able to identify the
+business context instance of each user request" (Section 4.1).  The PEP
+here binds an application clock and an optional audit sink, assembles
+the five parameter sets of Section 4.1 into a
+:class:`~repro.core.decision.DecisionRequest`, submits it to a PDP, and
+enforces the outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.constraints import Role
+from repro.core.context import ContextName
+from repro.core.decision import Decision, DecisionRequest
+from repro.errors import ReproError
+from repro.framework.pdp import PolicyDecisionPoint
+
+
+class AccessDeniedError(ReproError):
+    """Raised by :meth:`PolicyEnforcementPoint.enforce` on a deny."""
+
+    def __init__(self, decision: Decision) -> None:
+        super().__init__(str(decision))
+        self.decision = decision
+
+
+class PolicyEnforcementPoint:
+    """An AEF bound to one PDP.
+
+    Parameters
+    ----------
+    pdp:
+        The decision point to consult.
+    clock:
+        A zero-argument callable yielding the current time; injectable
+        for deterministic tests and benchmarks.
+    audit_sink:
+        Optional callable receiving every :class:`Decision` made through
+        this PEP (the PERMIS PDP wires this to the secure audit trail).
+    """
+
+    def __init__(
+        self,
+        pdp: PolicyDecisionPoint,
+        clock: Callable[[], float],
+        audit_sink: Callable[[Decision], None] | None = None,
+    ) -> None:
+        self._pdp = pdp
+        self._clock = clock
+        self._audit_sink = audit_sink
+
+    @property
+    def pdp(self) -> PolicyDecisionPoint:
+        return self._pdp
+
+    def request_decision(
+        self,
+        user_id: str,
+        roles: Iterable[Role],
+        operation: str,
+        target: str,
+        context_instance: ContextName,
+        environment: Mapping[str, str] | None = None,
+    ) -> Decision:
+        """Build the Section-4.1 parameter set, decide, and audit."""
+        request = DecisionRequest(
+            user_id=user_id,
+            roles=tuple(roles),
+            operation=operation,
+            target=target,
+            context_instance=context_instance,
+            timestamp=self._clock(),
+            environment=dict(environment or {}),
+        )
+        decision = self._pdp.decide(request)
+        if self._audit_sink is not None:
+            self._audit_sink(decision)
+        return decision
+
+    def enforce(
+        self,
+        user_id: str,
+        roles: Iterable[Role],
+        operation: str,
+        target: str,
+        context_instance: ContextName,
+        environment: Mapping[str, str] | None = None,
+    ) -> Decision:
+        """Like :meth:`request_decision`, raising on deny."""
+        decision = self.request_decision(
+            user_id, roles, operation, target, context_instance, environment
+        )
+        if decision.denied:
+            raise AccessDeniedError(decision)
+        return decision
+
+
+class SimulatedClock:
+    """A deterministic, manually advanced clock for tests and benches."""
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        self._now = start
+        self._tick = tick
+
+    def __call__(self) -> float:
+        self._now += self._tick
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds

@@ -1,0 +1,147 @@
+"""Environmental conditions on target-access rules.
+
+Section 4.1 lists "any environmental or contextual information such as
+the time of day" among the PDP's inputs.  PERMIS target-access policies
+can attach IF-conditions to granted actions; this module provides a
+small, composable condition algebra evaluated against the decision
+request's environment and timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PolicyError
+
+
+class Condition:
+    """A predicate over (environment, time).  Subclasses override
+    :meth:`evaluate`; instances compose with ``&``, ``|`` and ``~``."""
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return AllOf(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return AnyOf(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Negation(self)
+
+
+class Always(Condition):
+    """The vacuous condition (a rule without an IF-clause)."""
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Always()"
+
+
+class AllOf(Condition):
+    """Conjunction: every sub-condition must hold."""
+
+    def __init__(self, *conditions: Condition) -> None:
+        if not conditions:
+            raise PolicyError("AllOf needs at least one condition")
+        self._conditions = conditions
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        return all(c.evaluate(environment, at) for c in self._conditions)
+
+    def __repr__(self) -> str:
+        return f"AllOf({', '.join(map(repr, self._conditions))})"
+
+
+class AnyOf(Condition):
+    """Disjunction: at least one sub-condition must hold."""
+
+    def __init__(self, *conditions: Condition) -> None:
+        if not conditions:
+            raise PolicyError("AnyOf needs at least one condition")
+        self._conditions = conditions
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        return any(c.evaluate(environment, at) for c in self._conditions)
+
+    def __repr__(self) -> str:
+        return f"AnyOf({', '.join(map(repr, self._conditions))})"
+
+
+class Negation(Condition):
+    """Logical complement of a condition."""
+
+    def __init__(self, condition: Condition) -> None:
+        self._condition = condition
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        return not self._condition.evaluate(environment, at)
+
+    def __repr__(self) -> str:
+        return f"~{self._condition!r}"
+
+
+class EnvEquals(Condition):
+    """Requires an environment entry to equal a value exactly."""
+
+    def __init__(self, key: str, value: str) -> None:
+        if not key:
+            raise PolicyError("EnvEquals needs a non-empty key")
+        self._key = key
+        self._value = value
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        return environment.get(self._key) == self._value
+
+    def __repr__(self) -> str:
+        return f"EnvEquals({self._key!r}, {self._value!r})"
+
+
+class EnvOneOf(Condition):
+    """Requires an environment entry to be one of several values."""
+
+    def __init__(self, key: str, values) -> None:
+        if not key:
+            raise PolicyError("EnvOneOf needs a non-empty key")
+        self._key = key
+        self._values = frozenset(values)
+        if not self._values:
+            raise PolicyError("EnvOneOf needs at least one value")
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        return environment.get(self._key) in self._values
+
+    def __repr__(self) -> str:
+        return f"EnvOneOf({self._key!r}, {sorted(self._values)!r})"
+
+
+class TimeWindow(Condition):
+    """The classic time-of-day restriction.
+
+    The timestamp is reduced modulo ``day_length`` (86 400 s by
+    default); the window is ``[start, end)`` and may wrap midnight
+    (``start > end``).
+    """
+
+    def __init__(
+        self, start: float, end: float, day_length: float = 86_400.0
+    ) -> None:
+        if day_length <= 0:
+            raise PolicyError("day_length must be positive")
+        if not (0 <= start < day_length and 0 <= end < day_length):
+            raise PolicyError("window bounds must lie within the day")
+        self._start = float(start)
+        self._end = float(end)
+        self._day_length = float(day_length)
+
+    def evaluate(self, environment: Mapping[str, str], at: float) -> bool:
+        moment = at % self._day_length
+        if self._start <= self._end:
+            return self._start <= moment < self._end
+        return moment >= self._start or moment < self._end
+
+    def __repr__(self) -> str:
+        return f"TimeWindow({self._start}, {self._end})"

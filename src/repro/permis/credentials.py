@@ -1,0 +1,135 @@
+"""Digitally signed role credentials (paper Section 5.1).
+
+PERMIS transports user roles as "digitally signed credentials, encoded
+as either SAML assertions [19] or X.509 attribute certificates [20]".
+Both encodings are reproduced as dataclasses sharing one abstract base;
+signatures are HMAC-SHA256 seals over a canonical payload, keyed by the
+issuing Source of Authority (SOA).
+
+Substitution note (see DESIGN.md): the MSoD code paths only care whether
+a credential verifies and what (issuer, holder, attribute) triple it
+attests.  HMAC seals give the same tamper-evidence and issuer-binding
+properties as the paper's PKI signatures for every behaviour exercised
+here, without a bignum RSA implementation that would add nothing to the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.core.constraints import Role
+from repro.errors import CredentialError
+
+_SERIAL = itertools.count(1)
+
+
+def next_serial() -> str:
+    return f"cred-{next(_SERIAL):08d}"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeCredential:
+    """A signed attestation that ``holder`` has ``attributes``.
+
+    ``encoding`` distinguishes the two wire formats the paper names;
+    both verify identically.
+    """
+
+    holder: str  # the holder's LDAP DN
+    issuer: str  # the SOA's LDAP DN
+    attributes: tuple[Role, ...]
+    not_before: float
+    not_after: float
+    serial: str = field(default_factory=next_serial)
+    encoding: str = "x509-ac"
+    signature: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.holder:
+            raise CredentialError("credential holder must be non-empty")
+        if not self.issuer:
+            raise CredentialError("credential issuer must be non-empty")
+        if not self.attributes:
+            raise CredentialError("credential must carry at least one attribute")
+        if self.not_after < self.not_before:
+            raise CredentialError(
+                "credential validity ends before it starts "
+                f"({self.not_after} < {self.not_before})"
+            )
+        if self.encoding not in ("x509-ac", "saml"):
+            raise CredentialError(f"unknown credential encoding {self.encoding!r}")
+
+    def payload(self) -> bytes:
+        """The canonical byte string that is signed."""
+        body = {
+            "holder": self.holder,
+            "issuer": self.issuer,
+            "attributes": [[role.role_type, role.value] for role in self.attributes],
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "serial": self.serial,
+            "encoding": self.encoding,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+    def is_valid_at(self, when: float) -> bool:
+        return self.not_before <= when <= self.not_after
+
+    def with_signature(self, signature: str) -> "AttributeCredential":
+        return replace(self, signature=signature)
+
+    def tampered(self, **changes) -> "AttributeCredential":
+        """A copy with fields changed but the old signature kept.
+
+        Used by tests and failure-injection benches to produce
+        credentials that must fail verification.
+        """
+        return replace(self, **changes)
+
+
+def sign_credential(credential: AttributeCredential, key: bytes) -> AttributeCredential:
+    """Seal a credential with the issuer's key."""
+    if not key:
+        raise CredentialError("signing key must be non-empty")
+    signature = hmac.new(key, credential.payload(), hashlib.sha256).hexdigest()
+    return credential.with_signature(signature)
+
+
+def verify_signature(credential: AttributeCredential, key: bytes) -> bool:
+    """True when the seal matches the payload under the given key."""
+    if not credential.signature:
+        return False
+    expected = hmac.new(key, credential.payload(), hashlib.sha256).hexdigest()
+    return hmac.compare_digest(credential.signature, expected)
+
+
+class TrustStore:
+    """Maps trusted SOA DNs to their verification keys."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, bytes] = {}
+
+    def trust(self, issuer_dn: str, key: bytes) -> None:
+        if not key:
+            raise CredentialError("trusted key must be non-empty")
+        self._keys[issuer_dn] = key
+
+    def revoke(self, issuer_dn: str) -> None:
+        self._keys.pop(issuer_dn, None)
+
+    def is_trusted(self, issuer_dn: str) -> bool:
+        return issuer_dn in self._keys
+
+    def key_for(self, issuer_dn: str) -> bytes:
+        key = self._keys.get(issuer_dn)
+        if key is None:
+            raise CredentialError(f"issuer {issuer_dn!r} is not trusted")
+        return key
+
+    def issuers(self) -> frozenset[str]:
+        return frozenset(self._keys)

@@ -1,0 +1,256 @@
+"""The Credential Validation Service (paper Section 5.1, Figure 4).
+
+"The function of the CVS is to validate these credentials and extract
+the valid roles and attributes from them, so that the PDP can make an
+access control decision."
+
+A credential yields its roles only when *all* of the following hold:
+
+1. the issuer is in the trust store and the signature verifies under the
+   issuer's key;
+2. the credential names the requesting holder;
+3. the evaluation time falls within the credential's validity period;
+4. the policy's role-assignment rules permit this issuer to assign this
+   role to this holder (per-role — a credential carrying one authorised
+   and one unauthorised role yields only the authorised one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.constraints import Role
+from repro.permis.credentials import (
+    AttributeCredential,
+    TrustStore,
+    verify_signature,
+)
+from repro.permis.directory import LdapDirectory, normalize_dn
+from repro.permis.policy import PermisPolicy
+
+
+@dataclass(frozen=True, slots=True)
+class RejectedCredential:
+    """Why a presented credential (or one of its roles) was discarded."""
+
+    credential: AttributeCredential
+    reason: str
+    role: Role | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationResult:
+    """The CVS output: valid roles plus a rejection report."""
+
+    holder_dn: str
+    valid_roles: frozenset[Role]
+    rejections: tuple[RejectedCredential, ...]
+
+    @property
+    def all_valid(self) -> bool:
+        return not self.rejections
+
+
+class CredentialValidationService:
+    """Validates credentials against a trust store and a PERMIS policy."""
+
+    def __init__(
+        self,
+        policy: PermisPolicy,
+        trust_store: TrustStore,
+        directory: LdapDirectory | None = None,
+    ) -> None:
+        self._policy = policy
+        self._trust = trust_store
+        self._directory = directory
+
+    @property
+    def policy(self) -> PermisPolicy:
+        return self._policy
+
+    @property
+    def trust_store(self) -> TrustStore:
+        return self._trust
+
+    # ------------------------------------------------------------------
+    def pull_credentials(self, holder_dn: str) -> tuple[AttributeCredential, ...]:
+        """Fetch the holder's published credentials from the directory.
+
+        PERMIS operates in *pull* mode when the user does not push
+        credentials with the request.
+        """
+        if self._directory is None:
+            return ()
+        return tuple(
+            credential
+            for credential in self._directory.credentials_of(holder_dn)
+            if isinstance(credential, AttributeCredential)
+        )
+
+    def validate(
+        self,
+        holder_dn: str,
+        credentials: Iterable[AttributeCredential] | None = None,
+        at: float = 0.0,
+    ) -> ValidationResult:
+        """Validate pushed credentials, or pull from the directory."""
+        holder = normalize_dn(holder_dn)
+        if credentials is None:
+            credentials = self.pull_credentials(holder)
+        valid_roles: set[Role] = set()
+        rejections: list[RejectedCredential] = []
+        for credential in credentials:
+            rejection = self._check_envelope(credential, holder, at)
+            if rejection is not None:
+                rejections.append(rejection)
+                continue
+            for role in credential.attributes:
+                if self._policy.assignment_permitted(
+                    credential.issuer, holder, role
+                ):
+                    valid_roles.add(role)
+                else:
+                    rejections.append(
+                        RejectedCredential(
+                            credential,
+                            "role assignment not permitted by policy",
+                            role=role,
+                        )
+                    )
+        return ValidationResult(
+            holder_dn=holder,
+            valid_roles=frozenset(valid_roles),
+            rejections=tuple(rejections),
+        )
+
+    # ------------------------------------------------------------------
+    #: Directory attribute under which a subject's verification key is
+    #: published (stands in for the user's PKI certificate).
+    SUBJECT_KEY_ATTRIBUTE = "userSigningKey"
+
+    def validate_delegation_chain(
+        self,
+        holder_dn: str,
+        chain: Sequence[AttributeCredential],
+        at: float = 0.0,
+    ) -> ValidationResult:
+        """Validate a delegation-of-authority chain (PERMIS DoA).
+
+        ``chain[0]`` must be issued by a trusted SOA; each subsequent
+        credential must be issued by the previous credential's holder
+        (verified against the key published under that holder's
+        directory entry), carry a subset of the previous credential's
+        roles, and sit inside its validity window.  The chain's depth
+        must be allowed by the policy's ``max_delegation_depth`` for the
+        root SOA, and the final credential must name ``holder_dn``.
+        """
+        holder = normalize_dn(holder_dn)
+        chain = list(chain)
+        if not chain:
+            return ValidationResult(holder, frozenset(), ())
+
+        def reject(credential, reason, role=None):
+            return ValidationResult(
+                holder,
+                frozenset(),
+                (RejectedCredential(credential, reason, role=role),),
+            )
+
+        root = chain[0]
+        if not self._trust.is_trusted(root.issuer):
+            return reject(root, "chain root issuer is not a trusted SOA")
+        if not verify_signature(root, self._trust.key_for(root.issuer)):
+            return reject(root, "chain root signature does not verify")
+        if not root.is_valid_at(at):
+            return reject(root, f"chain root not valid at time {at}")
+
+        for parent, child in zip(chain, chain[1:]):
+            if normalize_dn(child.issuer) != normalize_dn(parent.holder):
+                return reject(
+                    child,
+                    "delegation break: issuer is not the previous holder",
+                )
+            issuer_key = self._subject_key(child.issuer)
+            if issuer_key is None:
+                return reject(
+                    child, f"no published key for delegator {child.issuer!r}"
+                )
+            if not verify_signature(child, issuer_key):
+                return reject(child, "delegated signature does not verify")
+            if not set(child.attributes) <= set(parent.attributes):
+                return reject(
+                    child, "delegation escalates roles beyond the parent's"
+                )
+            if (
+                child.not_before < parent.not_before
+                or child.not_after > parent.not_after
+            ):
+                return reject(
+                    child, "delegated validity exceeds the parent's window"
+                )
+            if not child.is_valid_at(at):
+                return reject(child, f"delegated credential not valid at {at}")
+
+        final = chain[-1]
+        if normalize_dn(final.holder) != holder:
+            return reject(final, f"chain does not terminate at {holder!r}")
+
+        depth = len(chain) - 1
+        valid_roles: set[Role] = set()
+        rejections: list[RejectedCredential] = []
+        for role in final.attributes:
+            if depth == 0:
+                permitted = self._policy.assignment_permitted(
+                    root.issuer, holder, role
+                )
+            else:
+                permitted = self._policy.delegation_permitted(
+                    root.issuer, holder, role, depth
+                )
+            if permitted:
+                valid_roles.add(role)
+            else:
+                rejections.append(
+                    RejectedCredential(
+                        final,
+                        f"delegation of {role} to depth {depth} not "
+                        "permitted by policy",
+                        role=role,
+                    )
+                )
+        return ValidationResult(holder, frozenset(valid_roles), tuple(rejections))
+
+    def _subject_key(self, subject_dn: str) -> bytes | None:
+        """Look up a delegator's verification key in the directory."""
+        if self._directory is None:
+            return None
+        if subject_dn not in self._directory:
+            return None
+        values = self._directory.get_entry(subject_dn).values(
+            self.SUBJECT_KEY_ATTRIBUTE
+        )
+        for value in values:
+            if isinstance(value, bytes):
+                return value
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_envelope(
+        self, credential: AttributeCredential, holder: str, at: float
+    ) -> RejectedCredential | None:
+        if normalize_dn(credential.holder) != holder:
+            return RejectedCredential(
+                credential, f"credential holder is not {holder!r}"
+            )
+        if not self._trust.is_trusted(credential.issuer):
+            return RejectedCredential(credential, "issuer is not a trusted SOA")
+        if not verify_signature(credential, self._trust.key_for(credential.issuer)):
+            return RejectedCredential(credential, "signature does not verify")
+        if not credential.is_valid_at(at):
+            return RejectedCredential(
+                credential,
+                f"credential not valid at time {at} "
+                f"(validity {credential.not_before}..{credential.not_after})",
+            )
+        return None

@@ -1,0 +1,175 @@
+"""An in-memory LDAP-like directory (paper Section 5.1).
+
+"User's roles and attributes are typically stored in one or more LDAP
+directories."  This module reproduces the slice of LDAP semantics the
+PERMIS CVS needs: entries addressed by distinguished name (DN),
+multi-valued attributes, base/one-level/subtree search scopes, and
+simple ``attr=value`` equality filters.
+
+DNs are comma-separated RDN sequences written most-specific-first, e.g.
+``cn=alice,ou=staff,o=bank,c=gb``; entry B is *under* entry A when A's
+RDN sequence is a suffix of B's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DirectoryError
+
+SCOPE_BASE = "base"
+SCOPE_ONE = "one"
+SCOPE_SUBTREE = "subtree"
+
+_SCOPES = frozenset({SCOPE_BASE, SCOPE_ONE, SCOPE_SUBTREE})
+
+
+def normalize_dn(dn: str) -> str:
+    """Canonicalise a DN: trim whitespace, lower-case attribute types."""
+    if not dn or not dn.strip():
+        raise DirectoryError("DN must be non-empty")
+    rdns = []
+    for rdn in dn.split(","):
+        rdn = rdn.strip()
+        if not rdn:
+            raise DirectoryError(f"DN {dn!r} has an empty RDN")
+        attr, sep, value = rdn.partition("=")
+        if not sep or not attr.strip() or not value.strip():
+            raise DirectoryError(f"RDN {rdn!r} is not of the form attr=value")
+        rdns.append(f"{attr.strip().lower()}={value.strip()}")
+    return ",".join(rdns)
+
+
+def dn_is_under(dn: str, base: str) -> bool:
+    """True when ``dn`` equals ``base`` or sits anywhere below it."""
+    dn_rdns = normalize_dn(dn).split(",")
+    base_rdns = normalize_dn(base).split(",")
+    if len(base_rdns) > len(dn_rdns):
+        return False
+    return dn_rdns[len(dn_rdns) - len(base_rdns):] == base_rdns
+
+
+class DirectoryEntry:
+    """One directory entry: a DN plus multi-valued attributes."""
+
+    __slots__ = ("_dn", "_attributes")
+
+    def __init__(self, dn: str) -> None:
+        self._dn = normalize_dn(dn)
+        self._attributes: dict[str, list[object]] = {}
+
+    @property
+    def dn(self) -> str:
+        return self._dn
+
+    def add_value(self, attribute: str, value: object) -> None:
+        self._attributes.setdefault(attribute.lower(), []).append(value)
+
+    def remove_value(self, attribute: str, value: object) -> None:
+        values = self._attributes.get(attribute.lower())
+        if not values or value not in values:
+            raise DirectoryError(
+                f"{self._dn}: attribute {attribute!r} has no such value"
+            )
+        values.remove(value)
+        if not values:
+            del self._attributes[attribute.lower()]
+
+    def values(self, attribute: str) -> tuple[object, ...]:
+        return tuple(self._attributes.get(attribute.lower(), ()))
+
+    def attributes(self) -> dict[str, tuple[object, ...]]:
+        return {name: tuple(values) for name, values in self._attributes.items()}
+
+    def matches_filter(self, attribute: str, value: object) -> bool:
+        return value in self._attributes.get(attribute.lower(), ())
+
+
+class LdapDirectory:
+    """A DN-addressed store of :class:`DirectoryEntry` objects."""
+
+    #: The attribute under which PERMIS stores role credentials.
+    CREDENTIAL_ATTRIBUTE = "attributecertificateattribute"
+
+    def __init__(self) -> None:
+        self._entries: dict[str, DirectoryEntry] = {}
+
+    def add_entry(self, dn: str) -> DirectoryEntry:
+        normalized = normalize_dn(dn)
+        if normalized in self._entries:
+            raise DirectoryError(f"entry {normalized!r} already exists")
+        entry = DirectoryEntry(normalized)
+        self._entries[normalized] = entry
+        return entry
+
+    def get_entry(self, dn: str) -> DirectoryEntry:
+        entry = self._entries.get(normalize_dn(dn))
+        if entry is None:
+            raise DirectoryError(f"no entry {dn!r}")
+        return entry
+
+    def ensure_entry(self, dn: str) -> DirectoryEntry:
+        normalized = normalize_dn(dn)
+        entry = self._entries.get(normalized)
+        return entry if entry is not None else self.add_entry(normalized)
+
+    def delete_entry(self, dn: str) -> None:
+        normalized = normalize_dn(dn)
+        if normalized not in self._entries:
+            raise DirectoryError(f"no entry {dn!r}")
+        del self._entries[normalized]
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        return iter(list(self._entries.values()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, dn: str) -> bool:
+        try:
+            return normalize_dn(dn) in self._entries
+        except DirectoryError:
+            return False
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        base_dn: str,
+        scope: str = SCOPE_SUBTREE,
+        attribute: str | None = None,
+        value: object | None = None,
+    ) -> list[DirectoryEntry]:
+        """LDAP-style search with an optional equality filter."""
+        if scope not in _SCOPES:
+            raise DirectoryError(f"unknown search scope {scope!r}")
+        base = normalize_dn(base_dn)
+        base_depth = len(base.split(","))
+        results = []
+        for entry in self._entries.values():
+            if not dn_is_under(entry.dn, base):
+                continue
+            depth = len(entry.dn.split(","))
+            if scope == SCOPE_BASE and depth != base_depth:
+                continue
+            if scope == SCOPE_ONE and depth != base_depth + 1:
+                continue
+            if attribute is not None and not entry.matches_filter(attribute, value):
+                continue
+            results.append(entry)
+        return sorted(results, key=lambda entry: entry.dn)
+
+    # ------------------------------------------------------------------
+    def publish_credential(self, holder_dn: str, credential: object) -> None:
+        """Attach a credential to the holder's entry (PA sub-system)."""
+        self.ensure_entry(holder_dn).add_value(self.CREDENTIAL_ATTRIBUTE, credential)
+
+    def credentials_of(self, holder_dn: str) -> tuple[object, ...]:
+        """All credentials published under the holder's entry."""
+        if holder_dn not in self:
+            return ()
+        return self.get_entry(holder_dn).values(self.CREDENTIAL_ATTRIBUTE)
+
+    def revoke_credential(self, holder_dn: str, credential: object) -> None:
+        self.get_entry(holder_dn).remove_value(
+            self.CREDENTIAL_ATTRIBUTE, credential
+        )

@@ -1,0 +1,78 @@
+"""The privilege allocation (PA) sub-system (paper Section 5.1).
+
+A :class:`PrivilegeAllocator` models one Source of Authority: it signs
+role credentials for holders and publishes them to an LDAP-like
+directory, from which the CVS later pulls them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.constraints import Role
+from repro.errors import CredentialError
+from repro.permis.credentials import AttributeCredential, sign_credential
+from repro.permis.directory import LdapDirectory, normalize_dn
+
+
+class PrivilegeAllocator:
+    """One SOA that issues and publishes signed role credentials."""
+
+    def __init__(
+        self,
+        soa_dn: str,
+        signing_key: bytes,
+        directory: LdapDirectory | None = None,
+        encoding: str = "x509-ac",
+    ) -> None:
+        if not signing_key:
+            raise CredentialError("SOA signing key must be non-empty")
+        self._soa_dn = normalize_dn(soa_dn)
+        self._key = signing_key
+        self._directory = directory
+        self._encoding = encoding
+        self._issued: list[AttributeCredential] = []
+
+    @property
+    def soa_dn(self) -> str:
+        return self._soa_dn
+
+    @property
+    def verification_key(self) -> bytes:
+        """The key a trust store needs to verify this SOA's credentials."""
+        return self._key
+
+    @property
+    def issued(self) -> tuple[AttributeCredential, ...]:
+        return tuple(self._issued)
+
+    def issue(
+        self,
+        holder_dn: str,
+        roles: Iterable[Role],
+        not_before: float,
+        not_after: float,
+        publish: bool = True,
+    ) -> AttributeCredential:
+        """Sign a credential for ``holder_dn`` carrying ``roles``."""
+        credential = AttributeCredential(
+            holder=normalize_dn(holder_dn),
+            issuer=self._soa_dn,
+            attributes=tuple(roles),
+            not_before=not_before,
+            not_after=not_after,
+            encoding=self._encoding,
+        )
+        credential = sign_credential(credential, self._key)
+        self._issued.append(credential)
+        if publish and self._directory is not None:
+            self._directory.publish_credential(credential.holder, credential)
+        return credential
+
+    def revoke(self, credential: AttributeCredential) -> None:
+        """Withdraw a published credential from the directory."""
+        if credential not in self._issued:
+            raise CredentialError("credential was not issued by this SOA")
+        self._issued.remove(credential)
+        if self._directory is not None:
+            self._directory.revoke_credential(credential.holder, credential)

@@ -1,0 +1,249 @@
+"""The PERMIS CVS/PDP sub-system (paper Section 5, Figure 4).
+
+:class:`PermisPDP` reproduces the full decision pipeline:
+
+1. the CVS validates the user's credentials (pushed with the request, or
+   pulled from the LDAP-like directory) and extracts the valid roles;
+2. the PDP performs its normal RBAC check against the target-access
+   policy (with role-hierarchy inheritance);
+3. on an interim grant, the Section 4.2 MSoD algorithm runs over the
+   retained ADI;
+4. the request and response are logged to the secure audit trail, with
+   the committed retained-ADI mutation attached so the store can be
+   recovered at the next start-up (Section 5.2).
+
+"By adding the business context instance to the list of environmental
+parameters that are already passed to the PERMIS PDP, we have not needed
+to alter the Java API" — correspondingly, :meth:`PermisPDP.decision`
+takes the context instance as one extra keyword argument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.audit.recovery import decision_event_payload, recover_retained_adi
+from repro.audit.trail import EVENT_ADMIN, EVENT_DECISION, AuditTrailManager
+from repro.core.admin import RetainedADIManagementPort
+from repro.core.constraints import Role
+from repro.core.context import ContextName
+from repro.core.decision import Decision, DecisionRequest, Effect
+from repro.core.engine import MODE_STRICT, MSoDEngine
+from repro.core.retained_adi import InMemoryRetainedADIStore, RetainedADIStore
+from repro.framework.pdp import PolicyDecisionPoint
+from repro.permis.credentials import AttributeCredential, TrustStore
+from repro.permis.cvs import CredentialValidationService
+from repro.permis.directory import LdapDirectory, normalize_dn
+from repro.permis.policy import PermisPolicy
+
+
+class PermisPDP(PolicyDecisionPoint):
+    """The PERMIS decision point with MSoD support."""
+
+    def __init__(
+        self,
+        policy: PermisPolicy,
+        trust_store: TrustStore,
+        directory: LdapDirectory | None = None,
+        store: RetainedADIStore | None = None,
+        audit: AuditTrailManager | None = None,
+        clock: Callable[[], float] | None = None,
+        mode: str = MODE_STRICT,
+    ) -> None:
+        self._policy = policy
+        self._cvs = CredentialValidationService(policy, trust_store, directory)
+        self._store = store if store is not None else InMemoryRetainedADIStore()
+        self._engine = MSoDEngine(policy.msod_policy_set, self._store, mode=mode)
+        self._audit = audit
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._management_port = RetainedADIManagementPort(self._store)
+
+    # ------------------------------------------------------------------
+    @property
+    def cvs(self) -> CredentialValidationService:
+        return self._cvs
+
+    @property
+    def policy(self) -> PermisPolicy:
+        return self._policy
+
+    @property
+    def msod_engine(self) -> MSoDEngine:
+        return self._engine
+
+    @property
+    def retained_adi(self) -> RetainedADIStore:
+        return self._store
+
+    @property
+    def management_port(self) -> RetainedADIManagementPort:
+        """The Section 4.3 management port over this PDP's retained ADI.
+
+        Access is itself RBAC-protected: callers present roles, and by
+        default only ``RetainedADIController`` may purge or inspect.
+        Management operations performed through the port are logged to
+        the audit trail via :meth:`log_admin_event`.
+        """
+        return self._management_port
+
+    def log_admin_event(self, operation: str, detail: str, at: float) -> None:
+        """Record a management-port action in the secure audit trail."""
+        if self._audit is None:
+            return
+        self._audit.append(
+            EVENT_ADMIN, at, {"operation": operation, "detail": detail}
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def startup(
+        cls,
+        policy: PermisPolicy,
+        trust_store: TrustStore,
+        audit: AuditTrailManager,
+        directory: LdapDirectory | None = None,
+        last_n_trails: int | None = None,
+        since: float = 0.0,
+        clock: Callable[[], float] | None = None,
+        mode: str = MODE_STRICT,
+    ) -> "PermisPDP":
+        """Initialise a PDP, recovering its retained ADI from the trails.
+
+        Section 5.2: "At start up, the PDP reads in its policy, and then
+        processes the last n audit trails starting from time t ...  Once
+        its retained ADI is recovered to memory, the PDP is ready to
+        start making access control decisions again."
+        """
+        store = InMemoryRetainedADIStore()
+        recover_retained_adi(
+            audit,
+            policy.msod_policy_set,
+            store,
+            last_n_trails=last_n_trails,
+            since=since,
+        )
+        return cls(
+            policy,
+            trust_store,
+            directory=directory,
+            store=store,
+            audit=audit,
+            clock=clock,
+            mode=mode,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(
+        cls,
+        policy_dn: str,
+        trust_store: TrustStore,
+        directory: LdapDirectory,
+        audit: AuditTrailManager | None = None,
+        store: RetainedADIStore | None = None,
+        clock: Callable[[], float] | None = None,
+        mode: str = MODE_STRICT,
+        strict_msod: bool = True,
+    ) -> "PermisPDP":
+        """Bootstrap a PDP from the SOA's *signed* policy in the directory.
+
+        Real PERMIS PDPs read their XML policy from the SOA's LDAP entry
+        and verify its signature before trusting a single rule; an
+        unverifiable policy aborts start-up
+        (:class:`~repro.errors.CredentialError`).
+        """
+        from repro.permis.policy_store import load_policy
+
+        policy = load_policy(
+            directory, trust_store, policy_dn, strict_msod=strict_msod
+        )
+        return cls(
+            policy,
+            trust_store,
+            directory=directory,
+            store=store,
+            audit=audit,
+            clock=clock,
+            mode=mode,
+        )
+
+    # ------------------------------------------------------------------
+    def decision(
+        self,
+        holder_dn: str,
+        operation: str,
+        target: str,
+        context_instance: ContextName,
+        credentials: Iterable[AttributeCredential] | None = None,
+        roles: Iterable[Role] | None = None,
+        environment: Mapping[str, str] | None = None,
+        at: float | None = None,
+    ) -> Decision:
+        """Run the full CVS → RBAC → MSoD pipeline for one request.
+
+        Either ``credentials`` (push mode), ``roles`` (pre-validated,
+        e.g. by an upstream CVS) or neither (pull mode — the CVS fetches
+        from the directory) may be supplied.
+        """
+        when = self._clock() if at is None else at
+        holder = normalize_dn(holder_dn)
+        if roles is None:
+            validation = self._cvs.validate(holder, credentials, at=when)
+            valid_roles = validation.valid_roles
+        else:
+            valid_roles = frozenset(roles)
+
+        request = DecisionRequest(
+            user_id=holder,
+            roles=tuple(sorted(valid_roles, key=str)),
+            operation=operation,
+            target=target,
+            context_instance=context_instance,
+            timestamp=when,
+            environment=dict(environment or {}),
+        )
+
+        if not valid_roles:
+            decision = Decision(
+                effect=Effect.DENY,
+                request=request,
+                reason="CVS: no valid roles for holder",
+            )
+        elif not self._policy.permits(
+            valid_roles, request.privilege, request.environment, when
+        ):
+            decision = Decision(
+                effect=Effect.DENY,
+                request=request,
+                reason=(
+                    f"RBAC: no valid role grants {operation!r} on {target!r}"
+                ),
+            )
+        else:
+            decision = self._engine.check(request)
+
+        self._log(decision)
+        return decision
+
+    def decide(self, request: DecisionRequest) -> Decision:
+        """ISO-framework entry point: roles are taken as pre-validated."""
+        return self.decision(
+            request.user_id,
+            request.operation,
+            request.target,
+            request.context_instance,
+            roles=request.roles,
+            environment=request.environment,
+            at=request.timestamp,
+        )
+
+    # ------------------------------------------------------------------
+    def _log(self, decision: Decision) -> None:
+        """Every request and response is logged (Section 5.2)."""
+        if self._audit is None:
+            return
+        self._audit.append(
+            EVENT_DECISION,
+            decision.request.timestamp,
+            decision_event_payload(decision),
+        )

@@ -1,0 +1,267 @@
+"""The PERMIS RBAC policy (paper Sections 5.1-5.2).
+
+A PERMIS policy tells the CVS which Sources of Authority (SOAs) may
+assign which roles to which subjects, and tells the PDP which privileges
+each role confers.  The MSoD policy set (Section 3) rides along as a
+component of the RBAC policy: "MSoD policies are a component of RBAC
+policies.  When a PDP first initialises, it must read in the RBAC policy
+including the MSoD component" (Section 4.2).
+
+The policy is built programmatically with :class:`PermisPolicyBuilder`;
+the MSoD component can be loaded from Appendix-A XML via
+:mod:`repro.xmlpolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.constraints import Privilege, Role
+from repro.core.policy import MSoDPolicySet
+from repro.errors import PolicyError
+from repro.permis.conditions import Condition
+from repro.permis.directory import dn_is_under, normalize_dn
+from repro.rbac.hierarchy import RoleHierarchy
+
+
+def _role_key(role: Role) -> str:
+    return f"{role.role_type}:{role.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class RoleAssignmentRule:
+    """Authorises one SOA to assign a set of roles within a subject domain.
+
+    ``max_delegation_depth`` is how many times holders may re-delegate
+    the roles downstream of the SOA (0 = no delegation, the default).
+    """
+
+    soa_dn: str
+    roles: frozenset[Role]
+    subject_domain: str  # base DN of the domain
+    max_delegation_depth: int = 0
+
+    def permits(self, issuer_dn: str, holder_dn: str, role: Role) -> bool:
+        return (
+            normalize_dn(issuer_dn) == normalize_dn(self.soa_dn)
+            and role in self.roles
+            and dn_is_under(holder_dn, self.subject_domain)
+        )
+
+    def permits_delegated(
+        self, holder_dn: str, role: Role, depth: int
+    ) -> bool:
+        """May a chain rooted at this SOA carry ``role`` to ``holder_dn``
+        through ``depth`` delegation steps?"""
+        return (
+            role in self.roles
+            and dn_is_under(holder_dn, self.subject_domain)
+            and 0 < depth <= self.max_delegation_depth
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TargetAccessRule:
+    """Grants a set of privileges to a role (the PA relation).
+
+    ``condition`` is an optional environmental IF-clause; the grant only
+    applies when it evaluates true for the request's environment and
+    timestamp (PERMIS-style conditions, Section 4.1's contextual input).
+    """
+
+    role: Role
+    privileges: frozenset[Privilege]
+    condition: "Condition | None" = None
+
+
+class PermisPolicy:
+    """An immutable, fully validated PERMIS policy."""
+
+    def __init__(
+        self,
+        assignment_rules: Iterable[RoleAssignmentRule],
+        access_rules: Iterable[TargetAccessRule],
+        hierarchy: RoleHierarchy,
+        role_index: Mapping[str, Role],
+        msod: MSoDPolicySet,
+    ) -> None:
+        self._assignment_rules = tuple(assignment_rules)
+        self._access_rules = tuple(access_rules)
+        self._hierarchy = hierarchy
+        self._role_index = dict(role_index)
+        self._msod = msod
+        self._grants: dict[Role, frozenset[Privilege]] = {}
+        for rule in self._access_rules:
+            existing = self._grants.get(rule.role, frozenset())
+            self._grants[rule.role] = existing | rule.privileges
+
+    # ------------------------------------------------------------------
+    @property
+    def msod_policy_set(self) -> MSoDPolicySet:
+        return self._msod
+
+    @property
+    def assignment_rules(self) -> tuple[RoleAssignmentRule, ...]:
+        return self._assignment_rules
+
+    @property
+    def access_rules(self) -> tuple[TargetAccessRule, ...]:
+        return self._access_rules
+
+    def known_roles(self) -> frozenset[Role]:
+        return frozenset(self._role_index.values())
+
+    def hierarchy_edges(self) -> tuple[tuple[Role, Role], ...]:
+        """All immediate (senior, junior) role pairs, sorted for
+        deterministic serialisation."""
+        edges = []
+        for key, role in self._role_index.items():
+            for junior_key in self._hierarchy.immediate_juniors(key):
+                edges.append((role, self._role_index[junior_key]))
+        return tuple(
+            sorted(edges, key=lambda pair: (str(pair[0]), str(pair[1])))
+        )
+
+    # ------------------------------------------------------------------
+    def assignment_permitted(
+        self, issuer_dn: str, holder_dn: str, role: Role
+    ) -> bool:
+        """May this SOA assign this role to this holder?  (CVS check.)"""
+        return any(
+            rule.permits(issuer_dn, holder_dn, role)
+            for rule in self._assignment_rules
+        )
+
+    def delegation_permitted(
+        self, soa_dn: str, holder_dn: str, role: Role, depth: int
+    ) -> bool:
+        """May a delegation chain of ``depth`` steps rooted at ``soa_dn``
+        carry ``role`` to ``holder_dn``?"""
+        normalized = normalize_dn(soa_dn)
+        return any(
+            normalize_dn(rule.soa_dn) == normalized
+            and rule.permits_delegated(holder_dn, role, depth)
+            for rule in self._assignment_rules
+        )
+
+    def authorized_roles(self, roles: Iterable[Role]) -> frozenset[Role]:
+        """Close a validated role set downward over the role hierarchy."""
+        keys = [_role_key(role) for role in roles if _role_key(role) in
+                self._role_index]
+        closed = self._hierarchy.authorized_roles(keys) if keys else frozenset()
+        result = {self._role_index[key] for key in closed}
+        # Roles outside the hierarchy still stand for themselves.
+        result.update(role for role in roles)
+        return frozenset(result)
+
+    def privileges_of(self, roles: Iterable[Role]) -> frozenset[Privilege]:
+        """All privileges conferrable by the roles (hierarchy-closed),
+        ignoring conditions — a review function, not an access check."""
+        privileges: set[Privilege] = set()
+        for role in self.authorized_roles(roles):
+            privileges |= self._grants.get(role, frozenset())
+        return frozenset(privileges)
+
+    def permits(
+        self,
+        roles: Iterable[Role],
+        privilege: Privilege,
+        environment: Mapping[str, str] | None = None,
+        at: float = 0.0,
+    ) -> bool:
+        """The PDP's "normal checking against the RBAC policy".
+
+        A rule with a condition only grants when the condition holds for
+        the request's environment and timestamp.
+        """
+        environment = environment if environment is not None else {}
+        authorized = self.authorized_roles(roles)
+        for rule in self._access_rules:
+            if rule.role not in authorized:
+                continue
+            if privilege not in rule.privileges:
+                continue
+            if rule.condition is None or rule.condition.evaluate(
+                environment, at
+            ):
+                return True
+        return False
+
+
+class PermisPolicyBuilder:
+    """Fluent construction of a :class:`PermisPolicy`."""
+
+    def __init__(self) -> None:
+        self._assignment_rules: list[RoleAssignmentRule] = []
+        self._access_rules: list[TargetAccessRule] = []
+        self._hierarchy = RoleHierarchy()
+        self._role_index: dict[str, Role] = {}
+        self._msod = MSoDPolicySet()
+
+    def role(self, role: Role) -> "PermisPolicyBuilder":
+        """Declare a role (needed before hierarchy edges mention it)."""
+        key = _role_key(role)
+        if key not in self._role_index:
+            self._role_index[key] = role
+            self._hierarchy.add_role(key)
+        return self
+
+    def senior_to(self, senior: Role, junior: Role) -> "PermisPolicyBuilder":
+        """Declare ``senior`` inherits all privileges of ``junior``."""
+        self.role(senior)
+        self.role(junior)
+        self._hierarchy.add_inheritance(_role_key(senior), _role_key(junior))
+        return self
+
+    def allow_assignment(
+        self,
+        soa_dn: str,
+        roles: Iterable[Role],
+        subject_domain: str,
+        max_delegation_depth: int = 0,
+    ) -> "PermisPolicyBuilder":
+        role_set = frozenset(roles)
+        if not role_set:
+            raise PolicyError("assignment rule needs at least one role")
+        if max_delegation_depth < 0:
+            raise PolicyError("max_delegation_depth must be >= 0")
+        for role in role_set:
+            self.role(role)
+        self._assignment_rules.append(
+            RoleAssignmentRule(
+                normalize_dn(soa_dn),
+                role_set,
+                normalize_dn(subject_domain),
+                max_delegation_depth,
+            )
+        )
+        return self
+
+    def grant(
+        self,
+        role: Role,
+        privileges: Iterable[Privilege],
+        condition: Condition | None = None,
+    ) -> "PermisPolicyBuilder":
+        privilege_set = frozenset(privileges)
+        if not privilege_set:
+            raise PolicyError("target access rule needs at least one privilege")
+        self.role(role)
+        self._access_rules.append(
+            TargetAccessRule(role, privilege_set, condition)
+        )
+        return self
+
+    def with_msod(self, msod: MSoDPolicySet) -> "PermisPolicyBuilder":
+        self._msod = msod
+        return self
+
+    def build(self) -> PermisPolicy:
+        return PermisPolicy(
+            assignment_rules=self._assignment_rules,
+            access_rules=self._access_rules,
+            hierarchy=self._hierarchy,
+            role_index=self._role_index,
+            msod=self._msod,
+        )

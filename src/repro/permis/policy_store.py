@@ -1,0 +1,106 @@
+"""Signed policy storage: PERMIS policies live in the directory.
+
+In PERMIS the SOA's XML policy is itself embedded in a signed X.509
+attribute certificate and published in the SOA's LDAP entry; the PDP
+pulls it at start-up and verifies the signature before trusting a single
+rule.  This module reproduces that loop with the same HMAC substitution
+used for role credentials (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import CredentialError
+from repro.permis.credentials import TrustStore
+from repro.permis.directory import LdapDirectory, normalize_dn
+from repro.permis.policy import PermisPolicy
+from repro.permis.xml import parse_permis_policy, write_permis_policy
+
+#: Directory attribute holding the SOA's signed policy.
+POLICY_ATTRIBUTE = "pmiXMLPolicy"
+
+
+@dataclass(frozen=True, slots=True)
+class SignedPolicy:
+    """An XML policy document sealed by its issuing SOA."""
+
+    issuer: str  # SOA DN
+    xml: str
+    signature: str
+
+    def payload(self) -> bytes:
+        return b"|".join([self.issuer.encode(), self.xml.encode()])
+
+
+def sign_policy_xml(issuer_dn: str, xml: str, key: bytes) -> SignedPolicy:
+    """Seal a policy document with the SOA's key."""
+    if not key:
+        raise CredentialError("policy signing key must be non-empty")
+    issuer = normalize_dn(issuer_dn)
+    signature = hmac.new(
+        key, b"|".join([issuer.encode(), xml.encode()]), hashlib.sha256
+    ).hexdigest()
+    return SignedPolicy(issuer=issuer, xml=xml, signature=signature)
+
+
+def verify_signed_policy(signed: SignedPolicy, trust: TrustStore) -> bool:
+    """True when the seal verifies under the trusted key of its issuer."""
+    if not trust.is_trusted(signed.issuer):
+        return False
+    expected = hmac.new(
+        trust.key_for(signed.issuer), signed.payload(), hashlib.sha256
+    ).hexdigest()
+    return hmac.compare_digest(signed.signature, expected)
+
+
+def publish_policy(
+    directory: LdapDirectory,
+    issuer_dn: str,
+    policy: PermisPolicy,
+    key: bytes,
+    policy_dn: str | None = None,
+) -> SignedPolicy:
+    """Serialise, sign and publish a policy under the SOA's entry.
+
+    Returns the published :class:`SignedPolicy`.  A previously published
+    policy under the same entry is replaced (one current policy per SOA).
+    """
+    signed = sign_policy_xml(issuer_dn, write_permis_policy(policy), key)
+    entry = directory.ensure_entry(
+        policy_dn if policy_dn is not None else issuer_dn
+    )
+    for existing in entry.values(POLICY_ATTRIBUTE):
+        entry.remove_value(POLICY_ATTRIBUTE, existing)
+    entry.add_value(POLICY_ATTRIBUTE, signed)
+    return signed
+
+
+def load_policy(
+    directory: LdapDirectory,
+    trust: TrustStore,
+    policy_dn: str,
+    strict_msod: bool = True,
+) -> PermisPolicy:
+    """Fetch, verify and parse the signed policy at ``policy_dn``.
+
+    Raises :class:`~repro.errors.CredentialError` when no policy is
+    published or the seal does not verify — a PDP must refuse to start
+    on an unverifiable policy.
+    """
+    entry = directory.get_entry(policy_dn)
+    candidates = [
+        value
+        for value in entry.values(POLICY_ATTRIBUTE)
+        if isinstance(value, SignedPolicy)
+    ]
+    if not candidates:
+        raise CredentialError(f"no signed policy published at {policy_dn!r}")
+    signed = candidates[-1]
+    if not verify_signed_policy(signed, trust):
+        raise CredentialError(
+            f"policy at {policy_dn!r} failed signature verification"
+        )
+    return parse_permis_policy(signed.xml, strict_msod=strict_msod)

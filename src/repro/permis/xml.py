@@ -1,0 +1,364 @@
+"""The PERMIS XML policy format (Figure 4's policy-management subsystem).
+
+Real PERMIS policies are XML documents — subject domains, SOAs, a role
+hierarchy, role-assignment rules, target-access rules — created by the
+policy-management sub-system, signed by the SOA and published to the
+LDAP directory, from which the PDP reads and verifies them at start-up.
+This module provides the document format for this reproduction's
+:class:`~repro.permis.policy.PermisPolicy`, embedding the paper's
+Appendix-A ``<MSoDPolicySet>`` verbatim as the MSoD component
+(Section 4.2: "MSoD policies are a component of RBAC policies").
+
+Layout::
+
+    <PermisRBACPolicy OID="...">
+      <SOAPolicy>
+        <SOA ID="soa1" LDAPDN="cn=SOA,o=bank,c=gb"/>
+      </SOAPolicy>
+      <RoleHierarchyPolicy>
+        <Superior type="employee" value="Manager">
+          <Junior type="employee" value="Teller"/>
+        </Superior>
+      </RoleHierarchyPolicy>
+      <RoleAssignmentPolicy>
+        <RoleAssignment SOA="soa1" SubjectDomain="o=bank,c=gb"
+                        DelegateDepth="1">
+          <Role type="employee" value="Teller"/>
+        </RoleAssignment>
+      </RoleAssignmentPolicy>
+      <TargetAccessPolicy>
+        <TargetAccess>
+          <Role type="employee" value="Teller"/>
+          <Privilege operation="handleCash" target="till://main"/>
+          <Condition> ... </Condition>          <!-- optional -->
+        </TargetAccess>
+      </TargetAccessPolicy>
+      <MSoDPolicySet> ... </MSoDPolicySet>      <!-- optional, Appendix A -->
+    </PermisRBACPolicy>
+
+Conditions serialise recursively: ``<TimeWindow start= end=/>``,
+``<EnvEquals key= value=/>``, ``<EnvOneOf key= values=/>`` (values
+comma-separated), ``<AllOf>``, ``<AnyOf>``, ``<Not>``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.core.constraints import Privilege, Role
+from repro.errors import PolicyParseError
+from repro.permis.conditions import (
+    AllOf,
+    AnyOf,
+    Condition,
+    EnvEquals,
+    EnvOneOf,
+    Negation,
+    TimeWindow,
+)
+from repro.permis.policy import PermisPolicy, PermisPolicyBuilder
+from repro.xmlpolicy.parser import parse_policy_set_element
+from repro.xmlpolicy.writer import policy_set_to_element
+
+ELEM_POLICY = "PermisRBACPolicy"
+ATTR_OID = "OID"
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+def condition_to_element(condition: Condition) -> ET.Element:
+    """Serialise a condition tree (used inside <Condition>)."""
+    if isinstance(condition, TimeWindow):
+        element = ET.Element("TimeWindow")
+        element.set("start", repr(condition._start))
+        element.set("end", repr(condition._end))
+        element.set("dayLength", repr(condition._day_length))
+        return element
+    if isinstance(condition, EnvEquals):
+        element = ET.Element("EnvEquals")
+        element.set("key", condition._key)
+        element.set("value", condition._value)
+        return element
+    if isinstance(condition, EnvOneOf):
+        element = ET.Element("EnvOneOf")
+        element.set("key", condition._key)
+        element.set("values", ",".join(sorted(condition._values)))
+        return element
+    if isinstance(condition, AllOf):
+        element = ET.Element("AllOf")
+        for child in condition._conditions:
+            element.append(condition_to_element(child))
+        return element
+    if isinstance(condition, AnyOf):
+        element = ET.Element("AnyOf")
+        for child in condition._conditions:
+            element.append(condition_to_element(child))
+        return element
+    if isinstance(condition, Negation):
+        element = ET.Element("Not")
+        element.append(condition_to_element(condition._condition))
+        return element
+    raise PolicyParseError(
+        f"condition type {type(condition).__name__} has no XML form"
+    )
+
+
+def condition_from_element(element: ET.Element) -> Condition:
+    """Parse a condition tree."""
+    tag = element.tag
+    if tag == "TimeWindow":
+        return TimeWindow(
+            float(element.get("start")),
+            float(element.get("end")),
+            float(element.get("dayLength", "86400")),
+        )
+    if tag == "EnvEquals":
+        return EnvEquals(element.get("key", ""), element.get("value", ""))
+    if tag == "EnvOneOf":
+        return EnvOneOf(
+            element.get("key", ""),
+            [value for value in element.get("values", "").split(",") if value],
+        )
+    if tag == "AllOf":
+        return AllOf(*(condition_from_element(child) for child in element))
+    if tag == "AnyOf":
+        return AnyOf(*(condition_from_element(child) for child in element))
+    if tag == "Not":
+        children = list(element)
+        if len(children) != 1:
+            raise PolicyParseError("<Not> needs exactly one child condition")
+        return Negation(condition_from_element(children[0]))
+    raise PolicyParseError(f"unknown condition element <{tag}>")
+
+
+# ----------------------------------------------------------------------
+# Roles / privileges
+# ----------------------------------------------------------------------
+def _role_element(role: Role) -> ET.Element:
+    element = ET.Element("Role")
+    element.set("type", role.role_type)
+    element.set("value", role.value)
+    return element
+
+
+def _role_from(element: ET.Element) -> Role:
+    role_type = element.get("type")
+    value = element.get("value")
+    if not role_type or not value:
+        raise PolicyParseError("<Role> needs type and value attributes")
+    return Role(role_type, value)
+
+
+def _privilege_element(privilege: Privilege) -> ET.Element:
+    element = ET.Element("Privilege")
+    element.set("operation", privilege.operation)
+    element.set("target", privilege.target)
+    return element
+
+
+def _privilege_from(element: ET.Element) -> Privilege:
+    operation = element.get("operation")
+    target = element.get("target")
+    if not operation or not target:
+        raise PolicyParseError(
+            "<Privilege> needs operation and target attributes"
+        )
+    return Privilege(operation, target)
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def permis_policy_to_element(
+    policy: PermisPolicy, oid: str = "1.2.826.0.1.3344810.6.0.0.1"
+) -> ET.Element:
+    root = ET.Element(ELEM_POLICY)
+    root.set(ATTR_OID, oid)
+
+    soa_ids: dict[str, str] = {}
+    soa_policy = ET.SubElement(root, "SOAPolicy")
+    for rule in policy.assignment_rules:
+        if rule.soa_dn not in soa_ids:
+            soa_ids[rule.soa_dn] = f"soa{len(soa_ids) + 1}"
+            soa = ET.SubElement(soa_policy, "SOA")
+            soa.set("ID", soa_ids[rule.soa_dn])
+            soa.set("LDAPDN", rule.soa_dn)
+
+    hierarchy_policy = ET.SubElement(root, "RoleHierarchyPolicy")
+    for senior, junior in policy.hierarchy_edges():
+        superior = ET.SubElement(hierarchy_policy, "Superior")
+        superior.set("type", senior.role_type)
+        superior.set("value", senior.value)
+        junior_elem = ET.SubElement(superior, "Junior")
+        junior_elem.set("type", junior.role_type)
+        junior_elem.set("value", junior.value)
+
+    assignment_policy = ET.SubElement(root, "RoleAssignmentPolicy")
+    for rule in policy.assignment_rules:
+        assignment = ET.SubElement(assignment_policy, "RoleAssignment")
+        assignment.set("SOA", soa_ids[rule.soa_dn])
+        assignment.set("SubjectDomain", rule.subject_domain)
+        assignment.set("DelegateDepth", str(rule.max_delegation_depth))
+        for role in sorted(rule.roles, key=str):
+            assignment.append(_role_element(role))
+
+    access_policy = ET.SubElement(root, "TargetAccessPolicy")
+    for rule in policy.access_rules:
+        access = ET.SubElement(access_policy, "TargetAccess")
+        access.append(_role_element(rule.role))
+        for privilege in sorted(rule.privileges, key=str):
+            access.append(_privilege_element(privilege))
+        if rule.condition is not None:
+            condition = ET.SubElement(access, "Condition")
+            condition.append(condition_to_element(rule.condition))
+
+    msod = policy.msod_policy_set
+    if len(msod):
+        root.append(policy_set_to_element(msod))
+    return root
+
+
+def write_permis_policy(
+    policy: PermisPolicy,
+    oid: str = "1.2.826.0.1.3344810.6.0.0.1",
+    pretty: bool = True,
+) -> str:
+    """Serialise a PERMIS policy (with its MSoD component) to XML."""
+    raw = ET.tostring(permis_policy_to_element(policy, oid), encoding="unicode")
+    if not pretty:
+        return raw
+    text = minidom.parseString(raw).toprettyxml(indent="  ")
+    return "\n".join(line for line in text.splitlines() if line.strip())
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def parse_permis_policy(text: str, strict_msod: bool = True) -> PermisPolicy:
+    """Parse a PERMIS XML policy document into a :class:`PermisPolicy`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PolicyParseError(f"not well-formed XML: {exc}") from exc
+    return parse_permis_policy_element(root, strict_msod=strict_msod)
+
+
+def parse_permis_policy_element(
+    root: ET.Element, strict_msod: bool = True
+) -> PermisPolicy:
+    """Parse an already-built ``<PermisRBACPolicy>`` element tree."""
+    if root.tag != ELEM_POLICY:
+        raise PolicyParseError(
+            f"root element must be <{ELEM_POLICY}>, got <{root.tag}>"
+        )
+    builder = PermisPolicyBuilder()
+
+    soa_dns: dict[str, str] = {}
+    soa_policy = root.find("SOAPolicy")
+    if soa_policy is not None:
+        for soa in soa_policy:
+            if soa.tag != "SOA":
+                raise PolicyParseError(
+                    f"unexpected <{soa.tag}> inside <SOAPolicy>"
+                )
+            soa_id = soa.get("ID")
+            dn = soa.get("LDAPDN")
+            if not soa_id or not dn:
+                raise PolicyParseError("<SOA> needs ID and LDAPDN attributes")
+            if soa_id in soa_dns:
+                raise PolicyParseError(f"duplicate SOA ID {soa_id!r}")
+            soa_dns[soa_id] = dn
+
+    hierarchy_policy = root.find("RoleHierarchyPolicy")
+    if hierarchy_policy is not None:
+        for superior in hierarchy_policy:
+            if superior.tag != "Superior":
+                raise PolicyParseError(
+                    f"unexpected <{superior.tag}> inside <RoleHierarchyPolicy>"
+                )
+            senior = _role_from(superior)
+            for junior_elem in superior:
+                if junior_elem.tag != "Junior":
+                    raise PolicyParseError(
+                        f"unexpected <{junior_elem.tag}> inside <Superior>"
+                    )
+                builder.senior_to(senior, _role_from(junior_elem))
+
+    assignment_policy = root.find("RoleAssignmentPolicy")
+    if assignment_policy is not None:
+        for assignment in assignment_policy:
+            if assignment.tag != "RoleAssignment":
+                raise PolicyParseError(
+                    f"unexpected <{assignment.tag}> inside "
+                    "<RoleAssignmentPolicy>"
+                )
+            soa_id = assignment.get("SOA")
+            if soa_id not in soa_dns:
+                raise PolicyParseError(
+                    f"<RoleAssignment> references unknown SOA {soa_id!r}"
+                )
+            domain = assignment.get("SubjectDomain")
+            if not domain:
+                raise PolicyParseError(
+                    "<RoleAssignment> needs a SubjectDomain attribute"
+                )
+            try:
+                depth = int(assignment.get("DelegateDepth", "0"))
+            except ValueError as exc:
+                raise PolicyParseError(
+                    "<RoleAssignment> DelegateDepth must be an integer"
+                ) from exc
+            roles = [_role_from(role) for role in assignment]
+            if not roles:
+                raise PolicyParseError(
+                    "<RoleAssignment> needs at least one <Role>"
+                )
+            builder.allow_assignment(
+                soa_dns[soa_id], roles, domain, max_delegation_depth=depth
+            )
+
+    access_policy = root.find("TargetAccessPolicy")
+    if access_policy is not None:
+        for access in access_policy:
+            if access.tag != "TargetAccess":
+                raise PolicyParseError(
+                    f"unexpected <{access.tag}> inside <TargetAccessPolicy>"
+                )
+            role = None
+            privileges = []
+            condition = None
+            for child in access:
+                if child.tag == "Role":
+                    if role is not None:
+                        raise PolicyParseError(
+                            "<TargetAccess> may name only one <Role>"
+                        )
+                    role = _role_from(child)
+                elif child.tag == "Privilege":
+                    privileges.append(_privilege_from(child))
+                elif child.tag == "Condition":
+                    nested = list(child)
+                    if len(nested) != 1:
+                        raise PolicyParseError(
+                            "<Condition> needs exactly one child"
+                        )
+                    condition = condition_from_element(nested[0])
+                else:
+                    raise PolicyParseError(
+                        f"unexpected <{child.tag}> inside <TargetAccess>"
+                    )
+            if role is None or not privileges:
+                raise PolicyParseError(
+                    "<TargetAccess> needs a <Role> and at least one "
+                    "<Privilege>"
+                )
+            builder.grant(role, privileges, condition=condition)
+
+    msod_element = root.find("MSoDPolicySet")
+    if msod_element is not None:
+        builder.with_msod(
+            parse_policy_set_element(msod_element, strict=strict_msod)
+        )
+    return builder.build()

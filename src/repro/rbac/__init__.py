@@ -1,0 +1,30 @@
+"""ANSI INCITS 359-2004 RBAC substrate (paper Section 2.1, Figure 1).
+
+Provides core RBAC (users, roles, permissions, sessions, ``CheckAccess``),
+general/limited role hierarchies, SSD and DSD constraint sets, and the
+full complement of review functions.
+"""
+
+from repro.rbac.constraints import DsdConstraint, SoDSet, SsdConstraint
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import Permission
+from repro.rbac.msod_system import (
+    ANSI_ROLE_TYPE,
+    MSoDAwareRBACSystem,
+    as_msod_role,
+)
+from repro.rbac.sessions import Session
+from repro.rbac.system import RBACSystem
+
+__all__ = [
+    "Permission",
+    "RoleHierarchy",
+    "Session",
+    "RBACSystem",
+    "SoDSet",
+    "SsdConstraint",
+    "DsdConstraint",
+    "MSoDAwareRBACSystem",
+    "as_msod_role",
+    "ANSI_ROLE_TYPE",
+]

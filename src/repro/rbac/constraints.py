@@ -1,0 +1,64 @@
+"""ANSI RBAC SSD and DSD constraint sets (Figure 1, paper Section 2.1).
+
+A *static separation of duty* (SSD) set ``(roles, n)`` requires that no
+user is assigned to ``n`` or more roles of the set.  With a role
+hierarchy, the constraint applies to the user's *authorized* roles
+(assigned roles plus everything they inherit).
+
+A *dynamic separation of duty* (DSD) set ``(roles, n)`` requires that no
+single session has ``n`` or more roles of the set active simultaneously.
+
+These are the standard constraints the paper shows to be insufficient for
+multi-session conflicts; they are implemented in full both as part of the
+RBAC substrate (enforced at assignment/activation time) and re-used by
+the :mod:`repro.baselines` comparison benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class SoDSet:
+    """A named m-out-of-n separation constraint over a role set."""
+
+    name: str
+    roles: frozenset[str]
+    cardinality: int
+
+    def __init__(self, name: str, roles: Iterable[str], cardinality: int) -> None:
+        role_set = frozenset(roles)
+        if not name:
+            raise ConstraintError("constraint set needs a name")
+        if len(role_set) < 2:
+            raise ConstraintError(
+                f"constraint set {name!r} needs at least 2 distinct roles"
+            )
+        if not 2 <= cardinality <= len(role_set):
+            raise ConstraintError(
+                f"constraint set {name!r}: cardinality must satisfy "
+                f"2 <= n <= |roles| (got {cardinality} for {len(role_set)} roles)"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "roles", role_set)
+        object.__setattr__(self, "cardinality", cardinality)
+
+    def violated_by(self, role_set: Iterable[str]) -> bool:
+        """True when ``role_set`` holds ``cardinality`` or more set members."""
+        count = len(self.roles & set(role_set))
+        return count >= self.cardinality
+
+    def with_roles(self, roles: Iterable[str]) -> "SoDSet":
+        return SoDSet(self.name, roles, min(self.cardinality, len(set(roles))))
+
+
+class SsdConstraint(SoDSet):
+    """Static SoD: constrains the roles *assigned/authorized* to a user."""
+
+
+class DsdConstraint(SoDSet):
+    """Dynamic SoD: constrains the roles *active* within one session."""

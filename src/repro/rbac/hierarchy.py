@@ -1,0 +1,131 @@
+"""Hierarchical RBAC: the role hierarchy (RH) relation of Figure 1.
+
+Implements the *general* role hierarchy of ANSI INCITS 359-2004: an
+arbitrary acyclic partial order over roles, where a senior role inherits
+all permissions of its juniors and every user assigned to a senior role
+is authorized for its juniors.
+
+``senior >= junior`` is written here as an *inheritance edge*
+``(senior, junior)``.  The hierarchy rejects edges that would create a
+cycle, and supports the ANSI limited-hierarchy restriction (each role has
+at most one immediate descendant) as an optional construction flag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import RBACError, UnknownEntityError
+
+
+class RoleHierarchy:
+    """An immutable-by-convention DAG of role inheritance."""
+
+    def __init__(self, limited: bool = False) -> None:
+        self._juniors: dict[str, set[str]] = {}
+        self._seniors: dict[str, set[str]] = {}
+        self._limited = limited
+
+    # ------------------------------------------------------------------
+    @property
+    def limited(self) -> bool:
+        """True when the ANSI limited-hierarchy restriction is enforced."""
+        return self._limited
+
+    def add_role(self, role: str) -> None:
+        """Register a role with no inheritance relationships yet."""
+        self._juniors.setdefault(role, set())
+        self._seniors.setdefault(role, set())
+
+    def remove_role(self, role: str) -> None:
+        """Drop a role and all its edges."""
+        for junior in self._juniors.pop(role, set()):
+            self._seniors[junior].discard(role)
+        for senior in self._seniors.pop(role, set()):
+            self._juniors[senior].discard(role)
+
+    def roles(self) -> frozenset[str]:
+        return frozenset(self._juniors)
+
+    # ------------------------------------------------------------------
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        """ANSI ``AddInheritance``: establish ``senior >= junior``.
+
+        Rejects self-inheritance, unknown roles, duplicate edges and
+        edges that would introduce a cycle; with ``limited=True`` also
+        rejects a second immediate junior for the same senior.
+        """
+        if senior == junior:
+            raise RBACError(f"role {senior!r} cannot inherit itself")
+        for role in (senior, junior):
+            if role not in self._juniors:
+                raise UnknownEntityError(f"unknown role {role!r}")
+        if junior in self._juniors[senior]:
+            raise RBACError(f"inheritance {senior!r} >= {junior!r} already exists")
+        if self.inherits(junior, senior):
+            raise RBACError(
+                f"adding {senior!r} >= {junior!r} would create a cycle"
+            )
+        if self._limited and self._juniors[senior]:
+            raise RBACError(
+                f"limited hierarchy: {senior!r} already has an immediate junior"
+            )
+        self._juniors[senior].add(junior)
+        self._seniors[junior].add(senior)
+
+    def delete_inheritance(self, senior: str, junior: str) -> None:
+        """ANSI ``DeleteInheritance``: remove an immediate edge."""
+        if junior not in self._juniors.get(senior, set()):
+            raise RBACError(f"no immediate inheritance {senior!r} >= {junior!r}")
+        self._juniors[senior].discard(junior)
+        self._seniors[junior].discard(senior)
+
+    # ------------------------------------------------------------------
+    def _closure(self, start: str, edges: Mapping[str, set[str]]) -> frozenset[str]:
+        if start not in edges:
+            raise UnknownEntityError(f"unknown role {start!r}")
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            role = stack.pop()
+            for nxt in edges.get(role, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def juniors_of(self, role: str) -> frozenset[str]:
+        """All roles transitively inherited by ``role`` (excluding it)."""
+        return self._closure(role, self._juniors)
+
+    def seniors_of(self, role: str) -> frozenset[str]:
+        """All roles that transitively inherit ``role`` (excluding it)."""
+        return self._closure(role, self._seniors)
+
+    def inherits(self, senior: str, junior: str) -> bool:
+        """True when ``senior >= junior`` in the transitive closure."""
+        if senior == junior:
+            return True
+        return junior in self.juniors_of(senior)
+
+    def authorized_roles(self, assigned: Iterable[str]) -> frozenset[str]:
+        """All roles a user with the given assignments is authorized for.
+
+        A user assigned a senior role is implicitly authorized for every
+        junior of it (downward closure over the hierarchy).
+        """
+        authorized: set[str] = set()
+        for role in assigned:
+            authorized.add(role)
+            authorized |= self.juniors_of(role)
+        return frozenset(authorized)
+
+    def immediate_juniors(self, role: str) -> frozenset[str]:
+        if role not in self._juniors:
+            raise UnknownEntityError(f"unknown role {role!r}")
+        return frozenset(self._juniors[role])
+
+    def immediate_seniors(self, role: str) -> frozenset[str]:
+        if role not in self._seniors:
+            raise UnknownEntityError(f"unknown role {role!r}")
+        return frozenset(self._seniors[role])

@@ -1,0 +1,31 @@
+"""Basic element sets of the ANSI RBAC reference model (Figure 1).
+
+ANSI INCITS 359-2004 defines five basic data elements — users, roles,
+objects, operations and permissions — plus the user-assignment (UA) and
+permission-assignment (PA) relations.  Users, roles, operations and
+objects are identified by strings; a permission is an (operation, object)
+pair, i.e. "the right to perform an operation on an object".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RBACError
+
+
+@dataclass(frozen=True, slots=True)
+class Permission:
+    """An approval to perform an operation on a protected object."""
+
+    operation: str
+    obj: str
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise RBACError("permission operation must be non-empty")
+        if not self.obj:
+            raise RBACError("permission object must be non-empty")
+
+    def __str__(self) -> str:
+        return f"({self.operation}, {self.obj})"

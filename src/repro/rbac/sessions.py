@@ -1,0 +1,75 @@
+"""User access-control sessions (Figure 1's ``Sessions`` element).
+
+A session maps one user to a subset of the roles they are authorized
+for.  "A user must be active in a role before he can exercise the
+privileges of that role" (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SessionError
+
+
+class Session:
+    """One user session with its activated role set."""
+
+    __slots__ = ("_session_id", "_user", "_active_roles", "_alive")
+
+    def __init__(self, session_id: str, user: str) -> None:
+        if not session_id:
+            raise SessionError("session id must be non-empty")
+        if not user:
+            raise SessionError("session user must be non-empty")
+        self._session_id = session_id
+        self._user = user
+        self._active_roles: set[str] = set()
+        self._alive = True
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    @property
+    def user(self) -> str:
+        return self._user
+
+    @property
+    def active_roles(self) -> frozenset[str]:
+        return frozenset(self._active_roles)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _ensure_alive(self) -> None:
+        if not self._alive:
+            raise SessionError(f"session {self._session_id!r} is terminated")
+
+    def activate(self, role: str) -> None:
+        """Record a role as active (authorization is checked by the system)."""
+        self._ensure_alive()
+        if role in self._active_roles:
+            raise SessionError(
+                f"role {role!r} is already active in session {self._session_id!r}"
+            )
+        self._active_roles.add(role)
+
+    def drop(self, role: str) -> None:
+        self._ensure_alive()
+        if role not in self._active_roles:
+            raise SessionError(
+                f"role {role!r} is not active in session {self._session_id!r}"
+            )
+        self._active_roles.discard(role)
+
+    def terminate(self) -> None:
+        """End the session; it can no longer activate roles."""
+        self._alive = False
+        self._active_roles.clear()
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "terminated"
+        return (
+            f"Session({self._session_id!r}, user={self._user!r}, "
+            f"active={sorted(self._active_roles)}, {state})"
+        )

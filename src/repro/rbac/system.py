@@ -1,0 +1,385 @@
+"""An ANSI INCITS 359-2004 RBAC system facade.
+
+Combines core RBAC (users, roles, UA, PA, sessions, ``CheckAccess``),
+hierarchical RBAC (general or limited role hierarchies) and the SSD/DSD
+constrained-RBAC components into one administrative and decision API.
+Method names follow the ANSI functional specification (snake-cased).
+
+This is the substrate of paper Figure 1 — the system whose assignment-
+time (SSD) and activation-time (DSD) enforcement points the paper shows
+to be insufficient for multi-session conflicts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.errors import (
+    ConstraintViolationError,
+    DuplicateEntityError,
+    RBACError,
+    SessionError,
+    UnknownEntityError,
+)
+from repro.rbac.constraints import DsdConstraint, SsdConstraint
+from repro.rbac.hierarchy import RoleHierarchy
+from repro.rbac.model import Permission
+from repro.rbac.sessions import Session
+
+
+class RBACSystem:
+    """A complete ANSI RBAC reference implementation."""
+
+    def __init__(self, limited_hierarchy: bool = False) -> None:
+        self._users: set[str] = set()
+        self._roles: set[str] = set()
+        self._ua: dict[str, set[str]] = {}  # user -> assigned roles
+        self._pa: dict[str, set[Permission]] = {}  # role -> permissions
+        self._hierarchy = RoleHierarchy(limited=limited_hierarchy)
+        self._ssd: dict[str, SsdConstraint] = {}
+        self._dsd: dict[str, DsdConstraint] = {}
+        self._sessions: dict[str, Session] = {}
+        self._session_counter = itertools.count(1)
+
+    # ==================================================================
+    # Core RBAC: administrative commands
+    # ==================================================================
+    def add_user(self, user: str) -> None:
+        if user in self._users:
+            raise DuplicateEntityError(f"user {user!r} already exists")
+        self._users.add(user)
+        self._ua[user] = set()
+
+    def delete_user(self, user: str) -> None:
+        """Remove a user; their sessions are terminated (ANSI semantics)."""
+        self._require_user(user)
+        for session in list(self._sessions.values()):
+            if session.user == user:
+                self.delete_session(session.session_id)
+        del self._ua[user]
+        self._users.discard(user)
+
+    def add_role(self, role: str) -> None:
+        if role in self._roles:
+            raise DuplicateEntityError(f"role {role!r} already exists")
+        self._roles.add(role)
+        self._pa[role] = set()
+        self._hierarchy.add_role(role)
+
+    def delete_role(self, role: str) -> None:
+        """Remove a role from every relation it participates in."""
+        self._require_role(role)
+        for session in self._sessions.values():
+            if role in session.active_roles:
+                session.drop(role)
+        for assigned in self._ua.values():
+            assigned.discard(role)
+        self._hierarchy.remove_role(role)
+        del self._pa[role]
+        self._roles.discard(role)
+
+    def assign_user(self, user: str, role: str) -> None:
+        """ANSI ``AssignUser`` — the SSD enforcement point.
+
+        The assignment is rejected when the user's *authorized* role set
+        (assigned roles closed downward over the hierarchy, plus the new
+        role and its juniors) would violate any SSD constraint.  This is
+        the paper's Section 2.1 observation: SSD "can be enforced by the
+        administrative function at role assignment time because the
+        administrative system has full control over the assignment of all
+        roles to users" — an assumption MSoD removes.
+        """
+        self._require_user(user)
+        self._require_role(role)
+        if role in self._ua[user]:
+            raise DuplicateEntityError(f"user {user!r} already has role {role!r}")
+        prospective = self._hierarchy.authorized_roles(self._ua[user] | {role})
+        for constraint in self._ssd.values():
+            if constraint.violated_by(prospective):
+                raise ConstraintViolationError(
+                    f"assigning {role!r} to {user!r} violates SSD set "
+                    f"{constraint.name!r}"
+                )
+        self._ua[user].add(role)
+
+    def deassign_user(self, user: str, role: str) -> None:
+        self._require_user(user)
+        if role not in self._ua[user]:
+            raise UnknownEntityError(f"user {user!r} does not have role {role!r}")
+        for session in self._sessions.values():
+            if session.user == user and role in session.active_roles:
+                session.drop(role)
+        self._ua[user].discard(role)
+
+    def grant_permission(self, role: str, permission: Permission) -> None:
+        self._require_role(role)
+        if permission in self._pa[role]:
+            raise DuplicateEntityError(
+                f"role {role!r} already holds permission {permission}"
+            )
+        self._pa[role].add(permission)
+
+    def revoke_permission(self, role: str, permission: Permission) -> None:
+        self._require_role(role)
+        if permission not in self._pa[role]:
+            raise UnknownEntityError(
+                f"role {role!r} does not hold permission {permission}"
+            )
+        self._pa[role].discard(permission)
+
+    # ==================================================================
+    # Hierarchical RBAC
+    # ==================================================================
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        """Add ``senior >= junior``, re-validating SSD for all users."""
+        self._require_role(senior)
+        self._require_role(junior)
+        self._hierarchy.add_inheritance(senior, junior)
+        try:
+            self._validate_all_ssd()
+        except ConstraintViolationError:
+            self._hierarchy.delete_inheritance(senior, junior)
+            raise
+
+    def delete_inheritance(self, senior: str, junior: str) -> None:
+        self._hierarchy.delete_inheritance(senior, junior)
+
+    def add_ascendant(self, new_role: str, junior: str) -> None:
+        """ANSI ``AddAscendant``: create a role as an immediate senior."""
+        self.add_role(new_role)
+        self.add_inheritance(new_role, junior)
+
+    def add_descendant(self, new_role: str, senior: str) -> None:
+        """ANSI ``AddDescendant``: create a role as an immediate junior."""
+        self.add_role(new_role)
+        self.add_inheritance(senior, new_role)
+
+    @property
+    def hierarchy(self) -> RoleHierarchy:
+        return self._hierarchy
+
+    # ==================================================================
+    # SSD / DSD administration
+    # ==================================================================
+    def create_ssd_set(
+        self, name: str, roles: Iterable[str], cardinality: int
+    ) -> SsdConstraint:
+        """Create an SSD set; existing assignments must already satisfy it."""
+        if name in self._ssd:
+            raise DuplicateEntityError(f"SSD set {name!r} already exists")
+        constraint = SsdConstraint(name, roles, cardinality)
+        for role in constraint.roles:
+            self._require_role(role)
+        self._ssd[name] = constraint
+        try:
+            self._validate_all_ssd()
+        except ConstraintViolationError:
+            del self._ssd[name]
+            raise
+        return constraint
+
+    def delete_ssd_set(self, name: str) -> None:
+        if name not in self._ssd:
+            raise UnknownEntityError(f"no SSD set {name!r}")
+        del self._ssd[name]
+
+    def create_dsd_set(
+        self, name: str, roles: Iterable[str], cardinality: int
+    ) -> DsdConstraint:
+        """Create a DSD set; live sessions must already satisfy it."""
+        if name in self._dsd:
+            raise DuplicateEntityError(f"DSD set {name!r} already exists")
+        constraint = DsdConstraint(name, roles, cardinality)
+        for role in constraint.roles:
+            self._require_role(role)
+        for session in self._sessions.values():
+            if constraint.violated_by(session.active_roles):
+                raise ConstraintViolationError(
+                    f"live session {session.session_id!r} violates new DSD "
+                    f"set {name!r}"
+                )
+        self._dsd[name] = constraint
+        return constraint
+
+    def delete_dsd_set(self, name: str) -> None:
+        if name not in self._dsd:
+            raise UnknownEntityError(f"no DSD set {name!r}")
+        del self._dsd[name]
+
+    def ssd_role_sets(self) -> dict[str, SsdConstraint]:
+        return dict(self._ssd)
+
+    def dsd_role_sets(self) -> dict[str, DsdConstraint]:
+        return dict(self._dsd)
+
+    def _validate_all_ssd(self) -> None:
+        for user, assigned in self._ua.items():
+            authorized = self._hierarchy.authorized_roles(assigned)
+            for constraint in self._ssd.values():
+                if constraint.violated_by(authorized):
+                    raise ConstraintViolationError(
+                        f"user {user!r} violates SSD set {constraint.name!r}"
+                    )
+
+    # ==================================================================
+    # Sessions: supporting system functions
+    # ==================================================================
+    def create_session(
+        self, user: str, initial_roles: Iterable[str] = ()
+    ) -> Session:
+        """ANSI ``CreateSession`` — DSD is enforced as roles activate."""
+        self._require_user(user)
+        session = Session(f"sess-{next(self._session_counter):06d}", user)
+        self._sessions[session.session_id] = session
+        try:
+            for role in initial_roles:
+                self.add_active_role(session.session_id, role)
+        except RBACError:
+            self.delete_session(session.session_id)
+            raise
+        return session
+
+    def delete_session(self, session_id: str) -> None:
+        session = self._require_session(session_id)
+        session.terminate()
+        del self._sessions[session_id]
+
+    def add_active_role(self, session_id: str, role: str) -> None:
+        """ANSI ``AddActiveRole`` — the DSD enforcement point.
+
+        Activation requires the user to be *authorized* for the role and
+        the session's prospective active set to satisfy every DSD
+        constraint.  The paper's Section 2.1 observation: conflicts that
+        never co-occur in one session slip straight through this check.
+        """
+        session = self._require_session(session_id)
+        self._require_role(role)
+        authorized = self._hierarchy.authorized_roles(self._ua[session.user])
+        if role not in authorized:
+            raise SessionError(
+                f"user {session.user!r} is not authorized for role {role!r}"
+            )
+        prospective = set(session.active_roles) | {role}
+        for constraint in self._dsd.values():
+            if constraint.violated_by(prospective):
+                raise ConstraintViolationError(
+                    f"activating {role!r} in session {session_id!r} violates "
+                    f"DSD set {constraint.name!r}"
+                )
+        session.activate(role)
+
+    def drop_active_role(self, session_id: str, role: str) -> None:
+        session = self._require_session(session_id)
+        session.drop(role)
+
+    def check_access(
+        self, session_id: str, operation: str, obj: str
+    ) -> bool:
+        """ANSI ``CheckAccess``: may the session perform operation on obj?
+
+        True iff some role active in the session (or a junior it
+        inherits) holds the permission.
+        """
+        session = self._require_session(session_id)
+        permission = Permission(operation, obj)
+        for role in session.active_roles:
+            if permission in self._pa.get(role, ()):
+                return True
+            for junior in self._hierarchy.juniors_of(role):
+                if permission in self._pa.get(junior, ()):
+                    return True
+        return False
+
+    # ==================================================================
+    # Review functions
+    # ==================================================================
+    def users(self) -> frozenset[str]:
+        return frozenset(self._users)
+
+    def roles(self) -> frozenset[str]:
+        return frozenset(self._roles)
+
+    def sessions(self) -> dict[str, Session]:
+        return dict(self._sessions)
+
+    def assigned_users(self, role: str) -> frozenset[str]:
+        """Users directly assigned to the role."""
+        self._require_role(role)
+        return frozenset(
+            user for user, assigned in self._ua.items() if role in assigned
+        )
+
+    def assigned_roles(self, user: str) -> frozenset[str]:
+        """Roles directly assigned to the user."""
+        self._require_user(user)
+        return frozenset(self._ua[user])
+
+    def authorized_users(self, role: str) -> frozenset[str]:
+        """Users authorized for the role, via assignment or seniority."""
+        self._require_role(role)
+        covering = {role} | self._hierarchy.seniors_of(role)
+        return frozenset(
+            user
+            for user, assigned in self._ua.items()
+            if assigned & covering
+        )
+
+    def authorized_roles(self, user: str) -> frozenset[str]:
+        """All roles the user may activate (assignment closed downward)."""
+        self._require_user(user)
+        return self._hierarchy.authorized_roles(self._ua[user])
+
+    def role_permissions(self, role: str) -> frozenset[Permission]:
+        """Permissions of the role, including inherited ones."""
+        self._require_role(role)
+        permissions = set(self._pa[role])
+        for junior in self._hierarchy.juniors_of(role):
+            permissions |= self._pa.get(junior, set())
+        return frozenset(permissions)
+
+    def user_permissions(self, user: str) -> frozenset[Permission]:
+        """Permissions the user could obtain through any authorized role."""
+        permissions: set[Permission] = set()
+        for role in self.authorized_roles(user):
+            permissions |= self._pa.get(role, set())
+        return frozenset(permissions)
+
+    def session_roles(self, session_id: str) -> frozenset[str]:
+        return self._require_session(session_id).active_roles
+
+    def session_permissions(self, session_id: str) -> frozenset[Permission]:
+        session = self._require_session(session_id)
+        permissions: set[Permission] = set()
+        for role in session.active_roles:
+            permissions |= self.role_permissions(role)
+        return frozenset(permissions)
+
+    def role_operations_on_object(self, role: str, obj: str) -> frozenset[str]:
+        return frozenset(
+            permission.operation
+            for permission in self.role_permissions(role)
+            if permission.obj == obj
+        )
+
+    def user_operations_on_object(self, user: str, obj: str) -> frozenset[str]:
+        return frozenset(
+            permission.operation
+            for permission in self.user_permissions(user)
+            if permission.obj == obj
+        )
+
+    # ==================================================================
+    def _require_user(self, user: str) -> None:
+        if user not in self._users:
+            raise UnknownEntityError(f"unknown user {user!r}")
+
+    def _require_role(self, role: str) -> None:
+        if role not in self._roles:
+            raise UnknownEntityError(f"unknown role {role!r}")
+
+    def _require_session(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownEntityError(f"unknown session {session_id!r}")
+        return session

@@ -1,0 +1,43 @@
+"""Organisational-scale simulation of the paper's bank scenario."""
+
+from repro.simulation.bank import (
+    ENFORCEMENT_MSOD,
+    ENFORCEMENT_NONE,
+    BankSimulation,
+    run_paired_simulation,
+)
+from repro.simulation.model import (
+    PeriodStats,
+    SimulationConfig,
+    SimulationError,
+    SimulationReport,
+)
+from repro.simulation.tax_office import (
+    RULE_APPROVER_COMBINES,
+    RULE_CLERK_CONFIRMS_OWN,
+    RULE_REPEAT_APPROVAL,
+    RULES,
+    TaxOfficeConfig,
+    TaxOfficeReport,
+    TaxOfficeSimulation,
+    run_paired_tax_simulation,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationReport",
+    "PeriodStats",
+    "SimulationError",
+    "BankSimulation",
+    "run_paired_simulation",
+    "ENFORCEMENT_MSOD",
+    "ENFORCEMENT_NONE",
+    "TaxOfficeConfig",
+    "TaxOfficeReport",
+    "TaxOfficeSimulation",
+    "run_paired_tax_simulation",
+    "RULES",
+    "RULE_REPEAT_APPROVAL",
+    "RULE_APPROVER_COMBINES",
+    "RULE_CLERK_CONFIRMS_OWN",
+]

@@ -1,0 +1,200 @@
+"""The bank-year simulation: Example 1 at organisational scale.
+
+Drives the full PERMIS stack — privilege allocation, directory, CVS,
+PDP with the Section-3 bank MSoD policy, retained ADI — through many
+periods of staff activity with promotions, multi-branch work and
+period-closing audits.  Running the same script of events with
+``enforcement="none"`` (MSoD switched off) measures how many
+separation-of-duty failures the mechanism actually prevents.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import ContextName, Privilege, Role
+from repro.core.decision import Effect
+from repro.permis import (
+    LdapDirectory,
+    PermisPDP,
+    PermisPolicyBuilder,
+    PrivilegeAllocator,
+    TrustStore,
+)
+from repro.simulation.model import (
+    PeriodStats,
+    SimulationConfig,
+    SimulationError,
+    SimulationReport,
+)
+from repro.xmlpolicy import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+HANDLE_CASH = Privilege("handleCash", "till://main")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://main")
+COMMIT_AUDIT = Privilege("CommitAudit", "http://audit.location.com/audit")
+
+SOA_DN = "cn=SOA,o=bank,c=gb"
+ENFORCEMENT_MSOD = "msod"
+ENFORCEMENT_NONE = "none"
+
+
+class BankSimulation:
+    """One reproducible simulated bank."""
+
+    def __init__(
+        self, config: SimulationConfig, enforcement: str = ENFORCEMENT_MSOD
+    ) -> None:
+        if enforcement not in (ENFORCEMENT_MSOD, ENFORCEMENT_NONE):
+            raise SimulationError(f"unknown enforcement mode {enforcement!r}")
+        self._config = config
+        self._enforcement = enforcement
+        self._rng = random.Random(config.seed)
+        self._clock = 0.0
+
+        self._directory = LdapDirectory()
+        self._soa = PrivilegeAllocator(SOA_DN, b"sim-soa-key", self._directory)
+        trust = TrustStore()
+        trust.trust(self._soa.soa_dn, self._soa.verification_key)
+        builder = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA_DN, [TELLER, AUDITOR], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .grant(AUDITOR, [AUDIT_BOOKS, COMMIT_AUDIT])
+        )
+        if enforcement == ENFORCEMENT_MSOD:
+            builder.with_msod(bank_policy_set())
+        self._pdp = PermisPDP(builder.build(), trust, self._directory)
+
+        # Staff roster: ~80% tellers, 20% auditors.  Credentials are
+        # re-issued on promotion; old ones lapse at the period boundary.
+        self._roles: dict[str, Role] = {}
+        for index in range(config.n_staff):
+            dn = f"cn=staff{index:03d},o=bank,c=gb"
+            role = AUDITOR if index % 5 == 0 else TELLER
+            self._roles[dn] = role
+
+    @property
+    def pdp(self) -> PermisPDP:
+        return self._pdp
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    def _duty(self, role: Role) -> Privilege:
+        return HANDLE_CASH if role == TELLER else AUDIT_BOOKS
+
+    def run(self) -> SimulationReport:
+        """Simulate every period; returns the aggregate report."""
+        report = SimulationReport(
+            config=self._config, enforcement=self._enforcement
+        )
+        for period in range(self._config.n_periods):
+            report.periods.append(self._run_period(period))
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_period(self, period: int) -> PeriodStats:
+        config = self._config
+        stats = PeriodStats(period=period)
+        period_start = self._tick()
+        duties_performed: dict[str, set[Role]] = {}
+
+        # Fresh credentials for everyone, valid for this period only.
+        period_end_estimate = (
+            period_start
+            + config.n_staff * (config.actions_per_staff_period + 2)
+            + 10
+        )
+        for dn, role in self._roles.items():
+            self._soa.issue(dn, [role], period_start, period_end_estimate)
+
+        # Staff work in randomised order, one session per action.  The
+        # period is split around the promotion round: staff promoted
+        # mid-period have live teller history when they first try to
+        # audit — the Example-1 hazard.
+        workload = [
+            dn
+            for dn in self._roles
+            for _ in range(config.actions_per_staff_period)
+        ]
+        self._rng.shuffle(workload)
+        midpoint = len(workload) // 2
+
+        def act(dn: str) -> None:
+            role = self._roles[dn]
+            privilege = self._duty(role)
+            branch = f"B{self._rng.randrange(config.n_branches)}"
+            context = ContextName.parse(f"Branch={branch}, Period=P{period}")
+            decision = self._pdp.decision(
+                dn,
+                privilege.operation,
+                privilege.target,
+                context,
+                roles=[role],
+                at=self._tick(),
+            )
+            stats.decisions += 1
+            if decision.effect == Effect.GRANT:
+                stats.grants += 1
+                duties_performed.setdefault(dn, set()).add(role)
+            elif decision.violation is not None:
+                stats.msod_denials += 1
+            else:
+                stats.rbac_denials += 1
+
+        for dn in workload[:midpoint]:
+            act(dn)
+
+        # Mid-period promotions: some tellers become auditors NOW and
+        # receive the new credential while their teller history is live.
+        for dn, role in list(self._roles.items()):
+            if role == TELLER and self._rng.random() < config.promotion_rate:
+                self._roles[dn] = AUDITOR
+                self._soa.issue(dn, [AUDITOR], period_start, period_end_estimate)
+
+        for dn in workload[midpoint:]:
+            act(dn)
+
+        # Period-end audit: a never-promoted auditor commits the audit,
+        # closing the period's business context instance.
+        closers = [dn for dn, role in self._roles.items() if role == AUDITOR]
+        closer = closers[0] if closers else next(iter(self._roles))
+        decision = self._pdp.decision(
+            closer,
+            COMMIT_AUDIT.operation,
+            COMMIT_AUDIT.target,
+            ContextName.parse(f"Branch=B0, Period=P{period}"),
+            roles=[AUDITOR],
+            at=self._tick(),
+        )
+        stats.decisions += 1
+        if decision.effect == Effect.GRANT:
+            stats.grants += 1
+            duties_performed.setdefault(closer, set()).add(AUDITOR)
+        elif decision.violation is not None:
+            stats.msod_denials += 1
+        else:
+            stats.rbac_denials += 1
+
+        stats.cross_duty_staff = sum(
+            1 for duties in duties_performed.values() if len(duties) >= 2
+        )
+        return stats
+
+
+def run_paired_simulation(
+    config: SimulationConfig,
+) -> tuple[SimulationReport, SimulationReport]:
+    """Run the same seeded script with and without MSoD enforcement.
+
+    Because both runs share the config seed, their promotion and
+    workload schedules are identical — the only difference is whether
+    the PDP runs the Section-4.2 algorithm.
+    """
+    enforced = BankSimulation(config, ENFORCEMENT_MSOD).run()
+    unenforced = BankSimulation(config, ENFORCEMENT_NONE).run()
+    return enforced, unenforced

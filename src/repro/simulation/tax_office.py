@@ -1,0 +1,188 @@
+"""The tax-office simulation: Example 2 at organisational scale.
+
+Runs many tax-refund process instances through the workflow engine and
+a PDP carrying the paper's Section-3 MMEP policy, with a configurable
+rate of *misbehaving* staff who attempt the three forbidden moves:
+
+* a manager approving the same refund twice (``repeat_approval``);
+* an approving manager collecting the results (``approver_combines``);
+* the preparing clerk confirming their own check (``clerk_confirms_own``).
+
+The same seeded schedule replayed without MSoD counts how many of those
+attempts would have succeeded — the per-rule counterfactual for
+Example 2, complementing the bank simulation's Example-1 counterfactual.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import ContextName, InMemoryRetainedADIStore, MSoDEngine, Privilege, Role
+from repro.core.policy import MSoDPolicySet
+from repro.errors import WorkflowError
+from repro.framework import (
+    PolicyEnforcementPoint,
+    ReferenceRBACMSoDPDP,
+    RoleTargetAccessPolicy,
+    SimulatedClock,
+)
+from repro.simulation.model import SimulationError
+from repro.workflow import ProcessInstance, tax_refund_process
+from repro.xmlpolicy import tax_refund_policy_set
+
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+PREPARE = Privilege("prepareCheck", "http://www.myTaxOffice.com/Check")
+APPROVE = Privilege("approve/disapproveCheck", "http://www.myTaxOffice.com/Check")
+COMBINE = Privilege("combineResults", "http://secret.location.com/results")
+CONFIRM = Privilege("confirmCheck", "http://secret.location.com/audit")
+
+RULE_REPEAT_APPROVAL = "repeat_approval"
+RULE_APPROVER_COMBINES = "approver_combines"
+RULE_CLERK_CONFIRMS_OWN = "clerk_confirms_own"
+RULES = (RULE_REPEAT_APPROVAL, RULE_APPROVER_COMBINES, RULE_CLERK_CONFIRMS_OWN)
+
+
+@dataclass(frozen=True, slots=True)
+class TaxOfficeConfig:
+    """Parameters of one simulated tax office."""
+
+    seed: int = 42
+    n_clerks: int = 6
+    n_managers: int = 8
+    n_processes: int = 50
+    misbehaviour_rate: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_clerks < 2:
+            raise SimulationError("need at least 2 clerks")
+        if self.n_managers < 4:
+            raise SimulationError("need at least 4 managers")
+        if self.n_processes < 1:
+            raise SimulationError("need at least 1 process")
+        if not 0.0 <= self.misbehaviour_rate <= 1.0:
+            raise SimulationError("misbehaviour_rate must be in [0, 1]")
+
+
+@dataclass(slots=True)
+class TaxOfficeReport:
+    """Outcomes of one run."""
+
+    config: TaxOfficeConfig
+    enforced: bool
+    processes_completed: int = 0
+    decisions: int = 0
+    attempted: dict = field(default_factory=lambda: {rule: 0 for rule in RULES})
+    breached: dict = field(default_factory=lambda: {rule: 0 for rule in RULES})
+    denied: dict = field(default_factory=lambda: {rule: 0 for rule in RULES})
+
+    @property
+    def total_attempted(self) -> int:
+        return sum(self.attempted.values())
+
+    @property
+    def total_breached(self) -> int:
+        return sum(self.breached.values())
+
+    @property
+    def total_denied(self) -> int:
+        return sum(self.denied.values())
+
+
+class TaxOfficeSimulation:
+    """One reproducible simulated tax office."""
+
+    def __init__(self, config: TaxOfficeConfig, enforced: bool = True) -> None:
+        self._config = config
+        self._enforced = enforced
+        self._rng = random.Random(config.seed)
+        access = RoleTargetAccessPolicy(
+            {CLERK: [PREPARE, CONFIRM], MANAGER: [APPROVE, COMBINE]}
+        )
+        msod = tax_refund_policy_set() if enforced else MSoDPolicySet()
+        engine = MSoDEngine(msod, InMemoryRetainedADIStore())
+        self._pep = PolicyEnforcementPoint(
+            ReferenceRBACMSoDPDP(access, engine), SimulatedClock()
+        )
+        self._clerks = [f"clerk{i:02d}" for i in range(config.n_clerks)]
+        self._managers = [f"mgr{i:02d}" for i in range(config.n_managers)]
+
+    @property
+    def pep(self) -> PolicyEnforcementPoint:
+        return self._pep
+
+    # ------------------------------------------------------------------
+    def _attempt(self, report, instance, task, user, roles, rule=None):
+        """One task attempt; rule names the violated rule (ground truth)."""
+        try:
+            decision = instance.attempt(task, user, roles)
+        except WorkflowError:
+            # Task already complete (a granted breach consumed the slot).
+            return None
+        report.decisions += 1
+        if rule is not None:
+            report.attempted[rule] += 1
+            if decision.granted:
+                report.breached[rule] += 1
+            else:
+                report.denied[rule] += 1
+        return decision
+
+    def run(self) -> TaxOfficeReport:
+        config = self._config
+        report = TaxOfficeReport(config=config, enforced=self._enforced)
+        for serial in range(config.n_processes):
+            self._run_process(report, serial)
+        return report
+
+    def _run_process(self, report: TaxOfficeReport, serial: int) -> None:
+        rng = self._rng
+        config = self._config
+        instance = ProcessInstance(
+            tax_refund_process(),
+            f"proc{serial:05d}",
+            ContextName.parse("TaxOffice=Leeds"),
+            self._pep,
+        )
+        clerk1, clerk2 = rng.sample(self._clerks, 2)
+        mgr1, mgr2, collector = rng.sample(self._managers, 3)
+
+        self._attempt(report, instance, "T1", clerk1, [CLERK])
+
+        self._attempt(report, instance, "T2", mgr1, [MANAGER])
+        if rng.random() < config.misbehaviour_rate:
+            # mgr1 tries to push the refund through alone.
+            self._attempt(
+                report, instance, "T2", mgr1, [MANAGER],
+                rule=RULE_REPEAT_APPROVAL,
+            )
+        self._attempt(report, instance, "T2", mgr2, [MANAGER])
+
+        if rng.random() < config.misbehaviour_rate:
+            # an approving manager tries to also collect the decisions.
+            self._attempt(
+                report, instance, "T3", mgr1, [MANAGER],
+                rule=RULE_APPROVER_COMBINES,
+            )
+        self._attempt(report, instance, "T3", collector, [MANAGER])
+
+        if rng.random() < config.misbehaviour_rate:
+            # the preparing clerk tries to confirm their own check.
+            self._attempt(
+                report, instance, "T4", clerk1, [CLERK],
+                rule=RULE_CLERK_CONFIRMS_OWN,
+            )
+        self._attempt(report, instance, "T4", clerk2, [CLERK])
+
+        if instance.is_complete():
+            report.processes_completed += 1
+
+
+def run_paired_tax_simulation(
+    config: TaxOfficeConfig,
+) -> tuple[TaxOfficeReport, TaxOfficeReport]:
+    """The same seeded schedule with and without MSoD enforcement."""
+    enforced = TaxOfficeSimulation(config, enforced=True).run()
+    unenforced = TaxOfficeSimulation(config, enforced=False).run()
+    return enforced, unenforced

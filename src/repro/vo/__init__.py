@@ -1,0 +1,15 @@
+"""Multi-authority virtual-organisation simulation (Sections 1, 2.1, 6)."""
+
+from repro.vo.authority import RoleAuthority
+from repro.vo.federation import (
+    IdentityLinker,
+    LibertyAliasService,
+    ShibbolethIdP,
+)
+
+__all__ = [
+    "RoleAuthority",
+    "ShibbolethIdP",
+    "LibertyAliasService",
+    "IdentityLinker",
+]

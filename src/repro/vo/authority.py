@@ -1,0 +1,88 @@
+"""Independent role-allocating authorities of a virtual organisation.
+
+Paper Section 1: "In dynamic virtual organisations (VOs) when multiple
+independent role allocating authorities exist, SSD cannot be enforced at
+role assignment time since no single administrative function will know
+all the roles that have already been assigned to any single user."
+
+Each :class:`RoleAuthority` is one administrative domain with its own
+SOA: it signs credentials for the roles it assigns and can check SSD
+constraints *only against its own assignments* — which is exactly the
+blind spot the VO benches demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.constraints import Role
+from repro.errors import ConstraintViolationError
+from repro.permis.credentials import AttributeCredential
+from repro.permis.directory import LdapDirectory
+from repro.permis.pa import PrivilegeAllocator
+from repro.rbac.constraints import SsdConstraint
+
+
+class RoleAuthority:
+    """One role-allocating authority in a multi-domain VO."""
+
+    def __init__(
+        self,
+        name: str,
+        soa_dn: str,
+        signing_key: bytes,
+        directory: LdapDirectory | None = None,
+        ssd_constraints: Iterable[SsdConstraint] = (),
+    ) -> None:
+        self._name = name
+        self._allocator = PrivilegeAllocator(soa_dn, signing_key, directory)
+        self._local_assignments: dict[str, set[Role]] = {}
+        self._ssd = tuple(ssd_constraints)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def soa_dn(self) -> str:
+        return self._allocator.soa_dn
+
+    @property
+    def verification_key(self) -> bytes:
+        return self._allocator.verification_key
+
+    def local_roles_of(self, user_dn: str) -> frozenset[Role]:
+        """The roles *this* authority has assigned to the user."""
+        return frozenset(self._local_assignments.get(user_dn, set()))
+
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        user_dn: str,
+        role: Role,
+        not_before: float,
+        not_after: float,
+        enforce_local_ssd: bool = True,
+    ) -> AttributeCredential:
+        """Assign a role by issuing a signed credential.
+
+        With ``enforce_local_ssd`` the authority applies its SSD
+        constraints to the assignments *it* knows about — it cannot see
+        what other authorities have assigned, so cross-authority
+        conflicts always pass this check.
+        """
+        if enforce_local_ssd:
+            prospective = {
+                r.value for r in self._local_assignments.get(user_dn, set())
+            } | {role.value}
+            for constraint in self._ssd:
+                if constraint.violated_by(prospective):
+                    raise ConstraintViolationError(
+                        f"authority {self._name!r}: assigning {role} to "
+                        f"{user_dn!r} violates local SSD set {constraint.name!r}"
+                    )
+        credential = self._allocator.issue(
+            user_dn, [role], not_before, not_after
+        )
+        self._local_assignments.setdefault(user_dn, set()).add(role)
+        return credential

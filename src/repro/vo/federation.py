@@ -1,0 +1,113 @@
+"""Federated-identity simulators for the paper's Section 6 limitations.
+
+Two assumptions underpin MSoD enforcement: the user presents the *same*
+ID in every session, and every role is linked to that same ID.  Section 6
+names the two federation models that break them and their fixes:
+
+* **Shibboleth** gives a user "a different handle ID for each session" —
+  MSoD cannot link sessions on handles alone.  The fix: configure the
+  IdP "to return the user's ID along with their other attributes".
+* **Liberty Alliance**: each authority identifies the user differently;
+  the model "supports identity linking between pairs of authorities,
+  providing each service provider with a one way alias" — MSoD works by
+  "linking the user's aliases to the local identity".
+
+:class:`ShibbolethIdP`, :class:`LibertyAliasService` and
+:class:`IdentityLinker` reproduce exactly those behaviours so the VO
+bench can show MSoD failing on unlinked handles and succeeding once
+linking is configured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+from repro.errors import CredentialError
+
+
+class ShibbolethIdP:
+    """Issues a fresh opaque handle for every user session."""
+
+    def __init__(self, idp_name: str, release_user_id: bool = False) -> None:
+        self._idp_name = idp_name
+        self._release_user_id = release_user_id
+        self._counter = itertools.count(1)
+        self._handles: dict[str, str] = {}  # handle -> true user id
+
+    @property
+    def releases_user_id(self) -> bool:
+        """True when the IdP is configured to disclose the real user ID."""
+        return self._release_user_id
+
+    def configure_user_id_release(self, release: bool) -> None:
+        """The Section 6 fix: release the user's ID with the attributes."""
+        self._release_user_id = release
+
+    def new_session(self, user_id: str) -> str:
+        """Return the identifier the service provider will see.
+
+        A fresh per-session handle by default; the stable user ID when
+        release is configured.
+        """
+        if self._release_user_id:
+            return user_id
+        handle = f"{self._idp_name}-handle-{next(self._counter):06d}"
+        self._handles[handle] = user_id
+        return handle
+
+    def resolve(self, handle: str) -> str:
+        """IdP-internal lookup (never available to the PDP)."""
+        user = self._handles.get(handle)
+        if user is None:
+            raise CredentialError(f"unknown handle {handle!r}")
+        return user
+
+
+class LibertyAliasService:
+    """Pairwise persistent one-way aliases, Liberty ID-FF style.
+
+    The alias for (user, service-provider) is stable across sessions but
+    different for every provider, and does not reveal the user's true
+    identity at any authority.
+    """
+
+    def __init__(self, secret: bytes = b"liberty-federation-secret") -> None:
+        self._secret = secret
+
+    def alias_for(self, user_id: str, provider: str) -> str:
+        digest = hashlib.sha256(
+            b"|".join([self._secret, user_id.encode(), provider.encode()])
+        ).hexdigest()
+        return f"alias-{digest[:16]}"
+
+
+class IdentityLinker:
+    """The PDP-side mapping from federated aliases to a local identity.
+
+    "MSoD can be enforced by linking the user's aliases to the local
+    identity, and basing the MSoD policy on the local identity"
+    (Section 6).  Providers register each alias → local-identity link as
+    federation agreements are established; unlinked identifiers resolve
+    to themselves (and so defeat session linking).
+    """
+
+    def __init__(self) -> None:
+        self._links: dict[str, str] = {}
+
+    def link(self, alias: str, local_id: str) -> None:
+        if not alias or not local_id:
+            raise CredentialError("alias and local id must be non-empty")
+        existing = self._links.get(alias)
+        if existing is not None and existing != local_id:
+            raise CredentialError(
+                f"alias {alias!r} is already linked to {existing!r}"
+            )
+        self._links[alias] = local_id
+
+    def resolve(self, identifier: str) -> str:
+        """The identity MSoD should key its retained ADI on."""
+        return self._links.get(identifier, identifier)
+
+    def is_linked(self, identifier: str) -> bool:
+        return identifier in self._links

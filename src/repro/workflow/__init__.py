@@ -1,0 +1,16 @@
+"""A minimal workflow engine driving the paper's Example 2."""
+
+from repro.workflow.definition import (
+    ProcessDefinition,
+    TaskDef,
+    tax_refund_process,
+)
+from repro.workflow.instance import ProcessInstance, TaskExecution
+
+__all__ = [
+    "TaskDef",
+    "ProcessDefinition",
+    "tax_refund_process",
+    "ProcessInstance",
+    "TaskExecution",
+]

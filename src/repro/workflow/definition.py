@@ -1,0 +1,140 @@
+"""Business-process definitions for multi-task workflows (Example 2).
+
+The paper's solution is deliberately *not* tied to a workflow system
+(unlike Bertino et al. [12]) — the PDP only sees operations, targets and
+business-context instances.  This package provides the *application*
+side: a small workflow engine that routes tasks, forms the business-
+context instance for each task execution, and calls the PDP through a
+PEP.  It drives the tax-refund example and the Example-2 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import WorkflowError
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDef:
+    """One task of a business process.
+
+    ``multiplicity`` is how many distinct executions the task needs
+    (Example 2's T2 "should be performed in parallel twice");
+    ``depends_on`` are task ids that must be complete first.
+    """
+
+    task_id: str
+    operation: str
+    target: str
+    multiplicity: int = 1
+    depends_on: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise WorkflowError("task id must be non-empty")
+        if self.multiplicity < 1:
+            raise WorkflowError(
+                f"task {self.task_id!r}: multiplicity must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class ProcessDefinition:
+    """A named business process: an acyclic set of tasks."""
+
+    name: str
+    context_type: str  # e.g. "taxRefundProcess"
+    tasks: tuple[TaskDef, ...] = field(default=())
+
+    def __init__(
+        self, name: str, context_type: str, tasks: Iterable[TaskDef]
+    ) -> None:
+        task_tuple = tuple(tasks)
+        if not name:
+            raise WorkflowError("process name must be non-empty")
+        if not task_tuple:
+            raise WorkflowError(f"process {name!r} needs at least one task")
+        ids = [task.task_id for task in task_tuple]
+        if len(set(ids)) != len(ids):
+            raise WorkflowError(f"process {name!r} has duplicate task ids")
+        known = set(ids)
+        for task in task_tuple:
+            for dep in task.depends_on:
+                if dep not in known:
+                    raise WorkflowError(
+                        f"task {task.task_id!r} depends on unknown task {dep!r}"
+                    )
+        _check_acyclic(task_tuple)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "context_type", context_type)
+        object.__setattr__(self, "tasks", task_tuple)
+
+    def task(self, task_id: str) -> TaskDef:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise WorkflowError(f"process {self.name!r} has no task {task_id!r}")
+
+    def task_ids(self) -> tuple[str, ...]:
+        return tuple(task.task_id for task in self.tasks)
+
+
+def _check_acyclic(tasks: tuple[TaskDef, ...]) -> None:
+    deps = {task.task_id: set(task.depends_on) for task in tasks}
+    resolved: set[str] = set()
+    while deps:
+        ready = [task_id for task_id, waiting in deps.items() if waiting <= resolved]
+        if not ready:
+            raise WorkflowError(
+                f"cyclic task dependencies among {sorted(deps)}"
+            )
+        for task_id in ready:
+            resolved.add(task_id)
+            del deps[task_id]
+
+
+def tax_refund_process() -> ProcessDefinition:
+    """The paper's Example 2 as a process definition.
+
+    T1: a clerk prepares a check; T2: two different managers approve or
+    disapprove it (in parallel); T3: a manager different from the T2
+    managers combines the results; T4: a clerk different from the T1
+    clerk issues or voids the check.
+    """
+    return ProcessDefinition(
+        name="taxRefund",
+        context_type="taxRefundProcess",
+        tasks=[
+            TaskDef(
+                "T1",
+                "prepareCheck",
+                "http://www.myTaxOffice.com/Check",
+                description="a clerk prepares a check for a tax refund",
+            ),
+            TaskDef(
+                "T2",
+                "approve/disapproveCheck",
+                "http://www.myTaxOffice.com/Check",
+                multiplicity=2,
+                depends_on=("T1",),
+                description="two managers approve or disapprove in parallel",
+            ),
+            TaskDef(
+                "T3",
+                "combineResults",
+                "http://secret.location.com/results",
+                depends_on=("T2",),
+                description="a different manager collects the decisions",
+            ),
+            TaskDef(
+                "T4",
+                "confirmCheck",
+                "http://secret.location.com/audit",
+                depends_on=("T3",),
+                description="a different clerk issues or voids the check",
+            ),
+        ],
+    )

@@ -1,0 +1,158 @@
+"""Runtime process instances: routing plus PDP-mediated task execution.
+
+A :class:`ProcessInstance` owns one concrete business-context instance
+(e.g. ``TaxOffice=Leeds, taxRefundProcess=42``).  Each task execution is
+submitted to the access-control system through a PEP; the workflow layer
+enforces *routing* (ordering, multiplicity) while separation of duties
+is enforced entirely by the PDP's MSoD policies — the engine never needs
+to know the workflow's structure, which is the paper's key difference
+from Bertino et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.constraints import Role
+from repro.core.context import ContextName
+from repro.core.decision import Decision
+from repro.errors import WorkflowError
+from repro.framework.pep import PolicyEnforcementPoint
+from repro.workflow.definition import ProcessDefinition, TaskDef
+
+
+@dataclass(frozen=True, slots=True)
+class TaskExecution:
+    """A granted execution of one task by one user."""
+
+    task_id: str
+    user_id: str
+    decision: Decision
+
+
+class ProcessInstance:
+    """One run of a business process inside its own context instance."""
+
+    def __init__(
+        self,
+        definition: ProcessDefinition,
+        instance_id: str,
+        parent_context: ContextName,
+        pep: PolicyEnforcementPoint,
+    ) -> None:
+        if not instance_id:
+            raise WorkflowError("process instance id must be non-empty")
+        self._definition = definition
+        self._instance_id = instance_id
+        self._context = parent_context.child(definition.context_type, instance_id)
+        self._pep = pep
+        self._executions: list[TaskExecution] = []
+        self._cancelled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def definition(self) -> ProcessDefinition:
+        return self._definition
+
+    @property
+    def instance_id(self) -> str:
+        return self._instance_id
+
+    @property
+    def context(self) -> ContextName:
+        """The concrete business-context instance of this run."""
+        return self._context
+
+    @property
+    def executions(self) -> tuple[TaskExecution, ...]:
+        return tuple(self._executions)
+
+    # ------------------------------------------------------------------
+    def completed_count(self, task_id: str) -> int:
+        return sum(
+            1 for execution in self._executions if execution.task_id == task_id
+        )
+
+    def is_task_complete(self, task: TaskDef) -> bool:
+        return self.completed_count(task.task_id) >= task.multiplicity
+
+    def is_complete(self) -> bool:
+        return all(self.is_task_complete(task) for task in self._definition.tasks)
+
+    def available_tasks(self) -> tuple[TaskDef, ...]:
+        """Tasks whose dependencies are met and multiplicity not exhausted."""
+        available = []
+        for task in self._definition.tasks:
+            if self.is_task_complete(task):
+                continue
+            deps_met = all(
+                self.is_task_complete(self._definition.task(dep))
+                for dep in task.depends_on
+            )
+            if deps_met:
+                available.append(task)
+        return tuple(available)
+
+    # ------------------------------------------------------------------
+    def attempt(
+        self, task_id: str, user_id: str, roles: Iterable[Role]
+    ) -> Decision:
+        """Try to execute a task; routing errors raise, SoD denials return.
+
+        Raises :class:`~repro.errors.WorkflowError` when the task is not
+        currently routable (wrong order, already complete).  Returns the
+        PDP's :class:`~repro.core.decision.Decision`; on a grant the
+        execution is recorded against the instance.
+        """
+        if self._cancelled:
+            raise WorkflowError(
+                f"instance {self._instance_id!r} has been cancelled"
+            )
+        task = self._definition.task(task_id)
+        if task not in self.available_tasks():
+            raise WorkflowError(
+                f"task {task_id!r} is not available in instance "
+                f"{self._instance_id!r} (order or multiplicity)"
+            )
+        decision = self._pep.request_decision(
+            user_id=user_id,
+            roles=roles,
+            operation=task.operation,
+            target=task.target,
+            context_instance=self._context,
+        )
+        if decision.granted:
+            self._executions.append(TaskExecution(task_id, user_id, decision))
+        return decision
+
+    def executors_of(self, task_id: str) -> tuple[str, ...]:
+        return tuple(
+            execution.user_id
+            for execution in self._executions
+            if execution.task_id == task_id
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self, msod_engine=None) -> int:
+        """Abandon the instance; optionally release its MSoD history.
+
+        An abandoned process never reaches the policy's last step, so
+        its retained-ADI records would linger (the Section-4.3 growth
+        problem).  When the application passes the PDP's
+        :class:`~repro.core.engine.MSoDEngine`, cancellation signals the
+        implied termination of the instance's business context
+        (Section 2.2) and returns the number of purged records.
+        """
+        if self.cancelled:
+            raise WorkflowError(
+                f"instance {self._instance_id!r} is already cancelled"
+            )
+        self._cancelled = True
+        if msod_engine is not None:
+            return msod_engine.notify_context_terminated(self._context)
+        return 0

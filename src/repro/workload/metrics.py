@@ -1,0 +1,70 @@
+"""Running checkers over workloads and tabulating detection rates."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.baselines
+    from repro.baselines.base import SoDChecker
+
+from repro.workload.events import (
+    ALL_CLASSES,
+    BENIGN,
+    DetectionReport,
+    Scenario,
+)
+
+
+def run_comparison(
+    checkers: "Sequence[SoDChecker]", scenarios: Iterable[Scenario]
+) -> list[DetectionReport]:
+    """Run every checker over the same scenario stream.
+
+    Each checker keeps state across scenarios (as a live system would);
+    scenarios are isolated by construction (fresh users, sessions and
+    context instances), so cross-talk only occurs where a mechanism is
+    genuinely context-blind — which is part of what is being measured.
+    """
+    scenario_list = list(scenarios)
+    reports = []
+    for checker in checkers:
+        checker.reset()
+        report = DetectionReport(checker_name=checker.name)
+        for scenario in scenario_list:
+            report.record(checker.run_scenario(scenario))
+        reports.append(report)
+    return reports
+
+
+def format_detection_table(reports: Sequence[DetectionReport]) -> str:
+    """Render the who-catches-what table the benches print.
+
+    Cells are detection rates per conflict class; the benign column is a
+    false-positive rate (lower is better).
+    """
+    labels = [label for label in ALL_CLASSES if any(
+        label in report.per_class for report in reports
+    )]
+    header = ["checker"] + [
+        f"{label} (FP)" if label == BENIGN else label for label in labels
+    ]
+    rows = [header]
+    for report in reports:
+        row = [report.checker_name]
+        for label in labels:
+            if label in report.per_class:
+                row.append(f"{report.detection_rate(label):.2f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    widths = [
+        max(len(row[column]) for row in rows) for column in range(len(header))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""A human-friendly authoring DSL for MSoD policies.
+
+The Appendix-A XML is the interchange format; this module adds the
+compact text form policy authors actually want to write, compiling to
+the same in-memory model (and therefore to the XML).  Example::
+
+    # Example 1 — bank cash processing
+    policy bank within "Branch=*, Period=!":
+        last step CommitAudit on http://audit.location.com/audit
+        mutually exclusive roles limit 2:
+            employee:Teller, employee:Auditor
+
+    # Example 2 — tax refund
+    policy tax within "TaxOffice=!, taxRefundProcess=!":
+        first step prepareCheck on http://www.myTaxOffice.com/Check
+        last step confirmCheck on http://secret.location.com/audit
+        mutually exclusive privileges limit 2:
+            prepareCheck on http://www.myTaxOffice.com/Check,
+            confirmCheck on http://secret.location.com/audit
+
+Grammar (line-oriented; ``#`` starts a comment; commas separate items,
+which may wrap onto continuation lines):
+
+* ``policy <id> within "<business context>":`` opens a policy block;
+  the universal context is ``within ""``.
+* ``first step <operation> on <target>`` / ``last step ...`` —
+  lifecycle steps (at most one of each).
+* ``mutually exclusive roles limit <m>:`` followed by a
+  comma-separated list of ``type:value`` roles — an MMER.
+* ``mutually exclusive privileges limit <m>:`` followed by a
+  comma-separated list of ``operation on target`` — an MMEP (the same
+  privilege may be listed repeatedly, per Section 2.4).
+
+:func:`compile_policy_set` parses the DSL; :func:`decompile_policy_set`
+renders any policy set back into it; the round trip is property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.context import ContextName
+from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
+from repro.errors import (
+    ConstraintError,
+    ContextNameError,
+    PolicyError,
+    PolicyParseError,
+)
+
+
+class _Block:
+    """One policy block being assembled during parsing."""
+
+    def __init__(self, policy_id: str, context: ContextName, line_no: int):
+        self.policy_id = policy_id
+        self.context = context
+        self.line_no = line_no
+        self.first_step: Step | None = None
+        self.last_step: Step | None = None
+        self.mmers: list[MMER] = []
+        self.mmeps: list[MMEP] = []
+
+    def build(self) -> MSoDPolicy:
+        try:
+            return MSoDPolicy(
+                business_context=self.context,
+                mmers=self.mmers,
+                mmeps=self.mmeps,
+                first_step=self.first_step,
+                last_step=self.last_step,
+                policy_id=self.policy_id,
+            )
+        except PolicyError as exc:
+            raise PolicyParseError(
+                f"line {self.line_no}: policy {self.policy_id!r}: {exc}"
+            ) from exc
+
+
+def _fail(line_no: int, message: str) -> PolicyParseError:
+    return PolicyParseError(f"line {line_no}: {message}")
+
+
+def _strip_comment(line: str) -> str:
+    position = line.find("#")
+    return line if position < 0 else line[:position]
+
+
+def _parse_step(rest: str, line_no: int) -> Step:
+    operation, sep, target = rest.partition(" on ")
+    if not sep or not operation.strip() or not target.strip():
+        raise _fail(line_no, "expected '<operation> on <target>'")
+    try:
+        return Step(operation.strip(), target.strip())
+    except PolicyError as exc:
+        raise _fail(line_no, str(exc)) from exc
+
+
+def _parse_role(token: str, line_no: int) -> Role:
+    role_type, sep, value = token.partition(":")
+    if not sep:
+        raise _fail(line_no, f"role {token!r} must be of the form type:value")
+    try:
+        return Role(role_type.strip(), value.strip())
+    except ConstraintError as exc:
+        raise _fail(line_no, str(exc)) from exc
+
+
+def _parse_privilege(token: str, line_no: int) -> Privilege:
+    operation, sep, target = token.partition(" on ")
+    if not sep:
+        raise _fail(
+            line_no, f"privilege {token!r} must be '<operation> on <target>'"
+        )
+    try:
+        return Privilege(operation.strip(), target.strip())
+    except ConstraintError as exc:
+        raise _fail(line_no, str(exc)) from exc
+
+
+def compile_policy_set(text: str) -> MSoDPolicySet:
+    """Compile DSL text into an :class:`MSoDPolicySet`."""
+    policies: list[MSoDPolicy] = []
+    block: _Block | None = None
+    pending: tuple[str, int, int] | None = None  # (kind, limit, line)
+    pending_items: list[str] = []
+
+    def flush_pending() -> None:
+        nonlocal pending, pending_items
+        if pending is None:
+            return
+        kind, limit, line_no = pending
+        items = [item.strip() for item in pending_items if item.strip()]
+        if not items:
+            raise _fail(line_no, f"'{kind}' list is empty")
+        try:
+            if kind == "roles":
+                block.mmers.append(
+                    MMER([_parse_role(item, line_no) for item in items], limit)
+                )
+            else:
+                block.mmeps.append(
+                    MMEP(
+                        [_parse_privilege(item, line_no) for item in items],
+                        limit,
+                    )
+                )
+        except ConstraintError as exc:
+            raise _fail(line_no, str(exc)) from exc
+        pending = None
+        pending_items = []
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+
+        if stripped.startswith("policy "):
+            flush_pending()
+            if block is not None:
+                policies.append(block.build())
+            rest = stripped[len("policy "):]
+            if not rest.endswith(":"):
+                raise _fail(line_no, "policy header must end with ':'")
+            rest = rest[:-1].strip()
+            name, sep, context_part = rest.partition(" within ")
+            if not sep:
+                raise _fail(
+                    line_no, "expected 'policy <id> within \"<context>\":'"
+                )
+            context_text = context_part.strip()
+            if not (
+                len(context_text) >= 2
+                and context_text[0] == '"'
+                and context_text[-1] == '"'
+            ):
+                raise _fail(line_no, "business context must be double-quoted")
+            try:
+                context = ContextName.parse(context_text[1:-1])
+            except ContextNameError as exc:
+                raise _fail(line_no, str(exc)) from exc
+            if not name.strip():
+                raise _fail(line_no, "policy needs an identifier")
+            block = _Block(name.strip(), context, line_no)
+            continue
+
+        if block is None:
+            raise _fail(line_no, f"statement outside a policy block: {stripped!r}")
+
+        if stripped.startswith("first step "):
+            flush_pending()
+            if block.first_step is not None:
+                raise _fail(line_no, "duplicate 'first step'")
+            block.first_step = _parse_step(stripped[len("first step "):], line_no)
+        elif stripped.startswith("last step "):
+            flush_pending()
+            if block.last_step is not None:
+                raise _fail(line_no, "duplicate 'last step'")
+            block.last_step = _parse_step(stripped[len("last step "):], line_no)
+        elif stripped.startswith("mutually exclusive "):
+            flush_pending()
+            rest = stripped[len("mutually exclusive "):]
+            kind, sep, limit_part = rest.partition(" limit ")
+            kind = kind.strip()
+            if kind not in ("roles", "privileges") or not sep:
+                raise _fail(
+                    line_no,
+                    "expected 'mutually exclusive roles|privileges "
+                    "limit <m>:'",
+                )
+            limit_part = limit_part.strip()
+            if not limit_part.endswith(":"):
+                raise _fail(line_no, "constraint header must end with ':'")
+            try:
+                limit = int(limit_part[:-1].strip())
+            except ValueError as exc:
+                raise _fail(line_no, "limit must be an integer") from exc
+            pending = (kind, limit, line_no)
+            pending_items = []
+        elif pending is not None:
+            # Continuation of a constraint's item list.
+            pending_items.extend(
+                item for item in stripped.split(",") if item.strip()
+            )
+        else:
+            raise _fail(line_no, f"unrecognised statement: {stripped!r}")
+
+    flush_pending()
+    if block is not None:
+        policies.append(block.build())
+    if not policies:
+        raise PolicyParseError("no policies found in DSL input")
+    try:
+        return MSoDPolicySet(policies)
+    except PolicyError as exc:
+        raise PolicyParseError(str(exc)) from exc
+
+
+def decompile_policy_set(policy_set: MSoDPolicySet) -> str:
+    """Render a policy set as DSL text (compiles back to an equivalent set)."""
+    lines: list[str] = []
+    for policy in policy_set:
+        lines.append(
+            f'policy {policy.policy_id} within "{policy.business_context}":'
+        )
+        if policy.first_step is not None:
+            lines.append(
+                f"    first step {policy.first_step.operation} "
+                f"on {policy.first_step.target}"
+            )
+        if policy.last_step is not None:
+            lines.append(
+                f"    last step {policy.last_step.operation} "
+                f"on {policy.last_step.target}"
+            )
+        for mmer in policy.mmers:
+            lines.append(
+                "    mutually exclusive roles "
+                f"limit {mmer.forbidden_cardinality}:"
+            )
+            lines.append(
+                "        "
+                + ", ".join(
+                    f"{role.role_type}:{role.value}"
+                    for role in sorted(mmer.roles, key=str)
+                )
+            )
+        for mmep in policy.mmeps:
+            lines.append(
+                "    mutually exclusive privileges "
+                f"limit {mmep.forbidden_cardinality}:"
+            )
+            lines.append(
+                "        "
+                + ", ".join(
+                    f"{privilege.operation} on {privilege.target}"
+                    for privilege in mmep.privileges
+                )
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

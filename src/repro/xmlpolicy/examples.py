@@ -1,0 +1,104 @@
+"""The two MSoD policies published in Section 3, as canonical XML.
+
+These are the paper's own worked policies — bank cash processing
+(Example 1, MMER) and the tax-refund process (Example 2, MMEP) — used by
+tests, benches and the runnable examples.  The XML is as printed in the
+paper, modulo typographic quote normalisation and closing the
+``MSoDPolicy`` element of the second policy (the paper's listing
+self-closes it by typo).
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import MSoDPolicySet
+from repro.xmlpolicy.parser import parse_policy_set
+
+BANK_POLICY_XML = """\
+<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="Branch=*, Period=!">
+    <!-- policy applies for each instance of period across all
+         branches of the bank -->
+    <LastStep operation="CommitAudit"
+              targetURI="http://audit.location.com/audit"/>
+    <MMER ForbiddenCardinality="2">
+      <Role type="employee" value="Teller"/>
+      <Role type="employee" value="Auditor"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>
+"""
+
+TAX_REFUND_POLICY_XML = """\
+<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+    <!-- policy applies for each instance of taxRefundProcess
+         in each tax office -->
+    <FirstStep operation="prepareCheck"
+               targetURI="http://www.myTaxOffice.com/Check"/>
+    <LastStep operation="confirmCheck"
+              targetURI="http://secret.location.com/audit"/>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="prepareCheck"
+                 target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="confirmCheck"
+                 target="http://secret.location.com/audit"/>
+    </MMEP>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="approve/disapproveCheck"
+                 target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="approve/disapproveCheck"
+                 target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="combineResults"
+                 target="http://secret.location.com/results"/>
+    </MMEP>
+  </MSoDPolicy>
+</MSoDPolicySet>
+"""
+
+COMBINED_POLICY_XML = """\
+<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="Branch=*, Period=!">
+    <LastStep operation="CommitAudit"
+              targetURI="http://audit.location.com/audit"/>
+    <MMER ForbiddenCardinality="2">
+      <Role type="employee" value="Teller"/>
+      <Role type="employee" value="Auditor"/>
+    </MMER>
+  </MSoDPolicy>
+  <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+    <FirstStep operation="prepareCheck"
+               targetURI="http://www.myTaxOffice.com/Check"/>
+    <LastStep operation="confirmCheck"
+              targetURI="http://secret.location.com/audit"/>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="prepareCheck"
+                 target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="confirmCheck"
+                 target="http://secret.location.com/audit"/>
+    </MMEP>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="approve/disapproveCheck"
+                 target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="approve/disapproveCheck"
+                 target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="combineResults"
+                 target="http://secret.location.com/results"/>
+    </MMEP>
+  </MSoDPolicy>
+</MSoDPolicySet>
+"""
+
+
+def bank_policy_set() -> MSoDPolicySet:
+    """The Example-1 (bank cash processing) policy set."""
+    return parse_policy_set(BANK_POLICY_XML)
+
+
+def tax_refund_policy_set() -> MSoDPolicySet:
+    """The Example-2 (tax refund) policy set."""
+    return parse_policy_set(TAX_REFUND_POLICY_XML)
+
+
+def combined_policy_set() -> MSoDPolicySet:
+    """Both Section-3 policies in one set, as the paper prints them."""
+    return parse_policy_set(COMBINED_POLICY_XML)

@@ -1,0 +1,196 @@
+"""Parse MSoD XML policies into the :mod:`repro.core` policy model.
+
+The parser accepts the Appendix-A document structure, including the
+Section 3 spelling of privileges (``<Operation value=... target=.../>``)
+alongside the schema spelling (``<Privilege operation=... target=.../>``).
+
+By default the parser is *strict* about the Appendix-A ``xs:choice``:
+one policy carries either MMER constraints or MMEP constraints, not
+both.  Pass ``strict=False`` to allow mixed policies (a useful
+generalisation the in-memory model supports).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import IO
+
+from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.context import ContextName
+from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
+from repro.errors import ContextNameError, ConstraintError, PolicyError, PolicyParseError
+from repro.xmlpolicy import schema as S
+
+
+def parse_policy_set(source: str | IO[str], strict: bool = True) -> MSoDPolicySet:
+    """Parse an MSoD policy set from an XML string or file-like object.
+
+    Raises :class:`~repro.errors.PolicyParseError` with a precise message
+    on any structural or semantic problem.
+    """
+    text = source if isinstance(source, str) else source.read()
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PolicyParseError(f"not well-formed XML: {exc}") from exc
+    return parse_policy_set_element(root, strict=strict)
+
+
+def parse_policy_set_file(path: str, strict: bool = True) -> MSoDPolicySet:
+    """Parse an MSoD policy set from a file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_policy_set(handle, strict=strict)
+
+
+def parse_policy_set_element(root: ET.Element, strict: bool = True) -> MSoDPolicySet:
+    """Parse an already-built ``<MSoDPolicySet>`` element tree."""
+    if root.tag != S.ELEM_POLICY_SET:
+        raise PolicyParseError(
+            f"root element must be <{S.ELEM_POLICY_SET}>, got <{root.tag}>"
+        )
+    policies = []
+    for index, child in enumerate(root):
+        if child.tag != S.ELEM_POLICY:
+            raise PolicyParseError(
+                f"unexpected element <{child.tag}> inside <{S.ELEM_POLICY_SET}>"
+            )
+        policies.append(_parse_policy(child, index, strict))
+    if not policies:
+        raise PolicyParseError(
+            f"<{S.ELEM_POLICY_SET}> must contain at least one <{S.ELEM_POLICY}>"
+        )
+    try:
+        return MSoDPolicySet(policies)
+    except PolicyError as exc:
+        raise PolicyParseError(str(exc)) from exc
+
+
+def _require_attr(element: ET.Element, name: str) -> str:
+    value = element.get(name)
+    if value is None:
+        raise PolicyParseError(
+            f"<{element.tag}> is missing required attribute {name!r}"
+        )
+    return value
+
+
+def _parse_policy(element: ET.Element, index: int, strict: bool) -> MSoDPolicy:
+    context_text = _require_attr(element, S.ATTR_BUSINESS_CONTEXT)
+    try:
+        context = ContextName.parse(context_text)
+    except ContextNameError as exc:
+        raise PolicyParseError(
+            f"policy #{index + 1}: bad BusinessContext {context_text!r}: {exc}"
+        ) from exc
+
+    policy_id = element.get(S.ATTR_POLICY_ID)
+    first_step = None
+    last_step = None
+    mmers: list[MMER] = []
+    mmeps: list[MMEP] = []
+
+    for child in element:
+        if child.tag == S.ELEM_FIRST_STEP:
+            if first_step is not None:
+                raise PolicyParseError(
+                    f"policy #{index + 1}: multiple <{S.ELEM_FIRST_STEP}> elements"
+                )
+            first_step = _parse_step(child)
+        elif child.tag == S.ELEM_LAST_STEP:
+            if last_step is not None:
+                raise PolicyParseError(
+                    f"policy #{index + 1}: multiple <{S.ELEM_LAST_STEP}> elements"
+                )
+            last_step = _parse_step(child)
+        elif child.tag == S.ELEM_MMER:
+            mmers.append(_parse_mmer(child, index))
+        elif child.tag == S.ELEM_MMEP:
+            mmeps.append(_parse_mmep(child, index))
+        else:
+            raise PolicyParseError(
+                f"policy #{index + 1}: unexpected element <{child.tag}>"
+            )
+
+    if strict and mmers and mmeps:
+        raise PolicyParseError(
+            f"policy #{index + 1}: Appendix A allows either MMER or MMEP "
+            "constraints in one policy, not both (pass strict=False to relax)"
+        )
+    try:
+        return MSoDPolicy(
+            business_context=context,
+            mmers=mmers,
+            mmeps=mmeps,
+            first_step=first_step,
+            last_step=last_step,
+            policy_id=policy_id,
+        )
+    except PolicyError as exc:
+        raise PolicyParseError(f"policy #{index + 1}: {exc}") from exc
+
+
+def _parse_step(element: ET.Element) -> Step:
+    operation = _require_attr(element, S.ATTR_STEP_OPERATION)
+    target = _require_attr(element, S.ATTR_STEP_TARGET)
+    try:
+        return Step(operation, target)
+    except PolicyError as exc:
+        raise PolicyParseError(f"bad <{element.tag}>: {exc}") from exc
+
+
+def _parse_cardinality(element: ET.Element) -> int:
+    raw = _require_attr(element, S.ATTR_FORBIDDEN_CARDINALITY)
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise PolicyParseError(
+            f"<{element.tag}> ForbiddenCardinality {raw!r} is not an integer"
+        ) from exc
+
+
+def _parse_mmer(element: ET.Element, index: int) -> MMER:
+    cardinality = _parse_cardinality(element)
+    roles = []
+    for child in element:
+        if child.tag != S.ELEM_ROLE:
+            raise PolicyParseError(
+                f"policy #{index + 1}: <{S.ELEM_MMER}> may only contain "
+                f"<{S.ELEM_ROLE}> elements, got <{child.tag}>"
+            )
+        role_type = _require_attr(child, S.ATTR_ROLE_TYPE)
+        value = _require_attr(child, S.ATTR_ROLE_VALUE)
+        try:
+            roles.append(Role(role_type, value))
+        except ConstraintError as exc:
+            raise PolicyParseError(f"policy #{index + 1}: bad Role: {exc}") from exc
+    try:
+        return MMER(roles, cardinality)
+    except ConstraintError as exc:
+        raise PolicyParseError(f"policy #{index + 1}: bad MMER: {exc}") from exc
+
+
+def _parse_privilege(element: ET.Element, index: int) -> Privilege:
+    if element.tag == S.ELEM_PRIVILEGE:
+        operation = _require_attr(element, S.ATTR_PRIV_OPERATION)
+    elif element.tag == S.ELEM_OPERATION:
+        operation = _require_attr(element, S.ATTR_OPERATION_VALUE)
+    else:
+        raise PolicyParseError(
+            f"policy #{index + 1}: <{S.ELEM_MMEP}> may only contain "
+            f"<{S.ELEM_PRIVILEGE}> or <{S.ELEM_OPERATION}> elements, "
+            f"got <{element.tag}>"
+        )
+    target = _require_attr(element, S.ATTR_PRIV_TARGET)
+    try:
+        return Privilege(operation, target)
+    except ConstraintError as exc:
+        raise PolicyParseError(f"policy #{index + 1}: bad privilege: {exc}") from exc
+
+
+def _parse_mmep(element: ET.Element, index: int) -> MMEP:
+    cardinality = _parse_cardinality(element)
+    privileges = [_parse_privilege(child, index) for child in element]
+    try:
+        return MMEP(privileges, cardinality)
+    except ConstraintError as exc:
+        raise PolicyParseError(f"policy #{index + 1}: bad MMEP: {exc}") from exc

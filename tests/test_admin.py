@@ -1,0 +1,131 @@
+"""Unit tests for the retained-ADI management port (Section 4.3)."""
+
+import pytest
+
+from repro.core import (
+    CONTROLLER_ROLE,
+    ContextName,
+    InMemoryRetainedADIStore,
+    RetainedADIRecord,
+    RetainedADIManagementPort,
+    Role,
+)
+from repro.core.admin import (
+    ALL_OPERATIONS,
+    OP_COUNT_RECORDS,
+    OP_LIST_RECORDS,
+    OP_PURGE_ALL,
+    OP_PURGE_CONTEXT,
+    READ_OPERATIONS,
+)
+from repro.errors import AdminError
+
+AUDITOR_ROLE = Role("permisRole", "ADIAuditor")
+NOBODY_ROLE = Role("permisRole", "Nobody")
+
+
+def record(user="alice", context="Branch=York, Period=2006", at=1.0, rid="r1"):
+    return RetainedADIRecord(
+        user_id=user,
+        roles=(Role("employee", "Teller"),),
+        operation="op",
+        target="t",
+        context_instance=ContextName.parse(context),
+        granted_at=at,
+        request_id=rid,
+    )
+
+
+@pytest.fixture
+def store():
+    s = InMemoryRetainedADIStore()
+    s.add(record(at=1.0, rid="r1"))
+    s.add(record(user="bob", context="Branch=Leeds, Period=2006", at=5.0, rid="r2"))
+    return s
+
+
+@pytest.fixture
+def port(store):
+    return RetainedADIManagementPort(store)
+
+
+class TestAuthorization:
+    def test_controller_role_may_do_everything(self, port):
+        assert port.count_records([CONTROLLER_ROLE]) == 2
+
+    def test_unknown_role_denied(self, port):
+        with pytest.raises(AdminError):
+            port.count_records([NOBODY_ROLE])
+
+    def test_no_roles_denied(self, port):
+        with pytest.raises(AdminError):
+            port.purge_all([])
+
+    def test_read_only_role(self, store):
+        port = RetainedADIManagementPort(
+            store,
+            role_operations={
+                CONTROLLER_ROLE: ALL_OPERATIONS,
+                AUDITOR_ROLE: READ_OPERATIONS,
+            },
+        )
+        assert port.count_records([AUDITOR_ROLE]) == 2
+        assert len(port.list_records([AUDITOR_ROLE])) == 2
+        with pytest.raises(AdminError):
+            port.purge_all([AUDITOR_ROLE])
+
+    def test_unknown_operation_in_policy_rejected(self, store):
+        with pytest.raises(AdminError):
+            RetainedADIManagementPort(
+                store, role_operations={AUDITOR_ROLE: frozenset({"badOp"})}
+            )
+
+    def test_any_authorized_presented_role_suffices(self, store):
+        port = RetainedADIManagementPort(
+            store,
+            role_operations={AUDITOR_ROLE: frozenset({OP_COUNT_RECORDS})},
+        )
+        assert port.count_records([NOBODY_ROLE, AUDITOR_ROLE]) == 2
+
+
+class TestOperations:
+    def test_purge_context(self, port, store):
+        outcome = port.purge_context(
+            [CONTROLLER_ROLE], ContextName.parse("Branch=York, Period=2006")
+        )
+        assert outcome.operation == OP_PURGE_CONTEXT
+        assert outcome.affected == 1
+        assert store.count() == 1
+
+    def test_purge_user(self, port, store):
+        assert port.purge_user([CONTROLLER_ROLE], "alice").affected == 1
+        assert {rec.user_id for rec in store.records()} == {"bob"}
+
+    def test_purge_older_than(self, port, store):
+        assert port.purge_older_than([CONTROLLER_ROLE], 3.0).affected == 1
+        assert store.count() == 1
+
+    def test_purge_all(self, port, store):
+        assert port.purge_all([CONTROLLER_ROLE]).operation == OP_PURGE_ALL
+        assert store.count() == 0
+
+    def test_remove_record(self, port, store):
+        target = list(store.records())[0]
+        outcome = port.remove_record([CONTROLLER_ROLE], target.record_id)
+        assert outcome.affected == 1
+        assert store.count() == 1
+
+    def test_remove_missing_record(self, port):
+        assert port.remove_record([CONTROLLER_ROLE], 999).affected == 0
+
+    def test_list_records(self, port):
+        records = port.list_records([CONTROLLER_ROLE])
+        assert {rec.user_id for rec in records} == {"alice", "bob"}
+        assert OP_LIST_RECORDS in ALL_OPERATIONS
+
+    def test_retention_sweep(self, port, store):
+        outcome = port.scheduled_retention_sweep(
+            [CONTROLLER_ROLE], max_age_seconds=2.0, now=6.0
+        )
+        assert outcome.affected == 1
+        assert store.count() == 1

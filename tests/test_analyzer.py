@@ -1,0 +1,255 @@
+"""Unit tests for the PERMIS/MSoD policy analyzer (lint)."""
+
+from repro.core import Privilege, Role
+from repro.permis import (
+    PermisPolicyBuilder,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    analyze_policy,
+)
+from repro.xmlpolicy import bank_policy_set, combined_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+GHOST = Role("employee", "Ghost")
+
+HANDLE_CASH = Privilege("handleCash", "till://main")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://main")
+COMMIT_AUDIT = Privilege("CommitAudit", "http://audit.location.com/audit")
+PREPARE = Privilege("prepareCheck", "http://www.myTaxOffice.com/Check")
+APPROVE = Privilege("approve/disapproveCheck", "http://www.myTaxOffice.com/Check")
+COMBINE = Privilege("combineResults", "http://secret.location.com/results")
+CONFIRM = Privilege("confirmCheck", "http://secret.location.com/audit")
+
+SOA = "cn=soa,o=bank,c=gb"
+
+
+def healthy_policy():
+    return (
+        PermisPolicyBuilder()
+        .allow_assignment(SOA, [TELLER, AUDITOR, CLERK, MANAGER], "o=bank,c=gb")
+        .grant(TELLER, [HANDLE_CASH])
+        .grant(AUDITOR, [AUDIT_BOOKS, COMMIT_AUDIT])
+        .grant(CLERK, [PREPARE, CONFIRM])
+        .grant(MANAGER, [APPROVE, COMBINE])
+        .with_msod(combined_policy_set())
+        .build()
+    )
+
+
+def severities(findings):
+    return [finding.severity for finding in findings]
+
+
+class TestHealthyPolicy:
+    def test_no_errors_on_the_paper_setup(self):
+        findings = analyze_policy(healthy_policy())
+        assert SEVERITY_ERROR not in severities(findings)
+
+    def test_str_rendering(self):
+        findings = analyze_policy(healthy_policy())
+        for finding in findings:
+            assert finding.severity in str(finding)
+
+
+class TestMMERFindings:
+    def test_unassignable_conflict_role_is_error(self):
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .grant(AUDITOR, [AUDIT_BOOKS, COMMIT_AUDIT])
+            .with_msod(bank_policy_set())
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            finding.severity == SEVERITY_ERROR and "can never fire" in
+            finding.message
+            for finding in findings
+        )
+
+    def test_partially_dead_mmer_is_warning(self):
+        from repro.core import MMER, ContextName, MSoDPolicy, MSoDPolicySet
+
+        msod = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmers=[MMER([TELLER, AUDITOR, GHOST], 2)],
+                    policy_id="p",
+                )
+            ]
+        )
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER, AUDITOR], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .with_msod(msod)
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            finding.severity == SEVERITY_WARNING
+            and "no SOA may assign" in finding.message
+            for finding in findings
+        )
+
+
+class TestMMEPAndLifecycleFindings:
+    def test_dead_mmep_is_error(self):
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [CLERK, MANAGER], "o=bank,c=gb")
+            .grant(CLERK, [HANDLE_CASH])  # tax privileges never granted
+            .with_msod(
+                __import__(
+                    "repro.xmlpolicy", fromlist=["tax_refund_policy_set"]
+                ).tax_refund_policy_set()
+            )
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            finding.severity == SEVERITY_ERROR and "dead" in finding.message
+            for finding in findings
+        )
+
+    def test_missing_last_step_is_growth_warning(self):
+        from repro.core import MMER, ContextName, MSoDPolicy, MSoDPolicySet
+
+        msod = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="open-ended",
+                )
+            ]
+        )
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER, AUDITOR], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .with_msod(msod)
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            "growth hazard" in finding.message for finding in findings
+        )
+
+    def test_ungrantable_last_step_is_error(self):
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER, AUDITOR], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .grant(AUDITOR, [AUDIT_BOOKS])  # CommitAudit never granted
+            .with_msod(bank_policy_set())
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            finding.severity == SEVERITY_ERROR
+            and "can never terminate" in finding.message
+            for finding in findings
+        )
+
+    def test_ungrantable_first_step_is_error(self):
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [CLERK, MANAGER], "o=bank,c=gb")
+            .grant(CLERK, [CONFIRM])  # prepareCheck never granted
+            .grant(MANAGER, [APPROVE, COMBINE])
+            .with_msod(
+                __import__(
+                    "repro.xmlpolicy", fromlist=["tax_refund_policy_set"]
+                ).tax_refund_policy_set()
+            )
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            "can never start" in finding.message for finding in findings
+        )
+
+
+class TestRBACAndScopeFindings:
+    def test_unreachable_access_rule_warning(self):
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER], "o=bank,c=gb")
+            .grant(GHOST, [AUDIT_BOOKS])
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            "unreachable" in finding.message for finding in findings
+        )
+
+    def test_hierarchy_reachable_rule_not_flagged(self):
+        policy = (
+            PermisPolicyBuilder()
+            .senior_to(MANAGER, TELLER)
+            .allow_assignment(SOA, [MANAGER], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert not any(
+            "unreachable" in finding.message for finding in findings
+        )
+
+    def test_universal_scope_is_info(self):
+        from repro.core import MMER, ContextName, MSoDPolicy, MSoDPolicySet
+
+        msod = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.root(),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="universal",
+                )
+            ]
+        )
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER, AUDITOR], "o=bank,c=gb")
+            .with_msod(msod)
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any(
+            finding.severity == SEVERITY_INFO
+            and "universal context" in finding.message
+            for finding in findings
+        )
+
+    def test_overlapping_scopes_reported(self):
+        from repro.core import MMER, ContextName, MSoDPolicy, MSoDPolicySet
+
+        msod = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("Branch=*, Period=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="wide",
+                ),
+                MSoDPolicy(
+                    ContextName.parse("Branch=York, Period=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="york",
+                ),
+            ]
+        )
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER, AUDITOR], "o=bank,c=gb")
+            .with_msod(msod)
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert any("overlaps" in finding.message for finding in findings)

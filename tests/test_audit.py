@@ -1,0 +1,314 @@
+"""Unit tests for the secure audit trail and ADI recovery (Section 5.2)."""
+
+import json
+
+import pytest
+
+from repro.audit import (
+    AuditTrailManager,
+    EVENT_DECISION,
+    SecureAuditTrail,
+    decision_event_payload,
+    recover_retained_adi,
+)
+from repro.core import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    Role,
+    store_digest,
+)
+from repro.errors import AuditTrailError
+from repro.xmlpolicy import bank_policy_set
+
+KEY = b"trail-key"
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+
+def trail(tmp_path, name="t.log"):
+    return SecureAuditTrail(str(tmp_path / name), KEY)
+
+
+class TestSecureAuditTrail:
+    def test_append_and_read(self, tmp_path):
+        t = trail(tmp_path)
+        t.append("decision", 1.0, {"n": 1})
+        t.append("decision", 2.0, {"n": 2})
+        events = list(t.verify_and_read())
+        assert [e.payload["n"] for e in events] == [1, 2]
+        assert [e.seq for e in events] == [0, 1]
+
+    def test_empty_key_rejected(self, tmp_path):
+        with pytest.raises(AuditTrailError):
+            SecureAuditTrail(str(tmp_path / "x.log"), b"")
+
+    def test_verify_counts(self, tmp_path):
+        t = trail(tmp_path)
+        for n in range(5):
+            t.append("e", float(n), {})
+        assert t.verify() == 5
+
+    def test_reopen_continues_chain(self, tmp_path):
+        path = str(tmp_path / "t.log")
+        first = SecureAuditTrail(path, KEY)
+        first.append("e", 1.0, {"n": 1})
+        second = SecureAuditTrail(path, KEY)
+        second.append("e", 2.0, {"n": 2})
+        assert SecureAuditTrail(path, KEY).verify() == 2
+
+    def test_modified_payload_detected(self, tmp_path):
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"user": "alice"})
+        path = t.path
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace("alice", "mallory"))
+        with pytest.raises(AuditTrailError, match="hash chain"):
+            SecureAuditTrail(path, KEY).verify()
+
+    def test_deleted_record_detected(self, tmp_path):
+        t = trail(tmp_path)
+        for n in range(3):
+            t.append("e", float(n), {"n": n})
+        with open(t.path) as handle:
+            lines = handle.readlines()
+        with open(t.path, "w") as handle:
+            handle.writelines(lines[:1] + lines[2:])  # drop the middle
+        with pytest.raises(AuditTrailError):
+            SecureAuditTrail(t.path, KEY).verify()
+
+    def test_reordered_records_detected(self, tmp_path):
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        t.append("e", 2.0, {"n": 2})
+        with open(t.path) as handle:
+            lines = handle.readlines()
+        with open(t.path, "w") as handle:
+            handle.writelines(reversed(lines))
+        with pytest.raises(AuditTrailError):
+            SecureAuditTrail(t.path, KEY).verify()
+
+    def test_forged_reseal_without_key_detected(self, tmp_path):
+        """Re-computing the hash chain without the key fails the HMAC."""
+        import hashlib
+
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"user": "alice"})
+        with open(t.path) as handle:
+            record = json.loads(handle.read())
+        body = {
+            "seq": record["seq"],
+            "ts": record["ts"],
+            "type": record["type"],
+            "payload": {"user": "mallory"},
+        }
+        digest = hashlib.sha256()
+        digest.update(("0" * 64).encode())
+        digest.update(
+            json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+        )
+        record.update(body, hash=digest.hexdigest())
+        with open(t.path, "w") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with pytest.raises(AuditTrailError, match="HMAC"):
+            SecureAuditTrail(t.path, KEY).verify()
+
+    def test_wrong_key_fails(self, tmp_path):
+        t = trail(tmp_path)
+        t.append("e", 1.0, {})
+        with pytest.raises(AuditTrailError, match="HMAC"):
+            SecureAuditTrail(t.path, b"other-key").verify()
+
+    def test_truncation_detected_via_checkpoint(self, tmp_path):
+        """Removing the *last* record leaves a valid hash chain; only the
+        sealed checkpoint exposes the truncation."""
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        t.append("e", 2.0, {"n": 2})
+        with open(t.path) as handle:
+            lines = handle.readlines()
+        with open(t.path, "w") as handle:
+            handle.writelines(lines[:1])
+        with pytest.raises(AuditTrailError, match="checkpoint"):
+            SecureAuditTrail(t.path, KEY).verify()
+
+    def test_missing_checkpoint_detected(self, tmp_path):
+        import os
+
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        os.remove(t.path + ".chk")
+        with pytest.raises(AuditTrailError, match="checkpoint file missing"):
+            SecureAuditTrail(t.path, KEY).verify()
+
+    def test_forged_checkpoint_detected(self, tmp_path):
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        t.append("e", 2.0, {"n": 2})
+        with open(t.path) as handle:
+            lines = handle.readlines()
+        with open(t.path, "w") as handle:
+            handle.writelines(lines[:1])
+        # Attacker rewrites the checkpoint without knowing the key.
+        record = json.loads(lines[0])
+        with open(t.path + ".chk", "w") as handle:
+            json.dump(
+                {"count": 1, "last_hash": record["hash"], "tag": "f" * 64},
+                handle,
+            )
+        with pytest.raises(AuditTrailError, match="checkpoint seal"):
+            SecureAuditTrail(t.path, KEY).verify()
+
+    def test_corrupt_json_detected(self, tmp_path):
+        t = trail(tmp_path)
+        t.append("e", 1.0, {})
+        with open(t.path, "a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(AuditTrailError, match="corrupt JSON"):
+            SecureAuditTrail(t.path, KEY).verify()
+
+
+class TestAuditTrailManager:
+    def test_rotation(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=2)
+        for n in range(5):
+            manager.append("e", float(n), {"n": n})
+        assert len(manager.trail_paths()) == 3
+
+    def test_events_across_trails_in_order(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=2)
+        for n in range(5):
+            manager.append("e", float(n), {"n": n})
+        numbers = [event.payload["n"] for event in manager.events()]
+        assert numbers == [0, 1, 2, 3, 4]
+
+    def test_last_n_trails(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=2)
+        for n in range(6):
+            manager.append("e", float(n), {"n": n})
+        numbers = [
+            event.payload["n"] for event in manager.events(last_n_trails=1)
+        ]
+        assert numbers == [4, 5]
+
+    def test_since_filter(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=100)
+        for n in range(6):
+            manager.append("e", float(n), {"n": n})
+        numbers = [event.payload["n"] for event in manager.events(since=3.0)]
+        assert numbers == [3, 4, 5]
+
+    def test_reopen_existing_directory(self, tmp_path):
+        first = AuditTrailManager(str(tmp_path), KEY, max_records=10)
+        first.append("e", 1.0, {"n": 1})
+        second = AuditTrailManager(str(tmp_path), KEY, max_records=10)
+        second.append("e", 2.0, {"n": 2})
+        numbers = [event.payload["n"] for event in second.events()]
+        assert numbers == [1, 2]
+
+    def test_bad_max_records(self, tmp_path):
+        with pytest.raises(AuditTrailError):
+            AuditTrailManager(str(tmp_path), KEY, max_records=0)
+
+    def test_verify_all(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=2)
+        for n in range(5):
+            manager.append("e", float(n), {"n": n})
+        assert manager.verify_all() == 5
+
+    def test_verify_all_detects_tampering_in_any_trail(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=2)
+        for n in range(5):
+            manager.append("e", float(n), {"n": n})
+        victim = manager.trail_paths()[1]
+        with open(victim) as handle:
+            text = handle.read()
+        with open(victim, "w") as handle:
+            handle.write(text.replace('"n": 2', '"n": 9'))
+        with pytest.raises(AuditTrailError):
+            manager.verify_all()
+
+
+class TestRecovery:
+    CTX = ContextName.parse("Branch=York, Period=2006")
+
+    def _engine_with_audit(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), KEY, max_records=1000)
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        return engine, manager
+
+    def _run_and_log(self, engine, manager, user, role, op, at):
+        decision = engine.check(
+            DecisionRequest(
+                user_id=user,
+                roles=(role,),
+                operation=op,
+                target="till://1" if role is TELLER else (
+                    "http://audit.location.com/audit"
+                ),
+                context_instance=self.CTX,
+                timestamp=at,
+            )
+        )
+        manager.append(EVENT_DECISION, at, decision_event_payload(decision))
+        return decision
+
+    def test_recovery_restores_store_state(self, tmp_path):
+        engine, manager = self._engine_with_audit(tmp_path)
+        self._run_and_log(engine, manager, "alice", TELLER, "handleCash", 1.0)
+        self._run_and_log(engine, manager, "bob", TELLER, "handleCash", 2.0)
+        recovered = InMemoryRetainedADIStore()
+        report = recover_retained_adi(
+            manager, bank_policy_set(), recovered
+        )
+        assert report.records_replayed == engine.store.count()
+        assert store_digest(recovered) == store_digest(engine.store)
+
+    def test_denied_decisions_not_replayed(self, tmp_path):
+        engine, manager = self._engine_with_audit(tmp_path)
+        self._run_and_log(engine, manager, "alice", TELLER, "handleCash", 1.0)
+        denied = self._run_and_log(
+            engine, manager, "alice", AUDITOR, "auditBooks", 2.0
+        )
+        assert denied.denied
+        recovered = InMemoryRetainedADIStore()
+        recover_retained_adi(manager, bank_policy_set(), recovered)
+        assert store_digest(recovered) == store_digest(engine.store)
+
+    def test_purges_replayed(self, tmp_path):
+        engine, manager = self._engine_with_audit(tmp_path)
+        self._run_and_log(engine, manager, "alice", TELLER, "handleCash", 1.0)
+        self._run_and_log(engine, manager, "bob", AUDITOR, "CommitAudit", 2.0)
+        assert engine.store.count() == 0
+        recovered = InMemoryRetainedADIStore()
+        report = recover_retained_adi(manager, bank_policy_set(), recovered)
+        assert recovered.count() == 0
+        assert report.purges_replayed > 0
+
+    def test_standalone_purge_events_replayed(self, tmp_path):
+        """Administrative EVENT_PURGE records replay during recovery."""
+        from repro.audit import EVENT_PURGE
+
+        engine, manager = self._engine_with_audit(tmp_path)
+        self._run_and_log(engine, manager, "alice", TELLER, "handleCash", 1.0)
+        manager.append(
+            EVENT_PURGE, 2.0, {"context": "Branch=*, Period=2006"}
+        )
+        recovered = InMemoryRetainedADIStore()
+        report = recover_retained_adi(manager, bank_policy_set(), recovered)
+        assert recovered.count() == 0
+        assert report.purges_replayed == 1
+
+    def test_irrelevant_contexts_skipped(self, tmp_path):
+        """Recovery filters by the *current* policy set."""
+        from repro.core import MSoDPolicySet
+
+        engine, manager = self._engine_with_audit(tmp_path)
+        self._run_and_log(engine, manager, "alice", TELLER, "handleCash", 1.0)
+        recovered = InMemoryRetainedADIStore()
+        report = recover_retained_adi(manager, MSoDPolicySet(), recovered)
+        assert recovered.count() == 0
+        assert report.records_skipped > 0

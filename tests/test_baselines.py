@@ -1,0 +1,351 @@
+"""Unit tests for the comparator SoD mechanisms (Section 6)."""
+
+import pytest
+
+from repro.baselines import (
+    AnsiDsdChecker,
+    AnsiSsdChecker,
+    AntiRoleChecker,
+    BertinoWorkflowChecker,
+    MSoDChecker,
+    SandhuTCEChecker,
+    TaskConstraint,
+    TCEStep,
+    TransactionControlExpression,
+)
+from repro.core import ContextName
+from repro.rbac import DsdConstraint, SsdConstraint
+from repro.workload import (
+    AUDIT_BOOKS,
+    AUDITOR,
+    APPROVE,
+    AUTHORITY_A,
+    AUTHORITY_B,
+    CLERK,
+    COMBINE,
+    CONFIRM,
+    HANDLE_CASH,
+    MANAGER,
+    PREPARE,
+    STEP_ACCESS,
+    STEP_ASSIGN,
+    TELLER,
+    Scenario,
+    ScenarioGenerator,
+    Step,
+)
+from repro.xmlpolicy import combined_policy_set
+
+SSD = [SsdConstraint("ta", ["Teller", "Auditor"], 2)]
+DSD = [DsdConstraint("ta", ["Teller", "Auditor"], 2)]
+
+CTX = ContextName.parse("Branch=York, Period=2006")
+TAX_CTX = ContextName.parse("TaxOffice=Leeds, taxRefundProcess=1")
+
+
+def assign(user, role, authority=AUTHORITY_A, at=1.0):
+    return Step(STEP_ASSIGN, user, user, "-", authority, (role,), timestamp=at)
+
+
+def access(user, roles, privilege, context=CTX, session="s1", presented=None, at=1.0):
+    return Step(
+        STEP_ACCESS,
+        user,
+        presented or user,
+        session,
+        AUTHORITY_A,
+        tuple(roles),
+        privilege.operation,
+        privilege.target,
+        context,
+        at,
+    )
+
+
+class TestAnsiSsdChecker:
+    def test_blocks_conflict_within_one_authority(self):
+        checker = AnsiSsdChecker(SSD)
+        assert checker.process_step(assign("u", TELLER)) == (False, "")
+        blocked, reason = checker.process_step(assign("u", AUDITOR))
+        assert blocked
+        assert "SSD" in reason
+
+    def test_blind_across_authorities(self):
+        checker = AnsiSsdChecker(SSD)
+        checker.process_step(assign("u", TELLER, AUTHORITY_A))
+        blocked, _ = checker.process_step(assign("u", AUDITOR, AUTHORITY_B))
+        assert not blocked
+
+    def test_global_view_catches_cross_authority(self):
+        checker = AnsiSsdChecker(SSD, global_view=True)
+        checker.process_step(assign("u", TELLER, AUTHORITY_A))
+        blocked, _ = checker.process_step(assign("u", AUDITOR, AUTHORITY_B))
+        assert blocked
+
+    def test_ignores_access_steps(self):
+        checker = AnsiSsdChecker(SSD)
+        assert checker.process_step(
+            access("u", [TELLER, AUDITOR], HANDLE_CASH)
+        ) == (False, "")
+
+    def test_reset(self):
+        checker = AnsiSsdChecker(SSD)
+        checker.process_step(assign("u", TELLER))
+        checker.reset()
+        blocked, _ = checker.process_step(assign("u", AUDITOR))
+        assert not blocked
+
+
+class TestAnsiDsdChecker:
+    def test_blocks_simultaneous_activation(self):
+        checker = AnsiDsdChecker(DSD)
+        blocked, reason = checker.process_step(
+            access("u", [TELLER, AUDITOR], HANDLE_CASH, session="s1")
+        )
+        assert blocked
+        assert "DSD" in reason
+
+    def test_blocks_incremental_activation_in_one_session(self):
+        checker = AnsiDsdChecker(DSD)
+        checker.process_step(access("u", [TELLER], HANDLE_CASH, session="s1"))
+        blocked, _ = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, session="s1")
+        )
+        assert blocked
+
+    def test_blind_across_sessions(self):
+        checker = AnsiDsdChecker(DSD)
+        checker.process_step(access("u", [TELLER], HANDLE_CASH, session="s1"))
+        blocked, _ = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, session="s2")
+        )
+        assert not blocked
+
+
+class TestAntiRoleChecker:
+    CONFLICT = [frozenset({TELLER, AUDITOR})]
+
+    def test_blocks_cross_session_conflict(self):
+        checker = AntiRoleChecker(self.CONFLICT)
+        checker.process_step(access("u", [TELLER], HANDLE_CASH, session="s1"))
+        blocked, reason = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, session="s2")
+        )
+        assert blocked
+        assert "blacklisted" in reason
+
+    def test_context_blind_false_positive(self):
+        """A benign cross-period role change is wrongly blocked."""
+        checker = AntiRoleChecker(self.CONFLICT)
+        period_a = ContextName.parse("Branch=York, Period=A")
+        period_b = ContextName.parse("Branch=York, Period=B")
+        checker.process_step(access("u", [TELLER], HANDLE_CASH, context=period_a))
+        blocked, _ = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, context=period_b)
+        )
+        assert blocked  # false positive by design of the mechanism
+
+    def test_purge_forgets_history(self):
+        checker = AntiRoleChecker(self.CONFLICT, purge_every=2)
+        checker.process_step(access("u", [TELLER], HANDLE_CASH, at=1.0))
+        checker.process_step(access("x", [TELLER], HANDLE_CASH, at=2.0))  # purge
+        blocked, _ = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, at=3.0)
+        )
+        assert not blocked  # conflict missed after the purge
+
+    def test_keyed_on_presented_id(self):
+        checker = AntiRoleChecker(self.CONFLICT)
+        checker.process_step(
+            access("u", [TELLER], HANDLE_CASH, presented="handle-1")
+        )
+        blocked, _ = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, presented="handle-2")
+        )
+        assert not blocked
+
+
+class TestBertinoChecker:
+    def checker(self, known=("clerk", "mgr")):
+        return BertinoWorkflowChecker(
+            "taxRefundProcess",
+            [
+                TaskConstraint("prepareCheck", must_differ_from=("confirmCheck",)),
+                TaskConstraint(
+                    "approve/disapproveCheck",
+                    must_differ_from=("combineResults",),
+                    max_per_user=1,
+                ),
+                TaskConstraint(
+                    "combineResults",
+                    must_differ_from=("approve/disapproveCheck",),
+                ),
+                TaskConstraint("confirmCheck", must_differ_from=("prepareCheck",)),
+            ],
+            known,
+        )
+
+    def test_blocks_repeat_approval(self):
+        checker = self.checker()
+        checker.process_step(access("mgr", [MANAGER], APPROVE, context=TAX_CTX))
+        blocked, reason = checker.process_step(
+            access("mgr", [MANAGER], APPROVE, context=TAX_CTX)
+        )
+        assert blocked
+        assert "already executed" in reason
+
+    def test_blocks_prepare_then_confirm(self):
+        checker = self.checker()
+        checker.process_step(access("clerk", [CLERK], PREPARE, context=TAX_CTX))
+        blocked, _ = checker.process_step(
+            access("clerk", [CLERK], CONFIRM, context=TAX_CTX)
+        )
+        assert blocked
+
+    def test_unknown_user_bypasses(self):
+        """Roles from an unknown external authority are invisible to the
+        central pre-computation."""
+        checker = self.checker(known=())
+        checker.process_step(access("mgr", [MANAGER], APPROVE, context=TAX_CTX))
+        blocked, _ = checker.process_step(
+            access("mgr", [MANAGER], APPROVE, context=TAX_CTX)
+        )
+        assert not blocked
+
+    def test_no_constraints_outside_declared_workflow(self):
+        checker = self.checker()
+        blocked, _ = checker.process_step(access("mgr", [MANAGER], APPROVE))
+        assert not blocked
+
+    def test_instances_isolated(self):
+        checker = self.checker()
+        other = ContextName.parse("TaxOffice=Leeds, taxRefundProcess=2")
+        checker.process_step(access("mgr", [MANAGER], APPROVE, context=TAX_CTX))
+        blocked, _ = checker.process_step(
+            access("mgr", [MANAGER], APPROVE, context=other)
+        )
+        assert not blocked
+
+
+class TestSandhuTCE:
+    def checker(self):
+        return SandhuTCEChecker(
+            [
+                TransactionControlExpression(
+                    PREPARE.target,
+                    [
+                        TCEStep("prepareCheck"),
+                        TCEStep("approve/disapproveCheck"),
+                        TCEStep("approve/disapproveCheck"),
+                    ],
+                )
+            ]
+        )
+
+    def test_distinct_users_pass(self):
+        checker = self.checker()
+        assert not checker.process_step(
+            access("c", [CLERK], PREPARE, context=TAX_CTX)
+        )[0]
+        assert not checker.process_step(
+            access("m1", [MANAGER], APPROVE, context=TAX_CTX)
+        )[0]
+        assert not checker.process_step(
+            access("m2", [MANAGER], APPROVE, context=TAX_CTX)
+        )[0]
+
+    def test_repeat_user_blocked(self):
+        checker = self.checker()
+        checker.process_step(access("c", [CLERK], PREPARE, context=TAX_CTX))
+        checker.process_step(access("m1", [MANAGER], APPROVE, context=TAX_CTX))
+        blocked, _ = checker.process_step(
+            access("m1", [MANAGER], APPROVE, context=TAX_CTX)
+        )
+        assert blocked
+
+    def test_exhausted_steps_blocked(self):
+        checker = self.checker()
+        checker.process_step(access("c", [CLERK], PREPARE, context=TAX_CTX))
+        checker.process_step(access("m1", [MANAGER], APPROVE, context=TAX_CTX))
+        checker.process_step(access("m2", [MANAGER], APPROVE, context=TAX_CTX))
+        blocked, reason = checker.process_step(
+            access("m3", [MANAGER], APPROVE, context=TAX_CTX)
+        )
+        assert blocked
+        assert "already executed" in reason
+
+    def test_same_user_marker(self):
+        checker = SandhuTCEChecker(
+            [
+                TransactionControlExpression(
+                    "voucher",
+                    [TCEStep("draft"), TCEStep("submit", same_user=True)],
+                )
+            ]
+        )
+        draft = Step(
+            STEP_ACCESS, "u", "u", "s", AUTHORITY_A, (CLERK,),
+            "draft", "voucher", TAX_CTX, 1.0,
+        )
+        submit_other = Step(
+            STEP_ACCESS, "v", "v", "s", AUTHORITY_A, (CLERK,),
+            "submit", "voucher", TAX_CTX, 2.0,
+        )
+        checker.process_step(draft)
+        blocked, _ = checker.process_step(submit_other)
+        assert blocked
+
+    def test_unconstrained_target_ignored(self):
+        checker = self.checker()
+        blocked, _ = checker.process_step(access("u", [TELLER], HANDLE_CASH))
+        assert not blocked
+
+    def test_role_conflict_across_targets_invisible(self):
+        """The paper's point: TCE cannot see Example 1's conflict."""
+        checker = self.checker()
+        checker.process_step(access("u", [TELLER], HANDLE_CASH))
+        blocked, _ = checker.process_step(access("u", [AUDITOR], AUDIT_BOOKS))
+        assert not blocked
+
+
+class TestMSoDChecker:
+    def test_detects_cross_session_conflict(self):
+        checker = MSoDChecker(combined_policy_set())
+        checker.process_step(access("u", [TELLER], HANDLE_CASH, session="s1"))
+        blocked, reason = checker.process_step(
+            access("u", [AUDITOR], AUDIT_BOOKS, session="s2")
+        )
+        assert blocked
+        assert "mutually exclusive roles" in reason
+
+    def test_run_scenario_helper(self):
+        checker = MSoDChecker(combined_policy_set())
+        scenario = Scenario(
+            "s1",
+            "cross_session",
+            (
+                access("u", [TELLER], HANDLE_CASH, session="s1", at=1.0),
+                access("u", [AUDITOR], AUDIT_BOOKS, session="s2", at=2.0),
+            ),
+        )
+        outcome = checker.run_scenario(scenario)
+        assert outcome.blocked
+        assert outcome.blocked_step == 1
+        assert outcome.correct
+
+    def test_reset_clears_history(self):
+        checker = MSoDChecker(combined_policy_set())
+        checker.process_step(access("u", [TELLER], HANDLE_CASH))
+        checker.reset()
+        blocked, _ = checker.process_step(access("u", [AUDITOR], AUDIT_BOOKS))
+        assert not blocked
+
+    def test_linker_rejoins_aliases(self):
+        gen = ScenarioGenerator(seed=1)
+        scenario = gen.federated(linked=True)
+        plain = MSoDChecker(combined_policy_set())
+        linked = MSoDChecker(
+            combined_policy_set(), linker=gen.identity_linker, name="linked"
+        )
+        assert not plain.run_scenario(scenario).blocked
+        assert linked.run_scenario(scenario).blocked

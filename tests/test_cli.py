@@ -1,0 +1,288 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmlpolicy import COMBINED_POLICY_XML
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "policy.xml"
+    path.write_text(COMBINED_POLICY_XML)
+    return str(path)
+
+
+@pytest.fixture
+def adi_file(tmp_path):
+    return str(tmp_path / "adi.db")
+
+
+def decide_args(policy_file, adi_file, user, role, operation, target, context):
+    return [
+        "decide",
+        policy_file,
+        "--adi",
+        adi_file,
+        "--user",
+        user,
+        "--role",
+        role,
+        "--operation",
+        operation,
+        "--target",
+        target,
+        "--context",
+        context,
+    ]
+
+
+class TestValidate:
+    def test_valid_document(self, policy_file, capsys):
+        assert main(["validate", policy_file]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_document(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<MSoDPolicySet><MSoDPolicy/></MSoDPolicySet>")
+        assert main(["validate", str(path)]) == 1
+        assert "problem:" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/no/such/file.xml"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_summary(self, policy_file, capsys):
+        assert main(["show", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 MSoD policies" in out
+        assert "Branch=*, Period=!" in out
+        assert "MMER m=2" in out
+        assert "MMEP m=2" in out
+
+
+class TestCompileDecompile:
+    DSL = (
+        'policy bank within "Branch=*, Period=!":\n'
+        "    mutually exclusive roles limit 2:\n"
+        "        employee:Teller, employee:Auditor\n"
+    )
+
+    def test_compile_to_stdout(self, tmp_path, capsys):
+        source = tmp_path / "policy.msod"
+        source.write_text(self.DSL)
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "<MSoDPolicySet>" in out
+        assert 'value="Teller"' in out
+
+    def test_compile_to_file_then_decide(self, tmp_path, adi_file, capsys):
+        source = tmp_path / "policy.msod"
+        source.write_text(self.DSL)
+        xml_path = tmp_path / "policy.xml"
+        assert main(["compile", str(source), "-o", str(xml_path)]) == 0
+        capsys.readouterr()
+        code = main(
+            decide_args(
+                str(xml_path), adi_file, "alice", "employee:Teller",
+                "handleCash", "till://1", "Branch=York, Period=2006",
+            )
+        )
+        assert code == 0
+
+    def test_decompile_round_trip(self, policy_file, tmp_path, capsys):
+        assert main(["decompile", policy_file]) == 0
+        dsl_text = capsys.readouterr().out
+        assert "mutually exclusive roles limit 2:" in dsl_text
+        source = tmp_path / "round.msod"
+        source.write_text(dsl_text)
+        assert main(["compile", str(source)]) == 0
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        source = tmp_path / "bad.msod"
+        source.write_text("gibberish\n")
+        assert main(["compile", str(source)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLint:
+    def _write_permis_policy(self, tmp_path, policy):
+        from repro.permis import write_permis_policy
+
+        path = tmp_path / "permis.xml"
+        path.write_text(write_permis_policy(policy))
+        return str(path)
+
+    def test_lint_healthy_policy(self, tmp_path, capsys):
+        from repro.core import Privilege, Role
+        from repro.permis import PermisPolicyBuilder
+        from repro.xmlpolicy import bank_policy_set
+
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(
+                "cn=soa,o=b,c=gb",
+                [Role("employee", "Teller"), Role("employee", "Auditor")],
+                "o=b,c=gb",
+            )
+            .grant(Role("employee", "Teller"), [Privilege("handleCash", "t")])
+            .grant(
+                Role("employee", "Auditor"),
+                [
+                    Privilege("auditBooks", "l"),
+                    Privilege(
+                        "CommitAudit", "http://audit.location.com/audit"
+                    ),
+                ],
+            )
+            .with_msod(bank_policy_set())
+            .build()
+        )
+        path = self._write_permis_policy(tmp_path, policy)
+        assert main(["lint", path]) == 0
+
+    def test_lint_broken_policy_exits_nonzero(self, tmp_path, capsys):
+        from repro.core import Privilege, Role
+        from repro.permis import PermisPolicyBuilder
+        from repro.xmlpolicy import bank_policy_set
+
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(
+                "cn=soa,o=b,c=gb", [Role("employee", "Teller")], "o=b,c=gb"
+            )
+            .grant(Role("employee", "Teller"), [Privilege("handleCash", "t")])
+            .with_msod(bank_policy_set())  # auditor unassignable
+            .build()
+        )
+        path = self._write_permis_policy(tmp_path, policy)
+        assert main(["lint", path]) == 1
+        assert "[error]" in capsys.readouterr().out
+
+
+class TestDecide:
+    def test_multi_session_deny_across_invocations(
+        self, policy_file, adi_file, capsys
+    ):
+        """Each CLI invocation is a separate session; the SQLite retained
+        ADI carries the history between them."""
+        code = main(
+            decide_args(
+                policy_file, adi_file, "alice", "employee:Teller",
+                "handleCash", "till://1", "Branch=York, Period=2006",
+            )
+        )
+        assert code == 0
+        assert "GRANT" in capsys.readouterr().out
+
+        code = main(
+            decide_args(
+                policy_file, adi_file, "alice", "employee:Auditor",
+                "auditBooks", "ledger://1", "Branch=Leeds, Period=2006",
+            )
+        )
+        assert code == 2
+        assert "DENY" in capsys.readouterr().out
+
+    def test_unmatched_context_grants(self, policy_file, adi_file, capsys):
+        code = main(
+            decide_args(
+                policy_file, adi_file, "alice", "employee:Teller",
+                "anything", "t://x", "Unrelated=ctx",
+            )
+        )
+        assert code == 0
+
+    def test_literal_mode_flag(self, policy_file, adi_file, capsys):
+        """--literal follows the published step order: a simultaneous
+        co-activation on a context-starting request is granted."""
+        args = decide_args(
+            policy_file, adi_file, "alice", "employee:Teller",
+            "auditBooks", "ledger://1", "Branch=York, Period=2006",
+        ) + ["--role", "employee:Auditor", "--literal"]
+        assert main(args) == 0
+        assert "GRANT" in capsys.readouterr().out
+        # Strict mode (the default) denies the same request on a fresh ADI.
+        strict_args = decide_args(
+            policy_file, str(adi_file) + ".strict", "alice",
+            "employee:Teller", "auditBooks", "ledger://1",
+            "Branch=York, Period=2006",
+        ) + ["--role", "employee:Auditor"]
+        assert main(strict_args) == 2
+
+    def test_bad_role_syntax_rejected(self, policy_file, adi_file):
+        with pytest.raises(SystemExit):
+            main(
+                decide_args(
+                    policy_file, adi_file, "alice", "not-a-role",
+                    "op", "t", "A=1",
+                )
+            )
+
+
+class TestExplain:
+    def test_explain_is_a_dry_run(self, policy_file, adi_file, capsys):
+        main(
+            decide_args(
+                policy_file, adi_file, "alice", "employee:Teller",
+                "handleCash", "till://1", "Branch=York, Period=2006",
+            )
+        )
+        capsys.readouterr()
+        explain_args = [
+            "explain", policy_file, "--adi", adi_file, "--user", "alice",
+            "--role", "employee:Auditor", "--operation", "auditBooks",
+            "--target", "ledger://1", "--context", "Branch=Leeds, Period=2006",
+        ]
+        # Run twice: a dry run never changes the verdict or the store.
+        assert main(explain_args) == 2
+        first = capsys.readouterr().out
+        assert "VIOLATION" in first
+        assert "[step 5]" in first
+        assert main(explain_args) == 2
+        # The retained ADI still holds only the original grant.
+        main(["history", "--adi", adi_file])
+        history = capsys.readouterr().out.splitlines()[-2]
+        assert "alice" in history
+
+
+class TestHistoryAndPurge:
+    def _grant_one(self, policy_file, adi_file):
+        main(
+            decide_args(
+                policy_file, adi_file, "alice", "employee:Teller",
+                "handleCash", "till://1", "Branch=York, Period=2006",
+            )
+        )
+
+    def test_history_lists_records(self, policy_file, adi_file, capsys):
+        self._grant_one(policy_file, adi_file)
+        capsys.readouterr()
+        assert main(["history", "--adi", adi_file]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out
+        assert "Branch=York, Period=2006" in out
+
+    def test_purge_context(self, policy_file, adi_file, capsys):
+        self._grant_one(policy_file, adi_file)
+        capsys.readouterr()
+        assert main(
+            ["purge", "--adi", adi_file, "--context", "Branch=*, Period=2006"]
+        ) == 0
+        assert main(["history", "--adi", adi_file]) == 0
+        assert "0 retained record(s)" in capsys.readouterr().out
+
+    def test_purge_user(self, policy_file, adi_file, capsys):
+        self._grant_one(policy_file, adi_file)
+        capsys.readouterr()
+        main(["purge", "--adi", adi_file, "--user", "alice"])
+        assert "removed" in capsys.readouterr().out
+
+    def test_purge_all(self, policy_file, adi_file, capsys):
+        self._grant_one(policy_file, adi_file)
+        capsys.readouterr()
+        main(["purge", "--adi", adi_file, "--all"])
+        main(["history", "--adi", adi_file])
+        assert "0 retained record(s)" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Unit tests for PERMIS environmental conditions on access rules."""
+
+import pytest
+
+from repro.core import ContextName, Privilege, Role
+from repro.errors import PolicyError
+from repro.permis import (
+    AllOf,
+    Always,
+    AnyOf,
+    EnvEquals,
+    EnvOneOf,
+    Negation,
+    PermisPDP,
+    PermisPolicyBuilder,
+    TimeWindow,
+    TrustStore,
+)
+
+TELLER = Role("employee", "Teller")
+HANDLE_CASH = Privilege("handleCash", "till://1")
+CTX = ContextName.parse("Branch=York, Period=2006")
+
+NINE_AM = 9 * 3600.0
+FIVE_PM = 17 * 3600.0
+
+
+class TestLeafConditions:
+    def test_always(self):
+        assert Always().evaluate({}, 0.0)
+
+    def test_env_equals(self):
+        condition = EnvEquals("terminal", "till-3")
+        assert condition.evaluate({"terminal": "till-3"}, 0.0)
+        assert not condition.evaluate({"terminal": "till-4"}, 0.0)
+        assert not condition.evaluate({}, 0.0)
+
+    def test_env_one_of(self):
+        condition = EnvOneOf("branch", ["York", "Leeds"])
+        assert condition.evaluate({"branch": "Leeds"}, 0.0)
+        assert not condition.evaluate({"branch": "Bath"}, 0.0)
+
+    def test_time_window_within_day(self):
+        condition = TimeWindow(NINE_AM, FIVE_PM)
+        assert condition.evaluate({}, NINE_AM)
+        assert condition.evaluate({}, NINE_AM + 3600)
+        assert not condition.evaluate({}, FIVE_PM)
+        assert not condition.evaluate({}, 2 * 3600.0)
+
+    def test_time_window_wraps_midnight(self):
+        night = TimeWindow(FIVE_PM, NINE_AM)
+        assert night.evaluate({}, 23 * 3600.0)
+        assert night.evaluate({}, 3 * 3600.0)
+        assert not night.evaluate({}, 12 * 3600.0)
+
+    def test_time_window_uses_modulo_day(self):
+        condition = TimeWindow(NINE_AM, FIVE_PM)
+        three_days_in = 3 * 86_400.0 + NINE_AM + 60
+        assert condition.evaluate({}, three_days_in)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            TimeWindow(-1, 10)
+        with pytest.raises(PolicyError):
+            TimeWindow(0, 90_000)
+        with pytest.raises(PolicyError):
+            EnvEquals("", "x")
+        with pytest.raises(PolicyError):
+            EnvOneOf("k", [])
+
+
+class TestCombinators:
+    def test_operators(self):
+        yes, no = Always(), Negation(Always())
+        assert (yes & yes).evaluate({}, 0)
+        assert not (yes & no).evaluate({}, 0)
+        assert (yes | no).evaluate({}, 0)
+        assert not (~yes).evaluate({}, 0)
+
+    def test_nary_forms(self):
+        assert AllOf(Always(), Always()).evaluate({}, 0)
+        assert AnyOf(Negation(Always()), Always()).evaluate({}, 0)
+        with pytest.raises(PolicyError):
+            AllOf()
+        with pytest.raises(PolicyError):
+            AnyOf()
+
+
+class TestConditionedPolicy:
+    def _policy(self, condition):
+        return (
+            PermisPolicyBuilder()
+            .grant(TELLER, [HANDLE_CASH], condition=condition)
+            .build()
+        )
+
+    def test_condition_gates_permits(self):
+        policy = self._policy(TimeWindow(NINE_AM, FIVE_PM))
+        assert policy.permits([TELLER], HANDLE_CASH, {}, at=NINE_AM + 60)
+        assert not policy.permits([TELLER], HANDLE_CASH, {}, at=FIVE_PM + 60)
+
+    def test_unconditioned_rule_always_grants(self):
+        policy = self._policy(None)
+        assert policy.permits([TELLER], HANDLE_CASH, {}, at=0.0)
+
+    def test_any_satisfied_rule_grants(self):
+        policy = (
+            PermisPolicyBuilder()
+            .grant(TELLER, [HANDLE_CASH], condition=TimeWindow(NINE_AM, FIVE_PM))
+            .grant(TELLER, [HANDLE_CASH], condition=EnvEquals("override", "on"))
+            .build()
+        )
+        late = FIVE_PM + 3600
+        assert not policy.permits([TELLER], HANDLE_CASH, {}, at=late)
+        assert policy.permits(
+            [TELLER], HANDLE_CASH, {"override": "on"}, at=late
+        )
+
+    def test_privileges_of_ignores_conditions(self):
+        policy = self._policy(Negation(Always()))
+        assert HANDLE_CASH in policy.privileges_of([TELLER])
+
+    def test_pdp_passes_environment_and_time(self):
+        policy = self._policy(
+            AllOf(TimeWindow(NINE_AM, FIVE_PM), EnvEquals("terminal", "till-3"))
+        )
+        pdp = PermisPDP(policy, TrustStore())
+        working_hours = NINE_AM + 600
+        grant = pdp.decision(
+            "cn=alice,o=bank,c=gb",
+            "handleCash",
+            "till://1",
+            CTX,
+            roles=[TELLER],
+            environment={"terminal": "till-3"},
+            at=working_hours,
+        )
+        assert grant.granted
+        wrong_terminal = pdp.decision(
+            "cn=alice,o=bank,c=gb",
+            "handleCash",
+            "till://1",
+            CTX,
+            roles=[TELLER],
+            environment={"terminal": "till-9"},
+            at=working_hours,
+        )
+        assert wrong_terminal.denied
+        assert wrong_terminal.reason.startswith("RBAC")
+        after_hours = pdp.decision(
+            "cn=alice,o=bank,c=gb",
+            "handleCash",
+            "till://1",
+            CTX,
+            roles=[TELLER],
+            environment={"terminal": "till-3"},
+            at=FIVE_PM + 3600,
+        )
+        assert after_hours.denied

@@ -1,0 +1,171 @@
+"""Unit tests for MMER/MMEP constraints (Sections 2.3-2.4)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.constraints import (
+    MMEP,
+    MMER,
+    Privilege,
+    Role,
+    count_history_matches,
+)
+from repro.errors import ConstraintError
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+MANAGER = Role("employee", "Manager")
+
+P1 = Privilege("approve", "http://tax/check")
+P2 = Privilege("combine", "http://tax/results")
+P3 = Privilege("prepare", "http://tax/check")
+
+
+class TestRole:
+    def test_fields(self):
+        assert TELLER.role_type == "employee"
+        assert TELLER.value == "Teller"
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ConstraintError):
+            Role("", "Teller")
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ConstraintError):
+            Role("employee", "")
+
+    def test_equality_and_hash(self):
+        assert Role("employee", "Teller") == TELLER
+        assert hash(Role("employee", "Teller")) == hash(TELLER)
+
+    def test_str(self):
+        assert str(TELLER) == "employee:Teller"
+
+
+class TestPrivilege:
+    def test_fields(self):
+        assert P1.operation == "approve"
+        assert P1.target == "http://tax/check"
+
+    def test_empty_operation_rejected(self):
+        with pytest.raises(ConstraintError):
+            Privilege("", "target")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ConstraintError):
+            Privilege("op", "")
+
+    def test_str(self):
+        assert str(P1) == "approve@http://tax/check"
+
+
+class TestMMER:
+    def test_paper_example(self):
+        mmer = MMER([TELLER, AUDITOR], 2)
+        assert mmer.forbidden_cardinality == 2
+        assert set(mmer.roles) == {TELLER, AUDITOR}
+
+    def test_duplicate_roles_rejected(self):
+        with pytest.raises(ConstraintError):
+            MMER([TELLER, TELLER], 2)
+
+    def test_single_role_rejected(self):
+        with pytest.raises(ConstraintError):
+            MMER([TELLER], 1)
+
+    def test_cardinality_one_rejected(self):
+        with pytest.raises(ConstraintError):
+            MMER([TELLER, AUDITOR], 1)
+
+    def test_cardinality_above_n_rejected(self):
+        with pytest.raises(ConstraintError):
+            MMER([TELLER, AUDITOR], 3)
+
+    def test_m_out_of_n(self):
+        mmer = MMER([TELLER, AUDITOR, MANAGER], 2)
+        assert mmer.forbidden_cardinality == 2
+
+    def test_matched_roles(self):
+        mmer = MMER([TELLER, AUDITOR], 2)
+        assert mmer.matched_roles([TELLER, MANAGER]) == {TELLER}
+        assert mmer.matched_roles([MANAGER]) == frozenset()
+        assert mmer.matched_roles([TELLER, AUDITOR]) == {TELLER, AUDITOR}
+
+    def test_remaining_roles(self):
+        mmer = MMER([TELLER, AUDITOR, MANAGER], 3)
+        assert mmer.remaining_roles([TELLER]) == {AUDITOR, MANAGER}
+        assert mmer.remaining_roles([TELLER, AUDITOR]) == {MANAGER}
+
+    def test_equality_is_order_insensitive(self):
+        assert MMER([TELLER, AUDITOR], 2) == MMER([AUDITOR, TELLER], 2)
+        assert hash(MMER([TELLER, AUDITOR], 2)) == hash(MMER([AUDITOR, TELLER], 2))
+
+    def test_inequality_on_cardinality(self):
+        assert MMER([TELLER, AUDITOR, MANAGER], 2) != MMER(
+            [TELLER, AUDITOR, MANAGER], 3
+        )
+
+
+class TestMMEP:
+    def test_paper_example(self):
+        mmep = MMEP([P1, P2], 2)
+        assert mmep.matches(P1)
+        assert mmep.matches(P2)
+        assert not mmep.matches(P3)
+
+    def test_duplicate_privilege_allowed(self):
+        """The paper's MMEP({p1, p1}, 2) at-most-once idiom."""
+        mmep = MMEP([P1, P1], 2)
+        assert Counter(mmep.privileges)[P1] == 2
+
+    def test_too_few_entries_rejected(self):
+        with pytest.raises(ConstraintError):
+            MMEP([P1], 1)
+
+    def test_cardinality_bounds(self):
+        with pytest.raises(ConstraintError):
+            MMEP([P1, P2], 1)
+        with pytest.raises(ConstraintError):
+            MMEP([P1, P2], 3)
+
+    def test_remaining_removes_one_occurrence(self):
+        mmep = MMEP([P1, P1, P2], 2)
+        remaining = mmep.remaining_privileges(P1)
+        assert remaining[P1] == 1
+        assert remaining[P2] == 1
+
+    def test_remaining_drops_exhausted_privilege(self):
+        mmep = MMEP([P1, P2], 2)
+        remaining = mmep.remaining_privileges(P1)
+        assert P1 not in remaining
+        assert remaining[P2] == 1
+
+    def test_equality_is_multiset(self):
+        assert MMEP([P1, P1, P2], 2) == MMEP([P1, P2, P1], 2)
+        assert MMEP([P1, P1, P2], 2) != MMEP([P1, P2], 2)
+
+
+class TestCountHistoryMatches:
+    def test_no_history(self):
+        remaining = Counter({P2: 1})
+        assert count_history_matches(remaining, []) == 0
+
+    def test_distinct_privilege_counts_once(self):
+        remaining = Counter({P2: 1})
+        assert count_history_matches(remaining, [P2, P2, P2]) == 1
+
+    def test_duplicate_entry_needs_multiple_exercises(self):
+        remaining = Counter({P1: 2})
+        assert count_history_matches(remaining, [P1]) == 1
+        assert count_history_matches(remaining, [P1, P1]) == 2
+        assert count_history_matches(remaining, [P1, P1, P1]) == 2
+
+    def test_mixed_multiset(self):
+        remaining = Counter({P1: 1, P2: 1})
+        assert count_history_matches(remaining, [P1]) == 1
+        assert count_history_matches(remaining, [P1, P2]) == 2
+
+    def test_unrelated_history_ignored(self):
+        remaining = Counter({P1: 1})
+        assert count_history_matches(remaining, [P3]) == 0

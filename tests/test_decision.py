@@ -1,0 +1,214 @@
+"""Unit tests for decision types and finer engine semantics."""
+
+import pytest
+
+from repro.core import (
+    MMEP,
+    MMER,
+    ContextName,
+    Decision,
+    DecisionRequest,
+    Effect,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Privilege,
+    Role,
+    next_request_id,
+)
+from repro.core.policy import Step
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+P1 = Privilege("op1", "t://1")
+P2 = Privilege("op2", "t://2")
+CTX = ContextName.parse("P=1")
+
+
+def request(user="u", roles=(TELLER,), privilege=P1, context=CTX, at=1.0):
+    return DecisionRequest(
+        user_id=user,
+        roles=tuple(roles),
+        operation=privilege.operation,
+        target=privilege.target,
+        context_instance=context,
+        timestamp=at,
+    )
+
+
+class TestDecisionRequest:
+    def test_request_ids_are_unique(self):
+        assert next_request_id() != next_request_id()
+        assert request().request_id != request().request_id
+
+    def test_privilege_property(self):
+        assert request().privilege == P1
+
+    def test_environment_defaults_empty(self):
+        assert dict(request().environment) == {}
+
+
+class TestDecision:
+    def test_str_for_grant(self):
+        decision = Decision(effect=Effect.GRANT, request=request())
+        text = str(decision)
+        assert text.startswith("GRANT u op1@t://1")
+        assert "[P=1]" in text
+
+    def test_granted_denied_flags(self):
+        grant = Decision(effect=Effect.GRANT, request=request())
+        deny = Decision(effect=Effect.DENY, request=request())
+        assert grant.granted and not grant.denied
+        assert deny.denied and not deny.granted
+
+
+class TestEngineRecordSemantics:
+    def test_mmer_records_one_per_matched_role(self):
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmers=[MMER([TELLER, AUDITOR, Role("e", "X")], 3)],
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        decision = engine.check(request(roles=(TELLER, AUDITOR)))
+        assert decision.granted
+        # Context-start base record + one record per matched role.
+        role_records = [
+            record
+            for record in engine.store.records()
+            if len(record.roles) == 1
+        ]
+        assert {record.roles[0] for record in role_records} == {TELLER, AUDITOR}
+
+    def test_records_share_request_id(self):
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmers=[MMER([TELLER, AUDITOR, Role("e", "X")], 3)],
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        engine.check(request(roles=(TELLER, AUDITOR)))
+        request_ids = {record.request_id for record in engine.store.records()}
+        assert len(request_ids) == 1
+
+    def test_mmep_exercise_counting_ignores_same_request_duplicates(self):
+        """A request matching two MMEPs writes two records but counts as
+        one exercise."""
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmeps=[MMEP([P1, P1, P1], 3), MMEP([P1, P2], 2)],
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        # MMEP({P1,P1,P1},3) allows two exercises of P1 per user.
+        assert engine.check(request(at=1.0)).granted
+        assert engine.check(request(at=2.0)).granted
+        assert engine.check(request(at=3.0)).denied
+
+    def test_mmep_cross_privilege_cardinality(self):
+        """MMEP({P1,P2},2): one of each is already too many."""
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmeps=[MMEP([P1, P2], 2)],
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        assert engine.check(request(privilege=P1, at=1.0)).granted
+        assert engine.check(request(privilege=P2, at=2.0)).denied
+        # A different user is unaffected.
+        assert engine.check(request(user="v", privilege=P2, at=3.0)).granted
+
+    def test_mmep_three_of_three(self):
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmeps=[
+                        MMEP([P1, P2, Privilege("op3", "t://3")], 3)
+                    ],
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        assert engine.check(request(privilege=P1, at=1.0)).granted
+        assert engine.check(request(privilege=P2, at=2.0)).granted
+        assert engine.check(
+            request(privilege=Privilege("op3", "t://3"), at=3.0)
+        ).denied
+
+    def test_last_step_also_checked_against_constraints(self):
+        """A last step that itself violates an MMEP is denied, and the
+        context is NOT terminated."""
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmeps=[MMEP([P1, P2], 2)],
+                    last_step=Step(P2.operation, P2.target),
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        assert engine.check(request(privilege=P1, at=1.0)).granted
+        denied = engine.check(request(privilege=P2, at=2.0))
+        assert denied.denied
+        assert engine.store.count() > 0  # history survives
+        # Another user performing the last step terminates the context.
+        closed = engine.check(request(user="v", privilege=P2, at=3.0))
+        assert closed.granted
+        assert engine.store.count() == 0
+
+    def test_violation_details_populated(self):
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="bank",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        engine.check(request(roles=(TELLER,), at=1.0))
+        denied = engine.check(request(roles=(AUDITOR,), at=2.0))
+        violation = denied.violation
+        assert violation.policy_id == "bank"
+        assert violation.constraint_kind == "MMER"
+        assert "Teller" in violation.constraint_repr
+        assert str(violation.effective_context) == "P=1"
+
+    def test_adi_mutation_exposed_on_grant(self):
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("P=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    last_step=Step(P2.operation, P2.target),
+                    policy_id="p",
+                )
+            ]
+        )
+        engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        grant = engine.check(request(at=1.0))
+        assert len(grant.adi_adds) == grant.records_added > 0
+        closing = engine.check(request(user="v", privilege=P2, at=2.0))
+        assert closing.adi_purged_contexts == (ContextName.parse("P=1"),)

@@ -1,0 +1,166 @@
+"""Unit tests for PERMIS delegation-of-authority chain validation."""
+
+import pytest
+
+from repro.core import Role
+from repro.permis import (
+    AttributeCredential,
+    CredentialValidationService,
+    LdapDirectory,
+    PermisPolicyBuilder,
+    PrivilegeAllocator,
+    TrustStore,
+    sign_credential,
+)
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+SOA_DN = "cn=SOA,o=bank,c=gb"
+MANAGER_DN = "cn=branch-manager,o=bank,c=gb"
+CLERK_DN = "cn=clerk,o=bank,c=gb"
+
+SOA_KEY = b"soa-key"
+MANAGER_KEY = b"manager-key"
+
+
+@pytest.fixture
+def directory():
+    d = LdapDirectory()
+    # The delegator's verification key is published in the directory
+    # (standing in for the user's PKI certificate).
+    entry = d.ensure_entry(MANAGER_DN)
+    entry.add_value(
+        CredentialValidationService.SUBJECT_KEY_ATTRIBUTE, MANAGER_KEY
+    )
+    return d
+
+
+@pytest.fixture
+def policy():
+    return (
+        PermisPolicyBuilder()
+        .allow_assignment(
+            SOA_DN, [TELLER, AUDITOR], "o=bank,c=gb", max_delegation_depth=1
+        )
+        .build()
+    )
+
+
+@pytest.fixture
+def cvs(policy, directory):
+    trust = TrustStore()
+    trust.trust(SOA_DN, SOA_KEY)
+    return CredentialValidationService(policy, trust, directory)
+
+
+def soa_credential(roles=(TELLER, AUDITOR), not_before=0.0, not_after=100.0):
+    credential = AttributeCredential(
+        MANAGER_DN, SOA_DN, tuple(roles), not_before, not_after
+    )
+    return sign_credential(credential, SOA_KEY)
+
+
+def delegated_credential(
+    roles=(TELLER,), not_before=10.0, not_after=90.0, holder=CLERK_DN,
+    key=MANAGER_KEY,
+):
+    credential = AttributeCredential(
+        holder, MANAGER_DN, tuple(roles), not_before, not_after
+    )
+    return sign_credential(credential, key)
+
+
+class TestValidChains:
+    def test_depth_zero_chain_equals_direct_assignment(self, cvs):
+        result = cvs.validate_delegation_chain(
+            MANAGER_DN, [soa_credential()], at=50.0
+        )
+        assert result.valid_roles == {TELLER, AUDITOR}
+
+    def test_one_step_delegation(self, cvs):
+        chain = [soa_credential(), delegated_credential()]
+        result = cvs.validate_delegation_chain(CLERK_DN, chain, at=50.0)
+        assert result.valid_roles == {TELLER}
+        assert result.all_valid
+
+    def test_empty_chain_yields_nothing(self, cvs):
+        result = cvs.validate_delegation_chain(CLERK_DN, [], at=50.0)
+        assert result.valid_roles == frozenset()
+
+
+class TestChainRejections:
+    def test_untrusted_root(self, cvs):
+        rogue = PrivilegeAllocator("cn=rogue,o=bank,c=gb", b"rogue-key")
+        root = rogue.issue(MANAGER_DN, [TELLER], 0, 100, publish=False)
+        result = cvs.validate_delegation_chain(MANAGER_DN, [root], at=50.0)
+        assert not result.valid_roles
+        assert "not a trusted SOA" in result.rejections[0].reason
+
+    def test_broken_issuer_link(self, cvs):
+        outsider = AttributeCredential(
+            CLERK_DN, "cn=other,o=bank,c=gb", (TELLER,), 10, 90
+        )
+        outsider = sign_credential(outsider, MANAGER_KEY)
+        result = cvs.validate_delegation_chain(
+            CLERK_DN, [soa_credential(), outsider], at=50.0
+        )
+        assert "delegation break" in result.rejections[0].reason
+
+    def test_unpublished_delegator_key(self, policy):
+        trust = TrustStore()
+        trust.trust(SOA_DN, SOA_KEY)
+        cvs = CredentialValidationService(policy, trust, LdapDirectory())
+        chain = [soa_credential(), delegated_credential()]
+        result = cvs.validate_delegation_chain(CLERK_DN, chain, at=50.0)
+        assert "no published key" in result.rejections[0].reason
+
+    def test_forged_delegated_signature(self, cvs):
+        chain = [soa_credential(), delegated_credential(key=b"wrong-key")]
+        result = cvs.validate_delegation_chain(CLERK_DN, chain, at=50.0)
+        assert "signature does not verify" in result.rejections[0].reason
+
+    def test_role_escalation_rejected(self, cvs):
+        chain = [
+            soa_credential(roles=(TELLER,)),
+            delegated_credential(roles=(TELLER, AUDITOR)),
+        ]
+        result = cvs.validate_delegation_chain(CLERK_DN, chain, at=50.0)
+        assert "escalates roles" in result.rejections[0].reason
+
+    def test_validity_widening_rejected(self, cvs):
+        chain = [
+            soa_credential(not_before=10, not_after=90),
+            delegated_credential(not_before=0, not_after=100),
+        ]
+        result = cvs.validate_delegation_chain(CLERK_DN, chain, at=50.0)
+        assert "exceeds the parent" in result.rejections[0].reason
+
+    def test_expired_link_rejected(self, cvs):
+        chain = [soa_credential(), delegated_credential(not_after=40)]
+        result = cvs.validate_delegation_chain(CLERK_DN, chain, at=50.0)
+        assert "not valid at" in result.rejections[0].reason
+
+    def test_wrong_final_holder(self, cvs):
+        chain = [soa_credential(), delegated_credential()]
+        result = cvs.validate_delegation_chain(
+            "cn=somebody-else,o=bank,c=gb", chain, at=50.0
+        )
+        assert "does not terminate" in result.rejections[0].reason
+
+    def test_depth_beyond_policy_rejected(self, cvs, directory):
+        # Publish the clerk's key so a depth-2 chain verifies
+        # cryptographically; policy allows only depth 1.
+        clerk_key = b"clerk-key"
+        directory.ensure_entry(CLERK_DN).add_value(
+            CredentialValidationService.SUBJECT_KEY_ATTRIBUTE, clerk_key
+        )
+        sub_delegate = AttributeCredential(
+            "cn=intern,o=bank,c=gb", CLERK_DN, (TELLER,), 20, 80
+        )
+        sub_delegate = sign_credential(sub_delegate, clerk_key)
+        chain = [soa_credential(), delegated_credential(), sub_delegate]
+        result = cvs.validate_delegation_chain(
+            "cn=intern,o=bank,c=gb", chain, at=50.0
+        )
+        assert not result.valid_roles
+        assert "depth 2 not permitted" in result.rejections[0].reason

@@ -1,0 +1,87 @@
+"""Smoke tests: every example script runs cleanly and tells its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = [
+    (
+        "quickstart.py",
+        ["DENY alice auditBooks", "retained-ADI records left for Period=2006: 0"],
+    ),
+    (
+        "bank_audit.py",
+        [
+            "recovered retained-ADI records: 2",
+            "DENY cn=alice,o=bank,c=gb auditBooks",
+            "GRANT cn=alice,o=bank,c=gb auditBooks@ledger://main [Branch=York, Period=2007]",
+        ],
+    ),
+    (
+        "tax_refund.py",
+        [
+            "complete: True",
+            "T2 by mgr1   : DENY",
+            "T4 by clerk1 : DENY",
+        ],
+    ),
+    (
+        "virtual_organisation.py",
+        [
+            "refused:",
+            "the conflict went UNDETECTED",
+            "identity linking restores MSoD enforcement",
+        ],
+    ),
+    (
+        "adi_recovery.py",
+        [
+            "recovered state is byte-identical",
+            "recovery refused:",
+        ],
+    ),
+    (
+        "bank_year_simulation.py",
+        [
+            "separation failures",
+            "the failure count is 0",
+        ],
+    ),
+    (
+        "policy_authoring.py",
+        [
+            "can never terminate",
+            "0 error(s)",
+            "first decision through the published policy: grant",
+            "mutually exclusive roles limit 2:",
+        ],
+    ),
+    (
+        "conditions_and_delegation.py",
+        [
+            "during opening hours, till-3: GRANT",
+            "after hours, till-3: DENY",
+            "audit attempt: DENY",
+            "delegation escalates roles",
+        ],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for fragment in expected:
+        assert fragment in result.stdout, (
+            f"{script}: missing {fragment!r} in output"
+        )

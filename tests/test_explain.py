@@ -1,0 +1,136 @@
+"""Tests for the dry-run decision explainer."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MODE_LITERAL,
+    MSoDEngine,
+    Privilege,
+    Role,
+    explain,
+    store_digest,
+)
+from repro.xmlpolicy import bank_policy_set, combined_policy_set, tax_refund_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+
+HANDLE_CASH = Privilege("handleCash", "till://1")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://1")
+PREPARE = Privilege("prepareCheck", "http://www.myTaxOffice.com/Check")
+APPROVE = Privilege("approve/disapproveCheck", "http://www.myTaxOffice.com/Check")
+CONFIRM = Privilege("confirmCheck", "http://secret.location.com/audit")
+
+CTX = ContextName.parse("Branch=York, Period=2006")
+TAX_CTX = ContextName.parse("TaxOffice=Leeds, taxRefundProcess=7")
+
+
+def request(user, roles, privilege, context=CTX, at=1.0):
+    return DecisionRequest(
+        user_id=user,
+        roles=tuple(roles),
+        operation=privilege.operation,
+        target=privilege.target,
+        context_instance=context,
+        timestamp=at,
+    )
+
+
+class TestExplainBasics:
+    def test_no_matching_policy(self):
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        explanation = explain(
+            engine, request("u", [TELLER], HANDLE_CASH, ContextName.parse("X=1"))
+        )
+        assert explanation.granted
+        assert "matches no MSoD policy" in explanation.render()
+
+    def test_explains_grant_with_context_start(self):
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        explanation = explain(engine, request("u", [TELLER], HANDLE_CASH))
+        text = explanation.render()
+        assert explanation.granted
+        assert "context starts with this request" in text
+        assert "nr=1 matched" in text
+        assert "-> ok" in text
+
+    def test_explains_mmer_violation(self):
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        engine.check(request("u", [TELLER], HANDLE_CASH, at=1.0))
+        explanation = explain(engine, request("u", [AUDITOR], AUDIT_BOOKS, at=2.0))
+        assert not explanation.granted
+        assert "VIOLATION" in explanation.render()
+
+    def test_explains_mmep_counting(self):
+        engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+        engine.check(request("c", [CLERK], PREPARE, TAX_CTX, at=1.0))
+        engine.check(request("m", [MANAGER], APPROVE, TAX_CTX, at=2.0))
+        explanation = explain(
+            engine, request("m", [MANAGER], APPROVE, TAX_CTX, at=3.0)
+        )
+        assert not explanation.granted
+        assert "past exercise(s)" in explanation.render()
+
+    def test_explains_first_step_gate(self):
+        engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+        explanation = explain(
+            engine, request("m", [MANAGER], APPROVE, TAX_CTX)
+        )
+        assert explanation.granted
+        assert "not the first step" in explanation.render()
+
+    def test_explains_last_step(self):
+        engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+        engine.check(request("c", [CLERK], PREPARE, TAX_CTX, at=1.0))
+        explanation = explain(
+            engine, request("c2", [CLERK], CONFIRM, TAX_CTX, at=2.0)
+        )
+        assert explanation.granted
+        assert "terminates the context instance" in explanation.render()
+
+    def test_literal_mode_noted(self):
+        engine = MSoDEngine(
+            bank_policy_set(), InMemoryRetainedADIStore(), mode=MODE_LITERAL
+        )
+        explanation = explain(
+            engine, request("u", [TELLER, AUDITOR], AUDIT_BOOKS)
+        )
+        assert explanation.granted  # literal step-4 hole, narrated
+        assert "literal mode" in explanation.render()
+
+
+class TestExplainContract:
+    def test_never_mutates_store(self):
+        engine = MSoDEngine(combined_policy_set(), InMemoryRetainedADIStore())
+        engine.check(request("u", [TELLER], HANDLE_CASH, at=1.0))
+        before = store_digest(engine.store)
+        for _ in range(3):
+            explain(engine, request("u", [AUDITOR], AUDIT_BOOKS, at=2.0))
+            explain(engine, request("v", [TELLER], HANDLE_CASH, at=3.0))
+        assert store_digest(engine.store) == before
+
+    def test_render_header(self):
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        explanation = explain(engine, request("u", [TELLER], HANDLE_CASH))
+        assert explanation.render().startswith("GRANT u handleCash@till://1")
+
+
+# ---------------------------------------------------------------------
+# Property: the dry-run verdict equals the live verdict, on any stream.
+# ---------------------------------------------------------------------
+from tests.test_property_engine import request_streams  # noqa: E402
+
+
+@given(request_streams())
+@settings(max_examples=60, deadline=None)
+def test_property_explain_agrees_with_check(stream):
+    engine = MSoDEngine(combined_policy_set(), InMemoryRetainedADIStore())
+    for item in stream:
+        predicted = explain(engine, item)
+        actual = engine.check(item)
+        assert predicted.effect == actual.effect, item

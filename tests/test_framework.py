@@ -1,0 +1,130 @@
+"""Unit tests for the ISO 10181-3 framework layer (Figure 3)."""
+
+import pytest
+
+from repro.core import (
+    ContextName,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    Privilege,
+    Role,
+)
+from repro.framework import (
+    AccessDeniedError,
+    AccessRequestADI,
+    ContextualInformation,
+    InitiatorADI,
+    PolicyEnforcementPoint,
+    ReferenceRBACMSoDPDP,
+    RoleTargetAccessPolicy,
+    SimulatedClock,
+    TargetADI,
+)
+from repro.xmlpolicy import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+HANDLE_CASH = Privilege("handleCash", "till://1")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://1")
+CTX = ContextName.parse("Branch=York, Period=2006")
+
+
+@pytest.fixture
+def pdp():
+    access = RoleTargetAccessPolicy(
+        {TELLER: [HANDLE_CASH], AUDITOR: [AUDIT_BOOKS]}
+    )
+    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    return ReferenceRBACMSoDPDP(access, engine)
+
+
+@pytest.fixture
+def pep(pdp):
+    return PolicyEnforcementPoint(pdp, SimulatedClock())
+
+
+class TestAdiElements:
+    def test_dataclasses_hold_parameters(self):
+        initiator = InitiatorADI("alice", (TELLER,))
+        request = AccessRequestADI("handleCash", {"amount": "100"})
+        target = TargetADI("till://1", {"branch": "York"})
+        contextual = ContextualInformation({"tod": "am"}, 9.5)
+        assert initiator.user_id == "alice"
+        assert request.parameters["amount"] == "100"
+        assert target.attributes["branch"] == "York"
+        assert contextual.time_of_day == 9.5
+
+
+class TestRoleTargetAccessPolicy:
+    def test_permits(self):
+        policy = RoleTargetAccessPolicy({TELLER: [HANDLE_CASH]})
+        assert policy.permits([TELLER], HANDLE_CASH)
+        assert not policy.permits([TELLER], AUDIT_BOOKS)
+        assert not policy.permits([AUDITOR], HANDLE_CASH)
+
+    def test_introspection(self):
+        policy = RoleTargetAccessPolicy({TELLER: [HANDLE_CASH]})
+        assert policy.privileges_of(TELLER) == {HANDLE_CASH}
+        assert policy.roles() == {TELLER}
+
+
+class TestReferencePDP:
+    def test_rbac_check_precedes_msod(self, pdp):
+        from repro.core import DecisionRequest
+
+        request = DecisionRequest(
+            user_id="alice",
+            roles=(TELLER,),
+            operation="auditBooks",
+            target="ledger://1",
+            context_instance=CTX,
+            timestamp=1.0,
+        )
+        decision = pdp.decide(request)
+        assert decision.denied
+        assert decision.reason.startswith("RBAC")
+        # A pure RBAC deny never touches the retained ADI.
+        assert pdp.msod_engine.store.count() == 0
+
+
+class TestPEP:
+    def test_grant_flow(self, pep):
+        decision = pep.request_decision(
+            "alice", [TELLER], "handleCash", "till://1", CTX
+        )
+        assert decision.granted
+        assert decision.request.timestamp > 0
+
+    def test_enforce_raises_on_deny(self, pep):
+        pep.request_decision("alice", [TELLER], "handleCash", "till://1", CTX)
+        with pytest.raises(AccessDeniedError) as exc_info:
+            pep.enforce("alice", [AUDITOR], "auditBooks", "ledger://1", CTX)
+        assert exc_info.value.decision.denied
+
+    def test_audit_sink_sees_every_decision(self, pdp):
+        seen = []
+        pep = PolicyEnforcementPoint(pdp, SimulatedClock(), audit_sink=seen.append)
+        pep.request_decision("alice", [TELLER], "handleCash", "till://1", CTX)
+        pep.request_decision("alice", [AUDITOR], "auditBooks", "ledger://1", CTX)
+        assert [decision.effect for decision in seen] == ["grant", "deny"]
+
+    def test_environment_passed_through(self, pep):
+        decision = pep.request_decision(
+            "alice",
+            [TELLER],
+            "handleCash",
+            "till://1",
+            CTX,
+            environment={"terminal": "till-3"},
+        )
+        assert decision.request.environment["terminal"] == "till-3"
+
+
+class TestSimulatedClock:
+    def test_monotonic_ticks(self):
+        clock = SimulatedClock(start=10.0, tick=0.5)
+        assert clock() == 10.5
+        assert clock() == 11.0
+        clock.advance(100)
+        assert clock() == 111.5
+        assert clock.now == 111.5

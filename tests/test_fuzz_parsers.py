@@ -1,0 +1,154 @@
+"""Fuzz tests: parsers must fail *cleanly* on arbitrary input.
+
+Every parser in the library — Appendix-A XML, the authoring DSL, the
+PERMIS policy XML, context names, DNs — must either produce a valid
+object or raise its documented :class:`~repro.errors.ReproError`
+subclass; no other exception type may escape, no matter the input.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ContextName
+from repro.errors import (
+    ContextNameError,
+    DirectoryError,
+    PolicyParseError,
+)
+from repro.permis.directory import normalize_dn
+from repro.permis.xml import parse_permis_policy
+from repro.xmlpolicy import (
+    compile_policy_set,
+    parse_policy_set,
+    validate_policy_document,
+)
+
+_text = st.text(max_size=300)
+
+# XML-shaped noise: well-formed-ish fragments mixing real element names.
+_xmlish = st.builds(
+    lambda parts: "".join(parts),
+    st.lists(
+        st.sampled_from(
+            [
+                "<MSoDPolicySet>",
+                "</MSoDPolicySet>",
+                "<MSoDPolicy BusinessContext='A=!'>",
+                "<MSoDPolicy>",
+                "</MSoDPolicy>",
+                "<MMER ForbiddenCardinality='2'>",
+                "<MMER>",
+                "</MMER>",
+                "<Role type='t' value='v'/>",
+                "<Role/>",
+                "<MMEP ForbiddenCardinality='1'>",
+                "</MMEP>",
+                "<Privilege operation='o' target='u'/>",
+                "<Operation value='o' target='u'/>",
+                "<FirstStep operation='a' targetURI='t'/>",
+                "<LastStep/>",
+                "text",
+                "<Unknown/>",
+            ]
+        ),
+        max_size=12,
+    ),
+)
+
+
+@given(_text)
+@settings(max_examples=200, deadline=None)
+def test_xml_parser_fails_cleanly(text):
+    try:
+        parse_policy_set(text)
+    except PolicyParseError:
+        pass
+
+
+@given(_xmlish)
+@settings(max_examples=300, deadline=None)
+def test_xml_parser_survives_structured_noise(text):
+    try:
+        parse_policy_set(text)
+    except PolicyParseError:
+        pass
+
+
+@given(_xmlish)
+@settings(max_examples=200, deadline=None)
+def test_validator_never_raises(text):
+    problems = validate_policy_document(text)
+    assert isinstance(problems, list)
+
+
+@given(_text)
+@settings(max_examples=200, deadline=None)
+def test_dsl_compiler_fails_cleanly(text):
+    try:
+        compile_policy_set(text)
+    except PolicyParseError:
+        pass
+
+
+_dslish = st.builds(
+    lambda lines: "\n".join(lines),
+    st.lists(
+        st.sampled_from(
+            [
+                'policy p within "A=!":',
+                'policy q within "":',
+                "policy broken within",
+                "    first step op on target",
+                "    last step op on target",
+                "    mutually exclusive roles limit 2:",
+                "    mutually exclusive privileges limit 3:",
+                "        e:A, e:B",
+                "        op on target, op on target",
+                "        garbage",
+                "# comment",
+                "",
+                "stray text",
+            ]
+        ),
+        max_size=10,
+    ),
+)
+
+
+@given(_dslish)
+@settings(max_examples=300, deadline=None)
+def test_dsl_compiler_survives_structured_noise(text):
+    try:
+        compile_policy_set(text)
+    except PolicyParseError:
+        pass
+
+
+@given(_text)
+@settings(max_examples=200, deadline=None)
+def test_permis_xml_parser_fails_cleanly(text):
+    try:
+        parse_permis_policy(text)
+    except PolicyParseError:
+        pass
+
+
+@given(_text)
+@settings(max_examples=200, deadline=None)
+def test_context_parser_fails_cleanly(text):
+    try:
+        name = ContextName.parse(text)
+    except ContextNameError:
+        return
+    # Success must round-trip.
+    assert ContextName.parse(str(name)) == name
+
+
+@given(_text)
+@settings(max_examples=200, deadline=None)
+def test_dn_normalizer_fails_cleanly(text):
+    try:
+        dn = normalize_dn(text)
+    except DirectoryError:
+        return
+    assert normalize_dn(dn) == dn  # idempotent on success

@@ -1,0 +1,109 @@
+"""Unit tests for the Gligor et al. operational/history DSoD checkers."""
+
+import pytest
+
+from repro.baselines import HistoryDSoDChecker, OperationalDSoDChecker
+from repro.core import ContextName
+from repro.workload import (
+    AUDIT_BOOKS,
+    AUDITOR,
+    CLERK,
+    CONFIRM,
+    HANDLE_CASH,
+    PREPARE,
+    STEP_ACCESS,
+    TELLER,
+    ScenarioGenerator,
+    Step,
+)
+
+OPS = frozenset({PREPARE.operation, CONFIRM.operation})
+CTX_A = ContextName.parse("TaxOffice=Leeds, taxRefundProcess=A")
+CTX_B = ContextName.parse("TaxOffice=Leeds, taxRefundProcess=B")
+
+
+def access(user, privilege, context, at=1.0):
+    return Step(
+        STEP_ACCESS, user, user, "s", "authA", (CLERK,),
+        privilege.operation, privilege.target, context, at,
+    )
+
+
+class TestOperationalDSoD:
+    def test_rejects_tiny_sets(self):
+        with pytest.raises(ValueError):
+            OperationalDSoDChecker([frozenset({"only"})])
+
+    def test_blocks_set_completion(self):
+        checker = OperationalDSoDChecker([OPS])
+        assert not checker.process_step(access("u", PREPARE, CTX_A))[0]
+        blocked, reason = checker.process_step(access("u", CONFIRM, CTX_A))
+        assert blocked
+        assert "operation set" in reason
+
+    def test_object_blind_false_positive(self):
+        """Completing the pair across *different* instances is still
+        blocked — the formalism has no business contexts."""
+        checker = OperationalDSoDChecker([OPS])
+        checker.process_step(access("u", PREPARE, CTX_A))
+        blocked, _ = checker.process_step(access("u", CONFIRM, CTX_B))
+        assert blocked
+
+    def test_different_users_pass(self):
+        checker = OperationalDSoDChecker([OPS])
+        checker.process_step(access("u", PREPARE, CTX_A))
+        assert not checker.process_step(access("v", CONFIRM, CTX_A))[0]
+
+    def test_unrelated_operations_ignored(self):
+        checker = OperationalDSoDChecker([OPS])
+        assert not checker.process_step(access("u", AUDIT_BOOKS, CTX_A))[0]
+
+    def test_reset(self):
+        checker = OperationalDSoDChecker([OPS])
+        checker.process_step(access("u", PREPARE, CTX_A))
+        checker.reset()
+        assert not checker.process_step(access("u", CONFIRM, CTX_A))[0]
+
+
+class TestHistoryDSoD:
+    def test_blocks_completion_on_same_object(self):
+        checker = HistoryDSoDChecker([OPS])
+        checker.process_step(access("u", PREPARE, CTX_A))
+        blocked, reason = checker.process_step(access("u", CONFIRM, CTX_A))
+        assert blocked
+        assert "on object" in reason
+
+    def test_object_scoped_no_false_positive(self):
+        """Unlike the operational variant, different objects are fine."""
+        checker = HistoryDSoDChecker([OPS])
+        checker.process_step(access("u", PREPARE, CTX_A))
+        assert not checker.process_step(access("u", CONFIRM, CTX_B))[0]
+
+    def test_role_conflicts_invisible(self):
+        """Example 1's teller/auditor conflict involves two distinct
+        operations NOT forming a declared op set: invisible to [9]."""
+        checker = HistoryDSoDChecker([OPS])
+        bank = ContextName.parse("Branch=York, Period=2006")
+        step1 = Step(
+            STEP_ACCESS, "u", "u", "s1", "authA", (TELLER,),
+            HANDLE_CASH.operation, HANDLE_CASH.target, bank, 1.0,
+        )
+        step2 = Step(
+            STEP_ACCESS, "u", "u", "s2", "authA", (AUDITOR,),
+            AUDIT_BOOKS.operation, AUDIT_BOOKS.target, bank, 2.0,
+        )
+        assert not checker.process_step(step1)[0]
+        assert not checker.process_step(step2)[0]
+
+    def test_on_generated_scenarios(self):
+        generator = ScenarioGenerator(seed=4)
+        checker = HistoryDSoDChecker([OPS])
+        assert checker.run_scenario(generator.object_completion()).blocked
+        checker.reset()
+        assert not checker.run_scenario(
+            generator.benign_cross_instance_clerk()
+        ).blocked
+        operational = OperationalDSoDChecker([OPS])
+        assert operational.run_scenario(
+            generator.benign_cross_instance_clerk()
+        ).blocked  # the documented object-blind false positive

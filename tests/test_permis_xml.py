@@ -1,0 +1,251 @@
+"""Unit tests for the PERMIS XML policy format and signed policy store."""
+
+import pytest
+
+from repro.core import Privilege, Role
+from repro.errors import CredentialError, PolicyParseError
+from repro.permis import (
+    AllOf,
+    AnyOf,
+    EnvEquals,
+    EnvOneOf,
+    LdapDirectory,
+    Negation,
+    PermisPolicyBuilder,
+    TimeWindow,
+    TrustStore,
+    load_policy,
+    parse_permis_policy,
+    publish_policy,
+    sign_policy_xml,
+    verify_signed_policy,
+    write_permis_policy,
+)
+from repro.xmlpolicy import combined_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+MANAGER = Role("employee", "Manager")
+HANDLE_CASH = Privilege("handleCash", "till://main")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://main")
+SOA_DN = "cn=SOA,o=bank,c=gb"
+
+
+def full_policy():
+    return (
+        PermisPolicyBuilder()
+        .senior_to(MANAGER, TELLER)
+        .allow_assignment(
+            SOA_DN, [TELLER, AUDITOR], "o=bank,c=gb", max_delegation_depth=2
+        )
+        .grant(
+            TELLER,
+            [HANDLE_CASH],
+            condition=AllOf(
+                TimeWindow(9 * 3600, 17 * 3600),
+                AnyOf(
+                    EnvEquals("terminal", "till-3"),
+                    EnvOneOf("override", ["on", "forced"]),
+                ),
+                Negation(EnvEquals("maintenance", "yes")),
+            ),
+        )
+        .grant(AUDITOR, [AUDIT_BOOKS])
+        .with_msod(combined_policy_set())
+        .build()
+    )
+
+
+def assert_equivalent(a, b):
+    assert set(a.assignment_rules) == set(b.assignment_rules)
+    assert a.hierarchy_edges() == b.hierarchy_edges()
+    assert len(a.msod_policy_set) == len(b.msod_policy_set)
+    # Behavioural equivalence of conditioned access rules.
+    probes = [
+        ({}, 10 * 3600.0),
+        ({"terminal": "till-3"}, 10 * 3600.0),
+        ({"terminal": "till-3"}, 20 * 3600.0),
+        ({"override": "on"}, 10 * 3600.0),
+        ({"terminal": "till-3", "maintenance": "yes"}, 10 * 3600.0),
+    ]
+    for roles in ([TELLER], [MANAGER], [AUDITOR]):
+        for privilege in (HANDLE_CASH, AUDIT_BOOKS):
+            for environment, at in probes:
+                assert a.permits(roles, privilege, environment, at) == b.permits(
+                    roles, privilege, environment, at
+                ), (roles, privilege, environment, at)
+
+
+class TestRoundTrip:
+    def test_full_policy_round_trips(self):
+        original = full_policy()
+        xml = write_permis_policy(original)
+        restored = parse_permis_policy(xml)
+        assert_equivalent(original, restored)
+
+    def test_round_trip_is_idempotent(self):
+        xml = write_permis_policy(full_policy())
+        assert write_permis_policy(parse_permis_policy(xml)) == xml
+
+    def test_msod_component_embedded(self):
+        xml = write_permis_policy(full_policy())
+        assert "<MSoDPolicySet>" in xml
+        restored = parse_permis_policy(xml)
+        assert restored.msod_policy_set.is_relevant(
+            __import__("repro.core", fromlist=["ContextName"]).ContextName.parse(
+                "Branch=York, Period=2006"
+            )
+        )
+
+    def test_policy_without_msod(self):
+        policy = (
+            PermisPolicyBuilder().grant(TELLER, [HANDLE_CASH]).build()
+        )
+        restored = parse_permis_policy(write_permis_policy(policy))
+        assert len(restored.msod_policy_set) == 0
+        assert restored.permits([TELLER], HANDLE_CASH)
+
+
+class TestParserErrors:
+    def test_wrong_root(self):
+        with pytest.raises(PolicyParseError, match="root element"):
+            parse_permis_policy("<Wrong/>")
+
+    def test_unknown_soa_reference(self):
+        xml = (
+            "<PermisRBACPolicy><RoleAssignmentPolicy>"
+            "<RoleAssignment SOA='ghost' SubjectDomain='o=x'>"
+            "<Role type='t' value='v'/></RoleAssignment>"
+            "</RoleAssignmentPolicy></PermisRBACPolicy>"
+        )
+        with pytest.raises(PolicyParseError, match="unknown SOA"):
+            parse_permis_policy(xml)
+
+    def test_target_access_needs_role_and_privilege(self):
+        xml = (
+            "<PermisRBACPolicy><TargetAccessPolicy>"
+            "<TargetAccess><Role type='t' value='v'/></TargetAccess>"
+            "</TargetAccessPolicy></PermisRBACPolicy>"
+        )
+        with pytest.raises(PolicyParseError, match="at least one"):
+            parse_permis_policy(xml)
+
+    def test_unknown_condition_element(self):
+        xml = (
+            "<PermisRBACPolicy><TargetAccessPolicy><TargetAccess>"
+            "<Role type='t' value='v'/>"
+            "<Privilege operation='o' target='u'/>"
+            "<Condition><Mystery/></Condition>"
+            "</TargetAccess></TargetAccessPolicy></PermisRBACPolicy>"
+        )
+        with pytest.raises(PolicyParseError, match="unknown condition"):
+            parse_permis_policy(xml)
+
+    def test_bad_delegate_depth(self):
+        xml = (
+            "<PermisRBACPolicy>"
+            "<SOAPolicy><SOA ID='s' LDAPDN='cn=a,o=b'/></SOAPolicy>"
+            "<RoleAssignmentPolicy>"
+            "<RoleAssignment SOA='s' SubjectDomain='o=b' DelegateDepth='two'>"
+            "<Role type='t' value='v'/></RoleAssignment>"
+            "</RoleAssignmentPolicy></PermisRBACPolicy>"
+        )
+        with pytest.raises(PolicyParseError, match="integer"):
+            parse_permis_policy(xml)
+
+
+class TestSignedPolicyStore:
+    def test_publish_and_load(self):
+        directory = LdapDirectory()
+        trust = TrustStore()
+        trust.trust(SOA_DN, b"soa-key")
+        publish_policy(directory, SOA_DN, full_policy(), b"soa-key")
+        loaded = load_policy(directory, trust, SOA_DN)
+        assert_equivalent(full_policy(), loaded)
+
+    def test_republish_replaces(self):
+        directory = LdapDirectory()
+        trust = TrustStore()
+        trust.trust(SOA_DN, b"soa-key")
+        publish_policy(directory, SOA_DN, full_policy(), b"soa-key")
+        small = PermisPolicyBuilder().grant(TELLER, [HANDLE_CASH]).build()
+        publish_policy(directory, SOA_DN, small, b"soa-key")
+        loaded = load_policy(directory, trust, SOA_DN)
+        assert not loaded.permits([AUDITOR], AUDIT_BOOKS)
+
+    def test_tampered_policy_rejected(self):
+        directory = LdapDirectory()
+        trust = TrustStore()
+        trust.trust(SOA_DN, b"soa-key")
+        signed = publish_policy(directory, SOA_DN, full_policy(), b"soa-key")
+        from repro.permis.policy_store import POLICY_ATTRIBUTE, SignedPolicy
+
+        entry = directory.get_entry(SOA_DN)
+        entry.remove_value(POLICY_ATTRIBUTE, signed)
+        forged = SignedPolicy(
+            issuer=signed.issuer,
+            xml=signed.xml.replace("Teller", "Mallory"),
+            signature=signed.signature,
+        )
+        entry.add_value(POLICY_ATTRIBUTE, forged)
+        with pytest.raises(CredentialError, match="signature verification"):
+            load_policy(directory, trust, SOA_DN)
+
+    def test_untrusted_issuer_rejected(self):
+        directory = LdapDirectory()
+        publish_policy(directory, SOA_DN, full_policy(), b"soa-key")
+        with pytest.raises(CredentialError):
+            load_policy(directory, TrustStore(), SOA_DN)
+
+    def test_missing_policy_rejected(self):
+        directory = LdapDirectory()
+        directory.add_entry(SOA_DN)
+        with pytest.raises(CredentialError, match="no signed policy"):
+            load_policy(directory, TrustStore(), SOA_DN)
+
+    def test_pdp_bootstraps_from_directory_policy(self):
+        """Figure 4, end to end: the PDP reads its own signed policy."""
+        from repro.core import ContextName
+        from repro.permis import PermisPDP, PrivilegeAllocator
+
+        directory = LdapDirectory()
+        trust = TrustStore()
+        trust.trust(SOA_DN, b"soa-key")
+        publish_policy(directory, SOA_DN, full_policy(), b"soa-key")
+        soa = PrivilegeAllocator(SOA_DN, b"soa-key", directory)
+        soa.issue("cn=alice,o=bank,c=gb", [TELLER], 0, 1e9)
+        pdp = PermisPDP.from_directory(SOA_DN, trust, directory)
+        decision = pdp.decision(
+            "cn=alice,o=bank,c=gb",
+            "handleCash",
+            "till://main",
+            ContextName.parse("Branch=York, Period=2006"),
+            environment={"terminal": "till-3"},
+            at=10 * 3600.0,
+        )
+        assert decision.granted
+
+    def test_pdp_refuses_tampered_directory_policy(self):
+        from repro.permis import PermisPDP
+        from repro.permis.policy_store import POLICY_ATTRIBUTE, SignedPolicy
+
+        directory = LdapDirectory()
+        trust = TrustStore()
+        trust.trust(SOA_DN, b"soa-key")
+        signed = publish_policy(directory, SOA_DN, full_policy(), b"soa-key")
+        entry = directory.get_entry(SOA_DN)
+        entry.remove_value(POLICY_ATTRIBUTE, signed)
+        entry.add_value(
+            POLICY_ATTRIBUTE,
+            SignedPolicy(signed.issuer, signed.xml + " ", signed.signature),
+        )
+        with pytest.raises(CredentialError):
+            PermisPDP.from_directory(SOA_DN, trust, directory)
+
+    def test_signature_primitives(self):
+        signed = sign_policy_xml(SOA_DN, "<PermisRBACPolicy/>", b"k")
+        trust = TrustStore()
+        trust.trust(SOA_DN, b"k")
+        assert verify_signed_policy(signed, trust)
+        trust.trust(SOA_DN, b"other")
+        assert not verify_signed_policy(signed, trust)

@@ -1,0 +1,139 @@
+"""Unit tests for the MSoD policy model (Section 3)."""
+
+import pytest
+
+from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.context import ContextName
+from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
+from repro.errors import PolicyError
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+APPROVE = Privilege("approve", "http://tax/check")
+COMBINE = Privilege("combine", "http://tax/results")
+
+
+def bank_policy(**kwargs):
+    return MSoDPolicy(
+        ContextName.parse("Branch=*, Period=!"),
+        mmers=[MMER([TELLER, AUDITOR], 2)],
+        **kwargs,
+    )
+
+
+class TestStep:
+    def test_matches(self):
+        step = Step("CommitAudit", "http://audit/a")
+        assert step.matches("CommitAudit", "http://audit/a")
+        assert not step.matches("CommitAudit", "http://audit/b")
+        assert not step.matches("other", "http://audit/a")
+
+    def test_privilege_view(self):
+        step = Step("op", "target")
+        assert step.privilege == Privilege("op", "target")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(PolicyError):
+            Step("", "t")
+        with pytest.raises(PolicyError):
+            Step("op", "")
+
+
+class TestMSoDPolicy:
+    def test_needs_some_constraint(self):
+        with pytest.raises(PolicyError):
+            MSoDPolicy(ContextName.parse("A=1"))
+
+    def test_context_type_checked(self):
+        with pytest.raises(PolicyError):
+            MSoDPolicy("A=1", mmers=[MMER([TELLER, AUDITOR], 2)])
+
+    def test_default_policy_id(self):
+        policy = bank_policy()
+        assert "Branch=*, Period=!" in policy.policy_id
+
+    def test_explicit_policy_id(self):
+        policy = bank_policy(policy_id="bank")
+        assert policy.policy_id == "bank"
+
+    def test_applies_to_matching_instance(self):
+        policy = bank_policy()
+        assert policy.applies_to(ContextName.parse("Branch=York, Period=2006"))
+        assert policy.applies_to(
+            ContextName.parse("Branch=York, Period=2006, Till=3")
+        )
+        assert not policy.applies_to(ContextName.parse("TaxOffice=Leeds"))
+
+    def test_universal_policy_applies_everywhere(self):
+        policy = MSoDPolicy(
+            ContextName.root(), mmers=[MMER([TELLER, AUDITOR], 2)]
+        )
+        assert policy.applies_to(ContextName.parse("Anything=at-all"))
+        assert policy.applies_to(ContextName.root())
+
+    def test_constrained_roles(self):
+        assert bank_policy().constrained_roles() == {TELLER, AUDITOR}
+
+    def test_constrained_privileges(self):
+        policy = MSoDPolicy(
+            ContextName.parse("A=!"), mmeps=[MMEP([APPROVE, COMBINE], 2)]
+        )
+        assert policy.constrained_privileges() == {APPROVE, COMBINE}
+
+    def test_mixed_constraints_allowed_in_model(self):
+        policy = MSoDPolicy(
+            ContextName.parse("A=!"),
+            mmers=[MMER([TELLER, AUDITOR], 2)],
+            mmeps=[MMEP([APPROVE, COMBINE], 2)],
+        )
+        assert len(policy.mmers) == 1
+        assert len(policy.mmeps) == 1
+
+
+class TestMSoDPolicySet:
+    def test_duplicate_ids_rejected(self):
+        policy = bank_policy(policy_id="p")
+        with pytest.raises(PolicyError):
+            MSoDPolicySet([policy, bank_policy(policy_id="p")])
+
+    def test_matching_selects_all(self):
+        universal = MSoDPolicy(
+            ContextName.root(),
+            mmers=[MMER([TELLER, AUDITOR], 2)],
+            policy_id="universal",
+        )
+        bank = bank_policy(policy_id="bank")
+        policy_set = MSoDPolicySet([universal, bank])
+        matched = policy_set.matching(
+            ContextName.parse("Branch=York, Period=2006")
+        )
+        assert [policy.policy_id for policy in matched] == ["universal", "bank"]
+
+    def test_matching_none(self):
+        policy_set = MSoDPolicySet([bank_policy()])
+        assert policy_set.matching(ContextName.parse("Office=Kent")) == ()
+
+    def test_get_by_id(self):
+        policy_set = MSoDPolicySet([bank_policy(policy_id="bank")])
+        assert policy_set.get("bank").policy_id == "bank"
+        with pytest.raises(PolicyError):
+            policy_set.get("missing")
+
+    def test_is_relevant(self):
+        policy_set = MSoDPolicySet([bank_policy()])
+        assert policy_set.is_relevant(ContextName.parse("Branch=X, Period=Y"))
+        assert not policy_set.is_relevant(ContextName.parse("Office=Kent"))
+
+    def test_extended(self):
+        base = MSoDPolicySet([bank_policy(policy_id="a")])
+        bigger = base.extended([bank_policy(policy_id="b")])
+        assert len(base) == 1
+        assert len(bigger) == 2
+
+    def test_iteration_and_len(self):
+        policy_set = MSoDPolicySet([bank_policy()])
+        assert len(list(policy_set)) == len(policy_set) == 1
+
+    def test_empty_set_matches_nothing(self):
+        policy_set = MSoDPolicySet()
+        assert not policy_set.is_relevant(ContextName.parse("A=1"))

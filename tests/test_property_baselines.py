@@ -1,0 +1,126 @@
+"""Property tests over the baseline-comparison harness.
+
+For arbitrary seeded workloads, the paper's qualitative claims must hold
+as invariants — they are not artefacts of one lucky seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AnsiDsdChecker,
+    AnsiSsdChecker,
+    AntiRoleChecker,
+    MSoDChecker,
+)
+from repro.rbac import DsdConstraint, SsdConstraint
+from repro.workload import (
+    AUDITOR,
+    BENIGN,
+    CROSS_SESSION,
+    FEDERATED_LINKED,
+    FEDERATED_UNLINKED,
+    OBJECT_COMPLETION,
+    REPEATED_PRIVILEGE,
+    SAME_SESSION,
+    SINGLE_AUTHORITY,
+    TELLER,
+    ScenarioGenerator,
+    run_comparison,
+)
+from repro.xmlpolicy import combined_policy_set
+
+SSD = [SsdConstraint("ta", ["Teller", "Auditor"], 2)]
+DSD = [DsdConstraint("ta", ["Teller", "Auditor"], 2)]
+
+
+def _run(seed, per_class=3, benign=3):
+    generator = ScenarioGenerator(seed=seed)
+    scenarios = generator.mixed_stream(
+        per_class=per_class, benign_per_class=benign
+    )
+    checkers = [
+        MSoDChecker(combined_policy_set()),
+        MSoDChecker(
+            combined_policy_set(),
+            linker=generator.identity_linker,
+            name="linked",
+        ),
+        AnsiSsdChecker(SSD),
+        AnsiDsdChecker(DSD),
+        AntiRoleChecker([frozenset({TELLER, AUDITOR})]),
+    ]
+    reports = run_comparison(checkers, scenarios)
+    return {report.checker_name: report for report in reports}
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_msod_claims_hold_for_any_seed(seed):
+    reports = _run(seed)
+    msod = reports["MSoD"]
+    linked = reports["linked"]
+
+    # MSoD: no false positives, full multi-session coverage.
+    assert msod.false_positive_rate() == 0.0
+    for label in (SAME_SESSION, SINGLE_AUTHORITY, CROSS_SESSION,
+                  REPEATED_PRIVILEGE, OBJECT_COMPLETION):
+        assert msod.detection_rate(label) == 1.0, label
+    # Section 6: unlinked federation defeats MSoD; linking restores it.
+    assert msod.detection_rate(FEDERATED_UNLINKED) == 0.0
+    assert linked.detection_rate(FEDERATED_LINKED) == 1.0
+    assert linked.false_positive_rate() == 0.0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_each_ansi_point_catches_exactly_its_class(seed):
+    reports = _run(seed)
+    ssd = reports["ANSI SSD"]
+    dsd = reports["ANSI DSD"]
+    assert ssd.detection_rate(SINGLE_AUTHORITY) == 1.0
+    assert ssd.detection_rate(CROSS_SESSION) == 0.0
+    assert ssd.detection_rate(SAME_SESSION) == 0.0
+    assert ssd.false_positive_rate() == 0.0
+    assert dsd.detection_rate(SAME_SESSION) == 1.0
+    assert dsd.detection_rate(CROSS_SESSION) == 0.0
+    assert dsd.detection_rate(SINGLE_AUTHORITY) == 0.0
+    assert dsd.false_positive_rate() == 0.0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_linked_msod_blocks_superset_of_plain_msod(seed):
+    """Identity linking only ever adds detections, never removes any."""
+    generator = ScenarioGenerator(seed=seed)
+    scenarios = generator.mixed_stream(per_class=3, benign_per_class=3)
+    plain = MSoDChecker(combined_policy_set())
+    linked = MSoDChecker(
+        combined_policy_set(), linker=generator.identity_linker, name="linked"
+    )
+    plain_report, linked_report = run_comparison([plain, linked], scenarios)
+    plain_blocked = {
+        outcome.scenario.scenario_id
+        for outcomes in plain_report.per_class.values()
+        for outcome in outcomes
+        if outcome.blocked
+    }
+    linked_blocked = {
+        outcome.scenario.scenario_id
+        for outcomes in linked_report.per_class.values()
+        for outcome in outcomes
+        if outcome.blocked
+    }
+    assert plain_blocked <= linked_blocked
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_anti_role_is_msod_with_false_positives(seed):
+    """Anti-roles block every cross-session conflict MSoD blocks, plus
+    benign cross-period work (the context-blindness the paper fixes)."""
+    reports = _run(seed, per_class=4, benign=4)
+    anti = reports["Anti-role"]
+    assert anti.detection_rate(CROSS_SESSION) == 1.0
+    assert anti.detection_rate(SINGLE_AUTHORITY) == 1.0
+    assert anti.false_positive_rate() > 0.0

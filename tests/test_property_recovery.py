@@ -1,0 +1,116 @@
+"""Property test: audit-trail recovery is lossless for any request stream.
+
+For every generated decision stream, a PDP that logs each decision and
+then restarts — replaying the trails per Section 5.2 — must hold exactly
+the retained ADI it held before the restart, and must therefore make the
+same decision on any follow-up request.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit import (
+    AuditTrailManager,
+    EVENT_DECISION,
+    decision_event_payload,
+    recover_retained_adi,
+)
+from repro.core import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    Privilege,
+    Role,
+    store_digest,
+)
+from repro.xmlpolicy import combined_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+
+PRIVILEGES = {
+    TELLER: Privilege("handleCash", "till://cash"),
+    AUDITOR: Privilege("auditBooks", "ledger://books"),
+    CLERK: Privilege("prepareCheck", "http://www.myTaxOffice.com/Check"),
+    MANAGER: Privilege(
+        "approve/disapproveCheck", "http://www.myTaxOffice.com/Check"
+    ),
+}
+#: Including each policy's last step exercises purge replay.
+LAST_STEPS = {
+    AUDITOR: Privilege("CommitAudit", "http://audit.location.com/audit"),
+    CLERK: Privilege("confirmCheck", "http://secret.location.com/audit"),
+}
+
+
+@st.composite
+def streams(draw):
+    size = draw(st.integers(min_value=1, max_value=30))
+    requests = []
+    for index in range(size):
+        user = draw(st.sampled_from(["u1", "u2", "u3"]))
+        role = draw(st.sampled_from([TELLER, AUDITOR, CLERK, MANAGER]))
+        use_last_step = role in LAST_STEPS and draw(
+            st.booleans()
+        )
+        privilege = LAST_STEPS[role] if use_last_step else PRIVILEGES[role]
+        if role in (CLERK, MANAGER):
+            context = ContextName.parse(
+                f"TaxOffice=Leeds, taxRefundProcess=I{draw(st.integers(1, 2))}"
+            )
+        else:
+            context = ContextName.parse(
+                f"Branch={draw(st.sampled_from(['York', 'Leeds']))}, "
+                f"Period=P{draw(st.integers(1, 2))}"
+            )
+        requests.append(
+            DecisionRequest(
+                user_id=user,
+                roles=(role,),
+                operation=privilege.operation,
+                target=privilege.target,
+                context_instance=context,
+                timestamp=float(index),
+            )
+        )
+    return requests
+
+
+@given(streams())
+@settings(max_examples=40, deadline=None)
+def test_recovery_is_lossless(stream):
+    with tempfile.TemporaryDirectory() as trail_dir:
+        audit = AuditTrailManager(
+            os.path.join(trail_dir, "trails"), b"prop-key", max_records=7
+        )
+        engine = MSoDEngine(combined_policy_set(), InMemoryRetainedADIStore())
+        for request in stream:
+            decision = engine.check(request)
+            audit.append(
+                EVENT_DECISION,
+                request.timestamp,
+                decision_event_payload(decision),
+            )
+
+        recovered = InMemoryRetainedADIStore()
+        recover_retained_adi(audit, combined_policy_set(), recovered)
+        assert store_digest(recovered) == store_digest(engine.store)
+
+        # The recovered PDP decides the same way on a follow-up probe.
+        probe = DecisionRequest(
+            user_id="u1",
+            roles=(AUDITOR,),
+            operation="auditBooks",
+            target="ledger://books",
+            context_instance=ContextName.parse("Branch=York, Period=P1"),
+            timestamp=1e6,
+        )
+        live = MSoDEngine(combined_policy_set(), engine.store).check(probe)
+        replayed = MSoDEngine(combined_policy_set(), recovered).check(probe)
+        assert live.effect == replayed.effect

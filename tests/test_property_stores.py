@@ -1,0 +1,127 @@
+"""Property tests: the two retained-ADI backends are interchangeable.
+
+The SQLite store narrows candidate rows with a SQL LIKE prefilter built
+from the effective context.  ``%`` and ``_`` are legal characters in
+context values, so the pattern must escape them — these properties drive
+the two stores with adversarial context names (including LIKE
+metacharacters and backslashes) and require identical answers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ContextName,
+    InMemoryRetainedADIStore,
+    RetainedADIRecord,
+    Role,
+    SQLiteRetainedADIStore,
+    store_digest,
+)
+from repro.core.context import ContextComponent
+
+# Values deliberately rich in LIKE metacharacters.
+_value = st.text(
+    alphabet=st.sampled_from(list("abc%_\\012")),
+    min_size=1,
+    max_size=6,
+).filter(lambda text: text not in ("*", "!") and "=" not in text)
+
+_types = st.sampled_from(["T0", "T1", "T2"])
+
+
+@st.composite
+def concrete_contexts(draw, max_depth=3):
+    depth = draw(st.integers(min_value=1, max_value=max_depth))
+    components = []
+    for index in range(depth):
+        components.append(ContextComponent(f"L{index}", draw(_value)))
+    return ContextName(components)
+
+
+@st.composite
+def policy_contexts(draw, max_depth=3):
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    components = []
+    for index in range(depth):
+        value = draw(st.one_of(_value, st.just("*")))
+        components.append(ContextComponent(f"L{index}", value))
+    return ContextName(components)
+
+
+def _record(index, context):
+    return RetainedADIRecord(
+        user_id=f"u{index % 3}",
+        roles=(Role("employee", "Teller"),),
+        operation="op",
+        target="t",
+        context_instance=context,
+        granted_at=float(index),
+        request_id=f"r{index}",
+    )
+
+
+@given(
+    st.lists(concrete_contexts(), min_size=1, max_size=10),
+    policy_contexts(),
+)
+@settings(max_examples=120, deadline=None)
+def test_find_agrees_across_backends(instance_contexts, query):
+    memory = InMemoryRetainedADIStore()
+    sqlite_store = SQLiteRetainedADIStore(":memory:")
+    try:
+        for index, context in enumerate(instance_contexts):
+            memory.add(_record(index, context))
+            sqlite_store.add(_record(index, context))
+        memory_hits = {
+            record.request_id for record in memory.find(query)
+        }
+        sqlite_hits = {
+            record.request_id for record in sqlite_store.find(query)
+        }
+        assert memory_hits == sqlite_hits
+        assert memory.has_context(query) == sqlite_store.has_context(query)
+    finally:
+        sqlite_store.close()
+
+
+@given(
+    st.lists(concrete_contexts(), min_size=1, max_size=10),
+    policy_contexts(),
+)
+@settings(max_examples=80, deadline=None)
+def test_purge_agrees_across_backends(instance_contexts, query):
+    memory = InMemoryRetainedADIStore()
+    sqlite_store = SQLiteRetainedADIStore(":memory:")
+    try:
+        for index, context in enumerate(instance_contexts):
+            memory.add(_record(index, context))
+            sqlite_store.add(_record(index, context))
+        assert memory.purge_context(query) == sqlite_store.purge_context(query)
+        assert store_digest(memory) == store_digest(sqlite_store)
+    finally:
+        sqlite_store.close()
+
+
+@given(
+    st.lists(concrete_contexts(), min_size=1, max_size=8),
+    st.sampled_from(["u0", "u1", "u2"]),
+    policy_contexts(),
+)
+@settings(max_examples=80, deadline=None)
+def test_find_user_agrees_across_backends(instance_contexts, user, query):
+    memory = InMemoryRetainedADIStore()
+    sqlite_store = SQLiteRetainedADIStore(":memory:")
+    try:
+        for index, context in enumerate(instance_contexts):
+            memory.add(_record(index, context))
+            sqlite_store.add(_record(index, context))
+        memory_hits = [
+            record.request_id for record in memory.find_user(user, query)
+        ]
+        sqlite_hits = [
+            record.request_id for record in sqlite_store.find_user(user, query)
+        ]
+        assert memory_hits == sqlite_hits
+    finally:
+        sqlite_store.close()

@@ -1,0 +1,71 @@
+"""API-surface tests: every documented public name exists and imports."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.rbac",
+    "repro.xmlpolicy",
+    "repro.framework",
+    "repro.permis",
+    "repro.audit",
+    "repro.vo",
+    "repro.workflow",
+    "repro.baselines",
+    "repro.workload",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_imports(package):
+    module = importlib.import_module(package)
+    assert module is not None
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_names_documented(package):
+    """Every public class/function exported via __all__ has a docstring."""
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if isinstance(obj, (str, int, float, frozenset, tuple)):
+            continue  # constants
+        assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_error_hierarchy_rooted():
+    """All library errors derive from ReproError."""
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, Exception)
+            and obj is not errors.ReproError
+            and obj.__module__ == "repro.errors"
+        ):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_cli_module_importable():
+    from repro import cli
+
+    parser = cli.build_parser()
+    assert parser.prog == "repro"

@@ -1,0 +1,326 @@
+"""Unit tests for the ANSI RBAC substrate (Section 2.1, Figure 1)."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintError,
+    ConstraintViolationError,
+    DuplicateEntityError,
+    RBACError,
+    SessionError,
+    UnknownEntityError,
+)
+from repro.rbac import (
+    DsdConstraint,
+    Permission,
+    RBACSystem,
+    RoleHierarchy,
+    SsdConstraint,
+)
+
+
+@pytest.fixture
+def bank():
+    system = RBACSystem()
+    for user in ("alice", "bob"):
+        system.add_user(user)
+    for role in ("teller", "auditor", "supervisor", "employee"):
+        system.add_role(role)
+    system.grant_permission("teller", Permission("handleCash", "till"))
+    system.grant_permission("auditor", Permission("audit", "ledger"))
+    system.grant_permission("employee", Permission("enter", "building"))
+    return system
+
+
+class TestPermission:
+    def test_fields_validated(self):
+        with pytest.raises(RBACError):
+            Permission("", "obj")
+        with pytest.raises(RBACError):
+            Permission("op", "")
+
+    def test_str(self):
+        assert str(Permission("op", "obj")) == "(op, obj)"
+
+
+class TestCoreAdministration:
+    def test_duplicate_user_rejected(self, bank):
+        with pytest.raises(DuplicateEntityError):
+            bank.add_user("alice")
+
+    def test_duplicate_role_rejected(self, bank):
+        with pytest.raises(DuplicateEntityError):
+            bank.add_role("teller")
+
+    def test_assign_and_review(self, bank):
+        bank.assign_user("alice", "teller")
+        assert bank.assigned_roles("alice") == {"teller"}
+        assert bank.assigned_users("teller") == {"alice"}
+
+    def test_assign_unknown_entities(self, bank):
+        with pytest.raises(UnknownEntityError):
+            bank.assign_user("mallory", "teller")
+        with pytest.raises(UnknownEntityError):
+            bank.assign_user("alice", "ghost")
+
+    def test_double_assignment_rejected(self, bank):
+        bank.assign_user("alice", "teller")
+        with pytest.raises(DuplicateEntityError):
+            bank.assign_user("alice", "teller")
+
+    def test_deassign(self, bank):
+        bank.assign_user("alice", "teller")
+        bank.deassign_user("alice", "teller")
+        assert bank.assigned_roles("alice") == frozenset()
+
+    def test_deassign_drops_active_role(self, bank):
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice", ["teller"])
+        bank.deassign_user("alice", "teller")
+        assert bank.session_roles(session.session_id) == frozenset()
+
+    def test_delete_user_terminates_sessions(self, bank):
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice")
+        bank.delete_user("alice")
+        with pytest.raises(UnknownEntityError):
+            bank.session_roles(session.session_id)
+
+    def test_delete_role_cleans_relations(self, bank):
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice", ["teller"])
+        bank.delete_role("teller")
+        assert "teller" not in bank.roles()
+        assert bank.assigned_roles("alice") == frozenset()
+        assert bank.session_roles(session.session_id) == frozenset()
+
+    def test_grant_revoke_permission(self, bank):
+        permission = Permission("count", "vault")
+        bank.grant_permission("teller", permission)
+        assert permission in bank.role_permissions("teller")
+        bank.revoke_permission("teller", permission)
+        assert permission not in bank.role_permissions("teller")
+
+    def test_duplicate_grant_rejected(self, bank):
+        with pytest.raises(DuplicateEntityError):
+            bank.grant_permission("teller", Permission("handleCash", "till"))
+
+
+class TestHierarchy:
+    def test_inheritance_gives_permissions(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        assert Permission("handleCash", "till") in bank.role_permissions(
+            "supervisor"
+        )
+
+    def test_authorized_roles_closure(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        bank.add_inheritance("teller", "employee")
+        bank.assign_user("alice", "supervisor")
+        assert bank.authorized_roles("alice") == {
+            "supervisor",
+            "teller",
+            "employee",
+        }
+
+    def test_authorized_users(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        bank.assign_user("alice", "supervisor")
+        bank.assign_user("bob", "teller")
+        assert bank.authorized_users("teller") == {"alice", "bob"}
+        assert bank.authorized_users("supervisor") == {"alice"}
+
+    def test_cycle_rejected(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        with pytest.raises(RBACError):
+            bank.add_inheritance("teller", "supervisor")
+
+    def test_self_inheritance_rejected(self, bank):
+        with pytest.raises(RBACError):
+            bank.add_inheritance("teller", "teller")
+
+    def test_duplicate_edge_rejected(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        with pytest.raises(RBACError):
+            bank.add_inheritance("supervisor", "teller")
+
+    def test_delete_inheritance(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        bank.delete_inheritance("supervisor", "teller")
+        assert Permission("handleCash", "till") not in bank.role_permissions(
+            "supervisor"
+        )
+
+    def test_add_ascendant_descendant(self, bank):
+        bank.add_ascendant("branch-manager", "supervisor")
+        bank.add_descendant("trainee", "teller")
+        assert bank.hierarchy.inherits("branch-manager", "supervisor")
+        assert bank.hierarchy.inherits("teller", "trainee")
+
+    def test_limited_hierarchy(self):
+        hierarchy = RoleHierarchy(limited=True)
+        for role in ("a", "b", "c"):
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("a", "b")
+        with pytest.raises(RBACError):
+            hierarchy.add_inheritance("a", "c")
+
+    def test_transitive_queries(self):
+        hierarchy = RoleHierarchy()
+        for role in ("a", "b", "c"):
+            hierarchy.add_role(role)
+        hierarchy.add_inheritance("a", "b")
+        hierarchy.add_inheritance("b", "c")
+        assert hierarchy.juniors_of("a") == {"b", "c"}
+        assert hierarchy.seniors_of("c") == {"a", "b"}
+        assert hierarchy.inherits("a", "c")
+        assert not hierarchy.inherits("c", "a")
+
+
+class TestSsd:
+    def test_assignment_blocked(self, bank):
+        bank.create_ssd_set("sod", ["teller", "auditor"], 2)
+        bank.assign_user("alice", "teller")
+        with pytest.raises(ConstraintViolationError):
+            bank.assign_user("alice", "auditor")
+
+    def test_ssd_respects_hierarchy(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        bank.create_ssd_set("sod", ["teller", "auditor"], 2)
+        bank.assign_user("alice", "auditor")
+        # supervisor inherits teller, so the authorized set would conflict.
+        with pytest.raises(ConstraintViolationError):
+            bank.assign_user("alice", "supervisor")
+
+    def test_creating_violated_ssd_set_rejected(self, bank):
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")
+        with pytest.raises(ConstraintViolationError):
+            bank.create_ssd_set("sod", ["teller", "auditor"], 2)
+        assert "sod" not in bank.ssd_role_sets()
+
+    def test_inheritance_rolled_back_on_ssd_violation(self, bank):
+        bank.create_ssd_set("sod", ["teller", "auditor"], 2)
+        bank.assign_user("alice", "auditor")
+        bank.assign_user("alice", "supervisor")
+        with pytest.raises(ConstraintViolationError):
+            bank.add_inheritance("supervisor", "teller")
+        assert not bank.hierarchy.inherits("supervisor", "teller")
+
+    def test_cardinality_three(self, bank):
+        bank.create_ssd_set("sod3", ["teller", "auditor", "supervisor"], 3)
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")
+        with pytest.raises(ConstraintViolationError):
+            bank.assign_user("alice", "supervisor")
+
+    def test_delete_ssd_set(self, bank):
+        bank.create_ssd_set("sod", ["teller", "auditor"], 2)
+        bank.delete_ssd_set("sod")
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")  # no longer constrained
+
+    def test_constraint_validation(self):
+        with pytest.raises(ConstraintError):
+            SsdConstraint("bad", ["only-one"], 2)
+        with pytest.raises(ConstraintError):
+            SsdConstraint("bad", ["a", "b"], 1)
+        with pytest.raises(ConstraintError):
+            SsdConstraint("", ["a", "b"], 2)
+
+
+class TestSessionsAndDsd:
+    def test_activation_requires_authorization(self, bank):
+        session = bank.create_session("alice")
+        with pytest.raises(SessionError):
+            bank.add_active_role(session.session_id, "teller")
+
+    def test_activation_via_hierarchy(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        bank.assign_user("alice", "supervisor")
+        session = bank.create_session("alice")
+        bank.add_active_role(session.session_id, "teller")
+        assert bank.session_roles(session.session_id) == {"teller"}
+
+    def test_dsd_blocks_simultaneous_activation(self, bank):
+        bank.create_dsd_set("dsd", ["teller", "auditor"], 2)
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")
+        session = bank.create_session("alice", ["teller"])
+        with pytest.raises(ConstraintViolationError):
+            bank.add_active_role(session.session_id, "auditor")
+
+    def test_dsd_allows_sequential_sessions(self, bank):
+        """The exact blind spot of Example 1: conflicting roles in
+        *different* sessions pass DSD."""
+        bank.create_dsd_set("dsd", ["teller", "auditor"], 2)
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")
+        first = bank.create_session("alice", ["teller"])
+        bank.delete_session(first.session_id)
+        second = bank.create_session("alice", ["auditor"])
+        assert bank.session_roles(second.session_id) == {"auditor"}
+
+    def test_create_session_rolls_back_on_dsd_violation(self, bank):
+        bank.create_dsd_set("dsd", ["teller", "auditor"], 2)
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")
+        with pytest.raises(ConstraintViolationError):
+            bank.create_session("alice", ["teller", "auditor"])
+        assert bank.sessions() == {}
+
+    def test_creating_violated_dsd_set_rejected(self, bank):
+        bank.assign_user("alice", "teller")
+        bank.assign_user("alice", "auditor")
+        bank.create_session("alice", ["teller", "auditor"])
+        with pytest.raises(ConstraintViolationError):
+            bank.create_dsd_set("dsd", ["teller", "auditor"], 2)
+
+    def test_drop_active_role(self, bank):
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice", ["teller"])
+        bank.drop_active_role(session.session_id, "teller")
+        assert bank.session_roles(session.session_id) == frozenset()
+
+    def test_check_access(self, bank):
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice", ["teller"])
+        assert bank.check_access(session.session_id, "handleCash", "till")
+        assert not bank.check_access(session.session_id, "audit", "ledger")
+
+    def test_check_access_through_hierarchy(self, bank):
+        bank.add_inheritance("supervisor", "teller")
+        bank.assign_user("alice", "supervisor")
+        session = bank.create_session("alice", ["supervisor"])
+        assert bank.check_access(session.session_id, "handleCash", "till")
+
+    def test_terminated_session_unusable(self, bank):
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice")
+        bank.delete_session(session.session_id)
+        with pytest.raises(UnknownEntityError):
+            bank.add_active_role(session.session_id, "teller")
+
+
+class TestReviewFunctions:
+    def test_user_permissions(self, bank):
+        bank.add_inheritance("teller", "employee")
+        bank.assign_user("alice", "teller")
+        assert bank.user_permissions("alice") == {
+            Permission("handleCash", "till"),
+            Permission("enter", "building"),
+        }
+
+    def test_session_permissions(self, bank):
+        bank.add_inheritance("teller", "employee")
+        bank.assign_user("alice", "teller")
+        session = bank.create_session("alice", ["teller"])
+        assert Permission("enter", "building") in bank.session_permissions(
+            session.session_id
+        )
+
+    def test_operations_on_object(self, bank):
+        bank.assign_user("alice", "teller")
+        assert bank.role_operations_on_object("teller", "till") == {"handleCash"}
+        assert bank.user_operations_on_object("alice", "till") == {"handleCash"}
+        assert bank.user_operations_on_object("alice", "ledger") == frozenset()

@@ -1,0 +1,212 @@
+"""Unit tests for the retained-ADI stores (Sections 4.1-4.3, 5.2, 6)."""
+
+import pytest
+
+from repro.core.constraints import Privilege, Role
+from repro.core.context import ContextName
+from repro.core.retained_adi import (
+    ADIMutation,
+    InMemoryRetainedADIStore,
+    RetainedADIRecord,
+    SQLiteRetainedADIStore,
+    store_digest,
+)
+from repro.errors import StoreError
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+
+def record(
+    user="alice",
+    roles=(TELLER,),
+    operation="handleCash",
+    target="till://1",
+    context="Branch=York, Period=2006",
+    at=1.0,
+    request_id="req-1",
+):
+    return RetainedADIRecord(
+        user_id=user,
+        roles=tuple(roles),
+        operation=operation,
+        target=target,
+        context_instance=ContextName.parse(context),
+        granted_at=at,
+        request_id=request_id,
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    if request.param == "memory":
+        yield InMemoryRetainedADIStore()
+    else:
+        sqlite_store = SQLiteRetainedADIStore(":memory:")
+        yield sqlite_store
+        sqlite_store.close()
+
+
+class TestRecord:
+    def test_privilege_view(self):
+        assert record().privilege == Privilege("handleCash", "till://1")
+
+    def test_in_context_wildcard(self):
+        rec = record(context="Branch=York, Period=2006")
+        assert rec.in_context(ContextName.parse("Branch=*, Period=2006"))
+        assert not rec.in_context(ContextName.parse("Branch=*, Period=2007"))
+
+    def test_dict_round_trip(self):
+        rec = record(roles=(TELLER, AUDITOR))
+        restored = RetainedADIRecord.from_dict(rec.to_dict(), record_id=9)
+        assert restored.user_id == rec.user_id
+        assert restored.roles == rec.roles
+        assert restored.context_instance == rec.context_instance
+        assert restored.record_id == 9
+
+
+class TestStoreBasics:
+    def test_add_assigns_record_id(self, store):
+        stored = store.add(record())
+        assert stored.record_id is not None
+        assert store.count() == 1
+
+    def test_records_iterates_all(self, store):
+        store.add(record(request_id="r1"))
+        store.add(record(user="bob", request_id="r2"))
+        assert {rec.user_id for rec in store.records()} == {"alice", "bob"}
+
+    def test_find_by_context(self, store):
+        store.add(record(context="Branch=York, Period=2006"))
+        store.add(record(context="Branch=Leeds, Period=2006", request_id="r2"))
+        store.add(record(context="Branch=York, Period=2007", request_id="r3"))
+        found = store.find(ContextName.parse("Branch=*, Period=2006"))
+        assert len(found) == 2
+
+    def test_find_user_scopes_to_user(self, store):
+        store.add(record(user="alice"))
+        store.add(record(user="bob", request_id="r2"))
+        found = store.find_user("alice", ContextName.parse("Branch=*, Period=2006"))
+        assert len(found) == 1
+        assert found[0].user_id == "alice"
+
+    def test_has_context(self, store):
+        assert not store.has_context(ContextName.parse("Branch=*, Period=2006"))
+        store.add(record())
+        assert store.has_context(ContextName.parse("Branch=*, Period=2006"))
+
+    def test_purge_context_removes_subordinates(self, store):
+        store.add(record(context="Branch=York, Period=2006"))
+        store.add(record(context="Branch=York, Period=2006, Till=1", request_id="r2"))
+        store.add(record(context="Branch=York, Period=2007", request_id="r3"))
+        removed = store.purge_context(ContextName.parse("Branch=*, Period=2006"))
+        assert removed == 2
+        assert store.count() == 1
+
+    def test_purge_user(self, store):
+        store.add(record(user="alice"))
+        store.add(record(user="bob", request_id="r2"))
+        assert store.purge_user("alice") == 1
+        assert {rec.user_id for rec in store.records()} == {"bob"}
+
+    def test_purge_older_than(self, store):
+        store.add(record(at=1.0))
+        store.add(record(at=5.0, request_id="r2"))
+        assert store.purge_older_than(3.0) == 1
+        assert store.count() == 1
+
+    def test_clear(self, store):
+        store.add(record())
+        store.add(record(request_id="r2"))
+        assert store.clear() == 2
+        assert store.count() == 0
+
+
+class TestStoreViews:
+    def test_user_roles_aggregates(self, store):
+        store.add(record(roles=(TELLER,)))
+        store.add(record(roles=(AUDITOR,), request_id="r2"))
+        roles = store.user_roles("alice", ContextName.parse("Branch=*, Period=2006"))
+        assert roles == {TELLER, AUDITOR}
+
+    def test_user_roles_respects_context(self, store):
+        store.add(record(roles=(TELLER,), context="Branch=York, Period=2006"))
+        roles = store.user_roles("alice", ContextName.parse("Branch=*, Period=2007"))
+        assert roles == frozenset()
+
+    def test_privilege_exercises_dedupe_by_request(self, store):
+        # One decision request may add several role records (step 5.iv);
+        # they count as one exercise of the operation.
+        store.add(record(roles=(TELLER,), request_id="same"))
+        store.add(record(roles=(AUDITOR,), request_id="same"))
+        store.add(record(request_id="other"))
+        exercises = store.user_privilege_exercises(
+            "alice", ContextName.parse("Branch=*, Period=2006")
+        )
+        assert len(exercises) == 2
+
+    def test_privilege_exercises_preserve_multiplicity(self, store):
+        store.add(record(request_id="r1"))
+        store.add(record(request_id="r2"))
+        exercises = store.user_privilege_exercises(
+            "alice", ContextName.parse("Branch=*, Period=2006")
+        )
+        assert len(exercises) == 2
+
+
+class TestMutation:
+    def test_apply_purges_then_adds(self, store):
+        store.add(record())
+        mutation = ADIMutation(
+            adds=[record(context="Branch=York, Period=2007", request_id="r2")],
+            purge_contexts=[ContextName.parse("Branch=*, Period=2006")],
+        )
+        store.apply(mutation)
+        contexts = {str(rec.context_instance) for rec in store.records()}
+        assert contexts == {"Branch=York, Period=2007"}
+
+    def test_is_empty(self):
+        assert ADIMutation().is_empty
+        assert not ADIMutation(adds=[record()]).is_empty
+
+
+class TestDigest:
+    def test_digest_reflects_content_not_backend(self):
+        memory = InMemoryRetainedADIStore()
+        sqlite_store = SQLiteRetainedADIStore(":memory:")
+        for target in (memory, sqlite_store):
+            target.add(record())
+            target.add(record(user="bob", request_id="r2"))
+        assert store_digest(memory) == store_digest(sqlite_store)
+        sqlite_store.close()
+
+    def test_digest_changes_on_add(self):
+        store = InMemoryRetainedADIStore()
+        before = store_digest(store)
+        store.add(record())
+        assert store_digest(store) != before
+
+
+class TestSQLiteSpecifics:
+    def test_persistence_across_connections(self, tmp_path):
+        path = str(tmp_path / "adi.db")
+        first = SQLiteRetainedADIStore(path)
+        first.add(record())
+        first.close()
+        second = SQLiteRetainedADIStore(path)
+        assert second.count() == 1
+        assert next(iter(second.records())).user_id == "alice"
+        second.close()
+
+    def test_closed_store_raises(self):
+        store = SQLiteRetainedADIStore(":memory:")
+        store.close()
+        with pytest.raises(StoreError):
+            store.add(record())
+        with pytest.raises(StoreError):
+            store.count()
+
+    def test_close_is_idempotent(self):
+        store = SQLiteRetainedADIStore(":memory:")
+        store.close()
+        store.close()

@@ -1,0 +1,102 @@
+"""Tests for the organisational bank simulation."""
+
+import pytest
+
+from repro.simulation import (
+    BankSimulation,
+    ENFORCEMENT_MSOD,
+    ENFORCEMENT_NONE,
+    SimulationConfig,
+    SimulationError,
+    run_paired_simulation,
+)
+
+SMALL = SimulationConfig(
+    seed=11, n_staff=12, n_branches=2, n_periods=3, actions_per_staff_period=3
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        SimulationConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_staff": 1},
+            {"n_branches": 0},
+            {"n_periods": 0},
+            {"actions_per_staff_period": 0},
+            {"promotion_rate": 1.5},
+            {"promotion_rate": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimulationConfig(**kwargs)
+
+    def test_unknown_enforcement_rejected(self):
+        with pytest.raises(SimulationError):
+            BankSimulation(SMALL, enforcement="hope")
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        first = BankSimulation(SMALL, ENFORCEMENT_MSOD).run()
+        second = BankSimulation(SMALL, ENFORCEMENT_MSOD).run()
+        assert first.decisions == second.decisions
+        assert first.msod_denials == second.msod_denials
+        assert [s.grants for s in first.periods] == [
+            s.grants for s in second.periods
+        ]
+
+    def test_different_seed_differs(self):
+        other = SimulationConfig(
+            seed=12, n_staff=12, n_branches=2, n_periods=3,
+            actions_per_staff_period=3,
+        )
+        first = BankSimulation(SMALL, ENFORCEMENT_MSOD).run()
+        second = BankSimulation(other, ENFORCEMENT_MSOD).run()
+        # Same shape, (almost certainly) different denial pattern.
+        assert first.decisions == second.decisions
+
+
+class TestEnforcementEffect:
+    def test_msod_prevents_every_separation_failure(self):
+        enforced, unenforced = run_paired_simulation(SMALL)
+        assert enforced.separation_failures == 0
+        assert enforced.msod_denials > 0
+        assert unenforced.separation_failures > 0
+        assert unenforced.msod_denials == 0
+
+    def test_both_runs_see_identical_workload(self):
+        enforced, unenforced = run_paired_simulation(SMALL)
+        assert enforced.decisions == unenforced.decisions
+
+    def test_rbac_layer_never_denies_well_formed_duties(self):
+        report = BankSimulation(SMALL, ENFORCEMENT_MSOD).run()
+        assert all(stats.rbac_denials == 0 for stats in report.periods)
+
+    def test_periods_are_isolated_by_commit_audit(self):
+        """The retained ADI is flushed at each period's CommitAudit, so
+        it does not accumulate across the run."""
+        simulation = BankSimulation(SMALL, ENFORCEMENT_MSOD)
+        simulation.run()
+        assert simulation.pdp.retained_adi.count() == 0
+
+    def test_report_accounting_consistent(self):
+        report = BankSimulation(SMALL, ENFORCEMENT_MSOD).run()
+        for stats in report.periods:
+            assert stats.decisions == (
+                stats.grants + stats.msod_denials + stats.rbac_denials
+            )
+        assert report.decisions == sum(s.decisions for s in report.periods)
+
+    def test_zero_promotions_zero_conflicts(self):
+        config = SimulationConfig(
+            seed=11, n_staff=12, n_branches=2, n_periods=3,
+            actions_per_staff_period=3, promotion_rate=0.0,
+        )
+        enforced, unenforced = run_paired_simulation(config)
+        assert enforced.msod_denials == 0
+        assert unenforced.separation_failures == 0

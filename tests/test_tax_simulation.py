@@ -1,0 +1,86 @@
+"""Tests for the tax-office (Example 2) simulation."""
+
+import pytest
+
+from repro.simulation import (
+    RULE_APPROVER_COMBINES,
+    RULE_CLERK_CONFIRMS_OWN,
+    RULE_REPEAT_APPROVAL,
+    RULES,
+    SimulationError,
+    TaxOfficeConfig,
+    TaxOfficeSimulation,
+    run_paired_tax_simulation,
+)
+
+SMALL = TaxOfficeConfig(seed=5, n_clerks=3, n_managers=5, n_processes=20)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clerks": 1},
+            {"n_managers": 3},
+            {"n_processes": 0},
+            {"misbehaviour_rate": 2.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(SimulationError):
+            TaxOfficeConfig(**kwargs)
+
+
+class TestOutcomes:
+    def test_enforced_run_denies_every_attempt(self):
+        report = TaxOfficeSimulation(SMALL, enforced=True).run()
+        assert report.total_attempted > 0
+        assert report.total_breached == 0
+        assert report.total_denied == report.total_attempted
+
+    def test_unenforced_run_breaches_every_attempt(self):
+        report = TaxOfficeSimulation(SMALL, enforced=False).run()
+        assert report.total_breached == report.total_attempted > 0
+        assert report.total_denied == 0
+
+    def test_all_processes_complete_despite_denials(self):
+        """Denied violations never block the legitimate path."""
+        enforced, unenforced = run_paired_tax_simulation(SMALL)
+        assert enforced.processes_completed == SMALL.n_processes
+        assert unenforced.processes_completed == SMALL.n_processes
+
+    def test_paired_runs_attempt_identical_violations(self):
+        enforced, unenforced = run_paired_tax_simulation(SMALL)
+        assert enforced.attempted == unenforced.attempted
+
+    def test_every_rule_class_is_exercised(self):
+        report = TaxOfficeSimulation(
+            TaxOfficeConfig(seed=5, n_processes=60), enforced=True
+        ).run()
+        for rule in RULES:
+            assert report.attempted[rule] > 0, rule
+
+    def test_zero_misbehaviour_means_zero_attempts(self):
+        config = TaxOfficeConfig(seed=5, n_processes=10, misbehaviour_rate=0.0)
+        report = TaxOfficeSimulation(config, enforced=True).run()
+        assert report.total_attempted == 0
+        assert report.processes_completed == 10
+
+    def test_determinism(self):
+        first = TaxOfficeSimulation(SMALL, enforced=True).run()
+        second = TaxOfficeSimulation(SMALL, enforced=True).run()
+        assert first.attempted == second.attempted
+        assert first.decisions == second.decisions
+
+    def test_rule_constants(self):
+        assert set(RULES) == {
+            RULE_REPEAT_APPROVAL,
+            RULE_APPROVER_COMBINES,
+            RULE_CLERK_CONFIRMS_OWN,
+        }
+
+    def test_completed_instances_leave_no_history(self):
+        simulation = TaxOfficeSimulation(SMALL, enforced=True)
+        simulation.run()
+        store = simulation.pep.pdp.msod_engine.store
+        assert store.count() == 0  # confirmCheck purges each instance

@@ -1,0 +1,213 @@
+"""Unit tests for the VO/federation simulation (Sections 1, 2.1, 6)."""
+
+import pytest
+
+from repro.core import ContextName, Role
+from repro.errors import ConstraintViolationError, CredentialError
+from repro.permis import (
+    CredentialValidationService,
+    LdapDirectory,
+    PermisPolicyBuilder,
+    TrustStore,
+)
+from repro.rbac import SsdConstraint
+from repro.vo import (
+    IdentityLinker,
+    LibertyAliasService,
+    RoleAuthority,
+    ShibbolethIdP,
+)
+from repro.xmlpolicy import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+ALICE = "cn=alice,o=vo,c=gb"
+SSD = SsdConstraint("teller-auditor", ["Teller", "Auditor"], 2)
+
+
+def authority(name, directory=None):
+    return RoleAuthority(
+        name,
+        f"cn={name},o=vo,c=gb",
+        f"{name}-key".encode(),
+        directory,
+        ssd_constraints=[SSD],
+    )
+
+
+class TestRoleAuthority:
+    def test_assignment_issues_credential(self):
+        auth = authority("authA")
+        credential = auth.assign(ALICE, TELLER, 0, 100)
+        assert credential.attributes == (TELLER,)
+        assert auth.local_roles_of(ALICE) == {TELLER}
+
+    def test_local_ssd_blocks_local_conflict(self):
+        auth = authority("authA")
+        auth.assign(ALICE, TELLER, 0, 100)
+        with pytest.raises(ConstraintViolationError):
+            auth.assign(ALICE, AUDITOR, 0, 100)
+
+    def test_cross_authority_conflict_is_invisible(self):
+        """The Section 1 blind spot: neither authority can see the other's
+        assignment, so both succeed."""
+        auth_a = authority("authA")
+        auth_b = authority("authB")
+        auth_a.assign(ALICE, TELLER, 0, 100)
+        credential = auth_b.assign(ALICE, AUDITOR, 0, 100)
+        assert credential.attributes == (AUDITOR,)
+
+    def test_ssd_can_be_bypassed_explicitly(self):
+        auth = authority("authA")
+        auth.assign(ALICE, TELLER, 0, 100)
+        auth.assign(ALICE, AUDITOR, 0, 100, enforce_local_ssd=False)
+
+    def test_credentials_validate_through_cvs(self):
+        directory = LdapDirectory()
+        auth_a = authority("authA", directory)
+        auth_b = authority("authB", directory)
+        trust = TrustStore()
+        trust.trust(auth_a.soa_dn, auth_a.verification_key)
+        trust.trust(auth_b.soa_dn, auth_b.verification_key)
+        policy = (
+            PermisPolicyBuilder()
+            .allow_assignment(auth_a.soa_dn, [TELLER, AUDITOR], "o=vo,c=gb")
+            .allow_assignment(auth_b.soa_dn, [TELLER, AUDITOR], "o=vo,c=gb")
+            .with_msod(bank_policy_set())
+            .build()
+        )
+        auth_a.assign(ALICE, TELLER, 0, 100)
+        auth_b.assign(ALICE, AUDITOR, 0, 100)
+        cvs = CredentialValidationService(policy, trust, directory)
+        result = cvs.validate(ALICE, at=5.0)
+        assert result.valid_roles == {TELLER, AUDITOR}
+
+
+class TestShibboleth:
+    def test_fresh_handle_per_session(self):
+        idp = ShibbolethIdP("idp")
+        first = idp.new_session("alice")
+        second = idp.new_session("alice")
+        assert first != second
+        assert first != "alice"
+        assert idp.resolve(first) == "alice"
+
+    def test_user_id_release_fix(self):
+        idp = ShibbolethIdP("idp", release_user_id=True)
+        assert idp.new_session("alice") == "alice"
+
+    def test_reconfiguration(self):
+        idp = ShibbolethIdP("idp")
+        assert not idp.releases_user_id
+        idp.configure_user_id_release(True)
+        assert idp.new_session("alice") == "alice"
+
+    def test_unknown_handle(self):
+        with pytest.raises(CredentialError):
+            ShibbolethIdP("idp").resolve("handle-404")
+
+
+class TestLiberty:
+    def test_alias_stable_per_pair(self):
+        service = LibertyAliasService()
+        assert service.alias_for("alice", "sp1") == service.alias_for(
+            "alice", "sp1"
+        )
+
+    def test_alias_differs_per_provider_and_user(self):
+        service = LibertyAliasService()
+        assert service.alias_for("alice", "sp1") != service.alias_for(
+            "alice", "sp2"
+        )
+        assert service.alias_for("alice", "sp1") != service.alias_for(
+            "bob", "sp1"
+        )
+
+    def test_alias_does_not_reveal_identity(self):
+        alias = LibertyAliasService().alias_for("alice", "sp1")
+        assert "alice" not in alias
+
+
+class TestIdentityLinker:
+    def test_unlinked_identifier_resolves_to_itself(self):
+        linker = IdentityLinker()
+        assert linker.resolve("handle-1") == "handle-1"
+        assert not linker.is_linked("handle-1")
+
+    def test_linked_identifier_resolves_to_local_id(self):
+        linker = IdentityLinker()
+        linker.link("alias-1", "alice")
+        assert linker.resolve("alias-1") == "alice"
+        assert linker.is_linked("alias-1")
+
+    def test_conflicting_link_rejected(self):
+        linker = IdentityLinker()
+        linker.link("alias-1", "alice")
+        with pytest.raises(CredentialError):
+            linker.link("alias-1", "bob")
+
+    def test_relink_same_target_is_idempotent(self):
+        linker = IdentityLinker()
+        linker.link("alias-1", "alice")
+        linker.link("alias-1", "alice")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(CredentialError):
+            IdentityLinker().link("", "alice")
+
+
+class TestFederationEndToEnd:
+    """The Section 6 limitation and fix, on the real engine."""
+
+    def _run_conflict(self, identity_for_session):
+        from repro.core import (
+            DecisionRequest,
+            InMemoryRetainedADIStore,
+            MSoDEngine,
+        )
+
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        ctx = ContextName.parse("Branch=York, Period=2006")
+        first = engine.check(
+            DecisionRequest(
+                user_id=identity_for_session(0),
+                roles=(TELLER,),
+                operation="handleCash",
+                target="till://1",
+                context_instance=ctx,
+                timestamp=1.0,
+            )
+        )
+        second = engine.check(
+            DecisionRequest(
+                user_id=identity_for_session(1),
+                roles=(AUDITOR,),
+                operation="auditBooks",
+                target="ledger://1",
+                context_instance=ctx,
+                timestamp=2.0,
+            )
+        )
+        return first, second
+
+    def test_per_session_handles_defeat_msod(self):
+        idp = ShibbolethIdP("idp")
+        handles = [idp.new_session("alice"), idp.new_session("alice")]
+        first, second = self._run_conflict(lambda index: handles[index])
+        assert first.granted
+        assert second.granted  # the conflict went undetected
+
+    def test_identity_linking_restores_msod(self):
+        aliases = LibertyAliasService()
+        linker = IdentityLinker()
+        ids = [
+            aliases.alias_for("alice", "sp-teller"),
+            aliases.alias_for("alice", "sp-audit"),
+        ]
+        for alias in ids:
+            linker.link(alias, "alice")
+        first, second = self._run_conflict(
+            lambda index: linker.resolve(ids[index])
+        )
+        assert first.granted
+        assert second.denied  # linking re-joins the sessions

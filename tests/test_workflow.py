@@ -1,0 +1,212 @@
+"""Unit tests for the workflow engine and Example 2 end-to-end."""
+
+import pytest
+
+from repro.core import (
+    ContextName,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    Privilege,
+    Role,
+)
+from repro.errors import WorkflowError
+from repro.framework import (
+    PolicyEnforcementPoint,
+    ReferenceRBACMSoDPDP,
+    RoleTargetAccessPolicy,
+    SimulatedClock,
+)
+from repro.workflow import (
+    ProcessDefinition,
+    ProcessInstance,
+    TaskDef,
+    tax_refund_process,
+)
+from repro.xmlpolicy import tax_refund_policy_set
+
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+
+PREPARE = Privilege("prepareCheck", "http://www.myTaxOffice.com/Check")
+APPROVE = Privilege("approve/disapproveCheck", "http://www.myTaxOffice.com/Check")
+COMBINE = Privilege("combineResults", "http://secret.location.com/results")
+CONFIRM = Privilege("confirmCheck", "http://secret.location.com/audit")
+
+
+def tax_pep():
+    access = RoleTargetAccessPolicy(
+        {CLERK: [PREPARE, CONFIRM], MANAGER: [APPROVE, COMBINE]}
+    )
+    engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+    return PolicyEnforcementPoint(
+        ReferenceRBACMSoDPDP(access, engine), SimulatedClock()
+    )
+
+
+def tax_instance(instance_id="42", pep=None):
+    return ProcessInstance(
+        tax_refund_process(),
+        instance_id,
+        ContextName.parse("TaxOffice=Leeds"),
+        pep if pep is not None else tax_pep(),
+    )
+
+
+class TestDefinitionValidation:
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(WorkflowError):
+            ProcessDefinition(
+                "p", "ctx", [TaskDef("T1", "op", "t"), TaskDef("T1", "op2", "t")]
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(WorkflowError):
+            ProcessDefinition(
+                "p", "ctx", [TaskDef("T1", "op", "t", depends_on=("T9",))]
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError, match="cyclic"):
+            ProcessDefinition(
+                "p",
+                "ctx",
+                [
+                    TaskDef("T1", "a", "t", depends_on=("T2",)),
+                    TaskDef("T2", "b", "t", depends_on=("T1",)),
+                ],
+            )
+
+    def test_empty_process_rejected(self):
+        with pytest.raises(WorkflowError):
+            ProcessDefinition("p", "ctx", [])
+
+    def test_bad_multiplicity(self):
+        with pytest.raises(WorkflowError):
+            TaskDef("T1", "op", "t", multiplicity=0)
+
+    def test_tax_refund_shape(self):
+        process = tax_refund_process()
+        assert process.task_ids() == ("T1", "T2", "T3", "T4")
+        assert process.task("T2").multiplicity == 2
+        assert process.task("T4").depends_on == ("T3",)
+
+
+class TestRouting:
+    def test_context_instance_name(self):
+        instance = tax_instance("42")
+        assert str(instance.context) == "TaxOffice=Leeds, taxRefundProcess=42"
+
+    def test_initial_availability(self):
+        instance = tax_instance()
+        assert [task.task_id for task in instance.available_tasks()] == ["T1"]
+
+    def test_out_of_order_task_rejected(self):
+        instance = tax_instance()
+        with pytest.raises(WorkflowError):
+            instance.attempt("T2", "mgr1", [MANAGER])
+
+    def test_multiplicity_gates_t3(self):
+        instance = tax_instance()
+        instance.attempt("T1", "clerk1", [CLERK])
+        instance.attempt("T2", "mgr1", [MANAGER])
+        # One approval is not enough: T3 not yet available.
+        assert "T3" not in [task.task_id for task in instance.available_tasks()]
+        instance.attempt("T2", "mgr2", [MANAGER])
+        assert "T3" in [task.task_id for task in instance.available_tasks()]
+
+    def test_exhausted_task_rejected(self):
+        instance = tax_instance()
+        instance.attempt("T1", "clerk1", [CLERK])
+        with pytest.raises(WorkflowError):
+            instance.attempt("T1", "clerk2", [CLERK])
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(WorkflowError):
+            tax_instance().attempt("T9", "x", [CLERK])
+
+
+class TestExample2EndToEnd:
+    def run_happy_path(self, instance):
+        assert instance.attempt("T1", "clerk1", [CLERK]).granted
+        assert instance.attempt("T2", "mgr1", [MANAGER]).granted
+        assert instance.attempt("T2", "mgr2", [MANAGER]).granted
+        assert instance.attempt("T3", "mgr3", [MANAGER]).granted
+        assert instance.attempt("T4", "clerk2", [CLERK]).granted
+
+    def test_compliant_run_completes(self):
+        instance = tax_instance()
+        self.run_happy_path(instance)
+        assert instance.is_complete()
+        assert instance.executors_of("T2") == ("mgr1", "mgr2")
+
+    def test_same_manager_cannot_approve_twice(self):
+        instance = tax_instance()
+        instance.attempt("T1", "clerk1", [CLERK])
+        assert instance.attempt("T2", "mgr1", [MANAGER]).granted
+        decision = instance.attempt("T2", "mgr1", [MANAGER])
+        assert decision.denied
+        assert instance.completed_count("T2") == 1
+
+    def test_approver_cannot_combine(self):
+        instance = tax_instance()
+        instance.attempt("T1", "clerk1", [CLERK])
+        instance.attempt("T2", "mgr1", [MANAGER])
+        instance.attempt("T2", "mgr2", [MANAGER])
+        assert instance.attempt("T3", "mgr1", [MANAGER]).denied
+        assert instance.attempt("T3", "mgr3", [MANAGER]).granted
+
+    def test_preparing_clerk_cannot_confirm(self):
+        instance = tax_instance()
+        instance.attempt("T1", "clerk1", [CLERK])
+        instance.attempt("T2", "mgr1", [MANAGER])
+        instance.attempt("T2", "mgr2", [MANAGER])
+        instance.attempt("T3", "mgr3", [MANAGER])
+        assert instance.attempt("T4", "clerk1", [CLERK]).denied
+        assert instance.attempt("T4", "clerk2", [CLERK]).granted
+
+    def test_instances_are_isolated(self):
+        """The same people may run a *different* process instance."""
+        pep = tax_pep()
+        first = tax_instance("1", pep)
+        self.run_happy_path(first)
+        second = tax_instance("2", pep)
+        self.run_happy_path(second)  # same users, fresh instance: all granted
+
+    def test_completed_instance_leaves_no_history(self):
+        """T4 (confirmCheck) is the policy's last step: retained ADI for
+        the instance is flushed when the process completes."""
+        pep = tax_pep()
+        instance = tax_instance("9", pep)
+        self.run_happy_path(instance)
+        store = pep.pdp.msod_engine.store
+        assert store.find(instance.context) == []
+
+    def test_cancelled_instance_releases_history(self):
+        """Cancellation reports the implied termination (Section 2.2),
+        so an abandoned refund does not pin retained-ADI records."""
+        pep = tax_pep()
+        instance = tax_instance("77", pep)
+        instance.attempt("T1", "clerk1", [CLERK])
+        instance.attempt("T2", "mgr1", [MANAGER])
+        engine = pep.pdp.msod_engine
+        assert engine.store.find(instance.context) != []
+        purged = instance.cancel(msod_engine=engine)
+        assert purged > 0
+        assert engine.store.find(instance.context) == []
+        assert instance.cancelled
+
+    def test_cancelled_instance_rejects_attempts(self):
+        instance = tax_instance("78")
+        instance.cancel()
+        with pytest.raises(WorkflowError, match="cancelled"):
+            instance.attempt("T1", "clerk1", [CLERK])
+        with pytest.raises(WorkflowError, match="already cancelled"):
+            instance.cancel()
+
+    def test_denied_attempt_can_be_retried_by_another_user(self):
+        instance = tax_instance()
+        instance.attempt("T1", "clerk1", [CLERK])
+        instance.attempt("T2", "mgr1", [MANAGER])
+        assert instance.attempt("T2", "mgr1", [MANAGER]).denied
+        assert instance.attempt("T2", "mgr2", [MANAGER]).granted
+        assert instance.completed_count("T2") == 2

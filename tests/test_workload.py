@@ -1,0 +1,149 @@
+"""Unit tests for the workload generator and detection metrics."""
+
+import math
+
+from repro.baselines import AnsiDsdChecker, AnsiSsdChecker, MSoDChecker
+from repro.core.decision import DecisionRequest
+from repro.rbac import DsdConstraint, SsdConstraint
+from repro.workload import (
+    ALL_CLASSES,
+    BENIGN,
+    CROSS_SESSION,
+    FEDERATED_LINKED,
+    FEDERATED_UNLINKED,
+    REPEATED_PRIVILEGE,
+    SAME_SESSION,
+    SINGLE_AUTHORITY,
+    VIOLATION_CLASSES,
+    DetectionReport,
+    ScenarioGenerator,
+    ScenarioOutcome,
+    decision_request_stream,
+    format_detection_table,
+    run_comparison,
+)
+from repro.xmlpolicy import combined_policy_set
+
+
+class TestScenarioGenerator:
+    def test_mixed_stream_covers_every_class(self):
+        scenarios = ScenarioGenerator(seed=1).mixed_stream(
+            per_class=2, benign_per_class=2
+        )
+        labels = {scenario.label for scenario in scenarios}
+        assert labels == set(ALL_CLASSES)
+
+    def test_scenarios_use_fresh_users(self):
+        scenarios = ScenarioGenerator(seed=1).mixed_stream(
+            per_class=3, benign_per_class=3
+        )
+        user_sets = [
+            frozenset(step.user_id for step in scenario.steps)
+            for scenario in scenarios
+        ]
+        for i, users_a in enumerate(user_sets):
+            for users_b in user_sets[i + 1:]:
+                assert not (users_a & users_b)
+
+    def test_deterministic_given_seed(self):
+        first = ScenarioGenerator(seed=5).mixed_stream(2, 2)
+        second = ScenarioGenerator(seed=5).mixed_stream(2, 2)
+        assert [s.scenario_id for s in first] == [s.scenario_id for s in second]
+        assert [s.label for s in first] == [s.label for s in second]
+
+    def test_violation_flags(self):
+        gen = ScenarioGenerator(seed=1)
+        assert not gen.benign_bank().is_violation
+        assert gen.cross_session().is_violation
+
+    def test_federated_unlinked_uses_distinct_presented_ids(self):
+        scenario = ScenarioGenerator(seed=1).federated(linked=False)
+        presented = [
+            step.presented_id for step in scenario.steps if step.is_access
+        ]
+        assert len(set(presented)) == 2
+        assert all(p != step.user_id for p, step in zip(
+            presented, [s for s in scenario.steps if s.is_access]
+        ))
+
+    def test_federated_linked_ids_resolve(self):
+        gen = ScenarioGenerator(seed=1)
+        scenario = gen.federated(linked=True)
+        for step in scenario.access_steps():
+            assert gen.identity_linker.resolve(step.presented_id) == step.user_id
+
+
+class TestDecisionRequestStream:
+    def test_length_and_determinism(self):
+        first = list(decision_request_stream(50, seed=3))
+        second = list(decision_request_stream(50, seed=3))
+        assert len(first) == 50
+        assert [r.user_id for r in first] == [r.user_id for r in second]
+
+    def test_requests_are_valid(self):
+        for request in decision_request_stream(20):
+            assert isinstance(request, DecisionRequest)
+            assert request.context_instance.is_concrete
+
+    def test_conflict_fraction_zero(self):
+        requests = list(decision_request_stream(30, conflict_fraction=0.0))
+        assert all(r.roles[0].value == "Teller" for r in requests)
+
+
+class TestMetrics:
+    def _reports(self):
+        gen = ScenarioGenerator(seed=9)
+        scenarios = gen.mixed_stream(per_class=4, benign_per_class=4)
+        checkers = [
+            MSoDChecker(combined_policy_set()),
+            MSoDChecker(
+                combined_policy_set(), linker=gen.identity_linker, name="MSoD+link"
+            ),
+            AnsiSsdChecker([SsdConstraint("ta", ["Teller", "Auditor"], 2)]),
+            AnsiDsdChecker([DsdConstraint("ta", ["Teller", "Auditor"], 2)]),
+        ]
+        return run_comparison(checkers, scenarios)
+
+    def test_paper_shape_detection_rates(self):
+        reports = {report.checker_name: report for report in self._reports()}
+        msod = reports["MSoD"]
+        assert msod.detection_rate(SAME_SESSION) == 1.0
+        assert msod.detection_rate(SINGLE_AUTHORITY) == 1.0
+        assert msod.detection_rate(CROSS_SESSION) == 1.0
+        assert msod.detection_rate(REPEATED_PRIVILEGE) == 1.0
+        assert msod.detection_rate(FEDERATED_UNLINKED) == 0.0  # Section 6
+        assert msod.false_positive_rate() == 0.0
+
+        linked = reports["MSoD+link"]
+        assert linked.detection_rate(FEDERATED_LINKED) == 1.0
+        assert linked.false_positive_rate() == 0.0
+
+        ssd = reports["ANSI SSD"]
+        assert ssd.detection_rate(SINGLE_AUTHORITY) == 1.0
+        assert ssd.detection_rate(CROSS_SESSION) == 0.0
+
+        dsd = reports["ANSI DSD"]
+        assert dsd.detection_rate(SAME_SESSION) == 1.0
+        assert dsd.detection_rate(CROSS_SESSION) == 0.0
+
+    def test_format_table_contains_all_checkers(self):
+        table = format_detection_table(self._reports())
+        for name in ("MSoD", "ANSI SSD", "ANSI DSD"):
+            assert name in table
+        assert BENIGN in table
+
+    def test_detection_rate_nan_for_unseen_class(self):
+        report = DetectionReport(checker_name="x")
+        assert math.isnan(report.detection_rate("never-seen"))
+
+    def test_outcome_correctness(self):
+        gen = ScenarioGenerator(seed=2)
+        violation = gen.cross_session()
+        benign = gen.benign_bank()
+        assert ScenarioOutcome(violation, blocked=True).correct
+        assert not ScenarioOutcome(violation, blocked=False).correct
+        assert ScenarioOutcome(benign, blocked=False).correct
+        assert not ScenarioOutcome(benign, blocked=True).correct
+
+    def test_all_violation_classes_enumerated(self):
+        assert set(VIOLATION_CLASSES) | {BENIGN} == set(ALL_CLASSES)

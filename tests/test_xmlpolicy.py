@@ -1,0 +1,213 @@
+"""Unit tests for the Appendix-A XML policy language."""
+
+import pytest
+
+from repro.core.constraints import Privilege, Role
+from repro.core.context import ContextName
+from repro.errors import PolicyParseError
+from repro.xmlpolicy import (
+    BANK_POLICY_XML,
+    COMBINED_POLICY_XML,
+    TAX_REFUND_POLICY_XML,
+    bank_policy_set,
+    combined_policy_set,
+    parse_policy_set,
+    tax_refund_policy_set,
+    validate_policy_document,
+    write_policy_set,
+    write_policy_set_file,
+    parse_policy_set_file,
+)
+
+
+class TestParsePaperPolicies:
+    def test_bank_policy(self):
+        policy_set = bank_policy_set()
+        assert len(policy_set) == 1
+        policy = policy_set.policies[0]
+        assert policy.business_context == ContextName.parse("Branch=*, Period=!")
+        assert policy.first_step is None
+        assert policy.last_step.operation == "CommitAudit"
+        assert len(policy.mmers) == 1
+        mmer = policy.mmers[0]
+        assert mmer.forbidden_cardinality == 2
+        assert set(mmer.roles) == {
+            Role("employee", "Teller"),
+            Role("employee", "Auditor"),
+        }
+
+    def test_tax_refund_policy(self):
+        policy_set = tax_refund_policy_set()
+        policy = policy_set.policies[0]
+        assert policy.business_context == ContextName.parse(
+            "TaxOffice=!, taxRefundProcess=!"
+        )
+        assert policy.first_step.operation == "prepareCheck"
+        assert policy.last_step.operation == "confirmCheck"
+        assert len(policy.mmeps) == 2
+        duplicate = policy.mmeps[1]
+        approve = Privilege(
+            "approve/disapproveCheck", "http://www.myTaxOffice.com/Check"
+        )
+        assert list(duplicate.privileges).count(approve) == 2
+
+    def test_combined_policy_set(self):
+        assert len(combined_policy_set()) == 2
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "policy.xml")
+        write_policy_set_file(combined_policy_set(), path)
+        restored = parse_policy_set_file(path)
+        assert len(restored) == 2
+
+
+class TestParserErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(PolicyParseError, match="not well-formed"):
+            parse_policy_set("<MSoDPolicySet>")
+
+    def test_wrong_root(self):
+        with pytest.raises(PolicyParseError, match="root element"):
+            parse_policy_set("<Wrong/>")
+
+    def test_empty_policy_set(self):
+        with pytest.raises(PolicyParseError, match="at least one"):
+            parse_policy_set("<MSoDPolicySet></MSoDPolicySet>")
+
+    def test_missing_business_context(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy>"
+            "<MMER ForbiddenCardinality='2'>"
+            "<Role type='t' value='a'/><Role type='t' value='b'/>"
+            "</MMER></MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="BusinessContext"):
+            parse_policy_set(xml)
+
+    def test_bad_cardinality(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='A=!'>"
+            "<MMER ForbiddenCardinality='two'>"
+            "<Role type='t' value='a'/><Role type='t' value='b'/>"
+            "</MMER></MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="not an integer"):
+            parse_policy_set(xml)
+
+    def test_single_role_mmer(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='A=!'>"
+            "<MMER ForbiddenCardinality='2'><Role type='t' value='a'/>"
+            "</MMER></MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="at least 2"):
+            parse_policy_set(xml)
+
+    def test_unknown_element_in_policy(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='A=!'>"
+            "<Surprise/></MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="unexpected element"):
+            parse_policy_set(xml)
+
+    def test_multiple_first_steps(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='A=!'>"
+            "<FirstStep operation='a' targetURI='t'/>"
+            "<FirstStep operation='b' targetURI='t'/>"
+            "<MMER ForbiddenCardinality='2'>"
+            "<Role type='t' value='a'/><Role type='t' value='b'/>"
+            "</MMER></MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="multiple <FirstStep>"):
+            parse_policy_set(xml)
+
+    def test_strict_rejects_mixed_constraints(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='A=!'>"
+            "<MMER ForbiddenCardinality='2'>"
+            "<Role type='t' value='a'/><Role type='t' value='b'/></MMER>"
+            "<MMEP ForbiddenCardinality='2'>"
+            "<Privilege operation='x' target='u'/>"
+            "<Privilege operation='y' target='u'/></MMEP>"
+            "</MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="either MMER or MMEP"):
+            parse_policy_set(xml)
+        relaxed = parse_policy_set(xml, strict=False)
+        assert len(relaxed.policies[0].mmers) == 1
+        assert len(relaxed.policies[0].mmeps) == 1
+
+    def test_both_privilege_spellings_accepted(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='A=!'>"
+            "<MMEP ForbiddenCardinality='2'>"
+            "<Privilege operation='x' target='u'/>"
+            "<Operation value='y' target='u'/></MMEP>"
+            "</MSoDPolicy></MSoDPolicySet>"
+        )
+        policy_set = parse_policy_set(xml)
+        privileges = set(policy_set.policies[0].mmeps[0].privileges)
+        assert privileges == {Privilege("x", "u"), Privilege("y", "u")}
+
+    def test_bad_context_name(self):
+        xml = (
+            "<MSoDPolicySet><MSoDPolicy BusinessContext='not-a-context'>"
+            "<MMER ForbiddenCardinality='2'>"
+            "<Role type='t' value='a'/><Role type='t' value='b'/>"
+            "</MMER></MSoDPolicy></MSoDPolicySet>"
+        )
+        with pytest.raises(PolicyParseError, match="bad BusinessContext"):
+            parse_policy_set(xml)
+
+
+class TestWriter:
+    def test_round_trip_preserves_semantics(self):
+        original = combined_policy_set()
+        xml = write_policy_set(original)
+        restored = parse_policy_set(xml)
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.business_context == b.business_context
+            assert list(a.mmers) == list(b.mmers)
+            assert list(a.mmeps) == list(b.mmeps)
+            assert a.first_step == b.first_step
+            assert a.last_step == b.last_step
+            assert a.policy_id == b.policy_id
+
+    def test_compact_output_parses(self):
+        xml = write_policy_set(bank_policy_set(), pretty=False)
+        assert "\n" not in xml
+        assert len(parse_policy_set(xml)) == 1
+
+
+class TestValidator:
+    def test_paper_documents_valid(self):
+        for xml in (BANK_POLICY_XML, TAX_REFUND_POLICY_XML, COMBINED_POLICY_XML):
+            assert validate_policy_document(xml) == []
+
+    def test_reports_all_problems_in_one_pass(self):
+        xml = (
+            "<MSoDPolicySet>"
+            "<MSoDPolicy>"
+            "<MMER ForbiddenCardinality='9'>"
+            "<Role type='t' value='a'/><Role value='b'/>"
+            "</MMER></MSoDPolicy>"
+            "<MSoDPolicy BusinessContext='B=!'/>"
+            "</MSoDPolicySet>"
+        )
+        problems = validate_policy_document(xml)
+        assert len(problems) >= 3
+        assert any("BusinessContext" in p for p in problems)
+        assert any("ForbiddenCardinality" in p for p in problems)
+        assert any("missing attribute" in p for p in problems)
+
+    def test_not_xml(self):
+        assert validate_policy_document("{json: true}") != []
+
+    def test_empty_set(self):
+        assert any(
+            "no policies" in problem
+            for problem in validate_policy_document("<MSoDPolicySet/>")
+        )
