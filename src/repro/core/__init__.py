@@ -46,6 +46,7 @@ from repro.core.explain import Explanation, TraceLine, explain
 from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
 from repro.core.retained_adi import (
     ADIMutation,
+    ADIViewSnapshot,
     InMemoryRetainedADIStore,
     RetainedADIRecord,
     RetainedADIStore,
@@ -72,6 +73,7 @@ __all__ = [
     "InMemoryRetainedADIStore",
     "SQLiteRetainedADIStore",
     "ADIMutation",
+    "ADIViewSnapshot",
     "store_digest",
     "Decision",
     "DecisionRequest",

@@ -196,7 +196,7 @@ class MMEP:
 
 
 def count_history_matches(
-    remaining: Counter, history: Sequence[Privilege]
+    remaining: Counter, history: Sequence[Privilege] | Counter
 ) -> int:
     """Pair remaining MMEP entries with distinct historical exercises.
 
@@ -206,8 +206,13 @@ def count_history_matches(
     from retained ADI").  A privilege listed twice in ``remaining`` needs
     two historical records to contribute a count of two; conversely many
     historical records for a privilege listed once contribute one.
+
+    ``history`` may be given pre-aggregated as a :class:`Counter` (the
+    engine memoizes one per user/context and request).
     """
-    history_counts = Counter(history)
+    history_counts = (
+        history if isinstance(history, Counter) else Counter(history)
+    )
     return sum(
         min(multiplicity, history_counts[privilege])
         for privilege, multiplicity in remaining.items()

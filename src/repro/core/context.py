@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ContextNameError
@@ -95,15 +96,97 @@ class ContextComponent:
         return f"{self.ctx_type}={self.value}"
 
 
+class _CompiledMatcher:
+    """A precompiled ``is_equal_or_subordinate_to`` check for one policy name.
+
+    Hot policy contexts are matched against millions of candidate names;
+    the per-component Python loop of the naive rule dominates.  Compiling
+    the policy name once reduces matching to tuple-slice comparisons
+    (C-level) plus, when the policy mixes wildcard and concrete values,
+    a short loop over only the concrete positions.
+    """
+
+    __slots__ = ("_length", "_types", "_concrete", "_concrete_prefix", "_single")
+
+    def __init__(self, policy: "ContextName") -> None:
+        comps = policy.components
+        self._length = len(comps)
+        self._types = tuple(comp.ctx_type for comp in comps)
+        self._concrete = tuple(
+            (index, comp.value)
+            for index, comp in enumerate(comps)
+            if not comp.is_wildcard
+        )
+        # A fully concrete policy prefix matches by one tuple comparison.
+        self._concrete_prefix = (
+            comps if len(self._concrete) == len(comps) else None
+        )
+        # The overwhelmingly common wildcard mix has exactly one concrete
+        # component; checking it directly skips a generator frame.
+        self._single = (
+            self._concrete[0]
+            if self._concrete_prefix is None and len(self._concrete) == 1
+            else None
+        )
+
+    def matches(self, candidate: "ContextName") -> bool:
+        """Equivalent to ``candidate.is_equal_or_subordinate_to(policy)``."""
+        comps = candidate._components
+        length = self._length
+        if len(comps) < length:
+            return False
+        prefix = self._concrete_prefix
+        if prefix is not None:
+            return comps[:length] == prefix
+        types = candidate._types
+        if types is None:
+            types = candidate._types = tuple(
+                comp.ctx_type for comp in comps
+            )
+        if types[:length] != self._types:
+            return False
+        single = self._single
+        if single is not None:
+            return comps[single[0]].value == single[1]
+        return all(comps[index].value == value for index, value in self._concrete)
+
+
+@lru_cache(maxsize=8192)
+def _parse_interned(text: str) -> "ContextName":
+    """Parse and intern a context name (LRU-cached on the stripped text).
+
+    Request streams repeat a small set of context-instance strings, and
+    the SQLite store re-parses the ``context`` column of candidate rows;
+    interning makes repeats a dict hit and lets equal names share their
+    memoized hash/str/matcher state.
+    """
+    components = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise ContextNameError(f"empty component in context name {text!r}")
+        ctx_type, sep, value = part.partition("=")
+        if not sep:
+            raise ContextNameError(
+                f"component {part!r} is not of the form type=value"
+            )
+        components.append(ContextComponent(ctx_type.strip(), value.strip()))
+    return ContextName(components)
+
+
 class ContextName:
     """An immutable hierarchical business-context name.
 
     A name is an ordered tuple of :class:`ContextComponent`.  The empty
     name is the universal context (the root of the hierarchy, paper
     Section 2.2: "the universal context ... its name is null").
+
+    Hash, string form, the component-type tuple and the compiled matcher
+    are computed once and memoized — names are immutable, and all four
+    sit on the per-decision hot path.
     """
 
-    __slots__ = ("_components",)
+    __slots__ = ("_components", "_hash", "_str", "_types", "_matcher")
 
     def __init__(self, components: Iterable[ContextComponent] = ()) -> None:
         comps = tuple(components)
@@ -119,6 +202,10 @@ class ContextName:
                 )
             seen_types.add(comp.ctx_type)
         self._components = comps
+        self._hash = None
+        self._str = None
+        self._types = None
+        self._matcher = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -129,24 +216,19 @@ class ContextName:
 
         The empty string (or only whitespace) denotes the universal
         context.  Raises :class:`ContextNameError` on malformed input.
+        Parsed names are interned through an LRU cache, so repeated
+        parses of the same text return the same object.
         """
         if text is None:
             raise ContextNameError("context name must not be None")
         text = text.strip()
+        if cls is not ContextName:  # subclasses bypass the intern cache
+            if not text:
+                return cls()
+            return cls(_parse_interned(text).components)
         if not text:
-            return cls()
-        components = []
-        for part in text.split(","):
-            part = part.strip()
-            if not part:
-                raise ContextNameError(f"empty component in context name {text!r}")
-            ctx_type, sep, value = part.partition("=")
-            if not sep:
-                raise ContextNameError(
-                    f"component {part!r} is not of the form type=value"
-                )
-            components.append(ContextComponent(ctx_type.strip(), value.strip()))
-        return cls(components)
+            return _ROOT
+        return _parse_interned(text)
 
     @classmethod
     def root(cls) -> "ContextName":
@@ -163,6 +245,29 @@ class ContextName:
     @property
     def components(self) -> tuple[ContextComponent, ...]:
         return self._components
+
+    @property
+    def component_types(self) -> tuple[str, ...]:
+        """The ordered component types (memoized; used by matchers)."""
+        types = self._types
+        if types is None:
+            types = self._types = tuple(
+                comp.ctx_type for comp in self._components
+            )
+        return types
+
+    @property
+    def matcher(self) -> _CompiledMatcher:
+        """A compiled subordinate-or-equal matcher for this (policy) name.
+
+        ``policy.matcher.matches(instance)`` is equivalent to
+        ``instance.is_equal_or_subordinate_to(policy)`` but avoids the
+        per-component Python loop on every call.
+        """
+        matcher = self._matcher
+        if matcher is None:
+            matcher = self._matcher = _CompiledMatcher(self)
+        return matcher
 
     @property
     def is_root(self) -> bool:
@@ -212,12 +317,7 @@ class ContextName:
         (wildcard-aware) prefix of ``self``.  Every name matches the
         universal context.
         """
-        if len(policy) > len(self):
-            return False
-        return all(
-            pol_comp.covers(self_comp)
-            for pol_comp, self_comp in zip(policy.components, self._components)
-        )
+        return policy.matcher.matches(self)
 
     def is_strictly_subordinate_to(self, policy: "ContextName") -> bool:
         """Like :meth:`is_equal_or_subordinate_to` but excluding equal length."""
@@ -232,17 +332,13 @@ class ContextName:
         ``*`` components are preserved (they keep aggregating across
         instances).  ``instance`` must match this policy context.
         """
-        if not instance.is_equal_or_subordinate_to(self):
+        if not self.matcher.matches(instance):
             raise ContextNameError(
                 f"instance {instance} does not match policy context {self}"
             )
-        bound = []
-        for pol_comp, inst_comp in zip(self._components, instance.components):
-            if pol_comp.is_per_instance:
-                bound.append(inst_comp)
-            else:
-                bound.append(pol_comp)
-        return ContextName(bound)
+        if not any(comp.is_per_instance for comp in self._components):
+            return self  # nothing to re-bind; '*' components stay as-is
+        return _instantiate_interned(self, instance)
 
     # ------------------------------------------------------------------
     # Value semantics
@@ -253,13 +349,44 @@ class ContextName:
         return self._components == other._components
 
     def __hash__(self) -> int:
-        return hash(self._components)
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._components)
+        return value
 
     def __str__(self) -> str:
-        return ", ".join(str(comp) for comp in self._components)
+        text = self._str
+        if text is None:
+            text = self._str = ", ".join(
+                f"{comp.ctx_type}={comp.value}" for comp in self._components
+            )
+        return text
 
     def __repr__(self) -> str:
         return f"ContextName.parse({str(self)!r})"
+
+
+#: The interned universal context returned by ``parse("")`` / ``root()``.
+_ROOT = ContextName()
+
+
+@lru_cache(maxsize=8192)
+def _instantiate_interned(
+    policy: ContextName, instance: ContextName
+) -> ContextName:
+    """Re-bind ``!`` components, memoized on the (policy, instance) pair.
+
+    Request streams revisit a small set of context instances per policy,
+    so the effective-context computation repeats verbatim; both inputs
+    are immutable with memoized hashes, making the cache key cheap.
+    """
+    bound = []
+    for pol_comp, inst_comp in zip(policy.components, instance.components):
+        if pol_comp.is_per_instance:
+            bound.append(inst_comp)
+        else:
+            bound.append(pol_comp)
+    return ContextName(bound)
 
 
 def common_supercontext(names: Sequence[ContextName]) -> ContextName:

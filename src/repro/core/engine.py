@@ -39,10 +39,12 @@ from repro.core.decision import (
 from repro.core.policy import MSoDPolicy, MSoDPolicySet
 from repro.core.retained_adi import (
     ADIMutation,
+    ADIViewSnapshot,
     RetainedADIRecord,
     RetainedADIStore,
 )
 from repro.errors import PolicyError
+from repro.perf import NOOP, PerfRecorder
 
 #: Evaluation modes (see module docstring).
 MODE_STRICT = "strict"
@@ -57,12 +59,14 @@ class MSoDEngine:
         policy_set: MSoDPolicySet,
         store: RetainedADIStore,
         mode: str = MODE_STRICT,
+        perf: PerfRecorder | None = None,
     ) -> None:
         if mode not in (MODE_STRICT, MODE_LITERAL):
             raise PolicyError(f"unknown engine mode {mode!r}")
         self._policy_set = policy_set
         self._store = store
         self._mode = mode
+        self._perf = perf if perf is not None else NOOP
 
     # ------------------------------------------------------------------
     @property
@@ -77,6 +81,10 @@ class MSoDEngine:
     def mode(self) -> str:
         return self._mode
 
+    @property
+    def perf(self) -> PerfRecorder:
+        return self._perf
+
     def replace_policy_set(self, policy_set: MSoDPolicySet) -> None:
         """Swap in a new policy set (PDP re-initialisation)."""
         self._policy_set = policy_set
@@ -84,24 +92,45 @@ class MSoDEngine:
     # ------------------------------------------------------------------
     def check(self, request: DecisionRequest) -> Decision:
         """Run the Section 4.2 algorithm for one interim-granted request."""
+        perf = self._perf
+        timing = perf.enabled
+        started = perf.start() if timing else 0.0
+        perf.incr("engine.requests")
+
         # Step 1: match the input business-context instance against the
         # business contexts in the MSoD set of policies.
         matched_policies = self._policy_set.matching(request.context_instance)
+        if timing:
+            perf.stop("engine.policy_match", started)
         if not matched_policies:
+            perf.incr("engine.grants")
+            perf.incr("engine.no_policy_matched")
+            if timing:
+                perf.stop("engine.check", started)
             return Decision(
                 effect=Effect.GRANT,
                 request=request,
                 reason="no MSoD policy matches the business context",
             )
+        perf.incr("engine.policies_matched", len(matched_policies))
 
         mutation = ADIMutation()
         matched_ids = tuple(policy.policy_id for policy in matched_policies)
+        # One memoizing snapshot per request: the store is not mutated
+        # until commit, so MMER/MMEP checks across all matched policies
+        # share each (user, effective-context) history view.
+        views = self._store.snapshot_views()
 
         # Step 2: for each matched MSoD policy...
+        eval_started = perf.start() if timing else 0.0
         for policy in matched_policies:
-            violation = self._evaluate_policy(policy, request, mutation)
+            violation = self._evaluate_policy(policy, request, mutation, views)
             if violation is not None:
                 # Deny: discard the buffered mutation entirely.
+                perf.incr("engine.denies")
+                if timing:
+                    perf.stop("engine.constraint_eval", eval_started)
+                    perf.stop("engine.check", started)
                 return Decision(
                     effect=Effect.DENY,
                     request=request,
@@ -109,8 +138,17 @@ class MSoDEngine:
                     matched_policy_ids=matched_ids,
                     reason=violation.detail,
                 )
+        if timing:
+            perf.stop("engine.constraint_eval", eval_started)
 
+        commit_started = perf.start() if timing else 0.0
         records_purged = self._commit(mutation)
+        if timing:
+            perf.stop("engine.commit", commit_started)
+            perf.stop("engine.check", started)
+        perf.incr("engine.grants")
+        perf.incr("engine.records_added", len(mutation.adds))
+        perf.incr("engine.records_purged", records_purged)
         return Decision(
             effect=Effect.GRANT,
             request=request,
@@ -128,6 +166,7 @@ class MSoDEngine:
         policy: MSoDPolicy,
         request: DecisionRequest,
         mutation: ADIMutation,
+        views: ADIViewSnapshot,
     ) -> MSoDViolation | None:
         """Steps 3-7 for one matched policy.
 
@@ -142,7 +181,7 @@ class MSoDEngine:
 
         # Step 3: does the retained ADI already hold records for this
         # effective policy context?
-        context_started = self._store.has_context(effective_context)
+        context_started = views.has_context(effective_context)
 
         if not context_started:
             # Step 4: the context has not started.  If the request is the
@@ -164,7 +203,7 @@ class MSoDEngine:
         # Step 5: MMER constraints.
         for mmer in policy.mmers:
             violation = self._check_mmer(
-                mmer, policy, request, effective_context, pending
+                mmer, policy, request, effective_context, pending, views
             )
             if violation is not None:
                 return violation
@@ -172,7 +211,7 @@ class MSoDEngine:
         # Step 6: MMEP constraints.
         for mmep in policy.mmeps:
             violation = self._check_mmep(
-                mmep, policy, request, effective_context, pending
+                mmep, policy, request, effective_context, pending, views
             )
             if violation is not None:
                 return violation
@@ -188,6 +227,7 @@ class MSoDEngine:
         request: DecisionRequest,
         effective_context: ContextName,
         pending: list[RetainedADIRecord],
+        views: ADIViewSnapshot,
     ) -> MSoDViolation | None:
         # 5.i: match activated role(s) against MMER role(s).
         matched = mmer.matched_roles(request.roles)
@@ -197,7 +237,7 @@ class MSoDEngine:
         # 5.iii: count remaining MMER roles present in the user's history
         # for this policy context.
         remaining = mmer.remaining_roles(matched)
-        historic = self._store.user_roles(request.user_id, effective_context)
+        historic = views.user_roles(request.user_id, effective_context)
         count = len(remaining & historic)
         # 5.iv: grant-and-record or deny.
         if count < mmer.forbidden_cardinality - len(matched):
@@ -227,6 +267,7 @@ class MSoDEngine:
         request: DecisionRequest,
         effective_context: ContextName,
         pending: list[RetainedADIRecord],
+        views: ADIViewSnapshot,
     ) -> MSoDViolation | None:
         # 6.i: match requested operation and target against MMEP
         # privilege(s).
@@ -236,7 +277,7 @@ class MSoDEngine:
         # 6.iii: ignoring one occurrence of the matched privilege, count
         # remaining MMEP entries matching the user's exercise history.
         remaining = mmep.remaining_privileges(request.privilege)
-        history = self._store.user_privilege_exercises(
+        history = views.user_privilege_exercise_counts(
             request.user_id, effective_context
         )
         count = count_history_matches(remaining, history)

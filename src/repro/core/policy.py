@@ -150,9 +150,17 @@ class MSoDPolicy:
 
 
 class MSoDPolicySet:
-    """The ordered set of MSoD policies enforced by a PDP."""
+    """The ordered set of MSoD policies enforced by a PDP.
 
-    __slots__ = ("_policies",)
+    Policies are indexed by the *leading component type* of their
+    business context: an instance ``T=v, ...`` can only match policies
+    whose context is empty (the universal context) or starts with type
+    ``T``.  Request dispatch therefore consults one precomputed bucket
+    instead of scanning the whole set — with many policies over disjoint
+    business processes, most are skipped without a single comparison.
+    """
+
+    __slots__ = ("_policies", "_root_policies", "_by_leading_type")
 
     def __init__(self, policies: Iterable[MSoDPolicy] = ()) -> None:
         policy_tuple = tuple(policies)
@@ -160,6 +168,26 @@ class MSoDPolicySet:
         if len(set(ids)) != len(ids):
             raise PolicyError("duplicate policy ids in MSoDPolicySet")
         self._policies = policy_tuple
+        self._root_policies = tuple(
+            policy for policy in policy_tuple if policy.business_context.is_root
+        )
+        leading_types = {
+            policy.business_context[0].ctx_type
+            for policy in policy_tuple
+            if not policy.business_context.is_root
+        }
+        # Per leading type: universal-context policies merged back in,
+        # preserving the original policy order ("all policies apply and
+        # are selected" must report matches in set order).
+        self._by_leading_type = {
+            ctx_type: tuple(
+                policy
+                for policy in policy_tuple
+                if policy.business_context.is_root
+                or policy.business_context[0].ctx_type == ctx_type
+            )
+            for ctx_type in leading_types
+        }
 
     @property
     def policies(self) -> tuple[MSoDPolicy, ...]:
@@ -171,6 +199,14 @@ class MSoDPolicySet:
     def __len__(self) -> int:
         return len(self._policies)
 
+    def _candidates(self, instance: ContextName) -> tuple[MSoDPolicy, ...]:
+        """The leading-type bucket that could possibly match ``instance``."""
+        if instance.is_root:
+            return self._root_policies
+        return self._by_leading_type.get(
+            instance[0].ctx_type, self._root_policies
+        )
+
     def matching(self, instance: ContextName) -> tuple[MSoDPolicy, ...]:
         """All policies whose context the instance is equal/subordinate to.
 
@@ -178,7 +214,9 @@ class MSoDPolicySet:
         are selected."
         """
         return tuple(
-            policy for policy in self._policies if policy.applies_to(instance)
+            policy
+            for policy in self._candidates(instance)
+            if policy.applies_to(instance)
         )
 
     def get(self, policy_id: str) -> MSoDPolicy:
@@ -189,7 +227,10 @@ class MSoDPolicySet:
 
     def is_relevant(self, instance: ContextName) -> bool:
         """True when some policy applies to the given context instance."""
-        return any(policy.applies_to(instance) for policy in self._policies)
+        return any(
+            policy.applies_to(instance)
+            for policy in self._candidates(instance)
+        )
 
     def extended(self, policies: Sequence[MSoDPolicy]) -> "MSoDPolicySet":
         """A new policy set with ``policies`` appended."""

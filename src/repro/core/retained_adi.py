@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -105,6 +106,315 @@ class ADIMutation:
         return not self.adds and not self.purge_contexts
 
 
+class _ContextBucket:
+    """Incremental aggregates for one ``(user, concrete-context)`` pair.
+
+    The engine's hot queries — which roles has this user activated, and
+    which privileges has it exercised, within an effective policy context
+    — are answered from aggregates maintained on ``add``/``remove``
+    instead of rebuilt by scanning records:
+
+    * ``role_counts`` — multiset of activated roles (counts support
+      exact deletion on purge).
+    * ``exercises`` — per ``request_id``, the ``(record_id, privilege)``
+      of the *earliest* record of that request: step 5.iv stores one
+      record per matched role, but they count as a single privilege
+      exercise.
+    """
+
+    __slots__ = ("records", "role_counts", "req_privileges", "exercises")
+
+    def __init__(self) -> None:
+        self.records: dict[int, RetainedADIRecord] = {}
+        self.role_counts: Counter = Counter()
+        self.req_privileges: dict[str, dict[int, Privilege]] = {}
+        self.exercises: dict[str, tuple[int, Privilege]] = {}
+
+    def add(self, record: RetainedADIRecord) -> None:
+        record_id = record.record_id
+        privilege = record.privilege
+        self.records[record_id] = record
+        self.role_counts.update(record.roles)
+        per_request = self.req_privileges.setdefault(record.request_id, {})
+        per_request[record_id] = privilege
+        first = self.exercises.get(record.request_id)
+        if first is None or record_id < first[0]:
+            self.exercises[record.request_id] = (record_id, privilege)
+
+    def remove(self, record: RetainedADIRecord) -> None:
+        record_id = record.record_id
+        del self.records[record_id]
+        counts = self.role_counts
+        for role in record.roles:
+            left = counts[role] - 1
+            if left:
+                counts[role] = left
+            else:
+                del counts[role]
+        per_request = self.req_privileges[record.request_id]
+        del per_request[record_id]
+        if not per_request:
+            del self.req_privileges[record.request_id]
+            del self.exercises[record.request_id]
+        elif self.exercises[record.request_id][0] == record_id:
+            first_id = min(per_request)
+            self.exercises[record.request_id] = (first_id, per_request[first_id])
+
+
+class _UserContextIndex:
+    """Records bucketed by ``(user, concrete context instance)``.
+
+    The number of distinct concrete instances (and of instances any one
+    user has touched) is tiny compared to the record count, so
+    context-scoped queries walk a handful of buckets — each answering
+    from its incremental aggregates — instead of scanning every record.
+
+    Both store backends share this structure: the in-memory store uses
+    it as its primary index, the SQLite store as a lazily built cache
+    kept in lock-step with the table.
+
+    Two query memos amortise context matching *across* requests (the
+    per-request :class:`ADIViewSnapshot` only dedupes within one):
+
+    * ``_presence`` — effective context → "any matching bucket exists".
+      Adding a new concrete context can only flip ``False`` entries to
+      ``True`` (checked incrementally against the one new context);
+      deleting a context can only stale ``True`` entries, which are
+      dropped for lazy recomputation.
+    * ``_user_cache`` — per user, effective context → list of matching
+      buckets.  A user's new bucket is appended to the matching cached
+      lists; any bucket deletion simply drops that user's cache
+      (deletions are rare — context termination or admin purges).
+    """
+
+    __slots__ = ("_by_context", "_by_user", "_presence", "_user_cache")
+
+    #: Memo-size guards: effective contexts are policy-derived and few,
+    #: but an adversarial query stream must not grow the memos unboundedly.
+    _PRESENCE_LIMIT = 4096
+    _USER_CACHE_LIMIT = 1024
+
+    def __init__(self) -> None:
+        self._by_context: dict[ContextName, dict[str, _ContextBucket]] = {}
+        self._by_user: dict[str, dict[ContextName, _ContextBucket]] = {}
+        self._presence: dict[ContextName, bool] = {}
+        self._user_cache: dict[
+            str, dict[ContextName, list[_ContextBucket]]
+        ] = {}
+
+    # -- maintenance ---------------------------------------------------
+    def add(self, record: RetainedADIRecord) -> None:
+        context = record.context_instance
+        user_id = record.user_id
+        user_buckets = self._by_user.setdefault(user_id, {})
+        bucket = user_buckets.get(context)
+        if bucket is None:
+            bucket = user_buckets[context] = _ContextBucket()
+            by_users = self._by_context.get(context)
+            if by_users is None:
+                by_users = self._by_context[context] = {}
+                presence = self._presence
+                if presence:
+                    # A new concrete context can only turn absent
+                    # effective contexts present, never the reverse.
+                    for effective, present in presence.items():
+                        if not present and effective.matcher.matches(context):
+                            presence[effective] = True
+            by_users[user_id] = bucket
+            cache = self._user_cache.get(user_id)
+            if cache:
+                for effective, buckets in cache.items():
+                    if effective.matcher.matches(context):
+                        buckets.append(bucket)
+        bucket.add(record)
+
+    def remove(self, record: RetainedADIRecord) -> None:
+        context = record.context_instance
+        user_id = record.user_id
+        bucket = self._by_user[user_id][context]
+        bucket.remove(record)
+        if not bucket.records:
+            del self._by_user[user_id][context]
+            if not self._by_user[user_id]:
+                del self._by_user[user_id]
+            del self._by_context[context][user_id]
+            if not self._by_context[context]:
+                del self._by_context[context]
+                self._forget_context(context)
+            self._user_cache.pop(user_id, None)
+
+    def remove_user(self, user_id: str) -> list[RetainedADIRecord]:
+        """Drop every bucket of one user, returning the removed records."""
+        removed: list[RetainedADIRecord] = []
+        self._user_cache.pop(user_id, None)
+        for context, bucket in self._by_user.pop(user_id, {}).items():
+            removed.extend(bucket.records.values())
+            del self._by_context[context][user_id]
+            if not self._by_context[context]:
+                del self._by_context[context]
+                self._forget_context(context)
+        return removed
+
+    def clear(self) -> None:
+        self._by_context.clear()
+        self._by_user.clear()
+        self._presence.clear()
+        self._user_cache.clear()
+
+    def _forget_context(self, context: ContextName) -> None:
+        """Invalidate presence entries staled by a vanished context.
+
+        Only ``True`` entries that matched the vanished context can have
+        changed; they are recomputed lazily on the next query.
+        """
+        presence = self._presence
+        if not presence:
+            return
+        stale = [
+            effective
+            for effective, present in presence.items()
+            if present and effective.matcher.matches(context)
+        ]
+        for effective in stale:
+            del presence[effective]
+
+    # -- queries -------------------------------------------------------
+    def matching_contexts(
+        self, effective_context: ContextName
+    ) -> list[ContextName]:
+        matches = effective_context.matcher.matches
+        return [context for context in self._by_context if matches(context)]
+
+    def has_context(self, effective_context: ContextName) -> bool:
+        presence = self._presence
+        present = presence.get(effective_context)
+        if present is None:
+            if len(presence) >= self._PRESENCE_LIMIT:
+                presence.clear()
+            matches = effective_context.matcher.matches
+            present = presence[effective_context] = any(
+                matches(context) for context in self._by_context
+            )
+        return present
+
+    def context_records(
+        self, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        found: list[RetainedADIRecord] = []
+        for context in self.matching_contexts(effective_context):
+            for bucket in self._by_context[context].values():
+                found.extend(bucket.records.values())
+        found.sort(key=lambda record: record.record_id)
+        return found
+
+    def _user_matching_buckets(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[_ContextBucket]:
+        user_buckets = self._by_user.get(user_id)
+        if not user_buckets:
+            return []
+        cache = self._user_cache.setdefault(user_id, {})
+        buckets = cache.get(effective_context)
+        if buckets is None:
+            if len(cache) >= self._USER_CACHE_LIMIT:
+                cache.clear()
+            matches = effective_context.matcher.matches
+            buckets = cache[effective_context] = [
+                bucket
+                for context, bucket in user_buckets.items()
+                if matches(context)
+            ]
+        return buckets
+
+    def user_records(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        found: list[RetainedADIRecord] = []
+        for bucket in self._user_matching_buckets(user_id, effective_context):
+            found.extend(bucket.records.values())
+        found.sort(key=lambda record: record.record_id)
+        return found
+
+    def user_roles(
+        self, user_id: str, effective_context: ContextName
+    ) -> frozenset[Role]:
+        roles: set[Role] = set()
+        for bucket in self._user_matching_buckets(user_id, effective_context):
+            roles.update(bucket.role_counts)
+        return frozenset(roles)
+
+    def user_privilege_exercises(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[Privilege]:
+        buckets = self._user_matching_buckets(user_id, effective_context)
+        entries: list[tuple[int, str, Privilege]] = []
+        for bucket in buckets:
+            entries.extend(
+                (record_id, request_id, privilege)
+                for request_id, (record_id, privilege) in bucket.exercises.items()
+            )
+        entries.sort()
+        seen_requests: set[str] = set()
+        exercises: list[Privilege] = []
+        for _, request_id, privilege in entries:
+            if request_id in seen_requests:
+                continue
+            seen_requests.add(request_id)
+            exercises.append(privilege)
+        return exercises
+
+
+class ADIViewSnapshot:
+    """A per-request memo over one store's engine-facing views.
+
+    One MSoD check may consult the same ``(user, effective-context)``
+    view several times — once per MMER/MMEP across every matched policy
+    — and the store is not mutated until the final decision commits, so
+    within a single ``check`` the answers cannot change.  The engine
+    takes one snapshot per request and routes all reads through it.
+    """
+
+    __slots__ = ("_store", "_has_context", "_roles", "_exercise_counts")
+
+    def __init__(self, store: "RetainedADIStore") -> None:
+        self._store = store
+        self._has_context: dict[ContextName, bool] = {}
+        self._roles: dict[tuple[str, ContextName], frozenset[Role]] = {}
+        self._exercise_counts: dict[tuple[str, ContextName], Counter] = {}
+
+    def has_context(self, effective_context: ContextName) -> bool:
+        memo = self._has_context
+        started = memo.get(effective_context)
+        if started is None:
+            started = memo[effective_context] = self._store.has_context(
+                effective_context
+            )
+        return started
+
+    def user_roles(
+        self, user_id: str, effective_context: ContextName
+    ) -> frozenset[Role]:
+        key = (user_id, effective_context)
+        roles = self._roles.get(key)
+        if roles is None:
+            roles = self._roles[key] = self._store.user_roles(
+                user_id, effective_context
+            )
+        return roles
+
+    def user_privilege_exercise_counts(
+        self, user_id: str, effective_context: ContextName
+    ) -> Counter:
+        """Multiset of historical exercises (one per distinct request)."""
+        key = (user_id, effective_context)
+        counts = self._exercise_counts.get(key)
+        if counts is None:
+            counts = self._exercise_counts[key] = Counter(
+                self._store.user_privilege_exercises(user_id, effective_context)
+            )
+        return counts
+
+
 class RetainedADIStore:
     """Abstract interface every retained-ADI backend implements."""
 
@@ -173,6 +483,15 @@ class RetainedADIStore:
         return purged
 
     # Helper views used by the engine --------------------------------
+    def snapshot_views(self) -> ADIViewSnapshot:
+        """A memoizing view over this store for one decision request.
+
+        Valid only while the store is not mutated — exactly the window
+        the engine needs, since a decision buffers its mutation and
+        commits after evaluation finishes.
+        """
+        return ADIViewSnapshot(self)
+
     def user_roles(
         self, user_id: str, effective_context: ContextName
     ) -> frozenset[Role]:
@@ -205,17 +524,20 @@ class RetainedADIStore:
 class InMemoryRetainedADIStore(RetainedADIStore):
     """Retained ADI held in memory (paper Section 5.2).
 
-    Records are indexed by user and by concrete context instance: the
-    number of *distinct* active context instances is tiny compared to
-    the record count, so context-scoped queries (the hot path of
-    algorithm steps 3 and 7) touch only the matching instances' buckets
-    instead of scanning every record.
+    Records live in per-``(user, context-instance)`` buckets
+    (:class:`_UserContextIndex`): the number of *distinct* active
+    context instances is tiny compared to the record count, so
+    context-scoped queries (the hot path of algorithm steps 3 and 7)
+    touch only the matching buckets, and the engine's role/privilege
+    history views are answered from aggregates maintained incrementally
+    on ``add``/purge instead of per-query scans.  Deleting a record
+    fully unlinks it from every index, so long-lived users do not
+    accumulate stale entries.
     """
 
     def __init__(self, records: Iterable[RetainedADIRecord] = ()) -> None:
         self._records: dict[int, RetainedADIRecord] = {}
-        self._by_user: dict[str, list[int]] = {}
-        self._by_context: dict[ContextName, set[int]] = {}
+        self._index = _UserContextIndex()
         self._next_id = 1
         for record in records:
             self.add(record)
@@ -232,98 +554,69 @@ class InMemoryRetainedADIStore(RetainedADIStore):
             record_id=self._next_id,
         )
         self._records[self._next_id] = stored
-        self._by_user.setdefault(record.user_id, []).append(self._next_id)
-        self._by_context.setdefault(record.context_instance, set()).add(
-            self._next_id
-        )
+        self._index.add(stored)
         self._next_id += 1
         return stored
 
     def records(self) -> Iterator[RetainedADIRecord]:
         return iter(list(self._records.values()))
 
-    def _matching_contexts(
-        self, effective_context: ContextName
-    ) -> list[ContextName]:
-        return [
-            context
-            for context in self._by_context
-            if context.is_equal_or_subordinate_to(effective_context)
-        ]
-
     def find(self, effective_context: ContextName) -> list[RetainedADIRecord]:
-        found = []
-        for context in self._matching_contexts(effective_context):
-            found.extend(
-                self._records[record_id]
-                for record_id in self._by_context[context]
-            )
-        found.sort(key=lambda record: record.record_id)
-        return found
+        return self._index.context_records(effective_context)
 
     def find_user(
         self, user_id: str, effective_context: ContextName
     ) -> list[RetainedADIRecord]:
-        ids = self._by_user.get(user_id, ())
-        return [
-            self._records[record_id]
-            for record_id in ids
-            if record_id in self._records
-            and self._records[record_id].in_context(effective_context)
-        ]
+        return self._index.user_records(user_id, effective_context)
 
     def has_context(self, effective_context: ContextName) -> bool:
-        return any(
-            context.is_equal_or_subordinate_to(effective_context)
-            for context in self._by_context
-        )
+        return self._index.has_context(effective_context)
 
-    def _delete(self, record_id: int) -> None:
-        record = self._records.pop(record_id)
-        bucket = self._by_context.get(record.context_instance)
-        if bucket is not None:
-            bucket.discard(record_id)
-            if not bucket:
-                del self._by_context[record.context_instance]
+    def _delete(self, record: RetainedADIRecord) -> None:
+        del self._records[record.record_id]
+        self._index.remove(record)
 
     def purge_context(self, effective_context: ContextName) -> int:
-        doomed = [
-            record_id
-            for context in self._matching_contexts(effective_context)
-            for record_id in list(self._by_context[context])
-        ]
-        for record_id in doomed:
-            self._delete(record_id)
+        doomed = self._index.context_records(effective_context)
+        for record in doomed:
+            self._delete(record)
         return len(doomed)
 
     def purge_user(self, user_id: str) -> int:
-        ids = self._by_user.pop(user_id, [])
-        removed = 0
-        for record_id in ids:
-            if record_id in self._records:
-                self._delete(record_id)
-                removed += 1
-        return removed
+        removed = self._index.remove_user(user_id)
+        for record in removed:
+            del self._records[record.record_id]
+        return len(removed)
 
     def purge_older_than(self, cutoff: float) -> int:
         doomed = [
-            record_id
-            for record_id, record in self._records.items()
+            record
+            for record in self._records.values()
             if record.granted_at < cutoff
         ]
-        for record_id in doomed:
-            self._delete(record_id)
+        for record in doomed:
+            self._delete(record)
         return len(doomed)
 
     def clear(self) -> int:
         removed = len(self._records)
         self._records.clear()
-        self._by_user.clear()
-        self._by_context.clear()
+        self._index.clear()
         return removed
 
     def count(self) -> int:
         return len(self._records)
+
+    # Aggregate-backed engine views ----------------------------------
+    def user_roles(
+        self, user_id: str, effective_context: ContextName
+    ) -> frozenset[Role]:
+        return self._index.user_roles(user_id, effective_context)
+
+    def user_privilege_exercises(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[Privilege]:
+        return self._index.user_privilege_exercises(user_id, effective_context)
 
 
 class SQLiteRetainedADIStore(RetainedADIStore):
@@ -334,6 +627,15 @@ class SQLiteRetainedADIStore(RetainedADIStore):
     prefix query, so candidate rows are narrowed by user where possible
     and matched in Python; this keeps semantics identical across
     backends.
+
+    Two layers keep the Python-side matching off the hot path:
+
+    * a row→record cache — rows are immutable once inserted, so each is
+      deserialised (JSON + context parse) at most once per process;
+    * the same :class:`_UserContextIndex` of incremental aggregates the
+      in-memory store uses, built lazily from the table on the first
+      history query and then maintained in lock-step with every
+      mutation, all of which happen under this store's lock.
     """
 
     def __init__(self, path: str = ":memory:") -> None:
@@ -343,6 +645,8 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             raise StoreError(f"cannot open retained-ADI database {path!r}") from exc
         self._lock = threading.Lock()
         self._closed = False
+        self._row_cache: dict[int, RetainedADIRecord] = {}
+        self._index: _UserContextIndex | None = None
         self._conn.execute(
             """
             CREATE TABLE IF NOT EXISTS retained_adi (
@@ -411,12 +715,52 @@ class SQLiteRetainedADIStore(RetainedADIStore):
                 ),
             )
             self._conn.commit()
-            record_id = cursor.lastrowid
-        return RetainedADIRecord.from_dict(record.to_dict(), record_id=record_id)
+            stored = RetainedADIRecord.from_dict(
+                record.to_dict(), record_id=cursor.lastrowid
+            )
+            self._admit_locked(stored)
+        return stored
+
+    # -- cache/index maintenance (call with the lock held) -------------
+    def _admit_locked(self, record: RetainedADIRecord) -> None:
+        self._row_cache[record.record_id] = record
+        if self._index is not None:
+            self._index.add(record)
+
+    def _evict_locked(self, records: Iterable[RetainedADIRecord]) -> None:
+        for record in records:
+            self._row_cache.pop(record.record_id, None)
+            if self._index is not None:
+                self._index.remove(record)
+
+    def _record_from_row(self, record_id: int, payload: str) -> RetainedADIRecord:
+        """Deserialise a row once; later lookups hit the cache.
+
+        Safe because rows are immutable: ``record_id`` is an
+        AUTOINCREMENT key, never reused or updated in place.
+        """
+        record = self._row_cache.get(record_id)
+        if record is None:
+            record = RetainedADIRecord.from_dict(
+                json.loads(payload), record_id=record_id
+            )
+            self._row_cache[record_id] = record
+        return record
+
+    def _ensure_index_locked(self) -> _UserContextIndex:
+        if self._index is None:
+            index = _UserContextIndex()
+            rows = self._conn.execute(
+                "SELECT record_id, payload FROM retained_adi ORDER BY record_id"
+            ).fetchall()
+            for record_id, payload in rows:
+                index.add(self._record_from_row(record_id, payload))
+            self._index = index
+        return self._index
 
     def _rows_to_records(self, rows: Iterable[tuple]) -> list[RetainedADIRecord]:
         return [
-            RetainedADIRecord.from_dict(json.loads(payload), record_id=record_id)
+            self._record_from_row(record_id, payload)
             for record_id, payload in rows
         ]
 
@@ -467,57 +811,92 @@ class SQLiteRetainedADIStore(RetainedADIStore):
 
     def has_context(self, effective_context: ContextName) -> bool:
         self._ensure_open()
-        pattern = self._context_like_pattern(effective_context)
         with self._lock:
-            cursor = self._conn.execute(
-                "SELECT context FROM retained_adi"
-                " WHERE context LIKE ? ESCAPE '\\'",
-                (pattern,),
+            # Answered from the lock-step index (with its cross-request
+            # presence memo) rather than a per-call SQL DISTINCT scan.
+            return self._ensure_index_locked().has_context(effective_context)
+
+    def _doomed_in_context_locked(
+        self, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        """Records matching a purge context, selected under the lock.
+
+        Candidate selection MUST happen inside the same locked
+        transaction as the deletes: selecting first and locking later
+        would let a concurrent ``add`` slip a matching record in between
+        and survive the purge.
+        """
+        pattern = self._context_like_pattern(effective_context)
+        rows = self._conn.execute(
+            "SELECT record_id, payload FROM retained_adi"
+            " WHERE context LIKE ? ESCAPE '\\' ORDER BY record_id",
+            (pattern,),
+        ).fetchall()
+        matches = effective_context.matcher.matches
+        return [
+            record
+            for record in (
+                self._record_from_row(record_id, payload)
+                for record_id, payload in rows
             )
-            # Lazy scan with early exit: the LIKE prefilter rarely admits
-            # false positives, so the first candidate usually decides.
-            for (context,) in cursor:
-                if ContextName.parse(context).is_equal_or_subordinate_to(
-                    effective_context
-                ):
-                    return True
-        return False
+            if matches(record.context_instance)
+        ]
 
     def purge_context(self, effective_context: ContextName) -> int:
-        doomed = [record.record_id for record in self.find(effective_context)]
-        if not doomed:
-            return 0
+        self._ensure_open()
         with self._lock:
-            self._conn.executemany(
-                "DELETE FROM retained_adi WHERE record_id = ?",
-                [(record_id,) for record_id in doomed],
-            )
-            self._conn.commit()
+            with self._conn:
+                doomed = self._doomed_in_context_locked(effective_context)
+                self._conn.executemany(
+                    "DELETE FROM retained_adi WHERE record_id = ?",
+                    [(record.record_id,) for record in doomed],
+                )
+            self._evict_locked(doomed)
         return len(doomed)
 
     def purge_user(self, user_id: str) -> int:
         self._ensure_open()
         with self._lock:
-            cursor = self._conn.execute(
-                "DELETE FROM retained_adi WHERE user_id = ?", (user_id,)
-            )
-            self._conn.commit()
-        return cursor.rowcount
+            with self._conn:
+                rows = self._conn.execute(
+                    "SELECT record_id FROM retained_adi WHERE user_id = ?",
+                    (user_id,),
+                ).fetchall()
+                self._conn.execute(
+                    "DELETE FROM retained_adi WHERE user_id = ?", (user_id,)
+                )
+            for (record_id,) in rows:
+                self._row_cache.pop(record_id, None)
+            if self._index is not None:
+                self._index.remove_user(user_id)
+        return len(rows)
 
     def purge_older_than(self, cutoff: float) -> int:
         self._ensure_open()
         with self._lock:
-            cursor = self._conn.execute(
-                "DELETE FROM retained_adi WHERE granted_at < ?", (cutoff,)
+            with self._conn:
+                rows = self._conn.execute(
+                    "SELECT record_id, payload FROM retained_adi"
+                    " WHERE granted_at < ?",
+                    (cutoff,),
+                ).fetchall()
+                self._conn.execute(
+                    "DELETE FROM retained_adi WHERE granted_at < ?", (cutoff,)
+                )
+            self._evict_locked(
+                self._record_from_row(record_id, payload)
+                for record_id, payload in rows
             )
-            self._conn.commit()
-        return cursor.rowcount
+        return len(rows)
 
     def clear(self) -> int:
         self._ensure_open()
         with self._lock:
             cursor = self._conn.execute("DELETE FROM retained_adi")
             self._conn.commit()
+            self._row_cache.clear()
+            if self._index is not None:
+                self._index.clear()
         return cursor.rowcount
 
     def count(self) -> int:
@@ -533,38 +912,69 @@ class SQLiteRetainedADIStore(RetainedADIStore):
 
         A decision's purges and adds either all land or none do, even if
         the process dies mid-commit — the property the audit-trail
-        recovery path otherwise has to repair.
+        recovery path otherwise has to repair.  Candidate selection for
+        the purges happens *inside* the transaction (no
+        select-then-lock window), and the batched adds share the single
+        commit instead of paying one fsync each.
         """
         self._ensure_open()
-        doomed = [
-            record.record_id
-            for context in mutation.purge_contexts
-            for record in self.find(context)
-        ]
         with self._lock:
+            purged = 0
+            evicted: dict[int, RetainedADIRecord] = {}
+            added: list[RetainedADIRecord] = []
             try:
                 with self._conn:  # implicit BEGIN ... COMMIT/ROLLBACK
+                    for context in mutation.purge_contexts:
+                        doomed = self._doomed_in_context_locked(context)
+                        purged += len(doomed)
+                        for record in doomed:
+                            evicted.setdefault(record.record_id, record)
                     self._conn.executemany(
                         "DELETE FROM retained_adi WHERE record_id = ?",
-                        [(record_id,) for record_id in doomed],
+                        [(record_id,) for record_id in evicted],
                     )
-                    self._conn.executemany(
-                        "INSERT INTO retained_adi"
-                        " (user_id, context, payload, granted_at)"
-                        " VALUES (?, ?, ?, ?)",
-                        [
+                    for record in mutation.adds:
+                        cursor = self._conn.execute(
+                            "INSERT INTO retained_adi"
+                            " (user_id, context, payload, granted_at)"
+                            " VALUES (?, ?, ?, ?)",
                             (
                                 record.user_id,
                                 str(record.context_instance),
                                 json.dumps(record.to_dict(), sort_keys=True),
                                 record.granted_at,
+                            ),
+                        )
+                        added.append(
+                            RetainedADIRecord.from_dict(
+                                record.to_dict(), record_id=cursor.lastrowid
                             )
-                            for record in mutation.adds
-                        ],
-                    )
+                        )
             except sqlite3.Error as exc:
                 raise StoreError(f"mutation failed atomically: {exc}") from exc
-        return len(doomed)
+            self._evict_locked(evicted.values())
+            for record in added:
+                self._admit_locked(record)
+        return purged
+
+    # Aggregate-backed engine views ----------------------------------
+    def user_roles(
+        self, user_id: str, effective_context: ContextName
+    ) -> frozenset[Role]:
+        self._ensure_open()
+        with self._lock:
+            return self._ensure_index_locked().user_roles(
+                user_id, effective_context
+            )
+
+    def user_privilege_exercises(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[Privilege]:
+        self._ensure_open()
+        with self._lock:
+            return self._ensure_index_locked().user_privilege_exercises(
+                user_id, effective_context
+            )
 
     def close(self) -> None:
         if not self._closed:

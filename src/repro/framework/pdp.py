@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 from repro.core.constraints import Privilege, Role
 from repro.core.decision import Decision, DecisionRequest, Effect
 from repro.core.engine import MSoDEngine
+from repro.perf import NOOP, PerfRecorder
 
 
 class PolicyDecisionPoint:
@@ -54,10 +55,14 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
     """RBAC interim check, then the Section 4.2 MSoD algorithm."""
 
     def __init__(
-        self, access_policy: RoleTargetAccessPolicy, msod_engine: MSoDEngine
+        self,
+        access_policy: RoleTargetAccessPolicy,
+        msod_engine: MSoDEngine,
+        perf: PerfRecorder | None = None,
     ) -> None:
         self._access_policy = access_policy
         self._msod = msod_engine
+        self._perf = perf if perf is not None else NOOP
 
     @property
     def msod_engine(self) -> MSoDEngine:
@@ -67,8 +72,19 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
     def access_policy(self) -> RoleTargetAccessPolicy:
         return self._access_policy
 
+    @property
+    def perf(self) -> PerfRecorder:
+        return self._perf
+
     def decide(self, request: DecisionRequest) -> Decision:
+        perf = self._perf
+        timing = perf.enabled
+        started = perf.start() if timing else 0.0
+        perf.incr("pdp.requests")
         if not self._access_policy.permits(request.roles, request.privilege):
+            perf.incr("pdp.rbac_denies")
+            if timing:
+                perf.stop("pdp.rbac", started)
             return Decision(
                 effect=Effect.DENY,
                 request=request,
@@ -77,5 +93,7 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
                     f"{request.operation!r} on {request.target!r}"
                 ),
             )
+        if timing:
+            perf.stop("pdp.rbac", started)
         # Interim grant — now the MSoD set of policies (Section 4.2).
         return self._msod.check(request)

@@ -1,0 +1,192 @@
+"""Hot-path performance instrumentation for the decision pipeline.
+
+The ROADMAP's north star is a PDP that "runs as fast as the hardware
+allows"; you cannot keep a hot path fast without measuring it.  This
+module provides the measurement substrate the engine and both PDPs are
+wired through:
+
+* **counters** — monotonically increasing event counts (requests,
+  grants, denies, records added/purged, ...);
+* **stage timers** — wall-clock duration of named pipeline stages
+  (policy match, constraint evaluation, commit, ...);
+* **per-stage histograms** — durations are binned into logarithmic
+  latency buckets so tail behaviour survives aggregation.
+
+Instrumentation must cost nothing when unused: production PDPs run with
+:data:`NOOP`, whose methods are empty and whose ``enabled`` flag lets
+call sites skip clock reads entirely::
+
+    perf = self._perf
+    started = perf.start() if perf.enabled else 0.0
+    ...work...
+    if perf.enabled:
+        perf.stop("engine.check", started)
+
+``benchmarks/bench_hotpath_regression.py`` records a live
+:class:`PerfRecorder` snapshot into ``BENCH_hotpath.json`` so the perf
+trajectory of later PRs is machine-comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = [
+    "PerfRecorder",
+    "NoopPerfRecorder",
+    "NOOP",
+    "StageStats",
+    "LATENCY_BUCKET_BOUNDS",
+]
+
+#: Upper bounds (seconds) of the logarithmic latency buckets: 1µs to 10s
+#: in 1-10 decades with a 1/2/5 subdivision, plus a catch-all overflow.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (1.0, 2.0, 5.0)
+) + (10.0,)
+
+
+class StageStats:
+    """Aggregated timings for one named pipeline stage."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.buckets = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        for index, bound in enumerate(LATENCY_BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the histogram (bucket upper bound)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(LATENCY_BUCKET_BOUNDS):
+                    return LATENCY_BUCKET_BOUNDS[index]
+                return self.max
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.total / self.count if self.count else 0.0,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+            "buckets": {
+                f"<={bound:.0e}s": self.buckets[index]
+                for index, bound in enumerate(LATENCY_BUCKET_BOUNDS)
+                if self.buckets[index]
+            }
+            | ({">10s": self.buckets[-1]} if self.buckets[-1] else {}),
+        }
+
+
+class PerfRecorder:
+    """Collects counters and stage timings for the decision pipeline.
+
+    Not thread-safe by design: attach one recorder per PDP (or per
+    benchmark run); merging snapshots across recorders is the caller's
+    concern.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._counters: dict[str, int] = {}
+        self._stages: dict[str, StageStats] = {}
+
+    # -- counters ------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- stage timers --------------------------------------------------
+    def start(self) -> float:
+        """A timestamp token to later pass to :meth:`stop`."""
+        return self._clock()
+
+    def stop(self, stage: str, started: float) -> None:
+        self.observe(stage, self._clock() - started)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        stats = self._stages.get(stage)
+        if stats is None:
+            stats = self._stages[stage] = StageStats()
+        stats.observe(seconds)
+
+    def stage(self, name: str) -> StageStats | None:
+        return self._stages.get(name)
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-compatible dump of every counter and stage."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "stages": {
+                name: stats.to_dict()
+                for name, stats in sorted(self._stages.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._stages.clear()
+
+
+class NoopPerfRecorder(PerfRecorder):
+    """The do-nothing recorder production code runs with by default.
+
+    Every method is an empty override and ``enabled`` is False, so
+    instrumented call sites cost one attribute load and (for timers)
+    one branch — no clock reads, no dict traffic.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def start(self) -> float:
+        return 0.0
+
+    def stop(self, stage: str, started: float) -> None:
+        pass
+
+    def observe(self, stage: str, seconds: float) -> None:
+        pass
+
+
+#: Shared no-op instance; safe to use from any thread (it has no state).
+NOOP = NoopPerfRecorder()

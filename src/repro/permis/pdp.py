@@ -31,6 +31,7 @@ from repro.core.decision import Decision, DecisionRequest, Effect
 from repro.core.engine import MODE_STRICT, MSoDEngine
 from repro.core.retained_adi import InMemoryRetainedADIStore, RetainedADIStore
 from repro.framework.pdp import PolicyDecisionPoint
+from repro.perf import NOOP, PerfRecorder
 from repro.permis.credentials import AttributeCredential, TrustStore
 from repro.permis.cvs import CredentialValidationService
 from repro.permis.directory import LdapDirectory, normalize_dn
@@ -49,11 +50,15 @@ class PermisPDP(PolicyDecisionPoint):
         audit: AuditTrailManager | None = None,
         clock: Callable[[], float] | None = None,
         mode: str = MODE_STRICT,
+        perf: PerfRecorder | None = None,
     ) -> None:
         self._policy = policy
         self._cvs = CredentialValidationService(policy, trust_store, directory)
         self._store = store if store is not None else InMemoryRetainedADIStore()
-        self._engine = MSoDEngine(policy.msod_policy_set, self._store, mode=mode)
+        self._perf = perf if perf is not None else NOOP
+        self._engine = MSoDEngine(
+            policy.msod_policy_set, self._store, mode=mode, perf=self._perf
+        )
         self._audit = audit
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._management_port = RetainedADIManagementPort(self._store)
@@ -74,6 +79,10 @@ class PermisPDP(PolicyDecisionPoint):
     @property
     def retained_adi(self) -> RetainedADIStore:
         return self._store
+
+    @property
+    def perf(self) -> PerfRecorder:
+        return self._perf
 
     @property
     def management_port(self) -> RetainedADIManagementPort:
@@ -185,11 +194,17 @@ class PermisPDP(PolicyDecisionPoint):
         e.g. by an upstream CVS) or neither (pull mode — the CVS fetches
         from the directory) may be supplied.
         """
+        perf = self._perf
+        timing = perf.enabled
+        perf.incr("permis.requests")
         when = self._clock() if at is None else at
         holder = normalize_dn(holder_dn)
         if roles is None:
+            cvs_started = perf.start() if timing else 0.0
             validation = self._cvs.validate(holder, credentials, at=when)
             valid_roles = validation.valid_roles
+            if timing:
+                perf.stop("permis.cvs", cvs_started)
         else:
             valid_roles = frozenset(roles)
 
@@ -204,25 +219,35 @@ class PermisPDP(PolicyDecisionPoint):
         )
 
         if not valid_roles:
+            perf.incr("permis.cvs_denies")
             decision = Decision(
                 effect=Effect.DENY,
                 request=request,
                 reason="CVS: no valid roles for holder",
             )
-        elif not self._policy.permits(
-            valid_roles, request.privilege, request.environment, when
-        ):
-            decision = Decision(
-                effect=Effect.DENY,
-                request=request,
-                reason=(
-                    f"RBAC: no valid role grants {operation!r} on {target!r}"
-                ),
-            )
         else:
-            decision = self._engine.check(request)
+            rbac_started = perf.start() if timing else 0.0
+            permitted = self._policy.permits(
+                valid_roles, request.privilege, request.environment, when
+            )
+            if timing:
+                perf.stop("permis.rbac", rbac_started)
+            if not permitted:
+                perf.incr("permis.rbac_denies")
+                decision = Decision(
+                    effect=Effect.DENY,
+                    request=request,
+                    reason=(
+                        f"RBAC: no valid role grants {operation!r} on {target!r}"
+                    ),
+                )
+            else:
+                decision = self._engine.check(request)
 
+        audit_started = perf.start() if timing else 0.0
         self._log(decision)
+        if timing:
+            perf.stop("permis.audit", audit_started)
         return decision
 
     def decide(self, request: DecisionRequest) -> Decision:
