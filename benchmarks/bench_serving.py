@@ -1,0 +1,285 @@
+"""BENCH_serving — closed-loop load benchmark of the authorization server.
+
+Boots the full serving stack in-process (asyncio TCP server on a
+background thread, SQLite retained-ADI store, sharded micro-batching
+workers) and drives it with K closed-loop client threads through
+:class:`repro.client.RemotePDP` — every request is a real wire round
+trip through encode/decode, shard queueing and batch commit.
+
+Measured per shard count: sustained throughput (decisions/s) and the
+client-observed latency distribution (p50/p95/p99).  A separate
+*overload probe* runs a deliberately slow engine behind a tiny bounded
+queue and verifies that excess load is shed with fast typed rejections
+— bounded memory, never an unbounded backlog.
+
+Results are written as machine-readable JSON to
+``benchmarks/results/BENCH_serving.json``.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke  # CI
+
+The workload (policy set + request stream) is shared with
+``bench_hotpath_regression`` so engine-level and serving-level numbers
+are comparable: the gap between them is the cost of the wire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+
+from bench_hotpath_regression import build_policy_set, request_stream
+
+from repro.client import PDPOverloadedError, RemotePDP
+from repro.core import MSoDEngine, SQLiteRetainedADIStore
+from repro.perf import PerfRecorder
+from repro.server import AuthorizationService, ServerThread
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "BENCH_serving.json"
+)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Exact (nearest-rank) percentile of an already sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+# ---------------------------------------------------------------------------
+# Throughput / latency sweep
+# ---------------------------------------------------------------------------
+def run_load(
+    n_shards: int, n_clients: int, n_requests: int, n_users: int
+) -> dict:
+    """One closed-loop run: K clients replay disjoint slices of the stream."""
+    requests = list(request_stream(n_requests, n_users))
+    per_client = len(requests) // n_clients
+
+    store = SQLiteRetainedADIStore(":memory:")
+    perf = PerfRecorder()
+    service = AuthorizationService(
+        MSoDEngine(build_policy_set(), store), n_shards=n_shards, perf=perf
+    )
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    errors: list[Exception] = []
+
+    with ServerThread(service) as server:
+        with RemotePDP(
+            server.host, server.port, pool_size=n_clients, timeout=30.0
+        ) as pdp:
+
+            def client(index: int) -> None:
+                lo = index * per_client
+                own = latencies[index]
+                try:
+                    for request in requests[lo:lo + per_client]:
+                        started = time.perf_counter()
+                        pdp.decide(request)
+                        own.append(time.perf_counter() - started)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(n_clients)
+            ]
+            wall_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - wall_started
+        metrics = service.metrics()
+    store.close()
+    if errors:
+        raise errors[0]
+
+    flat = sorted(lat for client_lat in latencies for lat in client_lat)
+    completed = len(flat)
+    batches = perf.counter("server.batches")
+    return {
+        "shards": n_shards,
+        "clients": n_clients,
+        "requests": completed,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(completed / elapsed, 1),
+        "latency_s": {
+            "mean": round(sum(flat) / completed, 6) if completed else 0.0,
+            "p50": round(percentile(flat, 0.50), 6),
+            "p95": round(percentile(flat, 0.95), 6),
+            "p99": round(percentile(flat, 0.99), 6),
+            "max": round(flat[-1], 6) if flat else 0.0,
+        },
+        "batches": batches,
+        "mean_batch": round(completed / batches, 2) if batches else 0.0,
+        "rejected": sum(shard["rejected"] for shard in metrics["shards"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Overload probe: bounded queues must shed, not balloon
+# ---------------------------------------------------------------------------
+class _SlowEngine:
+    """Wraps a real engine, pinning service time so queues fill for sure."""
+
+    def __init__(self, engine: MSoDEngine, delay_s: float) -> None:
+        self._engine = engine
+        self._delay_s = delay_s
+        self.store = engine.store
+
+    def check(self, request):
+        time.sleep(self._delay_s)
+        return self._engine.check(request)
+
+
+def run_overload_probe(n_clients: int = 8, n_requests: int = 120) -> dict:
+    """Hammer one slow single-shard worker behind a depth-2 queue.
+
+    Load far exceeds capacity, so most submissions must be rejected
+    fast (the typed overload error with a retry hint) while the queue
+    itself never exceeds its bound — the memory-safety property the
+    admission control exists for.
+    """
+    requests = list(request_stream(n_requests, n_users=16))
+    per_client = len(requests) // n_clients
+    store = SQLiteRetainedADIStore(":memory:")
+    engine = _SlowEngine(
+        MSoDEngine(build_policy_set(), store), delay_s=0.005
+    )
+    service = AuthorizationService(
+        engine, n_shards=1, queue_depth=2, batch_max=2, retry_after=0.01
+    )
+    accepted = [0] * n_clients
+    rejected = [0] * n_clients
+    max_backlog = [0]
+    errors: list[Exception] = []
+
+    with ServerThread(service) as server:
+        with RemotePDP(
+            server.host,
+            server.port,
+            pool_size=n_clients,
+            timeout=30.0,
+            max_retries=0,  # count raw rejections; no client-side retry
+        ) as pdp:
+
+            def client(index: int) -> None:
+                lo = index * per_client
+                try:
+                    for request in requests[lo:lo + per_client]:
+                        try:
+                            pdp.decide(request)
+                            accepted[index] += 1
+                        except PDPOverloadedError:
+                            rejected[index] += 1
+                        backlog = max(service.queue_depths(), default=0)
+                        if backlog > max_backlog[0]:
+                            max_backlog[0] = backlog
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            health = pdp.healthz()
+    store.close()
+    if errors:
+        raise errors[0]
+
+    total_accepted = sum(accepted)
+    total_rejected = sum(rejected)
+    assert total_rejected > 0, "probe failed to provoke any shedding"
+    assert max_backlog[0] <= 2, f"queue exceeded its bound: {max_backlog[0]}"
+    assert health["status"] == "ok", "server unhealthy after overload"
+    return {
+        "clients": n_clients,
+        "offered": total_accepted + total_rejected,
+        "accepted": total_accepted,
+        "rejected": total_rejected,
+        "queue_depth_limit": 2,
+        "max_observed_backlog": max_backlog[0],
+        "healthy_after": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast run for CI (correctness + JSON shape, not timing)",
+    )
+    parser.add_argument("--requests", type=int, default=20_000)
+    parser.add_argument("--users", type=int, default=200)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--output", default=RESULTS_PATH)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_requests, n_users, n_clients = 2_000, 50, 4
+        shard_counts = [2]
+    else:
+        n_requests, n_users, n_clients = args.requests, args.users, args.clients
+        shard_counts = [1, 2, 4]
+
+    sweep = [
+        run_load(n_shards, n_clients, n_requests, n_users)
+        for n_shards in shard_counts
+    ]
+    probe = run_overload_probe()
+
+    best = max(point["throughput_rps"] for point in sweep)
+    report = {
+        "benchmark": "serving",
+        "smoke": args.smoke,
+        "sweep": sweep,
+        "best_throughput_rps": best,
+        "meets_1k_rps_target": best >= 1_000.0,
+        "overload_probe": probe,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+    }
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    for point in sweep:
+        latency = point["latency_s"]
+        print(
+            f"serving[shards={point['shards']}]: "
+            f"{point['requests']} decisions in {point['elapsed_s']:.2f}s "
+            f"({point['throughput_rps']:.0f} rps)  "
+            f"p50={latency['p50'] * 1e3:.2f}ms "
+            f"p99={latency['p99'] * 1e3:.2f}ms  "
+            f"mean batch={point['mean_batch']}"
+        )
+    print(
+        f"overload probe: {probe['rejected']}/{probe['offered']} shed, "
+        f"max backlog {probe['max_observed_backlog']} "
+        f"(bound {probe['queue_depth_limit']}), healthy after"
+    )
+    print(f"  wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,21 @@ multi-session SoD from a shell:
    DENY ...
 
 Commands: ``validate``, ``show``, ``compile``, ``decompile``, ``lint``,
-``decide``, ``explain``, ``history``, ``purge``.
+``decide``, ``explain``, ``history``, ``purge``, ``serve``,
+``remote-decide``, ``remote-status``.
+
+``serve`` turns the same policy + SQLite retained ADI into a networked
+authorization service (the paper's Section 5 deployment shape);
+``remote-decide`` is the PEP side of that wire, and ``remote-status``
+snapshots the server's health/metrics.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import signal
 import sys
 import time
 from typing import Sequence
@@ -142,6 +151,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--older-than", type=float, help="purge records granted before this time"
     )
     group.add_argument("--all", action="store_true", help="purge everything")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sharded MSoD authorization service (JSON-lines TCP)",
+    )
+    serve.add_argument("policy", help="path to the policy XML file")
+    serve.add_argument("--adi", required=True, help="SQLite retained-ADI path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750)
+    serve.add_argument(
+        "--shards", type=int, default=4, help="per-user worker queues"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="bound of each shard queue (overload sheds beyond it)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="cap on one worker micro-batch (one SQLite transaction)",
+    )
+    serve.add_argument(
+        "--literal",
+        action="store_true",
+        help="use the literal published step order instead of strict mode",
+    )
+
+    def _remote_address(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--host", default="127.0.0.1")
+        cmd.add_argument("--port", type=int, default=8750)
+        cmd.add_argument("--timeout", type=float, default=5.0)
+
+    remote_decide = commands.add_parser(
+        "remote-decide",
+        help="evaluate one access request against a running `serve` instance",
+    )
+    _remote_address(remote_decide)
+    remote_decide.add_argument("--user", required=True)
+    remote_decide.add_argument(
+        "--role", action="append", required=True, type=_parse_role
+    )
+    remote_decide.add_argument("--operation", required=True)
+    remote_decide.add_argument("--target", required=True)
+    remote_decide.add_argument("--context", required=True)
+
+    remote_status = commands.add_parser(
+        "remote-status",
+        help="print a running server's health (or --metrics) snapshot",
+    )
+    _remote_address(remote_status)
+    remote_status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="full perf/shard metrics instead of the health summary",
+    )
     return parser
 
 
@@ -317,6 +384,93 @@ def cmd_purge(args: argparse.Namespace) -> int:
         store.close()
 
 
+async def _serve_until_interrupted(args: argparse.Namespace) -> int:
+    """Boot the server and run until SIGINT/SIGTERM, then drain."""
+    from repro.core.engine import MODE_LITERAL, MODE_STRICT
+    from repro.perf import PerfRecorder
+    from repro.server import AuthorizationService, MSoDServer
+
+    policy_set = parse_policy_set_file(args.policy)
+    store = SQLiteRetainedADIStore(args.adi)
+    perf = PerfRecorder()
+    try:
+        engine = MSoDEngine(
+            policy_set,
+            store,
+            mode=MODE_LITERAL if args.literal else MODE_STRICT,
+            perf=perf,
+        )
+        service = AuthorizationService(
+            engine,
+            n_shards=args.shards,
+            queue_depth=args.queue_depth,
+            batch_max=args.batch_max,
+            perf=perf,
+        )
+        server = MSoDServer(service, host=args.host, port=args.port)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # e.g. non-main thread / platforms without support
+        print(
+            f"serving MSoD decisions on {args.host}:{server.port} "
+            f"({args.shards} shards, queue depth {args.queue_depth}, "
+            f"batch max {args.batch_max})",
+            flush=True,
+        )
+        await stop.wait()
+        print("draining shard queues...", flush=True)
+        await server.stop()
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the networked authorization service until interrupted."""
+    try:
+        return asyncio.run(_serve_until_interrupted(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
+
+
+def cmd_remote_decide(args: argparse.Namespace) -> int:
+    """One decision through the existing PEP, against a remote PDP."""
+    from repro.client import RemotePDP
+    from repro.framework import PolicyEnforcementPoint
+
+    with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+        pep = PolicyEnforcementPoint(pdp, clock=time.time)
+        decision = pep.request_decision(
+            user_id=args.user,
+            roles=tuple(args.role),
+            operation=args.operation,
+            target=args.target,
+            context_instance=ContextName.parse(args.context),
+        )
+    print(decision)
+    if decision.granted:
+        print(
+            f"recorded {decision.records_added} record(s), "
+            f"purged {decision.records_purged}"
+        )
+    return 0 if decision.granted else 2
+
+
+def cmd_remote_status(args: argparse.Namespace) -> int:
+    """Print a running server's health or metrics snapshot as JSON."""
+    from repro.client import RemotePDP
+
+    with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+        body = pdp.metrics() if args.metrics else pdp.healthz()
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -331,6 +485,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": cmd_explain,
         "history": cmd_history,
         "purge": cmd_purge,
+        "serve": cmd_serve,
+        "remote-decide": cmd_remote_decide,
+        "remote-status": cmd_remote_status,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,19 @@
+"""repro.client — remote Policy Decision Point clients.
+
+:class:`RemotePDP` (sync) and :class:`AsyncRemotePDP` (asyncio) speak
+the :mod:`repro.server.protocol` wire format to a running
+``python -m repro serve`` instance.  ``RemotePDP`` implements the
+:class:`~repro.framework.pdp.PolicyDecisionPoint` protocol, so the
+existing :class:`~repro.framework.pep.PolicyEnforcementPoint` is a
+*remote* PEP simply by being constructed with one.
+"""
+
+from repro.client.remote import AsyncRemotePDP, RemotePDP
+from repro.errors import PDPOverloadedError, PDPUnavailableError
+
+__all__ = [
+    "RemotePDP",
+    "AsyncRemotePDP",
+    "PDPUnavailableError",
+    "PDPOverloadedError",
+]

@@ -1,0 +1,410 @@
+"""Remote PDP clients: the existing PEP, pointed at a network service.
+
+:class:`RemotePDP` implements the
+:class:`~repro.framework.pdp.PolicyDecisionPoint` protocol over the
+JSON-lines wire format, so a
+:class:`~repro.framework.pep.PolicyEnforcementPoint` works unchanged
+whether its PDP is in-process or a socket away.  :class:`AsyncRemotePDP`
+is the asyncio variant for async applications.
+
+Retry discipline — only provably idempotent work is retried:
+
+* *connect* failures: nothing reached the server; retried with jittered
+  exponential backoff.
+* *overload* rejections: the server sheds load **before** queueing, so
+  the request never entered a shard; retried after the server's
+  ``retry_after`` hint (plus jitter).
+* ``healthz``/``metrics``: read-only; retried on any transport error.
+* a ``decide`` that failed **after** the request was written is *not*
+  retried — the server may have committed the grant to the retained
+  ADI, and replaying it could double-record history.  The caller gets a
+  typed :class:`~repro.errors.PDPUnavailableError` instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import socket
+import threading
+import time
+
+from repro.core.decision import Decision, DecisionRequest
+from repro.errors import (
+    PDPOverloadedError,
+    PDPUnavailableError,
+    ProtocolError,
+)
+from repro.framework.pdp import PolicyDecisionPoint
+from repro.server import protocol
+
+_FRAME_COUNTER = itertools.count(1)
+
+
+def _next_frame_id() -> str:
+    return f"c-{next(_FRAME_COUNTER):08d}"
+
+
+def _check_response(frame: dict, frame_id: str) -> dict:
+    """Validate a response envelope; raise the typed error it carries."""
+    if frame.get("id") != frame_id:
+        raise ProtocolError(
+            f"response id {frame.get('id')!r} does not match request "
+            f"id {frame_id!r} (connection used concurrently?)"
+        )
+    if frame.get("ok") is True:
+        return frame
+    error = frame.get("error")
+    if not isinstance(error, dict):
+        raise ProtocolError("response is neither ok nor a valid error frame")
+    kind = error.get("kind")
+    detail = str(error.get("detail", ""))
+    if kind == protocol.ERR_OVERLOADED:
+        retry_after = error.get("retry_after")
+        raise PDPOverloadedError(
+            f"remote PDP overloaded: {detail}",
+            retry_after=float(retry_after) if retry_after else 0.0,
+        )
+    if kind == protocol.ERR_PROTOCOL:
+        raise ProtocolError(f"remote PDP rejected the frame: {detail}")
+    raise PDPUnavailableError(f"remote PDP error ({kind}): {detail}")
+
+
+class _Backoff:
+    """Full-jitter exponential backoff shared by both client variants."""
+
+    def __init__(
+        self, base: float, cap: float, rng: random.Random | None
+    ) -> None:
+        self._base = base
+        self._cap = cap
+        self._rng = rng if rng is not None else random.Random()
+
+    def delay(self, attempt: int, floor: float = 0.0) -> float:
+        ceiling = min(self._cap, self._base * (2**attempt))
+        return floor + self._rng.uniform(0.0, ceiling)
+
+
+# ---------------------------------------------------------------------------
+# Synchronous client
+# ---------------------------------------------------------------------------
+class _SyncConnection:
+    """One blocking socket speaking newline-delimited JSON frames."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+
+    def exchange(self, frame: dict) -> dict:
+        self._sock.sendall(protocol.encode_frame(frame))
+        line = self._file.readline(protocol.MAX_FRAME_BYTES + 1)
+        if not line.endswith(b"\n"):
+            raise PDPUnavailableError(
+                "connection closed mid-response"
+                if not line
+                else "oversized or truncated response frame"
+            )
+        return protocol.decode_frame(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+
+
+class RemotePDP(PolicyDecisionPoint):
+    """A :class:`PolicyDecisionPoint` backed by a remote MSoD server.
+
+    Thread-safe: a bounded pool of pooled connections serves concurrent
+    callers (each request has exclusive use of one connection for its
+    round trip, preserving the one-frame-in-flight protocol invariant).
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    pool_size:
+        Maximum concurrent connections (callers beyond it queue).
+    timeout:
+        Per-operation socket timeout, seconds.
+    max_retries:
+        Extra attempts for retriable failures (see module docstring).
+    backoff_base, backoff_cap:
+        Full-jitter exponential backoff parameters, seconds.
+    rng:
+        Injectable randomness source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        timeout: float = 5.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = _Backoff(backoff_base, backoff_cap, rng)
+        self._slots = threading.BoundedSemaphore(pool_size)
+        self._idle: list[_SyncConnection] = []
+        self._idle_lock = threading.Lock()
+        self._closed = False
+
+    # -- connection pool ----------------------------------------------
+    def _acquire(self) -> _SyncConnection:
+        with self._idle_lock:
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return _SyncConnection(self._host, self._port, self._timeout)
+        except OSError as exc:
+            raise PDPUnavailableError(
+                f"cannot connect to PDP at {self._host}:{self._port}: {exc}"
+            ) from exc
+
+    def _release(self, conn: _SyncConnection, reusable: bool) -> None:
+        if reusable and not self._closed:
+            with self._idle_lock:
+                self._idle.append(conn)
+        else:
+            conn.close()
+
+    def close(self) -> None:
+        """Close every pooled connection.  Idempotent."""
+        self._closed = True
+        with self._idle_lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "RemotePDP":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- one round trip ------------------------------------------------
+    def _exchange_once(self, frame: dict, frame_id: str) -> dict:
+        """One request/response on one pooled connection."""
+        with self._slots:
+            conn = self._acquire()
+            reusable = False
+            try:
+                try:
+                    response = conn.exchange(frame)
+                except (OSError, EOFError) as exc:
+                    raise PDPUnavailableError(
+                        f"PDP transport failure: {exc}"
+                    ) from exc
+                reusable = True
+                return _check_response(response, frame_id)
+            finally:
+                self._release(conn, reusable)
+
+    def _call(self, op: str, retriable: bool, **fields) -> dict:
+        attempt = 0
+        while True:
+            frame_id = _next_frame_id()
+            frame = protocol.request_frame(op, frame_id, **fields)
+            try:
+                return self._exchange_once(frame, frame_id)
+            except PDPOverloadedError as exc:
+                # Shed *before* queueing: always safe to retry.
+                if attempt >= self._max_retries:
+                    raise
+                time.sleep(self._backoff.delay(attempt, floor=exc.retry_after))
+            except PDPUnavailableError:
+                if not retriable or attempt >= self._max_retries:
+                    raise
+                time.sleep(self._backoff.delay(attempt))
+            attempt += 1
+
+    # -- the PolicyDecisionPoint protocol ------------------------------
+    def decide(self, request: DecisionRequest) -> Decision:
+        """Evaluate one request on the remote PDP.
+
+        Raises :class:`PDPUnavailableError` (or its
+        :class:`PDPOverloadedError` subclass once the retry budget for
+        overload rejections is exhausted) instead of socket errors.
+        """
+        response = self._call(
+            protocol.OP_DECIDE,
+            retriable=False,  # post-send decide retries could double-record
+            request=protocol.request_to_wire(request),
+        )
+        return protocol.decision_from_wire(response.get("decision"))
+
+    # -- control verbs -------------------------------------------------
+    def healthz(self) -> dict:
+        """The server's health snapshot (status + per-shard backlog)."""
+        return self._call(protocol.OP_HEALTHZ, retriable=True).get("body", {})
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot (perf counters + shard stats)."""
+        return self._call(protocol.OP_METRICS, retriable=True).get("body", {})
+
+
+# ---------------------------------------------------------------------------
+# Asyncio client
+# ---------------------------------------------------------------------------
+class AsyncRemotePDP:
+    """The asyncio twin of :class:`RemotePDP`.
+
+    Same wire protocol, retry discipline and pooling semantics, with
+    coroutine methods (``await pdp.decide(request)``) for applications
+    that live on an event loop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        timeout: float = 5.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = _Backoff(backoff_base, backoff_cap, rng)
+        self._pool_size = pool_size
+        self._slots: asyncio.Semaphore | None = None
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._closed = False
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self._pool_size)
+        return self._slots
+
+    async def _acquire(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._idle:
+            return self._idle.pop()
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(
+                    self._host, self._port, limit=protocol.MAX_FRAME_BYTES
+                ),
+                timeout=self._timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise PDPUnavailableError(
+                f"cannot connect to PDP at {self._host}:{self._port}: {exc}"
+            ) from exc
+
+    async def _release(
+        self,
+        conn: tuple[asyncio.StreamReader, asyncio.StreamWriter],
+        reusable: bool,
+    ) -> None:
+        if reusable and not self._closed:
+            self._idle.append(conn)
+        else:
+            _, writer = conn
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover
+                pass
+
+    async def close(self) -> None:
+        """Close every pooled connection.  Idempotent."""
+        self._closed = True
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            await self._release(conn, reusable=False)
+
+    async def __aenter__(self) -> "AsyncRemotePDP":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- one round trip ------------------------------------------------
+    async def _exchange_once(self, frame: dict, frame_id: str) -> dict:
+        async with self._semaphore():
+            conn = await self._acquire()
+            reader, writer = conn
+            reusable = False
+            try:
+                try:
+                    writer.write(protocol.encode_frame(frame))
+                    await asyncio.wait_for(
+                        writer.drain(), timeout=self._timeout
+                    )
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=self._timeout
+                    )
+                except (
+                    OSError,
+                    ConnectionError,
+                    asyncio.TimeoutError,
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ) as exc:
+                    raise PDPUnavailableError(
+                        f"PDP transport failure: {exc}"
+                    ) from exc
+                if not line.endswith(b"\n"):
+                    raise PDPUnavailableError("connection closed mid-response")
+                reusable = True
+                return _check_response(protocol.decode_frame(line), frame_id)
+            finally:
+                await self._release(conn, reusable)
+
+    async def _call(self, op: str, retriable: bool, **fields) -> dict:
+        attempt = 0
+        while True:
+            frame_id = _next_frame_id()
+            frame = protocol.request_frame(op, frame_id, **fields)
+            try:
+                return await self._exchange_once(frame, frame_id)
+            except PDPOverloadedError as exc:
+                if attempt >= self._max_retries:
+                    raise
+                await asyncio.sleep(
+                    self._backoff.delay(attempt, floor=exc.retry_after)
+                )
+            except PDPUnavailableError:
+                if not retriable or attempt >= self._max_retries:
+                    raise
+                await asyncio.sleep(self._backoff.delay(attempt))
+            attempt += 1
+
+    # -- verbs ---------------------------------------------------------
+    async def decide(self, request: DecisionRequest) -> Decision:
+        """Evaluate one request on the remote PDP (coroutine)."""
+        response = await self._call(
+            protocol.OP_DECIDE,
+            retriable=False,
+            request=protocol.request_to_wire(request),
+        )
+        return protocol.decision_from_wire(response.get("decision"))
+
+    async def healthz(self) -> dict:
+        """The server's health snapshot (coroutine)."""
+        return (await self._call(protocol.OP_HEALTHZ, retriable=True)).get(
+            "body", {}
+        )
+
+    async def metrics(self) -> dict:
+        """The server's metrics snapshot (coroutine)."""
+        return (await self._call(protocol.OP_METRICS, retriable=True)).get(
+            "body", {}
+        )

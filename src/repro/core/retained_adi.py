@@ -28,6 +28,7 @@ import json
 import sqlite3
 import threading
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -482,6 +483,19 @@ class RetainedADIStore:
             self.add(record)
         return purged
 
+    @contextmanager
+    def batch(self):
+        """Group several :meth:`apply` calls into one durability unit.
+
+        The serving workers drain each shard queue in micro-batches and
+        wrap the whole batch in ``with store.batch():`` so a backend can
+        pay one fsync for the batch instead of one per decision.  Each
+        decision stays individually atomic (the SQLite backend runs it
+        in a savepoint); the batch is *not* an all-or-nothing unit.  The
+        default is a no-op so in-memory backends need no changes.
+        """
+        yield self
+
     # Helper views used by the engine --------------------------------
     def snapshot_views(self) -> ADIViewSnapshot:
         """A memoizing view over this store for one decision request.
@@ -636,14 +650,36 @@ class SQLiteRetainedADIStore(RetainedADIStore):
       in-memory store uses, built lazily from the table on the first
       history query and then maintained in lock-step with every
       mutation, all of which happen under this store's lock.
+
+    **Threading discipline.**  The connection is opened with
+    ``check_same_thread=False`` and every statement (and every
+    cache/index mutation) runs under the single ``self._lock``, so the
+    store is safe to share across the serving worker pool: sqlite3 never
+    sees concurrent statements on the one connection, and the row cache
+    and lock-step index can never diverge from the table.  WAL journal
+    mode (file-backed databases only) lets *other* connections — e.g. an
+    operator's ``python -m repro history`` against a live server's
+    database — read without blocking the writer, and ``busy_timeout``
+    makes cross-connection lock collisions wait instead of failing with
+    ``database is locked``.
     """
+
+    #: How long (ms) a statement waits on another connection's lock
+    #: before sqlite3 raises ``database is locked``.
+    BUSY_TIMEOUT_MS = 5_000
 
     def __init__(self, path: str = ":memory:") -> None:
         try:
             self._conn = sqlite3.connect(path, check_same_thread=False)
+            self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
+            # WAL applies to file-backed databases; in-memory databases
+            # report their own "memory" mode, which is fine — there is
+            # no second connection to contend with.
+            self._conn.execute("PRAGMA journal_mode=WAL")
         except sqlite3.Error as exc:  # pragma: no cover - environment issue
             raise StoreError(f"cannot open retained-ADI database {path!r}") from exc
         self._lock = threading.Lock()
+        self._batch_depth = 0
         self._closed = False
         self._row_cache: dict[int, RetainedADIRecord] = {}
         self._index: _UserContextIndex | None = None
@@ -907,6 +943,45 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             ).fetchone()
         return total
 
+    def _apply_sql_locked(
+        self, mutation: ADIMutation
+    ) -> tuple[int, dict[int, RetainedADIRecord], list[RetainedADIRecord]]:
+        """Run a mutation's SQL (purges then adds) on the open cursor.
+
+        Caller owns the lock and the enclosing transaction/savepoint.
+        Returns ``(purged, evicted_by_id, added)`` for cache upkeep.
+        """
+        purged = 0
+        evicted: dict[int, RetainedADIRecord] = {}
+        added: list[RetainedADIRecord] = []
+        for context in mutation.purge_contexts:
+            doomed = self._doomed_in_context_locked(context)
+            purged += len(doomed)
+            for record in doomed:
+                evicted.setdefault(record.record_id, record)
+        self._conn.executemany(
+            "DELETE FROM retained_adi WHERE record_id = ?",
+            [(record_id,) for record_id in evicted],
+        )
+        for record in mutation.adds:
+            cursor = self._conn.execute(
+                "INSERT INTO retained_adi"
+                " (user_id, context, payload, granted_at)"
+                " VALUES (?, ?, ?, ?)",
+                (
+                    record.user_id,
+                    str(record.context_instance),
+                    json.dumps(record.to_dict(), sort_keys=True),
+                    record.granted_at,
+                ),
+            )
+            added.append(
+                RetainedADIRecord.from_dict(
+                    record.to_dict(), record_id=cursor.lastrowid
+                )
+            )
+        return purged, evicted, added
+
     def apply(self, mutation: ADIMutation) -> int:
         """Apply the whole mutation in ONE SQLite transaction.
 
@@ -916,46 +991,65 @@ class SQLiteRetainedADIStore(RetainedADIStore):
         the purges happens *inside* the transaction (no
         select-then-lock window), and the batched adds share the single
         commit instead of paying one fsync each.
+
+        Inside an open :meth:`batch`, the decision runs in a savepoint
+        of the batch transaction instead: still individually atomic,
+        but the fsync is deferred to the batch commit.
         """
         self._ensure_open()
         with self._lock:
-            purged = 0
-            evicted: dict[int, RetainedADIRecord] = {}
-            added: list[RetainedADIRecord] = []
-            try:
-                with self._conn:  # implicit BEGIN ... COMMIT/ROLLBACK
-                    for context in mutation.purge_contexts:
-                        doomed = self._doomed_in_context_locked(context)
-                        purged += len(doomed)
-                        for record in doomed:
-                            evicted.setdefault(record.record_id, record)
-                    self._conn.executemany(
-                        "DELETE FROM retained_adi WHERE record_id = ?",
-                        [(record_id,) for record_id in evicted],
-                    )
-                    for record in mutation.adds:
-                        cursor = self._conn.execute(
-                            "INSERT INTO retained_adi"
-                            " (user_id, context, payload, granted_at)"
-                            " VALUES (?, ?, ?, ?)",
-                            (
-                                record.user_id,
-                                str(record.context_instance),
-                                json.dumps(record.to_dict(), sort_keys=True),
-                                record.granted_at,
-                            ),
+            if self._batch_depth:
+                self._conn.execute("SAVEPOINT msod_apply")
+                try:
+                    purged, evicted, added = self._apply_sql_locked(mutation)
+                except sqlite3.Error as exc:
+                    self._conn.execute("ROLLBACK TO SAVEPOINT msod_apply")
+                    self._conn.execute("RELEASE SAVEPOINT msod_apply")
+                    raise StoreError(
+                        f"mutation failed atomically: {exc}"
+                    ) from exc
+                self._conn.execute("RELEASE SAVEPOINT msod_apply")
+            else:
+                try:
+                    with self._conn:  # implicit BEGIN ... COMMIT/ROLLBACK
+                        purged, evicted, added = self._apply_sql_locked(
+                            mutation
                         )
-                        added.append(
-                            RetainedADIRecord.from_dict(
-                                record.to_dict(), record_id=cursor.lastrowid
-                            )
-                        )
-            except sqlite3.Error as exc:
-                raise StoreError(f"mutation failed atomically: {exc}") from exc
+                except sqlite3.Error as exc:
+                    raise StoreError(
+                        f"mutation failed atomically: {exc}"
+                    ) from exc
             self._evict_locked(evicted.values())
             for record in added:
                 self._admit_locked(record)
         return purged
+
+    @contextmanager
+    def batch(self):
+        """One explicit transaction (one fsync) around many ``apply`` calls.
+
+        Each enclosed decision still commits or rolls back atomically
+        via its savepoint; the batch only defers durability.  Re-entrant
+        across shard workers sharing this store: concurrent batches
+        coalesce into the single open transaction, which commits when
+        the last batch exits.  Decisions already released from their
+        savepoints are committed even if a later decision in the batch
+        raises — their in-memory cache/index updates have already been
+        published, and rolling the table back underneath them would
+        desynchronise the two.
+        """
+        self._ensure_open()
+        with self._lock:
+            if self._batch_depth == 0 and not self._conn.in_transaction:
+                self._conn.execute("BEGIN IMMEDIATE")
+            self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._batch_depth -= 1
+                if self._batch_depth == 0 and self._conn.in_transaction:
+                    self._conn.commit()
 
     # Aggregate-backed engine views ----------------------------------
     def user_roles(

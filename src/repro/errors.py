@@ -70,3 +70,29 @@ class DirectoryError(ReproError):
 
 class AdminError(ReproError):
     """A retained-ADI management-port operation was rejected."""
+
+
+class ProtocolError(ReproError):
+    """A serving wire frame is malformed, oversized or mis-versioned."""
+
+
+class PDPUnavailableError(ReproError):
+    """A remote PDP could not be reached or failed mid-exchange.
+
+    Applications consulting a :class:`~repro.client.RemotePDP` through a
+    :class:`~repro.framework.PolicyEnforcementPoint` see this typed error
+    instead of raw socket exceptions, so "the PDP is down" is
+    distinguishable from "the request was denied".
+    """
+
+
+class PDPOverloadedError(PDPUnavailableError):
+    """The remote PDP shed the request under admission control.
+
+    Carries the server's ``retry_after`` hint (seconds); the request was
+    rejected *before* entering a shard queue, so retrying it is safe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -11,6 +11,7 @@ from repro.framework.pdp import (
     ReferenceRBACMSoDPDP,
     RoleTargetAccessPolicy,
 )
+from repro.errors import PDPUnavailableError
 from repro.framework.pep import (
     AccessDeniedError,
     PolicyEnforcementPoint,
@@ -27,5 +28,6 @@ __all__ = [
     "ReferenceRBACMSoDPDP",
     "PolicyEnforcementPoint",
     "AccessDeniedError",
+    "PDPUnavailableError",
     "SimulatedClock",
 ]

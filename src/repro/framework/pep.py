@@ -15,7 +15,7 @@ from typing import Callable, Iterable, Mapping
 from repro.core.constraints import Role
 from repro.core.context import ContextName
 from repro.core.decision import Decision, DecisionRequest
-from repro.errors import ReproError
+from repro.errors import PDPUnavailableError, ReproError
 from repro.framework.pdp import PolicyDecisionPoint
 
 
@@ -65,7 +65,14 @@ class PolicyEnforcementPoint:
         context_instance: ContextName,
         environment: Mapping[str, str] | None = None,
     ) -> Decision:
-        """Build the Section-4.1 parameter set, decide, and audit."""
+        """Build the Section-4.1 parameter set, decide, and audit.
+
+        A PDP a network away can fail in ways an in-process one cannot;
+        applications see those as the typed
+        :class:`~repro.errors.PDPUnavailableError` rather than raw
+        socket exceptions, keeping "the PDP is down" distinguishable
+        from "access was denied" without transport-aware handlers.
+        """
         request = DecisionRequest(
             user_id=user_id,
             roles=tuple(roles),
@@ -75,7 +82,14 @@ class PolicyEnforcementPoint:
             timestamp=self._clock(),
             environment=dict(environment or {}),
         )
-        decision = self._pdp.decide(request)
+        try:
+            decision = self._pdp.decide(request)
+        except (PDPUnavailableError, ReproError):
+            raise
+        except (OSError, EOFError, ConnectionError, TimeoutError) as exc:
+            raise PDPUnavailableError(
+                f"PDP transport failure: {exc}"
+            ) from exc
         if self._audit_sink is not None:
             self._audit_sink(decision)
         return decision

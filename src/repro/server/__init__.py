@@ -1,0 +1,36 @@
+"""repro.server — the networked MSoD authorization service.
+
+The paper deploys MSoD enforcement as a PERMIS PDP *service* that
+applications consult over a network (Section 5); this package is that
+deployment shape for the reproduction:
+
+* :mod:`repro.server.protocol` — the versioned JSON-lines wire format.
+* :class:`~repro.server.service.AuthorizationService` — the sharded,
+  batching, admission-controlled core (transport-independent).
+* :class:`~repro.server.app.MSoDServer` — the asyncio TCP front end.
+* :class:`~repro.server.testing.ServerThread` — a background-thread
+  harness for tests, benchmarks and smoke checks.
+
+See ``docs/SERVING.md`` for the architecture, the sharding invariant
+and the overload semantics.
+"""
+
+from repro.server.app import MSoDServer
+from repro.server.service import (
+    AuthorizationService,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    ShardStats,
+    shard_of,
+)
+from repro.server.testing import ServerThread
+
+__all__ = [
+    "AuthorizationService",
+    "MSoDServer",
+    "ServerThread",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
+    "ShardStats",
+    "shard_of",
+]

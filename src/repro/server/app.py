@@ -1,0 +1,209 @@
+"""The asyncio TCP front end of the MSoD authorization service.
+
+``MSoDServer`` binds a host/port, speaks the JSON-lines protocol of
+:mod:`repro.server.protocol`, and forwards ``decide`` frames to a
+:class:`~repro.server.service.AuthorizationService`.  The paper's
+deployment shape (Section 5): applications keep their PEP, but the PDP
+runs as a central service consulted over the network.
+
+Connection handling rules:
+
+* frames on one connection are answered in order (clients wanting
+  concurrency open several pooled connections — see
+  :class:`repro.client.RemotePDP`);
+* malformed frames (bad JSON, bad UTF-8, unknown ops, invalid request
+  bodies) get an ``error`` response and the connection stays open —
+  a fuzzer must never take a worker down;
+* an oversized frame cannot be resynchronised (the byte stream is
+  corrupt mid-line), so it gets a final error frame and the connection
+  is closed;
+* overload and drain rejections are fast failures with ``retry_after``
+  hints, the 503-equivalent of the wire protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ProtocolError
+from repro.server import protocol
+from repro.server.service import (
+    AuthorizationService,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+
+
+class MSoDServer:
+    """One listening socket in front of one authorization service."""
+
+    def __init__(
+        self,
+        service: AuthorizationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> AuthorizationService:
+        return self._service
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        if self._server is None:
+            return self._port
+        sockets = self._server.sockets or []
+        return sockets[0].getsockname()[1] if sockets else self._port
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the shard workers and begin listening."""
+        await self._service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+
+    async def stop(self) -> None:
+        """Stop listening, drain queued decisions, flush the audit sink."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._service.stop()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the ``python -m repro serve`` loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized frame: the stream cannot be resynced.
+                    await self._send(
+                        writer,
+                        protocol.error_frame(
+                            None,
+                            protocol.ERR_PROTOCOL,
+                            "frame exceeds size limit",
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # EOF (including one after a truncated frame)
+                if not await self._handle_frame(writer, line):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_frame(
+        self, writer: asyncio.StreamWriter, line: bytes
+    ) -> bool:
+        """Answer one frame; returns False when the connection must close."""
+        frame_id = None
+        try:
+            frame = protocol.decode_frame(line)
+            frame_id = frame.get("id")
+            op = frame.get("op")
+            if op == protocol.OP_DECIDE:
+                await self._handle_decide(writer, frame_id, frame)
+            elif op == protocol.OP_HEALTHZ:
+                await self._send(
+                    writer,
+                    protocol.response_frame(
+                        frame_id, op, "body", self._service.health()
+                    ),
+                )
+            elif op == protocol.OP_METRICS:
+                await self._send(
+                    writer,
+                    protocol.response_frame(
+                        frame_id, op, "body", self._service.metrics()
+                    ),
+                )
+            else:
+                raise ProtocolError(f"unknown operation {op!r}")
+        except ProtocolError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(frame_id, protocol.ERR_PROTOCOL, str(exc)),
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+        return True
+
+    async def _handle_decide(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+    ) -> None:
+        request = protocol.request_from_wire(frame.get("request"))
+        try:
+            future = self._service.submit(request)
+        except ServiceOverloadedError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(
+                    frame_id,
+                    protocol.ERR_OVERLOADED,
+                    str(exc),
+                    retry_after=exc.retry_after,
+                ),
+            )
+            return
+        except ServiceUnavailableError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(
+                    frame_id, protocol.ERR_SHUTTING_DOWN, str(exc)
+                ),
+            )
+            return
+        try:
+            decision = await future
+        except Exception as exc:  # engine/store failure, not the client's
+            await self._send(
+                writer,
+                protocol.error_frame(
+                    frame_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                ),
+            )
+            return
+        await self._send(
+            writer,
+            protocol.response_frame(
+                frame_id,
+                protocol.OP_DECIDE,
+                "decision",
+                protocol.decision_to_wire(decision),
+            ),
+        )
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(protocol.encode_frame(frame))
+        await writer.drain()

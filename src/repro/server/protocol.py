@@ -1,0 +1,333 @@
+"""Versioned JSON-lines wire format for the MSoD authorization service.
+
+One frame is one UTF-8 JSON object terminated by ``\\n``.  Every frame
+carries the protocol version (``"v"``) and a caller-chosen correlation
+id (``"id"``) echoed verbatim in the response, so clients may pipeline.
+
+Request frames (client → server)::
+
+    {"v": 1, "id": "c-1", "op": "decide", "request": {...}}
+    {"v": 1, "id": "c-2", "op": "healthz"}
+    {"v": 1, "id": "c-3", "op": "metrics"}
+
+Response frames (server → client)::
+
+    {"v": 1, "id": "c-1", "ok": true,  "op": "decide", "decision": {...}}
+    {"v": 1, "id": "c-2", "ok": true,  "op": "healthz", "body": {...}}
+    {"v": 1, "id": "c-1", "ok": false, "error": {"kind": "overloaded",
+                                                 "detail": "...",
+                                                 "retry_after": 0.05}}
+
+The (de)serializers reuse the process-internal types unchanged — a
+:class:`~repro.core.decision.DecisionRequest` survives a round trip
+bit-identically (including its client-assigned ``request_id``), which is
+what lets the differential serving tests assert remote == in-process.
+
+Every malformed input — truncated JSON, oversized frames, bad UTF-8,
+wrong types, unknown versions — raises :class:`ProtocolError` and
+nothing else; a worker must never crash on attacker-controlled bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.context import ContextName
+from repro.core.constraints import Role
+from repro.core.decision import Decision, DecisionRequest, Effect, MSoDViolation
+from repro.core.retained_adi import RetainedADIRecord
+from repro.errors import ProtocolError, ReproError
+
+#: Current wire-format version; mismatches are rejected, not guessed at.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's encoded size.  The asyncio server reads
+#: lines with this limit, so an attacker cannot buffer unbounded bytes.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Error kinds a server may emit (the ``error.kind`` field).
+ERR_PROTOCOL = "protocol"
+ERR_OVERLOADED = "overloaded"
+ERR_SHUTTING_DOWN = "shutting-down"
+ERR_INTERNAL = "internal"
+
+#: Operations understood by the server.
+OP_DECIDE = "decide"
+OP_HEALTHZ = "healthz"
+OP_METRICS = "metrics"
+KNOWN_OPS = frozenset({OP_DECIDE, OP_HEALTHZ, OP_METRICS})
+
+
+# ---------------------------------------------------------------------------
+# Frame envelope
+# ---------------------------------------------------------------------------
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialise one frame to its newline-terminated UTF-8 bytes."""
+    data = json.dumps(dict(payload), separators=(",", ":")).encode("utf-8")
+    if len(data) + 1 > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data) + 1} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return data + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a frame dict, validating the envelope."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds limit")
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    text = text.strip()
+    if not text:
+        raise ProtocolError("empty frame")
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this endpoint speaks v{PROTOCOL_VERSION})"
+        )
+    return frame
+
+
+def request_frame(op: str, frame_id: str, **fields: Any) -> dict:
+    """Build a client request frame envelope."""
+    return {"v": PROTOCOL_VERSION, "id": frame_id, "op": op, **fields}
+
+
+def response_frame(frame_id: Any, op: str, body_key: str, body: Any) -> dict:
+    """Build a success response frame."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": frame_id,
+        "ok": True,
+        "op": op,
+        body_key: body,
+    }
+
+
+def error_frame(
+    frame_id: Any,
+    kind: str,
+    detail: str,
+    retry_after: float | None = None,
+) -> dict:
+    """Build an error response frame."""
+    error: dict[str, Any] = {"kind": kind, "detail": detail}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"v": PROTOCOL_VERSION, "id": frame_id, "ok": False, "error": error}
+
+
+# ---------------------------------------------------------------------------
+# Typed field helpers (every wrong shape must become a ProtocolError)
+# ---------------------------------------------------------------------------
+def _require(mapping: Any, key: str, kind: type, what: str) -> Any:
+    if not isinstance(mapping, dict):
+        raise ProtocolError(f"{what} must be a JSON object")
+    value = mapping.get(key)
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"{what}.{key} must be {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _number(mapping: dict, key: str, what: str) -> float:
+    value = mapping.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{what}.{key} must be a number")
+    return float(value)
+
+
+def _roles_from_wire(raw: Any, what: str) -> tuple[Role, ...]:
+    if not isinstance(raw, list):
+        raise ProtocolError(f"{what}.roles must be a list")
+    roles = []
+    for item in raw:
+        if (
+            not isinstance(item, list)
+            or len(item) != 2
+            or not all(isinstance(part, str) for part in item)
+        ):
+            raise ProtocolError(
+                f"{what}.roles entries must be [type, value] string pairs"
+            )
+        roles.append(Role(item[0], item[1]))
+    return tuple(roles)
+
+
+def _context_from_wire(raw: Any, what: str) -> ContextName:
+    if not isinstance(raw, str):
+        raise ProtocolError(f"{what} must be a context-name string")
+    try:
+        return ContextName.parse(raw)
+    except ReproError as exc:
+        raise ProtocolError(f"{what} is not a valid context name: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# DecisionRequest
+# ---------------------------------------------------------------------------
+def request_to_wire(request: DecisionRequest) -> dict:
+    """Serialise a :class:`DecisionRequest` for the ``decide`` frame."""
+    return {
+        "user_id": request.user_id,
+        "roles": [[role.role_type, role.value] for role in request.roles],
+        "operation": request.operation,
+        "target": request.target,
+        "context_instance": str(request.context_instance),
+        "timestamp": request.timestamp,
+        "environment": dict(request.environment),
+        "request_id": request.request_id,
+    }
+
+
+def request_from_wire(raw: Any) -> DecisionRequest:
+    """Rebuild a :class:`DecisionRequest`; raises ProtocolError on junk."""
+    what = "request"
+    user_id = _require(raw, "user_id", str, what)
+    operation = _require(raw, "operation", str, what)
+    target = _require(raw, "target", str, what)
+    request_id = _require(raw, "request_id", str, what)
+    roles = _roles_from_wire(raw.get("roles"), what)
+    context = _context_from_wire(raw.get("context_instance"), f"{what}.context_instance")
+    timestamp = _number(raw, "timestamp", what)
+    environment = raw.get("environment", {})
+    if not isinstance(environment, dict) or not all(
+        isinstance(key, str) and isinstance(value, str)
+        for key, value in environment.items()
+    ):
+        raise ProtocolError(f"{what}.environment must map strings to strings")
+    try:
+        return DecisionRequest(
+            user_id=user_id,
+            roles=roles,
+            operation=operation,
+            target=target,
+            context_instance=context,
+            timestamp=timestamp,
+            environment=environment,
+            request_id=request_id,
+        )
+    except ReproError as exc:
+        # e.g. empty user id, non-concrete context: a *semantic* protocol
+        # violation, still never a worker crash.
+        raise ProtocolError(f"invalid decision request: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Decision (with full MSoD diagnostics, for the remote audit trail)
+# ---------------------------------------------------------------------------
+def _record_to_wire(record: RetainedADIRecord) -> dict:
+    payload = record.to_dict()
+    payload["record_id"] = record.record_id
+    return payload
+
+
+def _record_from_wire(raw: Any) -> RetainedADIRecord:
+    what = "decision.adi_adds[]"
+    _require(raw, "user_id", str, what)
+    record_id = raw.get("record_id")
+    if record_id is not None and not isinstance(record_id, int):
+        raise ProtocolError(f"{what}.record_id must be an integer or null")
+    try:
+        return RetainedADIRecord.from_dict(raw, record_id=record_id)
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid retained-ADI record: {exc}") from exc
+
+
+def _violation_to_wire(violation: MSoDViolation) -> dict:
+    return {
+        "policy_id": violation.policy_id,
+        "constraint_kind": violation.constraint_kind,
+        "constraint_repr": violation.constraint_repr,
+        "effective_context": str(violation.effective_context),
+        "detail": violation.detail,
+    }
+
+
+def _violation_from_wire(raw: Any) -> MSoDViolation:
+    what = "decision.violation"
+    return MSoDViolation(
+        policy_id=_require(raw, "policy_id", str, what),
+        constraint_kind=_require(raw, "constraint_kind", str, what),
+        constraint_repr=_require(raw, "constraint_repr", str, what),
+        effective_context=_context_from_wire(
+            raw.get("effective_context"), f"{what}.effective_context"
+        ),
+        detail=_require(raw, "detail", str, what),
+    )
+
+
+def decision_to_wire(decision: Decision) -> dict:
+    """Serialise a :class:`Decision` for the ``decide`` response."""
+    return {
+        "effect": decision.effect,
+        "request": request_to_wire(decision.request),
+        "violation": (
+            None
+            if decision.violation is None
+            else _violation_to_wire(decision.violation)
+        ),
+        "matched_policy_ids": list(decision.matched_policy_ids),
+        "records_added": decision.records_added,
+        "records_purged": decision.records_purged,
+        "reason": decision.reason,
+        "adi_adds": [_record_to_wire(record) for record in decision.adi_adds],
+        "adi_purged_contexts": [
+            str(context) for context in decision.adi_purged_contexts
+        ],
+    }
+
+
+def decision_from_wire(raw: Any) -> Decision:
+    """Rebuild a :class:`Decision`; raises ProtocolError on junk."""
+    what = "decision"
+    effect = _require(raw, "effect", str, what)
+    if effect not in (Effect.GRANT, Effect.DENY):
+        raise ProtocolError(f"{what}.effect must be grant or deny")
+    matched = raw.get("matched_policy_ids", [])
+    if not isinstance(matched, list) or not all(
+        isinstance(item, str) for item in matched
+    ):
+        raise ProtocolError(f"{what}.matched_policy_ids must be a string list")
+    violation_raw = raw.get("violation")
+    adds_raw = raw.get("adi_adds", [])
+    purged_raw = raw.get("adi_purged_contexts", [])
+    if not isinstance(adds_raw, list):
+        raise ProtocolError(f"{what}.adi_adds must be a list")
+    if not isinstance(purged_raw, list):
+        raise ProtocolError(f"{what}.adi_purged_contexts must be a list")
+    records_added = raw.get("records_added", 0)
+    records_purged = raw.get("records_purged", 0)
+    if isinstance(records_added, bool) or not isinstance(records_added, int):
+        raise ProtocolError(f"{what}.records_added must be an integer")
+    if isinstance(records_purged, bool) or not isinstance(records_purged, int):
+        raise ProtocolError(f"{what}.records_purged must be an integer")
+    return Decision(
+        effect=effect,
+        request=request_from_wire(raw.get("request")),
+        violation=(
+            None if violation_raw is None else _violation_from_wire(violation_raw)
+        ),
+        matched_policy_ids=tuple(matched),
+        records_added=records_added,
+        records_purged=records_purged,
+        reason=_require(raw, "reason", str, what),
+        adi_adds=tuple(_record_from_wire(item) for item in adds_raw),
+        adi_purged_contexts=tuple(
+            _context_from_wire(item, f"{what}.adi_purged_contexts[]")
+            for item in purged_raw
+        ),
+    )

@@ -1,0 +1,301 @@
+"""The sharded MSoD authorization service (transport-independent core).
+
+One service owns one :class:`~repro.core.engine.MSoDEngine` and its
+retained-ADI store, and dispatches every decision request to one of
+``n_shards`` worker queues keyed by the requesting user::
+
+    shard = crc32(user_id) % n_shards
+
+Decisions for the *same* user are therefore strictly serialized — the
+property that keeps retained-ADI history evaluation race-free without
+any cross-request locking — while distinct users proceed concurrently
+across shards.  (The MSoD algorithm's history reads and its grant
+commit are per-user state transitions; interleaving two requests of one
+user could read stale history between another's read and commit.)
+
+Workers drain their queues in *adaptive micro-batches*: whatever is
+queued when the worker wakes, capped at ``batch_max``, is evaluated
+under a single ``store.batch()`` — one SQLite transaction (one fsync)
+per batch under load, one per decision when idle.
+
+Admission control is applied at submit time: every shard queue is
+bounded, and a full queue rejects immediately with a ``retry_after``
+hint instead of growing without bound (the 503-equivalent).  Shutdown
+is graceful: submission stops, queued work drains, the audit sink is
+flushed, then workers exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from typing import Callable
+
+from repro.core.decision import Decision, DecisionRequest
+from repro.core.engine import MSoDEngine
+from repro.errors import ReproError
+from repro.perf import NOOP, PerfRecorder
+
+
+class ServiceOverloadedError(ReproError):
+    """A shard queue was full; the request was shed before queueing."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ReproError):
+    """The service is not accepting requests (not started or draining)."""
+
+
+def shard_of(user_id: str, n_shards: int) -> int:
+    """The shard index a user's decisions are serialized on.
+
+    ``crc32`` rather than ``hash()``: deterministic across processes
+    (``hash(str)`` is salted per interpreter), cheap, and uniform enough
+    for queue balancing.
+    """
+    return zlib.crc32(user_id.encode("utf-8")) % n_shards
+
+
+class ShardStats:
+    """Monotonic per-shard counters, snapshot by ``/metrics``."""
+
+    __slots__ = ("submitted", "completed", "rejected", "batches", "max_batch")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.batches = 0
+        self.max_batch = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+        }
+
+
+class AuthorizationService:
+    """Sharded, batching front end over one :class:`MSoDEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The MSoD engine; its store is shared by all shard workers (the
+        SQLite store's single-lock discipline makes that safe).
+    n_shards:
+        Number of worker queues.  Decisions of one user always land on
+        the same shard.
+    queue_depth:
+        Bound of each shard queue; a full queue sheds load.
+    batch_max:
+        Cap on one worker micro-batch (and on the span of one SQLite
+        transaction).
+    retry_after:
+        Hint (seconds) returned with overload rejections.
+    audit_sink:
+        Optional callable receiving every decision made; if it has a
+        ``flush`` method it is called on graceful drain.
+    perf:
+        Optional recorder for service-level counters/timings.
+    """
+
+    def __init__(
+        self,
+        engine: MSoDEngine,
+        n_shards: int = 4,
+        queue_depth: int = 256,
+        batch_max: int = 32,
+        retry_after: float = 0.05,
+        audit_sink: Callable[[Decision], None] | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self._engine = engine
+        self._n_shards = n_shards
+        self._queue_depth = queue_depth
+        self._batch_max = batch_max
+        self._retry_after = retry_after
+        self._audit_sink = audit_sink
+        self._perf = perf if perf is not None else NOOP
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._stats = [ShardStats() for _ in range(n_shards)]
+        self._accepting = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> MSoDEngine:
+        return self._engine
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    @property
+    def perf(self) -> PerfRecorder:
+        return self._perf
+
+    def queue_depths(self) -> list[int]:
+        """Current per-shard backlog (0s before start)."""
+        return [queue.qsize() for queue in self._queues]
+
+    def health(self) -> dict:
+        """The ``/healthz`` body: status plus per-shard backlog."""
+        return {
+            "status": "ok" if self._accepting else "draining",
+            "shards": self._n_shards,
+            "queue_depth_limit": self._queue_depth,
+            "queue_depths": self.queue_depths(),
+        }
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` body: perf snapshot plus per-shard stats."""
+        return {
+            "shards": [stats.to_dict() for stats in self._stats],
+            "queue_depths": self.queue_depths(),
+            "perf": self._perf.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the shard queues and spawn one worker task each."""
+        if self._started:
+            return
+        self._queues = [
+            asyncio.Queue(maxsize=self._queue_depth)
+            for _ in range(self._n_shards)
+        ]
+        self._workers = [
+            asyncio.create_task(
+                self._worker(index), name=f"msod-shard-{index}"
+            )
+            for index in range(self._n_shards)
+        ]
+        self._started = True
+        self._accepting = True
+
+    async def stop(self) -> None:
+        """Graceful drain: stop admitting, flush queues, flush audit."""
+        if not self._started:
+            return
+        self._accepting = False
+        # Wait until every queued request has been decided and answered.
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._started = False
+        flush = getattr(self._audit_sink, "flush", None)
+        if callable(flush):
+            flush()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: DecisionRequest) -> "asyncio.Future[Decision]":
+        """Enqueue one request on its user's shard.
+
+        Returns a future resolving to the :class:`Decision`.  Raises
+        :class:`ServiceOverloadedError` when the shard queue is full and
+        :class:`ServiceUnavailableError` when not accepting — both
+        *before* any queueing, so the caller may safely retry.
+        """
+        if not self._accepting:
+            raise ServiceUnavailableError(
+                "authorization service is not accepting requests"
+            )
+        shard = shard_of(request.user_id, self._n_shards)
+        stats = self._stats[shard]
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queues[shard].put_nowait((request, future))
+        except asyncio.QueueFull:
+            stats.rejected += 1
+            self._perf.incr("server.rejected_overload")
+            raise ServiceOverloadedError(
+                f"shard {shard} queue is full "
+                f"({self._queue_depth} requests pending)",
+                retry_after=self._retry_after,
+            ) from None
+        stats.submitted += 1
+        self._perf.incr("server.submitted")
+        return future
+
+    async def decide(self, request: DecisionRequest) -> Decision:
+        """Submit and await one decision (convenience for in-process use)."""
+        return await self.submit(request)
+
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        stats = self._stats[shard]
+        perf = self._perf
+        while True:
+            item = await queue.get()
+            batch = [item]
+            while len(batch) < self._batch_max:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            stats.batches += 1
+            if len(batch) > stats.max_batch:
+                stats.max_batch = len(batch)
+            perf.incr("server.batches")
+            perf.incr("server.batched_requests", len(batch))
+            try:
+                self._run_batch(batch, stats)
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    def _run_batch(
+        self,
+        batch: list[tuple[DecisionRequest, "asyncio.Future[Decision]"]],
+        stats: ShardStats,
+    ) -> None:
+        """Decide one micro-batch under a single store transaction.
+
+        A failing decision fails only its own future — the worker and
+        the rest of the batch carry on (the engine's per-decision
+        atomicity plus the store's savepoints guarantee no partial
+        state from the failed one).
+        """
+        engine = self._engine
+        sink = self._audit_sink
+        perf = self._perf
+        timing = perf.enabled
+        with engine.store.batch():
+            for request, future in batch:
+                started = perf.start() if timing else 0.0
+                try:
+                    decision = engine.check(request)
+                except Exception as exc:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+                    continue
+                finally:
+                    if timing:
+                        perf.stop("server.decide", started)
+                stats.completed += 1
+                perf.incr("server.decided")
+                if sink is not None:
+                    sink(decision)
+                if not future.cancelled():
+                    future.set_result(decision)

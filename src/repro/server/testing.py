@@ -1,0 +1,102 @@
+"""Test/bench harness: run an :class:`MSoDServer` on a background thread.
+
+Synchronous callers (pytest, the closed-loop bench driver, the CI smoke
+job) need a live server without owning an event loop.  ``ServerThread``
+spins a private loop in a daemon thread, starts the server on it, and
+tears everything down — including the graceful service drain — on
+``stop()`` / context-manager exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.server.app import MSoDServer
+from repro.server.service import AuthorizationService
+
+
+class ServerThread:
+    """A live authorization server on its own event-loop thread.
+
+    Usage::
+
+        service = AuthorizationService(engine, n_shards=4)
+        with ServerThread(service) as server:
+            pdp = RemotePDP(server.host, server.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        service: AuthorizationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = MSoDServer(service, host=host, port=port)
+        self._host = host
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def service(self) -> AuthorizationService:
+        return self._server.service
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        """Boot the loop thread; blocks until the socket is listening."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="msod-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Stop listening, drain in-flight decisions, join the thread."""
+        if self._thread is None or self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def _run(self) -> None:
+        loop = self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._server.start())
+        except BaseException as exc:  # pragma: no cover - startup failure
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self._server.stop())
+            loop.close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

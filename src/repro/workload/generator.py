@@ -403,3 +403,38 @@ def decision_request_stream(
             context_instance=context,
             timestamp=float(index),
         )
+
+
+def hot_user_stream(
+    n_requests: int,
+    user_id: str = "hot-user",
+    context: ContextName | None = None,
+    conflict_fraction: float = 0.5,
+    seed: int = 13,
+) -> Iterator[DecisionRequest]:
+    """A single-user contended stream for per-user serialization tests.
+
+    Every request names the same user and business-context instance,
+    mixing the teller and auditor duties so a policy with an MMER over
+    {Teller, Auditor} forces a history-dependent outcome: once either
+    role is granted in the context, the other must be denied.  Several
+    clients replaying slices of this stream concurrently is the
+    worst-case hammering of one retained-ADI history — exactly what the
+    serving layer's per-user shard serialization must keep race-free.
+    """
+    rng = random.Random(seed)
+    if context is None:
+        context = ContextName.parse("Branch=York, Period=P1")
+    for index in range(n_requests):
+        if rng.random() < conflict_fraction:
+            role, privilege = AUDITOR, AUDIT_BOOKS
+        else:
+            role, privilege = TELLER, HANDLE_CASH
+        yield DecisionRequest(
+            user_id=user_id,
+            roles=(role,),
+            operation=privilege.operation,
+            target=privilege.target,
+            context_instance=context,
+            timestamp=float(index),
+        )

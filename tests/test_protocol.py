@@ -1,0 +1,268 @@
+"""Wire-format tests: round trips plus malformed-input fuzzing.
+
+The hard requirement (ISSUE 2): truncated frames, oversized frames and
+bad UTF-8 must yield a :class:`~repro.errors.ProtocolError` — never any
+other exception, because any other exception would crash a serving
+worker on attacker-controlled bytes.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import ContextName, Decision, DecisionRequest, MSoDViolation, Role
+from repro.core.retained_adi import RetainedADIRecord
+from repro.errors import ProtocolError
+from repro.server import protocol
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+
+def make_request(**overrides):
+    defaults = dict(
+        user_id="alice",
+        roles=(TELLER, AUDITOR),
+        operation="handleCash",
+        target="till://1",
+        context_instance=ContextName.parse("Branch=York, Period=P1"),
+        timestamp=17.25,
+        environment={"tod": "morning"},
+        request_id="req-test-0001",
+    )
+    defaults.update(overrides)
+    return DecisionRequest(**defaults)
+
+
+def make_grant():
+    request = make_request()
+    record = RetainedADIRecord(
+        user_id="alice",
+        roles=(TELLER,),
+        operation="handleCash",
+        target="till://1",
+        context_instance=ContextName.parse("Branch=York, Period=P1"),
+        granted_at=17.25,
+        request_id="req-test-0001",
+        record_id=41,
+    )
+    return Decision(
+        effect="grant",
+        request=request,
+        matched_policy_ids=("bank-1",),
+        records_added=1,
+        records_purged=0,
+        reason="granted under MSoD",
+        adi_adds=(record,),
+        adi_purged_contexts=(ContextName.parse("Branch=York, Period=P0"),),
+    )
+
+
+def make_deny():
+    request = make_request()
+    violation = MSoDViolation(
+        policy_id="bank-1",
+        constraint_kind="MMER",
+        constraint_repr="MMER({Teller, Auditor}, 2)",
+        effective_context=ContextName.parse("Branch=*, Period=P1"),
+        detail="user 'alice' would hold 2 of 2 mutually exclusive roles",
+    )
+    return Decision(
+        effect="deny",
+        request=request,
+        violation=violation,
+        matched_policy_ids=("bank-1",),
+        reason=violation.detail,
+    )
+
+
+class TestRoundTrips:
+    def test_request_round_trip_is_bit_identical(self):
+        request = make_request()
+        wire = json.loads(json.dumps(protocol.request_to_wire(request)))
+        assert protocol.request_from_wire(wire) == request
+
+    def test_grant_decision_round_trip(self):
+        decision = make_grant()
+        wire = json.loads(json.dumps(protocol.decision_to_wire(decision)))
+        assert protocol.decision_from_wire(wire) == decision
+
+    def test_deny_decision_round_trip(self):
+        decision = make_deny()
+        wire = json.loads(json.dumps(protocol.decision_to_wire(decision)))
+        assert protocol.decision_from_wire(wire) == decision
+
+    def test_frame_envelope_round_trip(self):
+        frame = protocol.request_frame(
+            "decide", "c-1", request=protocol.request_to_wire(make_request())
+        )
+        data = protocol.encode_frame(frame)
+        assert data.endswith(b"\n")
+        assert protocol.decode_frame(data) == frame
+
+    def test_float_timestamps_survive_exactly(self):
+        request = make_request(timestamp=0.1 + 0.2)  # classic non-exact sum
+        wire = json.loads(json.dumps(protocol.request_to_wire(request)))
+        assert protocol.request_from_wire(wire).timestamp == request.timestamp
+
+
+class TestEnvelopeRejection:
+    def test_empty_frame(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"\n")
+
+    def test_bad_utf8(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b'\xff\xfe{"v": 1}\n')
+
+    def test_truncated_json(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b'{"v": 1, "op": "deci')
+
+    def test_non_object_frame(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"[1, 2, 3]\n")
+
+    def test_oversized_frame(self):
+        line = b'{"v": 1, "pad": "' + b"x" * protocol.MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(line)
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame({"v": 1, "pad": "x" * protocol.MAX_FRAME_BYTES})
+
+    @pytest.mark.parametrize("version", [None, 0, 2, "1", [1]])
+    def test_wrong_version(self, version):
+        line = json.dumps({"v": version, "op": "healthz"}).encode() + b"\n"
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(line)
+
+
+class TestRequestRejection:
+    def wire(self, **overrides):
+        base = protocol.request_to_wire(make_request())
+        base.update(overrides)
+        return base
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"user_id": 7},
+            {"user_id": None},
+            {"user_id": ""},  # semantically invalid (Section 4.1)
+            {"roles": "Teller"},
+            {"roles": [["employee"]]},
+            {"roles": [["employee", 3]]},
+            {"roles": [{"type": "employee"}]},
+            {"operation": None},
+            {"target": 4.2},
+            {"context_instance": 9},
+            {"context_instance": "not==a==context"},
+            {"context_instance": "Branch=*, Period=P1"},  # non-concrete
+            {"timestamp": "noon"},
+            {"timestamp": True},
+            {"environment": [1, 2]},
+            {"environment": {"k": 5}},
+            {"request_id": None},
+        ],
+    )
+    def test_malformed_request_bodies(self, overrides):
+        with pytest.raises(ProtocolError):
+            protocol.request_from_wire(self.wire(**overrides))
+
+    def test_non_dict_request(self):
+        with pytest.raises(ProtocolError):
+            protocol.request_from_wire("decide me")
+
+
+class TestDecisionRejection:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda wire: wire.update(effect="maybe"),
+            lambda wire: wire.update(reason=None),
+            lambda wire: wire.update(matched_policy_ids="p1"),
+            lambda wire: wire.update(matched_policy_ids=[1]),
+            lambda wire: wire.update(records_added="many"),
+            lambda wire: wire.update(records_purged=True),
+            lambda wire: wire.update(adi_adds={"a": 1}),
+            lambda wire: wire.update(adi_adds=[{"user_id": "x"}]),
+            lambda wire: wire.update(adi_purged_contexts="ctx"),
+            lambda wire: wire.update(adi_purged_contexts=[3]),
+            lambda wire: wire.update(violation={"policy_id": 1}),
+            lambda wire: wire.update(request=None),
+        ],
+    )
+    def test_malformed_decisions(self, mutate):
+        wire = protocol.decision_to_wire(make_grant())
+        mutate(wire)
+        with pytest.raises(ProtocolError):
+            protocol.decision_from_wire(wire)
+
+
+class TestFuzz:
+    """Random corruption must only ever produce ProtocolError."""
+
+    def test_truncations_never_crash(self):
+        frame = protocol.encode_frame(
+            protocol.request_frame(
+                "decide",
+                "c-9",
+                request=protocol.request_to_wire(make_request()),
+            )
+        )
+        for cut in range(len(frame)):
+            truncated = frame[:cut]
+            try:
+                decoded = protocol.decode_frame(truncated)
+                protocol.request_from_wire(decoded.get("request"))
+            except ProtocolError:
+                pass  # the only acceptable failure mode
+
+    def test_random_byte_corruption_never_crashes(self):
+        rng = random.Random(20260806)
+        frame = bytearray(
+            protocol.encode_frame(
+                protocol.request_frame(
+                    "decide",
+                    "c-10",
+                    request=protocol.request_to_wire(make_request()),
+                )
+            )
+        )
+        for _ in range(500):
+            corrupted = bytearray(frame)
+            for _ in range(rng.randrange(1, 6)):
+                corrupted[rng.randrange(len(corrupted))] = rng.randrange(256)
+            try:
+                decoded = protocol.decode_frame(bytes(corrupted))
+                if decoded.get("op") == protocol.OP_DECIDE:
+                    protocol.request_from_wire(decoded.get("request"))
+            except ProtocolError:
+                pass
+
+    def test_random_json_shapes_never_crash(self):
+        rng = random.Random(7)
+        atoms = [None, True, False, 0, -1, 3.5, "x", "", [], {}, "Branch=York"]
+
+        def shape(depth=0):
+            if depth > 2 or rng.random() < 0.4:
+                return rng.choice(atoms)
+            if rng.random() < 0.5:
+                return [shape(depth + 1) for _ in range(rng.randrange(3))]
+            return {
+                rng.choice(["v", "op", "id", "request", "roles", "user_id"]):
+                    shape(depth + 1)
+                for _ in range(rng.randrange(4))
+            }
+
+        for _ in range(300):
+            payload = {"v": 1, "op": "decide", "id": "f", "request": shape()}
+            line = json.dumps(payload).encode() + b"\n"
+            decoded = protocol.decode_frame(line)
+            try:
+                protocol.request_from_wire(decoded.get("request"))
+            except ProtocolError:
+                pass
