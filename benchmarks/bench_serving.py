@@ -35,6 +35,7 @@ import time
 
 from bench_hotpath_regression import build_policy_set, request_stream
 
+from repro.api import open_server
 from repro.client import PDPOverloadedError, RemotePDP
 from repro.core import MSoDEngine, SQLiteRetainedADIStore
 from repro.perf import PerfRecorder
@@ -63,18 +64,18 @@ def run_load(
     requests = list(request_stream(n_requests, n_users))
     per_client = len(requests) // n_clients
 
-    store = SQLiteRetainedADIStore(":memory:")
     perf = PerfRecorder()
-    service = AuthorizationService(
-        MSoDEngine(build_policy_set(), store), n_shards=n_shards, perf=perf
-    )
     latencies: list[list[float]] = [[] for _ in range(n_clients)]
     errors: list[Exception] = []
 
-    with ServerThread(service) as server:
-        with RemotePDP(
-            server.host, server.port, pool_size=n_clients, timeout=30.0
-        ) as pdp:
+    with open_server(
+        build_policy_set(),
+        store="sqlite::memory:",
+        n_shards=n_shards,
+        perf=perf,
+    ) as server:
+        service = server.service
+        with server.client(pool_size=n_clients, timeout=30.0) as pdp:
 
             def client(index: int) -> None:
                 lo = index * per_client
@@ -98,7 +99,6 @@ def run_load(
                 thread.join()
             elapsed = time.perf_counter() - wall_started
         metrics = service.metrics()
-    store.close()
     if errors:
         raise errors[0]
 

@@ -46,9 +46,28 @@ from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
+#: Lazily re-exported from :mod:`repro.api` (PEP 562) so that importing
+#: ``repro`` never drags in the server/client stack.
+_API_NAMES = ("open_pdp", "open_server")
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(list(globals()) + list(_API_NAMES))
+
+
 __all__ = [
     "__version__",
     "ReproError",
+    "open_pdp",
+    "open_server",
     "ContextName",
     "Role",
     "Privilege",

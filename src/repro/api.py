@@ -1,0 +1,358 @@
+"""repro.api — the one way to construct and run an MSoD PDP.
+
+Before this module existed the repository had three divergent
+construction rituals: the CLI built ``SQLiteRetainedADIStore`` +
+``MSoDEngine`` by hand, the server tests assembled engine + service +
+``ServerThread``, and the benchmarks did both again.  :func:`open_pdp`
+replaces all of them with a single call that returns a uniform
+:class:`~repro.framework.pdp.PolicyDecisionPoint` handle::
+
+    from repro.api import open_pdp
+
+    with open_pdp("policy.xml") as pdp:                      # in-memory
+        decision = pdp.decide(request)
+
+    with open_pdp("policy.xml", store="sqlite:adi.db") as pdp:
+        ...                                                  # durable
+
+    with open_pdp(store="remote:pdp.example:8750") as pdp:
+        ...                                                  # networked
+
+Every handle supports the same lifecycle — ``decide``, ``close``,
+context-manager exit, and a ``perf`` recorder — so callers never
+special-case remote connection pooling against in-process stores.
+``trace=True`` additionally attaches a
+:class:`~repro.obs.trace.DecisionTracer` with a slow-decision log, and
+each decision carries its :class:`~repro.obs.trace.DecisionTrace`.
+
+:func:`open_server` is the serving twin: the same policy/store spec,
+but wrapped in a sharded :class:`~repro.server.service
+.AuthorizationService` listening on a socket, with a ``client()``
+shortcut returning a connected :class:`~repro.client.RemotePDP`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.core.context import ContextName
+from repro.core.decision import Decision, DecisionRequest
+from repro.core.engine import MODE_STRICT, MSoDEngine
+from repro.core.policy import MSoDPolicySet
+from repro.core.retained_adi import (
+    InMemoryRetainedADIStore,
+    RetainedADIStore,
+    SQLiteRetainedADIStore,
+)
+from repro.errors import PolicyError
+from repro.framework.pdp import PolicyDecisionPoint
+from repro.obs.slowlog import SlowDecisionLog
+from repro.obs.trace import DecisionTracer
+from repro.perf import NOOP, PerfRecorder
+
+__all__ = ["open_pdp", "open_server", "LocalPDP", "ServerHandle"]
+
+#: Accepted ``policy`` argument shapes.
+PolicySource = Union[MSoDPolicySet, str, "os.PathLike[str]", None]
+
+#: Accepted ``store`` argument shapes.
+StoreSpec = Union[str, RetainedADIStore]
+
+
+def _load_policy_set(policy: PolicySource) -> MSoDPolicySet:
+    if isinstance(policy, MSoDPolicySet):
+        return policy
+    if isinstance(policy, (str, os.PathLike)):
+        from repro.xmlpolicy import parse_policy_set_file
+
+        return parse_policy_set_file(os.fspath(policy))
+    raise PolicyError(
+        "policy must be an MSoDPolicySet or a path to a policy XML file, "
+        f"got {type(policy).__name__}"
+    )
+
+
+def _parse_store_spec(store: StoreSpec) -> tuple[str, object]:
+    """Normalise a store spec to ``(kind, detail)``."""
+    if isinstance(store, RetainedADIStore):
+        return "instance", store
+    if not isinstance(store, str):
+        raise PolicyError(
+            "store must be 'memory', 'sqlite:<path>', 'remote:<host>:<port>' "
+            f"or a RetainedADIStore, got {type(store).__name__}"
+        )
+    if store == "memory":
+        return "memory", None
+    if store.startswith("sqlite:"):
+        path = store[len("sqlite:"):]
+        if not path:
+            raise PolicyError("sqlite store spec needs a path: 'sqlite:<path>'")
+        return "sqlite", path
+    if store.startswith("remote:"):
+        rest = store[len("remote:"):]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep or not host:
+            raise PolicyError(
+                "remote store spec must be 'remote:<host>:<port>', "
+                f"got {store!r}"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise PolicyError(
+                f"remote store spec has a non-numeric port: {store!r}"
+            ) from None
+        return "remote", (host, port)
+    raise PolicyError(f"unknown store spec {store!r}")
+
+
+def _build_tracer(
+    trace: bool, slowlog_capacity: int
+) -> tuple[DecisionTracer | None, SlowDecisionLog | None]:
+    if not trace:
+        return None, None
+    slow_log = (
+        SlowDecisionLog(slowlog_capacity) if slowlog_capacity > 0 else None
+    )
+    return DecisionTracer(slow_log=slow_log), slow_log
+
+
+class LocalPDP(PolicyDecisionPoint):
+    """An in-process PDP over one MSoD engine and its retained ADI.
+
+    The uniform handle :func:`open_pdp` returns for ``memory`` and
+    ``sqlite:`` stores: ``decide`` runs the Section 4.2 algorithm,
+    ``close`` releases the store (only when the handle created it), and
+    ``perf`` / ``tracer`` / ``slow_log`` expose the observability
+    layer.
+    """
+
+    def __init__(
+        self,
+        engine: MSoDEngine,
+        *,
+        owns_store: bool = True,
+        slow_log: SlowDecisionLog | None = None,
+    ) -> None:
+        self._engine = engine
+        self._owns_store = owns_store
+        self._slow_log = slow_log
+        self._closed = False
+
+    @property
+    def engine(self) -> MSoDEngine:
+        return self._engine
+
+    @property
+    def store(self) -> RetainedADIStore:
+        return self._engine.store
+
+    @property
+    def perf(self) -> PerfRecorder:
+        return self._engine.perf
+
+    @property
+    def tracer(self) -> DecisionTracer:
+        return self._engine.tracer
+
+    @property
+    def slow_log(self) -> SlowDecisionLog | None:
+        """The slow-decision log (None unless opened with ``trace=True``)."""
+        return self._slow_log
+
+    def decide(self, request: DecisionRequest) -> Decision:
+        return self._engine.check(request)
+
+    def notify_context_terminated(self, context: ContextName) -> int:
+        """Forward an implied context termination to the engine."""
+        return self._engine.notify_context_terminated(context)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_store:
+            self._engine.store.close()
+
+
+def open_pdp(
+    policy: PolicySource = None,
+    store: StoreSpec = "memory",
+    *,
+    perf: PerfRecorder | None = None,
+    trace: bool = False,
+    slowlog_capacity: int = 32,
+    mode: str = MODE_STRICT,
+    timeout: float = 5.0,
+    pool_size: int = 4,
+    max_retries: int = 2,
+) -> PolicyDecisionPoint:
+    """Open a PDP handle over any backend with one uniform call.
+
+    Parameters
+    ----------
+    policy:
+        An :class:`MSoDPolicySet` or a path to an Appendix-A policy XML
+        file.  Required for in-process stores; must be ``None`` for
+        ``remote:`` stores (the server owns the policy).
+    store:
+        ``"memory"``, ``"sqlite:<path>"``, ``"remote:<host>:<port>"``,
+        or an already-constructed :class:`RetainedADIStore` (whose
+        lifetime then stays with the caller).
+    perf:
+        Optional :class:`PerfRecorder`; for remote handles it records
+        the client-side counters instead.
+    trace:
+        Attach an enabled :class:`DecisionTracer` (plus a slow-decision
+        log of ``slowlog_capacity`` entries) so every decision carries
+        a :class:`~repro.obs.trace.DecisionTrace`.  Unsupported for
+        ``remote:`` handles — tracing happens server-side there (start
+        the server with tracing and query its ``slowlog`` verb).
+    mode:
+        Engine mode, ``strict`` (default) or ``literal``.
+    timeout, pool_size, max_retries:
+        Remote-handle connection tuning; ignored for in-process stores.
+    """
+    kind, detail = _parse_store_spec(store)
+    if kind == "remote":
+        if policy is not None:
+            raise PolicyError(
+                "remote PDPs take no policy argument — the server owns "
+                "the policy"
+            )
+        if trace:
+            raise PolicyError(
+                "tracing is server-side for remote PDPs: start the server "
+                "with tracing enabled and query its slowlog/metrics verbs"
+            )
+        from repro.client.remote import RemotePDP
+
+        host, port = detail  # type: ignore[misc]
+        return RemotePDP(
+            host,
+            port,
+            pool_size=pool_size,
+            timeout=timeout,
+            max_retries=max_retries,
+            perf=perf,
+        )
+
+    policy_set = _load_policy_set(policy)
+    if kind == "instance":
+        backend: RetainedADIStore = detail  # type: ignore[assignment]
+        owns_store = False
+    elif kind == "sqlite":
+        backend = SQLiteRetainedADIStore(str(detail))
+        owns_store = True
+    else:
+        backend = InMemoryRetainedADIStore()
+        owns_store = True
+    tracer, slow_log = _build_tracer(trace, slowlog_capacity)
+    engine = MSoDEngine(
+        policy_set, backend, mode=mode, perf=perf, tracer=tracer
+    )
+    return LocalPDP(engine, owns_store=owns_store, slow_log=slow_log)
+
+
+class ServerHandle:
+    """A running authorization server plus the resources it owns.
+
+    Returned by :func:`open_server`; closing it drains the shard
+    queues, stops the listener thread and closes the store it opened.
+    """
+
+    def __init__(self, thread, owned_store: RetainedADIStore | None) -> None:
+        self._thread = thread
+        self._owned_store = owned_store
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._thread.host
+
+    @property
+    def port(self) -> int:
+        return self._thread.port
+
+    @property
+    def service(self):
+        return self._thread.service
+
+    @property
+    def engine(self) -> MSoDEngine:
+        return self._thread.service.engine
+
+    def client(self, **kwargs):
+        """A :class:`~repro.client.RemotePDP` connected to this server."""
+        from repro.client.remote import RemotePDP
+
+        return RemotePDP(self.host, self.port, **kwargs)
+
+    def close(self) -> None:
+        """Drain, stop the server thread and release owned resources."""
+        if self._closed:
+            return
+        self._closed = True
+        self._thread.stop()
+        if self._owned_store is not None:
+            self._owned_store.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_server(
+    policy: PolicySource,
+    store: StoreSpec = "memory",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    n_shards: int = 4,
+    queue_depth: int = 256,
+    batch_max: int = 32,
+    perf: PerfRecorder | None = None,
+    trace: bool = False,
+    slowlog_capacity: int = 32,
+    mode: str = MODE_STRICT,
+) -> ServerHandle:
+    """Boot a sharded authorization server on a background thread.
+
+    The serving twin of :func:`open_pdp`: same policy/store specs
+    (``remote:`` is meaningless here and rejected), one call instead of
+    the engine + service + ``ServerThread`` ritual.  ``port=0`` binds
+    an ephemeral port — read it back from the handle.
+    """
+    from repro.server.service import AuthorizationService
+    from repro.server.testing import ServerThread
+
+    kind, detail = _parse_store_spec(store)
+    if kind == "remote":
+        raise PolicyError("open_server runs the server side; use a local store")
+    policy_set = _load_policy_set(policy)
+    if kind == "instance":
+        backend: RetainedADIStore = detail  # type: ignore[assignment]
+        owned: RetainedADIStore | None = None
+    elif kind == "sqlite":
+        backend = SQLiteRetainedADIStore(str(detail))
+        owned = backend
+    else:
+        backend = InMemoryRetainedADIStore()
+        owned = backend
+    recorder = perf if perf is not None else NOOP
+    tracer, _ = _build_tracer(trace, slowlog_capacity)
+    engine = MSoDEngine(
+        policy_set, backend, mode=mode, perf=recorder, tracer=tracer
+    )
+    service = AuthorizationService(
+        engine,
+        n_shards=n_shards,
+        queue_depth=queue_depth,
+        batch_max=batch_max,
+        perf=recorder,
+    )
+    thread = ServerThread(service, host=host, port=port).start()
+    return ServerHandle(thread, owned)

@@ -18,12 +18,17 @@ multi-session SoD from a shell:
 
 Commands: ``validate``, ``show``, ``compile``, ``decompile``, ``lint``,
 ``decide``, ``explain``, ``history``, ``purge``, ``serve``,
-``remote-decide``, ``remote-status``.
+``remote-decide``, ``remote-status``, ``metrics``.
 
 ``serve`` turns the same policy + SQLite retained ADI into a networked
 authorization service (the paper's Section 5 deployment shape);
-``remote-decide`` is the PEP side of that wire, and ``remote-status``
-snapshots the server's health/metrics.
+``remote-decide`` is the PEP side of that wire, ``remote-status``
+snapshots the server's health/metrics, and ``metrics`` scrapes the
+Prometheus text exposition (point a Prometheus scrape job at it, or
+eyeball it in a terminal).
+
+Construction goes through :func:`repro.api.open_pdp`, so the CLI, the
+tests and the benchmarks all build their PDPs the same way.
 """
 
 from __future__ import annotations
@@ -99,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--literal",
         action="store_true",
         help="use the literal published step order instead of strict mode",
+    )
+    decide.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-stage decision trace after the verdict",
     )
 
     compile_cmd = commands.add_parser(
@@ -180,6 +190,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the literal published step order instead of strict mode",
     )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every decision and keep a slow-decision log "
+        "(queryable via the slowlog verb / remote-status --slowlog)",
+    )
+    serve.add_argument(
+        "--slowlog-size",
+        type=int,
+        default=32,
+        help="how many slowest traces to retain (with --trace)",
+    )
 
     def _remote_address(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--host", default="127.0.0.1")
@@ -204,11 +226,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a running server's health (or --metrics) snapshot",
     )
     _remote_address(remote_status)
-    remote_status.add_argument(
+    status_kind = remote_status.add_mutually_exclusive_group()
+    status_kind.add_argument(
         "--metrics",
         action="store_true",
         help="full perf/shard metrics instead of the health summary",
     )
+    status_kind.add_argument(
+        "--slowlog",
+        action="store_true",
+        help="the server's slowest retained decision traces",
+    )
+
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="scrape a running server's Prometheus text exposition",
+    )
+    _remote_address(metrics_cmd)
     return parser
 
 
@@ -289,17 +323,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def cmd_decide(args: argparse.Namespace) -> int:
     """Evaluate one request as its own session; exit 2 on deny."""
+    from repro.api import open_pdp
     from repro.core.engine import MODE_LITERAL, MODE_STRICT
 
-    policy_set = parse_policy_set_file(args.policy)
-    store = SQLiteRetainedADIStore(args.adi)
-    try:
-        engine = MSoDEngine(
-            policy_set,
-            store,
-            mode=MODE_LITERAL if args.literal else MODE_STRICT,
-        )
-        decision = engine.check(
+    with open_pdp(
+        args.policy,
+        store=f"sqlite:{args.adi}",
+        mode=MODE_LITERAL if args.literal else MODE_STRICT,
+        trace=args.trace,
+    ) as pdp:
+        decision = pdp.decide(
             DecisionRequest(
                 user_id=args.user,
                 roles=tuple(args.role),
@@ -309,15 +342,15 @@ def cmd_decide(args: argparse.Namespace) -> int:
                 timestamp=time.time(),
             )
         )
-        print(decision)
-        if decision.granted:
-            print(
-                f"recorded {decision.records_added} record(s), "
-                f"purged {decision.records_purged}"
-            )
-        return 0 if decision.granted else 2
-    finally:
-        store.close()
+    print(decision)
+    if decision.granted:
+        print(
+            f"recorded {decision.records_added} record(s), "
+            f"purged {decision.records_purged}"
+        )
+    if args.trace and decision.trace is not None:
+        print(decision.trace.render())
+    return 0 if decision.granted else 2
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -387,18 +420,26 @@ def cmd_purge(args: argparse.Namespace) -> int:
 async def _serve_until_interrupted(args: argparse.Namespace) -> int:
     """Boot the server and run until SIGINT/SIGTERM, then drain."""
     from repro.core.engine import MODE_LITERAL, MODE_STRICT
+    from repro.obs import DecisionTracer, SlowDecisionLog
     from repro.perf import PerfRecorder
     from repro.server import AuthorizationService, MSoDServer
 
     policy_set = parse_policy_set_file(args.policy)
     store = SQLiteRetainedADIStore(args.adi)
     perf = PerfRecorder()
+    tracer = None
+    if args.trace:
+        slow_log = (
+            SlowDecisionLog(args.slowlog_size) if args.slowlog_size > 0 else None
+        )
+        tracer = DecisionTracer(slow_log=slow_log)
     try:
         engine = MSoDEngine(
             policy_set,
             store,
             mode=MODE_LITERAL if args.literal else MODE_STRICT,
             perf=perf,
+            tracer=tracer,
         )
         service = AuthorizationService(
             engine,
@@ -419,7 +460,8 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
         print(
             f"serving MSoD decisions on {args.host}:{server.port} "
             f"({args.shards} shards, queue depth {args.queue_depth}, "
-            f"batch max {args.batch_max})",
+            f"batch max {args.batch_max}"
+            f"{', tracing on' if args.trace else ''})",
             flush=True,
         )
         await stop.wait()
@@ -440,10 +482,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_remote_decide(args: argparse.Namespace) -> int:
     """One decision through the existing PEP, against a remote PDP."""
-    from repro.client import RemotePDP
+    from repro.api import open_pdp
     from repro.framework import PolicyEnforcementPoint
 
-    with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+    with open_pdp(
+        store=f"remote:{args.host}:{args.port}", timeout=args.timeout
+    ) as pdp:
         pep = PolicyEnforcementPoint(pdp, clock=time.time)
         decision = pep.request_decision(
             user_id=args.user,
@@ -462,12 +506,27 @@ def cmd_remote_decide(args: argparse.Namespace) -> int:
 
 
 def cmd_remote_status(args: argparse.Namespace) -> int:
-    """Print a running server's health or metrics snapshot as JSON."""
+    """Print a running server's health/metrics/slowlog snapshot as JSON."""
     from repro.client import RemotePDP
 
     with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
-        body = pdp.metrics() if args.metrics else pdp.healthz()
+        if args.slowlog:
+            body = pdp.slowlog()
+        elif args.metrics:
+            body = pdp.metrics()
+        else:
+            body = pdp.healthz()
     print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape the Prometheus text exposition from a running server."""
+    from repro.client import RemotePDP
+
+    with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+        text = pdp.metrics_text()
+    print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -488,6 +547,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": cmd_serve,
         "remote-decide": cmd_remote_decide,
         "remote-status": cmd_remote_status,
+        "metrics": cmd_metrics,
     }
     try:
         return handlers[args.command](args)

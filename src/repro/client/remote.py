@@ -37,6 +37,7 @@ from repro.errors import (
     ProtocolError,
 )
 from repro.framework.pdp import PolicyDecisionPoint
+from repro.perf import NOOP, PerfRecorder
 from repro.server import protocol
 
 _FRAME_COUNTER = itertools.count(1)
@@ -137,6 +138,11 @@ class RemotePDP(PolicyDecisionPoint):
         Full-jitter exponential backoff parameters, seconds.
     rng:
         Injectable randomness source for deterministic tests.
+    perf:
+        Optional recorder for client-side counters (``client.calls``,
+        ``client.retries``, ``client.overload_rejections``,
+        ``client.transport_failures``) and the ``client.call``
+        round-trip stage histogram.
     """
 
     def __init__(
@@ -149,6 +155,7 @@ class RemotePDP(PolicyDecisionPoint):
         backoff_base: float = 0.02,
         backoff_cap: float = 0.5,
         rng: random.Random | None = None,
+        perf: PerfRecorder | None = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -159,6 +166,11 @@ class RemotePDP(PolicyDecisionPoint):
         self._idle: list[_SyncConnection] = []
         self._idle_lock = threading.Lock()
         self._closed = False
+        self._perf = perf if perf is not None else NOOP
+
+    @property
+    def perf(self) -> PerfRecorder:
+        return self._perf
 
     # -- connection pool ----------------------------------------------
     def _acquire(self) -> _SyncConnection:
@@ -212,21 +224,31 @@ class RemotePDP(PolicyDecisionPoint):
                 self._release(conn, reusable)
 
     def _call(self, op: str, retriable: bool, **fields) -> dict:
+        perf = self._perf
+        timing = perf.enabled
+        perf.incr("client.calls")
         attempt = 0
         while True:
             frame_id = _next_frame_id()
             frame = protocol.request_frame(op, frame_id, **fields)
+            started = perf.start() if timing else 0.0
             try:
-                return self._exchange_once(frame, frame_id)
+                response = self._exchange_once(frame, frame_id)
+                if timing:
+                    perf.stop("client.call", started)
+                return response
             except PDPOverloadedError as exc:
                 # Shed *before* queueing: always safe to retry.
+                perf.incr("client.overload_rejections")
                 if attempt >= self._max_retries:
                     raise
                 time.sleep(self._backoff.delay(attempt, floor=exc.retry_after))
             except PDPUnavailableError:
+                perf.incr("client.transport_failures")
                 if not retriable or attempt >= self._max_retries:
                     raise
                 time.sleep(self._backoff.delay(attempt))
+            perf.incr("client.retries")
             attempt += 1
 
     # -- the PolicyDecisionPoint protocol ------------------------------
@@ -252,6 +274,21 @@ class RemotePDP(PolicyDecisionPoint):
     def metrics(self) -> dict:
         """The server's metrics snapshot (perf counters + shard stats)."""
         return self._call(protocol.OP_METRICS, retriable=True).get("body", {})
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        body = self._call(
+            protocol.OP_METRICS,
+            retriable=True,
+            format=protocol.METRICS_FORMAT_PROMETHEUS,
+        ).get("body")
+        if not isinstance(body, str):
+            raise ProtocolError("prometheus metrics body must be a string")
+        return body
+
+    def slowlog(self) -> dict:
+        """The server's slowest-decision traces (requires server tracing)."""
+        return self._call(protocol.OP_SLOWLOG, retriable=True).get("body", {})
 
 
 # ---------------------------------------------------------------------------
@@ -406,5 +443,24 @@ class AsyncRemotePDP:
     async def metrics(self) -> dict:
         """The server's metrics snapshot (coroutine)."""
         return (await self._call(protocol.OP_METRICS, retriable=True)).get(
+            "body", {}
+        )
+
+    async def metrics_text(self) -> str:
+        """The server's Prometheus text exposition (coroutine)."""
+        body = (
+            await self._call(
+                protocol.OP_METRICS,
+                retriable=True,
+                format=protocol.METRICS_FORMAT_PROMETHEUS,
+            )
+        ).get("body")
+        if not isinstance(body, str):
+            raise ProtocolError("prometheus metrics body must be a string")
+        return body
+
+    async def slowlog(self) -> dict:
+        """The server's slowest-decision traces (coroutine)."""
+        return (await self._call(protocol.OP_SLOWLOG, retriable=True)).get(
             "body", {}
         )

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.constraints import Privilege, Role
 from repro.core.context import ContextName
 from repro.errors import PolicyError
+
+if TYPE_CHECKING:  # avoid a hard dependency of core on the obs layer
+    from repro.core.retained_adi import RetainedADIRecord
+    from repro.obs.trace import DecisionTrace
 
 _REQUEST_COUNTER = itertools.count(1)
 
@@ -84,6 +88,13 @@ class Decision:
     ``adi_adds`` and ``adi_purged_contexts`` expose the retained-ADI
     mutation the grant committed, so the PERMIS PDP can log it to the
     secure audit trail and recovery can replay it (Section 5.2).
+
+    ``trace`` is the optional observability annotation: a
+    :class:`~repro.obs.trace.DecisionTrace` attached by an enabled
+    :class:`~repro.obs.trace.DecisionTracer`.  It is metadata about
+    *how* the decision was computed, not part of the decision itself,
+    so it is excluded from equality — decisions are bit-identical with
+    tracing on or off.
     """
 
     effect: str
@@ -93,8 +104,9 @@ class Decision:
     records_added: int = 0
     records_purged: int = 0
     reason: str = ""
-    adi_adds: tuple = ()
+    adi_adds: tuple[RetainedADIRecord, ...] = ()
     adi_purged_contexts: tuple[ContextName, ...] = ()
+    trace: DecisionTrace | None = field(default=None, compare=False)
 
     @property
     def granted(self) -> bool:

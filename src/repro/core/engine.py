@@ -44,6 +44,7 @@ from repro.core.retained_adi import (
     RetainedADIStore,
 )
 from repro.errors import PolicyError
+from repro.obs.trace import NOOP_TRACER, DecisionTracer
 from repro.perf import NOOP, PerfRecorder
 
 #: Evaluation modes (see module docstring).
@@ -60,6 +61,7 @@ class MSoDEngine:
         store: RetainedADIStore,
         mode: str = MODE_STRICT,
         perf: PerfRecorder | None = None,
+        tracer: DecisionTracer | None = None,
     ) -> None:
         if mode not in (MODE_STRICT, MODE_LITERAL):
             raise PolicyError(f"unknown engine mode {mode!r}")
@@ -67,6 +69,7 @@ class MSoDEngine:
         self._store = store
         self._mode = mode
         self._perf = perf if perf is not None else NOOP
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     @property
@@ -85,6 +88,10 @@ class MSoDEngine:
     def perf(self) -> PerfRecorder:
         return self._perf
 
+    @property
+    def tracer(self) -> DecisionTracer:
+        return self._tracer
+
     def replace_policy_set(self, policy_set: MSoDPolicySet) -> None:
         """Swap in a new policy set (PDP re-initialisation)."""
         self._policy_set = policy_set
@@ -94,7 +101,11 @@ class MSoDEngine:
         """Run the Section 4.2 algorithm for one interim-granted request."""
         perf = self._perf
         timing = perf.enabled
+        tracer = self._tracer
+        tracing = tracer.enabled
+        token = tracer.begin(request) if tracing else None
         started = perf.start() if timing else 0.0
+        match_started = tracer.start() if tracing else 0.0
         perf.incr("engine.requests")
 
         # Step 1: match the input business-context instance against the
@@ -102,16 +113,19 @@ class MSoDEngine:
         matched_policies = self._policy_set.matching(request.context_instance)
         if timing:
             perf.stop("engine.policy_match", started)
+        if tracing:
+            tracer.span("engine.match", match_started)
         if not matched_policies:
             perf.incr("engine.grants")
             perf.incr("engine.no_policy_matched")
             if timing:
                 perf.stop("engine.check", started)
-            return Decision(
+            decision = Decision(
                 effect=Effect.GRANT,
                 request=request,
                 reason="no MSoD policy matches the business context",
             )
+            return tracer.finish(token, decision) if tracing else decision
         perf.incr("engine.policies_matched", len(matched_policies))
 
         mutation = ADIMutation()
@@ -123,6 +137,7 @@ class MSoDEngine:
 
         # Step 2: for each matched MSoD policy...
         eval_started = perf.start() if timing else 0.0
+        trace_eval_started = tracer.start() if tracing else 0.0
         for policy in matched_policies:
             violation = self._evaluate_policy(policy, request, mutation, views)
             if violation is not None:
@@ -131,25 +146,33 @@ class MSoDEngine:
                 if timing:
                     perf.stop("engine.constraint_eval", eval_started)
                     perf.stop("engine.check", started)
-                return Decision(
+                if tracing:
+                    tracer.span("engine.constraints", trace_eval_started)
+                decision = Decision(
                     effect=Effect.DENY,
                     request=request,
                     violation=violation,
                     matched_policy_ids=matched_ids,
                     reason=violation.detail,
                 )
+                return tracer.finish(token, decision) if tracing else decision
         if timing:
             perf.stop("engine.constraint_eval", eval_started)
+        if tracing:
+            tracer.span("engine.constraints", trace_eval_started)
 
         commit_started = perf.start() if timing else 0.0
+        trace_commit_started = tracer.start() if tracing else 0.0
         records_purged = self._commit(mutation)
         if timing:
             perf.stop("engine.commit", commit_started)
             perf.stop("engine.check", started)
+        if tracing:
+            tracer.span("store.commit", trace_commit_started)
         perf.incr("engine.grants")
         perf.incr("engine.records_added", len(mutation.adds))
         perf.incr("engine.records_purged", records_purged)
-        return Decision(
+        decision = Decision(
             effect=Effect.GRANT,
             request=request,
             matched_policy_ids=matched_ids,
@@ -159,6 +182,7 @@ class MSoDEngine:
             adi_adds=tuple(mutation.adds),
             adi_purged_contexts=tuple(mutation.purge_contexts),
         )
+        return tracer.finish(token, decision) if tracing else decision
 
     # ------------------------------------------------------------------
     def _evaluate_policy(

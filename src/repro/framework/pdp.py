@@ -15,14 +15,39 @@ from typing import Iterable, Mapping
 from repro.core.constraints import Privilege, Role
 from repro.core.decision import Decision, DecisionRequest, Effect
 from repro.core.engine import MSoDEngine
+from repro.obs.trace import DecisionTracer
 from repro.perf import NOOP, PerfRecorder
 
 
 class PolicyDecisionPoint:
-    """Abstract ADF: turns a decision request into a decision."""
+    """Abstract ADF: turns a decision request into a decision.
+
+    Every PDP — in-process reference, PERMIS, remote client — shares
+    one lifecycle: a :meth:`perf` recorder to observe it, a
+    :meth:`close` to release whatever it holds (connections, store
+    handles; a no-op by default), and context-manager support built on
+    both, so callers never special-case which implementation they got::
+
+        with open_pdp(policy, store="sqlite:adi.db") as pdp:
+            decision = pdp.decide(request)
+    """
 
     def decide(self, request: DecisionRequest) -> Decision:
         raise NotImplementedError
+
+    @property
+    def perf(self) -> PerfRecorder:
+        """The recorder observing this PDP (``NOOP`` unless attached)."""
+        return NOOP
+
+    def close(self) -> None:
+        """Release resources owned by this PDP.  Idempotent; no-op here."""
+
+    def __enter__(self) -> "PolicyDecisionPoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class RoleTargetAccessPolicy:
@@ -59,10 +84,14 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
         access_policy: RoleTargetAccessPolicy,
         msod_engine: MSoDEngine,
         perf: PerfRecorder | None = None,
+        tracer: DecisionTracer | None = None,
     ) -> None:
         self._access_policy = access_policy
         self._msod = msod_engine
         self._perf = perf if perf is not None else NOOP
+        # Default to the engine's tracer so the PDP's RBAC span and the
+        # engine's MSoD spans land in one per-decision trace.
+        self._tracer = tracer if tracer is not None else msod_engine.tracer
 
     @property
     def msod_engine(self) -> MSoDEngine:
@@ -76,16 +105,26 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
     def perf(self) -> PerfRecorder:
         return self._perf
 
+    @property
+    def tracer(self) -> DecisionTracer:
+        return self._tracer
+
     def decide(self, request: DecisionRequest) -> Decision:
         perf = self._perf
         timing = perf.enabled
+        tracer = self._tracer
+        tracing = tracer.enabled
+        token = tracer.begin(request) if tracing else None
         started = perf.start() if timing else 0.0
+        rbac_started = tracer.start() if tracing else 0.0
         perf.incr("pdp.requests")
         if not self._access_policy.permits(request.roles, request.privilege):
             perf.incr("pdp.rbac_denies")
             if timing:
                 perf.stop("pdp.rbac", started)
-            return Decision(
+            if tracing:
+                tracer.span("pdp.rbac", rbac_started)
+            decision = Decision(
                 effect=Effect.DENY,
                 request=request,
                 reason=(
@@ -93,7 +132,11 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
                     f"{request.operation!r} on {request.target!r}"
                 ),
             )
+            return tracer.finish(token, decision) if tracing else decision
         if timing:
             perf.stop("pdp.rbac", started)
+        if tracing:
+            tracer.span("pdp.rbac", rbac_started)
         # Interim grant — now the MSoD set of policies (Section 4.2).
-        return self._msod.check(request)
+        decision = self._msod.check(request)
+        return tracer.finish(token, decision) if tracing else decision

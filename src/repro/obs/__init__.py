@@ -1,0 +1,47 @@
+"""repro.obs — the decision observability layer.
+
+Three pieces, all following the zero-cost-when-off discipline of
+:mod:`repro.perf`:
+
+* :mod:`repro.obs.trace` — per-decision structured traces: timed
+  pipeline spans (``pdp.rbac``, ``engine.match``, ``engine.constraints``,
+  ``store.commit``) plus matched-policy and violation annotations,
+  attached to the :class:`~repro.core.decision.Decision` itself.
+* :mod:`repro.obs.metrics` — Prometheus text exposition of
+  :class:`~repro.perf.PerfRecorder` counters/histograms and the
+  server's per-shard queue gauges, served by the ``metrics`` wire verb
+  and ``python -m repro metrics``.
+* :mod:`repro.obs.slowlog` — a bounded log of the N slowest traces,
+  queryable over the wire (``slowlog`` verb).
+
+See ``docs/OBSERVABILITY.md`` for the trace schema, the metric name
+mapping and a scrape example.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    parse_exposition,
+    render_service_metrics,
+)
+from repro.obs.slowlog import SlowDecisionLog
+from repro.obs.trace import (
+    NOOP_TRACER,
+    DecisionTrace,
+    DecisionTracer,
+    NoopDecisionTracer,
+    TraceSpan,
+    TraceViolation,
+)
+
+__all__ = [
+    "DecisionTrace",
+    "DecisionTracer",
+    "NoopDecisionTracer",
+    "NOOP_TRACER",
+    "TraceSpan",
+    "TraceViolation",
+    "SlowDecisionLog",
+    "MetricsRegistry",
+    "parse_exposition",
+    "render_service_metrics",
+]

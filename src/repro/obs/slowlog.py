@@ -1,0 +1,89 @@
+"""A bounded log of the slowest decision traces.
+
+Production question number one when a latency SLO is violated: *which
+requests were slow, and where did the time go?*  The slow-decision log
+answers it without storing every trace: a fixed-capacity min-heap keeps
+the ``capacity`` slowest :class:`~repro.obs.trace.DecisionTrace` objects
+seen so far, evicting the quickest of the retained set when a slower
+one arrives.
+
+The log is thread-safe (one lock around offer/snapshot) because the
+server queries it from its control verbs while shard workers feed it,
+and the in-process CLI may read it from another thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro.obs.trace import DecisionTrace
+
+__all__ = ["SlowDecisionLog"]
+
+
+class SlowDecisionLog:
+    """Retains the N slowest decision traces seen so far."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("slow log capacity must be >= 1")
+        self._capacity = capacity
+        # Min-heap of (total_s, tiebreak, trace): the root is always the
+        # *fastest* retained trace, i.e. the next eviction candidate.
+        self._heap: list[tuple[float, int, DecisionTrace]] = []
+        self._tiebreak = itertools.count()
+        self._offered = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def offered(self) -> int:
+        """How many traces have been offered over the log's lifetime."""
+        return self._offered
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def threshold(self) -> float:
+        """The minimum total duration currently retained (0.0 if not full)."""
+        with self._lock:
+            if len(self._heap) < self._capacity:
+                return 0.0
+            return self._heap[0][0]
+
+    def offer(self, trace: DecisionTrace) -> bool:
+        """Consider one trace; returns True when it was retained."""
+        with self._lock:
+            self._offered += 1
+            entry = (trace.total_s, next(self._tiebreak), trace)
+            if len(self._heap) < self._capacity:
+                heapq.heappush(self._heap, entry)
+                return True
+            if trace.total_s <= self._heap[0][0]:
+                return False
+            heapq.heapreplace(self._heap, entry)
+            return True
+
+    def snapshot(self) -> list[DecisionTrace]:
+        """The retained traces, slowest first."""
+        with self._lock:
+            entries = list(self._heap)
+        entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        return [trace for _, _, trace in entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+
+    def to_dict(self) -> dict:
+        """The ``slowlog`` wire body."""
+        return {
+            "capacity": self._capacity,
+            "offered": self._offered,
+            "traces": [trace.to_dict() for trace in self.snapshot()],
+        }

@@ -1,0 +1,381 @@
+"""Per-decision structured traces for the MSoD decision pipeline.
+
+A :class:`DecisionTrace` is the observability twin of a
+:class:`~repro.core.decision.Decision`: it records *how* the decision
+was reached — the timed pipeline stages it passed through (``pdp.rbac``,
+``engine.match``, ``engine.constraints``, ``store.commit``, ...), which
+MSoD policies matched, and, on a deny, exactly which policy and
+constraint fired.  A denied request can therefore be traced back through
+RBAC check → policy match → constraint evaluation → ADI commit without a
+debugger.
+
+Tracing follows the same zero-cost-when-off discipline as
+:mod:`repro.perf`: call sites guard every clock read behind the
+tracer's ``enabled`` flag, and production pipelines run with
+:data:`NOOP_TRACER`, whose methods are empty::
+
+    tracer = self._tracer
+    tracing = tracer.enabled
+    token = tracer.begin(request) if tracing else None
+    ...
+    if tracing:
+        tracer.span("engine.match", started)
+    ...
+    return tracer.finish(token, decision) if tracing else decision
+
+Traces *nest*: a PDP opens the trace before its RBAC check, the engine
+joins the same trace for the MSoD stages, and only the outermost
+``finish`` seals it, attaches it to the decision (via
+``dataclasses.replace``) and offers it to the slow-decision log.  Like
+:class:`~repro.perf.PerfRecorder`, a tracer is single-threaded by
+design: attach one per PDP/engine pipeline.
+
+This module is deliberately standalone — it imports nothing from
+:mod:`repro.core` — so the wire protocol and the CLI can (de)serialise
+traces without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "TraceSpan",
+    "TraceViolation",
+    "DecisionTrace",
+    "DecisionTracer",
+    "NoopDecisionTracer",
+    "NOOP_TRACER",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpan:
+    """One timed pipeline stage inside a decision trace.
+
+    ``offset_s`` is the span's start relative to the start of the whole
+    trace, so spans render as a waterfall without absolute clocks.
+    """
+
+    name: str
+    offset_s: float
+    duration_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "offset_s": self.offset_s,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "TraceSpan":
+        name = raw.get("name")
+        if not isinstance(name, str):
+            raise ValueError("trace span name must be a string")
+        return cls(
+            name=name,
+            offset_s=_number(raw, "offset_s"),
+            duration_s=_number(raw, "duration_s"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TraceViolation:
+    """The deny annotation: which policy and constraint fired."""
+
+    policy_id: str
+    constraint_kind: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "policy_id": self.policy_id,
+            "constraint_kind": self.constraint_kind,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "TraceViolation":
+        for key in ("policy_id", "constraint_kind", "detail"):
+            if not isinstance(raw.get(key), str):
+                raise ValueError(f"trace violation {key} must be a string")
+        return cls(
+            policy_id=raw["policy_id"],
+            constraint_kind=raw["constraint_kind"],
+            detail=raw["detail"],
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionTrace:
+    """The sealed, immutable trace of one decision.
+
+    ``requested_at`` is the request's own (application) timestamp;
+    span offsets/durations come from the tracer's monotonic clock.
+    """
+
+    request_id: str
+    user_id: str
+    effect: str
+    total_s: float
+    requested_at: float
+    spans: tuple[TraceSpan, ...] = ()
+    matched_policy_ids: tuple[str, ...] = ()
+    violation: TraceViolation | None = None
+    records_added: int = 0
+    records_purged: int = 0
+
+    def span(self, name: str) -> TraceSpan | None:
+        """The first span with this name, or None."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def stage_durations(self) -> dict[str, float]:
+        """Total duration per stage name (a span name may repeat)."""
+        durations: dict[str, float] = {}
+        for span in self.spans:
+            durations[span.name] = durations.get(span.name, 0.0) + span.duration_s
+        return durations
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "user_id": self.user_id,
+            "effect": self.effect,
+            "total_s": self.total_s,
+            "requested_at": self.requested_at,
+            "spans": [span.to_dict() for span in self.spans],
+            "matched_policy_ids": list(self.matched_policy_ids),
+            "violation": (
+                None if self.violation is None else self.violation.to_dict()
+            ),
+            "records_added": self.records_added,
+            "records_purged": self.records_purged,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "DecisionTrace":
+        """Rebuild a trace; raises ValueError on malformed input."""
+        if not isinstance(raw, Mapping):
+            raise ValueError("trace must be a mapping")
+        for key in ("request_id", "user_id", "effect"):
+            if not isinstance(raw.get(key), str):
+                raise ValueError(f"trace {key} must be a string")
+        spans_raw = raw.get("spans", [])
+        matched_raw = raw.get("matched_policy_ids", [])
+        if not isinstance(spans_raw, list):
+            raise ValueError("trace spans must be a list")
+        if not isinstance(matched_raw, list) or not all(
+            isinstance(item, str) for item in matched_raw
+        ):
+            raise ValueError("trace matched_policy_ids must be a string list")
+        violation_raw = raw.get("violation")
+        records_added = raw.get("records_added", 0)
+        records_purged = raw.get("records_purged", 0)
+        for key, value in (
+            ("records_added", records_added),
+            ("records_purged", records_purged),
+        ):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"trace {key} must be an integer")
+        return cls(
+            request_id=raw["request_id"],
+            user_id=raw["user_id"],
+            effect=raw["effect"],
+            total_s=_number(raw, "total_s"),
+            requested_at=_number(raw, "requested_at"),
+            spans=tuple(TraceSpan.from_dict(item) for item in spans_raw),
+            matched_policy_ids=tuple(matched_raw),
+            violation=(
+                None
+                if violation_raw is None
+                else TraceViolation.from_dict(violation_raw)
+            ),
+            records_added=records_added,
+            records_purged=records_purged,
+        )
+
+    def render(self) -> str:
+        """A human-readable waterfall (the ``decide --trace`` output)."""
+        lines = [
+            f"trace {self.request_id} {self.effect.upper()} "
+            f"user={self.user_id} total={self.total_s * 1e6:.1f}us"
+        ]
+        if self.matched_policy_ids:
+            lines.append(
+                "  matched policies: " + ", ".join(self.matched_policy_ids)
+            )
+        for span in self.spans:
+            lines.append(
+                f"  {span.name:<20} +{span.offset_s * 1e6:8.1f}us "
+                f"{span.duration_s * 1e6:8.1f}us"
+            )
+        if self.violation is not None:
+            lines.append(
+                f"  violation: {self.violation.policy_id} "
+                f"({self.violation.constraint_kind}) {self.violation.detail}"
+            )
+        if self.records_added or self.records_purged:
+            lines.append(
+                f"  adi: +{self.records_added} record(s), "
+                f"-{self.records_purged} purged"
+            )
+        return "\n".join(lines)
+
+
+def _number(raw: Mapping[str, Any], key: str) -> float:
+    value = raw.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"trace {key} must be a number")
+    return float(value)
+
+
+class _OpenTrace:
+    """Mutable builder for the trace of one in-flight decision."""
+
+    __slots__ = ("request_id", "user_id", "requested_at", "started", "spans", "depth")
+
+    def __init__(
+        self, request_id: str, user_id: str, requested_at: float, started: float
+    ) -> None:
+        self.request_id = request_id
+        self.user_id = user_id
+        self.requested_at = requested_at
+        self.started = started
+        self.spans: list[TraceSpan] = []
+        self.depth = 1
+
+
+class DecisionTracer:
+    """Builds one :class:`DecisionTrace` per decision.
+
+    Layers share a tracer: the outermost ``begin`` opens the trace,
+    nested ``begin`` calls join it (the engine inside a PDP), and the
+    matching outermost ``finish`` seals it, attaches it to the decision
+    and feeds the slow-decision log.  Single-threaded by design, exactly
+    like :class:`~repro.perf.PerfRecorder` — one tracer per pipeline.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        slow_log: "Any | None" = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._clock = clock
+        self._slow_log = slow_log
+        self._current: _OpenTrace | None = None
+
+    @property
+    def slow_log(self):
+        """The attached :class:`~repro.obs.slowlog.SlowDecisionLog`."""
+        return self._slow_log
+
+    # -- building ------------------------------------------------------
+    def start(self) -> float:
+        """A timestamp token to later pass to :meth:`span`."""
+        return self._clock()
+
+    def begin(self, request, backdate: float = 0.0) -> _OpenTrace:
+        """Open a new trace, or join the one already in flight.
+
+        ``backdate`` shifts the trace's start that many seconds into
+        the past — for pipelines (the PERMIS CVS) that do measurable
+        work *before* the request object exists.  Ignored when joining.
+        """
+        current = self._current
+        if current is not None:
+            current.depth += 1
+            return current
+        current = _OpenTrace(
+            request_id=request.request_id,
+            user_id=request.user_id,
+            requested_at=request.timestamp,
+            started=self._clock() - backdate,
+        )
+        self._current = current
+        return current
+
+    def span(self, name: str, started: float) -> None:
+        """Record one stage: began at ``started``, ends now."""
+        current = self._current
+        if current is None:  # pragma: no cover - span outside begin/finish
+            return
+        now = self._clock()
+        current.spans.append(
+            TraceSpan(
+                name=name,
+                offset_s=started - current.started,
+                duration_s=now - started,
+            )
+        )
+
+    def finish(self, token: _OpenTrace, decision):
+        """Close one layer; the outermost close seals and attaches.
+
+        Returns the decision unchanged for nested layers, and a copy
+        with ``trace`` attached for the outermost one.
+        """
+        token.depth -= 1
+        if token.depth > 0:
+            return decision
+        self._current = None
+        violation = decision.violation
+        trace = DecisionTrace(
+            request_id=token.request_id,
+            user_id=token.user_id,
+            effect=decision.effect,
+            total_s=self._clock() - token.started,
+            requested_at=token.requested_at,
+            spans=tuple(token.spans),
+            matched_policy_ids=tuple(decision.matched_policy_ids),
+            violation=(
+                None
+                if violation is None
+                else TraceViolation(
+                    policy_id=violation.policy_id,
+                    constraint_kind=violation.constraint_kind,
+                    detail=violation.detail,
+                )
+            ),
+            records_added=decision.records_added,
+            records_purged=decision.records_purged,
+        )
+        if self._slow_log is not None:
+            self._slow_log.offer(trace)
+        return replace(decision, trace=trace)
+
+
+class NoopDecisionTracer(DecisionTracer):
+    """The do-nothing tracer production pipelines run with by default.
+
+    ``enabled`` is False and every method is an empty override, so an
+    instrumented call site costs one attribute load and one branch.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def start(self) -> float:
+        return 0.0
+
+    def begin(self, request, backdate: float = 0.0) -> None:  # type: ignore[override]
+        return None
+
+    def span(self, name: str, started: float) -> None:
+        pass
+
+    def finish(self, token, decision):
+        return decision
+
+
+#: Shared no-op instance; safe to use from any thread (it has no state).
+NOOP_TRACER = NoopDecisionTracer()

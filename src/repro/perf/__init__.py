@@ -74,6 +74,23 @@ class StageStats:
                 return
         self.buckets[-1] += 1
 
+    def merge(self, other: "StageStats") -> None:
+        """Fold another stage's aggregates into this one.
+
+        Both sides share :data:`LATENCY_BUCKET_BOUNDS`, so bucket counts
+        add position-wise; used by the metrics exposition to combine
+        recorders without double-emitting series.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        for index, bucket_count in enumerate(other.buckets):
+            self.buckets[index] += bucket_count
+
     def quantile(self, q: float) -> float:
         """Approximate quantile from the histogram (bucket upper bound)."""
         if not self.count:
@@ -129,6 +146,10 @@ class PerfRecorder:
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    def counters(self) -> dict[str, int]:
+        """A copy of every counter (the metrics-exposition feed)."""
+        return dict(self._counters)
+
     # -- stage timers --------------------------------------------------
     def start(self) -> float:
         """A timestamp token to later pass to :meth:`stop`."""
@@ -145,6 +166,10 @@ class PerfRecorder:
 
     def stage(self, name: str) -> StageStats | None:
         return self._stages.get(name)
+
+    def stages(self) -> dict[str, StageStats]:
+        """A shallow copy of the per-stage aggregates (read, don't mutate)."""
+        return dict(self._stages)
 
     # -- reporting -----------------------------------------------------
     def snapshot(self) -> dict:

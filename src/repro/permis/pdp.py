@@ -31,6 +31,7 @@ from repro.core.decision import Decision, DecisionRequest, Effect
 from repro.core.engine import MODE_STRICT, MSoDEngine
 from repro.core.retained_adi import InMemoryRetainedADIStore, RetainedADIStore
 from repro.framework.pdp import PolicyDecisionPoint
+from repro.obs.trace import NOOP_TRACER, DecisionTracer
 from repro.perf import NOOP, PerfRecorder
 from repro.permis.credentials import AttributeCredential, TrustStore
 from repro.permis.cvs import CredentialValidationService
@@ -51,13 +52,20 @@ class PermisPDP(PolicyDecisionPoint):
         clock: Callable[[], float] | None = None,
         mode: str = MODE_STRICT,
         perf: PerfRecorder | None = None,
+        tracer: DecisionTracer | None = None,
     ) -> None:
         self._policy = policy
         self._cvs = CredentialValidationService(policy, trust_store, directory)
+        self._owns_store = store is None
         self._store = store if store is not None else InMemoryRetainedADIStore()
         self._perf = perf if perf is not None else NOOP
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._engine = MSoDEngine(
-            policy.msod_policy_set, self._store, mode=mode, perf=self._perf
+            policy.msod_policy_set,
+            self._store,
+            mode=mode,
+            perf=self._perf,
+            tracer=self._tracer,
         )
         self._audit = audit
         self._clock = clock if clock is not None else (lambda: 0.0)
@@ -83,6 +91,20 @@ class PermisPDP(PolicyDecisionPoint):
     @property
     def perf(self) -> PerfRecorder:
         return self._perf
+
+    @property
+    def tracer(self) -> DecisionTracer:
+        return self._tracer
+
+    def close(self) -> None:
+        """Release the retained-ADI store if this PDP created it.
+
+        A store handed in by the caller (e.g. one shared with a
+        recovery pipeline) stays open — whoever constructed it owns its
+        lifetime.  Idempotent either way.
+        """
+        if self._owns_store:
+            self._store.close()
 
     @property
     def management_port(self) -> RetainedADIManagementPort:
@@ -196,17 +218,25 @@ class PermisPDP(PolicyDecisionPoint):
         """
         perf = self._perf
         timing = perf.enabled
+        tracer = self._tracer
+        tracing = tracer.enabled
         perf.incr("permis.requests")
         when = self._clock() if at is None else at
         holder = normalize_dn(holder_dn)
+        token = None
         if roles is None:
             cvs_started = perf.start() if timing else 0.0
+            trace_cvs_started = tracer.start() if tracing else 0.0
             validation = self._cvs.validate(holder, credentials, at=when)
             valid_roles = validation.valid_roles
             if timing:
                 perf.stop("permis.cvs", cvs_started)
+            cvs_elapsed = (
+                tracer.start() - trace_cvs_started if tracing else 0.0
+            )
         else:
             valid_roles = frozenset(roles)
+            cvs_elapsed = 0.0
 
         request = DecisionRequest(
             user_id=holder,
@@ -217,6 +247,13 @@ class PermisPDP(PolicyDecisionPoint):
             timestamp=when,
             environment=dict(environment or {}),
         )
+        if tracing:
+            # The request object does not exist until the CVS has run,
+            # so open the trace backdated to when validation began and
+            # record the CVS span against that start.
+            token = tracer.begin(request, backdate=cvs_elapsed)
+            if roles is None:
+                tracer.span("pdp.cvs", token.started)
 
         if not valid_roles:
             perf.incr("permis.cvs_denies")
@@ -227,11 +264,14 @@ class PermisPDP(PolicyDecisionPoint):
             )
         else:
             rbac_started = perf.start() if timing else 0.0
+            trace_rbac_started = tracer.start() if tracing else 0.0
             permitted = self._policy.permits(
                 valid_roles, request.privilege, request.environment, when
             )
             if timing:
                 perf.stop("permis.rbac", rbac_started)
+            if tracing:
+                tracer.span("pdp.rbac", trace_rbac_started)
             if not permitted:
                 perf.incr("permis.rbac_denies")
                 decision = Decision(
@@ -245,9 +285,13 @@ class PermisPDP(PolicyDecisionPoint):
                 decision = self._engine.check(request)
 
         audit_started = perf.start() if timing else 0.0
+        trace_audit_started = tracer.start() if tracing else 0.0
         self._log(decision)
         if timing:
             perf.stop("permis.audit", audit_started)
+        if tracing:
+            tracer.span("pdp.audit", trace_audit_started)
+            decision = tracer.finish(token, decision)
         return decision
 
     def decide(self, request: DecisionRequest) -> Decision:

@@ -139,10 +139,21 @@ class MSoDServer:
                     ),
                 )
             elif op == protocol.OP_METRICS:
+                fmt = protocol.metrics_format_of(frame)
+                body = (
+                    self._service.metrics_text()
+                    if fmt == protocol.METRICS_FORMAT_PROMETHEUS
+                    else self._service.metrics()
+                )
+                await self._send(
+                    writer,
+                    protocol.response_frame(frame_id, op, "body", body),
+                )
+            elif op == protocol.OP_SLOWLOG:
                 await self._send(
                     writer,
                     protocol.response_frame(
-                        frame_id, op, "body", self._service.metrics()
+                        frame_id, op, "body", self._service.slowlog()
                     ),
                 )
             else:

@@ -9,6 +9,13 @@ Request frames (client → server)::
     {"v": 1, "id": "c-1", "op": "decide", "request": {...}}
     {"v": 1, "id": "c-2", "op": "healthz"}
     {"v": 1, "id": "c-3", "op": "metrics"}
+    {"v": 1, "id": "c-4", "op": "metrics", "format": "prometheus"}
+    {"v": 1, "id": "c-5", "op": "slowlog"}
+
+``metrics`` defaults to the JSON snapshot body; ``"format":
+"prometheus"`` asks for the text exposition instead (the body is then
+one string).  ``slowlog`` returns the server's retained slowest-decision
+traces (empty unless the server was started with tracing enabled).
 
 Response frames (server → client)::
 
@@ -38,6 +45,7 @@ from repro.core.constraints import Role
 from repro.core.decision import Decision, DecisionRequest, Effect, MSoDViolation
 from repro.core.retained_adi import RetainedADIRecord
 from repro.errors import ProtocolError, ReproError
+from repro.obs.trace import DecisionTrace
 
 #: Current wire-format version; mismatches are rejected, not guessed at.
 PROTOCOL_VERSION = 1
@@ -56,7 +64,24 @@ ERR_INTERNAL = "internal"
 OP_DECIDE = "decide"
 OP_HEALTHZ = "healthz"
 OP_METRICS = "metrics"
-KNOWN_OPS = frozenset({OP_DECIDE, OP_HEALTHZ, OP_METRICS})
+OP_SLOWLOG = "slowlog"
+KNOWN_OPS = frozenset({OP_DECIDE, OP_HEALTHZ, OP_METRICS, OP_SLOWLOG})
+
+#: Bodies the ``metrics`` verb can produce.
+METRICS_FORMAT_JSON = "json"
+METRICS_FORMAT_PROMETHEUS = "prometheus"
+METRICS_FORMATS = frozenset({METRICS_FORMAT_JSON, METRICS_FORMAT_PROMETHEUS})
+
+
+def metrics_format_of(frame: Mapping[str, Any]) -> str:
+    """The validated ``format`` field of a metrics frame."""
+    fmt = frame.get("format", METRICS_FORMAT_JSON)
+    if fmt not in METRICS_FORMATS:
+        raise ProtocolError(
+            f"metrics format must be one of {sorted(METRICS_FORMATS)}, "
+            f"got {fmt!r}"
+        )
+    return fmt
 
 
 # ---------------------------------------------------------------------------
@@ -271,8 +296,14 @@ def _violation_from_wire(raw: Any) -> MSoDViolation:
 
 
 def decision_to_wire(decision: Decision) -> dict:
-    """Serialise a :class:`Decision` for the ``decide`` response."""
-    return {
+    """Serialise a :class:`Decision` for the ``decide`` response.
+
+    The observability trace, when the serving engine runs with tracing
+    enabled, rides along under the ``trace`` key; decisions made with
+    tracing off serialise exactly as before (no key at all), keeping
+    the differential serving tests byte-identical.
+    """
+    wire = {
         "effect": decision.effect,
         "request": request_to_wire(decision.request),
         "violation": (
@@ -289,6 +320,9 @@ def decision_to_wire(decision: Decision) -> dict:
             str(context) for context in decision.adi_purged_contexts
         ],
     }
+    if decision.trace is not None:
+        wire["trace"] = decision.trace.to_dict()
+    return wire
 
 
 def decision_from_wire(raw: Any) -> Decision:
@@ -315,7 +349,16 @@ def decision_from_wire(raw: Any) -> Decision:
         raise ProtocolError(f"{what}.records_added must be an integer")
     if isinstance(records_purged, bool) or not isinstance(records_purged, int):
         raise ProtocolError(f"{what}.records_purged must be an integer")
+    trace_raw = raw.get("trace")
+    if trace_raw is None:
+        trace = None
+    else:
+        try:
+            trace = DecisionTrace.from_dict(trace_raw)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid decision trace: {exc}") from exc
     return Decision(
+        trace=trace,
         effect=effect,
         request=request_from_wire(raw.get("request")),
         violation=(

@@ -34,6 +34,7 @@ from typing import Callable
 from repro.core.decision import Decision, DecisionRequest
 from repro.core.engine import MSoDEngine
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.perf import NOOP, PerfRecorder
 
 
@@ -134,6 +135,7 @@ class AuthorizationService:
         self._stats = [ShardStats() for _ in range(n_shards)]
         self._accepting = False
         self._started = False
+        self._registry: MetricsRegistry | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -166,12 +168,82 @@ class AuthorizationService:
         }
 
     def metrics(self) -> dict:
-        """The ``/metrics`` body: perf snapshot plus per-shard stats."""
+        """The ``/metrics`` JSON body: perf snapshot plus per-shard stats."""
         return {
             "shards": [stats.to_dict() for stats in self._stats],
             "queue_depths": self.queue_depths(),
             "perf": self._perf.snapshot(),
         }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The Prometheus registry over this service (built once).
+
+        Exposes the service's perf recorder *and* the engine's (merged
+        when they are the same object), plus per-shard gauges: queue
+        depth (current backlog), the queue-depth limit, and the
+        monotonic submitted/completed/rejected (shed)/batch counters.
+        """
+        if self._registry is not None:
+            return self._registry
+        registry = MetricsRegistry()
+        registry.register_perf(self._perf)
+        registry.register_perf(self._engine.perf)
+
+        def per_shard(value_of) -> "list[tuple[dict[str, str], float]]":
+            return [
+                ({"shard": str(index)}, value_of(index))
+                for index in range(self._n_shards)
+            ]
+
+        def depth_of(index: int) -> int:
+            return self._queues[index].qsize() if self._queues else 0
+
+        registry.register_gauge(
+            "shard_queue_depth",
+            "Requests currently queued on each shard.",
+            lambda: per_shard(depth_of),
+        )
+        registry.register_gauge(
+            "shard_queue_depth_limit",
+            "Bound of each shard queue (overload sheds beyond it).",
+            lambda: float(self._queue_depth),
+        )
+        registry.register_gauge(
+            "shard_max_batch",
+            "Largest micro-batch each shard worker has drained.",
+            lambda: per_shard(lambda i: self._stats[i].max_batch),
+        )
+        for attr, help_text in (
+            ("submitted", "Requests admitted to each shard queue."),
+            ("completed", "Decisions completed by each shard worker."),
+            ("rejected", "Requests shed by each full shard queue."),
+            ("batches", "Micro-batches drained by each shard worker."),
+        ):
+            registry.register_counter(
+                f"shard_{attr}_total",
+                help_text,
+                lambda attr=attr: per_shard(
+                    lambda i: getattr(self._stats[i], attr)
+                ),
+            )
+        self._registry = registry
+        return registry
+
+    def metrics_text(self) -> str:
+        """The ``metrics`` body in Prometheus text exposition format."""
+        return self.metrics_registry().render()
+
+    def slowlog(self) -> dict:
+        """The ``slowlog`` body: the engine's slowest retained traces.
+
+        Empty (``enabled: false``) unless the engine was built with an
+        enabled tracer carrying a slow-decision log.
+        """
+        tracer = self._engine.tracer
+        log = tracer.slow_log if tracer.enabled else None
+        if log is None:
+            return {"enabled": False, "capacity": 0, "offered": 0, "traces": []}
+        return {"enabled": True, **log.to_dict()}
 
     # ------------------------------------------------------------------
     async def start(self) -> None:

@@ -3,14 +3,20 @@
 Synchronous callers (pytest, the closed-loop bench driver, the CI smoke
 job) need a live server without owning an event loop.  ``ServerThread``
 spins a private loop in a daemon thread, starts the server on it, and
-tears everything down — including the graceful service drain — on
+tears everything down — including the graceful service drain and any
+``owns=[...]`` resources (stores, recorders) handed to it — on
 ``stop()`` / context-manager exit.
+
+Most callers should not construct this directly: use
+:func:`repro.api.open_server`, which builds the engine + service from a
+policy/store spec and returns a handle wrapping this class.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+from typing import Sequence
 
 from repro.server.app import MSoDServer
 from repro.server.service import AuthorizationService
@@ -22,9 +28,12 @@ class ServerThread:
     Usage::
 
         service = AuthorizationService(engine, n_shards=4)
-        with ServerThread(service) as server:
+        with ServerThread(service, owns=[engine.store]) as server:
             pdp = RemotePDP(server.host, server.port)
             ...
+
+    ``owns`` lists resources whose ``close()`` the thread calls after
+    the drain, so test fixtures cannot leak stores on assertion failure.
     """
 
     def __init__(
@@ -32,9 +41,11 @@ class ServerThread:
         service: AuthorizationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        owns: Sequence[object] = (),
     ) -> None:
         self._server = MSoDServer(service, host=host, port=port)
         self._host = host
+        self._owns = tuple(owns)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
@@ -76,6 +87,10 @@ class ServerThread:
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=30)
         self._thread = None
+        for resource in self._owns:
+            close = getattr(resource, "close", None)
+            if callable(close):
+                close()
 
     def _run(self) -> None:
         loop = self._loop = asyncio.new_event_loop()

@@ -1,0 +1,321 @@
+"""Tests for repro.obs: traces, the slow-decision log and metrics.
+
+The load-bearing property is the differential one: enabling tracing
+must never change a decision — same effect, same reason, same retained
+ADI — across the in-memory, SQLite and remote backends.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    MMER,
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Role,
+    SQLiteRetainedADIStore,
+)
+from repro.obs import (
+    NOOP_TRACER,
+    DecisionTrace,
+    DecisionTracer,
+    MetricsRegistry,
+    SlowDecisionLog,
+    TraceSpan,
+    TraceViolation,
+    parse_exposition,
+)
+from repro.perf import PerfRecorder
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+
+def bank_policy_set():
+    return MSoDPolicySet(
+        [
+            MSoDPolicy(
+                ContextName.parse("Branch=*, Period=!"),
+                mmers=[MMER([TELLER, AUDITOR], 2)],
+                policy_id="bank",
+            )
+        ]
+    )
+
+
+def make_request(user, role, index=0, period="P1"):
+    operation, target = (
+        ("handleCash", "till://1") if role is TELLER else ("auditBooks", "l://1")
+    )
+    return DecisionRequest(
+        user_id=user,
+        roles=(role,),
+        operation=operation,
+        target=target,
+        context_instance=ContextName.parse(f"Branch=York, Period={period}"),
+        timestamp=float(index),
+        request_id=f"req-{user}-{index}",
+    )
+
+
+class TestTracedEngine:
+    def test_granted_decision_carries_spans(self):
+        engine = MSoDEngine(
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            tracer=DecisionTracer(),
+        )
+        decision = engine.check(make_request("alice", TELLER))
+        assert decision.granted
+        trace = decision.trace
+        assert trace is not None
+        assert trace.effect == decision.effect
+        stages = trace.stage_durations()
+        assert "engine.match" in stages
+        assert "engine.constraints" in stages
+        assert "store.commit" in stages
+        assert all(duration >= 0.0 for duration in stages.values())
+        # Offsets order the spans as a waterfall within the total.
+        for span in trace.spans:
+            assert 0.0 <= span.offset_s <= trace.total_s + 1e-6
+
+    def test_denied_trace_names_violating_policy(self):
+        engine = MSoDEngine(
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            tracer=DecisionTracer(),
+        )
+        assert engine.check(make_request("alice", TELLER, 0)).granted
+        denied = engine.check(make_request("alice", AUDITOR, 1))
+        assert not denied.granted
+        trace = denied.trace
+        assert trace is not None
+        assert trace.violation is not None
+        assert trace.violation.policy_id == "bank"
+        assert trace.violation.constraint_kind == "MMER"
+        assert "bank" in trace.matched_policy_ids
+        assert "store.commit" not in trace.stage_durations()
+
+    def test_untraced_engine_attaches_nothing(self):
+        engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+        assert engine.tracer is NOOP_TRACER
+        decision = engine.check(make_request("alice", TELLER))
+        assert decision.trace is None
+
+    def test_render_mentions_stages_and_policy(self):
+        engine = MSoDEngine(
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            tracer=DecisionTracer(),
+        )
+        engine.check(make_request("alice", TELLER, 0))
+        denied = engine.check(make_request("alice", AUDITOR, 1))
+        text = denied.trace.render()
+        assert "engine.match" in text
+        assert "bank" in text
+        assert "DENY" in text
+
+
+class TestDifferentialTracing:
+    """Tracing must be a pure observer: decisions stay bit-identical."""
+
+    @pytest.mark.parametrize("store_factory", [
+        InMemoryRetainedADIStore,
+        lambda: SQLiteRetainedADIStore(":memory:"),
+    ])
+    def test_decisions_identical_with_and_without_tracing(self, store_factory):
+        plain = MSoDEngine(bank_policy_set(), store_factory())
+        traced = MSoDEngine(
+            bank_policy_set(), store_factory(), tracer=DecisionTracer()
+        )
+        script = [
+            ("alice", TELLER),
+            ("alice", AUDITOR),  # denied by the MMER
+            ("bob", AUDITOR),
+            ("bob", TELLER),     # denied
+            ("carol", TELLER),
+            ("alice", TELLER),   # repeat role: granted again
+        ]
+        for index, (user, role) in enumerate(script):
+            request = make_request(user, role, index)
+            expected = plain.check(request)
+            got = traced.check(request)
+            # Decision equality excludes the trace field by design.
+            assert got == expected
+            assert got.trace is not None and expected.trace is None
+            assert dataclasses.replace(got, trace=None) == expected
+
+    def test_trace_effect_mirrors_decision(self):
+        engine = MSoDEngine(
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            tracer=DecisionTracer(),
+        )
+        for index, (user, role) in enumerate(
+            [("alice", TELLER), ("alice", AUDITOR)]
+        ):
+            request = make_request(user, role, index)
+            decision = engine.check(request)
+            assert decision.trace.effect == decision.effect
+            assert decision.trace.request_id == request.request_id
+            assert decision.trace.records_added == decision.records_added
+
+
+class TestTraceSerialisation:
+    def _trace(self):
+        return DecisionTrace(
+            request_id="r-1",
+            user_id="alice",
+            effect="deny",
+            total_s=0.002,
+            requested_at=7.0,
+            spans=(
+                TraceSpan("engine.match", 0.0, 0.001),
+                TraceSpan("engine.constraints", 0.001, 0.0005),
+            ),
+            matched_policy_ids=("bank",),
+            violation=TraceViolation("bank", "MMER", "2 of 2 roles"),
+            records_added=0,
+            records_purged=0,
+        )
+
+    def test_round_trip(self):
+        trace = self._trace()
+        assert DecisionTrace.from_dict(trace.to_dict()) == trace
+
+    def test_round_trip_without_violation(self):
+        trace = dataclasses.replace(
+            self._trace(), effect="grant", violation=None, records_added=1
+        )
+        assert DecisionTrace.from_dict(trace.to_dict()) == trace
+
+    @pytest.mark.parametrize("mutate", [
+        lambda raw: raw.pop("request_id"),
+        lambda raw: raw.__setitem__("total_s", "fast"),
+        lambda raw: raw.__setitem__("spans", [{"name": 3}]),
+        lambda raw: raw.__setitem__("violation", {"policy_id": 1}),
+        lambda raw: raw.__setitem__("matched_policy_ids", [1, 2]),
+    ])
+    def test_from_dict_rejects_junk(self, mutate):
+        raw = self._trace().to_dict()
+        mutate(raw)
+        with pytest.raises(ValueError):
+            DecisionTrace.from_dict(raw)
+
+    def test_span_lookup(self):
+        trace = self._trace()
+        assert trace.span("engine.match").duration_s == 0.001
+        assert trace.span("store.commit") is None
+
+
+class TestSlowDecisionLog:
+    def _trace(self, request_id, total_s):
+        return DecisionTrace(
+            request_id=request_id,
+            user_id="u",
+            effect="grant",
+            total_s=total_s,
+            requested_at=0.0,
+            spans=(),
+            matched_policy_ids=(),
+            violation=None,
+            records_added=0,
+            records_purged=0,
+        )
+
+    def test_keeps_the_n_slowest(self):
+        log = SlowDecisionLog(capacity=3)
+        for index, total in enumerate([0.5, 0.1, 0.9, 0.2, 0.7, 0.05]):
+            log.offer(self._trace(f"r{index}", total))
+        snapshot = log.snapshot()
+        assert [trace.total_s for trace in snapshot] == [0.9, 0.7, 0.5]
+        assert log.offered == 6
+
+    def test_threshold_rises_as_log_fills(self):
+        log = SlowDecisionLog(capacity=2)
+        assert log.threshold() == 0.0
+        log.offer(self._trace("a", 0.3))
+        log.offer(self._trace("b", 0.6))
+        assert log.threshold() == pytest.approx(0.3)
+        assert not log.offer(self._trace("c", 0.1))
+        assert log.offer(self._trace("d", 0.5))
+        assert log.threshold() == pytest.approx(0.5)
+
+    def test_engine_feeds_slow_log(self):
+        log = SlowDecisionLog(capacity=8)
+        engine = MSoDEngine(
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            tracer=DecisionTracer(slow_log=log),
+        )
+        for index in range(5):
+            engine.check(make_request(f"user-{index}", TELLER, index))
+        assert log.offered == 5
+        assert len(log.snapshot()) == 5
+
+    def test_to_dict_and_clear(self):
+        log = SlowDecisionLog(capacity=2)
+        log.offer(self._trace("a", 0.3))
+        payload = log.to_dict()
+        assert payload["capacity"] == 2
+        assert payload["offered"] == 1
+        assert payload["traces"][0]["request_id"] == "a"
+        log.clear()
+        assert log.snapshot() == []
+
+
+class TestMetricsRegistry:
+    def test_renders_counters_and_histograms(self):
+        perf = PerfRecorder()
+        engine = MSoDEngine(
+            bank_policy_set(), InMemoryRetainedADIStore(), perf=perf
+        )
+        for index in range(4):
+            engine.check(make_request(f"user-{index}", TELLER, index))
+        registry = MetricsRegistry()
+        registry.register_perf(perf)
+        text = registry.render()
+        samples = parse_exposition(text)
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["repro_engine_requests_total"][0][1] == 4.0
+        buckets = [
+            (labels, value)
+            for labels, value in by_name["repro_stage_duration_seconds_bucket"]
+            if labels.get("stage") == "engine.check"
+        ]
+        assert buckets, "engine.check histogram missing"
+        assert buckets[-1][0]["le"] == "+Inf"
+        # Cumulative: bucket counts are monotonically non-decreasing.
+        values = [value for _, value in buckets]
+        assert values == sorted(values)
+        assert values[-1] == 4.0
+
+    def test_gauges_and_labels(self):
+        registry = MetricsRegistry()
+        registry.register_gauge(
+            "queue_depth", "Depth.", lambda: [({"shard": "0"}, 3.0)]
+        )
+        samples = parse_exposition(registry.render())
+        assert ("repro_queue_depth", {"shard": "0"}, 3.0) in samples
+
+    def test_parse_exposition_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not { prometheus\n")
+
+    def test_duplicate_perf_registration_is_ignored(self):
+        perf = PerfRecorder()
+        perf.incr("x")
+        registry = MetricsRegistry()
+        registry.register_perf(perf)
+        registry.register_perf(perf)
+        samples = parse_exposition(registry.render())
+        matches = [s for s in samples if s[0] == "repro_x_total"]
+        assert len(matches) == 1
+        assert matches[0][2] == 1.0

@@ -6,7 +6,9 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
+    "repro.obs",
     "repro.rbac",
     "repro.xmlpolicy",
     "repro.framework",
