@@ -48,7 +48,7 @@ __version__ = "1.0.0"
 
 #: Lazily re-exported from :mod:`repro.api` (PEP 562) so that importing
 #: ``repro`` never drags in the server/client stack.
-_API_NAMES = ("open_pdp", "open_server")
+_API_NAMES = ("open_pdp", "open_server", "open_cluster")
 
 
 def __getattr__(name: str):
@@ -68,6 +68,7 @@ __all__ = [
     "ReproError",
     "open_pdp",
     "open_server",
+    "open_cluster",
     "ContextName",
     "Role",
     "Privilege",

@@ -51,7 +51,14 @@ from repro.obs.slowlog import SlowDecisionLog
 from repro.obs.trace import DecisionTracer
 from repro.perf import NOOP, PerfRecorder
 
-__all__ = ["open_pdp", "open_server", "LocalPDP", "ServerHandle"]
+__all__ = [
+    "open_pdp",
+    "open_server",
+    "open_cluster",
+    "LocalPDP",
+    "ServerHandle",
+    "ClusterHandle",
+]
 
 #: Accepted ``policy`` argument shapes.
 PolicySource = Union[MSoDPolicySet, str, "os.PathLike[str]", None]
@@ -356,3 +363,111 @@ def open_server(
     )
     thread = ServerThread(service, host=host, port=port).start()
     return ServerHandle(thread, owned)
+
+
+class ClusterHandle:
+    """A running multi-node MSoD cluster plus its coordinator.
+
+    Returned by :func:`open_cluster`; ``client()`` connects a
+    :class:`~repro.cluster.ClusterPDP` that routes by user, stamps the
+    fencing epoch and survives failovers.
+    """
+
+    def __init__(self, cluster) -> None:
+        self._cluster = cluster
+        self._closed = False
+
+    @property
+    def cluster(self):
+        return self._cluster
+
+    @property
+    def host(self) -> str:
+        return self._cluster.host
+
+    @property
+    def port(self) -> int:
+        """The coordinator's bound port (route/status/metrics verbs)."""
+        return self._cluster.port
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return self._cluster.shard_names
+
+    def client(self, **kwargs):
+        """A :class:`~repro.cluster.ClusterPDP` connected to this cluster."""
+        from repro.cluster import ClusterPDP
+
+        return ClusterPDP((self.host, self.port), **kwargs)
+
+    def kill_primary(self, shard_name: str) -> str:
+        """Fault injection: crash one shard's primary (no drain)."""
+        return self._cluster.kill_primary(shard_name)
+
+    def status(self) -> dict:
+        return self._cluster.status()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._cluster.stop()
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_cluster(
+    policy: PolicySource,
+    data_dir: str,
+    *,
+    n_shards: int = 2,
+    store: str = "memory",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    audit_key: bytes = b"cluster-trail-key",
+    audit_max_records: int = 10_000,
+    audit_max_bytes: int | None = None,
+    fsync: bool = True,
+    health_interval: float = 0.2,
+    health_timeout: float = 0.25,
+    vnodes: int = 64,
+) -> ClusterHandle:
+    """Boot an N-shard MSoD cluster (primary + standby per shard).
+
+    The scale-out twin of :func:`open_server`: the same policy spec,
+    but behind consistent-hash routing by ``user_id``, with each shard
+    primary shipping its fsync'd audit trail to a warm standby (see
+    :mod:`repro.cluster` and ``docs/CLUSTER.md``).  ``data_dir`` holds
+    every node's trail directory and, with ``store="sqlite"``, its
+    store file.  ``port=0`` binds the coordinator ephemerally — read
+    it back from the handle.
+    """
+    from repro.cluster import LocalCluster
+
+    if store not in ("memory", "sqlite"):
+        raise PolicyError(
+            "cluster store must be 'memory' or 'sqlite' (per-node sqlite "
+            f"files live under data_dir), got {store!r}"
+        )
+    policy_set = _load_policy_set(policy)
+    cluster = LocalCluster(
+        policy_set,
+        n_shards,
+        data_dir,
+        audit_key=audit_key,
+        store=store,
+        host=host,
+        port=port,
+        vnodes=vnodes,
+        health_interval=health_interval,
+        health_timeout=health_timeout,
+        fsync=fsync,
+        audit_max_records=audit_max_records,
+        audit_max_bytes=audit_max_bytes,
+    )
+    cluster.start()
+    return ClusterHandle(cluster)

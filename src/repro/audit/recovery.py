@@ -9,11 +9,24 @@ access control decisions again."
 The paper flags this replay as its scalability limitation (Section 6);
 ``benchmarks/bench_recovery_scalability.py`` measures it against the
 SQLite store that needs no replay.
+
+Replay is **idempotent**: records already present in the target store
+are not added twice, so running the same recovery repeatedly — or
+resuming a partially-applied one — converges on the same store.  That
+property is what lets :mod:`repro.cluster` reuse this exact code path
+as *replication*: a warm standby simply re-runs recovery over its
+primary's shipped trails on every catch-up tick (see
+``docs/CLUSTER.md``).  The cluster extensions ride along as optional
+parameters: ``journal`` captures every decision outcome by request id
+(the standby's exactly-once dedupe table), ``min_epoch`` drops events
+written by a deposed primary after its fencing epoch, and
+``max_events`` stops at a sealed lineage cutoff.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import MutableMapping
 
 from repro.core.context import ContextName
 from repro.core.decision import Decision, Effect
@@ -47,6 +60,64 @@ def decision_event_payload(decision: Decision) -> dict:
     }
 
 
+def _record_key(record: RetainedADIRecord) -> tuple:
+    """The identity of a retained record, independent of ``record_id``."""
+    return (
+        record.user_id,
+        tuple(sorted((role.role_type, role.value) for role in record.roles)),
+        record.operation,
+        record.target,
+        str(record.context_instance),
+        record.granted_at,
+        record.request_id,
+    )
+
+
+class _PreexistingRecords:
+    """Multiset of record identities already present in the store.
+
+    One grant may legitimately retain several identity-equal records
+    (step 5.iv adds one per matched constraint), so this is a counted
+    multiset, not a set: each replayed add *consumes* one pre-existing
+    copy if available and only hits the store when none remain.
+    Replayed purges discard the unconsumed copies they would have
+    removed from the store.  The result is the invariant that makes
+    replay idempotent — N passes over the same trail leave the store
+    exactly as one pass does.
+    """
+
+    def __init__(self, store: RetainedADIStore) -> None:
+        self._counts: dict[tuple, int] = {}
+        self._contexts: dict[tuple, ContextName] = {}
+        for record in store.records():
+            key = _record_key(record)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._contexts[key] = record.context_instance
+
+    def consume(self, record: RetainedADIRecord) -> bool:
+        """Match one pre-existing copy; True when the add must be skipped."""
+        key = _record_key(record)
+        remaining = self._counts.get(key, 0)
+        if remaining <= 0:
+            return False
+        if remaining == 1:
+            del self._counts[key]
+            del self._contexts[key]
+        else:
+            self._counts[key] = remaining - 1
+        return True
+
+    def purge(self, effective_context: ContextName) -> None:
+        dead = [
+            key
+            for key, context in self._contexts.items()
+            if context.is_equal_or_subordinate_to(effective_context)
+        ]
+        for key in dead:
+            del self._counts[key]
+            del self._contexts[key]
+
+
 @dataclass(frozen=True, slots=True)
 class RecoveryReport:
     """Statistics from one recovery run."""
@@ -67,37 +138,75 @@ def recover_retained_adi(
     store: RetainedADIStore,
     last_n_trails: int | None = None,
     since: float = 0.0,
+    *,
+    journal: MutableMapping[str, dict] | None = None,
+    min_epoch: int = 0,
+    max_events: int | None = None,
 ) -> RecoveryReport:
     """Rebuild a retained-ADI store by replaying granted decisions.
 
     Only records whose business-context instance is still matched by the
     *current* policy set are recovered ("according to its current set of
     MSoD policies"); purge events replay unconditionally so contexts
-    terminated before the restart stay terminated.
+    terminated before the restart stay terminated.  Records already in
+    ``store`` are not added twice, so the call is idempotent.
+
+    Parameters
+    ----------
+    journal:
+        Optional mapping populated with every decision event's payload
+        keyed by ``request_id`` (grants *and* denies).  A cluster
+        standby uses this as its exactly-once table: a client retrying
+        a decide whose outcome the dead primary already committed gets
+        the recorded answer instead of a double evaluation.
+    min_epoch:
+        Skip decision/purge events stamped with a cluster epoch below
+        this floor — a deposed primary's post-fencing writes.
+    max_events:
+        Stop after scanning this many events (a sealed shard lineage's
+        cutoff: anything a deposed primary appended beyond the seal is
+        outside the authoritative history).
     """
     events_scanned = 0
     replayed = 0
     skipped = 0
     purges = 0
+    preexisting = _PreexistingRecords(store)
     for event in trails.events(last_n_trails=last_n_trails, since=since):
+        if max_events is not None and events_scanned >= max_events:
+            break
         events_scanned += 1
+        epoch = event.payload.get("epoch", 0) if event.payload else 0
+        if isinstance(epoch, int) and epoch < min_epoch:
+            skipped += 1
+            continue
         if event.event_type == EVENT_DECISION:
             payload = event.payload
+            if journal is not None:
+                request = payload.get("request", {})
+                request_id = request.get("request_id")
+                if request_id:
+                    journal[request_id] = payload
             if payload.get("effect") != Effect.GRANT:
                 continue
             for context_text in payload.get("adi_purges", ()):
-                store.purge_context(ContextName.parse(context_text))
+                context = ContextName.parse(context_text)
+                store.purge_context(context)
+                preexisting.purge(context)
                 purges += 1
             for record_dict in payload.get("adi_adds", ()):
                 record = RetainedADIRecord.from_dict(record_dict)
-                if policy_set.is_relevant(record.context_instance):
+                if not policy_set.is_relevant(record.context_instance):
+                    skipped += 1
+                elif preexisting.consume(record):
+                    skipped += 1
+                else:
                     store.add(record)
                     replayed += 1
-                else:
-                    skipped += 1
         elif event.event_type == EVENT_PURGE:
             context = ContextName.parse(event.payload["context"])
             store.purge_context(context)
+            preexisting.purge(context)
             purges += 1
     return RecoveryReport(
         events_scanned=events_scanned,

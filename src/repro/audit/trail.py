@@ -23,6 +23,7 @@ import hashlib
 import hmac
 import json
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -69,15 +70,31 @@ class SecureAuditTrail:
     append therefore also rewrites a sealed checkpoint sidecar
     (``<path>.chk``) recording the expected record count and chain tip;
     verification compares the replayed chain against it.
+
+    Crash tolerance: a process dying mid-append leaves either a *torn*
+    final line (partial JSON) or a fully-written record whose checkpoint
+    rewrite never happened.  Both are expected outcomes of a crash, not
+    tampering, so replay skips the torn tail with a warning (and the
+    next ``append`` truncates it away before writing) and tolerates a
+    trail exactly one record ahead of its checkpoint.  Anything else —
+    a torn line *before* the tail, a chain break, a bad seal, a trail
+    behind its checkpoint — still raises.
+
+    ``fsync=True`` makes every append durable (flush + ``os.fsync``)
+    before returning; the cluster's log-shipping replication relies on
+    this so an acknowledged decision survives primary death.
     """
 
-    def __init__(self, path: str, key: bytes) -> None:
+    def __init__(self, path: str, key: bytes, *, fsync: bool = False) -> None:
         if not key:
             raise AuditTrailError("audit trail key must be non-empty")
         self._path = path
         self._key = key
+        self._fsync = fsync
         self._last_hash = GENESIS_HASH
         self._next_seq = 0
+        self._byte_size = 0
+        self._torn_offset: int | None = None
         if os.path.exists(path):
             # Re-open an existing trail: verify and pick up the chain tip.
             for _ in self.verify_and_read():
@@ -91,6 +108,11 @@ class SecureAuditTrail:
     def record_count(self) -> int:
         return self._next_seq
 
+    @property
+    def byte_size(self) -> int:
+        """Bytes occupied by the verified records (torn tail excluded)."""
+        return self._byte_size
+
     # ------------------------------------------------------------------
     def append(self, event_type: str, timestamp: float, payload: dict) -> int:
         """Append one event; returns its sequence number."""
@@ -102,14 +124,24 @@ class SecureAuditTrail:
         }
         record_hash = _chain_hash(self._last_hash, body)
         line = dict(body, hash=record_hash, tag=_seal(self._key, record_hash))
+        data = (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
         try:
-            with open(self._path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(line, sort_keys=True))
-                handle.write("\n")
+            if self._torn_offset is not None:
+                # Repair a crash-torn tail before continuing the chain,
+                # so the partial line never precedes a valid record.
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(self._torn_offset)
+                self._torn_offset = None
+            with open(self._path, "ab") as handle:
+                handle.write(data)
+                if self._fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
         except OSError as exc:
             raise AuditTrailError(f"cannot append to {self._path!r}: {exc}") from exc
         self._last_hash = record_hash
         self._next_seq += 1
+        self._byte_size += len(data)
         self._write_checkpoint()
         return body["seq"]
 
@@ -156,6 +188,17 @@ class SecureAuditTrail:
         )
         if not hmac.compare_digest(checkpoint.get("tag", ""), expected_tag):
             raise AuditTrailError(f"{self._path}: checkpoint seal invalid")
+        if count == checkpoint["count"] + 1:
+            # One verified record beyond the checkpoint: the appender
+            # crashed (or is mid-append) between writing the record and
+            # rewriting the sidecar.  The extra record's own seal already
+            # verified, so this is not a forgery — accept and warn.
+            warnings.warn(
+                f"{self._path}: trail is one record ahead of its checkpoint "
+                "(crash or in-flight append); accepting the sealed record",
+                stacklevel=2,
+            )
+            return
         if checkpoint["count"] != count or checkpoint["last_hash"] != last_hash:
             raise AuditTrailError(
                 f"{self._path}: trail does not match its checkpoint "
@@ -168,58 +211,88 @@ class SecureAuditTrail:
         """Yield every event, verifying the chain and seals as it goes.
 
         Raises :class:`~repro.errors.AuditTrailError` at the first record
-        whose hash chain or HMAC seal does not verify.  Also updates the
-        in-memory chain tip so :meth:`append` continues the chain.
+        whose hash chain or HMAC seal does not verify — except for a
+        *torn final line* (partial JSON where the appender crashed or is
+        still writing), which is skipped with a warning; the next
+        :meth:`append` truncates it away.  Also updates the in-memory
+        chain tip so :meth:`append` continues the chain.
         """
         if not os.path.exists(self._path):
             self._verify_checkpoint(0, GENESIS_HASH)
             return
         prev_hash = GENESIS_HASH
         expected_seq = 0
-        with open(self._path, "r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
+        offset = 0
+        valid_offset = 0
+        self._torn_offset = None
+        with open(self._path, "rb") as handle:
+            raw_lines = handle.readlines()
+        for line_no, raw in enumerate(raw_lines, start=1):
+            offset += len(raw)
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                line = None
+            if line == "":
+                valid_offset = offset
+                continue
+            record = None
+            if line is not None:
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise AuditTrailError(
-                        f"{self._path}:{line_no}: corrupt JSON"
-                    ) from exc
-                body = {
-                    "seq": record.get("seq"),
-                    "ts": record.get("ts"),
-                    "type": record.get("type"),
-                    "payload": record.get("payload"),
-                }
-                if body["seq"] != expected_seq:
-                    raise AuditTrailError(
-                        f"{self._path}:{line_no}: sequence break "
-                        f"(expected {expected_seq}, got {body['seq']})"
+                except json.JSONDecodeError:
+                    record = None
+            if record is None or not isinstance(record, dict):
+                if line_no == len(raw_lines):
+                    # A torn tail: the appender died (or is still
+                    # writing) mid-line.  Every *sealed* record before
+                    # it is intact, so recover those instead of
+                    # refusing the whole trail.
+                    warnings.warn(
+                        f"{self._path}:{line_no}: skipping torn final "
+                        "line (crash mid-append)",
+                        stacklevel=2,
                     )
-                record_hash = _chain_hash(prev_hash, body)
-                if record.get("hash") != record_hash:
-                    raise AuditTrailError(
-                        f"{self._path}:{line_no}: hash chain broken"
-                    )
-                if not hmac.compare_digest(
-                    record.get("tag", ""), _seal(self._key, record_hash)
-                ):
-                    raise AuditTrailError(
-                        f"{self._path}:{line_no}: HMAC seal invalid"
-                    )
-                prev_hash = record_hash
-                expected_seq += 1
-                yield AuditEvent(
-                    seq=body["seq"],
-                    timestamp=body["ts"],
-                    event_type=body["type"],
-                    payload=body["payload"],
+                    self._torn_offset = valid_offset
+                    break
+                raise AuditTrailError(
+                    f"{self._path}:{line_no}: corrupt JSON"
                 )
+            body = {
+                "seq": record.get("seq"),
+                "ts": record.get("ts"),
+                "type": record.get("type"),
+                "payload": record.get("payload"),
+            }
+            if body["seq"] != expected_seq:
+                raise AuditTrailError(
+                    f"{self._path}:{line_no}: sequence break "
+                    f"(expected {expected_seq}, got {body['seq']})"
+                )
+            record_hash = _chain_hash(prev_hash, body)
+            if record.get("hash") != record_hash:
+                raise AuditTrailError(
+                    f"{self._path}:{line_no}: hash chain broken"
+                )
+            if not hmac.compare_digest(
+                record.get("tag", ""), _seal(self._key, record_hash)
+            ):
+                raise AuditTrailError(
+                    f"{self._path}:{line_no}: HMAC seal invalid"
+                )
+            prev_hash = record_hash
+            expected_seq += 1
+            valid_offset = offset
+            yield AuditEvent(
+                seq=body["seq"],
+                timestamp=body["ts"],
+                event_type=body["type"],
+                payload=body["payload"],
+            )
         self._verify_checkpoint(expected_seq, prev_hash)
         self._last_hash = prev_hash
         self._next_seq = expected_seq
+        self._byte_size = valid_offset
 
     def verify(self) -> int:
         """Verify the whole trail; return the number of valid records."""
@@ -235,20 +308,36 @@ class AuditTrailManager:
     Section 5.2: "the PDP ... processes the last *n* audit trails
     starting from time *t* (where *t* and *n* are administrative
     parameters)".  The manager rotates the active trail after
-    ``max_records`` events and can list/select trails for recovery.
+    ``max_records`` events — or, when ``max_bytes`` is set, once the
+    active trail file reaches that many bytes, whichever comes first
+    (bounded files keep follower catch-up and recovery replay O(file),
+    whatever the per-event payload size).  ``fsync=True`` makes every
+    append durable before it is acknowledged.
     """
 
-    def __init__(self, directory: str, key: bytes, max_records: int = 10_000) -> None:
+    def __init__(
+        self,
+        directory: str,
+        key: bytes,
+        max_records: int = 10_000,
+        *,
+        max_bytes: int | None = None,
+        fsync: bool = False,
+    ) -> None:
         if max_records < 1:
             raise AuditTrailError("max_records must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise AuditTrailError("max_bytes must be >= 1 (or None)")
         os.makedirs(directory, exist_ok=True)
         self._directory = directory
         self._key = key
         self._max_records = max_records
+        self._max_bytes = max_bytes
+        self._fsync = fsync
         self._active: SecureAuditTrail | None = None
         existing = self.trail_paths()
         if existing:
-            self._active = SecureAuditTrail(existing[-1], key)
+            self._active = SecureAuditTrail(existing[-1], key, fsync=fsync)
 
     @property
     def directory(self) -> str:
@@ -266,11 +355,23 @@ class AuditTrailManager:
     def _new_trail(self) -> SecureAuditTrail:
         index = len(self.trail_paths())
         path = os.path.join(self._directory, f"audit-{index:06d}.log")
-        return SecureAuditTrail(path, self._key)
+        return SecureAuditTrail(path, self._key, fsync=self._fsync)
+
+    def _active_is_full(self) -> bool:
+        active = self._active
+        if active is None:
+            return True
+        if active.record_count >= self._max_records:
+            return True
+        return (
+            self._max_bytes is not None
+            and active.record_count > 0
+            and active.byte_size >= self._max_bytes
+        )
 
     def append(self, event_type: str, timestamp: float, payload: dict) -> None:
         """Append to the active trail, rotating when it is full."""
-        if self._active is None or self._active.record_count >= self._max_records:
+        if self._active_is_full():
             self._active = self._new_trail()
         self._active.append(event_type, timestamp, payload)
 

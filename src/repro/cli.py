@@ -202,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         help="how many slowest traces to retain (with --trace)",
     )
+    _audit_flags(serve)
 
     def _remote_address(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--host", default="127.0.0.1")
@@ -243,7 +244,165 @@ def build_parser() -> argparse.ArgumentParser:
         help="scrape a running server's Prometheus text exposition",
     )
     _remote_address(metrics_cmd)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="multi-node MSoD cluster: serve, nodes, status, smoke test",
+    )
+    cluster_cmds = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cserve = cluster_cmds.add_parser(
+        "serve",
+        help="boot an N-shard cluster (primary+standby each) plus the "
+        "routing coordinator, in one process",
+    )
+    cserve.add_argument("policy", help="path to the policy XML file")
+    cserve.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for every node's audit trails (and sqlite stores)",
+    )
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument(
+        "--port", type=int, default=8760, help="coordinator port"
+    )
+    cserve.add_argument(
+        "--cluster-shards", type=int, default=2, help="number of shards"
+    )
+    cserve.add_argument(
+        "--store",
+        choices=("memory", "sqlite"),
+        default="sqlite",
+        help="per-node retained-ADI backend",
+    )
+    _audit_flags(cserve, fsync_default=True)
+
+    cnode = cluster_cmds.add_parser(
+        "node",
+        help="run one standalone cluster node (the multi-process bench's "
+        "building block)",
+    )
+    cnode.add_argument("policy", help="path to the policy XML file")
+    cnode.add_argument("--name", required=True, help="node name")
+    cnode.add_argument("--shard", required=True, help="owning shard name")
+    cnode.add_argument(
+        "--role", choices=("primary", "standby"), default="primary"
+    )
+    cnode.add_argument("--epoch", type=int, default=1)
+    cnode.add_argument("--host", default="127.0.0.1")
+    cnode.add_argument("--port", type=int, default=0)
+    cnode.add_argument(
+        "--adi",
+        help="SQLite retained-ADI path (default: in-memory store)",
+    )
+    cnode.add_argument(
+        "--audit-dir", required=True, help="this node's trail directory"
+    )
+    cnode.add_argument("--audit-key", default="cluster-trail-key")
+    cnode.add_argument("--audit-max-records", type=int, default=10_000)
+    cnode.add_argument("--audit-max-bytes", type=int, default=None)
+    cnode.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-append fsync (benchmarking only; loses the "
+        "acknowledged-implies-durable guarantee)",
+    )
+
+    def _coordinator_address(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--host", default="127.0.0.1")
+        cmd.add_argument(
+            "--port", type=int, default=8760, help="coordinator port"
+        )
+        cmd.add_argument("--timeout", type=float, default=5.0)
+
+    cstatus = cluster_cmds.add_parser(
+        "status", help="print the coordinator's cluster-status body"
+    )
+    _coordinator_address(cstatus)
+
+    croute = cluster_cmds.add_parser(
+        "route", help="print the current routing table"
+    )
+    _coordinator_address(croute)
+
+    cmetrics = cluster_cmds.add_parser(
+        "metrics",
+        help="scrape the coordinator's Prometheus exposition "
+        "(per-node up/primary/epoch gauges)",
+    )
+    _coordinator_address(cmetrics)
+
+    cdecide = cluster_cmds.add_parser(
+        "decide",
+        help="evaluate one request through the routing cluster client",
+    )
+    _coordinator_address(cdecide)
+    cdecide.add_argument("--user", required=True)
+    cdecide.add_argument(
+        "--role", action="append", required=True, type=_parse_role
+    )
+    cdecide.add_argument("--operation", required=True)
+    cdecide.add_argument("--target", required=True)
+    cdecide.add_argument("--context", required=True)
+
+    csmoke = cluster_cmds.add_parser(
+        "smoke",
+        help="boot a cluster, run the hot-user workload, kill a primary "
+        "mid-stream, assert failover correctness (the CI job)",
+    )
+    csmoke.add_argument(
+        "--cluster-shards", type=int, default=3, help="number of shards"
+    )
+    csmoke.add_argument(
+        "--requests", type=int, default=300, help="workload decisions"
+    )
+    csmoke.add_argument(
+        "--store", choices=("memory", "sqlite"), default="sqlite"
+    )
+    csmoke.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     return parser
+
+
+def _audit_flags(
+    cmd: argparse.ArgumentParser, fsync_default: bool = False
+) -> None:
+    """Audit-trail flags shared by ``serve`` and ``cluster serve``."""
+    if fsync_default:
+        cmd.add_argument(
+            "--no-fsync",
+            action="store_true",
+            help="skip per-append fsync (benchmarking only; loses the "
+            "acknowledged-implies-durable guarantee)",
+        )
+    else:
+        cmd.add_argument(
+            "--audit-dir",
+            help="append every decision to a secure audit trail here",
+        )
+        cmd.add_argument(
+            "--audit-fsync",
+            action="store_true",
+            help="fsync each audit append before acknowledging",
+        )
+    cmd.add_argument(
+        "--audit-key",
+        default="cluster-trail-key" if fsync_default else "audit-trail-key",
+        help="HMAC key sealing the audit trails",
+    )
+    cmd.add_argument(
+        "--audit-max-records",
+        type=int,
+        default=10_000,
+        help="rotate the active trail after this many records",
+    )
+    cmd.add_argument(
+        "--audit-max-bytes",
+        type=int,
+        default=None,
+        help="also rotate once the active trail reaches this many bytes",
+    )
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -433,6 +592,29 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
             SlowDecisionLog(args.slowlog_size) if args.slowlog_size > 0 else None
         )
         tracer = DecisionTracer(slow_log=slow_log)
+    audit_sink = None
+    if args.audit_dir:
+        from repro.audit import (
+            EVENT_DECISION,
+            AuditTrailManager,
+            decision_event_payload,
+        )
+
+        trails = AuditTrailManager(
+            args.audit_dir,
+            args.audit_key.encode("utf-8"),
+            max_records=args.audit_max_records,
+            max_bytes=args.audit_max_bytes,
+            fsync=args.audit_fsync,
+        )
+
+        def audit_sink(decision):
+            trails.append(
+                EVENT_DECISION,
+                decision.request.timestamp,
+                decision_event_payload(decision),
+            )
+
     try:
         engine = MSoDEngine(
             policy_set,
@@ -447,6 +629,7 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             batch_max=args.batch_max,
             perf=perf,
+            audit_sink=audit_sink,
         )
         server = MSoDServer(service, host=args.host, port=args.port)
         await server.start()
@@ -530,6 +713,323 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wait_for_signal() -> None:
+    """Block the main thread until SIGINT/SIGTERM."""
+    import threading
+
+    stop = threading.Event()
+
+    def handler(signum, frame):  # pragma: no cover - signal timing
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Boot a full cluster in one process and run until interrupted."""
+    from repro.api import open_cluster
+
+    handle = open_cluster(
+        args.policy,
+        args.data_dir,
+        n_shards=args.cluster_shards,
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        audit_key=args.audit_key.encode("utf-8"),
+        audit_max_records=args.audit_max_records,
+        audit_max_bytes=args.audit_max_bytes,
+        fsync=not args.no_fsync,
+    )
+    with handle:
+        print(
+            f"cluster coordinator on {handle.host}:{handle.port} "
+            f"({args.cluster_shards} shards, store={args.store}, "
+            f"fsync={'off' if args.no_fsync else 'on'})",
+            flush=True,
+        )
+        for shard in handle.shard_names:
+            state = handle.cluster.shard(shard)
+            print(
+                f"  {shard}: primary {state.primary.name} "
+                f"{state.primary.host}:{state.primary.port}, "
+                f"standby {state.standby.name} "
+                f"{state.standby.host}:{state.standby.port}",
+                flush=True,
+            )
+        _wait_for_signal()
+        print("stopping cluster...", flush=True)
+    return 0
+
+
+def cmd_cluster_node(args: argparse.Namespace) -> int:
+    """Run one standalone cluster node until interrupted."""
+    from repro.cluster import ClusterNode
+    from repro.core import InMemoryRetainedADIStore
+
+    policy_set = parse_policy_set_file(args.policy)
+    if args.adi:
+        store = SQLiteRetainedADIStore(args.adi)
+    else:
+        store = InMemoryRetainedADIStore()
+    node = ClusterNode(
+        args.name,
+        args.shard,
+        policy_set,
+        store,
+        args.audit_dir,
+        args.audit_key.encode("utf-8"),
+        role=args.role,
+        epoch=args.epoch,
+        host=args.host,
+        port=args.port,
+        audit_max_records=args.audit_max_records,
+        audit_max_bytes=args.audit_max_bytes,
+        fsync=not args.no_fsync,
+    )
+    node.start()
+    try:
+        print(
+            f"node {node.name} serving shard {node.shard} on "
+            f"{node.host}:{node.port} role={node.role} epoch={node.epoch}",
+            flush=True,
+        )
+        _wait_for_signal()
+        print("stopping node...", flush=True)
+    finally:
+        node.stop()
+    return 0
+
+
+def _cluster_client(args: argparse.Namespace):
+    from repro.cluster import ClusterPDP
+
+    return ClusterPDP((args.host, args.port), timeout=args.timeout)
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    with _cluster_client(args) as pdp:
+        print(json.dumps(pdp.cluster_status(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cluster_route(args: argparse.Namespace) -> int:
+    with _cluster_client(args) as pdp:
+        print(json.dumps(pdp.route(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cluster_metrics(args: argparse.Namespace) -> int:
+    with _cluster_client(args) as pdp:
+        text = pdp.cluster_metrics_text()
+    print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def cmd_cluster_decide(args: argparse.Namespace) -> int:
+    """One decision through the routing, failover-surviving client."""
+    import uuid
+
+    with _cluster_client(args) as pdp:
+        decision = pdp.decide(
+            DecisionRequest(
+                user_id=args.user,
+                roles=tuple(args.role),
+                operation=args.operation,
+                target=args.target,
+                context_instance=ContextName.parse(args.context),
+                timestamp=time.time(),
+                # The cluster journal dedupes by request_id across *all*
+                # clients, so a process-local counter id would collide
+                # with other CLI invocations.
+                request_id=f"cli-{uuid.uuid4().hex}",
+            )
+        )
+    print(decision)
+    return 0 if decision.granted else 2
+
+
+def cmd_cluster_smoke(args: argparse.Namespace) -> int:
+    """The CI cluster smoke: workload + mid-stream primary kill.
+
+    Boots an N-shard cluster, streams a hot-user + distinct-user
+    workload through the routing client, kills the hot user's shard
+    primary halfway, and asserts: the standby is promoted, every
+    decision matches a single-node oracle bit for bit, each shard's
+    retained ADI equals the oracle engine fed that shard's substream,
+    the MMER exclusivity invariant holds, and the per-node gauges
+    scrape.
+    """
+    import itertools
+    import tempfile
+
+    from repro.api import open_cluster
+    from repro.core import InMemoryRetainedADIStore
+    from repro.workload import (
+        AUDITOR,
+        TELLER,
+        bank_policy_set,
+        decision_request_stream,
+        hot_user_stream,
+    )
+
+    policy_set = bank_policy_set()
+    half = args.requests // 2
+    requests = list(
+        itertools.chain(
+            hot_user_stream(args.requests // 2, user_id="hot-user"),
+            decision_request_stream(
+                args.requests - args.requests // 2, n_users=40
+            ),
+        )
+    )
+    report: dict = {
+        "requests": len(requests),
+        "shards": args.cluster_shards,
+        "store": args.store,
+    }
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as data_dir:
+        with open_cluster(
+            policy_set,
+            data_dir,
+            n_shards=args.cluster_shards,
+            store=args.store,
+        ) as handle:
+            cluster = handle.cluster
+            hot_shard = cluster.ring.shard_for("hot-user")
+            report["hot_shard"] = hot_shard
+            with handle.client(failover_wait=30.0) as pdp:
+                effects = []
+                for index, request in enumerate(requests):
+                    if index == half:
+                        report["killed"] = handle.kill_primary(hot_shard)
+                    effects.append(pdp.decide(request).effect)
+                status = pdp.cluster_status()
+                metrics_text = pdp.cluster_metrics_text()
+                node_metrics = pdp.node_metrics_text("hot-user")
+            report["failovers"] = status["shards"][hot_shard]["failovers"]
+            report["epoch"] = status["shards"][hot_shard]["epoch"]
+            if report["failovers"] < 1:
+                failures.append("no failover happened")
+            for family in (
+                "repro_cluster_node_up",
+                "repro_cluster_node_primary",
+                "repro_cluster_node_epoch",
+                "repro_cluster_failovers_total",
+            ):
+                if family not in metrics_text:
+                    failures.append(f"metrics family {family} missing")
+            if "repro_shard_queue_depth" not in node_metrics:
+                failures.append("per-node shard gauges missing")
+
+            # Per-shard single-node oracles: one fresh engine per shard,
+            # fed exactly the substream the ring sends that shard.  (A
+            # single global engine is *not* the right oracle — step 4's
+            # context-started check spans users, so the record set for a
+            # shared context depends on which other-shard users touched
+            # it first.  Per-user routing promises per-shard equivalence,
+            # and that is what we assert.)
+            oracles = {
+                shard_name: MSoDEngine(policy_set, InMemoryRetainedADIStore())
+                for shard_name in handle.shard_names
+            }
+            oracle_effects = [
+                oracles[cluster.ring.shard_for(request.user_id)]
+                .check(request)
+                .effect
+                for request in requests
+            ]
+            report["grants"] = effects.count("grant")
+            report["denies"] = effects.count("deny")
+            if effects != oracle_effects:
+                mismatches = sum(
+                    1
+                    for ours, theirs in zip(effects, oracle_effects)
+                    if ours != theirs
+                )
+                failures.append(
+                    f"{mismatches} decision(s) diverged from the oracle"
+                )
+
+            def digest(records):
+                return sorted(
+                    (
+                        record.user_id,
+                        tuple(
+                            sorted(
+                                (role.role_type, role.value)
+                                for role in record.roles
+                            )
+                        ),
+                        record.operation,
+                        record.target,
+                        str(record.context_instance),
+                        record.granted_at,
+                        record.request_id,
+                    )
+                    for record in records
+                )
+
+            merged = []
+            for shard_name in handle.shard_names:
+                shard_records = list(
+                    cluster.shard(shard_name).primary.store.records()
+                )
+                merged.extend(shard_records)
+                if digest(shard_records) != digest(
+                    oracles[shard_name].store.records()
+                ):
+                    failures.append(
+                        f"{shard_name} retained ADI differs from its "
+                        "single-node oracle"
+                    )
+
+            exclusive = 0
+            seen: dict = {}
+            for record in merged:
+                key = (record.user_id, str(record.context_instance))
+                roles = seen.setdefault(key, set())
+                roles.update(record.roles)
+                if TELLER in roles and AUDITOR in roles:
+                    exclusive += 1
+            report["exclusivity_violations"] = exclusive
+            if exclusive:
+                failures.append(
+                    f"{exclusive} MMER exclusivity violation(s) in the "
+                    "retained ADI"
+                )
+    report["ok"] = not failures
+    report["failures"] = failures
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key in sorted(report):
+            print(f"{key}: {report[key]}")
+    return 0 if not failures else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    handlers = {
+        "serve": cmd_cluster_serve,
+        "node": cmd_cluster_node,
+        "status": cmd_cluster_status,
+        "route": cmd_cluster_route,
+        "metrics": cmd_cluster_metrics,
+        "decide": cmd_cluster_decide,
+        "smoke": cmd_cluster_smoke,
+    }
+    return handlers[args.cluster_command](args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -548,6 +1048,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "remote-decide": cmd_remote_decide,
         "remote-status": cmd_remote_status,
         "metrics": cmd_metrics,
+        "cluster": cmd_cluster,
     }
     try:
         return handlers[args.command](args)

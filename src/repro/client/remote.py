@@ -32,6 +32,8 @@ import time
 
 from repro.core.decision import Decision, DecisionRequest
 from repro.errors import (
+    PDPFencedError,
+    PDPNotPrimaryError,
     PDPOverloadedError,
     PDPUnavailableError,
     ProtocolError,
@@ -69,6 +71,10 @@ def _check_response(frame: dict, frame_id: str) -> dict:
         )
     if kind == protocol.ERR_PROTOCOL:
         raise ProtocolError(f"remote PDP rejected the frame: {detail}")
+    if kind == protocol.ERR_FENCED:
+        raise PDPFencedError(f"remote PDP fenced the request: {detail}")
+    if kind == protocol.ERR_NOT_PRIMARY:
+        raise PDPNotPrimaryError(f"remote PDP is not primary: {detail}")
     raise PDPUnavailableError(f"remote PDP error ({kind}): {detail}")
 
 
@@ -93,14 +99,30 @@ class _Backoff:
 class _SyncConnection:
     """One blocking socket speaking newline-delimited JSON frames."""
 
-    def __init__(self, host: str, port: int, timeout: float) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float,
+        connect_timeout: float | None = None,
+    ) -> None:
+        self._timeout = timeout
+        self._sock = socket.create_connection(
+            (host, port),
+            timeout=connect_timeout if connect_timeout is not None else timeout,
+        )
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rb")
 
-    def exchange(self, frame: dict) -> dict:
-        self._sock.sendall(protocol.encode_frame(frame))
-        line = self._file.readline(protocol.MAX_FRAME_BYTES + 1)
+    def exchange(self, frame: dict, timeout: float | None = None) -> dict:
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.sendall(protocol.encode_frame(frame))
+            line = self._file.readline(protocol.MAX_FRAME_BYTES + 1)
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(self._timeout)
         if not line.endswith(b"\n"):
             raise PDPUnavailableError(
                 "connection closed mid-response"
@@ -132,6 +154,11 @@ class RemotePDP(PolicyDecisionPoint):
         Maximum concurrent connections (callers beyond it queue).
     timeout:
         Per-operation socket timeout, seconds.
+    health_timeout:
+        Socket timeout for ``healthz`` probes only; defaults to the
+        general ``timeout``.  A cluster health checker sets this much
+        lower than the decide timeout so a dead node is detected in
+        probe-time, not decide-time (failover satellite).
     max_retries:
         Extra attempts for retriable failures (see module docstring).
     backoff_base, backoff_cap:
@@ -151,6 +178,7 @@ class RemotePDP(PolicyDecisionPoint):
         port: int,
         pool_size: int = 4,
         timeout: float = 5.0,
+        health_timeout: float | None = None,
         max_retries: int = 2,
         backoff_base: float = 0.02,
         backoff_cap: float = 0.5,
@@ -160,6 +188,9 @@ class RemotePDP(PolicyDecisionPoint):
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._health_timeout = (
+            health_timeout if health_timeout is not None else timeout
+        )
         self._max_retries = max_retries
         self._backoff = _Backoff(backoff_base, backoff_cap, rng)
         self._slots = threading.BoundedSemaphore(pool_size)
@@ -173,12 +204,17 @@ class RemotePDP(PolicyDecisionPoint):
         return self._perf
 
     # -- connection pool ----------------------------------------------
-    def _acquire(self) -> _SyncConnection:
+    def _acquire(self, connect_timeout: float | None = None) -> _SyncConnection:
         with self._idle_lock:
             if self._idle:
                 return self._idle.pop()
         try:
-            return _SyncConnection(self._host, self._port, self._timeout)
+            return _SyncConnection(
+                self._host,
+                self._port,
+                self._timeout,
+                connect_timeout=connect_timeout,
+            )
         except OSError as exc:
             raise PDPUnavailableError(
                 f"cannot connect to PDP at {self._host}:{self._port}: {exc}"
@@ -206,14 +242,16 @@ class RemotePDP(PolicyDecisionPoint):
         self.close()
 
     # -- one round trip ------------------------------------------------
-    def _exchange_once(self, frame: dict, frame_id: str) -> dict:
+    def _exchange_once(
+        self, frame: dict, frame_id: str, timeout: float | None = None
+    ) -> dict:
         """One request/response on one pooled connection."""
         with self._slots:
-            conn = self._acquire()
+            conn = self._acquire(connect_timeout=timeout)
             reusable = False
             try:
                 try:
-                    response = conn.exchange(frame)
+                    response = conn.exchange(frame, timeout=timeout)
                 except (OSError, EOFError) as exc:
                     raise PDPUnavailableError(
                         f"PDP transport failure: {exc}"
@@ -223,7 +261,13 @@ class RemotePDP(PolicyDecisionPoint):
             finally:
                 self._release(conn, reusable)
 
-    def _call(self, op: str, retriable: bool, **fields) -> dict:
+    def _call(
+        self,
+        op: str,
+        retriable: bool,
+        op_timeout: float | None = None,
+        **fields,
+    ) -> dict:
         perf = self._perf
         timing = perf.enabled
         perf.incr("client.calls")
@@ -233,7 +277,9 @@ class RemotePDP(PolicyDecisionPoint):
             frame = protocol.request_frame(op, frame_id, **fields)
             started = perf.start() if timing else 0.0
             try:
-                response = self._exchange_once(frame, frame_id)
+                response = self._exchange_once(
+                    frame, frame_id, timeout=op_timeout
+                )
                 if timing:
                     perf.stop("client.call", started)
                 return response
@@ -252,24 +298,44 @@ class RemotePDP(PolicyDecisionPoint):
             attempt += 1
 
     # -- the PolicyDecisionPoint protocol ------------------------------
-    def decide(self, request: DecisionRequest) -> Decision:
+    def decide(
+        self, request: DecisionRequest, *, epoch: int | None = None
+    ) -> Decision:
         """Evaluate one request on the remote PDP.
 
         Raises :class:`PDPUnavailableError` (or its
         :class:`PDPOverloadedError` subclass once the retry budget for
         overload rejections is exhausted) instead of socket errors.
+
+        ``epoch``, when given, rides on the decide frame; a cluster
+        node compares it against its own fencing epoch and answers
+        ``fenced`` (:class:`~repro.errors.PDPFencedError`) when the
+        client's routing table is stale.  Plain single-node servers
+        ignore the field.
         """
+        fields: dict = {"request": protocol.request_to_wire(request)}
+        if epoch is not None:
+            fields["epoch"] = epoch
         response = self._call(
             protocol.OP_DECIDE,
             retriable=False,  # post-send decide retries could double-record
-            request=protocol.request_to_wire(request),
+            **fields,
         )
         return protocol.decision_from_wire(response.get("decision"))
 
     # -- control verbs -------------------------------------------------
     def healthz(self) -> dict:
-        """The server's health snapshot (status + per-shard backlog)."""
-        return self._call(protocol.OP_HEALTHZ, retriable=True).get("body", {})
+        """The server's health snapshot (status + per-shard backlog).
+
+        Uses the dedicated ``health_timeout`` (connect and read), so a
+        probe against a hung node fails fast even when the decide
+        timeout is generous.
+        """
+        return self._call(
+            protocol.OP_HEALTHZ,
+            retriable=True,
+            op_timeout=self._health_timeout,
+        ).get("body", {})
 
     def metrics(self) -> dict:
         """The server's metrics snapshot (perf counters + shard stats)."""
@@ -308,6 +374,7 @@ class AsyncRemotePDP:
         port: int,
         pool_size: int = 4,
         timeout: float = 5.0,
+        health_timeout: float | None = None,
         max_retries: int = 2,
         backoff_base: float = 0.02,
         backoff_cap: float = 0.5,
@@ -316,6 +383,9 @@ class AsyncRemotePDP:
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._health_timeout = (
+            health_timeout if health_timeout is not None else timeout
+        )
         self._max_retries = max_retries
         self._backoff = _Backoff(backoff_base, backoff_cap, rng)
         self._pool_size = pool_size
@@ -329,7 +399,7 @@ class AsyncRemotePDP:
         return self._slots
 
     async def _acquire(
-        self,
+        self, timeout: float | None = None
     ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         if self._idle:
             return self._idle.pop()
@@ -338,7 +408,7 @@ class AsyncRemotePDP:
                 asyncio.open_connection(
                     self._host, self._port, limit=protocol.MAX_FRAME_BYTES
                 ),
-                timeout=self._timeout,
+                timeout=timeout if timeout is not None else self._timeout,
             )
         except (OSError, asyncio.TimeoutError) as exc:
             raise PDPUnavailableError(
@@ -374,19 +444,22 @@ class AsyncRemotePDP:
         await self.close()
 
     # -- one round trip ------------------------------------------------
-    async def _exchange_once(self, frame: dict, frame_id: str) -> dict:
+    async def _exchange_once(
+        self, frame: dict, frame_id: str, timeout: float | None = None
+    ) -> dict:
+        op_timeout = timeout if timeout is not None else self._timeout
         async with self._semaphore():
-            conn = await self._acquire()
+            conn = await self._acquire(timeout=timeout)
             reader, writer = conn
             reusable = False
             try:
                 try:
                     writer.write(protocol.encode_frame(frame))
                     await asyncio.wait_for(
-                        writer.drain(), timeout=self._timeout
+                        writer.drain(), timeout=op_timeout
                     )
                     line = await asyncio.wait_for(
-                        reader.readline(), timeout=self._timeout
+                        reader.readline(), timeout=op_timeout
                     )
                 except (
                     OSError,
@@ -405,13 +478,21 @@ class AsyncRemotePDP:
             finally:
                 await self._release(conn, reusable)
 
-    async def _call(self, op: str, retriable: bool, **fields) -> dict:
+    async def _call(
+        self,
+        op: str,
+        retriable: bool,
+        op_timeout: float | None = None,
+        **fields,
+    ) -> dict:
         attempt = 0
         while True:
             frame_id = _next_frame_id()
             frame = protocol.request_frame(op, frame_id, **fields)
             try:
-                return await self._exchange_once(frame, frame_id)
+                return await self._exchange_once(
+                    frame, frame_id, timeout=op_timeout
+                )
             except PDPOverloadedError as exc:
                 if attempt >= self._max_retries:
                     raise
@@ -425,20 +506,29 @@ class AsyncRemotePDP:
             attempt += 1
 
     # -- verbs ---------------------------------------------------------
-    async def decide(self, request: DecisionRequest) -> Decision:
+    async def decide(
+        self, request: DecisionRequest, *, epoch: int | None = None
+    ) -> Decision:
         """Evaluate one request on the remote PDP (coroutine)."""
+        fields: dict = {"request": protocol.request_to_wire(request)}
+        if epoch is not None:
+            fields["epoch"] = epoch
         response = await self._call(
             protocol.OP_DECIDE,
             retriable=False,
-            request=protocol.request_to_wire(request),
+            **fields,
         )
         return protocol.decision_from_wire(response.get("decision"))
 
     async def healthz(self) -> dict:
-        """The server's health snapshot (coroutine)."""
-        return (await self._call(protocol.OP_HEALTHZ, retriable=True)).get(
-            "body", {}
-        )
+        """The server's health snapshot (coroutine; fast timeout)."""
+        return (
+            await self._call(
+                protocol.OP_HEALTHZ,
+                retriable=True,
+                op_timeout=self._health_timeout,
+            )
+        ).get("body", {})
 
     async def metrics(self) -> dict:
         """The server's metrics snapshot (coroutine)."""

@@ -1,0 +1,38 @@
+"""repro.cluster — horizontal scale-out for the MSoD PDP.
+
+The paper's PDP is a single process holding all retained ADI (Section
+5), with recovery-by-replay of its audit trails named as the
+scalability limitation (Section 6).  This subsystem scales it out while
+preserving the paper's one non-negotiable invariant: *no two nodes may
+ever grant an MMER/MMEP-violating pair for the same user*.
+
+* :class:`~repro.cluster.ring.HashRing` — consistent-hash routing by
+  ``user_id``: each user's retained-ADI read-modify-write stays on
+  exactly one shard primary.
+* :class:`~repro.cluster.node.ClusterNode` — a single-node
+  authorization server plus role/epoch gating, a durable audit sink
+  and the exactly-once request journal.
+* :class:`~repro.cluster.coordinator.LocalCluster` — shards of
+  primary+standby pairs, health checking, audit-log-shipped standby
+  catch-up (the paper's recovery replay, reused as replication) and
+  fenced failover.
+* :class:`~repro.cluster.client.ClusterPDP` — the routing,
+  epoch-stamping, failover-surviving client.
+
+See ``docs/CLUSTER.md`` for the full design.
+"""
+
+from repro.cluster.client import ClusterPDP
+from repro.cluster.coordinator import LocalCluster, ShardState
+from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "ClusterPDP",
+    "ClusterNode",
+    "HashRing",
+    "LocalCluster",
+    "ROLE_PRIMARY",
+    "ROLE_STANDBY",
+    "ShardState",
+]

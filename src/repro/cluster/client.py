@@ -1,0 +1,254 @@
+"""The cluster-aware PDP client: routing, fencing and safe failover.
+
+``ClusterPDP`` implements the same
+:class:`~repro.framework.pdp.PolicyDecisionPoint` protocol as
+:class:`~repro.client.RemotePDP`, but in front of a whole cluster: it
+hashes ``user_id`` on the same consistent-hash ring as the coordinator,
+sends each decide to the owning shard's primary stamped with the route
+epoch, and fails over when the cluster does.
+
+Failover from the client's side::
+
+    decide → PDPUnavailableError / PDPFencedError / PDPNotPrimaryError
+           → re-fetch the route from the coordinator
+           → retry the *same* request (same ``request_id``) against the
+             new primary with the new epoch
+
+The retry is safe — the single case where retrying a decide is — only
+because of the cluster's exactly-once journal: every decision the dead
+primary acknowledged is in its shipped audit trail, the promoted
+standby replayed that trail before stepping up, and a journaled
+``request_id`` short-circuits to the recorded outcome instead of a
+second evaluation.  A plain :class:`RemotePDP` must never retry a
+decide; a :class:`ClusterPDP` may, and that difference is the whole
+point of the journal.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.client.remote import RemotePDP
+from repro.core.decision import Decision, DecisionRequest
+from repro.errors import (
+    ClusterError,
+    PDPFencedError,
+    PDPNotPrimaryError,
+    PDPUnavailableError,
+)
+from repro.framework.pdp import PolicyDecisionPoint
+from repro.server import protocol
+from repro.cluster.ring import HashRing
+
+
+class ClusterPDP(PolicyDecisionPoint):
+    """A :class:`PolicyDecisionPoint` spanning a sharded MSoD cluster.
+
+    Parameters
+    ----------
+    coordinator:
+        ``(host, port)`` of the cluster coordinator; the routing table
+        is fetched from it at first use and re-fetched on every routing
+        error.  Mutually exclusive with ``static_route``.
+    static_route:
+        A fixed routing table (the ``route`` response body) for
+        coordinator-less deployments — the multi-process benchmark uses
+        this.  No failover is possible without a coordinator to ask
+        for fresh routes, so routing errors surface immediately.
+    timeout, health_timeout, pool_size:
+        Per-node :class:`RemotePDP` tuning (one pooled client per
+        distinct primary address).
+    failover_wait:
+        Total seconds ``decide`` keeps retrying through a failover
+        before giving up (route refreshes + backoff happen inside this
+        budget).
+    """
+
+    def __init__(
+        self,
+        coordinator: tuple[str, int] | None = None,
+        *,
+        static_route: dict | None = None,
+        timeout: float = 5.0,
+        health_timeout: float = 0.25,
+        pool_size: int = 4,
+        failover_wait: float = 10.0,
+        retry_interval: float = 0.1,
+        rng: random.Random | None = None,
+    ) -> None:
+        if (coordinator is None) == (static_route is None):
+            raise ClusterError(
+                "ClusterPDP needs exactly one of coordinator=(host, port) "
+                "or static_route={...}"
+            )
+        self._coordinator = coordinator
+        self._timeout = timeout
+        self._health_timeout = health_timeout
+        self._pool_size = pool_size
+        self._failover_wait = failover_wait
+        self._retry_interval = retry_interval
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._route: dict | None = None
+        self._ring: HashRing | None = None
+        self._pdps: dict[tuple[str, int], RemotePDP] = {}
+        self._coordinator_pdp: RemotePDP | None = None
+        self._closed = False
+        if static_route is not None:
+            self._install_route(static_route)
+
+    # -- routing -------------------------------------------------------
+    def _install_route(self, route: dict) -> None:
+        shards = route.get("shards")
+        if not isinstance(shards, dict) or not shards:
+            raise ClusterError(f"malformed routing table: {route!r}")
+        ring = HashRing(sorted(shards), vnodes=int(route.get("vnodes", 64)))
+        with self._lock:
+            current = self._route
+            if current is not None and current.get("version", 0) >= route.get(
+                "version", 0
+            ):
+                return  # never step back to an older route
+            self._route = route
+            self._ring = ring
+
+    def _coordinator_client(self) -> RemotePDP:
+        if self._coordinator is None:
+            raise ClusterError(
+                "no coordinator configured (static route only); cannot "
+                "refresh the routing table"
+            )
+        if self._coordinator_pdp is None:
+            host, port = self._coordinator
+            self._coordinator_pdp = RemotePDP(
+                host,
+                port,
+                pool_size=1,
+                timeout=self._timeout,
+                health_timeout=self._health_timeout,
+            )
+        return self._coordinator_pdp
+
+    def refresh_route(self) -> dict:
+        """Fetch and install the coordinator's current routing table."""
+        client = self._coordinator_client()
+        body = client._call(protocol.OP_ROUTE, retriable=True).get("body")
+        if not isinstance(body, dict):
+            raise ClusterError("coordinator returned a malformed route")
+        self._install_route(body)
+        return body
+
+    def route(self) -> dict:
+        """The routing table in use (fetching it on first use)."""
+        with self._lock:
+            route = self._route
+        if route is None:
+            return self.refresh_route()
+        return route
+
+    def cluster_status(self) -> dict:
+        """The coordinator's ``cluster-status`` body."""
+        client = self._coordinator_client()
+        body = client._call(protocol.OP_CLUSTER_STATUS, retriable=True).get(
+            "body"
+        )
+        if not isinstance(body, dict):
+            raise ClusterError("coordinator returned a malformed status")
+        return body
+
+    def cluster_metrics_text(self) -> str:
+        """The coordinator's Prometheus exposition (per-node gauges)."""
+        client = self._coordinator_client()
+        return client.metrics_text()
+
+    def _target_for(self, user_id: str) -> tuple[tuple[str, int], int, str]:
+        route = self.route()
+        with self._lock:
+            ring = self._ring
+        assert ring is not None  # installed with the route
+        shard = ring.shard_for(user_id)
+        entry = route["shards"].get(shard)
+        if not isinstance(entry, dict):
+            raise ClusterError(f"route has no entry for shard {shard!r}")
+        host, port = entry["address"]
+        return (str(host), int(port)), int(entry.get("epoch", 0)), shard
+
+    def _pdp_for(self, address: tuple[str, int]) -> RemotePDP:
+        with self._lock:
+            pdp = self._pdps.get(address)
+            if pdp is None:
+                pdp = self._pdps[address] = RemotePDP(
+                    address[0],
+                    address[1],
+                    pool_size=self._pool_size,
+                    timeout=self._timeout,
+                    health_timeout=self._health_timeout,
+                    max_retries=0,  # this class owns the retry loop
+                )
+            return pdp
+
+    # -- the PolicyDecisionPoint protocol ------------------------------
+    def decide(self, request: DecisionRequest) -> Decision:
+        """Route one decide to its user's primary, surviving failover."""
+        deadline = time.monotonic() + self._failover_wait
+        attempt = 0
+        while True:
+            address, epoch, shard = self._target_for(request.user_id)
+            pdp = self._pdp_for(address)
+            try:
+                return pdp.decide(request, epoch=epoch)
+            except (
+                PDPFencedError,
+                PDPNotPrimaryError,
+                PDPUnavailableError,
+            ) as exc:
+                # Safe to retry: the request keeps its request_id, and
+                # the shard journal deduplicates anything the old
+                # primary already committed.
+                if self._coordinator is None or time.monotonic() >= deadline:
+                    raise
+                attempt += 1
+                time.sleep(
+                    self._retry_interval
+                    * (1.0 + self._rng.uniform(0.0, 0.5))
+                )
+                try:
+                    self.refresh_route()
+                except (PDPUnavailableError, ClusterError):
+                    if time.monotonic() >= deadline:
+                        raise exc
+
+    # -- per-node passthroughs ----------------------------------------
+    def healthz(self, user_id: str) -> dict:
+        """The owning primary's health body for one user's shard."""
+        address, _, _ = self._target_for(user_id)
+        return self._pdp_for(address).healthz()
+
+    def node_metrics_text(self, user_id: str) -> str:
+        """The owning primary's own Prometheus exposition."""
+        address, _, _ = self._target_for(user_id)
+        return self._pdp_for(address).metrics_text()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every pooled per-node client.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pdps = list(self._pdps.values())
+            self._pdps.clear()
+            coordinator = self._coordinator_pdp
+            self._coordinator_pdp = None
+        for pdp in pdps:
+            pdp.close()
+        if coordinator is not None:
+            coordinator.close()
+
+    def __enter__(self) -> "ClusterPDP":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

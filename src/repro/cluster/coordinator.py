@@ -1,0 +1,539 @@
+"""The cluster coordinator: topology, health checking and failover.
+
+``LocalCluster`` owns N shards, each a (primary, standby) pair of
+:class:`~repro.cluster.node.ClusterNode` instances, and runs three
+background concerns on one private event loop:
+
+* a **health loop** probing every primary's ``healthz`` with the fast
+  :class:`~repro.client.RemotePDP` health timeout; after
+  ``health_failures`` consecutive misses the shard fails over;
+* a **catch-up loop** re-running audit-trail replay on every standby
+  (replay is idempotent, so each tick simply replays the primary's
+  shipped trails into the standby's store and journal);
+* a **coordinator server** speaking the same JSON-lines protocol as
+  the nodes, answering ``route`` (the client's routing table),
+  ``cluster-status``, ``healthz`` and ``metrics`` (JSON or Prometheus
+  text exposition with per-node gauges).
+
+Failover sequence (the tentpole's fencing story):
+
+1. the primary stops answering health probes (crash, kill, partition);
+2. the coordinator **seals the lineage**: it counts the events visible
+   in the dead primary's shipped trails — anything the deposed process
+   might still append past that point is outside authoritative history
+   and will never be replayed;
+3. the standby runs one final sealed catch-up, so it holds exactly the
+   acknowledged decision history (the audit sink runs before the
+   client ack, so nothing a client saw can be missing);
+4. the standby is promoted under ``epoch + 1``; the routing table
+   version bumps; clients re-fetch the route and retry with the new
+   epoch, and any node still claiming the old epoch answers ``fenced``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Iterable
+
+from repro.audit.trail import AuditTrailManager
+from repro.client.remote import RemotePDP
+from repro.core.policy import MSoDPolicySet
+from repro.core.retained_adi import (
+    InMemoryRetainedADIStore,
+    SQLiteRetainedADIStore,
+)
+from repro.errors import ClusterError, PDPUnavailableError, ProtocolError
+from repro.obs.metrics import MetricsRegistry
+from repro.server import protocol
+from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
+from repro.cluster.ring import HashRing
+
+
+class ShardState:
+    """One shard's pair of nodes plus its fencing epoch."""
+
+    __slots__ = ("name", "primary", "standby", "epoch", "failovers", "lock")
+
+    def __init__(
+        self, name: str, primary: ClusterNode, standby: ClusterNode
+    ) -> None:
+        self.name = name
+        self.primary = primary
+        self.standby = standby
+        self.epoch = primary.epoch
+        self.failovers = 0
+        self.lock = threading.Lock()
+
+
+class LocalCluster:
+    """N shards of primary+standby nodes plus a routing coordinator.
+
+    Every node runs in-process on its own server thread (the same
+    harness the single-node tests use), which keeps the whole cluster
+    bootable inside one pytest worker or one CI step; the ``cluster
+    node`` CLI runs the same :class:`ClusterNode` as a standalone
+    process for multi-process benchmarking.
+    """
+
+    def __init__(
+        self,
+        policy_set: MSoDPolicySet,
+        n_shards: int,
+        data_dir: str,
+        *,
+        audit_key: bytes = b"cluster-trail-key",
+        store: str = "memory",
+        vnodes: int = 64,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health_interval: float = 0.2,
+        health_failures: int = 2,
+        health_timeout: float = 0.25,
+        catchup_interval: float = 0.4,
+        fsync: bool = True,
+        audit_max_records: int = 10_000,
+        audit_max_bytes: int | None = None,
+        service_shards: int = 2,
+    ) -> None:
+        if n_shards < 1:
+            raise ClusterError("a cluster needs at least one shard")
+        if store not in ("memory", "sqlite"):
+            raise ClusterError(
+                f"cluster store must be 'memory' or 'sqlite', got {store!r}"
+            )
+        self._policy_set = policy_set
+        self._data_dir = data_dir
+        self._audit_key = audit_key
+        self._host = host
+        self._port = port
+        self._health_interval = health_interval
+        self._health_failures = health_failures
+        self._health_timeout = health_timeout
+        self._catchup_interval = catchup_interval
+        self._route_version = 1
+        self._route_lock = threading.Lock()
+        self._shards: dict[str, ShardState] = {}
+        os.makedirs(data_dir, exist_ok=True)
+        for index in range(n_shards):
+            shard = f"shard-{index}"
+            nodes = []
+            for suffix, role, epoch in (("a", ROLE_PRIMARY, 1),
+                                        ("b", ROLE_STANDBY, 0)):
+                node_name = f"{shard}-{suffix}"
+                if store == "sqlite":
+                    backend = SQLiteRetainedADIStore(
+                        os.path.join(data_dir, f"{node_name}.db")
+                    )
+                else:
+                    backend = InMemoryRetainedADIStore()
+                nodes.append(
+                    ClusterNode(
+                        node_name,
+                        shard,
+                        policy_set,
+                        backend,
+                        os.path.join(data_dir, f"{node_name}-trails"),
+                        audit_key,
+                        role=role,
+                        epoch=epoch,
+                        host=host,
+                        service_shards=service_shards,
+                        fsync=fsync,
+                        audit_max_records=audit_max_records,
+                        audit_max_bytes=audit_max_bytes,
+                    )
+                )
+            self._shards[shard] = ShardState(shard, nodes[0], nodes[1])
+        self._ring = HashRing(self._shards.keys(), vnodes=vnodes)
+        self._registry: MetricsRegistry | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stopping = threading.Event()
+        self._server: asyncio.AbstractServer | None = None
+        self._coordinator_port = 0
+        self._dead: set[str] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return self._ring.shard_names
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The coordinator's bound port."""
+        return self._coordinator_port
+
+    def shard(self, name: str) -> ShardState:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise ClusterError(f"unknown shard {name!r}") from None
+
+    def nodes(self) -> Iterable[ClusterNode]:
+        for state in self._shards.values():
+            yield state.primary
+            yield state.standby
+
+    # ------------------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        for node in self.nodes():
+            node.start()
+        self._thread = threading.Thread(
+            target=self._run, name="msod-coordinator", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
+            raise ClusterError("coordinator failed to start in time")
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None and self._loop is not None:
+            self._stopping.set()
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._thread = None
+        for node in self.nodes():
+            if node.name not in self._dead:
+                node.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def kill_primary(self, shard_name: str) -> str:
+        """Fault injection: crash the shard's current primary."""
+        state = self.shard(shard_name)
+        victim = state.primary
+        victim.kill()
+        self._dead.add(victim.name)
+        return victim.name
+
+    def promote(self, shard_name: str) -> int:
+        """Fail a shard over to its standby; returns the new epoch.
+
+        Steps 2–4 of the failover sequence (seal, final catch-up,
+        promote + route bump).  Normally driven by the health loop,
+        public so tests and operators can force it.
+        """
+        state = self.shard(shard_name)
+        with state.lock:
+            old_primary, standby = state.primary, state.standby
+            if standby.name in self._dead:
+                raise ClusterError(
+                    f"shard {shard_name} has no live standby to promote"
+                )
+            seal = sum(
+                1
+                for _ in AuditTrailManager(
+                    old_primary.trail_dir, self._audit_key
+                ).events()
+            )
+            standby.catch_up(old_primary.trail_dir, max_events=seal)
+            new_epoch = state.epoch + 1
+            old_primary.demote()
+            standby.promote(new_epoch)
+            state.primary, state.standby = standby, old_primary
+            state.epoch = new_epoch
+            state.failovers += 1
+        with self._route_lock:
+            self._route_version += 1
+        return new_epoch
+
+    # ------------------------------------------------------------------
+    def route(self) -> dict:
+        """The routing table clients consume (see ``ClusterPDP``)."""
+        with self._route_lock:
+            version = self._route_version
+        return {
+            "version": version,
+            "vnodes": self._ring.vnodes,
+            "shards": {
+                name: {
+                    "address": list(state.primary.address),
+                    "epoch": state.epoch,
+                }
+                for name, state in self._shards.items()
+            },
+        }
+
+    def status(self) -> dict:
+        """The ``cluster-status`` body: every node's role and health."""
+        shards = {}
+        for name, state in self._shards.items():
+            shards[name] = {
+                "epoch": state.epoch,
+                "failovers": state.failovers,
+                "nodes": [
+                    {
+                        "name": node.name,
+                        "address": list(node.address),
+                        "role": node.role,
+                        "epoch": node.epoch,
+                        "up": node.name not in self._dead,
+                        "journal_size": node.journal_size,
+                    }
+                    for node in (state.primary, state.standby)
+                ],
+            }
+        with self._route_lock:
+            version = self._route_version
+        return {
+            "route_version": version,
+            "shards": shards,
+        }
+
+    # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """Cluster-level Prometheus registry with per-node gauges."""
+        if self._registry is not None:
+            return self._registry
+        registry = MetricsRegistry()
+
+        def per_node(value_of) -> list[tuple[dict[str, str], float]]:
+            samples = []
+            for state in self._shards.values():
+                for node in (state.primary, state.standby):
+                    labels = {
+                        "node": node.name,
+                        "shard": node.shard,
+                        "role": node.role,
+                    }
+                    samples.append((labels, value_of(node)))
+            return samples
+
+        registry.register_gauge(
+            "cluster_node_up",
+            "1 when the node is believed alive, 0 after a crash.",
+            lambda: per_node(
+                lambda node: 0.0 if node.name in self._dead else 1.0
+            ),
+        )
+        registry.register_gauge(
+            "cluster_node_primary",
+            "1 when the node is its shard's current primary.",
+            lambda: per_node(
+                lambda node: 1.0 if node.role == ROLE_PRIMARY else 0.0
+            ),
+        )
+        registry.register_gauge(
+            "cluster_node_epoch",
+            "The node's current fencing epoch.",
+            lambda: per_node(lambda node: float(node.epoch)),
+        )
+        registry.register_gauge(
+            "cluster_node_journal_size",
+            "Decision outcomes held for exactly-once retry dedupe.",
+            lambda: per_node(lambda node: float(node.journal_size)),
+        )
+        registry.register_counter(
+            "cluster_failovers_total",
+            "Standby promotions performed, by shard.",
+            lambda: [
+                ({"shard": name}, float(state.failovers))
+                for name, state in self._shards.items()
+            ],
+        )
+        registry.register_gauge(
+            "cluster_route_version",
+            "Monotonic routing-table version (bumps on every failover).",
+            lambda: float(self.route()["version"]),
+        )
+        self._registry = registry
+        return registry
+
+    def metrics_text(self) -> str:
+        return self.metrics_registry().render()
+
+    # ------------------------------------------------------------------
+    # Coordinator event loop: health checks, catch-up, route serving.
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        loop = self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._start_server())
+        except BaseException:  # pragma: no cover - startup failure
+            self._ready.set()
+            loop.close()
+            raise
+        health = loop.create_task(self._health_loop())
+        catchup = loop.create_task(self._catchup_loop())
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            for task in (health, catchup):
+                task.cancel()
+            loop.run_until_complete(
+                asyncio.gather(health, catchup, return_exceptions=True)
+            )
+            if self._server is not None:
+                self._server.close()
+                loop.run_until_complete(self._server.wait_closed())
+            pending = [
+                task for task in asyncio.all_tasks(loop) if not task.done()
+            ]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _start_server(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self._coordinator_port = sockets[0].getsockname()[1]
+
+    def _probe(self, node: ClusterNode) -> bool:
+        """One blocking health probe with the fast health timeout."""
+        host, port = node.address
+        try:
+            with RemotePDP(
+                host,
+                port,
+                pool_size=1,
+                timeout=self._health_timeout,
+                health_timeout=self._health_timeout,
+                max_retries=0,
+            ) as pdp:
+                body = pdp.healthz()
+            return bool(body)
+        except (PDPUnavailableError, ProtocolError):
+            return False
+
+    async def _health_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        misses: dict[str, int] = {name: 0 for name in self._shards}
+        while not self._stopping.is_set():
+            for name, state in self._shards.items():
+                primary = state.primary
+                if primary.name in self._dead:
+                    ok = False
+                else:
+                    ok = await loop.run_in_executor(
+                        None, self._probe, primary
+                    )
+                if ok:
+                    misses[name] = 0
+                    continue
+                misses[name] += 1
+                if misses[name] < self._health_failures:
+                    continue
+                self._dead.add(primary.name)
+                if state.standby.name not in self._dead:
+                    await loop.run_in_executor(None, self.promote, name)
+                    misses[name] = 0
+            await asyncio.sleep(self._health_interval)
+
+    async def _catchup_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping.is_set():
+            for state in self._shards.values():
+                standby, primary = state.standby, state.primary
+                if standby.name in self._dead or primary.name in self._dead:
+                    continue
+
+                def tick(state=state, standby=standby, primary=primary):
+                    with state.lock:
+                        if state.standby is standby:
+                            standby.catch_up(primary.trail_dir)
+
+                await loop.run_in_executor(None, tick)
+            await asyncio.sleep(self._catchup_interval)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer,
+                        protocol.error_frame(
+                            None,
+                            protocol.ERR_PROTOCOL,
+                            "frame exceeds size limit",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not await self._handle_frame(writer, line):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # coordinator teardown cancelled this connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_frame(
+        self, writer: asyncio.StreamWriter, line: bytes
+    ) -> bool:
+        frame_id = None
+        try:
+            frame = protocol.decode_frame(line)
+            frame_id = frame.get("id")
+            op = frame.get("op")
+            if op == protocol.OP_ROUTE:
+                body = self.route()
+            elif op == protocol.OP_CLUSTER_STATUS:
+                body = self.status()
+            elif op == protocol.OP_HEALTHZ:
+                body = {"status": "ok", "role": "coordinator"}
+            elif op == protocol.OP_METRICS:
+                fmt = protocol.metrics_format_of(frame)
+                body = (
+                    self.metrics_text()
+                    if fmt == protocol.METRICS_FORMAT_PROMETHEUS
+                    else self.status()
+                )
+            else:
+                raise ProtocolError(
+                    f"unknown coordinator operation {op!r}"
+                )
+            await self._send(
+                writer, protocol.response_frame(frame_id, op, "body", body)
+            )
+        except ProtocolError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(frame_id, protocol.ERR_PROTOCOL, str(exc)),
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+        return True
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(protocol.encode_frame(frame))
+        await writer.drain()

@@ -1,0 +1,305 @@
+"""One member of an MSoD cluster shard: a primary or a warm standby.
+
+A ``ClusterNode`` wraps the single-node serving stack unchanged — the
+same :class:`~repro.core.engine.MSoDEngine`,
+:class:`~repro.server.service.AuthorizationService` and
+:class:`~repro.server.testing.ServerThread` — and adds exactly three
+cluster concerns, all injected through hooks the base server already
+exposes:
+
+**Role + epoch gating** (``decide_gate``).  Only the shard's primary
+decides; a standby (or a deposed primary) answers ``not-primary`` so a
+client with a stale routing table can never split one user's retained
+ADI across two nodes.  Every decide frame may carry the client's route
+``epoch``; a mismatch against the node's own epoch answers ``fenced``
+— the deposed primary's late traffic and the stale client's misdirected
+traffic are both rejected before touching the engine.
+
+**Durable audit shipping** (``audit_sink``).  Every decision is
+appended — fsync'd by default — to the node's own trail directory
+*before* the client sees the response (the service calls the sink ahead
+of resolving the decide future).  That ordering is the whole failover
+story: an acknowledged decision is always in the trail, so the standby
+that replays the trail holds every grant any client has seen.
+
+**Exactly-once decides** (the request journal).  The sink also records
+each decision payload by ``request_id``; a promoted standby rebuilds
+the same journal from replay.  A client that retries a decide after
+failover therefore gets the recorded outcome back instead of a second
+evaluation — the one case where retrying a decide is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.audit.recovery import (
+    decision_event_payload,
+    recover_retained_adi,
+)
+from repro.audit.trail import EVENT_DECISION, AuditTrailManager
+from repro.core.decision import Decision
+from repro.core.engine import MSoDEngine
+from repro.core.policy import MSoDPolicySet
+from repro.core.retained_adi import RetainedADIStore
+from repro.server import protocol
+from repro.server.service import AuthorizationService
+from repro.server.testing import ServerThread
+
+ROLE_PRIMARY = "primary"
+ROLE_STANDBY = "standby"
+
+
+def _request_identity(wire_request: dict) -> tuple:
+    """What makes two decide frames "the same request" for dedupe."""
+    return (
+        wire_request.get("user_id"),
+        tuple(tuple(role) for role in wire_request.get("roles", ())),
+        wire_request.get("operation"),
+        wire_request.get("target"),
+        wire_request.get("context_instance"),
+        wire_request.get("timestamp"),
+    )
+
+
+def _decision_wire_from_payload(payload: dict) -> dict:
+    """Rebuild a ``decide`` response body from a journaled audit payload.
+
+    The audit payload keeps everything the retained ADI needs (effect,
+    request, adds, purges) but not the structured violation object, so
+    a deduplicated retry carries the recorded effect and reason with
+    ``violation: null`` — enough for any enforcement point, and the
+    store-digest oracle never sees a difference because no second
+    evaluation happens.
+    """
+    adds = list(payload.get("adi_adds", ()))
+    return {
+        "effect": payload["effect"],
+        "request": dict(payload["request"]),
+        "violation": None,
+        "matched_policy_ids": list(payload.get("matched_policies", ())),
+        "records_added": len(adds),
+        "records_purged": 0,
+        "reason": payload.get("reason", ""),
+        "adi_adds": adds,
+        "adi_purged_contexts": list(payload.get("adi_purges", ())),
+    }
+
+
+class ClusterNode:
+    """One authorization-server node owned by a cluster shard."""
+
+    def __init__(
+        self,
+        name: str,
+        shard: str,
+        policy_set: MSoDPolicySet,
+        store: RetainedADIStore,
+        trail_dir: str,
+        audit_key: bytes,
+        *,
+        role: str = ROLE_STANDBY,
+        epoch: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service_shards: int = 2,
+        queue_depth: int = 256,
+        batch_max: int = 32,
+        audit_max_records: int = 10_000,
+        audit_max_bytes: int | None = None,
+        fsync: bool = True,
+    ) -> None:
+        if role not in (ROLE_PRIMARY, ROLE_STANDBY):
+            raise ValueError(f"unknown node role {role!r}")
+        self.name = name
+        self.shard = shard
+        self._policy_set = policy_set
+        self._store = store
+        self._audit_key = audit_key
+        self._role = role
+        self._epoch = epoch
+        self._lock = threading.Lock()
+        self._journal: dict[str, dict] = {}
+        self._trails = AuditTrailManager(
+            trail_dir,
+            audit_key,
+            max_records=audit_max_records,
+            max_bytes=audit_max_bytes,
+            fsync=fsync,
+        )
+        self._engine = MSoDEngine(policy_set, store)
+        self._service = AuthorizationService(
+            self._engine,
+            n_shards=service_shards,
+            queue_depth=queue_depth,
+            batch_max=batch_max,
+            audit_sink=self._audit_sink,
+            health_extra=self._health_extra,
+        )
+        self._thread = ServerThread(
+            self._service,
+            host=host,
+            port=port,
+            owns=[store],
+            decide_gate=self._decide_gate,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def role(self) -> str:
+        with self._lock:
+            return self._role
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    @property
+    def host(self) -> str:
+        return self._thread.host
+
+    @property
+    def port(self) -> int:
+        return self._thread.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._thread.host, self._thread.port)
+
+    @property
+    def trail_dir(self) -> str:
+        return self._trails.directory
+
+    @property
+    def store(self) -> RetainedADIStore:
+        return self._store
+
+    @property
+    def service(self) -> AuthorizationService:
+        return self._service
+
+    @property
+    def journal_size(self) -> int:
+        return len(self._journal)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterNode":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful stop: drain queues, close the store."""
+        self._thread.stop()
+
+    def kill(self) -> None:
+        """Fault injection: abandon queued work, stop answering."""
+        with self._lock:
+            self._role = ROLE_STANDBY  # a dead primary is no primary
+        self._thread.kill()
+
+    # ------------------------------------------------------------------
+    def promote(self, epoch: int) -> None:
+        """Become the shard primary under a new fencing epoch.
+
+        The coordinator calls this only after the final catch-up replay
+        (sealed at the dead primary's last visible event), so the node
+        steps up already holding every acknowledged decision.
+        """
+        with self._lock:
+            self._role = ROLE_PRIMARY
+            self._epoch = epoch
+
+    def demote(self) -> None:
+        with self._lock:
+            self._role = ROLE_STANDBY
+
+    def catch_up(
+        self,
+        source_trail_dir: str,
+        *,
+        max_events: int | None = None,
+        min_epoch: int = 0,
+    ):
+        """Replay a primary's shipped trails into this node's store.
+
+        Reuses :func:`repro.audit.recovery.recover_retained_adi`
+        verbatim — recovery *is* replication here.  Replay is
+        idempotent (see ``tests/test_property_recovery.py``), so the
+        coordinator simply re-runs the full replay on every catch-up
+        tick; records already applied are consumed, not duplicated.
+        The journal fills with every decision outcome seen, which is
+        what makes post-failover client retries exactly-once.
+        """
+        source = AuditTrailManager(source_trail_dir, self._audit_key)
+        return recover_retained_adi(
+            source,
+            self._policy_set,
+            self._store,
+            journal=self._journal,
+            min_epoch=min_epoch,
+            max_events=max_events,
+        )
+
+    # ------------------------------------------------------------------
+    def _audit_sink(self, decision: Decision) -> None:
+        payload = decision_event_payload(decision)
+        payload["epoch"] = self.epoch
+        self._trails.append(
+            EVENT_DECISION, decision.request.timestamp, payload
+        )
+        self._journal[decision.request.request_id] = payload
+
+    def _health_extra(self) -> dict:
+        with self._lock:
+            role, epoch = self._role, self._epoch
+        return {
+            "cluster": {
+                "node": self.name,
+                "shard": self.shard,
+                "role": role,
+                "epoch": epoch,
+            }
+        }
+
+    def _decide_gate(self, frame_id, frame: dict, request) -> dict | None:
+        with self._lock:
+            role, epoch = self._role, self._epoch
+        if role != ROLE_PRIMARY:
+            return protocol.error_frame(
+                frame_id,
+                protocol.ERR_NOT_PRIMARY,
+                f"node {self.name} is {role} for shard {self.shard}; "
+                "refresh the route",
+            )
+        claimed = frame.get("epoch")
+        if claimed is not None and claimed != epoch:
+            return protocol.error_frame(
+                frame_id,
+                protocol.ERR_FENCED,
+                f"frame epoch {claimed} != node epoch {epoch} for shard "
+                f"{self.shard}; refresh the route",
+            )
+        journaled = self._journal.get(request.request_id)
+        if journaled is not None:
+            if _request_identity(journaled["request"]) != _request_identity(
+                protocol.request_to_wire(request)
+            ):
+                # Same request_id, different request: two clients with
+                # independent id counters collided.  Answering with the
+                # journaled outcome would hand one client the *other's*
+                # decision, so refuse loudly instead.
+                return protocol.error_frame(
+                    frame_id,
+                    protocol.ERR_PROTOCOL,
+                    f"request_id {request.request_id!r} was already used "
+                    "by a different request; request ids must be unique "
+                    "across clients",
+                )
+            return protocol.response_frame(
+                frame_id,
+                protocol.OP_DECIDE,
+                "decision",
+                _decision_wire_from_payload(journaled),
+            )
+        return None

@@ -1,0 +1,74 @@
+"""Consistent-hash ring: ``user_id`` → shard name.
+
+The MSoD algorithm's correctness depends on one invariant above all
+others: *every decision for a user must see that user's full retained
+ADI history*.  The cluster therefore routes by ``user_id`` — a user's
+read-modify-write cycle always lands on exactly one primary — and uses
+consistent hashing so that adding or removing a shard relocates only
+``~1/n`` of the users instead of rehashing everyone (which would
+require moving everyone's history at once).
+
+Virtual nodes smooth the distribution: each shard owns ``vnodes``
+points on the ring, and a user maps to the first point clockwise of
+their own hash.  Hashing is BLAKE2b (stdlib, keyed-off, 8-byte digest)
+rather than ``hash()`` — deterministic across processes and Python
+versions, which matters because the client, the coordinator and every
+node must all agree on the mapping without talking to each other.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+
+def _point(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named shards."""
+
+    def __init__(self, shard_names: Iterable[str], vnodes: int = 64) -> None:
+        names = list(shard_names)
+        if not names:
+            raise ValueError("a hash ring needs at least one shard")
+        if any(not name for name in names):
+            raise ValueError("shard names must be non-empty")
+        if len(set(names)) != len(names):
+            raise ValueError("shard names must be unique")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self._names = tuple(names)
+        self._vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for name in names:
+            for replica in range(vnodes):
+                points.append((_point(f"{name}#{replica}"), name))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [name for _, name in points]
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def shard_for(self, user_id: str) -> str:
+        """The shard owning this user (first vnode clockwise)."""
+        index = bisect.bisect_right(self._points, _point(user_id))
+        if index == len(self._points):
+            index = 0  # wrap past twelve o'clock
+        return self._owners[index]
+
+    def distribution(self, user_ids: Sequence[str]) -> dict[str, int]:
+        """How many of the given users each shard owns (for tests/ops)."""
+        counts = {name: 0 for name in self._names}
+        for user_id in user_ids:
+            counts[self.shard_for(user_id)] += 1
+        return counts

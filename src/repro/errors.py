@@ -96,3 +96,27 @@ class PDPOverloadedError(PDPUnavailableError):
     def __init__(self, message: str, retry_after: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class PDPFencedError(PDPUnavailableError):
+    """A cluster node rejected the frame's epoch as stale.
+
+    The client's routing table predates a failover: the shard has a new
+    primary with a higher epoch.  The request was *not* evaluated; the
+    caller must refresh its route and retry against the new primary.
+    """
+
+
+class PDPNotPrimaryError(PDPUnavailableError):
+    """The addressed cluster node is not the primary for this user.
+
+    Standbys (and deposed primaries) refuse decides outright so a
+    client with a stale routing table can never split one user's
+    retained-ADI history across two nodes.  Refresh the route and
+    retry.
+    """
+
+
+class ClusterError(ReproError):
+    """A cluster management operation failed (bad topology, no standby
+    to promote, duplicate node names...)."""

@@ -35,17 +35,28 @@ from repro.server.service import (
 
 
 class MSoDServer:
-    """One listening socket in front of one authorization service."""
+    """One listening socket in front of one authorization service.
+
+    ``decide_gate``, when given, is called with every validated
+    ``decide`` frame *before* the request is submitted; returning a
+    response-frame dict short-circuits the decide (the dict is sent
+    verbatim), returning ``None`` lets it proceed.  A cluster node uses
+    this hook for epoch fencing, primary-role gating and exactly-once
+    request deduplication without the base server knowing any of those
+    concepts.
+    """
 
     def __init__(
         self,
         service: AuthorizationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        decide_gate=None,
     ) -> None:
         self._service = service
         self._host = host
         self._port = port
+        self._decide_gate = decide_gate
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------------
@@ -80,6 +91,14 @@ class MSoDServer:
             self._server = None
         await self._service.stop()
 
+    async def abort(self) -> None:
+        """Fault-injection stop: close the socket, abandon queued work."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._service.abort()
+
     async def serve_forever(self) -> None:
         """Block until cancelled (the ``python -m repro serve`` loop)."""
         if self._server is None:
@@ -113,6 +132,8 @@ class MSoDServer:
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server teardown cancelled this connection; close it
         finally:
             writer.close()
             try:
@@ -171,6 +192,11 @@ class MSoDServer:
         self, writer: asyncio.StreamWriter, frame_id, frame: dict
     ) -> None:
         request = protocol.request_from_wire(frame.get("request"))
+        if self._decide_gate is not None:
+            short_circuit = self._decide_gate(frame_id, frame, request)
+            if short_circuit is not None:
+                await self._send(writer, short_circuit)
+                return
         try:
             future = self._service.submit(request)
         except ServiceOverloadedError as exc:

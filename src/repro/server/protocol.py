@@ -59,6 +59,13 @@ ERR_PROTOCOL = "protocol"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting-down"
 ERR_INTERNAL = "internal"
+#: Cluster fencing (see :mod:`repro.cluster`): the frame carried an
+#: ``epoch`` below the node's current one — the client's routing table
+#: is stale and it must re-fetch the route before retrying.
+ERR_FENCED = "fenced"
+#: The node is a standby (or demoted primary) for this user's shard and
+#: refuses to decide; the client must re-route.
+ERR_NOT_PRIMARY = "not-primary"
 
 #: Operations understood by the server.
 OP_DECIDE = "decide"
@@ -66,6 +73,14 @@ OP_HEALTHZ = "healthz"
 OP_METRICS = "metrics"
 OP_SLOWLOG = "slowlog"
 KNOWN_OPS = frozenset({OP_DECIDE, OP_HEALTHZ, OP_METRICS, OP_SLOWLOG})
+
+#: Operations understood by the cluster coordinator (router) endpoint,
+#: in addition to ``healthz``/``metrics``.  ``route`` returns the
+#: current routing table (shard → primary address + epoch); clients
+#: refresh it on startup and whenever a node answers ``fenced`` or
+#: ``not-primary``.  ``cluster-status`` is the human-facing summary.
+OP_ROUTE = "route"
+OP_CLUSTER_STATUS = "cluster-status"
 
 #: Bodies the ``metrics`` verb can produce.
 METRICS_FORMAT_JSON = "json"

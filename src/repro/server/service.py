@@ -105,6 +105,10 @@ class AuthorizationService:
         ``flush`` method it is called on graceful drain.
     perf:
         Optional recorder for service-level counters/timings.
+    health_extra:
+        Optional callable returning extra keys merged into the
+        ``healthz`` body (a cluster node reports its role and epoch
+        this way).
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class AuthorizationService:
         retry_after: float = 0.05,
         audit_sink: Callable[[Decision], None] | None = None,
         perf: PerfRecorder | None = None,
+        health_extra: Callable[[], dict] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -129,6 +134,7 @@ class AuthorizationService:
         self._batch_max = batch_max
         self._retry_after = retry_after
         self._audit_sink = audit_sink
+        self._health_extra = health_extra
         self._perf = perf if perf is not None else NOOP
         self._queues: list[asyncio.Queue] = []
         self._workers: list[asyncio.Task] = []
@@ -160,12 +166,15 @@ class AuthorizationService:
 
     def health(self) -> dict:
         """The ``/healthz`` body: status plus per-shard backlog."""
-        return {
+        body = {
             "status": "ok" if self._accepting else "draining",
             "shards": self._n_shards,
             "queue_depth_limit": self._queue_depth,
             "queue_depths": self.queue_depths(),
         }
+        if self._health_extra is not None:
+            body.update(self._health_extra())
+        return body
 
     def metrics(self) -> dict:
         """The ``/metrics`` JSON body: perf snapshot plus per-shard stats."""
@@ -278,6 +287,24 @@ class AuthorizationService:
         flush = getattr(self._audit_sink, "flush", None)
         if callable(flush):
             flush()
+
+    async def abort(self) -> None:
+        """Abrupt stop for fault injection: drop queued work on the floor.
+
+        Unlike :meth:`stop` this neither drains the shard queues nor
+        flushes the audit sink — it models a process crash as closely
+        as an in-process server can.  Queued-but-undecided requests are
+        simply abandoned (their clients see the connection drop), which
+        is exactly the window failover recovery must cover.
+        """
+        if not self._started:
+            return
+        self._accepting = False
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._started = False
 
     # ------------------------------------------------------------------
     def submit(self, request: DecisionRequest) -> "asyncio.Future[Decision]":

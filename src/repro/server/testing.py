@@ -42,8 +42,11 @@ class ServerThread:
         host: str = "127.0.0.1",
         port: int = 0,
         owns: Sequence[object] = (),
+        decide_gate=None,
     ) -> None:
-        self._server = MSoDServer(service, host=host, port=port)
+        self._server = MSoDServer(
+            service, host=host, port=port, decide_gate=decide_gate
+        )
         self._host = host
         self._owns = tuple(owns)
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -92,6 +95,34 @@ class ServerThread:
             if callable(close):
                 close()
 
+    def kill(self) -> None:
+        """Fault-injection stop: no drain, queued decisions abandoned.
+
+        As close to ``kill -9`` as an in-process server gets: the
+        listening socket closes, shard workers are cancelled at their
+        next await point, and requests still queued never get answers
+        (their clients see the connection drop).  Owned resources are
+        still closed afterwards so test fixtures do not leak file
+        handles — by then the \"crashed\" node has already stopped
+        answering, which is what the failover harness observes.
+        """
+        if self._thread is None or self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.abort(), self._loop
+        )
+        try:
+            future.result(timeout=30)
+        except Exception:  # pragma: no cover - abort is best-effort
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+        for resource in self._owns:
+            close = getattr(resource, "close", None)
+            if callable(close):
+                close()
+
     def _run(self) -> None:
         loop = self._loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
@@ -107,6 +138,18 @@ class ServerThread:
             loop.run_forever()
         finally:
             loop.run_until_complete(self._server.stop())
+            # Open connection handlers (e.g. clients of a killed server)
+            # must be cancelled before the loop closes, or their
+            # teardown runs against a closed loop and warns.
+            pending = [
+                task for task in asyncio.all_tasks(loop) if not task.done()
+            ]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.close()
 
     # ------------------------------------------------------------------

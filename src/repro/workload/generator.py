@@ -438,3 +438,29 @@ def hot_user_stream(
             context_instance=context,
             timestamp=float(index),
         )
+
+
+def bank_policy_set():
+    """The Example-1 bank policy as a ready-made MMER-only policy set.
+
+    One MSoD policy over ``Branch=*, Period=!`` forbidding any user
+    from exercising both Teller and Auditor in the same branch/period.
+    Deliberately without first/last steps: cross-user context purges do
+    not compose with user-keyed cluster routing (one user's last step
+    would have to purge records living on other shards), so the cluster
+    smoke/fault harnesses and benches all run this purge-free policy.
+    Defined here once so tests, the ``cluster smoke`` CLI and
+    ``bench_cluster.py`` agree on it.
+    """
+    from repro.core.policy import MSoDPolicy, MSoDPolicySet
+    from repro.core.constraints import MMER
+
+    return MSoDPolicySet(
+        [
+            MSoDPolicy(
+                ContextName.parse("Branch=*, Period=!"),
+                mmers=[MMER([TELLER, AUDITOR], 2)],
+                policy_id="bank",
+            )
+        ]
+    )

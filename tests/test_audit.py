@@ -162,13 +162,67 @@ class TestSecureAuditTrail:
         with pytest.raises(AuditTrailError, match="checkpoint seal"):
             SecureAuditTrail(t.path, KEY).verify()
 
-    def test_corrupt_json_detected(self, tmp_path):
+    def test_corrupt_json_before_tail_detected(self, tmp_path):
+        """Junk *before* the final line is corruption, not a torn append."""
         t = trail(tmp_path)
         t.append("e", 1.0, {})
         with open(t.path, "a") as handle:
             handle.write("not json\n")
+            handle.write("also not json\n")
         with pytest.raises(AuditTrailError, match="corrupt JSON"):
             SecureAuditTrail(t.path, KEY).verify()
+
+    def test_torn_final_line_skipped_with_warning(self, tmp_path):
+        """A crash mid-append leaves a partial final line; replay must
+        recover every sealed record before it instead of raising."""
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        t.append("e", 2.0, {"n": 2})
+        with open(t.path) as handle:
+            intact = handle.read()
+        # Simulate the crash: a prefix of a third record, no newline.
+        with open(t.path, "a") as handle:
+            handle.write('{"seq": 2, "ts": 3.0, "type": "e", "pay')
+        with pytest.warns(UserWarning, match="torn final line"):
+            reopened = SecureAuditTrail(t.path, KEY)
+        assert reopened.record_count == 2
+
+        # The next append repairs the tail: the file is a clean chain
+        # again and verifies silently.
+        reopened.append("e", 4.0, {"n": 3})
+        assert SecureAuditTrail(t.path, KEY).verify() == 3
+        with open(t.path) as handle:
+            assert handle.read().startswith(intact)
+
+    def test_torn_final_line_without_append_leaves_file_untouched(
+        self, tmp_path
+    ):
+        """A read-only replayer (a follower tailing a live primary trail)
+        must not truncate someone else's file."""
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        with open(t.path, "a") as handle:
+            handle.write('{"seq": 1, "ts"')
+        with open(t.path, "rb") as handle:
+            before = handle.read()
+        with pytest.warns(UserWarning, match="torn final line"):
+            events = list(SecureAuditTrail(t.path, KEY).verify_and_read())
+        assert len(events) == 1
+        with open(t.path, "rb") as handle:
+            assert handle.read() == before
+
+    def test_record_ahead_of_checkpoint_tolerated(self, tmp_path):
+        """Crash between record write and checkpoint rewrite: the sealed
+        extra record is accepted with a warning, not rejected."""
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        with open(t.path + ".chk") as handle:
+            checkpoint_after_first = handle.read()
+        t.append("e", 2.0, {"n": 2})
+        with open(t.path + ".chk", "w") as handle:
+            handle.write(checkpoint_after_first)  # roll the sidecar back
+        with pytest.warns(UserWarning, match="one record ahead"):
+            assert SecureAuditTrail(t.path, KEY).verify() == 2
 
 
 class TestAuditTrailManager:
@@ -177,6 +231,49 @@ class TestAuditTrailManager:
         for n in range(5):
             manager.append("e", float(n), {"n": n})
         assert len(manager.trail_paths()) == 3
+
+    def test_size_based_rotation(self, tmp_path):
+        """max_bytes rotates long before the record-count policy would."""
+        manager = AuditTrailManager(
+            str(tmp_path), KEY, max_records=10_000, max_bytes=600
+        )
+        for n in range(6):
+            manager.append("e", float(n), {"n": n, "pad": "x" * 120})
+        paths = manager.trail_paths()
+        assert len(paths) > 1
+        # Every rotated (non-active) trail respects the byte bound at
+        # rotation time: it was closed at the first append beyond it.
+        import os
+
+        for path in paths[:-1]:
+            assert os.path.getsize(path) >= 600
+        # All events across the rotated trails are intact and ordered.
+        payloads = [
+            event.payload["n"]
+            for event in manager.events()
+        ]
+        assert payloads == list(range(6))
+
+    def test_size_rotation_survives_reopen(self, tmp_path):
+        manager = AuditTrailManager(
+            str(tmp_path), KEY, max_records=10_000, max_bytes=400
+        )
+        for n in range(3):
+            manager.append("e", float(n), {"n": n, "pad": "y" * 150})
+        count_before = len(manager.trail_paths())
+        reopened = AuditTrailManager(
+            str(tmp_path), KEY, max_records=10_000, max_bytes=400
+        )
+        reopened.append("e", 99.0, {"n": 99, "pad": "y" * 150})
+        assert len(reopened.trail_paths()) >= count_before
+        assert [e.payload["n"] for e in reopened.events()] == [0, 1, 2, 99]
+
+    def test_durable_fsync_append(self, tmp_path):
+        """fsync mode round-trips identically to buffered mode."""
+        manager = AuditTrailManager(str(tmp_path), KEY, fsync=True)
+        manager.append("e", 1.0, {"n": 1})
+        manager.append("e", 2.0, {"n": 2})
+        assert [e.payload["n"] for e in manager.events()] == [1, 2]
 
     def test_events_across_trails_in_order(self, tmp_path):
         manager = AuditTrailManager(str(tmp_path), KEY, max_records=2)

@@ -1,0 +1,431 @@
+"""Tests for :mod:`repro.cluster`: ring, fencing, journal, routing.
+
+The failover fault-injection test lives in
+``tests/test_cluster_failover.py``; this module covers the building
+blocks — the consistent-hash ring, a single node's role/epoch gate and
+exactly-once journal, audit-log-shipped standby replication and the
+routing client against a healthy cluster.
+"""
+
+import pytest
+
+from repro.audit.trail import AuditTrailManager
+from repro.client import RemotePDP
+from repro.cluster import (
+    ROLE_PRIMARY,
+    ROLE_STANDBY,
+    ClusterNode,
+    ClusterPDP,
+    HashRing,
+    LocalCluster,
+)
+from repro.core import (
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    Role,
+)
+from repro.errors import (
+    ClusterError,
+    PDPFencedError,
+    PDPNotPrimaryError,
+    PDPUnavailableError,
+    ProtocolError,
+)
+from repro.workload import AUDITOR, TELLER, bank_policy_set
+
+YORK_P1 = ContextName.parse("Branch=York, Period=P1")
+
+
+def make_request(user_id, role=TELLER, context=YORK_P1, timestamp=1.0,
+                 request_id=None):
+    operation, target = (
+        ("handleCash", "till://1")
+        if role == TELLER
+        else ("auditBooks", "ledger://1")
+    )
+    kwargs = {} if request_id is None else {"request_id": request_id}
+    return DecisionRequest(
+        user_id=user_id,
+        roles=(role,),
+        operation=operation,
+        target=target,
+        context_instance=context,
+        timestamp=timestamp,
+        **kwargs,
+    )
+
+
+def store_digest(store):
+    return sorted(
+        (
+            record.user_id,
+            tuple(sorted((r.role_type, r.value) for r in record.roles)),
+            record.operation,
+            record.target,
+            str(record.context_instance),
+            record.granted_at,
+            record.request_id,
+        )
+        for record in store.records()
+    )
+
+
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_same_inputs_same_mapping(self):
+        users = [f"u{i}" for i in range(200)]
+        ring_a = HashRing(["s0", "s1", "s2"])
+        ring_b = HashRing(["s0", "s1", "s2"])
+        assert [ring_a.shard_for(u) for u in users] == [
+            ring_b.shard_for(u) for u in users
+        ]
+
+    def test_shard_order_is_irrelevant(self):
+        users = [f"u{i}" for i in range(200)]
+        ring_a = HashRing(["s0", "s1", "s2"])
+        ring_b = HashRing(["s2", "s0", "s1"])
+        assert [ring_a.shard_for(u) for u in users] == [
+            ring_b.shard_for(u) for u in users
+        ]
+
+    def test_every_shard_gets_users(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        counts = ring.distribution(f"u{i:04d}" for i in range(1000))
+        assert set(counts) == set(ring.shard_names)
+        assert all(count > 0 for count in counts.values())
+        assert sum(counts.values()) == 1000
+
+    def test_rejects_bad_shard_lists(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing([""])
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(["only"])
+        assert ring.shard_for("anyone") == "only"
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture
+def primary_node(tmp_path):
+    node = ClusterNode(
+        "n1",
+        "s0",
+        bank_policy_set(),
+        InMemoryRetainedADIStore(),
+        str(tmp_path / "trails"),
+        b"test-key",
+        role=ROLE_PRIMARY,
+        epoch=1,
+        fsync=False,
+    )
+    node.start()
+    yield node
+    node.stop()
+
+
+class TestClusterNodeGate:
+    def test_primary_decides(self, primary_node):
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            decision = pdp.decide(make_request("alice"), epoch=1)
+        assert decision.granted
+
+    def test_standby_refuses_decides(self, primary_node):
+        primary_node.demote()
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            with pytest.raises(PDPNotPrimaryError):
+                pdp.decide(make_request("alice"))
+
+    def test_stale_epoch_is_fenced(self, primary_node):
+        primary_node.promote(epoch=3)
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            with pytest.raises(PDPFencedError):
+                pdp.decide(make_request("alice"), epoch=2)
+            # Claiming no epoch at all is allowed (plain RemotePDP use).
+            assert pdp.decide(make_request("alice"), epoch=None).granted
+
+    def test_health_reports_cluster_identity(self, primary_node):
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            body = pdp.healthz()
+        assert body["cluster"] == {
+            "node": "n1",
+            "shard": "s0",
+            "role": ROLE_PRIMARY,
+            "epoch": 1,
+        }
+
+
+class TestExactlyOnceJournal:
+    def test_duplicate_request_id_returns_recorded_outcome(
+        self, primary_node
+    ):
+        request = make_request("alice", request_id="req-dup-1")
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            first = pdp.decide(request)
+            again = pdp.decide(request)
+        assert first.effect == again.effect == "grant"
+        # The retry was answered from the journal, not re-evaluated:
+        # the store holds the records exactly once.
+        records = [
+            r
+            for r in primary_node.store.records()
+            if r.request_id == "req-dup-1"
+        ]
+        assert len(records) == len(first.adi_adds)
+
+    def test_denies_are_journaled_too(self, primary_node):
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            pdp.decide(make_request("bob", TELLER, timestamp=1.0))
+            denied = make_request(
+                "bob", AUDITOR, timestamp=2.0, request_id="req-deny-1"
+            )
+            first = pdp.decide(denied)
+            again = pdp.decide(denied)
+        assert first.effect == again.effect == "deny"
+
+    def test_request_id_collision_is_rejected(self, primary_node):
+        with RemotePDP(primary_node.host, primary_node.port) as pdp:
+            pdp.decide(make_request("alice", request_id="req-shared"))
+            with pytest.raises(ProtocolError, match="already used"):
+                pdp.decide(make_request("carol", request_id="req-shared"))
+
+
+# ----------------------------------------------------------------------
+class TestStandbyReplication:
+    def test_catch_up_replays_the_primary_trail(self, tmp_path):
+        policy_set = bank_policy_set()
+        primary = ClusterNode(
+            "p",
+            "s0",
+            policy_set,
+            InMemoryRetainedADIStore(),
+            str(tmp_path / "p-trails"),
+            b"k",
+            role=ROLE_PRIMARY,
+            epoch=1,
+            fsync=False,
+        )
+        standby = ClusterNode(
+            "b",
+            "s0",
+            policy_set,
+            InMemoryRetainedADIStore(),
+            str(tmp_path / "b-trails"),
+            b"k",
+            role=ROLE_STANDBY,
+        )
+        primary.start()
+        try:
+            with RemotePDP(primary.host, primary.port) as pdp:
+                for i in range(20):
+                    role = TELLER if i % 3 else AUDITOR
+                    pdp.decide(
+                        make_request(f"u{i % 5}", role, timestamp=float(i))
+                    )
+        finally:
+            primary.stop()
+        standby.catch_up(primary.trail_dir)
+        assert store_digest(standby.store) == store_digest(primary.store)
+        assert standby.journal_size == primary.journal_size
+
+        # Replay is idempotent: a second (and third) tick changes nothing.
+        standby.catch_up(primary.trail_dir)
+        standby.catch_up(primary.trail_dir)
+        assert store_digest(standby.store) == store_digest(primary.store)
+
+    def test_max_events_seals_the_lineage(self, tmp_path):
+        policy_set = bank_policy_set()
+        primary = ClusterNode(
+            "p",
+            "s0",
+            policy_set,
+            InMemoryRetainedADIStore(),
+            str(tmp_path / "p-trails"),
+            b"k",
+            role=ROLE_PRIMARY,
+            epoch=1,
+            fsync=False,
+        )
+        primary.start()
+        try:
+            with RemotePDP(primary.host, primary.port) as pdp:
+                for i in range(10):
+                    pdp.decide(
+                        make_request(
+                            f"u{i}",
+                            TELLER,
+                            context=ContextName.parse(
+                                f"Branch=B{i}, Period=P1"
+                            ),
+                            timestamp=float(i),
+                        )
+                    )
+        finally:
+            primary.stop()
+        total = len(
+            list(AuditTrailManager(primary.trail_dir, b"k").events())
+        )
+        standby = ClusterNode(
+            "b",
+            "s0",
+            policy_set,
+            InMemoryRetainedADIStore(),
+            str(tmp_path / "b-trails"),
+            b"k",
+        )
+        standby.catch_up(primary.trail_dir, max_events=total - 4)
+        assert standby.journal_size == primary.journal_size - 4
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="class")
+def quiet_cluster(tmp_path_factory):
+    """A healthy 2-shard cluster with background loops slowed to a crawl."""
+    cluster = LocalCluster(
+        bank_policy_set(),
+        2,
+        str(tmp_path_factory.mktemp("cluster")),
+        store="memory",
+        health_interval=30.0,
+        catchup_interval=30.0,
+        fsync=False,
+    ).start()
+    yield cluster
+    cluster.stop()
+
+
+class TestLocalClusterRouting:
+    def test_decides_land_on_the_ring_shard(self, quiet_cluster):
+        users = [f"user-{i}" for i in range(24)]
+        with ClusterPDP((quiet_cluster.host, quiet_cluster.port)) as pdp:
+            for i, user in enumerate(users):
+                decision = pdp.decide(
+                    make_request(user, timestamp=float(i))
+                )
+                assert decision.granted
+        for shard_name in quiet_cluster.shard_names:
+            primary = quiet_cluster.shard(shard_name).primary
+            stored_users = {r.user_id for r in primary.store.records()}
+            expected = {
+                u
+                for u in users
+                if quiet_cluster.ring.shard_for(u) == shard_name
+            }
+            assert stored_users == expected
+
+    def test_status_and_route_shapes(self, quiet_cluster):
+        with ClusterPDP((quiet_cluster.host, quiet_cluster.port)) as pdp:
+            route = pdp.route()
+            status = pdp.cluster_status()
+        assert set(route["shards"]) == set(quiet_cluster.shard_names)
+        for entry in route["shards"].values():
+            host, port = entry["address"]
+            assert isinstance(host, str) and port > 0
+            assert entry["epoch"] >= 1
+        for shard in status["shards"].values():
+            roles = {node["role"] for node in shard["nodes"]}
+            assert roles == {ROLE_PRIMARY, ROLE_STANDBY}
+            assert shard["failovers"] == 0
+
+    def test_coordinator_metrics_expose_per_node_gauges(self, quiet_cluster):
+        with ClusterPDP((quiet_cluster.host, quiet_cluster.port)) as pdp:
+            text = pdp.cluster_metrics_text()
+        for family in (
+            "repro_cluster_node_up",
+            "repro_cluster_node_primary",
+            "repro_cluster_node_epoch",
+            "repro_cluster_route_version",
+            "repro_cluster_failovers_total",
+        ):
+            assert family in text
+        with ClusterPDP((quiet_cluster.host, quiet_cluster.port)) as pdp:
+            node_text = pdp.node_metrics_text("user-1")
+        assert "repro_shard_queue_depth" in node_text
+
+    def test_healthz_passthrough_names_the_owning_node(self, quiet_cluster):
+        with ClusterPDP((quiet_cluster.host, quiet_cluster.port)) as pdp:
+            body = pdp.healthz("user-1")
+        shard = quiet_cluster.ring.shard_for("user-1")
+        assert body["cluster"]["shard"] == shard
+        assert body["cluster"]["role"] == ROLE_PRIMARY
+
+
+class TestClusterPDPConstruction:
+    def test_needs_exactly_one_of_coordinator_and_static_route(self):
+        with pytest.raises(ClusterError):
+            ClusterPDP()
+        with pytest.raises(ClusterError):
+            ClusterPDP(
+                ("127.0.0.1", 1), static_route={"shards": {"s": {}}}
+            )
+
+    def test_static_route_works_without_a_coordinator(self, quiet_cluster):
+        route = LocalClusterRouteProbe(quiet_cluster).route()
+        with ClusterPDP(static_route=route) as pdp:
+            assert pdp.decide(
+                make_request("static-user", timestamp=99.0)
+            ).granted
+
+    def test_static_route_errors_surface_immediately(self):
+        route = {
+            "version": 1,
+            "vnodes": 8,
+            "shards": {
+                "s0": {"address": ["127.0.0.1", 1], "epoch": 1},
+            },
+        }
+        with ClusterPDP(static_route=route, timeout=0.5) as pdp:
+            with pytest.raises(PDPUnavailableError):
+                pdp.decide(make_request("anyone"))
+
+    def test_malformed_route_is_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterPDP(static_route={"shards": {}})
+
+
+class LocalClusterRouteProbe:
+    """Fetch a cluster's route the way an operator would (one request)."""
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+
+    def route(self):
+        with ClusterPDP(
+            (self._cluster.host, self._cluster.port)
+        ) as pdp:
+            return pdp.route()
+
+
+# ----------------------------------------------------------------------
+class TestOpenClusterFacade:
+    def test_open_cluster_round_trip(self, tmp_path):
+        from repro.api import open_cluster
+
+        with open_cluster(
+            bank_policy_set(),
+            str(tmp_path / "cluster"),
+            n_shards=2,
+            store="memory",
+            health_interval=30.0,
+            fsync=False,
+        ) as handle:
+            assert len(handle.shard_names) == 2
+            with handle.client() as pdp:
+                assert pdp.decide(make_request("facade-user")).granted
+            status = handle.status()
+            assert set(status["shards"]) == set(handle.shard_names)
+
+    def test_open_cluster_rejects_unknown_store(self, tmp_path):
+        from repro.api import open_cluster
+        from repro.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            open_cluster(
+                bank_policy_set(), str(tmp_path / "x"), store="bogus"
+            )

@@ -1,0 +1,148 @@
+"""Fault injection: kill a shard primary mid-workload.
+
+The acceptance test for the cluster subsystem.  A 2-shard cluster runs
+a hot-user + distinct-user workload through the routing client; the
+hot user's primary is killed halfway through.  Afterwards we assert the
+full failover story:
+
+* the coordinator detected the death and promoted the warm standby
+  under a bumped fencing epoch;
+* the client rode the failover out — every request got a decision;
+* every decision is bit-identical to a single-node oracle engine fed
+  the same shard's substream (the per-user routing invariant);
+* each surviving primary's retained ADI equals its oracle's store —
+  no decision the dead primary acknowledged was lost (audit-log
+  shipping + sealed catch-up), none was applied twice (the request
+  journal);
+* the MMER exclusivity invariant holds across the merged cluster
+  state: no user ever held Teller and Auditor in one context;
+* a client still claiming the dead primary's epoch is fenced.
+"""
+
+import itertools
+
+import pytest
+
+from repro.client import RemotePDP
+from repro.cluster import ClusterPDP, LocalCluster
+from repro.core import InMemoryRetainedADIStore, MSoDEngine
+from repro.errors import PDPFencedError, PDPUnavailableError
+from repro.workload import (
+    AUDITOR,
+    TELLER,
+    bank_policy_set,
+    decision_request_stream,
+    hot_user_stream,
+)
+
+
+def store_digest(store):
+    return sorted(
+        (
+            record.user_id,
+            tuple(sorted((r.role_type, r.value) for r in record.roles)),
+            record.operation,
+            record.target,
+            str(record.context_instance),
+            record.granted_at,
+            record.request_id,
+        )
+        for record in store.records()
+    )
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    cluster = LocalCluster(
+        bank_policy_set(),
+        2,
+        str(tmp_path / "cluster"),
+        store="memory",
+        health_interval=0.15,
+        health_timeout=0.5,
+        health_failures=2,
+        catchup_interval=0.2,
+        fsync=True,
+    ).start()
+    yield cluster
+    cluster.stop()
+
+
+def test_primary_killed_mid_workload(cluster):
+    policy_set = bank_policy_set()
+    requests = list(
+        itertools.chain(
+            hot_user_stream(80, user_id="hot-user"),
+            decision_request_stream(80, n_users=30),
+        )
+    )
+    half = len(requests) // 2
+    hot_shard = cluster.ring.shard_for("hot-user")
+    old_primary = cluster.shard(hot_shard).primary
+    old_epoch = cluster.shard(hot_shard).epoch
+
+    effects = []
+    with ClusterPDP(
+        (cluster.host, cluster.port), failover_wait=30.0
+    ) as pdp:
+        for index, request in enumerate(requests):
+            if index == half:
+                killed = cluster.kill_primary(hot_shard)
+                assert killed == old_primary.name
+            effects.append(pdp.decide(request).effect)
+        status = pdp.cluster_status()
+
+    # --- the coordinator promoted the standby under a new epoch -------
+    state = cluster.shard(hot_shard)
+    assert state.failovers >= 1
+    assert state.epoch > old_epoch
+    assert state.primary.name != old_primary.name
+    assert status["shards"][hot_shard]["failovers"] >= 1
+
+    # --- decisions are bit-identical to per-shard single-node oracles -
+    oracles = {
+        name: MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        for name in cluster.shard_names
+    }
+    oracle_effects = [
+        oracles[cluster.ring.shard_for(r.user_id)].check(r).effect
+        for r in requests
+    ]
+    assert effects == oracle_effects
+
+    # --- no acknowledged decision lost, none applied twice ------------
+    for name in cluster.shard_names:
+        primary = cluster.shard(name).primary
+        assert store_digest(primary.store) == store_digest(
+            oracles[name].store
+        ), f"{name} diverged from its oracle after failover"
+
+    # --- the paper's invariant: exclusive roles never co-held ---------
+    held = {}
+    for name in cluster.shard_names:
+        for record in cluster.shard(name).primary.store.records():
+            key = (record.user_id, str(record.context_instance))
+            held.setdefault(key, set()).update(record.roles)
+    assert not [
+        key
+        for key, roles in held.items()
+        if TELLER in roles and AUDITOR in roles
+    ]
+
+    # --- fencing: the dead primary's epoch is refused ------------------
+    new_primary = cluster.shard(hot_shard).primary
+    with RemotePDP(new_primary.host, new_primary.port) as raw:
+        with pytest.raises(PDPFencedError):
+            raw.decide(requests[0], epoch=old_epoch)
+
+
+def test_static_route_client_cannot_fail_over(cluster):
+    """Without a coordinator there is no fresh route: errors surface."""
+    with ClusterPDP((cluster.host, cluster.port)) as pdp:
+        route = pdp.route()
+    hot_shard = cluster.ring.shard_for("hot-user")
+    cluster.kill_primary(hot_shard)
+    with ClusterPDP(static_route=route, timeout=1.0) as pdp:
+        with pytest.raises(PDPUnavailableError):
+            for request in hot_user_stream(5, user_id="hot-user"):
+                pdp.decide(request)

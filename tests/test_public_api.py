@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.workflow",
     "repro.baselines",
     "repro.workload",
+    "repro.cluster",
 ]
 
 

@@ -260,6 +260,39 @@ class TestRemotePDP:
             with pdp, pytest.raises(ProtocolError):
                 pdp.healthz()
 
+    def test_healthz_uses_its_own_short_timeout(self):
+        """A wedged node must fail a probe fast, not after ``timeout``.
+
+        The cluster's failure detector calls ``healthz`` on every tick;
+        with only the (generous) decide timeout, one stuck node would
+        stall detection for seconds.  ``health_timeout`` caps the probe
+        alone — decides keep the long deadline.
+        """
+        import time
+
+        def slow_healthz(frame):
+            time.sleep(1.5)
+            return healthz_reply(frame)
+
+        with ScriptedServer([slow_healthz]) as stub:
+            pdp = RemotePDP(
+                "127.0.0.1",
+                stub.port,
+                timeout=30.0,
+                health_timeout=0.2,
+                max_retries=0,
+            )
+            started = time.monotonic()
+            with pdp, pytest.raises(PDPUnavailableError):
+                pdp.healthz()
+            assert time.monotonic() - started < 1.5
+
+    def test_health_timeout_defaults_to_the_decide_timeout(self):
+        with ScriptedServer([healthz_reply]) as stub:
+            pdp = RemotePDP("127.0.0.1", stub.port, timeout=5.0)
+            with pdp:
+                assert pdp.healthz() == {"status": "ok"}
+
 
 class TestAsyncRemotePDP:
     def test_grant_deny_and_control_verbs(self):
