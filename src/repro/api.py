@@ -431,6 +431,7 @@ def open_cluster(
     audit_key: bytes = b"cluster-trail-key",
     audit_max_records: int = 10_000,
     audit_max_bytes: int | None = None,
+    journal_max: int | None = None,
     fsync: bool = True,
     health_interval: float = 0.2,
     health_timeout: float = 0.25,
@@ -468,6 +469,7 @@ def open_cluster(
         fsync=fsync,
         audit_max_records=audit_max_records,
         audit_max_bytes=audit_max_bytes,
+        journal_max=journal_max,
     )
     cluster.start()
     return ClusterHandle(cluster)

@@ -83,14 +83,32 @@ class SecureAuditTrail:
     ``fsync=True`` makes every append durable (flush + ``os.fsync``)
     before returning; the cluster's log-shipping replication relies on
     this so an acknowledged decision survives primary death.
+
+    ``tolerate_ahead=True`` marks a *live reader* — a process replaying
+    a trail that another process is still appending to (the cluster's
+    standby catch-up).  The reader's ``readlines()`` snapshot and its
+    checkpoint read are not atomic with the writer's append, so the
+    checkpoint may legitimately record *more* records than the snapshot
+    holds; a live reader accepts that (each record it did read still
+    verified its own chain link and seal) instead of mistaking the race
+    for truncation.  The default strict mode — a trail's own writer
+    re-opening it, or an integrity audit — still raises.
     """
 
-    def __init__(self, path: str, key: bytes, *, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        key: bytes,
+        *,
+        fsync: bool = False,
+        tolerate_ahead: bool = False,
+    ) -> None:
         if not key:
             raise AuditTrailError("audit trail key must be non-empty")
         self._path = path
         self._key = key
         self._fsync = fsync
+        self._tolerate_ahead = tolerate_ahead
         self._last_hash = GENESIS_HASH
         self._next_seq = 0
         self._byte_size = 0
@@ -159,9 +177,19 @@ class SecureAuditTrail:
             "last_hash": self._last_hash,
             "tag": self._checkpoint_tag(self._next_seq, self._last_hash),
         }
+        # Write-to-temp + atomic rename: a concurrent reader (the
+        # standby's catch-up) and a crash mid-write both see either the
+        # previous complete checkpoint or the new one, never a partial
+        # file — a torn .chk would make the whole trail unloadable and
+        # block failover.
+        tmp_path = self._checkpoint_path + ".tmp"
         try:
-            with open(self._checkpoint_path, "w", encoding="utf-8") as handle:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
                 json.dump(checkpoint, handle)
+                if self._fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_path, self._checkpoint_path)
         except OSError as exc:
             raise AuditTrailError(
                 f"cannot write checkpoint {self._checkpoint_path!r}: {exc}"
@@ -170,6 +198,19 @@ class SecureAuditTrail:
     def _verify_checkpoint(self, count: int, last_hash: str) -> None:
         """Detect truncation (or checkpoint tampering) after a replay."""
         if not os.path.exists(self._checkpoint_path):
+            if count == 1:
+                # The appender crashed (or is mid-append) between the
+                # very first record and the very first checkpoint write.
+                # The record's own seal verified, so accept it — the
+                # same window the `count == checkpoint + 1` branch
+                # covers once a checkpoint exists.
+                warnings.warn(
+                    f"{self._path}: no checkpoint yet for a one-record "
+                    "trail (crash or in-flight first append); accepting "
+                    "the sealed record",
+                    stacklevel=2,
+                )
+                return
             if count:
                 raise AuditTrailError(
                     f"{self._path}: checkpoint file missing for a non-empty "
@@ -198,6 +239,17 @@ class SecureAuditTrail:
                 "(crash or in-flight append); accepting the sealed record",
                 stacklevel=2,
             )
+            return
+        if self._tolerate_ahead and checkpoint["count"] > count:
+            # Live reader: the writer appended (and atomically renamed a
+            # newer checkpoint) between this reader's readlines()
+            # snapshot and the checkpoint read.  Every record the
+            # snapshot did contain verified its chain link and seal, so
+            # the prefix is good; the missing suffix arrives on the next
+            # catch-up tick.  Not a truncation: truncation makes the
+            # *checkpoint* newer than the trail for a quiescent file,
+            # which strict mode (the writer re-opening its own trail,
+            # `verify_all`) still rejects.
             return
         if checkpoint["count"] != count or checkpoint["last_hash"] != last_hash:
             raise AuditTrailError(
@@ -313,6 +365,12 @@ class AuditTrailManager:
     (bounded files keep follower catch-up and recovery replay O(file),
     whatever the per-event payload size).  ``fsync=True`` makes every
     append durable before it is acknowledged.
+
+    ``tolerate_ahead=True`` makes this a *live-reader* manager: every
+    trail it opens tolerates a checkpoint recording more records than
+    the read snapshot holds (see :class:`SecureAuditTrail`).  The
+    cluster's standby catch-up and failover sealing use this; a trail
+    directory's own writer must not.
     """
 
     def __init__(
@@ -323,6 +381,7 @@ class AuditTrailManager:
         *,
         max_bytes: int | None = None,
         fsync: bool = False,
+        tolerate_ahead: bool = False,
     ) -> None:
         if max_records < 1:
             raise AuditTrailError("max_records must be >= 1")
@@ -334,10 +393,13 @@ class AuditTrailManager:
         self._max_records = max_records
         self._max_bytes = max_bytes
         self._fsync = fsync
+        self._tolerate_ahead = tolerate_ahead
         self._active: SecureAuditTrail | None = None
         existing = self.trail_paths()
         if existing:
-            self._active = SecureAuditTrail(existing[-1], key, fsync=fsync)
+            self._active = SecureAuditTrail(
+                existing[-1], key, fsync=fsync, tolerate_ahead=tolerate_ahead
+            )
 
     @property
     def directory(self) -> str:
@@ -380,7 +442,10 @@ class AuditTrailManager:
         if n < 0:
             raise AuditTrailError("n must be >= 0")
         return [
-            SecureAuditTrail(path, self._key) for path in self.trail_paths()[-n:]
+            SecureAuditTrail(
+                path, self._key, tolerate_ahead=self._tolerate_ahead
+            )
+            for path in self.trail_paths()[-n:]
         ] if n else []
 
     def verify_all(self) -> int:
@@ -402,7 +467,9 @@ class AuditTrailManager:
         if last_n_trails is not None:
             paths = paths[-last_n_trails:] if last_n_trails else []
         for path in paths:
-            trail = SecureAuditTrail(path, self._key)
+            trail = SecureAuditTrail(
+                path, self._key, tolerate_ahead=self._tolerate_ahead
+            )
             for event in trail.verify_and_read():
                 if event.timestamp >= since:
                     yield event

@@ -9,8 +9,9 @@ is the asyncio variant for async applications.
 
 Retry discipline — only provably idempotent work is retried:
 
-* *connect* failures: nothing reached the server; retried with jittered
-  exponential backoff.
+* *connect* failures (typed :class:`~repro.errors.PDPConnectError`):
+  nothing reached the server, so every operation — ``decide``
+  included — is retried with jittered exponential backoff.
 * *overload* rejections: the server sheds load **before** queueing, so
   the request never entered a shard; retried after the server's
   ``retry_after`` hint (plus jitter).
@@ -32,6 +33,7 @@ import time
 
 from repro.core.decision import Decision, DecisionRequest
 from repro.errors import (
+    PDPConnectError,
     PDPFencedError,
     PDPNotPrimaryError,
     PDPOverloadedError,
@@ -216,7 +218,7 @@ class RemotePDP(PolicyDecisionPoint):
                 connect_timeout=connect_timeout,
             )
         except OSError as exc:
-            raise PDPUnavailableError(
+            raise PDPConnectError(
                 f"cannot connect to PDP at {self._host}:{self._port}: {exc}"
             ) from exc
 
@@ -289,6 +291,12 @@ class RemotePDP(PolicyDecisionPoint):
                 if attempt >= self._max_retries:
                     raise
                 time.sleep(self._backoff.delay(attempt, floor=exc.retry_after))
+            except PDPConnectError:
+                # Nothing was sent: safe to retry even a decide.
+                perf.incr("client.transport_failures")
+                if attempt >= self._max_retries:
+                    raise
+                time.sleep(self._backoff.delay(attempt))
             except PDPUnavailableError:
                 perf.incr("client.transport_failures")
                 if not retriable or attempt >= self._max_retries:
@@ -411,7 +419,7 @@ class AsyncRemotePDP:
                 timeout=timeout if timeout is not None else self._timeout,
             )
         except (OSError, asyncio.TimeoutError) as exc:
-            raise PDPUnavailableError(
+            raise PDPConnectError(
                 f"cannot connect to PDP at {self._host}:{self._port}: {exc}"
             ) from exc
 
@@ -499,6 +507,11 @@ class AsyncRemotePDP:
                 await asyncio.sleep(
                     self._backoff.delay(attempt, floor=exc.retry_after)
                 )
+            except PDPConnectError:
+                # Nothing was sent: safe to retry even a decide.
+                if attempt >= self._max_retries:
+                    raise
+                await asyncio.sleep(self._backoff.delay(attempt))
             except PDPUnavailableError:
                 if not retriable or attempt >= self._max_retries:
                     raise

@@ -9,19 +9,29 @@ epoch, and fails over when the cluster does.
 
 Failover from the client's side::
 
-    decide → PDPUnavailableError / PDPFencedError / PDPNotPrimaryError
+    decide → PDPFencedError / PDPNotPrimaryError / PDPConnectError
            → re-fetch the route from the coordinator
            → retry the *same* request (same ``request_id``) against the
              new primary with the new epoch
 
-The retry is safe — the single case where retrying a decide is — only
-because of the cluster's exactly-once journal: every decision the dead
-primary acknowledged is in its shipped audit trail, the promoted
-standby replayed that trail before stepping up, and a journaled
-``request_id`` short-circuits to the recorded outcome instead of a
-second evaluation.  A plain :class:`RemotePDP` must never retry a
-decide; a :class:`ClusterPDP` may, and that difference is the whole
-point of the journal.
+    decide → PDPUnavailableError after the frame was sent
+           → wait until the shard's epoch advances (failover sealed the
+             old lineage), then retry; surface the error if it never
+             does within ``failover_wait``
+
+The distinction is what keeps decides exactly-once.  A fenced,
+not-primary or connect failure means the request was **not** evaluated,
+so resending is always safe.  A *post-send* transport failure is
+ambiguous: the primary may be dead (request lost) or merely slow
+(request still queued, about to evaluate and commit).  Resending to the
+*same* primary could therefore evaluate the request twice and
+double-record history — exactly what :class:`RemotePDP` forbids.  Only
+after the coordinator promotes a new primary under a higher epoch is
+the resend safe again: the old lineage is sealed and fenced, anything
+the deposed primary still evaluates falls outside authoritative
+history, and anything it committed *before* the seal is in the shipped
+trail — so the journal on the new primary short-circuits the retried
+``request_id`` to the recorded outcome instead of a second evaluation.
 """
 
 from __future__ import annotations
@@ -34,8 +44,10 @@ from repro.client.remote import RemotePDP
 from repro.core.decision import Decision, DecisionRequest
 from repro.errors import (
     ClusterError,
+    PDPConnectError,
     PDPFencedError,
     PDPNotPrimaryError,
+    PDPOverloadedError,
     PDPUnavailableError,
 )
 from repro.framework.pdp import PolicyDecisionPoint
@@ -190,35 +202,75 @@ class ClusterPDP(PolicyDecisionPoint):
             return pdp
 
     # -- the PolicyDecisionPoint protocol ------------------------------
+    def _pause(self) -> None:
+        time.sleep(
+            self._retry_interval * (1.0 + self._rng.uniform(0.0, 0.5))
+        )
+
+    def _await_epoch_bump(
+        self, user_id: str, sent_epoch: int, deadline: float
+    ) -> bool:
+        """Wait for the user's shard to fail over past ``sent_epoch``.
+
+        Returns True once the routed epoch exceeds the one the failed
+        send carried — the old lineage is sealed and fenced, so the
+        resend cannot double-evaluate.  Returns False at the deadline
+        (the primary is alive but slow: the caller must surface the
+        transport error, never resend into the same lineage).
+        """
+        while time.monotonic() < deadline:
+            self._pause()
+            try:
+                self.refresh_route()
+            except (PDPUnavailableError, ClusterError):
+                continue
+            _, epoch, _ = self._target_for(user_id)
+            if epoch > sent_epoch:
+                return True
+        return False
+
     def decide(self, request: DecisionRequest) -> Decision:
         """Route one decide to its user's primary, surviving failover."""
         deadline = time.monotonic() + self._failover_wait
-        attempt = 0
         while True:
             address, epoch, shard = self._target_for(request.user_id)
             pdp = self._pdp_for(address)
             try:
                 return pdp.decide(request, epoch=epoch)
+            except PDPOverloadedError as exc:
+                # Shed before queueing: safe to retry the same primary.
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(
+                    exc.retry_after
+                    + self._retry_interval * self._rng.uniform(0.0, 0.5)
+                )
             except (
                 PDPFencedError,
                 PDPNotPrimaryError,
-                PDPUnavailableError,
+                PDPConnectError,
             ) as exc:
-                # Safe to retry: the request keeps its request_id, and
-                # the shard journal deduplicates anything the old
-                # primary already committed.
+                # The request was not evaluated (rejected before the
+                # engine, or never sent): always safe to re-route and
+                # resend under the same request_id.
                 if self._coordinator is None or time.monotonic() >= deadline:
                     raise
-                attempt += 1
-                time.sleep(
-                    self._retry_interval
-                    * (1.0 + self._rng.uniform(0.0, 0.5))
-                )
+                self._pause()
                 try:
                     self.refresh_route()
                 except (PDPUnavailableError, ClusterError):
                     if time.monotonic() >= deadline:
                         raise exc
+            except PDPUnavailableError as exc:
+                # Post-send failure: the primary may still evaluate the
+                # request.  Resend only once the shard's epoch advances
+                # (failover sealed the old lineage and the journal
+                # dedupes anything it committed); otherwise surface the
+                # error rather than risk a double evaluation.
+                if self._coordinator is None or not self._await_epoch_bump(
+                    request.user_id, epoch, deadline
+                ):
+                    raise exc
 
     # -- per-node passthroughs ----------------------------------------
     def healthz(self, user_id: str) -> dict:

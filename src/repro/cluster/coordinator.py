@@ -17,22 +17,35 @@ background concerns on one private event loop:
 
 Failover sequence (the tentpole's fencing story):
 
-1. the primary stops answering health probes (crash, kill, partition);
-2. the coordinator **seals the lineage**: it counts the events visible
-   in the dead primary's shipped trails — anything the deposed process
-   might still append past that point is outside authoritative history
-   and will never be replayed;
-3. the standby runs one final sealed catch-up, so it holds exactly the
+1. the primary stops answering health probes (crash, kill, partition)
+   — or an operator forces failover of a live primary;
+2. the coordinator **demotes** the old primary first: its decide gate
+   refuses new work and its audit sink (role-checked under the node
+   lock) refuses in-flight appends, so the trail stops moving;
+3. it then **seals the lineage**: it counts the events visible in the
+   now-quiescent trails — anything the deposed process might still
+   produce past that point is outside authoritative history and will
+   never be replayed.  Demote-before-seal is load-bearing: sealing
+   first would let a live primary acknowledge decisions *after* the
+   count, silently dropping grants clients already saw;
+4. the standby runs one final sealed catch-up, so it holds exactly the
    acknowledged decision history (the audit sink runs before the
    client ack, so nothing a client saw can be missing);
-4. the standby is promoted under ``epoch + 1``; the routing table
+5. the standby is promoted under ``epoch + 1``; the routing table
    version bumps; clients re-fetch the route and retry with the new
    epoch, and any node still claiming the old epoch answers ``fenced``.
+
+Both background loops treat a failing tick (an unreadable trail, a
+probe raising something unexpected, a promote that cannot complete) as
+an event to log and count — ``cluster_coordinator_loop_errors_total``
+— never as a reason to die: a replication or health loop that silently
+stops is strictly worse than one that retries next tick.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import threading
 from typing import Iterable
@@ -49,6 +62,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
 from repro.cluster.ring import HashRing
+
+logger = logging.getLogger(__name__)
 
 
 class ShardState:
@@ -95,6 +110,7 @@ class LocalCluster:
         fsync: bool = True,
         audit_max_records: int = 10_000,
         audit_max_bytes: int | None = None,
+        journal_max: int | None = None,
         service_shards: int = 2,
     ) -> None:
         if n_shards < 1:
@@ -143,6 +159,7 @@ class LocalCluster:
                         fsync=fsync,
                         audit_max_records=audit_max_records,
                         audit_max_bytes=audit_max_bytes,
+                        journal_max=journal_max,
                     )
                 )
             self._shards[shard] = ShardState(shard, nodes[0], nodes[1])
@@ -155,6 +172,7 @@ class LocalCluster:
         self._server: asyncio.AbstractServer | None = None
         self._coordinator_port = 0
         self._dead: set[str] = set()
+        self._loop_errors = {"health": 0, "catchup": 0}
 
     # ------------------------------------------------------------------
     @property
@@ -225,9 +243,18 @@ class LocalCluster:
     def promote(self, shard_name: str) -> int:
         """Fail a shard over to its standby; returns the new epoch.
 
-        Steps 2–4 of the failover sequence (seal, final catch-up,
-        promote + route bump).  Normally driven by the health loop,
-        public so tests and operators can force it.
+        Steps 2–5 of the failover sequence (demote, seal, final
+        catch-up, promote + route bump).  Normally driven by the health
+        loop, public so tests and operators can force it — including on
+        a shard whose primary is still alive.
+
+        The order matters: the old primary is demoted *before* the seal
+        is counted.  Demotion stops its decide gate admitting new work
+        and its audit sink appending in-flight work (both checked under
+        the node lock), so the trail is quiescent when counted — a seal
+        taken first would let a live primary acknowledge decisions
+        after the count, outside the sealed lineage, silently dropping
+        grants clients already saw.
         """
         state = self.shard(shard_name)
         with state.lock:
@@ -236,15 +263,17 @@ class LocalCluster:
                 raise ClusterError(
                     f"shard {shard_name} has no live standby to promote"
                 )
+            old_primary.demote()
             seal = sum(
                 1
                 for _ in AuditTrailManager(
-                    old_primary.trail_dir, self._audit_key
+                    old_primary.trail_dir,
+                    self._audit_key,
+                    tolerate_ahead=True,
                 ).events()
             )
             standby.catch_up(old_primary.trail_dir, max_events=seal)
             new_epoch = state.epoch + 1
-            old_primary.demote()
             standby.promote(new_epoch)
             state.primary, state.standby = standby, old_primary
             state.epoch = new_epoch
@@ -293,6 +322,7 @@ class LocalCluster:
             version = self._route_version
         return {
             "route_version": version,
+            "loop_errors": dict(self._loop_errors),
             "shards": shards,
         }
 
@@ -338,6 +368,15 @@ class LocalCluster:
             "cluster_node_journal_size",
             "Decision outcomes held for exactly-once retry dedupe.",
             lambda: per_node(lambda node: float(node.journal_size)),
+        )
+        registry.register_counter(
+            "cluster_coordinator_loop_errors_total",
+            "Background-loop ticks that raised (logged and retried), "
+            "by loop.",
+            lambda: [
+                ({"loop": loop_name}, float(count))
+                for loop_name, count in self._loop_errors.items()
+            ],
         )
         registry.register_counter(
             "cluster_failovers_total",
@@ -424,33 +463,56 @@ class LocalCluster:
             return False
 
     async def _health_loop(self) -> None:
+        """Probe primaries forever; a failing tick never kills the loop.
+
+        An exception from one shard's probe or promotion (an unreadable
+        trail, a standby racing its own death...) is logged and counted;
+        the shard is retried next tick and the other shards' checks
+        proceed.  A silently-dead health loop would mean no shard could
+        ever fail over again.
+        """
         loop = asyncio.get_running_loop()
         misses: dict[str, int] = {name: 0 for name in self._shards}
         while not self._stopping.is_set():
             for name, state in self._shards.items():
-                primary = state.primary
-                if primary.name in self._dead:
-                    ok = False
-                else:
-                    ok = await loop.run_in_executor(
-                        None, self._probe, primary
+                try:
+                    primary = state.primary
+                    if primary.name in self._dead:
+                        ok = False
+                    else:
+                        ok = await loop.run_in_executor(
+                            None, self._probe, primary
+                        )
+                    if ok:
+                        misses[name] = 0
+                        continue
+                    misses[name] += 1
+                    if misses[name] < self._health_failures:
+                        continue
+                    self._dead.add(primary.name)
+                    if state.standby.name not in self._dead:
+                        await loop.run_in_executor(None, self.promote, name)
+                        misses[name] = 0
+                except Exception:
+                    self._loop_errors["health"] += 1
+                    logger.exception(
+                        "health tick failed for shard %s; retrying next tick",
+                        name,
                     )
-                if ok:
-                    misses[name] = 0
-                    continue
-                misses[name] += 1
-                if misses[name] < self._health_failures:
-                    continue
-                self._dead.add(primary.name)
-                if state.standby.name not in self._dead:
-                    await loop.run_in_executor(None, self.promote, name)
-                    misses[name] = 0
             await asyncio.sleep(self._health_interval)
 
     async def _catchup_loop(self) -> None:
+        """Replay primaries' trails into standbys; ticks never kill it.
+
+        Replay races the live primary's appends, so a tick can raise
+        (e.g. an :class:`AuditTrailError` the live-reader tolerance does
+        not cover); that is logged and counted, and the standby simply
+        catches up on the next tick — replay is idempotent, so a missed
+        tick costs lag, never correctness.
+        """
         loop = asyncio.get_running_loop()
         while not self._stopping.is_set():
-            for state in self._shards.values():
+            for name, state in self._shards.items():
                 standby, primary = state.standby, state.primary
                 if standby.name in self._dead or primary.name in self._dead:
                     continue
@@ -460,7 +522,15 @@ class LocalCluster:
                         if state.standby is standby:
                             standby.catch_up(primary.trail_dir)
 
-                await loop.run_in_executor(None, tick)
+                try:
+                    await loop.run_in_executor(None, tick)
+                except Exception:
+                    self._loop_errors["catchup"] += 1
+                    logger.exception(
+                        "catch-up tick failed for shard %s; retrying "
+                        "next tick",
+                        name,
+                    )
             await asyncio.sleep(self._catchup_interval)
 
     # ------------------------------------------------------------------

@@ -26,7 +26,10 @@ that replays the trail holds every grant any client has seen.
 each decision payload by ``request_id``; a promoted standby rebuilds
 the same journal from replay.  A client that retries a decide after
 failover therefore gets the recorded outcome back instead of a second
-evaluation — the one case where retrying a decide is safe.
+evaluation — the one case where retrying a decide is safe.  The
+journal is bounded (``journal_max``, FIFO eviction): retries only need
+the recent outcomes spanning a failover window, so a long-running node
+does not grow memory with lifetime request volume.
 """
 
 from __future__ import annotations
@@ -42,12 +45,37 @@ from repro.core.decision import Decision
 from repro.core.engine import MSoDEngine
 from repro.core.policy import MSoDPolicySet
 from repro.core.retained_adi import RetainedADIStore
+from repro.errors import ClusterError
 from repro.server import protocol
 from repro.server.service import AuthorizationService
 from repro.server.testing import ServerThread
 
 ROLE_PRIMARY = "primary"
 ROLE_STANDBY = "standby"
+
+
+class _BoundedJournal(dict):
+    """``request_id -> payload`` with FIFO eviction beyond a cap.
+
+    Exactly-once retry dedupe only needs outcomes recent enough to span
+    a failover window, so the oldest entry is evicted once the cap is
+    reached (dict preserves insertion order, and both the audit sink
+    and trail replay insert in decision order).  A re-inserted id moves
+    to the back so a hot request_id stays resident.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        if max_entries < 1:
+            raise ClusterError("journal_max must be >= 1")
+        self._max_entries = max_entries
+
+    def __setitem__(self, key: str, value: dict) -> None:
+        if key in self:
+            del self[key]
+        elif len(self) >= self._max_entries:
+            del self[next(iter(self))]
+        super().__setitem__(key, value)
 
 
 def _request_identity(wire_request: dict) -> tuple:
@@ -108,6 +136,7 @@ class ClusterNode:
         audit_max_records: int = 10_000,
         audit_max_bytes: int | None = None,
         fsync: bool = True,
+        journal_max: int | None = None,
     ) -> None:
         if role not in (ROLE_PRIMARY, ROLE_STANDBY):
             raise ValueError(f"unknown node role {role!r}")
@@ -119,7 +148,12 @@ class ClusterNode:
         self._role = role
         self._epoch = epoch
         self._lock = threading.Lock()
-        self._journal: dict[str, dict] = {}
+        # Default cap: two full trail rotations — comfortably more
+        # history than any failover-window retry needs.
+        self._journal: dict[str, dict] = _BoundedJournal(
+            journal_max if journal_max is not None
+            else max(1024, 2 * audit_max_records)
+        )
         self._trails = AuditTrailManager(
             trail_dir,
             audit_key,
@@ -231,7 +265,13 @@ class ClusterNode:
         The journal fills with every decision outcome seen, which is
         what makes post-failover client retries exactly-once.
         """
-        source = AuditTrailManager(source_trail_dir, self._audit_key)
+        # A live-reader manager: the source primary may append (and
+        # atomically advance its checkpoint) between this replay's read
+        # snapshot and its checkpoint check — not truncation, just a
+        # prefix; the rest arrives next tick.
+        source = AuditTrailManager(
+            source_trail_dir, self._audit_key, tolerate_ahead=True
+        )
         return recover_retained_adi(
             source,
             self._policy_set,
@@ -244,11 +284,23 @@ class ClusterNode:
     # ------------------------------------------------------------------
     def _audit_sink(self, decision: Decision) -> None:
         payload = decision_event_payload(decision)
-        payload["epoch"] = self.epoch
-        self._trails.append(
-            EVENT_DECISION, decision.request.timestamp, payload
-        )
-        self._journal[decision.request.request_id] = payload
+        # Role check and append share one lock acquisition with
+        # promote()/demote(): once demote() returns, no decision can
+        # enter this trail, so a seal counted afterwards is a true
+        # upper bound of the lineage.  A decision caught mid-flight by
+        # a forced failover is refused here — the client gets an error
+        # instead of an ack and re-evaluates on the new primary.
+        with self._lock:
+            if self._role != ROLE_PRIMARY:
+                raise ClusterError(
+                    f"node {self.name} was demoted during evaluation; "
+                    "decision not recorded — retry against the new primary"
+                )
+            payload["epoch"] = self._epoch
+            self._trails.append(
+                EVENT_DECISION, decision.request.timestamp, payload
+            )
+            self._journal[decision.request.request_id] = payload
 
     def _health_extra(self) -> dict:
         with self._lock:

@@ -86,6 +86,17 @@ class PDPUnavailableError(ReproError):
     """
 
 
+class PDPConnectError(PDPUnavailableError):
+    """The remote PDP could not be reached at all.
+
+    Raised when establishing the connection fails, *before* any frame
+    is written.  Nothing reached the server, so retrying the request —
+    including a ``decide`` — is always safe; contrast the base
+    :class:`PDPUnavailableError`, which after a send may mean the
+    request is still queued or evaluating on the server.
+    """
+
+
 class PDPOverloadedError(PDPUnavailableError):
     """The remote PDP shed the request under admission control.
 

@@ -395,6 +395,16 @@ class AuthorizationService:
                 stats.completed += 1
                 perf.incr("server.decided")
                 if sink is not None:
-                    sink(decision)
+                    try:
+                        sink(decision)
+                    except Exception as exc:
+                        # A failed sink (trail I/O error, cluster node
+                        # demoted mid-flight) fails this decision only:
+                        # the client must not receive an ack the audit
+                        # trail does not hold, and the worker must
+                        # survive to serve the rest of the shard.
+                        if not future.cancelled():
+                            future.set_exception(exc)
+                        continue
                 if not future.cancelled():
                     future.set_result(decision)

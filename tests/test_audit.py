@@ -140,9 +140,89 @@ class TestSecureAuditTrail:
 
         t = trail(tmp_path)
         t.append("e", 1.0, {"n": 1})
+        t.append("e", 2.0, {"n": 2})
         os.remove(t.path + ".chk")
         with pytest.raises(AuditTrailError, match="checkpoint file missing"):
             SecureAuditTrail(t.path, KEY).verify()
+
+    def test_missing_checkpoint_tolerated_for_first_append_crash(
+        self, tmp_path
+    ):
+        # Crash window between the very first record (durable) and the
+        # very first checkpoint write: the sealed record is recovered
+        # with a warning, not refused.
+        import os
+
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        os.remove(t.path + ".chk")
+        with pytest.warns(UserWarning, match="no checkpoint yet"):
+            assert SecureAuditTrail(t.path, KEY).verify() == 1
+
+    def test_checkpoint_write_is_atomic_rename(self, tmp_path):
+        # The sidecar is written to a temp file and os.replace()d into
+        # place, so a concurrent reader (or a crash) never observes a
+        # partial checkpoint; no temp residue is left behind.
+        t = trail(tmp_path)
+        for n in range(3):
+            t.append("e", float(n), {"n": n})
+        import os
+
+        assert not os.path.exists(t.path + ".chk.tmp")
+        with open(t.path + ".chk", encoding="utf-8") as handle:
+            checkpoint = json.load(handle)
+        assert checkpoint["count"] == 3
+
+    def test_live_reader_tolerates_checkpoint_ahead_of_snapshot(
+        self, tmp_path
+    ):
+        # A standby replaying a live primary's trail reads the record
+        # lines and the checkpoint non-atomically: the primary may
+        # append (and advance the checkpoint) in between, so the
+        # checkpoint can record more records than the snapshot holds.
+        # Simulate the race by pairing a 2-record trail's checkpoint
+        # with a 1-record copy of its data.
+        import os
+        import shutil
+
+        t = trail(tmp_path)
+        t.append("e", 1.0, {"n": 1})
+        first_record = open(t.path, "rb").readline()
+        t.append("e", 2.0, {"n": 2})
+        snap = str(tmp_path / "snap.log")
+        with open(snap, "wb") as handle:
+            handle.write(first_record)
+        shutil.copy(t.path + ".chk", snap + ".chk")
+
+        # A strict reader treats the mismatch as truncation...
+        with pytest.raises(AuditTrailError, match="does not match"):
+            SecureAuditTrail(snap, KEY).verify()
+        # ...a live reader accepts the verified prefix.
+        live = SecureAuditTrail(snap, KEY, tolerate_ahead=True)
+        assert live.verify() == 1
+        assert os.path.exists(snap)
+
+    def test_tolerant_manager_reads_a_racing_trail(self, tmp_path):
+        # Same race at the manager level: events() must yield the
+        # verified prefix instead of raising mid-catch-up.
+        import shutil
+
+        writer = AuditTrailManager(str(tmp_path / "w"), KEY)
+        for n in range(4):
+            writer.append("e", float(n), {"n": n})
+        reader_dir = tmp_path / "r"
+        shutil.copytree(tmp_path / "w", reader_dir)
+        trail_path = AuditTrailManager(str(reader_dir), KEY).trail_paths()[0]
+        with open(trail_path, "rb") as handle:
+            lines = handle.readlines()
+        with open(trail_path, "wb") as handle:
+            handle.writelines(lines[:2])
+        tolerant = AuditTrailManager(
+            str(reader_dir), KEY, tolerate_ahead=True
+        )
+        assert [e.payload["n"] for e in tolerant.events()] == [0, 1]
+        with pytest.raises(AuditTrailError):
+            list(AuditTrailManager(str(reader_dir), KEY).events())
 
     def test_forged_checkpoint_detected(self, tmp_path):
         t = trail(tmp_path)

@@ -7,6 +7,8 @@ exactly-once journal, audit-log-shipped standby replication and the
 routing client against a healthy cluster.
 """
 
+import time
+
 import pytest
 
 from repro.audit.trail import AuditTrailManager
@@ -19,6 +21,7 @@ from repro.cluster import (
     HashRing,
     LocalCluster,
 )
+from repro.cluster.node import _BoundedJournal
 from repro.core import (
     ContextName,
     DecisionRequest,
@@ -26,6 +29,7 @@ from repro.core import (
     Role,
 )
 from repro.errors import (
+    AuditTrailError,
     ClusterError,
     PDPFencedError,
     PDPNotPrimaryError,
@@ -429,3 +433,271 @@ class TestOpenClusterFacade:
             open_cluster(
                 bank_policy_set(), str(tmp_path / "x"), store="bogus"
             )
+
+
+# ----------------------------------------------------------------------
+class TestBoundedJournal:
+    def test_fifo_eviction_beyond_cap(self):
+        journal = _BoundedJournal(3)
+        for n in range(5):
+            journal[f"req-{n}"] = {"n": n}
+        assert len(journal) == 3
+        assert list(journal) == ["req-2", "req-3", "req-4"]
+
+    def test_reinsert_moves_to_back(self):
+        journal = _BoundedJournal(2)
+        journal["a"] = {"n": 0}
+        journal["b"] = {"n": 1}
+        journal["a"] = {"n": 2}  # hot id refreshed, now newest
+        journal["c"] = {"n": 3}  # evicts b, the oldest
+        assert list(journal) == ["a", "c"]
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ClusterError):
+            _BoundedJournal(0)
+
+    def test_node_journal_respects_cap_and_still_dedupes(self, tmp_path):
+        node = ClusterNode(
+            "n1",
+            "s0",
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            str(tmp_path / "trails"),
+            b"test-key",
+            role=ROLE_PRIMARY,
+            epoch=1,
+            fsync=False,
+            journal_max=5,
+        )
+        node.start()
+        try:
+            with RemotePDP(node.host, node.port) as pdp:
+                for i in range(8):
+                    pdp.decide(
+                        make_request(
+                            f"u{i}",
+                            timestamp=float(i),
+                            request_id=f"req-{i}",
+                        )
+                    )
+                assert node.journal_size == 5
+                # A recent request_id still short-circuits to the
+                # recorded outcome instead of a second evaluation.
+                first = pdp.decide(
+                    make_request("u7", timestamp=7.0, request_id="req-7")
+                )
+                assert first.records_added == 1
+                assert node.journal_size == 5
+        finally:
+            node.stop()
+
+
+# ----------------------------------------------------------------------
+class TestCoordinatorLoopResilience:
+    def _one_shard_cluster(self, tmp_path, **overrides):
+        options = dict(
+            store="memory",
+            health_interval=30.0,
+            catchup_interval=30.0,
+            fsync=False,
+        )
+        options.update(overrides)
+        return LocalCluster(
+            bank_policy_set(), 1, str(tmp_path / "cluster"), **options
+        ).start()
+
+    def test_catchup_loop_survives_tick_errors(self, tmp_path):
+        cluster = self._one_shard_cluster(tmp_path, catchup_interval=0.05)
+        try:
+            state = cluster.shard("shard-0")
+            original = state.standby.catch_up
+            calls = []
+
+            def flaky(*args, **kwargs):
+                calls.append(len(calls))
+                if len(calls) <= 2:
+                    raise AuditTrailError("simulated replay failure")
+                return original(*args, **kwargs)
+
+            state.standby.catch_up = flaky
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and len(calls) < 4:
+                time.sleep(0.05)
+            # The loop outlived the failing ticks and kept replaying.
+            assert len(calls) >= 4
+            assert cluster.status()["loop_errors"]["catchup"] >= 2
+        finally:
+            cluster.stop()
+
+    def test_health_loop_survives_promote_failure(self, tmp_path):
+        cluster = self._one_shard_cluster(
+            tmp_path,
+            health_interval=0.05,
+            health_timeout=0.2,
+            health_failures=1,
+        )
+        try:
+            state = cluster.shard("shard-0")
+            standby = state.standby
+            original = standby.catch_up
+            failing = {"on": True}
+
+            def flaky(*args, **kwargs):
+                if failing["on"]:
+                    raise AuditTrailError("simulated standby glitch")
+                return original(*args, **kwargs)
+
+            standby.catch_up = flaky
+            cluster.kill_primary("shard-0")
+            deadline = time.monotonic() + 10.0
+            while (
+                time.monotonic() < deadline
+                and cluster.status()["loop_errors"]["health"] < 2
+            ):
+                time.sleep(0.05)
+            # Promotion failed repeatedly but the loop is still alive
+            # and still trying...
+            assert cluster.status()["loop_errors"]["health"] >= 2
+            assert state.failovers == 0
+            # ...so once the fault clears, failover completes.
+            failing["on"] = False
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and state.failovers < 1:
+                time.sleep(0.05)
+            assert state.failovers >= 1
+            assert state.primary is standby
+            assert state.primary.role == ROLE_PRIMARY
+        finally:
+            cluster.stop()
+
+
+# ----------------------------------------------------------------------
+class TestClientRetryDiscipline:
+    def test_post_send_failure_is_not_resent_into_the_same_lineage(
+        self, tmp_path
+    ):
+        cluster = LocalCluster(
+            bank_policy_set(),
+            1,
+            str(tmp_path / "cluster"),
+            store="memory",
+            health_interval=30.0,
+            catchup_interval=30.0,
+            fsync=False,
+        ).start()
+        try:
+            with ClusterPDP(
+                (cluster.host, cluster.port),
+                failover_wait=0.6,
+                retry_interval=0.05,
+            ) as pdp:
+                sent = []
+
+                class PostSendFailing:
+                    def decide(self, request, *, epoch=None):
+                        sent.append(request.request_id)
+                        raise PDPUnavailableError(
+                            "PDP transport failure: timed out"
+                        )
+
+                pdp.route()  # install the routing table first
+                pdp._pdp_for = lambda address: PostSendFailing()
+                with pytest.raises(PDPUnavailableError):
+                    pdp.decide(make_request("stuck-user"))
+                # The epoch never advanced, so the request went out
+                # exactly once: a resend could double-evaluate on a
+                # live-but-slow primary.
+                assert len(sent) == 1
+        finally:
+            cluster.stop()
+
+    def test_post_send_failure_is_resent_after_epoch_bump(self, tmp_path):
+        cluster = LocalCluster(
+            bank_policy_set(),
+            1,
+            str(tmp_path / "cluster"),
+            store="memory",
+            health_interval=30.0,
+            catchup_interval=0.05,
+            fsync=False,
+        ).start()
+        try:
+            with ClusterPDP(
+                (cluster.host, cluster.port),
+                failover_wait=10.0,
+                retry_interval=0.05,
+            ) as pdp:
+                real_pdp_for = pdp._pdp_for
+                first_send = {"pending": True}
+
+                class FailsOnceAfterFailover:
+                    def decide(self, request, *, epoch=None):
+                        # Simulate: the frame went out, the primary
+                        # stalled, and the operator forced failover.
+                        cluster.promote("shard-0")
+                        raise PDPUnavailableError(
+                            "PDP transport failure: timed out"
+                        )
+
+                def patched(address):
+                    if first_send["pending"]:
+                        first_send["pending"] = False
+                        return FailsOnceAfterFailover()
+                    return real_pdp_for(address)
+
+                pdp.route()
+                pdp._pdp_for = patched
+                decision = pdp.decide(make_request("bumped-user"))
+                assert decision.granted
+                assert cluster.shard("shard-0").epoch == 2
+        finally:
+            cluster.stop()
+
+
+# ----------------------------------------------------------------------
+class TestForcedFailoverOfLivePrimary:
+    def test_no_acknowledged_decision_is_dropped(self, tmp_path):
+        """Operator-forced failover of a *live* primary (the documented
+        public use of ``promote``): every decision acknowledged before
+        the promote call must survive into the new primary, which only
+        holds if the old primary is demoted before the seal is counted.
+        """
+        policy_set = bank_policy_set()
+        cluster = LocalCluster(
+            policy_set,
+            1,
+            str(tmp_path / "cluster"),
+            store="memory",
+            health_interval=30.0,
+            catchup_interval=0.05,
+            fsync=False,
+        ).start()
+        try:
+            requests = [
+                make_request(
+                    f"user-{i % 7}",
+                    TELLER if i % 3 else AUDITOR,
+                    context=ContextName.parse(f"Branch=B{i % 4}, Period=P1"),
+                    timestamp=float(i),
+                )
+                for i in range(30)
+            ]
+            from repro.core import MSoDEngine
+
+            engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+            effects = []
+            with ClusterPDP(
+                (cluster.host, cluster.port), failover_wait=15.0
+            ) as pdp:
+                for index, request in enumerate(requests):
+                    if index == len(requests) // 2:
+                        cluster.promote("shard-0")
+                    effects.append(pdp.decide(request).effect)
+            assert effects == [engine.check(r).effect for r in requests]
+            state = cluster.shard("shard-0")
+            assert state.epoch == 2
+            assert store_digest(state.primary.store) == store_digest(
+                engine.store
+            )
+        finally:
+            cluster.stop()
