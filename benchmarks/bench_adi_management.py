@@ -16,13 +16,12 @@ Compares store growth under three strategies over the same workload:
 
 from conftest import emit, format_rows
 
+from repro.api import open_pdp
 from repro.core import (
     CONTROLLER_ROLE,
     MMER,
     ContextName,
     DecisionRequest,
-    InMemoryRetainedADIStore,
-    MSoDEngine,
     MSoDPolicy,
     MSoDPolicySet,
     RetainedADIManagementPort,
@@ -93,15 +92,15 @@ def run_workload(engine, sweep_every=None, port=None):
 def test_m1_growth_strategies(benchmark):
     rows = []
 
-    with_last = MSoDEngine(policy_set(True), InMemoryRetainedADIStore())
+    with_last = open_pdp(policy_set(True)).engine
     peak, final = run_workload(with_last)
     rows.append(["last step in policy", peak, final])
 
-    unmanaged = MSoDEngine(policy_set(False), InMemoryRetainedADIStore())
+    unmanaged = open_pdp(policy_set(False)).engine
     peak, final = run_workload(unmanaged)
     rows.append(["no last step, unmanaged", peak, final])
 
-    swept = MSoDEngine(policy_set(False), InMemoryRetainedADIStore())
+    swept = open_pdp(policy_set(False)).engine
     port = RetainedADIManagementPort(swept.store)
     peak, final = run_workload(swept, sweep_every=4, port=port)
     rows.append(["no last step + retention sweep (4.3)", peak, final])
@@ -121,7 +120,7 @@ def test_m1_growth_strategies(benchmark):
     assert swept_final < unmanaged_final / 4
 
     def rerun():
-        engine = MSoDEngine(policy_set(True), InMemoryRetainedADIStore())
+        engine = open_pdp(policy_set(True)).engine
         return run_workload(engine)
 
     benchmark.pedantic(rerun, rounds=3, iterations=1)
@@ -132,7 +131,7 @@ def test_m1_latency_tracks_store_size(benchmark):
     store shows up as per-user history length grows."""
     import time
 
-    engine = MSoDEngine(policy_set(False), InMemoryRetainedADIStore())
+    engine = open_pdp(policy_set(False)).engine
     context = ContextName.parse("Branch=York, Period=Pfixed")
     rows = []
     hoarder = "hoarder"

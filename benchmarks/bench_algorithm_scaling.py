@@ -8,14 +8,13 @@ step-4 evaluation modes (see DESIGN.md).
 import pytest
 from conftest import emit, format_rows
 
+from repro.api import open_pdp
 from repro.core import (
     MMER,
     MODE_LITERAL,
     MODE_STRICT,
     ContextName,
     DecisionRequest,
-    InMemoryRetainedADIStore,
-    MSoDEngine,
     MSoDPolicy,
     MSoDPolicySet,
     Role,
@@ -55,7 +54,7 @@ def teller_request(index=0):
 
 @pytest.mark.parametrize("n_policies", [1, 10, 50])
 def test_a1_throughput_vs_policy_count(benchmark, n_policies):
-    engine = MSoDEngine(wide_policy_set(n_policies), InMemoryRetainedADIStore())
+    engine = open_pdp(wide_policy_set(n_policies)).engine
     counter = [0]
 
     def decide():
@@ -68,9 +67,7 @@ def test_a1_throughput_vs_policy_count(benchmark, n_policies):
 
 @pytest.mark.parametrize("width", [2, 8, 32])
 def test_a1_throughput_vs_mmer_width(benchmark, width):
-    engine = MSoDEngine(
-        wide_policy_set(1, mmer_width=width), InMemoryRetainedADIStore()
-    )
+    engine = open_pdp(wide_policy_set(1, mmer_width=width)).engine
     counter = [0]
 
     def decide():
@@ -84,7 +81,7 @@ def test_a1_throughput_vs_mmer_width(benchmark, width):
 @pytest.mark.parametrize("mode", [MODE_STRICT, MODE_LITERAL])
 def test_a1_mode_ablation(benchmark, mode):
     """Strict closes the simultaneous-start hole at negligible cost."""
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore(), mode=mode)
+    engine = open_pdp(bank_policy_set(), mode=mode).engine
     requests = list(decision_request_stream(200, seed=21))
 
     def run_stream():
@@ -101,9 +98,7 @@ def test_a1_scaling_series(benchmark):
 
     rows = []
     for n_policies in (1, 10, 50):
-        engine = MSoDEngine(
-            wide_policy_set(n_policies), InMemoryRetainedADIStore()
-        )
+        engine = open_pdp(wide_policy_set(n_policies)).engine
         started = time.perf_counter()
         for index in range(500):
             engine.check(teller_request(index))
@@ -112,9 +107,7 @@ def test_a1_scaling_series(benchmark):
             ["policies", n_policies, f"{500 / elapsed:,.0f}"]
         )
     for width in (2, 8, 32):
-        engine = MSoDEngine(
-            wide_policy_set(1, mmer_width=width), InMemoryRetainedADIStore()
-        )
+        engine = open_pdp(wide_policy_set(1, mmer_width=width)).engine
         started = time.perf_counter()
         for index in range(500):
             engine.check(teller_request(index))
@@ -123,5 +116,5 @@ def test_a1_scaling_series(benchmark):
     table = format_rows(["swept parameter", "value", "decisions/s"], rows)
     emit("A1_algorithm_scaling", table)
 
-    engine = MSoDEngine(wide_policy_set(1), InMemoryRetainedADIStore())
+    engine = open_pdp(wide_policy_set(1)).engine
     benchmark(engine.check, teller_request(0))

@@ -10,12 +10,8 @@ decision cost of the bank policy on the MSoD engine.
 from conftest import emit, format_rows
 
 from repro.baselines import AnsiDsdChecker, AnsiSsdChecker, MSoDChecker
-from repro.core import (
-    ContextName,
-    DecisionRequest,
-    InMemoryRetainedADIStore,
-    MSoDEngine,
-)
+from repro.api import open_pdp
+from repro.core import ContextName, DecisionRequest
 from repro.rbac import DsdConstraint, SsdConstraint
 from repro.workload import (
     AUDITOR,
@@ -83,7 +79,7 @@ def test_example1_reproduction_table(benchmark):
 
 def test_example1_decision_latency(benchmark):
     """Single-decision cost on the bank policy with a warm retained ADI."""
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    engine = open_pdp(bank_policy_set()).engine
     for request in decision_request_stream(2_000, seed=7):
         engine.check(request)
 
@@ -108,7 +104,7 @@ def test_example1_decision_latency(benchmark):
 
 def test_example1_deny_path_latency(benchmark):
     """Denials are the cheap path: no store mutation is committed."""
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    engine = open_pdp(bank_policy_set()).engine
     ctx = ContextName.parse("Branch=B1, Period=P1")
     engine.check(
         DecisionRequest(

@@ -9,10 +9,9 @@ import itertools
 
 from conftest import emit, format_rows
 
+from repro.api import open_pdp
 from repro.core import (
     ContextName,
-    InMemoryRetainedADIStore,
-    MSoDEngine,
     Privilege,
     Role,
 )
@@ -39,7 +38,7 @@ def build_pep():
     access = RoleTargetAccessPolicy(
         {CLERK: [PREPARE, CONFIRM], MANAGER: [APPROVE, COMBINE]}
     )
-    engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+    engine = open_pdp(tax_refund_policy_set()).engine
     return PolicyEnforcementPoint(
         ReferenceRBACMSoDPDP(access, engine), SimulatedClock()
     )

@@ -8,11 +8,11 @@ grows, for both store backends, and confirms the deny path never writes.
 import pytest
 from conftest import emit, format_rows
 
+from repro.api import open_pdp
 from repro.core import (
     ContextName,
     DecisionRequest,
     InMemoryRetainedADIStore,
-    MSoDEngine,
     SQLiteRetainedADIStore,
     store_digest,
 )
@@ -26,7 +26,7 @@ _PROBE_COUNTER = [0]
 
 
 def engine_with_history(store, n_requests):
-    engine = MSoDEngine(bank_policy_set(), store)
+    engine = open_pdp(bank_policy_set(), store=store).engine
     for request in decision_request_stream(
         n_requests, n_users=max(50, n_requests // 10), seed=13
     ):

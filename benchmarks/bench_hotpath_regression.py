@@ -36,6 +36,7 @@ import time
 from collections import Counter
 from typing import Iterator
 
+from repro.api import open_pdp
 from repro.core import (
     MMEP,
     MMER,
@@ -366,13 +367,15 @@ def run_benchmark(
 
     perf = PerfRecorder()
     memory_store = InMemoryRetainedADIStore()
-    memory_engine = MSoDEngine(
-        build_policy_set(), memory_store, mode=mode, perf=perf
-    )
+    memory_engine = open_pdp(
+        build_policy_set(), store=memory_store, mode=mode, perf=perf
+    ).engine
     memory_s, memory_decisions = run_stream(memory_engine, requests)
 
     sqlite_store = SQLiteRetainedADIStore(":memory:")
-    sqlite_engine = MSoDEngine(build_policy_set(), sqlite_store, mode=mode)
+    sqlite_engine = open_pdp(
+        build_policy_set(), store=sqlite_store, mode=mode
+    ).engine
     sqlite_s, sqlite_decisions = run_stream(sqlite_engine, requests)
 
     # Semantics: all three backends must agree decision-for-decision,

@@ -21,9 +21,9 @@ from repro.audit import (
     decision_event_payload,
     recover_retained_adi,
 )
+from repro.api import open_pdp
 from repro.core import (
     InMemoryRetainedADIStore,
-    MSoDEngine,
     SQLiteRetainedADIStore,
     store_digest,
 )
@@ -36,12 +36,12 @@ KEY = b"bench-trail-key"
 def populate(tmp_path, n_events, sqlite_path=None):
     """Serve n requests, logging to trails and (optionally) SQLite."""
     audit = AuditTrailManager(str(tmp_path), KEY, max_records=5_000)
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    engine = open_pdp(bank_policy_set()).engine
     sqlite_engine = None
     if sqlite_path is not None:
-        sqlite_engine = MSoDEngine(
-            bank_policy_set(), SQLiteRetainedADIStore(sqlite_path)
-        )
+        sqlite_engine = open_pdp(
+            bank_policy_set(), store=SQLiteRetainedADIStore(sqlite_path)
+        ).engine
     for request in decision_request_stream(
         n_events, n_users=max(50, n_events // 20), seed=5
     ):

@@ -35,7 +35,7 @@ import time
 
 from bench_hotpath_regression import build_policy_set, request_stream
 
-from repro.api import open_server
+from repro.api import open_pdp, open_server
 from repro.client import PDPOverloadedError, RemotePDP
 from repro.core import MSoDEngine, SQLiteRetainedADIStore
 from repro.perf import PerfRecorder
@@ -152,7 +152,7 @@ def run_overload_probe(n_clients: int = 8, n_requests: int = 120) -> dict:
     per_client = len(requests) // n_clients
     store = SQLiteRetainedADIStore(":memory:")
     engine = _SlowEngine(
-        MSoDEngine(build_policy_set(), store), delay_s=0.005
+        open_pdp(build_policy_set(), store=store).engine, delay_s=0.005
     )
     service = AuthorizationService(
         engine, n_shards=1, queue_depth=2, batch_max=2, retry_after=0.01

@@ -55,6 +55,7 @@ __all__ = [
     "open_pdp",
     "open_server",
     "open_cluster",
+    "load_policy_source",
     "LocalPDP",
     "ServerHandle",
     "ClusterHandle",
@@ -70,14 +71,34 @@ StoreSpec = Union[str, RetainedADIStore]
 def _load_policy_set(policy: PolicySource) -> MSoDPolicySet:
     if isinstance(policy, MSoDPolicySet):
         return policy
+    if isinstance(policy, str) and policy.lstrip().startswith("<"):
+        from repro.xmlpolicy import parse_policy_set
+
+        return parse_policy_set(policy)
     if isinstance(policy, (str, os.PathLike)):
         from repro.xmlpolicy import parse_policy_set_file
 
         return parse_policy_set_file(os.fspath(policy))
     raise PolicyError(
-        "policy must be an MSoDPolicySet or a path to a policy XML file, "
-        f"got {type(policy).__name__}"
+        "policy must be an MSoDPolicySet, a path to a policy XML file, "
+        f"or a policy XML string, got {type(policy).__name__}"
     )
+
+
+def load_policy_source(policy: PolicySource) -> MSoDPolicySet:
+    """Resolve any accepted policy source to an :class:`MSoDPolicySet`.
+
+    The same union :func:`open_pdp` takes — an already-built set, a
+    path to an Appendix-A XML file, or the XML text itself (detected by
+    a leading ``<``).  ``reload_policy`` on every PDP handle funnels
+    through this, so hot reloads accept exactly the shapes construction
+    does.  ``None`` is rejected: a reload always needs a policy.
+    """
+    if policy is None:
+        raise PolicyError(
+            "policy source is required (an MSoDPolicySet, a path, or XML text)"
+        )
+    return _load_policy_set(policy)
 
 
 def _parse_store_spec(store: StoreSpec) -> tuple[str, object]:
@@ -170,6 +191,14 @@ class LocalPDP(PolicyDecisionPoint):
 
     def decide(self, request: DecisionRequest) -> Decision:
         return self._engine.check(request)
+
+    def policy_version(self):
+        """The :class:`PolicyVersion` this handle's decisions run under."""
+        return self._engine.policy_version()
+
+    def reload_policy(self, policy: PolicySource):
+        """Atomically swap the engine's policy set; see ``swap_policy``."""
+        return self._engine.swap_policy(load_policy_source(policy))
 
     def notify_context_terminated(self, context: ContextName) -> int:
         """Forward an implied context termination to the engine."""
@@ -296,6 +325,19 @@ class ServerHandle:
 
         return RemotePDP(self.host, self.port, **kwargs)
 
+    def policy_version(self):
+        """The :class:`PolicyVersion` the server decides under."""
+        return self.engine.policy_version()
+
+    def reload_policy(self, policy: PolicySource):
+        """Hot-swap the server's policy set without dropping connections.
+
+        Scheduled on the server's event loop (between shard
+        micro-batches), so no in-flight decision mixes two versions.
+        Accepts the same source union as :func:`open_server`.
+        """
+        return self._thread.reload_policy(load_policy_source(policy))
+
     def close(self) -> None:
         """Drain, stop the server thread and release owned resources."""
         if self._closed:
@@ -403,6 +445,20 @@ class ClusterHandle:
     def kill_primary(self, shard_name: str) -> str:
         """Fault injection: crash one shard's primary (no drain)."""
         return self._cluster.kill_primary(shard_name)
+
+    def policy_version(self):
+        """The cluster-wide :class:`PolicyVersion` (coordinator's view)."""
+        return self._cluster.policy_version()
+
+    def reload_policy(self, policy: PolicySource):
+        """Roll a new policy set across every node, standby first.
+
+        The coordinator swaps each shard's standby before its primary
+        and bumps the route version afterwards, so a failover during
+        the rollout still lands on a node already running the new set.
+        Accepts the same source union as :func:`open_cluster`.
+        """
+        return self._cluster.reload_policy(load_policy_source(policy))
 
     def status(self) -> dict:
         return self._cluster.status()

@@ -26,7 +26,7 @@ written by a deposed primary after its fencing epoch, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import MutableMapping
+from typing import Callable, MutableMapping, Optional
 
 from repro.core.context import ContextName
 from repro.core.decision import Decision, Effect
@@ -57,6 +57,11 @@ def decision_event_payload(decision: Decision) -> dict:
         "matched_policies": list(decision.matched_policy_ids),
         "adi_adds": [record.to_dict() for record in decision.adi_adds],
         "adi_purges": [str(context) for context in decision.adi_purged_contexts],
+        # Which policy regime produced this decision.  Distinct from the
+        # cluster fencing "epoch" the audit sink stamps: that versions
+        # the *primary lineage*, this versions the *policy set*.
+        "policy_epoch": decision.policy_epoch,
+        "policy_digest": decision.policy_digest,
     }
 
 
@@ -142,6 +147,9 @@ def recover_retained_adi(
     journal: MutableMapping[str, dict] | None = None,
     min_epoch: int = 0,
     max_events: int | None = None,
+    policy_resolver: Optional[
+        Callable[[int], MSoDPolicySet | None]
+    ] = None,
 ) -> RecoveryReport:
     """Rebuild a retained-ADI store by replaying granted decisions.
 
@@ -166,6 +174,17 @@ def recover_retained_adi(
         Stop after scanning this many events (a sealed shard lineage's
         cutoff: anything a deposed primary appended beyond the seal is
         outside the authoritative history).
+    policy_resolver:
+        Optional ``policy_epoch -> MSoDPolicySet | None`` (see
+        :meth:`~repro.core.engine.MSoDEngine.policy_set_for_epoch`).
+        When the trail spans a hot reload, each decision event carries
+        the ``policy_epoch`` it was made under; resolving it replays
+        the event's ADI adds under the policy that *produced* them, so
+        records granted before the reload survive recovery even when
+        the current set no longer matches their context.  Unresolvable
+        epochs (history evicted, pre-epoch trails) fall back to the
+        current ``policy_set``, which is the paper's original
+        "according to its current set of MSoD policies" behaviour.
     """
     events_scanned = 0
     replayed = 0
@@ -194,9 +213,20 @@ def recover_retained_adi(
                 store.purge_context(context)
                 preexisting.purge(context)
                 purges += 1
+            effective_set = policy_set
+            if policy_resolver is not None:
+                event_policy_epoch = payload.get("policy_epoch")
+                if (
+                    isinstance(event_policy_epoch, int)
+                    and not isinstance(event_policy_epoch, bool)
+                    and event_policy_epoch > 0
+                ):
+                    resolved = policy_resolver(event_policy_epoch)
+                    if resolved is not None:
+                        effective_set = resolved
             for record_dict in payload.get("adi_adds", ()):
                 record = RetainedADIRecord.from_dict(record_dict)
-                if not policy_set.is_relevant(record.context_instance):
+                if not effective_set.is_relevant(record.context_instance):
                     skipped += 1
                 elif preexisting.consume(record):
                     skipped += 1

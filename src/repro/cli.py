@@ -245,6 +245,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _remote_address(metrics_cmd)
 
+    policy_cmd = commands.add_parser(
+        "policy",
+        help="live policy management against a running `serve` instance",
+    )
+    policy_cmds = policy_cmd.add_subparsers(
+        dest="policy_command", required=True
+    )
+    pstatus = policy_cmds.add_parser(
+        "status",
+        help="print the server's active policy version and reload count",
+    )
+    _remote_address(pstatus)
+    preload = policy_cmds.add_parser(
+        "reload",
+        help="hot-swap the server's policy set from an XML file, zero "
+        "downtime (reloading an identical set is a detected no-op)",
+    )
+    preload.add_argument("policy", help="path to the new policy XML file")
+    _remote_address(preload)
+
     cluster = commands.add_parser(
         "cluster",
         help="multi-node MSoD cluster: serve, nodes, status, smoke test",
@@ -331,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(per-node up/primary/epoch gauges)",
     )
     _coordinator_address(cmetrics)
+
+    creload = cluster_cmds.add_parser(
+        "reload",
+        help="roll a new policy XML across every cluster node, standby "
+        "first, via the coordinator",
+    )
+    creload.add_argument("policy", help="path to the new policy XML file")
+    _coordinator_address(creload)
 
     cdecide = cluster_cmds.add_parser(
         "decide",
@@ -713,6 +741,39 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policy_status(args: argparse.Namespace) -> int:
+    """Print a running server's policy version/reload snapshot as JSON."""
+    from repro.client import RemotePDP
+
+    with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+        body = pdp.policy_status()
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_policy_reload(args: argparse.Namespace) -> int:
+    """Hot-swap a running server's policy set from an XML file."""
+    from repro.client import RemotePDP
+
+    with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+        report = pdp.reload_policy(args.policy)
+    for finding in report.findings:
+        print(f"note: {finding}")
+    if report.changed:
+        print(f"reloaded: {report.previous} -> {report.version}")
+    else:
+        print(f"no-op: digest unchanged, still {report.version}")
+    return 0
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    handlers = {
+        "status": cmd_policy_status,
+        "reload": cmd_policy_reload,
+    }
+    return handlers[args.policy_command](args)
+
+
 def _wait_for_signal() -> None:
     """Block the main thread until SIGINT/SIGTERM."""
     import threading
@@ -834,6 +895,14 @@ def cmd_cluster_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_reload(args: argparse.Namespace) -> int:
+    """Roll a new policy XML across every cluster node via the coordinator."""
+    with _cluster_client(args) as pdp:
+        body = pdp.reload_policy(args.policy)
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_cluster_decide(args: argparse.Namespace) -> int:
     """One decision through the routing, failover-surviving client."""
     import uuid
@@ -858,21 +927,26 @@ def cmd_cluster_decide(args: argparse.Namespace) -> int:
 
 
 def cmd_cluster_smoke(args: argparse.Namespace) -> int:
-    """The CI cluster smoke: workload + mid-stream primary kill.
+    """The CI cluster smoke: workload + mid-stream reload + primary kill.
 
     Boots an N-shard cluster, streams a hot-user + distinct-user
-    workload through the routing client, kills the hot user's shard
-    primary halfway, and asserts: the standby is promoted, every
-    decision matches a single-node oracle bit for bit, each shard's
-    retained ADI equals the oracle engine fed that shard's substream,
-    the MMER exclusivity invariant holds, and the per-node gauges
-    scrape.
+    workload through the routing client, hot-reloads an extended policy
+    set a quarter of the way in, kills the hot user's shard primary
+    halfway, and asserts: the standby is promoted, every decision
+    matches a single-node oracle bit for bit, each shard's retained ADI
+    equals the oracle engine fed that shard's substream, the MMER
+    exclusivity invariant holds, every node runs the reloaded policy
+    epoch, every audited decision carries its policy epoch, and the
+    per-node gauges scrape.
     """
     import itertools
     import tempfile
 
     from repro.api import open_cluster
+    from repro.audit import EVENT_DECISION, AuditTrailManager
     from repro.core import InMemoryRetainedADIStore
+    from repro.core.constraints import MMER
+    from repro.core.policy import MSoDPolicy, MSoDPolicySet
     from repro.workload import (
         AUDITOR,
         TELLER,
@@ -882,6 +956,22 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
     )
 
     policy_set = bank_policy_set()
+    # The mid-stream reload target: the bank policy plus one extra
+    # policy over a *disjoint* context (Region/Quarter, never touched
+    # by the bank workload), so the reload changes the digest and
+    # epoch everywhere without changing any decision — which keeps the
+    # per-shard single-node oracles below valid as-is.
+    extended_set = MSoDPolicySet(
+        list(policy_set)
+        + [
+            MSoDPolicy(
+                ContextName.parse("Region=*, Quarter=!"),
+                mmers=[MMER([TELLER, AUDITOR], 2)],
+                policy_id="regional",
+            )
+        ]
+    )
+    quarter = args.requests // 4
     half = args.requests // 2
     requests = list(
         itertools.chain(
@@ -910,6 +1000,11 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
             with handle.client(failover_wait=30.0) as pdp:
                 effects = []
                 for index, request in enumerate(requests):
+                    if index == quarter:
+                        reload_body = pdp.reload_policy(extended_set)
+                        report["policy_reload_changed"] = reload_body[
+                            "changed"
+                        ]
                     if index == half:
                         report["killed"] = handle.kill_primary(hot_shard)
                     effects.append(pdp.decide(request).effect)
@@ -920,16 +1015,56 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
             report["epoch"] = status["shards"][hot_shard]["epoch"]
             if report["failovers"] < 1:
                 failures.append("no failover happened")
+            if not report.get("policy_reload_changed"):
+                failures.append("mid-stream policy reload did not apply")
+            stale = [
+                node["name"]
+                for shard in status["shards"].values()
+                for node in shard["nodes"]
+                if node["policy_epoch"] != 2
+            ]
+            if stale:
+                failures.append(
+                    "node(s) not on the reloaded policy epoch: "
+                    + ", ".join(sorted(stale))
+                )
             for family in (
                 "repro_cluster_node_up",
                 "repro_cluster_node_primary",
                 "repro_cluster_node_epoch",
                 "repro_cluster_failovers_total",
+                "repro_policy_epoch",
+                "repro_policy_reloads_total",
             ):
                 if family not in metrics_text:
                     failures.append(f"metrics family {family} missing")
             if "repro_shard_queue_depth" not in node_metrics:
                 failures.append("per-node shard gauges missing")
+
+            # Every audited decision event must say which policy epoch
+            # produced it — that is what makes recovery and standby
+            # replay policy-aware across the reload.
+            unstamped = 0
+            audited = 0
+            for shard_name in handle.shard_names:
+                state = cluster.shard(shard_name)
+                for node in (state.primary, state.standby):
+                    events = AuditTrailManager(
+                        node.trail_dir,
+                        b"cluster-trail-key",
+                        tolerate_ahead=True,
+                    ).events()
+                    for event in events:
+                        if event.event_type != EVENT_DECISION:
+                            continue
+                        audited += 1
+                        if "policy_epoch" not in (event.payload or {}):
+                            unstamped += 1
+            report["audited_decisions"] = audited
+            if unstamped:
+                failures.append(
+                    f"{unstamped} audited decision(s) missing policy_epoch"
+                )
 
             # Per-shard single-node oracles: one fresh engine per shard,
             # fed exactly the substream the ring sends that shard.  (A
@@ -1024,6 +1159,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         "status": cmd_cluster_status,
         "route": cmd_cluster_route,
         "metrics": cmd_cluster_metrics,
+        "reload": cmd_cluster_reload,
         "decide": cmd_cluster_decide,
         "smoke": cmd_cluster_smoke,
     }
@@ -1048,6 +1184,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "remote-decide": cmd_remote_decide,
         "remote-status": cmd_remote_status,
         "metrics": cmd_metrics,
+        "policy": cmd_policy,
         "cluster": cmd_cluster,
     }
     try:

@@ -32,12 +32,14 @@ import threading
 import time
 
 from repro.core.decision import Decision, DecisionRequest
+from repro.core.policy_epoch import PolicySwapReport, PolicyVersion
 from repro.errors import (
     PDPConnectError,
     PDPFencedError,
     PDPNotPrimaryError,
     PDPOverloadedError,
     PDPUnavailableError,
+    PolicyError,
     ProtocolError,
 )
 from repro.framework.pdp import PolicyDecisionPoint
@@ -77,7 +79,40 @@ def _check_response(frame: dict, frame_id: str) -> dict:
         raise PDPFencedError(f"remote PDP fenced the request: {detail}")
     if kind == protocol.ERR_NOT_PRIMARY:
         raise PDPNotPrimaryError(f"remote PDP is not primary: {detail}")
+    if kind == protocol.ERR_POLICY:
+        # A rejected policy-reload: caller error, never retried (and the
+        # server's active policy is untouched).
+        raise PolicyError(f"remote PDP rejected the policy: {detail}")
     raise PDPUnavailableError(f"remote PDP error ({kind}): {detail}")
+
+
+def _policy_source_to_xml(policy) -> str:
+    """Normalise a ``PolicySource`` to canonical wire XML.
+
+    Accepts the same union as :func:`repro.api.open_pdp` (an
+    :class:`MSoDPolicySet`, a path, or an XML string) and parses/
+    validates it *locally* first, so a malformed source fails on the
+    client without a round trip.
+    """
+    from repro.api import load_policy_source
+    from repro.xmlpolicy import write_policy_set
+
+    return write_policy_set(load_policy_source(policy), pretty=False)
+
+
+def _version_from_status_body(body) -> PolicyVersion:
+    version = body.get("version") if isinstance(body, dict) else None
+    try:
+        return PolicyVersion.from_dict(version if isinstance(version, dict) else {})
+    except PolicyError as exc:
+        raise ProtocolError(f"invalid policy-status body: {exc}") from exc
+
+
+def _report_from_reload_body(body) -> PolicySwapReport:
+    try:
+        return PolicySwapReport.from_dict(body if isinstance(body, dict) else {})
+    except PolicyError as exc:
+        raise ProtocolError(f"invalid policy-reload body: {exc}") from exc
 
 
 class _Backoff:
@@ -364,6 +399,36 @@ class RemotePDP(PolicyDecisionPoint):
         """The server's slowest-decision traces (requires server tracing)."""
         return self._call(protocol.OP_SLOWLOG, retriable=True).get("body", {})
 
+    # -- policy management ---------------------------------------------
+    def policy_status(self) -> dict:
+        """The ``policy-status`` body: active version + reload count."""
+        return self._call(protocol.OP_POLICY_STATUS, retriable=True).get(
+            "body", {}
+        )
+
+    def policy_version(self) -> PolicyVersion:
+        """The policy version the server currently decides under."""
+        return _version_from_status_body(self.policy_status())
+
+    def reload_policy(self, policy) -> PolicySwapReport:
+        """Atomically swap the server's policy set (zero downtime).
+
+        Same ``PolicySource`` union and semantics as
+        :meth:`repro.api.LocalPDP.reload_policy`: the source is parsed
+        and validated locally, shipped as canonical XML, and swapped in
+        by the server between micro-batches.  Safe to retry — reloading
+        an identical set is a digest no-op on the server — and a
+        server-side rejection raises
+        :class:`~repro.errors.PolicyError`, leaving the active policy
+        untouched.
+        """
+        body = self._call(
+            protocol.OP_POLICY_RELOAD,
+            retriable=True,
+            policy_xml=_policy_source_to_xml(policy),
+        ).get("body")
+        return _report_from_reload_body(body)
+
 
 # ---------------------------------------------------------------------------
 # Asyncio client
@@ -567,3 +632,25 @@ class AsyncRemotePDP:
         return (await self._call(protocol.OP_SLOWLOG, retriable=True)).get(
             "body", {}
         )
+
+    # -- policy management ---------------------------------------------
+    async def policy_status(self) -> dict:
+        """The ``policy-status`` body (coroutine)."""
+        return (
+            await self._call(protocol.OP_POLICY_STATUS, retriable=True)
+        ).get("body", {})
+
+    async def policy_version(self) -> PolicyVersion:
+        """The policy version the server currently decides under."""
+        return _version_from_status_body(await self.policy_status())
+
+    async def reload_policy(self, policy) -> PolicySwapReport:
+        """Atomically swap the server's policy set (coroutine)."""
+        body = (
+            await self._call(
+                protocol.OP_POLICY_RELOAD,
+                retriable=True,
+                policy_xml=_policy_source_to_xml(policy),
+            )
+        ).get("body")
+        return _report_from_reload_body(body)

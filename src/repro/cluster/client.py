@@ -175,6 +175,49 @@ class ClusterPDP(PolicyDecisionPoint):
         client = self._coordinator_client()
         return client.metrics_text()
 
+    # -- policy management --------------------------------------------
+    def policy_status(self) -> dict:
+        """The coordinator's cluster-wide policy status body."""
+        client = self._coordinator_client()
+        body = client._call(protocol.OP_POLICY_STATUS, retriable=True).get(
+            "body"
+        )
+        if not isinstance(body, dict):
+            raise ClusterError(
+                "coordinator returned a malformed policy status"
+            )
+        return body
+
+    def policy_version(self):
+        """The cluster-wide :class:`PolicyVersion` the coordinator reports."""
+        from repro.client.remote import _version_from_status_body
+
+        return _version_from_status_body(self.policy_status())
+
+    def reload_policy(self, policy) -> dict:
+        """Roll a new policy set across the whole cluster, standby first.
+
+        ``policy`` is the usual source union (set, path, or XML text).
+        Returns the coordinator's rollout body — ``changed``, the
+        resulting ``version`` and each node's swap report — rather than
+        a single :class:`PolicySwapReport`, because a cluster rollout
+        is N swaps.  Safe to retry: a repeated rollout of the same set
+        is a digest no-op on every node.
+        """
+        from repro.client.remote import _policy_source_to_xml
+
+        client = self._coordinator_client()
+        body = client._call(
+            protocol.OP_POLICY_RELOAD,
+            retriable=True,
+            policy_xml=_policy_source_to_xml(policy),
+        ).get("body")
+        if not isinstance(body, dict):
+            raise ClusterError(
+                "coordinator returned a malformed reload report"
+            )
+        return body
+
     def _target_for(self, user_id: str) -> tuple[tuple[str, int], int, str]:
         route = self.route()
         with self._lock:

@@ -57,7 +57,12 @@ from repro.core.retained_adi import (
     InMemoryRetainedADIStore,
     SQLiteRetainedADIStore,
 )
-from repro.errors import ClusterError, PDPUnavailableError, ProtocolError
+from repro.errors import (
+    ClusterError,
+    PDPUnavailableError,
+    PolicyError,
+    ProtocolError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
@@ -173,6 +178,7 @@ class LocalCluster:
         self._coordinator_port = 0
         self._dead: set[str] = set()
         self._loop_errors = {"health": 0, "catchup": 0}
+        self._policy_reloads = 0
 
     # ------------------------------------------------------------------
     @property
@@ -283,6 +289,80 @@ class LocalCluster:
         return new_epoch
 
     # ------------------------------------------------------------------
+    def policy_version(self):
+        """The cluster-wide :class:`PolicyVersion` (first primary's view).
+
+        :meth:`reload_policy` rolls every live node together, so the
+        primaries agree outside a rollout window; per-node versions are
+        in :meth:`policy_status`, where a partially failed rollout
+        would show up as divergent epochs.
+        """
+        first = next(iter(self._shards.values()))
+        return first.primary.policy_version()
+
+    def policy_status(self) -> dict:
+        """The ``policy-status`` body: cluster and per-node versions."""
+        return {
+            "version": self.policy_version().to_dict(),
+            "reloads": self._policy_reloads,
+            "nodes": {
+                node.name: node.policy_version().to_dict()
+                for node in self.nodes()
+            },
+        }
+
+    def reload_policy(self, policy_set: MSoDPolicySet) -> dict:
+        """Roll a new policy set across every live node, standby first.
+
+        The set is validated once up front (analyzer errors raise
+        :class:`PolicyError` before any node is touched, so a rejected
+        set never partially rolls out).  Each shard then swaps under
+        its own ``state.lock`` — serialising the rollout with that
+        shard's catch-up ticks and any concurrent failover — with the
+        **standby first**: if the primary dies mid-rollout, the node
+        being promoted already runs the new set, so failover during a
+        reload can neither drop the new policy nor resurrect the old
+        one.  The route version bumps after all shards swap, nudging
+        clients to re-fetch (decides in flight stay valid: fencing
+        epochs are untouched).
+        """
+        from repro.permis.analyzer import (
+            SEVERITY_ERROR,
+            analyze_msod_policy_set,
+        )
+
+        errors = [
+            finding
+            for finding in analyze_msod_policy_set(policy_set)
+            if finding.severity == SEVERITY_ERROR
+        ]
+        if errors:
+            raise PolicyError(
+                "policy reload rejected: "
+                + "; ".join(str(finding) for finding in errors)
+            )
+        reports: dict[str, dict] = {}
+        changed = False
+        for state in self._shards.values():
+            with state.lock:
+                for node in (state.standby, state.primary):
+                    if node.name in self._dead:
+                        continue
+                    report = node.reload_policy(policy_set)
+                    reports[node.name] = report.to_dict()
+                    changed = changed or report.changed
+        if changed:
+            self._policy_reloads += 1
+            with self._route_lock:
+                self._route_version += 1
+        return {
+            "changed": changed,
+            "version": self.policy_version().to_dict(),
+            "reloads": self._policy_reloads,
+            "nodes": reports,
+        }
+
+    # ------------------------------------------------------------------
     def route(self) -> dict:
         """The routing table clients consume (see ``ClusterPDP``)."""
         with self._route_lock:
@@ -314,6 +394,7 @@ class LocalCluster:
                         "epoch": node.epoch,
                         "up": node.name not in self._dead,
                         "journal_size": node.journal_size,
+                        "policy_epoch": node.policy_version().epoch,
                     }
                     for node in (state.primary, state.standby)
                 ],
@@ -323,6 +404,7 @@ class LocalCluster:
         return {
             "route_version": version,
             "loop_errors": dict(self._loop_errors),
+            "policy_reloads": self._policy_reloads,
             "shards": shards,
         }
 
@@ -368,6 +450,18 @@ class LocalCluster:
             "cluster_node_journal_size",
             "Decision outcomes held for exactly-once retry dedupe.",
             lambda: per_node(lambda node: float(node.journal_size)),
+        )
+        registry.register_gauge(
+            "policy_epoch",
+            "Epoch of the policy set each node decides under.",
+            lambda: per_node(
+                lambda node: float(node.policy_version().epoch)
+            ),
+        )
+        registry.register_counter(
+            "policy_reloads_total",
+            "Cluster-wide policy rollouts that changed the active set.",
+            lambda: float(self._policy_reloads),
         )
         registry.register_counter(
             "cluster_coordinator_loop_errors_total",
@@ -587,6 +681,11 @@ class LocalCluster:
                     if fmt == protocol.METRICS_FORMAT_PROMETHEUS
                     else self.status()
                 )
+            elif op == protocol.OP_POLICY_STATUS:
+                body = self.policy_status()
+            elif op == protocol.OP_POLICY_RELOAD:
+                await self._handle_policy_reload(writer, frame_id, frame)
+                return True
             else:
                 raise ProtocolError(
                     f"unknown coordinator operation {op!r}"
@@ -602,6 +701,39 @@ class LocalCluster:
         except (ConnectionResetError, BrokenPipeError):
             return False
         return True
+
+    async def _handle_policy_reload(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+    ) -> None:
+        """Parse, validate and roll a policy set across the cluster.
+
+        The rollout takes shard locks and blocks on every node's
+        serving loop, so it runs in the executor — route, status and
+        health frames keep being answered while it proceeds.  A
+        rejected set answers ``error.kind == "policy"`` and leaves
+        every node untouched.
+        """
+        from repro.xmlpolicy import parse_policy_set
+
+        xml = protocol.policy_xml_of(frame)
+        loop = asyncio.get_running_loop()
+        try:
+            policy_set = parse_policy_set(xml)
+            body = await loop.run_in_executor(
+                None, self.reload_policy, policy_set
+            )
+        except PolicyError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(frame_id, protocol.ERR_POLICY, str(exc)),
+            )
+            return
+        await self._send(
+            writer,
+            protocol.response_frame(
+                frame_id, protocol.OP_POLICY_RELOAD, "body", body
+            ),
+        )
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, frame: dict) -> None:

@@ -101,7 +101,7 @@ def _decision_wire_from_payload(payload: dict) -> dict:
     evaluation happens.
     """
     adds = list(payload.get("adi_adds", ()))
-    return {
+    wire = {
         "effect": payload["effect"],
         "request": dict(payload["request"]),
         "violation": None,
@@ -112,6 +112,13 @@ def _decision_wire_from_payload(payload: dict) -> dict:
         "adi_adds": adds,
         "adi_purged_contexts": list(payload.get("adi_purges", ())),
     }
+    # A journaled outcome keeps the policy version it was decided
+    # under; the retry must see that version, not whatever is active
+    # now (the whole point of dedupe is "no second evaluation").
+    if payload.get("policy_epoch"):
+        wire["policy_epoch"] = payload["policy_epoch"]
+        wire["policy_digest"] = payload.get("policy_digest", "")
+    return wire
 
 
 class ClusterNode:
@@ -214,8 +221,27 @@ class ClusterNode:
         return self._service
 
     @property
+    def engine(self) -> MSoDEngine:
+        return self._engine
+
+    @property
     def journal_size(self) -> int:
         return len(self._journal)
+
+    # ------------------------------------------------------------------
+    def policy_version(self):
+        """The :class:`PolicyVersion` this node decides under."""
+        return self._engine.policy_version()
+
+    def reload_policy(self, policy_set: MSoDPolicySet):
+        """Swap this node's policy set on its own serving loop.
+
+        Routed through :meth:`ServerThread.reload_policy` so the swap
+        serialises with the node's shard micro-batches exactly like a
+        wire-level reload would.  Returns the
+        :class:`~repro.core.policy_epoch.PolicySwapReport`.
+        """
+        return self._thread.reload_policy(policy_set)
 
     # ------------------------------------------------------------------
     def start(self) -> "ClusterNode":
@@ -272,13 +298,19 @@ class ClusterNode:
         source = AuditTrailManager(
             source_trail_dir, self._audit_key, tolerate_ahead=True
         )
+        # Replay against the engine's *active* set (which a hot reload
+        # may have advanced past the constructor's), resolving each
+        # event's recorded policy_epoch through the engine's epoch log
+        # so grants made before a reload replicate under the policy
+        # that produced them.
         return recover_retained_adi(
             source,
-            self._policy_set,
+            self._engine.policy_set,
             self._store,
             journal=self._journal,
             min_epoch=min_epoch,
             max_events=max_events,
+            policy_resolver=self._engine.policy_set_for_epoch,
         )
 
     # ------------------------------------------------------------------
@@ -305,12 +337,15 @@ class ClusterNode:
     def _health_extra(self) -> dict:
         with self._lock:
             role, epoch = self._role, self._epoch
+        version = self._engine.policy_version()
         return {
             "cluster": {
                 "node": self.name,
                 "shard": self.shard,
                 "role": role,
                 "epoch": epoch,
+                "policy_epoch": version.epoch,
+                "policy_digest": version.digest,
             }
         }
 

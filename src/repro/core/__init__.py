@@ -44,6 +44,13 @@ from repro.core.decision import (
 from repro.core.engine import MODE_LITERAL, MODE_STRICT, MSoDEngine
 from repro.core.explain import Explanation, TraceLine, explain
 from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
+from repro.core.policy_epoch import (
+    INITIAL_EPOCH,
+    PolicyEpochLog,
+    PolicySwapReport,
+    PolicyVersion,
+    policy_set_digest,
+)
 from repro.core.retained_adi import (
     ADIMutation,
     ADIViewSnapshot,
@@ -68,6 +75,11 @@ __all__ = [
     "MSoDPolicy",
     "MSoDPolicySet",
     "Step",
+    "INITIAL_EPOCH",
+    "PolicyEpochLog",
+    "PolicySwapReport",
+    "PolicyVersion",
+    "policy_set_digest",
     "RetainedADIRecord",
     "RetainedADIStore",
     "InMemoryRetainedADIStore",

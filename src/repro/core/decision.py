@@ -89,6 +89,14 @@ class Decision:
     mutation the grant committed, so the PERMIS PDP can log it to the
     secure audit trail and recovery can replay it (Section 5.2).
 
+    ``policy_epoch`` and ``policy_digest`` identify the policy version
+    (see :mod:`repro.core.policy_epoch`) the decision was evaluated
+    under.  A decision is evaluated wholly under one version — the
+    engine reads its active version once per request — so recovery and
+    standby replay can re-apply it under the policy that produced it.
+    The defaults (``0`` / ``""``) only appear on decisions deserialised
+    from pre-epoch payloads.
+
     ``trace`` is the optional observability annotation: a
     :class:`~repro.obs.trace.DecisionTrace` attached by an enabled
     :class:`~repro.obs.trace.DecisionTracer`.  It is metadata about
@@ -106,6 +114,8 @@ class Decision:
     reason: str = ""
     adi_adds: tuple[RetainedADIRecord, ...] = ()
     adi_purged_contexts: tuple[ContextName, ...] = ()
+    policy_epoch: int = 0
+    policy_digest: str = ""
     trace: DecisionTrace | None = field(default=None, compare=False)
 
     @property

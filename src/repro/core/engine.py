@@ -26,6 +26,7 @@ Two evaluation modes are provided:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.core.constraints import MMEP, MMER, count_history_matches
@@ -37,6 +38,13 @@ from repro.core.decision import (
     MSoDViolation,
 )
 from repro.core.policy import MSoDPolicy, MSoDPolicySet
+from repro.core.policy_epoch import (
+    INITIAL_EPOCH,
+    PolicyEpochLog,
+    PolicySwapReport,
+    PolicyVersion,
+    policy_set_digest,
+)
 from repro.core.retained_adi import (
     ADIMutation,
     ADIViewSnapshot,
@@ -65,7 +73,18 @@ class MSoDEngine:
     ) -> None:
         if mode not in (MODE_STRICT, MODE_LITERAL):
             raise PolicyError(f"unknown engine mode {mode!r}")
-        self._policy_set = policy_set
+        digest = policy_set_digest(policy_set)
+        # The active policy version is one tuple, read exactly once at
+        # the top of check(): a decision therefore evaluates wholly
+        # under one version even while swap_policy runs concurrently.
+        self._active: tuple[MSoDPolicySet, int, str] = (
+            policy_set,
+            INITIAL_EPOCH,
+            digest,
+        )
+        self._epoch_log = PolicyEpochLog()
+        self._epoch_log.record(INITIAL_EPOCH, policy_set, digest)
+        self._swap_lock = threading.Lock()
         self._store = store
         self._mode = mode
         self._perf = perf if perf is not None else NOOP
@@ -74,7 +93,30 @@ class MSoDEngine:
     # ------------------------------------------------------------------
     @property
     def policy_set(self) -> MSoDPolicySet:
-        return self._policy_set
+        return self._active[0]
+
+    @property
+    def policy_epoch(self) -> int:
+        """The monotonically increasing epoch of the active policy set."""
+        return self._active[1]
+
+    @property
+    def policy_digest(self) -> str:
+        """Content digest of the active policy set."""
+        return self._active[2]
+
+    def policy_version(self) -> PolicyVersion:
+        """The active policy version as one consistent snapshot."""
+        policy_set, epoch, digest = self._active
+        return PolicyVersion(epoch=epoch, digest=digest, policies=len(policy_set))
+
+    def policy_set_for_epoch(self, epoch: int) -> MSoDPolicySet | None:
+        """The policy set enforced at ``epoch``, if still remembered."""
+        return self._epoch_log.resolve(epoch)
+
+    @property
+    def epoch_log(self) -> PolicyEpochLog:
+        return self._epoch_log
 
     @property
     def store(self) -> RetainedADIStore:
@@ -92,9 +134,70 @@ class MSoDEngine:
     def tracer(self) -> DecisionTracer:
         return self._tracer
 
+    def swap_policy(
+        self, policy_set: MSoDPolicySet, *, force: bool = False
+    ) -> PolicySwapReport:
+        """Atomically replace the active policy set (zero downtime).
+
+        The new set is linted through the policy analyzer (errors raise
+        :class:`~repro.errors.PolicyError`; warnings/infos are returned
+        in the report).  A set whose content digest equals the active
+        one is a **no-op**: the epoch does not advance and compiled
+        indexes/memos stay warm — reloading the same file is idempotent.
+        ``force=True`` advances the epoch even for an identical digest.
+
+        A real swap invalidates the store's per-(user, effective-context)
+        memos under the store's transaction discipline and installs the
+        new ``(set, epoch, digest)`` tuple in one assignment, so no
+        decision ever mixes two policy versions: requests already past
+        the top of :meth:`check` finish under the old version, later
+        requests see the new one.
+        """
+        from repro.permis.analyzer import SEVERITY_ERROR, analyze_msod_policy_set
+
+        findings = analyze_msod_policy_set(policy_set)
+        errors = [f for f in findings if f.severity == SEVERITY_ERROR]
+        if errors:
+            raise PolicyError(
+                "policy swap rejected: " + "; ".join(str(f) for f in errors)
+            )
+        rendered = tuple(str(f) for f in findings)
+        new_digest = policy_set_digest(policy_set)
+        with self._swap_lock:
+            _, epoch, digest = self._active
+            previous = self.policy_version()
+            if new_digest == digest and not force:
+                self._perf.incr("engine.policy_reload_noops")
+                return PolicySwapReport(
+                    version=previous,
+                    previous=previous,
+                    changed=False,
+                    findings=rendered,
+                )
+            new_epoch = epoch + 1
+            with self._store.batch():
+                self._store.invalidate_policy_memos()
+                self._active = (policy_set, new_epoch, new_digest)
+            self._epoch_log.record(new_epoch, policy_set, new_digest)
+            self._perf.incr("engine.policy_reloads")
+            return PolicySwapReport(
+                version=PolicyVersion(
+                    epoch=new_epoch,
+                    digest=new_digest,
+                    policies=len(policy_set),
+                ),
+                previous=previous,
+                changed=True,
+                findings=rendered,
+            )
+
     def replace_policy_set(self, policy_set: MSoDPolicySet) -> None:
-        """Swap in a new policy set (PDP re-initialisation)."""
-        self._policy_set = policy_set
+        """Swap in a new policy set (PDP re-initialisation).
+
+        Deprecated alias for :meth:`swap_policy` with ``force=True``
+        (always advances the epoch, even for an identical digest).
+        """
+        self.swap_policy(policy_set, force=True)
 
     # ------------------------------------------------------------------
     def check(self, request: DecisionRequest) -> Decision:
@@ -107,10 +210,14 @@ class MSoDEngine:
         started = perf.start() if timing else 0.0
         match_started = tracer.start() if tracing else 0.0
         perf.incr("engine.requests")
+        # One atomic read of the active policy version: the whole
+        # decision evaluates under this set/epoch even if swap_policy
+        # installs a new one mid-request.
+        policy_set, policy_epoch, policy_digest = self._active
 
         # Step 1: match the input business-context instance against the
         # business contexts in the MSoD set of policies.
-        matched_policies = self._policy_set.matching(request.context_instance)
+        matched_policies = policy_set.matching(request.context_instance)
         if timing:
             perf.stop("engine.policy_match", started)
         if tracing:
@@ -124,6 +231,8 @@ class MSoDEngine:
                 effect=Effect.GRANT,
                 request=request,
                 reason="no MSoD policy matches the business context",
+                policy_epoch=policy_epoch,
+                policy_digest=policy_digest,
             )
             return tracer.finish(token, decision) if tracing else decision
         perf.incr("engine.policies_matched", len(matched_policies))
@@ -154,6 +263,8 @@ class MSoDEngine:
                     violation=violation,
                     matched_policy_ids=matched_ids,
                     reason=violation.detail,
+                    policy_epoch=policy_epoch,
+                    policy_digest=policy_digest,
                 )
                 return tracer.finish(token, decision) if tracing else decision
         if timing:
@@ -181,6 +292,8 @@ class MSoDEngine:
             reason="granted under MSoD",
             adi_adds=tuple(mutation.adds),
             adi_purged_contexts=tuple(mutation.purge_contexts),
+            policy_epoch=policy_epoch,
+            policy_digest=policy_digest,
         )
         return tracer.finish(token, decision) if tracing else decision
 

@@ -1,0 +1,195 @@
+"""Versioned policy epochs: content digests, swap reports, epoch history.
+
+The MSoD engine can hot-swap its policy set without restarting
+(:meth:`~repro.core.engine.MSoDEngine.swap_policy`).  Every active policy
+set is identified by a **policy version**: a monotonically increasing
+``epoch`` (starting at :data:`INITIAL_EPOCH`) plus a content ``digest``
+over a canonical serialisation of the set.  The digest makes reloads
+idempotent — re-applying a byte-different file with identical semantics
+is detected as a no-op and leaves compiled indexes and memos warm —
+while the epoch totally orders the versions a long-lived process has
+enforced.
+
+Decisions, traces and audit-trail records are stamped with the epoch and
+digest they were evaluated under, and :class:`PolicyEpochLog` keeps a
+bounded ``epoch -> policy set`` history so recovery and standby replay
+can re-apply each historical decision under the policy that produced it
+(see :func:`repro.audit.recovery.recover_retained_adi`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.policy import MSoDPolicy, MSoDPolicySet
+from repro.errors import PolicyError
+
+#: The epoch of the policy set an engine was constructed with.
+INITIAL_EPOCH = 1
+
+
+def _canonical_policy(policy: MSoDPolicy) -> dict:
+    """A JSON-able canonical form of one policy.
+
+    Constraint members are sorted (MMER roles and MMEP privileges are
+    set/multiset-valued), but policy order is preserved by the caller:
+    step-1 matching reports policies in set order.
+    """
+    return {
+        "id": policy.policy_id,
+        "context": str(policy.business_context),
+        "mmers": [
+            [sorted(str(role) for role in mmer.roles), mmer.forbidden_cardinality]
+            for mmer in policy.mmers
+        ],
+        "mmeps": [
+            [
+                sorted(str(privilege) for privilege in mmep.privileges),
+                mmep.forbidden_cardinality,
+            ]
+            for mmep in policy.mmeps
+        ],
+        "first": str(policy.first_step) if policy.first_step else None,
+        "last": str(policy.last_step) if policy.last_step else None,
+    }
+
+
+def policy_set_digest(policy_set: MSoDPolicySet) -> str:
+    """SHA-256 content digest of a policy set's canonical serialisation.
+
+    Two sets digest equal iff they enforce the same policies in the same
+    order — whitespace, comments and attribute ordering in the source
+    XML do not affect it.
+    """
+    canonical = json.dumps(
+        [_canonical_policy(policy) for policy in policy_set],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyVersion:
+    """One enforced policy version: epoch, content digest, set size."""
+
+    epoch: int
+    digest: str
+    policies: int
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "digest": self.digest,
+            "policies": self.policies,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyVersion":
+        epoch = data.get("epoch")
+        digest = data.get("digest")
+        policies = data.get("policies")
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 0:
+            raise PolicyError(f"policy version epoch must be an int, got {epoch!r}")
+        if not isinstance(digest, str):
+            raise PolicyError("policy version digest must be a string")
+        if not isinstance(policies, int) or isinstance(policies, bool):
+            raise PolicyError("policy version size must be an int")
+        return cls(epoch=epoch, digest=digest, policies=policies)
+
+    def __str__(self) -> str:
+        return f"epoch {self.epoch} ({self.digest[:12]}, {self.policies} policies)"
+
+
+@dataclass(frozen=True, slots=True)
+class PolicySwapReport:
+    """The outcome of one :meth:`MSoDEngine.swap_policy` call.
+
+    ``changed`` is ``False`` for a digest no-op: the offered set is
+    semantically identical to the active one, so the epoch did not
+    advance and no caches were invalidated.  ``findings`` carries the
+    analyzer's non-fatal lint output (errors raise instead).
+    """
+
+    version: PolicyVersion
+    previous: PolicyVersion
+    changed: bool
+    findings: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version.to_dict(),
+            "previous": self.previous.to_dict(),
+            "changed": self.changed,
+            "findings": list(self.findings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicySwapReport":
+        version = data.get("version")
+        previous = data.get("previous")
+        changed = data.get("changed")
+        findings = data.get("findings", [])
+        if not isinstance(version, dict) or not isinstance(previous, dict):
+            raise PolicyError("swap report versions must be mappings")
+        if not isinstance(changed, bool):
+            raise PolicyError("swap report 'changed' must be a bool")
+        if not isinstance(findings, list) or not all(
+            isinstance(item, str) for item in findings
+        ):
+            raise PolicyError("swap report findings must be a list of strings")
+        return cls(
+            version=PolicyVersion.from_dict(version),
+            previous=PolicyVersion.from_dict(previous),
+            changed=changed,
+            findings=tuple(findings),
+        )
+
+
+class PolicyEpochLog:
+    """Bounded ``epoch -> policy set`` history of one engine.
+
+    Reloads are administrative events, so the history is small; the
+    bound only guards a pathological reload loop.  Eviction drops the
+    oldest epochs first — exactly the ones whose audited decisions have
+    long been purged or checkpointed past.
+    """
+
+    __slots__ = ("_limit", "_entries")
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit < 1:
+            raise PolicyError("PolicyEpochLog limit must be >= 1")
+        self._limit = limit
+        # Insertion-ordered: epochs only ever grow.
+        self._entries: dict[int, tuple[MSoDPolicySet, str]] = {}
+
+    def record(
+        self, epoch: int, policy_set: MSoDPolicySet, digest: str
+    ) -> None:
+        self._entries[epoch] = (policy_set, digest)
+        while len(self._entries) > self._limit:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+
+    def resolve(self, epoch: int) -> MSoDPolicySet | None:
+        """The policy set enforced at ``epoch``, if still remembered."""
+        entry = self._entries.get(epoch)
+        return entry[0] if entry is not None else None
+
+    @property
+    def resolver(self) -> Callable[[int], MSoDPolicySet | None]:
+        """:meth:`resolve` as a bare callable (for recovery plumbing)."""
+        return self.resolve
+
+    def versions(self) -> tuple[PolicyVersion, ...]:
+        return tuple(
+            PolicyVersion(epoch=epoch, digest=digest, policies=len(policy_set))
+            for epoch, (policy_set, digest) in self._entries.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

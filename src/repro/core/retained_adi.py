@@ -262,6 +262,23 @@ class _UserContextIndex:
         self._presence.clear()
         self._user_cache.clear()
 
+    def clear_memos(self) -> None:
+        """Drop the effective-context memos, keeping the records.
+
+        Effective contexts are derived from the *policy set* (a policy's
+        business context instantiated against a request), so a policy
+        hot-swap invalidates them wholesale; the record structures
+        themselves are policy-independent and stay intact.  The memos
+        repopulate lazily on the next queries.
+
+        Rebinding (not ``.clear()``) keeps a hot-swap benign for
+        threaded embedders: a concurrent query iterating the old memo
+        dict finishes against it undisturbed, and anything it writes
+        there is simply dropped with the old dict.
+        """
+        self._presence = {}
+        self._user_cache = {}
+
     def _forget_context(self, context: ContextName) -> None:
         """Invalidate presence entries staled by a vanished context.
 
@@ -496,6 +513,17 @@ class RetainedADIStore:
         """
         yield self
 
+    def invalidate_policy_memos(self) -> None:
+        """Drop caches keyed by policy-derived effective contexts.
+
+        Called by :meth:`MSoDEngine.swap_policy` (inside ``batch()``)
+        when a *different* policy set is installed: memoised
+        per-(user, effective-context) lookups were computed against the
+        old set's business contexts.  Record data is policy-independent
+        and untouched.  The default is a no-op for backends without such
+        memos.
+        """
+
     # Helper views used by the engine --------------------------------
     def snapshot_views(self) -> ADIViewSnapshot:
         """A memoizing view over this store for one decision request.
@@ -622,6 +650,9 @@ class InMemoryRetainedADIStore(RetainedADIStore):
         return len(self._records)
 
     # Aggregate-backed engine views ----------------------------------
+    def invalidate_policy_memos(self) -> None:
+        self._index.clear_memos()
+
     def user_roles(
         self, user_id: str, effective_context: ContextName
     ) -> frozenset[Role]:
@@ -851,6 +882,14 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             # Answered from the lock-step index (with its cross-request
             # presence memo) rather than a per-call SQL DISTINCT scan.
             return self._ensure_index_locked().has_context(effective_context)
+
+    def invalidate_policy_memos(self) -> None:
+        with self._lock:
+            # The row cache maps immutable record_id -> record and is
+            # policy-independent; only the effective-context memos of
+            # the lock-step index are stale after a policy swap.
+            if self._index is not None:
+                self._index.clear_memos()
 
     def _doomed_in_context_locked(
         self, effective_context: ContextName

@@ -35,6 +35,28 @@ class PolicyDecisionPoint:
     def decide(self, request: DecisionRequest) -> Decision:
         raise NotImplementedError
 
+    # -- policy management (uniform across local/remote/cluster) -------
+    def policy_version(self):
+        """The :class:`~repro.core.policy_epoch.PolicyVersion` in force.
+
+        Every concrete PDP that enforces an MSoD policy set reports the
+        epoch + content digest its decisions are currently made under;
+        PDPs without a reloadable policy (pure RBAC stubs) may leave
+        this unimplemented.
+        """
+        raise NotImplementedError
+
+    def reload_policy(self, policy):
+        """Atomically swap the enforced policy set (zero downtime).
+
+        ``policy`` is the same source union :func:`repro.api.open_pdp`
+        accepts — an :class:`~repro.core.policy.MSoDPolicySet`, a path,
+        or an XML string.  Returns a
+        :class:`~repro.core.policy_epoch.PolicySwapReport`; reloading a
+        semantically identical set is a detected no-op.
+        """
+        raise NotImplementedError
+
     @property
     def perf(self) -> PerfRecorder:
         """The recorder observing this PDP (``NOOP`` unless attached)."""
@@ -97,6 +119,14 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
     def msod_engine(self) -> MSoDEngine:
         return self._msod
 
+    def policy_version(self):
+        return self._msod.policy_version()
+
+    def reload_policy(self, policy):
+        from repro.api import load_policy_source
+
+        return self._msod.swap_policy(load_policy_source(policy))
+
     @property
     def access_policy(self) -> RoleTargetAccessPolicy:
         return self._access_policy
@@ -124,6 +154,10 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
                 perf.stop("pdp.rbac", started)
             if tracing:
                 tracer.span("pdp.rbac", rbac_started)
+            # Stamp the MSoD engine's active version even though the
+            # deny short-circuited before MSoD evaluation: the audit
+            # trail records which policy regime was in force.
+            version = self._msod.policy_version()
             decision = Decision(
                 effect=Effect.DENY,
                 request=request,
@@ -131,6 +165,8 @@ class ReferenceRBACMSoDPDP(PolicyDecisionPoint):
                     "RBAC: no presented role grants "
                     f"{request.operation!r} on {request.target!r}"
                 ),
+                policy_epoch=version.epoch,
+                policy_digest=version.digest,
             )
             return tracer.finish(token, decision) if tracing else decision
         if timing:

@@ -127,6 +127,9 @@ class DecisionTrace:
     violation: TraceViolation | None = None
     records_added: int = 0
     records_purged: int = 0
+    #: Policy epoch the decision was evaluated under (0 = pre-epoch
+    #: trace payloads; live engines stamp epochs starting at 1).
+    policy_epoch: int = 0
 
     def span(self, name: str) -> TraceSpan | None:
         """The first span with this name, or None."""
@@ -156,6 +159,7 @@ class DecisionTrace:
             ),
             "records_added": self.records_added,
             "records_purged": self.records_purged,
+            "policy_epoch": self.policy_epoch,
         }
 
     @classmethod
@@ -177,9 +181,11 @@ class DecisionTrace:
         violation_raw = raw.get("violation")
         records_added = raw.get("records_added", 0)
         records_purged = raw.get("records_purged", 0)
+        policy_epoch = raw.get("policy_epoch", 0)
         for key, value in (
             ("records_added", records_added),
             ("records_purged", records_purged),
+            ("policy_epoch", policy_epoch),
         ):
             if isinstance(value, bool) or not isinstance(value, int):
                 raise ValueError(f"trace {key} must be an integer")
@@ -198,6 +204,7 @@ class DecisionTrace:
             ),
             records_added=records_added,
             records_purged=records_purged,
+            policy_epoch=policy_epoch,
         )
 
     def render(self) -> str:
@@ -210,6 +217,8 @@ class DecisionTrace:
             lines.append(
                 "  matched policies: " + ", ".join(self.matched_policy_ids)
             )
+        if self.policy_epoch:
+            lines.append(f"  policy epoch: {self.policy_epoch}")
         for span in self.spans:
             lines.append(
                 f"  {span.name:<20} +{span.offset_s * 1e6:8.1f}us "
@@ -346,6 +355,7 @@ class DecisionTracer:
             ),
             records_added=decision.records_added,
             records_purged=decision.records_purged,
+            policy_epoch=decision.policy_epoch,
         )
         if self._slow_log is not None:
             self._slow_log.offer(trace)

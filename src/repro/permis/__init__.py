@@ -12,6 +12,7 @@ from repro.permis.analyzer import (
     SEVERITY_INFO,
     SEVERITY_WARNING,
     Finding,
+    analyze_msod_policy_set,
     analyze_policy,
 )
 from repro.permis.conditions import (
@@ -66,6 +67,7 @@ from repro.permis.policy import (
 )
 
 __all__ = [
+    "analyze_msod_policy_set",
     "analyze_policy",
     "Finding",
     "SEVERITY_ERROR",

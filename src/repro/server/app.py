@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.errors import ProtocolError
+from repro.errors import PolicyError, ProtocolError
 from repro.server import protocol
 from repro.server.service import (
     AuthorizationService,
@@ -177,6 +177,15 @@ class MSoDServer:
                         frame_id, op, "body", self._service.slowlog()
                     ),
                 )
+            elif op == protocol.OP_POLICY_STATUS:
+                await self._send(
+                    writer,
+                    protocol.response_frame(
+                        frame_id, op, "body", self._service.policy_status()
+                    ),
+                )
+            elif op == protocol.OP_POLICY_RELOAD:
+                await self._handle_policy_reload(writer, frame_id, frame)
             else:
                 raise ProtocolError(f"unknown operation {op!r}")
         except ProtocolError as exc:
@@ -187,6 +196,36 @@ class MSoDServer:
         except (ConnectionResetError, BrokenPipeError):
             return False
         return True
+
+    async def _handle_policy_reload(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+    ) -> None:
+        """Parse, validate and atomically install a policy set.
+
+        A rejected set (XML that does not parse, analyzer errors) gets
+        an ``error.kind == "policy"`` response and leaves the active
+        policy untouched.  Runs synchronously on the event loop between
+        worker batches, so the swap cannot interleave with a
+        half-evaluated micro-batch.
+        """
+        from repro.xmlpolicy import parse_policy_set
+
+        xml = protocol.policy_xml_of(frame)
+        try:
+            policy_set = parse_policy_set(xml)
+            report = self._service.reload_policy(policy_set)
+        except PolicyError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(frame_id, protocol.ERR_POLICY, str(exc)),
+            )
+            return
+        await self._send(
+            writer,
+            protocol.response_frame(
+                frame_id, protocol.OP_POLICY_RELOAD, "body", report.to_dict()
+            ),
+        )
 
     async def _handle_decide(
         self, writer: asyncio.StreamWriter, frame_id, frame: dict

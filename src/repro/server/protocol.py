@@ -66,13 +66,31 @@ ERR_FENCED = "fenced"
 #: The node is a standby (or demoted primary) for this user's shard and
 #: refuses to decide; the client must re-route.
 ERR_NOT_PRIMARY = "not-primary"
+#: A ``policy-reload`` offered a set the analyzer rejected (or XML that
+#: does not parse).  Purely a caller error; the active policy is intact.
+ERR_POLICY = "policy"
 
-#: Operations understood by the server.
+#: Operations understood by the server.  ``policy-status`` reports the
+#: active policy version (epoch + content digest); ``policy-reload``
+#: atomically swaps in the policy set carried as XML under the
+#: ``policy_xml`` key.  Both are additive v1 verbs: old servers answer
+#: them with a ``protocol`` error, old clients simply never send them.
 OP_DECIDE = "decide"
 OP_HEALTHZ = "healthz"
 OP_METRICS = "metrics"
 OP_SLOWLOG = "slowlog"
-KNOWN_OPS = frozenset({OP_DECIDE, OP_HEALTHZ, OP_METRICS, OP_SLOWLOG})
+OP_POLICY_STATUS = "policy-status"
+OP_POLICY_RELOAD = "policy-reload"
+KNOWN_OPS = frozenset(
+    {
+        OP_DECIDE,
+        OP_HEALTHZ,
+        OP_METRICS,
+        OP_SLOWLOG,
+        OP_POLICY_STATUS,
+        OP_POLICY_RELOAD,
+    }
+)
 
 #: Operations understood by the cluster coordinator (router) endpoint,
 #: in addition to ``healthz``/``metrics``.  ``route`` returns the
@@ -335,6 +353,11 @@ def decision_to_wire(decision: Decision) -> dict:
             str(context) for context in decision.adi_purged_contexts
         ],
     }
+    if decision.policy_epoch:
+        # Additive keys (absent on pre-epoch decisions): old clients
+        # ignore them, old payloads parse with the 0/"" defaults.
+        wire["policy_epoch"] = decision.policy_epoch
+        wire["policy_digest"] = decision.policy_digest
     if decision.trace is not None:
         wire["trace"] = decision.trace.to_dict()
     return wire
@@ -364,6 +387,12 @@ def decision_from_wire(raw: Any) -> Decision:
         raise ProtocolError(f"{what}.records_added must be an integer")
     if isinstance(records_purged, bool) or not isinstance(records_purged, int):
         raise ProtocolError(f"{what}.records_purged must be an integer")
+    policy_epoch = raw.get("policy_epoch", 0)
+    if isinstance(policy_epoch, bool) or not isinstance(policy_epoch, int):
+        raise ProtocolError(f"{what}.policy_epoch must be an integer")
+    policy_digest = raw.get("policy_digest", "")
+    if not isinstance(policy_digest, str):
+        raise ProtocolError(f"{what}.policy_digest must be a string")
     trace_raw = raw.get("trace")
     if trace_raw is None:
         trace = None
@@ -388,4 +417,11 @@ def decision_from_wire(raw: Any) -> Decision:
             _context_from_wire(item, f"{what}.adi_purged_contexts[]")
             for item in purged_raw
         ),
+        policy_epoch=policy_epoch,
+        policy_digest=policy_digest,
     )
+
+
+def policy_xml_of(frame: Mapping[str, Any]) -> str:
+    """The validated ``policy_xml`` field of a ``policy-reload`` frame."""
+    return _require(frame, "policy_xml", str, "policy-reload")

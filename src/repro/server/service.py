@@ -33,6 +33,8 @@ from typing import Callable
 
 from repro.core.decision import Decision, DecisionRequest
 from repro.core.engine import MSoDEngine
+from repro.core.policy import MSoDPolicySet
+from repro.core.policy_epoch import PolicySwapReport
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
 from repro.perf import NOOP, PerfRecorder
@@ -142,6 +144,7 @@ class AuthorizationService:
         self._accepting = False
         self._started = False
         self._registry: MetricsRegistry | None = None
+        self._policy_reloads = 0
 
     # ------------------------------------------------------------------
     @property
@@ -222,6 +225,16 @@ class AuthorizationService:
             "Largest micro-batch each shard worker has drained.",
             lambda: per_shard(lambda i: self._stats[i].max_batch),
         )
+        registry.register_gauge(
+            "policy_epoch",
+            "Epoch of the policy set decisions are currently made under.",
+            lambda: float(self._engine.policy_epoch),
+        )
+        registry.register_counter(
+            "policy_reloads_total",
+            "Completed policy hot-reloads that changed the active set.",
+            lambda: float(self._policy_reloads),
+        )
         for attr, help_text in (
             ("submitted", "Requests admitted to each shard queue."),
             ("completed", "Decisions completed by each shard worker."),
@@ -241,6 +254,32 @@ class AuthorizationService:
     def metrics_text(self) -> str:
         """The ``metrics`` body in Prometheus text exposition format."""
         return self.metrics_registry().render()
+
+    def policy_status(self) -> dict:
+        """The ``policy-status`` body: active version + reload count."""
+        version = self._engine.policy_version()
+        return {
+            "version": version.to_dict(),
+            "reloads": self._policy_reloads,
+        }
+
+    def reload_policy(self, policy_set: MSoDPolicySet) -> PolicySwapReport:
+        """Atomically swap the engine's policy set (see ``swap_policy``).
+
+        Must run on the service's event loop (the wire handler already
+        does; thread-side callers go through
+        :meth:`~repro.server.testing.ServerThread.reload_policy`).  That
+        makes the swap trivially atomic with respect to decisions:
+        :meth:`_run_batch` never awaits mid-batch, so the loop never
+        interleaves a swap into a half-evaluated batch — and the
+        engine's one-tuple-read discipline protects even multi-threaded
+        embedders.
+        """
+        report = self._engine.swap_policy(policy_set)
+        if report.changed:
+            self._policy_reloads += 1
+            self._perf.incr("server.policy_reloads")
+        return report
 
     def slowlog(self) -> dict:
         """The ``slowlog`` body: the engine's slowest retained traces.

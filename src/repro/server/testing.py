@@ -83,6 +83,23 @@ class ServerThread:
             raise self._startup_error
         return self
 
+    def reload_policy(self, policy_set):
+        """Thread-safe policy swap: runs the reload on the loop thread.
+
+        Scheduling the swap as a loop callback (like the wire handler)
+        keeps it serialized with the shard workers' micro-batches.
+        Returns the :class:`~repro.core.policy_epoch.PolicySwapReport`.
+        """
+        if self._loop is None:
+            raise RuntimeError("server thread is not running")
+
+        async def _swap():
+            return self._server.service.reload_policy(policy_set)
+
+        return asyncio.run_coroutine_threadsafe(_swap(), self._loop).result(
+            timeout=30
+        )
+
     def stop(self) -> None:
         """Stop listening, drain in-flight decisions, join the thread."""
         if self._thread is None or self._loop is None:

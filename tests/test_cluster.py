@@ -157,11 +157,15 @@ class TestClusterNodeGate:
     def test_health_reports_cluster_identity(self, primary_node):
         with RemotePDP(primary_node.host, primary_node.port) as pdp:
             body = pdp.healthz()
-        assert body["cluster"] == {
+        cluster = dict(body["cluster"])
+        policy_digest = cluster.pop("policy_digest")
+        assert len(policy_digest) == 64
+        assert cluster == {
             "node": "n1",
             "shard": "s0",
             "role": ROLE_PRIMARY,
             "epoch": 1,
+            "policy_epoch": 1,
         }
 
 

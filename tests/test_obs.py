@@ -101,6 +101,21 @@ class TestTracedEngine:
         assert "bank" in trace.matched_policy_ids
         assert "store.commit" not in trace.stage_durations()
 
+    def test_trace_carries_the_policy_epoch(self):
+        engine = MSoDEngine(
+            bank_policy_set(),
+            InMemoryRetainedADIStore(),
+            tracer=DecisionTracer(),
+        )
+        first = engine.check(make_request("alice", TELLER, 0))
+        assert first.trace.policy_epoch == 1
+        engine.swap_policy(bank_policy_set(), force=True)
+        second = engine.check(make_request("bob", TELLER, 1))
+        assert second.trace.policy_epoch == 2
+        # And it survives serialisation.
+        round_tripped = DecisionTrace.from_dict(second.trace.to_dict())
+        assert round_tripped.policy_epoch == 2
+
     def test_untraced_engine_attaches_nothing(self):
         engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
         assert engine.tracer is NOOP_TRACER

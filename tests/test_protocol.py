@@ -6,6 +6,7 @@ other exception, because any other exception would crash a serving
 worker on attacker-controlled bytes.
 """
 
+import dataclasses
 import json
 import random
 
@@ -92,6 +93,23 @@ class TestRoundTrips:
         decision = make_deny()
         wire = json.loads(json.dumps(protocol.decision_to_wire(decision)))
         assert protocol.decision_from_wire(wire) == decision
+
+    def test_policy_version_round_trips_when_stamped(self):
+        decision = dataclasses.replace(
+            make_grant(), policy_epoch=3, policy_digest="ab" * 32
+        )
+        wire = json.loads(json.dumps(protocol.decision_to_wire(decision)))
+        assert wire["policy_epoch"] == 3
+        assert wire["policy_digest"] == "ab" * 32
+        assert protocol.decision_from_wire(wire) == decision
+
+    def test_pre_epoch_decisions_omit_policy_keys(self):
+        wire = protocol.decision_to_wire(make_grant())
+        assert "policy_epoch" not in wire
+        assert "policy_digest" not in wire
+        restored = protocol.decision_from_wire(json.loads(json.dumps(wire)))
+        assert restored.policy_epoch == 0
+        assert restored.policy_digest == ""
 
     def test_frame_envelope_round_trip(self):
         frame = protocol.request_frame(

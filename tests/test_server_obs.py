@@ -117,6 +117,38 @@ class TestMetricsVerb:
         assert any(name == "repro_shard_queue_depth" for name, _, _ in samples)
 
 
+class TestPolicyMetrics:
+    def test_policy_epoch_gauge_tracks_reloads(self, traced_server):
+        from repro.core import MSoDPolicySet
+        from repro.xmlpolicy import write_policy_set
+
+        extended = MSoDPolicySet(
+            list(bank_policy_set())
+            + [
+                MSoDPolicy(
+                    ContextName.parse("Region=*, Quarter=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="regional",
+                )
+            ]
+        )
+        with traced_server.client() as pdp:
+            before = dict(
+                (name, value)
+                for name, _, value in parse_exposition(pdp.metrics_text())
+            )
+            assert before["repro_policy_epoch"] == 1.0
+            assert before["repro_policy_reloads_total"] == 0.0
+            report = pdp.reload_policy(write_policy_set(extended))
+            assert report.changed
+            after = dict(
+                (name, value)
+                for name, _, value in parse_exposition(pdp.metrics_text())
+            )
+        assert after["repro_policy_epoch"] == 2.0
+        assert after["repro_policy_reloads_total"] == 1.0
+
+
 class TestSlowlogVerb:
     def test_slowlog_returns_retained_traces(self, traced_server):
         with traced_server.client() as pdp:
