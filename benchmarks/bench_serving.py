@@ -2,15 +2,31 @@
 
 Boots the full serving stack in-process (asyncio TCP server on a
 background thread, SQLite retained-ADI store, sharded micro-batching
-workers) and drives it with K closed-loop client threads through
-:class:`repro.client.RemotePDP` — every request is a real wire round
-trip through encode/decode, shard queueing and batch commit.
+workers) and drives it over *both wire protocols*: JSON-lines v1
+through K pooled closed-loop client threads, and binary batched v2
+through the pipelined clients (sync threads sharing one multiplexed
+connection, and the asyncio client with hundreds of in-flight
+decides).  Every request is a real wire round trip through
+encode/decode, shard queueing and batch commit.
 
-Measured per shard count: sustained throughput (decisions/s) and the
-client-observed latency distribution (p50/p95/p99).  A separate
-*overload probe* runs a deliberately slow engine behind a tiny bounded
-queue and verifies that excess load is shed with fast typed rejections
-— bounded memory, never an unbounded backlog.
+Measured per (protocol, shard count): sustained throughput
+(decisions/s), the client-observed latency distribution (p50/p95/p99),
+and the *wire gap* — the ratio of a same-run in-process reference
+(`engine.check` in a bare loop, same workload, same store kind) to the
+served throughput.  The gap is the honest cost of the wire measured on
+whatever machine runs the bench; absolute rps numbers move with the
+host, the ratio is comparable across hosts.
+
+Two correctness gates ride along (both run in ``--smoke``, so CI
+fails on regressions without ever gating on timing):
+
+* a *differential gate*: one request stream replayed sequentially
+  through the in-process engine, the v1 wire and the v2 batched wire
+  must produce identical decision effects and identical retained-ADI
+  store fingerprints;
+* an *overload probe*: a deliberately slow engine behind a tiny
+  bounded queue must shed excess load with fast typed rejections —
+  bounded memory, never an unbounded backlog.
 
 Results are written as machine-readable JSON to
 ``benchmarks/results/BENCH_serving.json``.  Run it directly::
@@ -20,12 +36,13 @@ Results are written as machine-readable JSON to
 
 The workload (policy set + request stream) is shared with
 ``bench_hotpath_regression`` so engine-level and serving-level numbers
-are comparable: the gap between them is the cost of the wire.
+are comparable.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import platform
@@ -36,7 +53,7 @@ import time
 from bench_hotpath_regression import build_policy_set, request_stream
 
 from repro.api import open_pdp, open_server
-from repro.client import PDPOverloadedError, RemotePDP
+from repro.client import AsyncRemotePDP, PDPOverloadedError, RemotePDP
 from repro.core import MSoDEngine, SQLiteRetainedADIStore
 from repro.perf import PerfRecorder
 from repro.server import AuthorizationService, ServerThread
@@ -55,12 +72,77 @@ def percentile(sorted_values: list[float], q: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# In-process reference: the number the wire is measured against
+# ---------------------------------------------------------------------------
+def run_in_process(n_requests: int, n_users: int) -> dict:
+    """``engine.check`` in a bare loop — same workload, same store kind."""
+    store = SQLiteRetainedADIStore(":memory:")
+    engine = MSoDEngine(build_policy_set(), store)
+    requests = list(request_stream(n_requests, n_users))
+    wall_started = time.perf_counter()
+    for request in requests:
+        engine.check(request)
+    elapsed = time.perf_counter() - wall_started
+    store.close()
+    return {
+        "requests": len(requests),
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(len(requests) / elapsed, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Throughput / latency sweep
 # ---------------------------------------------------------------------------
-def run_load(
-    n_shards: int, n_clients: int, n_requests: int, n_users: int
+def _summarise(
+    *,
+    protocol: str,
+    client_kind: str,
+    n_shards: int,
+    n_clients: int,
+    flat: list[float],
+    elapsed: float,
+    perf: PerfRecorder,
+    metrics: dict,
 ) -> dict:
-    """One closed-loop run: K clients replay disjoint slices of the stream."""
+    completed = len(flat)
+    batches = perf.counter("server.batches")
+    return {
+        "protocol": protocol,
+        "client": client_kind,
+        "shards": n_shards,
+        "clients": n_clients,
+        "requests": completed,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(completed / elapsed, 1),
+        "latency_s": {
+            "mean": round(sum(flat) / completed, 6) if completed else 0.0,
+            "p50": round(percentile(flat, 0.50), 6),
+            "p95": round(percentile(flat, 0.95), 6),
+            "p99": round(percentile(flat, 0.99), 6),
+            "max": round(flat[-1], 6) if flat else 0.0,
+        },
+        "batches": batches,
+        "mean_batch": round(completed / batches, 2) if batches else 0.0,
+        "wire_batches": perf.counter("wire.frames_in"),
+        "rejected": sum(shard["rejected"] for shard in metrics["shards"]),
+    }
+
+
+def run_load(
+    n_shards: int,
+    n_clients: int,
+    n_requests: int,
+    n_users: int,
+    protocol: str = "v1",
+) -> dict:
+    """One closed-loop run: K client threads replay disjoint slices.
+
+    ``protocol="v1"`` gives each thread its own pooled JSON-lines
+    connection; ``protocol="v2"`` multiplexes every thread onto one
+    pipelined binary connection (decide-batch frames, bounded in-flight
+    window).
+    """
     requests = list(request_stream(n_requests, n_users))
     per_client = len(requests) // n_clients
 
@@ -75,7 +157,9 @@ def run_load(
         perf=perf,
     ) as server:
         service = server.service
-        with server.client(pool_size=n_clients, timeout=30.0) as pdp:
+        with server.client(
+            pool_size=n_clients, timeout=30.0, protocol_version=protocol
+        ) as pdp:
 
             def client(index: int) -> None:
                 lo = index * per_client
@@ -103,25 +187,146 @@ def run_load(
         raise errors[0]
 
     flat = sorted(lat for client_lat in latencies for lat in client_lat)
-    completed = len(flat)
-    batches = perf.counter("server.batches")
-    return {
-        "shards": n_shards,
-        "clients": n_clients,
-        "requests": completed,
-        "elapsed_s": round(elapsed, 4),
-        "throughput_rps": round(completed / elapsed, 1),
-        "latency_s": {
-            "mean": round(sum(flat) / completed, 6) if completed else 0.0,
-            "p50": round(percentile(flat, 0.50), 6),
-            "p95": round(percentile(flat, 0.95), 6),
-            "p99": round(percentile(flat, 0.99), 6),
-            "max": round(flat[-1], 6) if flat else 0.0,
-        },
-        "batches": batches,
-        "mean_batch": round(completed / batches, 2) if batches else 0.0,
-        "rejected": sum(shard["rejected"] for shard in metrics["shards"]),
-    }
+    return _summarise(
+        protocol=protocol,
+        client_kind="threads",
+        n_shards=n_shards,
+        n_clients=n_clients,
+        flat=flat,
+        elapsed=elapsed,
+        perf=perf,
+        metrics=metrics,
+    )
+
+
+def run_load_pipelined(
+    n_shards: int, concurrency: int, n_requests: int, n_users: int
+) -> dict:
+    """The v2 headline: the asyncio pipelined client at high concurrency.
+
+    One event loop, one connection, ``concurrency`` in-flight decides
+    coalescing into decide-batch frames — the client shape the batched
+    protocol was designed for (no per-request thread, no per-request
+    round trip).
+    """
+    requests = list(request_stream(n_requests, n_users))
+    perf = PerfRecorder()
+    latencies: list[float] = []
+
+    with open_server(
+        build_policy_set(),
+        store="sqlite::memory:",
+        n_shards=n_shards,
+        perf=perf,
+    ) as server:
+        service = server.service
+
+        async def drive() -> float:
+            async with AsyncRemotePDP(
+                server.host,
+                server.port,
+                timeout=30.0,
+                protocol_version="v2",
+                batch_max=64,
+                pipeline_window=16,
+            ) as pdp:
+                gate = asyncio.Semaphore(concurrency)
+
+                async def one(request) -> None:
+                    async with gate:
+                        started = time.perf_counter()
+                        await pdp.decide(request)
+                        latencies.append(time.perf_counter() - started)
+
+                wall_started = time.perf_counter()
+                await asyncio.gather(*(one(r) for r in requests))
+                return time.perf_counter() - wall_started
+
+        elapsed = asyncio.run(drive())
+        metrics = service.metrics()
+
+    latencies.sort()
+    return _summarise(
+        protocol="v2",
+        client_kind="async-pipelined",
+        n_shards=n_shards,
+        n_clients=concurrency,
+        flat=latencies,
+        elapsed=elapsed,
+        perf=perf,
+        metrics=metrics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Differential gate: the wire must never change a decision
+# ---------------------------------------------------------------------------
+def run_differential(n_requests: int = 600, n_users: int = 40) -> dict:
+    """One stream, three paths, identical outcomes — or exit nonzero.
+
+    Sequential replay (so ordering is deterministic) through the
+    in-process engine, the v1 JSON-lines wire and the v2 batched wire;
+    compares the full per-request effect sequence and the retained-ADI
+    store fingerprints.  This is the timing-free regression gate CI
+    runs on every push — a protocol bug fails the build even on the
+    noisiest runner.
+    """
+    requests = list(request_stream(n_requests, n_users))
+
+    store = SQLiteRetainedADIStore(":memory:")
+    engine = MSoDEngine(build_policy_set(), store)
+    expected_effects = [engine.check(request).effect for request in requests]
+    expected_digest = _store_digest(store)
+    store.close()
+
+    legs = {}
+    for protocol in ("v1", "v2"):
+        store = SQLiteRetainedADIStore(":memory:")
+        engine = MSoDEngine(build_policy_set(), store)
+        service = AuthorizationService(engine, n_shards=4)
+        with ServerThread(service) as server:
+            with RemotePDP(
+                server.host,
+                server.port,
+                timeout=30.0,
+                protocol_version=protocol,
+            ) as pdp:
+                effects = [pdp.decide(request).effect for request in requests]
+                negotiated = pdp.negotiated_protocol
+        digest = _store_digest(store)
+        store.close()
+        legs[protocol] = {
+            "negotiated": negotiated,
+            "effects_match": effects == expected_effects,
+            "digest_match": digest == expected_digest,
+        }
+
+    ok = (
+        legs["v1"]["negotiated"] == 1
+        and legs["v2"]["negotiated"] == 2
+        and all(
+            leg["effects_match"] and leg["digest_match"]
+            for leg in legs.values()
+        )
+    )
+    return {"requests": n_requests, "legs": legs, "identical": ok}
+
+
+def _store_digest(store) -> tuple:
+    return tuple(
+        sorted(
+            (
+                record.user_id,
+                tuple(sorted((r.role_type, r.value) for r in record.roles)),
+                record.operation,
+                record.target,
+                str(record.context_instance),
+                record.granted_at,
+                record.request_id,
+            )
+            for record in store.records()
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -232,23 +437,63 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         n_requests, n_users, n_clients = 2_000, 50, 4
         shard_counts = [2]
+        differential = run_differential(n_requests=400)
     else:
         n_requests, n_users, n_clients = args.requests, args.users, args.clients
         shard_counts = [1, 2, 4]
+        differential = run_differential()
 
-    sweep = [
-        run_load(n_shards, n_clients, n_requests, n_users)
-        for n_shards in shard_counts
-    ]
+    if not differential["identical"]:
+        print("DIFFERENTIAL GATE FAILED: wire decisions diverged from "
+              "in-process", file=sys.stderr)
+        print(json.dumps(differential, indent=2), file=sys.stderr)
+        return 1
+
+    reference = run_in_process(n_requests, n_users)
+    in_process_rps = reference["throughput_rps"]
+
+    sweep = []
+    for n_shards in shard_counts:
+        sweep.append(run_load(n_shards, n_clients, n_requests, n_users, "v1"))
+        sweep.append(
+            run_load_pipelined(n_shards, n_clients * 32, n_requests, n_users)
+        )
+    if not args.smoke:
+        # One sync-threads v2 data point: the same thread harness as v1,
+        # multiplexed over a single pipelined connection.
+        sweep.append(run_load(4, 32, n_requests, n_users, "v2"))
+    for point in sweep:
+        point["wire_gap"] = (
+            round(in_process_rps / point["throughput_rps"], 2)
+            if point["throughput_rps"]
+            else 0.0
+        )
     probe = run_overload_probe()
 
     best = max(point["throughput_rps"] for point in sweep)
+    best_by_protocol = {
+        protocol: max(
+            (p["throughput_rps"] for p in sweep if p["protocol"] == protocol),
+            default=0.0,
+        )
+        for protocol in ("v1", "v2")
+    }
+    v2_gap = (
+        round(in_process_rps / best_by_protocol["v2"], 2)
+        if best_by_protocol["v2"]
+        else float("inf")
+    )
     report = {
         "benchmark": "serving",
         "smoke": args.smoke,
+        "in_process": reference,
         "sweep": sweep,
         "best_throughput_rps": best,
+        "best_by_protocol": best_by_protocol,
+        "v2_wire_gap": v2_gap,
         "meets_1k_rps_target": best >= 1_000.0,
+        "meets_2x_in_process_target": v2_gap <= 2.0,
+        "differential": differential,
         "overload_probe": probe,
         "environment": {
             "python": platform.python_version(),
@@ -262,16 +507,25 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
 
+    print(
+        f"in-process reference: {reference['requests']} decisions "
+        f"({in_process_rps:.0f} rps)"
+    )
     for point in sweep:
         latency = point["latency_s"]
         print(
-            f"serving[shards={point['shards']}]: "
+            f"serving[{point['protocol']}/{point['client']} "
+            f"shards={point['shards']}]: "
             f"{point['requests']} decisions in {point['elapsed_s']:.2f}s "
-            f"({point['throughput_rps']:.0f} rps)  "
+            f"({point['throughput_rps']:.0f} rps, gap {point['wire_gap']}x)  "
             f"p50={latency['p50'] * 1e3:.2f}ms "
             f"p99={latency['p99'] * 1e3:.2f}ms  "
             f"mean batch={point['mean_batch']}"
         )
+    print(
+        f"differential gate: {differential['requests']} requests identical "
+        f"across in-process / v1 / v2"
+    )
     print(
         f"overload probe: {probe['rejected']}/{probe['offered']} shed, "
         f"max backlog {probe['max_observed_backlog']} "

@@ -223,6 +223,7 @@ def open_pdp(
     timeout: float = 5.0,
     pool_size: int = 4,
     max_retries: int = 2,
+    protocol: str = "auto",
 ) -> PolicyDecisionPoint:
     """Open a PDP handle over any backend with one uniform call.
 
@@ -249,6 +250,10 @@ def open_pdp(
         Engine mode, ``strict`` (default) or ``literal``.
     timeout, pool_size, max_retries:
         Remote-handle connection tuning; ignored for in-process stores.
+    protocol:
+        Remote decide wire protocol: ``"auto"`` (negotiate the
+        pipelined binary v2, fall back to v1), ``"v1"`` or ``"v2"``.
+        Ignored for in-process stores.
     """
     kind, detail = _parse_store_spec(store)
     if kind == "remote":
@@ -272,6 +277,7 @@ def open_pdp(
             timeout=timeout,
             max_retries=max_retries,
             perf=perf,
+            protocol_version=protocol,
         )
 
     policy_set = _load_policy_set(policy)
@@ -363,6 +369,7 @@ def open_server(
     n_shards: int = 4,
     queue_depth: int = 256,
     batch_max: int = 32,
+    gather_window: float | None = None,
     perf: PerfRecorder | None = None,
     trace: bool = False,
     slowlog_capacity: int = 32,
@@ -401,6 +408,7 @@ def open_server(
         n_shards=n_shards,
         queue_depth=queue_depth,
         batch_max=batch_max,
+        gather_window=gather_window,
         perf=recorder,
     )
     thread = ServerThread(service, host=host, port=port).start()

@@ -186,9 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on one worker micro-batch (one SQLite transaction)",
     )
     serve.add_argument(
+        "--gather-window",
+        type=float,
+        default=None,
+        help="micro-batch gather window in seconds (default: adaptive, "
+        "scaled to the shard count)",
+    )
+    serve.add_argument(
         "--literal",
         action="store_true",
         help="use the literal published step order instead of strict mode",
+    )
+    serve.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="allow policies mixing MMER and MMEP constraints "
+        "(relaxes the Appendix-A xs:choice)",
     )
     serve.add_argument(
         "--trace",
@@ -208,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--host", default="127.0.0.1")
         cmd.add_argument("--port", type=int, default=8750)
         cmd.add_argument("--timeout", type=float, default=5.0)
+        cmd.add_argument(
+            "--protocol",
+            choices=("auto", "v1", "v2"),
+            default="auto",
+            help="decide wire protocol: negotiate pipelined binary v2 "
+            "(auto, the default) or pin v1/v2",
+        )
 
     remote_decide = commands.add_parser(
         "remote-decide",
@@ -334,6 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--port", type=int, default=8760, help="coordinator port"
         )
         cmd.add_argument("--timeout", type=float, default=5.0)
+        cmd.add_argument(
+            "--protocol",
+            choices=("auto", "v1", "v2"),
+            default="auto",
+            help="per-node decide wire protocol (auto negotiates "
+            "pipelined binary v2 with v1 fallback)",
+        )
 
     cstatus = cluster_cmds.add_parser(
         "status", help="print the coordinator's cluster-status body"
@@ -611,7 +638,7 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
     from repro.perf import PerfRecorder
     from repro.server import AuthorizationService, MSoDServer
 
-    policy_set = parse_policy_set_file(args.policy)
+    policy_set = parse_policy_set_file(args.policy, strict=not args.relaxed)
     store = SQLiteRetainedADIStore(args.adi)
     perf = PerfRecorder()
     tracer = None
@@ -656,6 +683,7 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
             n_shards=args.shards,
             queue_depth=args.queue_depth,
             batch_max=args.batch_max,
+            gather_window=args.gather_window,
             perf=perf,
             audit_sink=audit_sink,
         )
@@ -697,7 +725,9 @@ def cmd_remote_decide(args: argparse.Namespace) -> int:
     from repro.framework import PolicyEnforcementPoint
 
     with open_pdp(
-        store=f"remote:{args.host}:{args.port}", timeout=args.timeout
+        store=f"remote:{args.host}:{args.port}",
+        timeout=args.timeout,
+        protocol=args.protocol,
     ) as pdp:
         pep = PolicyEnforcementPoint(pdp, clock=time.time)
         decision = pep.request_decision(
@@ -873,7 +903,11 @@ def cmd_cluster_node(args: argparse.Namespace) -> int:
 def _cluster_client(args: argparse.Namespace):
     from repro.cluster import ClusterPDP
 
-    return ClusterPDP((args.host, args.port), timeout=args.timeout)
+    return ClusterPDP(
+        (args.host, args.port),
+        timeout=args.timeout,
+        protocol=getattr(args, "protocol", "auto"),
+    )
 
 
 def cmd_cluster_status(args: argparse.Namespace) -> int:

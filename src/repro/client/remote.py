@@ -30,6 +30,7 @@ import random
 import socket
 import threading
 import time
+from collections import deque
 
 from repro.core.decision import Decision, DecisionRequest
 from repro.core.policy_epoch import PolicySwapReport, PolicyVersion
@@ -53,6 +54,36 @@ def _next_frame_id() -> str:
     return f"c-{next(_FRAME_COUNTER):08d}"
 
 
+def _error_to_exception(error) -> Exception:
+    """Map a wire error object to the typed exception it represents.
+
+    Shared by whole-frame (v1 and v2) and per-entry (``decide-batch``)
+    error handling, so a fenced or overloaded entry inside a batch
+    raises exactly what the same failure raises on a v1 round trip.
+    """
+    if not isinstance(error, dict):
+        return ProtocolError("response is neither ok nor a valid error frame")
+    kind = error.get("kind")
+    detail = str(error.get("detail", ""))
+    if kind == protocol.ERR_OVERLOADED:
+        retry_after = error.get("retry_after")
+        return PDPOverloadedError(
+            f"remote PDP overloaded: {detail}",
+            retry_after=float(retry_after) if retry_after else 0.0,
+        )
+    if kind == protocol.ERR_PROTOCOL:
+        return ProtocolError(f"remote PDP rejected the frame: {detail}")
+    if kind == protocol.ERR_FENCED:
+        return PDPFencedError(f"remote PDP fenced the request: {detail}")
+    if kind == protocol.ERR_NOT_PRIMARY:
+        return PDPNotPrimaryError(f"remote PDP is not primary: {detail}")
+    if kind == protocol.ERR_POLICY:
+        # A rejected policy-reload: caller error, never retried (and the
+        # server's active policy is untouched).
+        return PolicyError(f"remote PDP rejected the policy: {detail}")
+    return PDPUnavailableError(f"remote PDP error ({kind}): {detail}")
+
+
 def _check_response(frame: dict, frame_id: str) -> dict:
     """Validate a response envelope; raise the typed error it carries."""
     if frame.get("id") != frame_id:
@@ -62,28 +93,7 @@ def _check_response(frame: dict, frame_id: str) -> dict:
         )
     if frame.get("ok") is True:
         return frame
-    error = frame.get("error")
-    if not isinstance(error, dict):
-        raise ProtocolError("response is neither ok nor a valid error frame")
-    kind = error.get("kind")
-    detail = str(error.get("detail", ""))
-    if kind == protocol.ERR_OVERLOADED:
-        retry_after = error.get("retry_after")
-        raise PDPOverloadedError(
-            f"remote PDP overloaded: {detail}",
-            retry_after=float(retry_after) if retry_after else 0.0,
-        )
-    if kind == protocol.ERR_PROTOCOL:
-        raise ProtocolError(f"remote PDP rejected the frame: {detail}")
-    if kind == protocol.ERR_FENCED:
-        raise PDPFencedError(f"remote PDP fenced the request: {detail}")
-    if kind == protocol.ERR_NOT_PRIMARY:
-        raise PDPNotPrimaryError(f"remote PDP is not primary: {detail}")
-    if kind == protocol.ERR_POLICY:
-        # A rejected policy-reload: caller error, never retried (and the
-        # server's active policy is untouched).
-        raise PolicyError(f"remote PDP rejected the policy: {detail}")
-    raise PDPUnavailableError(f"remote PDP error ({kind}): {detail}")
+    raise _error_to_exception(frame.get("error"))
 
 
 def _policy_source_to_xml(policy) -> str:
@@ -128,6 +138,294 @@ class _Backoff:
     def delay(self, attempt: int, floor: float = 0.0) -> float:
         ceiling = min(self._cap, self._base * (2**attempt))
         return floor + self._rng.uniform(0.0, ceiling)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined protocol-v2 transport (shared slot type + sync connection)
+# ---------------------------------------------------------------------------
+class _BatchSlot:
+    """One submitted decide awaiting its batch-entry result."""
+
+    __slots__ = ("request", "epoch", "event", "decision", "error")
+
+    def __init__(self, request: dict, epoch: int | None) -> None:
+        self.request = request
+        self.epoch = epoch
+        self.event = threading.Event()
+        self.decision: dict | None = None
+        self.error: Exception | None = None
+
+    def resolve(self, decision: dict | None, error: Exception | None) -> None:
+        self.decision = decision
+        self.error = error
+        self.event.set()
+
+
+class _PipelinedV2Connection:
+    """One negotiated protocol-v2 connection with pipelined batches.
+
+    Concurrent ``decide`` callers enqueue slots; a sender thread drains
+    them into ``decide-batch`` frames (grouped by fencing epoch, up to
+    ``batch_max`` requests per frame) and keeps at most ``window``
+    correlated frames in flight; a reader thread matches responses by
+    frame id and resolves slots as they complete, out of order.
+
+    The idempotent-only retry discipline maps onto queue position at
+    failure time: a slot still **unsent** when the transport dies fails
+    with :class:`PDPConnectError` (nothing reached the server — always
+    safe to retry), a slot in a frame that was **sent** fails with
+    :class:`PDPUnavailableError` (the server may still evaluate and
+    commit it — never replayed).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float,
+        batch_max: int,
+        window: int,
+        perf: PerfRecorder,
+    ) -> None:
+        self._timeout = timeout
+        self._batch_max = batch_max
+        self._perf = perf
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise PDPConnectError(
+                f"cannot connect to PDP at {host}:{port}: {exc}"
+            ) from exc
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        try:
+            self.version = self._handshake()
+        except BaseException:
+            self._file.close()
+            self._sock.close()
+            raise
+        # Blocking IO from here on: slot waits enforce the timeout and
+        # kill the socket when the server goes quiet, which unblocks
+        # both threads.
+        self._sock.settimeout(None)
+        self._cond = threading.Condition()
+        self._queue: deque[_BatchSlot] = deque()
+        self._pending: dict[str, list[_BatchSlot]] = {}
+        self._window = threading.Semaphore(window)
+        self._dead: Exception | None = None
+        self._sender = threading.Thread(
+            target=self._sender_loop, name="repro-pdp-sender", daemon=True
+        )
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="repro-pdp-reader", daemon=True
+        )
+        self._sender.start()
+        self._reader.start()
+
+    def _handshake(self) -> int:
+        frame_id = _next_frame_id()
+        try:
+            self._sock.sendall(
+                protocol.encode_frame(protocol.hello_frame(frame_id))
+            )
+            line = self._file.readline(protocol.MAX_FRAME_BYTES + 1)
+        except OSError as exc:
+            # hello is side-effect free, so a lost handshake is always a
+            # connect-class (retriable) failure.
+            raise PDPConnectError(f"handshake failed: {exc}") from exc
+        if not line.endswith(b"\n"):
+            raise PDPConnectError("connection closed during handshake")
+        response = _check_response(protocol.decode_frame(line), frame_id)
+        version = protocol.hello_body_version(response.get("body"))
+        if version < protocol.PROTOCOL_VERSION_2:
+            raise ProtocolError(
+                f"server negotiated protocol v{version}; v2 required"
+            )
+        return version
+
+    @property
+    def is_dead(self) -> bool:
+        return self._dead is not None
+
+    # -- submit --------------------------------------------------------
+    def decide(self, request: dict, epoch: int | None) -> dict | None:
+        slot = _BatchSlot(request, epoch)
+        with self._cond:
+            if self._dead is not None:
+                raise PDPConnectError(
+                    f"pipelined connection lost: {self._dead}"
+                )
+            self._queue.append(slot)
+            self._cond.notify()
+        if not slot.event.wait(self._timeout):
+            self._fail(
+                PDPUnavailableError(
+                    f"no response within {self._timeout}s; "
+                    "pipelined connection dropped"
+                )
+            )
+            slot.event.wait(1.0)
+            if not slot.event.is_set():  # pragma: no cover - _fail resolves all
+                raise PDPUnavailableError("pipelined connection wedged")
+        if slot.error is not None:
+            raise slot.error
+        return slot.decision
+
+    # -- sender thread -------------------------------------------------
+    def _sender_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and self._dead is None:
+                    self._cond.wait()
+                if self._dead is not None:
+                    return
+                batch = [self._queue.popleft()]
+                epoch = batch[0].epoch
+                while (
+                    self._queue
+                    and len(batch) < self._batch_max
+                    and self._queue[0].epoch == epoch
+                ):
+                    batch.append(self._queue.popleft())
+            # The batch now belongs to this thread: resolve it here on
+            # any pre-send failure (nothing has reached the server yet).
+            acquired = False
+            while not acquired:
+                if self._dead is not None:
+                    exc = PDPConnectError(
+                        f"pipelined connection lost: {self._dead}"
+                    )
+                    for slot in batch:
+                        slot.resolve(None, exc)
+                    return
+                acquired = self._window.acquire(timeout=0.1)
+            frame_id = _next_frame_id()
+            frame: dict = {
+                "op": protocol.OP_DECIDE_BATCH,
+                "id": frame_id,
+                "requests": [slot.request for slot in batch],
+            }
+            if epoch is not None:
+                frame["epoch"] = epoch
+            try:
+                payload = protocol.encode_frame_v2(frame)
+            except ProtocolError as exc:
+                # Unencodable request: fail this batch, keep the wire.
+                self._window.release()
+                for slot in batch:
+                    slot.resolve(None, exc)
+                continue
+            with self._cond:
+                if self._dead is not None:
+                    exc = PDPConnectError(
+                        f"pipelined connection lost: {self._dead}"
+                    )
+                    for slot in batch:
+                        slot.resolve(None, exc)
+                    return
+                self._pending[frame_id] = batch
+            try:
+                self._sock.sendall(payload)
+            except OSError as exc:
+                # sendall may have transmitted part of the frame: the
+                # whole batch counts as sent (ambiguous on the server).
+                self._fail(
+                    PDPUnavailableError(f"PDP transport failure: {exc}")
+                )
+                return
+            perf = self._perf
+            if perf.enabled:
+                perf.incr("client.frames_out")
+                perf.incr("client.bytes_out", len(payload))
+                perf.observe_size("client.batch_size", len(batch))
+
+    # -- reader thread -------------------------------------------------
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                header = self._read_exactly(protocol.V2_HEADER_BYTES)
+                length = protocol.v2_payload_length(header)
+                payload = self._read_exactly(length)
+                frame = protocol.decode_frame_v2(payload)
+                if self._perf.enabled:
+                    self._perf.incr("client.frames_in")
+                    self._perf.incr(
+                        "client.bytes_in", protocol.V2_HEADER_BYTES + length
+                    )
+                self._resolve_frame(frame)
+        except PDPUnavailableError as exc:
+            self._fail(exc)
+        except ProtocolError as exc:
+            self._fail(
+                PDPUnavailableError(f"protocol violation from server: {exc}")
+            )
+        except OSError as exc:
+            self._fail(PDPUnavailableError(f"PDP transport failure: {exc}"))
+        finally:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+
+    def _read_exactly(self, n: int) -> bytes:
+        data = self._file.read(n)
+        if data is None or len(data) != n:
+            raise PDPUnavailableError("connection closed by server")
+        return data
+
+    def _resolve_frame(self, frame: dict) -> None:
+        frame_id = frame.get("id")
+        with self._cond:
+            batch = self._pending.pop(frame_id, None)
+        if batch is None:
+            raise ProtocolError(f"unsolicited response id {frame_id!r}")
+        self._window.release()
+        if frame.get("ok") is not True:
+            # Whole-frame error (e.g. shutting-down): same typed mapping
+            # a v1 round trip would get.
+            error = _error_to_exception(frame.get("error"))
+            for slot in batch:
+                slot.resolve(None, error)
+            return
+        entries = protocol.batch_result_entries(frame, expected=len(batch))
+        for slot, entry in zip(batch, entries):
+            if entry.get("ok") is True:
+                slot.resolve(entry.get("decision"), None)
+            else:
+                slot.resolve(None, _error_to_exception(entry.get("error")))
+
+    # -- teardown ------------------------------------------------------
+    def _fail(self, exc: Exception) -> None:
+        with self._cond:
+            if self._dead is None:
+                self._dead = exc
+            unsent = list(self._queue)
+            self._queue.clear()
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._cond.notify_all()
+        connect_exc = PDPConnectError(
+            f"pipelined connection lost before send: {exc}"
+        )
+        for slot in unsent:
+            slot.resolve(None, connect_exc)
+        for batch in pending:
+            for slot in batch:
+                slot.resolve(None, exc)
+        # shutdown (not file.close) unblocks a reader parked in read():
+        # closing the buffered file here would block on the read lock
+        # the reader holds.  The reader closes the file as it exits.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+
+    def close(self) -> None:
+        self._fail(PDPUnavailableError("pipelined connection closed"))
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +505,20 @@ class RemotePDP(PolicyDecisionPoint):
         ``client.retries``, ``client.overload_rejections``,
         ``client.transport_failures``) and the ``client.call``
         round-trip stage histogram.
+    protocol_version:
+        ``"auto"`` (default) negotiates protocol v2 on the first decide
+        and falls back to v1 when the server rejects the ``hello``;
+        ``"v2"`` requires v2 (raising
+        :class:`~repro.errors.ProtocolError` against a v1-only server);
+        ``"v1"`` pins the JSON-lines protocol.  Control verbs always
+        use v1 pooled connections — only ``decide`` rides the
+        pipelined binary transport.
+    batch_max:
+        Most decide requests coalesced into one ``decide-batch`` frame
+        (v2 only).
+    pipeline_window:
+        Most correlated v2 frames in flight per connection before
+        submission blocks (v2 only).
     """
 
     def __init__(
@@ -221,7 +533,15 @@ class RemotePDP(PolicyDecisionPoint):
         backoff_cap: float = 0.5,
         rng: random.Random | None = None,
         perf: PerfRecorder | None = None,
+        protocol_version: str = "auto",
+        batch_max: int = 32,
+        pipeline_window: int = 8,
     ) -> None:
+        if protocol_version not in ("auto", "v1", "v2"):
+            raise ValueError(
+                "protocol_version must be 'auto', 'v1' or 'v2', "
+                f"got {protocol_version!r}"
+            )
         self._host = host
         self._port = port
         self._timeout = timeout
@@ -235,10 +555,21 @@ class RemotePDP(PolicyDecisionPoint):
         self._idle_lock = threading.Lock()
         self._closed = False
         self._perf = perf if perf is not None else NOOP
+        self._protocol_version = protocol_version
+        self._batch_max = batch_max
+        self._pipeline_window = pipeline_window
+        self._negotiated: int | None = 1 if protocol_version == "v1" else None
+        self._pipe: _PipelinedV2Connection | None = None
+        self._pipe_lock = threading.Lock()
 
     @property
     def perf(self) -> PerfRecorder:
         return self._perf
+
+    @property
+    def negotiated_protocol(self) -> int | None:
+        """The decide protocol in use: 1, 2, or None before negotiation."""
+        return self._negotiated
 
     # -- connection pool ----------------------------------------------
     def _acquire(self, connect_timeout: float | None = None) -> _SyncConnection:
@@ -271,6 +602,10 @@ class RemotePDP(PolicyDecisionPoint):
             idle, self._idle = self._idle, []
         for conn in idle:
             conn.close()
+        with self._pipe_lock:
+            pipe, self._pipe = self._pipe, None
+        if pipe is not None:
+            pipe.close()
 
     def __enter__(self) -> "RemotePDP":
         return self
@@ -356,6 +691,13 @@ class RemotePDP(PolicyDecisionPoint):
         client's routing table is stale.  Plain single-node servers
         ignore the field.
         """
+        if self._negotiated != 1:
+            return self._decide_pipelined(request, epoch)
+        return self._decide_v1(request, epoch)
+
+    def _decide_v1(
+        self, request: DecisionRequest, epoch: int | None
+    ) -> Decision:
         fields: dict = {"request": protocol.request_to_wire(request)}
         if epoch is not None:
             fields["epoch"] = epoch
@@ -365,6 +707,80 @@ class RemotePDP(PolicyDecisionPoint):
             **fields,
         )
         return protocol.decision_from_wire(response.get("decision"))
+
+    # -- pipelined v2 path ---------------------------------------------
+    def _pipeline(self) -> _PipelinedV2Connection | None:
+        """The shared pipelined v2 connection, (re)establishing it.
+
+        Returns ``None`` when decides should speak v1 instead: either
+        the pinned setting, or an ``"auto"`` client whose server
+        rejected the hello (the fallback is then remembered for the
+        client's lifetime).
+        """
+        with self._pipe_lock:
+            if self._negotiated == 1:
+                return None
+            pipe = self._pipe
+            if pipe is not None and not pipe.is_dead:
+                return pipe
+            if pipe is not None:
+                pipe.close()
+                self._pipe = None
+            try:
+                pipe = _PipelinedV2Connection(
+                    self._host,
+                    self._port,
+                    timeout=self._timeout,
+                    batch_max=self._batch_max,
+                    window=self._pipeline_window,
+                    perf=self._perf,
+                )
+            except ProtocolError:
+                # The server answered the hello but cannot speak v2.
+                if self._protocol_version == "auto":
+                    self._negotiated = 1
+                    return None
+                raise
+            self._negotiated = pipe.version
+            self._pipe = pipe
+            return pipe
+
+    def _decide_pipelined(
+        self, request: DecisionRequest, epoch: int | None
+    ) -> Decision:
+        perf = self._perf
+        timing = perf.enabled
+        perf.incr("client.calls")
+        wire = protocol.request_to_wire(request)
+        attempt = 0
+        while True:
+            started = perf.start() if timing else 0.0
+            try:
+                pipe = self._pipeline()
+                if pipe is None:  # fell back to v1 during negotiation
+                    return self._decide_v1(request, epoch)
+                decision = pipe.decide(wire, epoch)
+                if timing:
+                    perf.stop("client.call", started)
+                return protocol.decision_from_wire_delta(decision, request)
+            except PDPOverloadedError as exc:
+                # Shed *before* queueing: always safe to retry.
+                perf.incr("client.overload_rejections")
+                if attempt >= self._max_retries:
+                    raise
+                time.sleep(self._backoff.delay(attempt, floor=exc.retry_after))
+            except PDPConnectError:
+                # The slot never left the client: safe to retry.
+                perf.incr("client.transport_failures")
+                if attempt >= self._max_retries:
+                    raise
+                time.sleep(self._backoff.delay(attempt))
+            except PDPUnavailableError:
+                # Sent but unanswered: ambiguous, never replayed.
+                perf.incr("client.transport_failures")
+                raise
+            perf.incr("client.retries")
+            attempt += 1
 
     # -- control verbs -------------------------------------------------
     def healthz(self) -> dict:
@@ -433,12 +849,240 @@ class RemotePDP(PolicyDecisionPoint):
 # ---------------------------------------------------------------------------
 # Asyncio client
 # ---------------------------------------------------------------------------
+class _AsyncPipelinedV2:
+    """Asyncio twin of :class:`_PipelinedV2Connection`.
+
+    Concurrent ``decide`` coroutines append to a buffer; a flush task
+    coalesces the buffer into ``decide-batch`` frames (grouped by
+    fencing epoch, bounded by the in-flight window) and a reader task
+    resolves per-entry futures by correlation id.  The same unsent →
+    retriable / sent → :class:`PDPUnavailableError` discipline applies.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        version: int,
+        timeout: float,
+        batch_max: int,
+        window: int,
+    ) -> None:
+        self._stream_reader = reader
+        self._writer = writer
+        self.version = version
+        self._timeout = timeout
+        self._batch_max = batch_max
+        self._window = asyncio.Semaphore(window)
+        self._buffer: list[tuple[asyncio.Future, dict, int | None]] = []
+        self._pending: dict[str, list[asyncio.Future]] = {}
+        self._dead: Exception | None = None
+        self._flush_task: asyncio.Task | None = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        timeout: float,
+        batch_max: int,
+        window: int,
+    ) -> "_AsyncPipelinedV2":
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(
+                    host, port, limit=protocol.MAX_FRAME_BYTES_V2
+                ),
+                timeout=timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise PDPConnectError(
+                f"cannot connect to PDP at {host}:{port}: {exc}"
+            ) from exc
+        try:
+            frame_id = _next_frame_id()
+            writer.write(protocol.encode_frame(protocol.hello_frame(frame_id)))
+            await asyncio.wait_for(writer.drain(), timeout=timeout)
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+            if not line.endswith(b"\n"):
+                # hello is side-effect free: always retriable.
+                raise PDPConnectError("connection closed during handshake")
+            response = _check_response(protocol.decode_frame(line), frame_id)
+            version = protocol.hello_body_version(response.get("body"))
+            if version < protocol.PROTOCOL_VERSION_2:
+                raise ProtocolError(
+                    f"server negotiated protocol v{version}; v2 required"
+                )
+        except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+            writer.close()
+            raise PDPConnectError(f"handshake failed: {exc}") from exc
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, version, timeout, batch_max, window)
+
+    @property
+    def is_dead(self) -> bool:
+        return self._dead is not None
+
+    # -- submit --------------------------------------------------------
+    async def decide(self, request: dict, epoch: int | None) -> dict | None:
+        if self._dead is not None:
+            raise PDPConnectError(f"pipelined connection lost: {self._dead}")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._buffer.append((future, request, epoch))
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = asyncio.get_running_loop().create_task(
+                self._flush()
+            )
+        try:
+            return await asyncio.wait_for(future, timeout=self._timeout)
+        except asyncio.TimeoutError:
+            exc = PDPUnavailableError(
+                f"no response within {self._timeout}s; "
+                "pipelined connection dropped"
+            )
+            self._fail(exc)
+            raise exc from None
+
+    # -- flush task ----------------------------------------------------
+    async def _flush(self) -> None:
+        # One event-loop tick lets concurrent decide() callers land in
+        # the buffer before the first frame is cut.
+        await asyncio.sleep(0)
+        while self._buffer and self._dead is None:
+            epoch = self._buffer[0][2]
+            batch: list[tuple[asyncio.Future, dict, int | None]] = []
+            while (
+                self._buffer
+                and len(batch) < self._batch_max
+                and self._buffer[0][2] == epoch
+            ):
+                batch.append(self._buffer.pop(0))
+            await self._window.acquire()
+            if self._dead is not None:
+                exc = PDPConnectError(
+                    f"pipelined connection lost: {self._dead}"
+                )
+                for future, _, _ in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            frame_id = _next_frame_id()
+            frame: dict = {
+                "op": protocol.OP_DECIDE_BATCH,
+                "id": frame_id,
+                "requests": [request for _, request, _ in batch],
+            }
+            if epoch is not None:
+                frame["epoch"] = epoch
+            try:
+                payload = protocol.encode_frame_v2(frame)
+            except ProtocolError as exc:
+                self._window.release()
+                for future, _, _ in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            self._pending[frame_id] = [future for future, _, _ in batch]
+            try:
+                self._writer.write(payload)
+                await self._writer.drain()
+            except (OSError, ConnectionError) as exc:
+                self._fail(
+                    PDPUnavailableError(f"PDP transport failure: {exc}")
+                )
+                return
+
+    # -- reader task ---------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._stream_reader.readexactly(
+                    protocol.V2_HEADER_BYTES
+                )
+                length = protocol.v2_payload_length(header)
+                payload = await self._stream_reader.readexactly(length)
+                self._resolve_frame(protocol.decode_frame_v2(payload))
+        except asyncio.CancelledError:  # close() cancels the loop
+            raise
+        except ProtocolError as exc:
+            self._fail(
+                PDPUnavailableError(f"protocol violation from server: {exc}")
+            )
+        except (OSError, ConnectionError, asyncio.IncompleteReadError) as exc:
+            self._fail(PDPUnavailableError(f"PDP transport failure: {exc}"))
+
+    def _resolve_frame(self, frame: dict) -> None:
+        frame_id = frame.get("id")
+        futures = self._pending.pop(frame_id, None)
+        if futures is None:
+            raise ProtocolError(f"unsolicited response id {frame_id!r}")
+        self._window.release()
+        if frame.get("ok") is not True:
+            error = _error_to_exception(frame.get("error"))
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        entries = protocol.batch_result_entries(frame, expected=len(futures))
+        for future, entry in zip(futures, entries):
+            if future.done():
+                continue
+            if entry.get("ok") is True:
+                future.set_result(entry.get("decision"))
+            else:
+                future.set_exception(_error_to_exception(entry.get("error")))
+
+    # -- teardown ------------------------------------------------------
+    def _fail(self, exc: Exception) -> None:
+        if self._dead is None:
+            self._dead = exc
+        buffered, self._buffer = self._buffer, []
+        pending, self._pending = list(self._pending.values()), {}
+        connect_exc = PDPConnectError(
+            f"pipelined connection lost before send: {exc}"
+        )
+        for future, _, _ in buffered:
+            if not future.done():
+                future.set_exception(connect_exc)
+        for futures in pending:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+        # Wake a flush task parked on an exhausted in-flight window; it
+        # re-checks _dead and exits.
+        self._window.release()
+        self._writer.close()
+
+    async def close(self) -> None:
+        self._fail(PDPUnavailableError("pipelined connection closed"))
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        try:
+            await self._writer.wait_closed()
+        except (OSError, ConnectionError):  # pragma: no cover
+            pass
+
+
 class AsyncRemotePDP:
     """The asyncio twin of :class:`RemotePDP`.
 
     Same wire protocol, retry discipline and pooling semantics, with
     coroutine methods (``await pdp.decide(request)``) for applications
-    that live on an event loop.
+    that live on an event loop.  ``protocol_version``/``batch_max``/
+    ``pipeline_window`` mirror :class:`RemotePDP`: in ``"auto"`` or
+    ``"v2"`` mode decides ride one pipelined binary connection whose
+    flush task coalesces concurrent callers into ``decide-batch``
+    frames, while control verbs stay on v1 pooled connections.
     """
 
     def __init__(
@@ -452,7 +1096,15 @@ class AsyncRemotePDP:
         backoff_base: float = 0.02,
         backoff_cap: float = 0.5,
         rng: random.Random | None = None,
+        protocol_version: str = "auto",
+        batch_max: int = 32,
+        pipeline_window: int = 8,
     ) -> None:
+        if protocol_version not in ("auto", "v1", "v2"):
+            raise ValueError(
+                "protocol_version must be 'auto', 'v1' or 'v2', "
+                f"got {protocol_version!r}"
+            )
         self._host = host
         self._port = port
         self._timeout = timeout
@@ -465,6 +1117,17 @@ class AsyncRemotePDP:
         self._slots: asyncio.Semaphore | None = None
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
         self._closed = False
+        self._protocol_version = protocol_version
+        self._batch_max = batch_max
+        self._pipeline_window = pipeline_window
+        self._negotiated: int | None = 1 if protocol_version == "v1" else None
+        self._pipe: _AsyncPipelinedV2 | None = None
+        self._pipe_lock: asyncio.Lock | None = None
+
+    @property
+    def negotiated_protocol(self) -> int | None:
+        """The decide protocol in use: 1, 2, or None before negotiation."""
+        return self._negotiated
 
     def _semaphore(self) -> asyncio.Semaphore:
         if self._slots is None:
@@ -509,6 +1172,9 @@ class AsyncRemotePDP:
         idle, self._idle = self._idle, []
         for conn in idle:
             await self._release(conn, reusable=False)
+        pipe, self._pipe = self._pipe, None
+        if pipe is not None:
+            await pipe.close()
 
     async def __aenter__(self) -> "AsyncRemotePDP":
         return self
@@ -588,6 +1254,13 @@ class AsyncRemotePDP:
         self, request: DecisionRequest, *, epoch: int | None = None
     ) -> Decision:
         """Evaluate one request on the remote PDP (coroutine)."""
+        if self._negotiated != 1:
+            return await self._decide_pipelined(request, epoch)
+        return await self._decide_v1(request, epoch)
+
+    async def _decide_v1(
+        self, request: DecisionRequest, epoch: int | None
+    ) -> Decision:
         fields: dict = {"request": protocol.request_to_wire(request)}
         if epoch is not None:
             fields["epoch"] = epoch
@@ -597,6 +1270,65 @@ class AsyncRemotePDP:
             **fields,
         )
         return protocol.decision_from_wire(response.get("decision"))
+
+    # -- pipelined v2 path ---------------------------------------------
+    async def _pipeline(self) -> _AsyncPipelinedV2 | None:
+        if self._pipe_lock is None:
+            self._pipe_lock = asyncio.Lock()
+        async with self._pipe_lock:
+            if self._negotiated == 1:
+                return None
+            pipe = self._pipe
+            if pipe is not None and not pipe.is_dead:
+                return pipe
+            if pipe is not None:
+                await pipe.close()
+                self._pipe = None
+            try:
+                pipe = await _AsyncPipelinedV2.open(
+                    self._host,
+                    self._port,
+                    timeout=self._timeout,
+                    batch_max=self._batch_max,
+                    window=self._pipeline_window,
+                )
+            except ProtocolError:
+                # The server answered the hello but cannot speak v2.
+                if self._protocol_version == "auto":
+                    self._negotiated = 1
+                    return None
+                raise
+            self._negotiated = pipe.version
+            self._pipe = pipe
+            return pipe
+
+    async def _decide_pipelined(
+        self, request: DecisionRequest, epoch: int | None
+    ) -> Decision:
+        wire = protocol.request_to_wire(request)
+        attempt = 0
+        while True:
+            try:
+                pipe = await self._pipeline()
+                if pipe is None:  # fell back to v1 during negotiation
+                    return await self._decide_v1(request, epoch)
+                decision = await pipe.decide(wire, epoch)
+                return protocol.decision_from_wire_delta(decision, request)
+            except PDPOverloadedError as exc:
+                if attempt >= self._max_retries:
+                    raise
+                await asyncio.sleep(
+                    self._backoff.delay(attempt, floor=exc.retry_after)
+                )
+            except PDPConnectError:
+                # The slot never left the client: safe to retry.
+                if attempt >= self._max_retries:
+                    raise
+                await asyncio.sleep(self._backoff.delay(attempt))
+            except PDPUnavailableError:
+                # Sent but unanswered: ambiguous, never replayed.
+                raise
+            attempt += 1
 
     async def healthz(self) -> dict:
         """The server's health snapshot (coroutine; fast timeout)."""

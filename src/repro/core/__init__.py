@@ -46,6 +46,7 @@ from repro.core.explain import Explanation, TraceLine, explain
 from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
 from repro.core.policy_epoch import (
     INITIAL_EPOCH,
+    CompiledPolicyMatcher,
     PolicyEpochLog,
     PolicySwapReport,
     PolicyVersion,
@@ -77,6 +78,7 @@ __all__ = [
     "Step",
     "INITIAL_EPOCH",
     "PolicyEpochLog",
+    "CompiledPolicyMatcher",
     "PolicySwapReport",
     "PolicyVersion",
     "policy_set_digest",

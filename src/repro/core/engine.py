@@ -40,6 +40,7 @@ from repro.core.decision import (
 from repro.core.policy import MSoDPolicy, MSoDPolicySet
 from repro.core.policy_epoch import (
     INITIAL_EPOCH,
+    CompiledPolicyMatcher,
     PolicyEpochLog,
     PolicySwapReport,
     PolicyVersion,
@@ -77,10 +78,13 @@ class MSoDEngine:
         # The active policy version is one tuple, read exactly once at
         # the top of check(): a decision therefore evaluates wholly
         # under one version even while swap_policy runs concurrently.
-        self._active: tuple[MSoDPolicySet, int, str] = (
+        # The compiled step-1 matcher rides in the same tuple, so a swap
+        # replaces policy set and compiled state in one assignment.
+        self._active: tuple[MSoDPolicySet, int, str, CompiledPolicyMatcher] = (
             policy_set,
             INITIAL_EPOCH,
             digest,
+            CompiledPolicyMatcher(policy_set, INITIAL_EPOCH, digest),
         )
         self._epoch_log = PolicyEpochLog()
         self._epoch_log.record(INITIAL_EPOCH, policy_set, digest)
@@ -107,8 +111,13 @@ class MSoDEngine:
 
     def policy_version(self) -> PolicyVersion:
         """The active policy version as one consistent snapshot."""
-        policy_set, epoch, digest = self._active
+        policy_set, epoch, digest, _ = self._active
         return PolicyVersion(epoch=epoch, digest=digest, policies=len(policy_set))
+
+    @property
+    def compiled_matcher(self) -> CompiledPolicyMatcher:
+        """The step-1 matcher compiled for the active epoch."""
+        return self._active[3]
 
     def policy_set_for_epoch(self, epoch: int) -> MSoDPolicySet | None:
         """The policy set enforced at ``epoch``, if still remembered."""
@@ -164,7 +173,7 @@ class MSoDEngine:
         rendered = tuple(str(f) for f in findings)
         new_digest = policy_set_digest(policy_set)
         with self._swap_lock:
-            _, epoch, digest = self._active
+            _, epoch, digest, _ = self._active
             previous = self.policy_version()
             if new_digest == digest and not force:
                 self._perf.incr("engine.policy_reload_noops")
@@ -175,9 +184,13 @@ class MSoDEngine:
                     findings=rendered,
                 )
             new_epoch = epoch + 1
+            # Compile the new epoch's matcher before the store
+            # transaction: decisions keep hitting the old compiled state
+            # until the one-tuple swap below makes the new one visible.
+            compiled = CompiledPolicyMatcher(policy_set, new_epoch, new_digest)
             with self._store.batch():
                 self._store.invalidate_policy_memos()
-                self._active = (policy_set, new_epoch, new_digest)
+                self._active = (policy_set, new_epoch, new_digest, compiled)
             self._epoch_log.record(new_epoch, policy_set, new_digest)
             self._perf.incr("engine.policy_reloads")
             return PolicySwapReport(
@@ -213,11 +226,12 @@ class MSoDEngine:
         # One atomic read of the active policy version: the whole
         # decision evaluates under this set/epoch even if swap_policy
         # installs a new one mid-request.
-        policy_set, policy_epoch, policy_digest = self._active
+        policy_set, policy_epoch, policy_digest, compiled = self._active
 
         # Step 1: match the input business-context instance against the
-        # business contexts in the MSoD set of policies.
-        matched_policies = policy_set.matching(request.context_instance)
+        # business contexts in the MSoD set of policies, through the
+        # matcher compiled for this epoch.
+        matched_policies = compiled.matching(request.context_instance)
         if timing:
             perf.stop("engine.policy_match", started)
         if tracing:

@@ -15,6 +15,14 @@ digest they were evaluated under, and :class:`PolicyEpochLog` keeps a
 bounded ``epoch -> policy set`` history so recovery and standby replay
 can re-apply each historical decision under the policy that produced it
 (see :func:`repro.audit.recovery.recover_retained_adi`).
+
+:class:`CompiledPolicyMatcher` is the per-epoch compiled form of step-1
+matching: the leading-type dispatch table and every policy context's
+compiled matcher are built **once** at swap time (not lazily on the hot
+path), fronted by a bounded instance → matched-policies memo.  The
+compiled matcher is stamped with the epoch and digest it was built from
+and rides in the engine's one active tuple, so a hot reload atomically
+replaces compiled state together with the policy set itself.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.context import ContextName
 from repro.core.policy import MSoDPolicy, MSoDPolicySet
 from repro.errors import PolicyError
 
@@ -70,6 +79,97 @@ def policy_set_digest(policy_set: MSoDPolicySet) -> str:
         separators=(",", ":"),
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CompiledPolicyMatcher:
+    """Step-1 matching compiled once per policy epoch.
+
+    The compilation is a two-level automaton over context names:
+
+    1. *leading-type dispatch* — an instance ``T=v, ...`` can only match
+       policies whose context is universal or starts with type ``T``, so
+       the first transition is one dict lookup on the leading component
+       type;
+    2. *per-policy compiled matchers* — each bucket holds
+       ``(compiled_matcher, policy)`` pairs with the
+       :class:`~repro.core.context._CompiledMatcher` prebound, so the
+       wildcard-aware prefix test runs as tuple-slice comparisons with
+       no per-call attribute traffic or lazy compilation.
+
+    Results are memoized per concrete instance (bounded; the map resets
+    when full — request streams draw from a small set of live business
+    contexts, so steady state is one dict hit per decision).  The object
+    is immutable except for the memo, whose benign races (a lost insert,
+    a concurrent reset) only cost a recomputation — safe for the
+    multi-threaded embedders the engine supports.
+
+    Stamped with the ``epoch``/``digest`` it was built from; the engine
+    swaps it atomically with the policy set inside one tuple assignment,
+    which is what keeps hot-reload invalidation of compiled state atomic.
+    """
+
+    __slots__ = ("epoch", "digest", "_root", "_buckets", "_memo", "_memo_limit")
+
+    def __init__(
+        self,
+        policy_set: MSoDPolicySet,
+        epoch: int,
+        digest: str,
+        memo_limit: int = 4096,
+    ) -> None:
+        self.epoch = epoch
+        self.digest = digest
+        self._memo_limit = memo_limit
+        self._memo: dict[ContextName, tuple[MSoDPolicy, ...]] = {}
+        policies = tuple(policy_set)
+        self._root = tuple(
+            (policy.business_context.matcher, policy)
+            for policy in policies
+            if policy.business_context.is_root
+        )
+        leading_types = {
+            policy.business_context[0].ctx_type
+            for policy in policies
+            if not policy.business_context.is_root
+        }
+        # Universal-context policies merged into every bucket, preserving
+        # set order (step 1: "all policies apply and are selected").
+        self._buckets = {
+            ctx_type: tuple(
+                (policy.business_context.matcher, policy)
+                for policy in policies
+                if policy.business_context.is_root
+                or policy.business_context[0].ctx_type == ctx_type
+            )
+            for ctx_type in leading_types
+        }
+
+    def matching(self, instance: ContextName) -> tuple[MSoDPolicy, ...]:
+        """All policies applying to ``instance``, in set order.
+
+        Equivalent to :meth:`MSoDPolicySet.matching` under the epoch
+        this matcher was compiled for.
+        """
+        memo = self._memo
+        matched = memo.get(instance)
+        if matched is not None:
+            return matched
+        if instance.is_root:
+            bucket = self._root
+        else:
+            bucket = self._buckets.get(
+                instance.component_types[0], self._root
+            )
+        matched = tuple(
+            policy for matcher, policy in bucket if matcher.matches(instance)
+        )
+        if len(memo) >= self._memo_limit:
+            memo.clear()
+        memo[instance] = matched
+        return matched
+
+    def memo_size(self) -> int:
+        return len(self._memo)
 
 
 @dataclass(frozen=True, slots=True)

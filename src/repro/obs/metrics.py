@@ -15,6 +15,10 @@ Mapping rules:
   ``repro_stage_duration_seconds`` with a ``stage`` label, cumulative
   ``_bucket{le=...}`` counts derived from
   :data:`~repro.perf.LATENCY_BUCKET_BOUNDS`, plus ``_sum``/``_count``;
+* every perf *size* histogram (``perf.observe_size``, e.g. the wire
+  batch-size distribution ``wire.batch_size``) becomes its own
+  dimensionless histogram family (``repro_wire_batch_size``) with
+  buckets from the stats' own bounds;
 * registered collectors (e.g. the server's per-shard queue gauges)
   render under their declared type with their own labels.
 
@@ -156,9 +160,12 @@ class MetricsRegistry:
         self.register(name, "counter", help_text, collect)
 
     # -- rendering -----------------------------------------------------
-    def _merged_perf(self) -> tuple[dict[str, int], dict[str, StageStats]]:
+    def _merged_perf(
+        self,
+    ) -> tuple[dict[str, int], dict[str, StageStats], dict[str, StageStats]]:
         counters: dict[str, int] = {}
         stages: dict[str, StageStats] = {}
+        sizes: dict[str, StageStats] = {}
         for perf in self._recorders:
             for name, value in perf.counters().items():
                 counters[name] = counters.get(name, 0) + value
@@ -167,13 +174,18 @@ class MetricsRegistry:
                 if merged is None:
                     merged = stages[name] = StageStats()
                 merged.merge(stats)
-        return counters, stages
+            for name, stats in perf.sizes().items():
+                merged = sizes.get(name)
+                if merged is None:
+                    merged = sizes[name] = StageStats(bounds=stats.bounds)
+                merged.merge(stats)
+        return counters, stages, sizes
 
     def render(self) -> str:
         """The full exposition payload (ends with a newline)."""
         ns = self._namespace
         lines: list[str] = []
-        counters, stages = self._merged_perf()
+        counters, stages, sizes = self._merged_perf()
 
         for name in sorted(counters):
             metric = f"{ns}_{_sanitize(name)}_total"
@@ -202,6 +214,23 @@ class MetricsRegistry:
                 )
                 lines.append(f"{family}_sum{{{label}}} {repr(stats.total)}")
                 lines.append(f"{family}_count{{{label}}} {stats.count}")
+
+        for name in sorted(sizes):
+            stats = sizes[name]
+            family = f"{ns}_{_sanitize(name)}"
+            lines.append(
+                f"# HELP {family} Size distribution {name!r} (dimensionless)."
+            )
+            lines.append(f"# TYPE {family} histogram")
+            cumulative = 0
+            for index, bound in enumerate(stats.bounds):
+                cumulative += stats.buckets[index]
+                lines.append(
+                    f'{family}_bucket{{le="{format(bound, "g")}"}} {cumulative}'
+                )
+            lines.append(f'{family}_bucket{{le="+Inf"}} {stats.count}')
+            lines.append(f"{family}_sum {repr(stats.total)}")
+            lines.append(f"{family}_count {stats.count}")
 
         for collector in self._collectors:
             lines.append(f"# HELP {collector.name} {collector.help}")

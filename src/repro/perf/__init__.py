@@ -38,6 +38,7 @@ __all__ = [
     "NOOP",
     "StageStats",
     "LATENCY_BUCKET_BOUNDS",
+    "SIZE_BUCKET_BOUNDS",
 ]
 
 #: Upper bounds (seconds) of the logarithmic latency buckets: 1µs to 10s
@@ -48,18 +49,32 @@ LATENCY_BUCKET_BOUNDS: tuple[float, ...] = tuple(
     for base in (1.0, 2.0, 5.0)
 ) + (10.0,)
 
+#: Upper bounds of the power-of-two size buckets used for dimensionless
+#: distributions (wire batch sizes, frame counts).  Sizes are small
+#: integers, so doubling bounds keep the histogram tight where batching
+#: behaviour actually changes (1 vs 2 vs 8 requests per frame).
+SIZE_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    float(1 << shift) for shift in range(11)  # 1 .. 1024
+)
+
 
 class StageStats:
-    """Aggregated timings for one named pipeline stage."""
+    """Aggregated observations for one named stage.
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    By default the buckets are the logarithmic *latency* bounds (values
+    are seconds); pass ``bounds=SIZE_BUCKET_BOUNDS`` for dimensionless
+    size distributions such as wire batch sizes.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "buckets", "bounds")
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKET_BOUNDS) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = 0.0
-        self.buckets = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
 
     def observe(self, seconds: float) -> None:
         self.count += 1
@@ -68,7 +83,7 @@ class StageStats:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
-        for index, bound in enumerate(LATENCY_BUCKET_BOUNDS):
+        for index, bound in enumerate(self.bounds):
             if seconds <= bound:
                 self.buckets[index] += 1
                 return
@@ -77,10 +92,12 @@ class StageStats:
     def merge(self, other: "StageStats") -> None:
         """Fold another stage's aggregates into this one.
 
-        Both sides share :data:`LATENCY_BUCKET_BOUNDS`, so bucket counts
+        Both sides must share the same bucket bounds, so bucket counts
         add position-wise; used by the metrics exposition to combine
         recorders without double-emitting series.
         """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge stages with different bucket bounds")
         self.count += other.count
         self.total += other.total
         if other.count:
@@ -100,12 +117,21 @@ class StageStats:
         for index, bucket_count in enumerate(self.buckets):
             seen += bucket_count
             if seen >= rank and bucket_count:
-                if index < len(LATENCY_BUCKET_BOUNDS):
-                    return LATENCY_BUCKET_BOUNDS[index]
+                if index < len(self.bounds):
+                    return self.bounds[index]
                 return self.max
         return self.max
 
     def to_dict(self) -> dict:
+        # Latency stages keep their historical key format ("<=1e-03s")
+        # so committed BENCH snapshots stay comparable; size stages use
+        # plain integer-ish labels ("<=8").
+        if self.bounds is LATENCY_BUCKET_BOUNDS:
+            labels = [f"<={bound:.0e}s" for bound in self.bounds]
+            overflow = f">{self.bounds[-1]:g}s"
+        else:
+            labels = [f"<={bound:g}" for bound in self.bounds]
+            overflow = f">{self.bounds[-1]:g}"
         return {
             "count": self.count,
             "total_s": self.total,
@@ -116,11 +142,11 @@ class StageStats:
             "p95_s": self.quantile(0.95),
             "p99_s": self.quantile(0.99),
             "buckets": {
-                f"<={bound:.0e}s": self.buckets[index]
-                for index, bound in enumerate(LATENCY_BUCKET_BOUNDS)
+                labels[index]: self.buckets[index]
+                for index in range(len(self.bounds))
                 if self.buckets[index]
             }
-            | ({">10s": self.buckets[-1]} if self.buckets[-1] else {}),
+            | ({overflow: self.buckets[-1]} if self.buckets[-1] else {}),
         }
 
 
@@ -138,6 +164,7 @@ class PerfRecorder:
         self._clock = clock
         self._counters: dict[str, int] = {}
         self._stages: dict[str, StageStats] = {}
+        self._sizes: dict[str, StageStats] = {}
 
     # -- counters ------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -171,20 +198,47 @@ class PerfRecorder:
         """A shallow copy of the per-stage aggregates (read, don't mutate)."""
         return dict(self._stages)
 
+    # -- size histograms -----------------------------------------------
+    def observe_size(self, name: str, value: int) -> None:
+        """Record a dimensionless size sample (e.g. ``wire.batch_size``)."""
+        stats = self._sizes.get(name)
+        if stats is None:
+            stats = self._sizes[name] = StageStats(bounds=SIZE_BUCKET_BOUNDS)
+        stats.observe(value)
+
+    def size(self, name: str) -> StageStats | None:
+        return self._sizes.get(name)
+
+    def sizes(self) -> dict[str, StageStats]:
+        """A shallow copy of the size histograms (read, don't mutate)."""
+        return dict(self._sizes)
+
     # -- reporting -----------------------------------------------------
     def snapshot(self) -> dict:
-        """A JSON-compatible dump of every counter and stage."""
-        return {
+        """A JSON-compatible dump of every counter and stage.
+
+        The ``sizes`` section is additive: it only appears once a size
+        histogram has been observed, so pre-existing snapshot consumers
+        (and the empty-after-reset shape) are unchanged.
+        """
+        snap = {
             "counters": dict(sorted(self._counters.items())),
             "stages": {
                 name: stats.to_dict()
                 for name, stats in sorted(self._stages.items())
             },
         }
+        if self._sizes:
+            snap["sizes"] = {
+                name: stats.to_dict()
+                for name, stats in sorted(self._sizes.items())
+            }
+        return snap
 
     def reset(self) -> None:
         self._counters.clear()
         self._stages.clear()
+        self._sizes.clear()
 
 
 class NoopPerfRecorder(PerfRecorder):
@@ -210,6 +264,9 @@ class NoopPerfRecorder(PerfRecorder):
         pass
 
     def observe(self, stage: str, seconds: float) -> None:
+        pass
+
+    def observe_size(self, name: str, value: int) -> None:
         pass
 
 

@@ -1,6 +1,6 @@
 """The asyncio TCP front end of the MSoD authorization service.
 
-``MSoDServer`` binds a host/port, speaks the JSON-lines protocol of
+``MSoDServer`` binds a host/port, speaks the wire protocols of
 :mod:`repro.server.protocol`, and forwards ``decide`` frames to a
 :class:`~repro.server.service.AuthorizationService`.  The paper's
 deployment shape (Section 5): applications keep their PEP, but the PDP
@@ -8,15 +8,19 @@ runs as a central service consulted over the network.
 
 Connection handling rules:
 
+* every connection starts in JSON-lines v1; a ``hello`` frame may
+  upgrade it to the length-prefixed binary v2 encoding (same ops, plus
+  ``decide-batch``) — v1 clients never send ``hello`` and see no
+  change whatsoever;
 * frames on one connection are answered in order (clients wanting
-  concurrency open several pooled connections — see
-  :class:`repro.client.RemotePDP`);
+  concurrency open several pooled connections, or negotiate v2 and
+  pipeline batched frames — see :class:`repro.client.RemotePDP`);
 * malformed frames (bad JSON, bad UTF-8, unknown ops, invalid request
-  bodies) get an ``error`` response and the connection stays open —
-  a fuzzer must never take a worker down;
-* an oversized frame cannot be resynchronised (the byte stream is
-  corrupt mid-line), so it gets a final error frame and the connection
-  is closed;
+  bodies, garbled batch entries) get an ``error`` response and the
+  connection stays open — a fuzzer must never take a worker down;
+* a frame that corrupts the *stream* (an oversized v1 line, a v2
+  header with a bad magic/length) cannot be resynchronised, so it gets
+  a final error frame and the connection is closed;
 * overload and drain rejections are fast failures with ``retry_after``
   hints, the 503-equivalent of the wire protocol.
 """
@@ -32,6 +36,17 @@ from repro.server.service import (
     ServiceOverloadedError,
     ServiceUnavailableError,
 )
+
+#: ``_handle_frame`` outcomes.
+_CLOSE = 0
+_CONTINUE = 1
+_UPGRADE_V2 = 2
+
+#: Per-connection bound on concurrently processing ``decide-batch``
+#: frames.  Reads pause (TCP backpressure) once this many frames sit in
+#: shard queues — comfortably above any client's pipeline window while
+#: keeping one connection from monopolising the service.
+_V2_INFLIGHT_FRAMES = 64
 
 
 class MSoDServer:
@@ -128,7 +143,13 @@ class MSoDServer:
                     break
                 if not line:
                     break  # EOF (including one after a truncated frame)
-                if not await self._handle_frame(writer, line):
+                outcome = await self._handle_frame(writer, line)
+                if outcome == _CLOSE:
+                    break
+                if outcome == _UPGRADE_V2:
+                    # The hello response is on the wire; every byte from
+                    # here on is length-prefixed binary, both directions.
+                    await self._serve_v2(reader, writer)
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-exchange; nothing to answer
@@ -141,64 +162,212 @@ class MSoDServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _handle_frame(
-        self, writer: asyncio.StreamWriter, line: bytes
-    ) -> bool:
-        """Answer one frame; returns False when the connection must close."""
+    async def _handle_frame(self, writer: asyncio.StreamWriter, line: bytes) -> int:
+        """Answer one v1 frame; returns a ``_CLOSE``/``_CONTINUE``/
+        ``_UPGRADE_V2`` outcome for the connection loop."""
         frame_id = None
+        perf = self._service.perf
         try:
-            frame = protocol.decode_frame(line)
+            if perf.enabled:
+                perf.incr("wire.bytes_in", len(line))
+                perf.incr("wire.frames_in")
+                started = perf.start()
+                frame = protocol.decode_frame(line)
+                perf.stop("wire.decode_s", started)
+            else:
+                frame = protocol.decode_frame(line)
             frame_id = frame.get("id")
             op = frame.get("op")
-            if op == protocol.OP_DECIDE:
-                await self._handle_decide(writer, frame_id, frame)
-            elif op == protocol.OP_HEALTHZ:
+            if op == protocol.OP_HELLO:
+                version = protocol.negotiated_version(frame)
                 await self._send(
                     writer,
                     protocol.response_frame(
-                        frame_id, op, "body", self._service.health()
+                        frame_id,
+                        op,
+                        "body",
+                        {
+                            "version": version,
+                            "max_batch": protocol.MAX_WIRE_BATCH,
+                            "max_frame_bytes": protocol.MAX_FRAME_BYTES_V2,
+                        },
                     ),
                 )
-            elif op == protocol.OP_METRICS:
-                fmt = protocol.metrics_format_of(frame)
-                body = (
-                    self._service.metrics_text()
-                    if fmt == protocol.METRICS_FORMAT_PROMETHEUS
-                    else self._service.metrics()
-                )
-                await self._send(
-                    writer,
-                    protocol.response_frame(frame_id, op, "body", body),
-                )
-            elif op == protocol.OP_SLOWLOG:
-                await self._send(
-                    writer,
-                    protocol.response_frame(
-                        frame_id, op, "body", self._service.slowlog()
-                    ),
-                )
-            elif op == protocol.OP_POLICY_STATUS:
-                await self._send(
-                    writer,
-                    protocol.response_frame(
-                        frame_id, op, "body", self._service.policy_status()
-                    ),
-                )
-            elif op == protocol.OP_POLICY_RELOAD:
-                await self._handle_policy_reload(writer, frame_id, frame)
-            else:
-                raise ProtocolError(f"unknown operation {op!r}")
+                if version >= protocol.PROTOCOL_VERSION_2:
+                    return _UPGRADE_V2
+                return _CONTINUE
+            await self._dispatch(writer, frame_id, op, frame, v2=False)
         except ProtocolError as exc:
             await self._send(
                 writer,
                 protocol.error_frame(frame_id, protocol.ERR_PROTOCOL, str(exc)),
             )
         except (ConnectionResetError, BrokenPipeError):
-            return False
-        return True
+            return _CLOSE
+        return _CONTINUE
+
+    async def _serve_v2(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The post-hello loop: length-prefixed binary frames only.
+
+        Framing errors (bad magic — e.g. a stray v1 JSON line — bad
+        lengths, truncated prefixes) corrupt the stream and close the
+        connection after a final error frame; *payload* errors (garbled
+        binpack, unknown ops, malformed batch entries) leave the stream
+        in sync — exactly the declared length was consumed — so they
+        are answered and the connection stays open.
+
+        ``decide-batch`` frames are handled *concurrently* (bounded by
+        ``_V2_INFLIGHT_FRAMES``): the read loop keeps draining while
+        earlier batches sit in shard queues, so a pipelining client's
+        in-flight window actually overlaps on the server instead of
+        serialising one round trip per frame.  Responses may therefore
+        leave out of frame order — clients correlate by frame id.
+        """
+        perf = self._service.perf
+        gate = asyncio.Semaphore(_V2_INFLIGHT_FRAMES)
+        in_flight: set[asyncio.Task] = set()
+        try:
+            await self._serve_v2_frames(reader, writer, perf, gate, in_flight)
+        finally:
+            for task in in_flight:
+                task.cancel()
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
+
+    async def _serve_v2_frames(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        perf,
+        gate: asyncio.Semaphore,
+        in_flight: set,
+    ) -> None:
+        while True:
+            try:
+                header = await reader.readexactly(protocol.V2_HEADER_BYTES)
+            except asyncio.IncompleteReadError:
+                # EOF — clean, or after a truncated header; either way
+                # there is no frame id to answer and nothing to resync.
+                return
+            try:
+                length = protocol.v2_payload_length(header)
+            except ProtocolError as exc:
+                await self._send(
+                    writer,
+                    protocol.error_frame(None, protocol.ERR_PROTOCOL, str(exc)),
+                    v2=True,
+                )
+                return
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return  # frame truncated at EOF; the connection is gone
+            frame_id = None
+            try:
+                if perf.enabled:
+                    perf.incr(
+                        "wire.bytes_in", protocol.V2_HEADER_BYTES + length
+                    )
+                    perf.incr("wire.frames_in")
+                    started = perf.start()
+                    frame = protocol.decode_frame_v2(payload)
+                    perf.stop("wire.decode_s", started)
+                else:
+                    frame = protocol.decode_frame_v2(payload)
+                frame_id = frame.get("id")
+                op = frame.get("op")
+                if op == protocol.OP_DECIDE_BATCH:
+                    await gate.acquire()
+                    task = asyncio.ensure_future(
+                        self._decide_batch_task(writer, frame_id, frame, gate)
+                    )
+                    in_flight.add(task)
+                    task.add_done_callback(in_flight.discard)
+                elif op == protocol.OP_HELLO:
+                    # Redundant re-negotiation; stays v2 either way.
+                    protocol.negotiated_version(frame)
+                    await self._send(
+                        writer,
+                        protocol.response_frame(
+                            frame_id,
+                            op,
+                            "body",
+                            {
+                                "version": protocol.PROTOCOL_VERSION_2,
+                                "max_batch": protocol.MAX_WIRE_BATCH,
+                                "max_frame_bytes": protocol.MAX_FRAME_BYTES_V2,
+                            },
+                        ),
+                    )
+                else:
+                    await self._dispatch(writer, frame_id, op, frame, v2=True)
+            except ProtocolError as exc:
+                await self._send(
+                    writer,
+                    protocol.error_frame(
+                        frame_id, protocol.ERR_PROTOCOL, str(exc)
+                    ),
+                    v2=True,
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                return
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        frame_id,
+        op,
+        frame: dict,
+        v2: bool,
+    ) -> None:
+        """The op switch shared by the v1 and v2 connection loops."""
+        if op == protocol.OP_DECIDE:
+            await self._handle_decide(writer, frame_id, frame, v2=v2)
+        elif op == protocol.OP_HEALTHZ:
+            await self._send(
+                writer,
+                protocol.response_frame(
+                    frame_id, op, "body", self._service.health()
+                ),
+                v2=v2,
+            )
+        elif op == protocol.OP_METRICS:
+            fmt = protocol.metrics_format_of(frame)
+            body = (
+                self._service.metrics_text()
+                if fmt == protocol.METRICS_FORMAT_PROMETHEUS
+                else self._service.metrics()
+            )
+            await self._send(
+                writer,
+                protocol.response_frame(frame_id, op, "body", body),
+                v2=v2,
+            )
+        elif op == protocol.OP_SLOWLOG:
+            await self._send(
+                writer,
+                protocol.response_frame(
+                    frame_id, op, "body", self._service.slowlog()
+                ),
+                v2=v2,
+            )
+        elif op == protocol.OP_POLICY_STATUS:
+            await self._send(
+                writer,
+                protocol.response_frame(
+                    frame_id, op, "body", self._service.policy_status()
+                ),
+                v2=v2,
+            )
+        elif op == protocol.OP_POLICY_RELOAD:
+            await self._handle_policy_reload(writer, frame_id, frame, v2=v2)
+        else:
+            raise ProtocolError(f"unknown operation {op!r}")
 
     async def _handle_policy_reload(
-        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict, v2: bool = False
     ) -> None:
         """Parse, validate and atomically install a policy set.
 
@@ -218,6 +387,7 @@ class MSoDServer:
             await self._send(
                 writer,
                 protocol.error_frame(frame_id, protocol.ERR_POLICY, str(exc)),
+                v2=v2,
             )
             return
         await self._send(
@@ -225,16 +395,17 @@ class MSoDServer:
             protocol.response_frame(
                 frame_id, protocol.OP_POLICY_RELOAD, "body", report.to_dict()
             ),
+            v2=v2,
         )
 
     async def _handle_decide(
-        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict, v2: bool = False
     ) -> None:
         request = protocol.request_from_wire(frame.get("request"))
         if self._decide_gate is not None:
             short_circuit = self._decide_gate(frame_id, frame, request)
             if short_circuit is not None:
-                await self._send(writer, short_circuit)
+                await self._send(writer, short_circuit, v2=v2)
                 return
         try:
             future = self._service.submit(request)
@@ -247,6 +418,7 @@ class MSoDServer:
                     str(exc),
                     retry_after=exc.retry_after,
                 ),
+                v2=v2,
             )
             return
         except ServiceUnavailableError as exc:
@@ -255,6 +427,7 @@ class MSoDServer:
                 protocol.error_frame(
                     frame_id, protocol.ERR_SHUTTING_DOWN, str(exc)
                 ),
+                v2=v2,
             )
             return
         try:
@@ -267,6 +440,7 @@ class MSoDServer:
                     protocol.ERR_INTERNAL,
                     f"{type(exc).__name__}: {exc}",
                 ),
+                v2=v2,
             )
             return
         await self._send(
@@ -277,9 +451,152 @@ class MSoDServer:
                 "decision",
                 protocol.decision_to_wire(decision),
             ),
+            v2=v2,
         )
 
-    @staticmethod
-    async def _send(writer: asyncio.StreamWriter, frame: dict) -> None:
-        writer.write(protocol.encode_frame(frame))
+    async def _decide_batch_task(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict, gate
+    ) -> None:
+        """One concurrently-running ``decide-batch`` frame.
+
+        Mirrors the connection loop's error discipline: a payload-level
+        ``ProtocolError`` (malformed batch) is answered and the stream
+        stays open; a vanished client is ignored.  Always releases its
+        in-flight slot so the read loop can admit the next frame.
+        """
+        try:
+            await self._handle_decide_batch(writer, frame_id, frame)
+        except ProtocolError as exc:
+            try:
+                await self._send(
+                    writer,
+                    protocol.error_frame(
+                        frame_id, protocol.ERR_PROTOCOL, str(exc)
+                    ),
+                    v2=True,
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            gate.release()
+
+    async def _handle_decide_batch(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+    ) -> None:
+        """Answer one ``decide-batch`` frame with per-entry results.
+
+        The whole batch is parsed before anything is submitted (one
+        garbled entry rejects the frame — never a partial commit), then
+        every entry is enqueued on its user's shard *in frame order*
+        before the first await, so same-user entries keep their
+        serialization and the shard micro-batcher sees the burst at
+        once — one store transaction per wire batch under load.
+        Per-entry failures (overload shed, gate fencing, engine errors)
+        fail only their own slot.
+        """
+        requests = protocol.batch_requests_of(frame)
+        perf = self._service.perf
+        if perf.enabled:
+            perf.observe_size("wire.batch_size", len(requests))
+        results: list[dict | None] = []
+        pending: list[tuple[int, asyncio.Future]] = []
+        gate = self._decide_gate
+        for request in requests:
+            if gate is not None:
+                short_circuit = gate(frame_id, frame, request)
+                if short_circuit is not None:
+                    results.append(_batch_entry_of(short_circuit))
+                    continue
+            try:
+                future = self._service.submit(request)
+            except ServiceOverloadedError as exc:
+                results.append(
+                    {
+                        "ok": False,
+                        "error": {
+                            "kind": protocol.ERR_OVERLOADED,
+                            "detail": str(exc),
+                            "retry_after": exc.retry_after,
+                        },
+                    }
+                )
+                continue
+            except ServiceUnavailableError as exc:
+                results.append(
+                    {
+                        "ok": False,
+                        "error": {
+                            "kind": protocol.ERR_SHUTTING_DOWN,
+                            "detail": str(exc),
+                        },
+                    }
+                )
+                continue
+            pending.append((len(results), future, request))
+            results.append(None)
+        if pending:
+            outcomes = await asyncio.gather(
+                *(future for _, future, _ in pending), return_exceptions=True
+            )
+            for (slot, _, request), outcome in zip(pending, outcomes):
+                if isinstance(outcome, BaseException):
+                    results[slot] = {
+                        "ok": False,
+                        "error": {
+                            "kind": protocol.ERR_INTERNAL,
+                            "detail": f"{type(outcome).__name__}: {outcome}",
+                        },
+                    }
+                else:
+                    results[slot] = {
+                        "ok": True,
+                        "decision": protocol.decision_to_wire_delta(
+                            outcome, request
+                        ),
+                    }
+        await self._send(
+            writer,
+            {
+                "v": protocol.PROTOCOL_VERSION_2,
+                "id": frame_id,
+                "ok": True,
+                "op": protocol.OP_DECIDE_BATCH,
+                "results": results,
+            },
+            v2=True,
+        )
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, frame: dict, v2: bool = False
+    ) -> None:
+        perf = self._service.perf
+        if perf.enabled:
+            started = perf.start()
+            data = (
+                protocol.encode_frame_v2(frame)
+                if v2
+                else protocol.encode_frame(frame)
+            )
+            perf.stop("wire.encode_s", started)
+            perf.incr("wire.bytes_out", len(data))
+            perf.incr("wire.frames_out")
+        else:
+            data = (
+                protocol.encode_frame_v2(frame)
+                if v2
+                else protocol.encode_frame(frame)
+            )
+        writer.write(data)
         await writer.drain()
+
+
+def _batch_entry_of(short_circuit: dict) -> dict:
+    """Map a decide-gate short-circuit response frame to a batch entry."""
+    if short_circuit.get("ok"):
+        return {"ok": True, "decision": short_circuit.get("decision")}
+    error = short_circuit.get("error")
+    if not isinstance(error, dict):  # pragma: no cover - defensive
+        error = {"kind": protocol.ERR_INTERNAL, "detail": "gate rejected"}
+    return {"ok": False, "error": error}

@@ -1,8 +1,21 @@
-"""Versioned JSON-lines wire format for the MSoD authorization service.
+"""Versioned wire formats for the MSoD authorization service.
 
-One frame is one UTF-8 JSON object terminated by ``\\n``.  Every frame
-carries the protocol version (``"v"``) and a caller-chosen correlation
-id (``"id"``) echoed verbatim in the response, so clients may pipeline.
+**v1** is JSON lines: one frame is one UTF-8 JSON object terminated by
+``\\n``.  Every frame carries the protocol version (``"v"``) and a
+caller-chosen correlation id (``"id"``) echoed verbatim in the
+response, so clients may pipeline.
+
+**v2** is a length-prefixed compact binary encoding negotiated
+per-connection: a connection always *starts* in v1 and may send a
+``hello`` frame; once the server answers with ``version: 2`` both sides
+switch to binary frames (struct-packed 8-byte header + a msgpack-style
+payload, no external dependencies — see :func:`pack_payload`).  The
+payload is the *same* frame dict as v1, so every op round-trips
+unchanged; v2 additionally understands ``decide-batch``, which carries
+N requests (and N per-entry results) per frame.  v1 clients never send
+``hello`` and keep working byte-identically; v1 servers answer
+``hello`` with a ``protocol`` error, which v2-capable clients treat as
+"speak v1".
 
 Request frames (client → server)::
 
@@ -38,6 +51,7 @@ nothing else; a worker must never crash on attacker-controlled bytes.
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Mapping
 
 from repro.core.context import ContextName
@@ -81,6 +95,12 @@ OP_METRICS = "metrics"
 OP_SLOWLOG = "slowlog"
 OP_POLICY_STATUS = "policy-status"
 OP_POLICY_RELOAD = "policy-reload"
+#: Version negotiation (additive v1 verb): carries ``max_version``, the
+#: highest protocol version the client can speak; the server answers
+#: with the version this connection will use from the next frame on.
+#: Old servers answer ``hello`` with a ``protocol`` error, which a
+#: v2-capable client treats as "this endpoint speaks v1 only".
+OP_HELLO = "hello"
 KNOWN_OPS = frozenset(
     {
         OP_DECIDE,
@@ -89,8 +109,18 @@ KNOWN_OPS = frozenset(
         OP_SLOWLOG,
         OP_POLICY_STATUS,
         OP_POLICY_RELOAD,
+        OP_HELLO,
     }
 )
+
+#: Batched decide (v2 connections only): the frame carries a
+#: ``requests`` list and the response a same-length, same-order
+#: ``results`` list of per-entry ``{"ok": true, "decision": ...}`` /
+#: ``{"ok": false, "error": ...}`` outcomes.  Deliberately *not* in
+#: ``KNOWN_OPS``: a v1 endpoint must reject it (cross-talk safety).
+OP_DECIDE_BATCH = "decide-batch"
+#: Ops a negotiated v2 connection accepts.
+V2_OPS = KNOWN_OPS | {OP_DECIDE_BATCH}
 
 #: Operations understood by the cluster coordinator (router) endpoint,
 #: in addition to ``healthz``/``metrics``.  ``route`` returns the
@@ -365,6 +395,85 @@ def decision_to_wire(decision: Decision) -> dict:
 
 def decision_from_wire(raw: Any) -> Decision:
     """Rebuild a :class:`Decision`; raises ProtocolError on junk."""
+    return _decision_from_wire(raw, None)
+
+
+def _record_is_request_derived(
+    record: RetainedADIRecord, request: DecisionRequest
+) -> bool:
+    """True when a retained record is exactly the request's own grant."""
+    return (
+        record.user_id == request.user_id
+        and record.roles == tuple(request.roles)
+        and record.operation == request.operation
+        and record.target == request.target
+        and record.context_instance == request.context_instance
+        and record.granted_at == request.timestamp
+        and record.request_id == request.request_id
+    )
+
+
+def decision_to_wire_delta(
+    decision: Decision, request: DecisionRequest
+) -> dict:
+    """Serialise a decision for a v2 batch entry, delta-encoded.
+
+    A batch entry answers exactly one request the client already holds,
+    so the dominant payload bytes — the request echo and the retained
+    records a grant derives from that same request — are elided: the
+    echo is omitted when it equals the submitted request, and each
+    request-derived record collapses to its bare ``record_id`` (an
+    integer, or ``None`` for stores that assign no ids).  Anything that
+    does not round-trip through the request (a cached dedup decision
+    for a different submission, purge-survivor records) stays in the
+    full form, so :func:`decision_from_wire_delta` reconstructs the
+    identical :class:`Decision` either way.
+    """
+    wire: dict = {
+        "effect": decision.effect,
+        "violation": (
+            None
+            if decision.violation is None
+            else _violation_to_wire(decision.violation)
+        ),
+        "matched_policy_ids": list(decision.matched_policy_ids),
+        "records_added": decision.records_added,
+        "records_purged": decision.records_purged,
+        "reason": decision.reason,
+        "adi_adds": [
+            record.record_id
+            if _record_is_request_derived(record, request)
+            else _record_to_wire(record)
+            for record in decision.adi_adds
+        ],
+        "adi_purged_contexts": [
+            str(context) for context in decision.adi_purged_contexts
+        ],
+    }
+    if decision.request is not request and decision.request != request:
+        wire["request"] = request_to_wire(decision.request)
+    if decision.policy_epoch:
+        wire["policy_epoch"] = decision.policy_epoch
+        wire["policy_digest"] = decision.policy_digest
+    if decision.trace is not None:
+        wire["trace"] = decision.trace.to_dict()
+    return wire
+
+
+def decision_from_wire_delta(raw: Any, request: DecisionRequest) -> Decision:
+    """Rebuild a batch-entry :class:`Decision` against its own request.
+
+    The inverse of :func:`decision_to_wire_delta`: a missing request
+    echo resolves to ``request`` itself, and integer/``None`` entries
+    in ``adi_adds`` reinflate to the record the request's grant would
+    have produced.  Full-form entries (dicts) parse exactly as in v1.
+    """
+    if not isinstance(raw, Mapping):
+        raise ProtocolError("decision must be a map")
+    return _decision_from_wire(raw, request)
+
+
+def _decision_from_wire(raw: Any, delta_request: DecisionRequest | None) -> Decision:
     what = "decision"
     effect = _require(raw, "effect", str, what)
     if effect not in (Effect.GRANT, Effect.DENY):
@@ -401,10 +510,38 @@ def decision_from_wire(raw: Any) -> Decision:
             trace = DecisionTrace.from_dict(trace_raw)
         except ValueError as exc:
             raise ProtocolError(f"invalid decision trace: {exc}") from exc
+    request_raw = raw.get("request")
+    if delta_request is not None and request_raw is None:
+        request = delta_request
+    else:
+        request = request_from_wire(request_raw)
+    adi_adds: list[RetainedADIRecord] = []
+    for item in adds_raw:
+        if isinstance(item, Mapping):
+            adi_adds.append(_record_from_wire(item))
+        elif delta_request is not None and (
+            item is None
+            or (isinstance(item, int) and not isinstance(item, bool))
+        ):
+            # Delta marker: the record is the request's own grant.
+            adi_adds.append(
+                RetainedADIRecord(
+                    user_id=delta_request.user_id,
+                    roles=tuple(delta_request.roles),
+                    operation=delta_request.operation,
+                    target=delta_request.target,
+                    context_instance=delta_request.context_instance,
+                    granted_at=delta_request.timestamp,
+                    request_id=delta_request.request_id,
+                    record_id=item,
+                )
+            )
+        else:
+            raise ProtocolError(f"{what}.adi_adds[] entries must be records")
     return Decision(
         trace=trace,
         effect=effect,
-        request=request_from_wire(raw.get("request")),
+        request=request,
         violation=(
             None if violation_raw is None else _violation_from_wire(violation_raw)
         ),
@@ -412,7 +549,7 @@ def decision_from_wire(raw: Any) -> Decision:
         records_added=records_added,
         records_purged=records_purged,
         reason=_require(raw, "reason", str, what),
-        adi_adds=tuple(_record_from_wire(item) for item in adds_raw),
+        adi_adds=tuple(adi_adds),
         adi_purged_contexts=tuple(
             _context_from_wire(item, f"{what}.adi_purged_contexts[]")
             for item in purged_raw
@@ -425,3 +562,445 @@ def decision_from_wire(raw: Any) -> Decision:
 def policy_xml_of(frame: Mapping[str, Any]) -> str:
     """The validated ``policy_xml`` field of a ``policy-reload`` frame."""
     return _require(frame, "policy_xml", str, "policy-reload")
+
+
+# ---------------------------------------------------------------------------
+# Protocol v2: msgpack-style payload codec ("binpack")
+# ---------------------------------------------------------------------------
+#: The binary wire-format version spoken after a successful ``hello``.
+PROTOCOL_VERSION_2 = 2
+#: Highest version this build can negotiate.
+MAX_PROTOCOL_VERSION = PROTOCOL_VERSION_2
+
+#: Hard ceiling on one *batched* binary frame (header + payload).  A
+#: batch of ``MAX_WIRE_BATCH`` worst-case decisions fits comfortably;
+#: anything declaring more is rejected before a single payload byte is
+#: buffered.
+MAX_FRAME_BYTES_V2 = 8 << 20
+#: Most requests one ``decide-batch`` frame may carry.
+MAX_WIRE_BATCH = 1024
+#: Nesting depth cap for the payload codec — frames nest a handful of
+#: levels; attacker-controlled recursion must not reach the interpreter
+#: stack limit.
+_BINPACK_MAX_DEPTH = 32
+
+_FLOAT64 = struct.Struct("!d")
+
+
+def _pack_into(obj: Any, out: bytearray, depth: int) -> None:
+    if depth > _BINPACK_MAX_DEPTH:
+        raise ProtocolError("binpack payload nests too deeply")
+    if obj is None:
+        out.append(0xC0)
+    elif obj is True:
+        out.append(0xC3)
+    elif obj is False:
+        out.append(0xC2)
+    elif type(obj) is int:
+        if 0 <= obj <= 0x7F:
+            out.append(obj)
+        elif -32 <= obj < 0:
+            out.append(0x100 + obj)
+        elif obj >= 0:
+            if obj <= 0xFF:
+                out.append(0xCC)
+                out.append(obj)
+            elif obj <= 0xFFFF:
+                out.append(0xCD)
+                out += obj.to_bytes(2, "big")
+            elif obj <= 0xFFFFFFFF:
+                out.append(0xCE)
+                out += obj.to_bytes(4, "big")
+            elif obj <= 0xFFFFFFFFFFFFFFFF:
+                out.append(0xCF)
+                out += obj.to_bytes(8, "big")
+            else:
+                raise ProtocolError("binpack integer exceeds 64 bits")
+        else:
+            if obj >= -0x80:
+                out.append(0xD0)
+                out += obj.to_bytes(1, "big", signed=True)
+            elif obj >= -0x8000:
+                out.append(0xD1)
+                out += obj.to_bytes(2, "big", signed=True)
+            elif obj >= -0x80000000:
+                out.append(0xD2)
+                out += obj.to_bytes(4, "big", signed=True)
+            elif obj >= -0x8000000000000000:
+                out.append(0xD3)
+                out += obj.to_bytes(8, "big", signed=True)
+            else:
+                raise ProtocolError("binpack integer exceeds 64 bits")
+    elif type(obj) is float:
+        out.append(0xCB)
+        out += _FLOAT64.pack(obj)
+    elif type(obj) is str:
+        data = obj.encode("utf-8")
+        size = len(data)
+        if size <= 31:
+            out.append(0xA0 | size)
+        elif size <= 0xFF:
+            out.append(0xD9)
+            out.append(size)
+        elif size <= 0xFFFF:
+            out.append(0xDA)
+            out += size.to_bytes(2, "big")
+        elif size <= 0xFFFFFFFF:
+            out.append(0xDB)
+            out += size.to_bytes(4, "big")
+        else:  # pragma: no cover - larger than any frame limit
+            raise ProtocolError("binpack string too long")
+        out += data
+    elif type(obj) is bytes:
+        size = len(obj)
+        if size <= 0xFF:
+            out.append(0xC4)
+            out.append(size)
+        elif size <= 0xFFFF:
+            out.append(0xC5)
+            out += size.to_bytes(2, "big")
+        elif size <= 0xFFFFFFFF:
+            out.append(0xC6)
+            out += size.to_bytes(4, "big")
+        else:  # pragma: no cover - larger than any frame limit
+            raise ProtocolError("binpack bytes too long")
+        out += obj
+    elif isinstance(obj, (list, tuple)):
+        size = len(obj)
+        if size <= 15:
+            out.append(0x90 | size)
+        elif size <= 0xFFFF:
+            out.append(0xDC)
+            out += size.to_bytes(2, "big")
+        elif size <= 0xFFFFFFFF:
+            out.append(0xDD)
+            out += size.to_bytes(4, "big")
+        else:  # pragma: no cover
+            raise ProtocolError("binpack array too long")
+        for item in obj:
+            _pack_into(item, out, depth + 1)
+    elif isinstance(obj, dict):
+        size = len(obj)
+        if size <= 15:
+            out.append(0x80 | size)
+        elif size <= 0xFFFF:
+            out.append(0xDE)
+            out += size.to_bytes(2, "big")
+        elif size <= 0xFFFFFFFF:
+            out.append(0xDF)
+            out += size.to_bytes(4, "big")
+        else:  # pragma: no cover
+            raise ProtocolError("binpack map too long")
+        for key, value in obj.items():
+            if type(key) is not str:
+                raise ProtocolError("binpack map keys must be strings")
+            _pack_into(key, out, depth + 1)
+            _pack_into(value, out, depth + 1)
+    elif isinstance(obj, (int, str, float)):
+        # bool subclasses were handled above; tolerate int/str/float
+        # subclasses (enums such as Effect) by packing the base value.
+        base = int(obj) if isinstance(obj, int) else (
+            str(obj) if isinstance(obj, str) else float(obj)
+        )
+        _pack_into(base, out, depth)
+    else:
+        raise ProtocolError(
+            f"binpack cannot encode {type(obj).__name__} values"
+        )
+
+
+def pack_payload(obj: Any) -> bytes:
+    """Encode a JSON-shaped value with the v2 binary payload codec.
+
+    The codec is a self-contained msgpack-compatible subset (nil, bool,
+    64-bit ints, float64, str, bytes, array, map) — no external
+    dependency, deterministic output, and every decode failure mode is
+    a :class:`ProtocolError`.
+    """
+    out = bytearray()
+    _pack_into(obj, out, 0)
+    return bytes(out)
+
+
+def _need(data: bytes, offset: int, count: int, what: str) -> None:
+    if offset + count > len(data):
+        raise ProtocolError(f"binpack payload truncated in {what}")
+
+
+#: Memo of short map-key byte slices → interned strings.  Wire payloads
+#: repeat the same handful of keys ("effect", "reason", ...) thousands
+#: of times per batch; decoding each occurrence costs a slice, a UTF-8
+#: decode and a fresh string object, where a hit here costs one dict
+#: lookup.  Bounded; cleared wholesale if adversarial traffic fills it.
+_KEY_MEMO: dict[bytes, str] = {}
+_KEY_MEMO_MAX = 1024
+
+
+def _unpack_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    if depth > _BINPACK_MAX_DEPTH:
+        raise ProtocolError("binpack payload nests too deeply")
+    _need(data, offset, 1, "tag")
+    tag = data[offset]
+    offset += 1
+    if tag <= 0x7F:  # positive fixint
+        return tag, offset
+    if tag >= 0xE0:  # negative fixint
+        return tag - 0x100, offset
+    if 0x80 <= tag <= 0x8F:
+        return _unpack_map(data, offset, tag & 0x0F, depth)
+    if 0x90 <= tag <= 0x9F:
+        return _unpack_array(data, offset, tag & 0x0F, depth)
+    if 0xA0 <= tag <= 0xBF:
+        return _unpack_str(data, offset, tag & 0x1F)
+    if tag == 0xC0:
+        return None, offset
+    if tag == 0xC2:
+        return False, offset
+    if tag == 0xC3:
+        return True, offset
+    if tag in (0xC4, 0xC5, 0xC6):
+        width = 1 << (tag - 0xC4)
+        _need(data, offset, width, "bytes length")
+        size = int.from_bytes(data[offset:offset + width], "big")
+        offset += width
+        _need(data, offset, size, "bytes body")
+        return bytes(data[offset:offset + size]), offset + size
+    if tag == 0xCB:
+        _need(data, offset, 8, "float64")
+        return _FLOAT64.unpack_from(data, offset)[0], offset + 8
+    if 0xCC <= tag <= 0xCF:
+        width = 1 << (tag - 0xCC)
+        _need(data, offset, width, "uint")
+        value = int.from_bytes(data[offset:offset + width], "big")
+        return value, offset + width
+    if 0xD0 <= tag <= 0xD3:
+        width = 1 << (tag - 0xD0)
+        _need(data, offset, width, "int")
+        value = int.from_bytes(
+            data[offset:offset + width], "big", signed=True
+        )
+        return value, offset + width
+    if tag in (0xD9, 0xDA, 0xDB):
+        width = 1 << (tag - 0xD9)
+        _need(data, offset, width, "str length")
+        size = int.from_bytes(data[offset:offset + width], "big")
+        offset += width
+        return _unpack_str(data, offset, size)
+    if tag in (0xDC, 0xDD):
+        width = 2 << (tag - 0xDC)
+        _need(data, offset, width, "array length")
+        size = int.from_bytes(data[offset:offset + width], "big")
+        offset += width
+        return _unpack_array(data, offset, size, depth)
+    if tag in (0xDE, 0xDF):
+        width = 2 << (tag - 0xDE)
+        _need(data, offset, width, "map length")
+        size = int.from_bytes(data[offset:offset + width], "big")
+        offset += width
+        return _unpack_map(data, offset, size, depth)
+    raise ProtocolError(f"binpack tag 0x{tag:02x} is not supported")
+
+
+def _unpack_str(data: bytes, offset: int, size: int) -> tuple[str, int]:
+    _need(data, offset, size, "str body")
+    try:
+        return data[offset:offset + size].decode("utf-8"), offset + size
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"binpack string is not valid UTF-8: {exc}") from exc
+
+
+def _unpack_array(
+    data: bytes, offset: int, size: int, depth: int
+) -> tuple[list, int]:
+    if size > len(data) - offset:
+        # Each element costs at least one byte; a declared count larger
+        # than the remaining payload is a lie, not a big array.
+        raise ProtocolError("binpack array length exceeds payload")
+    unpack = _unpack_from
+    items = []
+    append = items.append
+    for _ in range(size):
+        item, offset = unpack(data, offset, depth + 1)
+        append(item)
+    return items, offset
+
+
+def _unpack_map(
+    data: bytes, offset: int, size: int, depth: int
+) -> tuple[dict, int]:
+    if size > (len(data) - offset) // 2:
+        raise ProtocolError("binpack map length exceeds payload")
+    length = len(data)
+    memo = _KEY_MEMO
+    unpack = _unpack_from
+    mapping: dict[str, Any] = {}
+    for _ in range(size):
+        # Fast path for the overwhelmingly common case — a short fixstr
+        # key — with a memo so repeated keys skip the UTF-8 decode.
+        if offset < length and 0xA0 <= data[offset] <= 0xBF:
+            end = offset + 1 + (data[offset] & 0x1F)
+            if end > length:
+                raise ProtocolError("binpack payload truncated in str body")
+            raw = data[offset + 1:end]
+            key = memo.get(raw)
+            if key is None:
+                key, _ = _unpack_str(data, offset + 1, len(raw))
+                if len(memo) >= _KEY_MEMO_MAX:
+                    memo.clear()
+                memo[raw] = key
+            offset = end
+        else:
+            key, offset = unpack(data, offset, depth + 1)
+            if type(key) is not str:
+                raise ProtocolError("binpack map keys must be strings")
+        value, offset = unpack(data, offset, depth + 1)
+        mapping[key] = value
+    return mapping, offset
+
+
+def unpack_payload(data: bytes) -> Any:
+    """Decode a binpack payload; any malformation is a ProtocolError."""
+    value, offset = _unpack_from(data, 0, 0)
+    if offset != len(data):
+        raise ProtocolError(
+            f"binpack payload has {len(data) - offset} trailing bytes"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Protocol v2: length-prefixed binary framing
+# ---------------------------------------------------------------------------
+#: First byte of every v2 frame.  0xB2 is an invalid UTF-8 *start* byte
+#: and can never begin a v1 JSON line, so cross-talk in either
+#: direction is detected on the very first byte.
+V2_MAGIC = 0xB2
+#: Header layout: magic, version, reserved (must be 0), payload length.
+V2_HEADER = struct.Struct("!BBHI")
+V2_HEADER_BYTES = V2_HEADER.size
+
+
+def encode_frame_v2(frame: Mapping[str, Any]) -> bytes:
+    """Serialise one frame dict as a v2 binary frame (header + payload)."""
+    payload_obj = dict(frame)
+    payload_obj["v"] = PROTOCOL_VERSION_2
+    payload = pack_payload(payload_obj)
+    if V2_HEADER_BYTES + len(payload) > MAX_FRAME_BYTES_V2:
+        raise ProtocolError(
+            f"v2 frame of {V2_HEADER_BYTES + len(payload)} bytes exceeds "
+            f"MAX_FRAME_BYTES_V2"
+        )
+    return (
+        V2_HEADER.pack(V2_MAGIC, PROTOCOL_VERSION_2, 0, len(payload)) + payload
+    )
+
+
+def v2_payload_length(header: bytes) -> int:
+    """Validate a v2 frame header, returning the declared payload length.
+
+    Rejects truncated headers, wrong magic (including a v1 JSON line
+    arriving on a negotiated-v2 connection — cross-talk), unknown
+    versions, non-zero reserved bits, empty payloads, and lengths that
+    would exceed :data:`MAX_FRAME_BYTES_V2` — all before any payload
+    byte is read, so an attacker cannot make the server buffer garbage.
+    """
+    if len(header) != V2_HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated v2 frame header ({len(header)} of "
+            f"{V2_HEADER_BYTES} bytes)"
+        )
+    magic, version, reserved, length = V2_HEADER.unpack(header)
+    if magic != V2_MAGIC:
+        raise ProtocolError(
+            f"bad v2 magic byte 0x{magic:02x} "
+            "(v1 JSON on a negotiated-v2 connection?)"
+        )
+    if version != PROTOCOL_VERSION_2:
+        raise ProtocolError(f"unsupported v2 header version {version}")
+    if reserved != 0:
+        raise ProtocolError("v2 header reserved bits must be zero")
+    if length == 0:
+        raise ProtocolError("v2 frame declares an empty payload")
+    if V2_HEADER_BYTES + length > MAX_FRAME_BYTES_V2:
+        raise ProtocolError(
+            f"v2 frame declares {length} payload bytes, over the "
+            f"{MAX_FRAME_BYTES_V2} byte limit"
+        )
+    return length
+
+
+def decode_frame_v2(payload: bytes) -> dict:
+    """Decode a v2 payload into a frame dict, validating the envelope."""
+    frame = unpack_payload(payload)
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"v2 frame must decode to a map, got {type(frame).__name__}"
+        )
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION_2:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} in v2 frame"
+        )
+    return frame
+
+
+# ---------------------------------------------------------------------------
+# Hello negotiation and decide-batch bodies
+# ---------------------------------------------------------------------------
+def hello_frame(frame_id: str, max_version: int = MAX_PROTOCOL_VERSION) -> dict:
+    """The client's opening negotiation frame (always sent as v1 JSON)."""
+    return request_frame(OP_HELLO, frame_id, max_version=max_version)
+
+
+def negotiated_version(frame: Mapping[str, Any]) -> int:
+    """Server side: the version this connection will speak after hello."""
+    raw = frame.get("max_version")
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+        raise ProtocolError("hello.max_version must be a positive integer")
+    return min(raw, MAX_PROTOCOL_VERSION)
+
+
+def hello_body_version(body: Any) -> int:
+    """Client side: the validated ``version`` out of a hello response."""
+    if not isinstance(body, dict):
+        raise ProtocolError("hello response body must be an object")
+    version = body.get("version")
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        raise ProtocolError("hello response version must be a positive integer")
+    return version
+
+
+def batch_requests_of(frame: Mapping[str, Any]) -> list[DecisionRequest]:
+    """Parse and validate *every* request of a ``decide-batch`` frame.
+
+    All-or-nothing by design: one malformed entry rejects the whole
+    frame before anything is submitted, so a partially-garbled batch
+    can never be partially committed.
+    """
+    raw = frame.get("requests")
+    if not isinstance(raw, list):
+        raise ProtocolError("decide-batch.requests must be a list")
+    if not raw:
+        raise ProtocolError("decide-batch carries no requests")
+    if len(raw) > MAX_WIRE_BATCH:
+        raise ProtocolError(
+            f"decide-batch of {len(raw)} requests exceeds the "
+            f"{MAX_WIRE_BATCH} entry limit"
+        )
+    return [request_from_wire(item) for item in raw]
+
+
+def batch_result_entries(frame: Mapping[str, Any], expected: int) -> list[dict]:
+    """Client side: the validated per-entry results of a batch response."""
+    raw = frame.get("results")
+    if not isinstance(raw, list):
+        raise ProtocolError("decide-batch response must carry a results list")
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"decide-batch response carries {len(raw)} results "
+            f"for {expected} requests"
+        )
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise ProtocolError("decide-batch results entries must be objects")
+    return raw

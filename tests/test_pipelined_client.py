@@ -1,0 +1,408 @@
+"""Behavior tests for the pipelined v2 clients.
+
+Covers what the protocol-level tests cannot: negotiation against live
+and downlevel servers, the auto-fallback memory, batch coalescing under
+concurrency, the post-send no-replay discipline on the pipelined path,
+the async client, and the wire perf counters surfacing in both the
+``metrics`` verb and the Prometheus exposition.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import (
+    AsyncRemotePDP,
+    PDPUnavailableError,
+    RemotePDP,
+)
+from repro.core import (
+    MMER,
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Role,
+)
+from repro.errors import PDPConnectError, ProtocolError
+from repro.obs import parse_exposition
+from repro.perf import PerfRecorder
+from repro.server import AuthorizationService, ServerThread, protocol
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+FAST = dict(timeout=2.0, backoff_base=0.001, backoff_cap=0.002)
+
+
+def make_service(n_shards=2, **kwargs):
+    policy_set = MSoDPolicySet(
+        [
+            MSoDPolicy(
+                ContextName.parse("Branch=*, Period=!"),
+                mmers=[MMER([TELLER, AUDITOR], 2)],
+                policy_id="bank",
+            )
+        ]
+    )
+    engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+    return AuthorizationService(engine, n_shards=n_shards, **kwargs)
+
+
+def make_request(user, role, timestamp=1.0):
+    operation, target = (
+        ("handleCash", "till://1") if role == TELLER else ("auditBooks", "l://1")
+    )
+    return DecisionRequest(
+        user_id=user,
+        roles=(role,),
+        operation=operation,
+        target=target,
+        context_instance=ContextName.parse("Branch=York, Period=P1"),
+        timestamp=timestamp,
+    )
+
+
+class V1OnlyServer:
+    """A downlevel JSON-lines server: ``hello`` is an unknown op.
+
+    Mimics a pre-v2 deployment — every frame is answered in v1, and the
+    negotiation frame gets the same protocol error an old server's
+    unknown-op path would produce.  Decide frames are answered by a
+    real engine so the fallback leg can be checked for correctness.
+    """
+
+    def __init__(self):
+        policy_set = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("Branch=*, Period=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="bank",
+                )
+            ]
+        )
+        self._engine = MSoDEngine(policy_set, InMemoryRetainedADIStore())
+        self._lock = threading.Lock()
+        self.hello_frames = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._accepting = True
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while self._accepting:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        stream = conn.makefile("rb")
+        try:
+            while True:
+                line = stream.readline()
+                if not line:
+                    return
+                frame = json.loads(line)
+                if frame.get("op") == protocol.OP_HELLO:
+                    with self._lock:
+                        self.hello_frames += 1
+                    reply = protocol.error_frame(
+                        frame["id"],
+                        protocol.ERR_PROTOCOL,
+                        "unknown op 'hello'",
+                    )
+                elif frame.get("op") == protocol.OP_DECIDE:
+                    with self._lock:
+                        decision = self._engine.check(
+                            protocol.request_from_wire(frame["request"])
+                        )
+                    reply = protocol.response_frame(
+                        frame["id"],
+                        protocol.OP_DECIDE,
+                        "decision",
+                        protocol.decision_to_wire(decision),
+                    )
+                else:
+                    reply = protocol.error_frame(
+                        frame["id"], protocol.ERR_PROTOCOL, "unknown op"
+                    )
+                conn.sendall(json.dumps(reply).encode() + b"\n")
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._accepting = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class DieAfterBatchServer:
+    """Upgrades to v2, swallows one decide-batch frame, then drops dead.
+
+    The pipelined client has sent the batch when the connection dies,
+    so the only correct outcome is ``PDPUnavailableError`` with no
+    replay — this stub counts every batch frame it ever receives so a
+    replay (on this or any later connection) is visible.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.batch_frames = 0
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._accepting = True
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while self._accepting:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with self._lock:
+                self.connections += 1
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        stream = conn.makefile("rb")
+        try:
+            line = stream.readline()
+            if not line:
+                return
+            frame = json.loads(line)
+            if frame.get("op") != protocol.OP_HELLO:
+                return
+            reply = protocol.response_frame(
+                frame["id"], protocol.OP_HELLO, "body", {"version": 2}
+            )
+            conn.sendall(json.dumps(reply).encode() + b"\n")
+            header = stream.read(protocol.V2_HEADER_BYTES)
+            if len(header) != protocol.V2_HEADER_BYTES:
+                return
+            payload = stream.read(protocol.v2_payload_length(header))
+            decoded = protocol.decode_frame_v2(payload)
+            if decoded.get("op") == protocol.OP_DECIDE_BATCH:
+                with self._lock:
+                    self.batch_frames += 1
+            # Close without answering: the batch is sent, now ambiguous.
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._accepting = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TestPipelinedDecides:
+    def test_concurrent_decides_coalesce_and_stay_correct(self):
+        """Many threads through one pipelined connection: every user's
+        duty sequence resolves exactly as in process, and the client's
+        batch-size accounting covers every call."""
+        service = make_service(n_shards=4, batch_max=16)
+        perf = PerfRecorder()
+        n_users = 12
+        with ServerThread(service) as server:
+            with RemotePDP(
+                server.host,
+                server.port,
+                timeout=10.0,
+                protocol_version="v2",
+                perf=perf,
+            ) as pdp:
+                results = {}
+                errors = []
+
+                def client(user):
+                    try:
+                        results[user] = (
+                            pdp.decide(make_request(user, TELLER, 1.0)),
+                            pdp.decide(make_request(user, AUDITOR, 2.0)),
+                        )
+                    except Exception as exc:
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=client, args=(f"u{i}",))
+                    for i in range(n_users)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+                assert not errors, errors
+                assert pdp.negotiated_protocol == 2
+
+        # Per-user MSoD semantics survived batching and reordering:
+        # first duty granted, mutually exclusive duty then denied.
+        for user in (f"u{i}" for i in range(n_users)):
+            first, second = results[user]
+            assert first.granted
+            assert second.denied
+
+        counters = perf.counters()
+        assert counters["client.calls"] == 2 * n_users
+        sizes = perf.sizes()
+        batch_sizes = sizes["client.batch_size"]
+        # Every decide travelled in exactly one batch entry, and the
+        # frame count never exceeds the call count.
+        assert batch_sizes.total == 2 * n_users
+        assert 1 <= batch_sizes.count <= 2 * n_users
+        assert counters["client.frames_out"] == batch_sizes.count
+
+    def test_async_pipelined_decides(self):
+        service = make_service(n_shards=4)
+        with ServerThread(service) as server:
+
+            async def run():
+                async with AsyncRemotePDP(
+                    server.host,
+                    server.port,
+                    timeout=10.0,
+                    protocol_version="v2",
+                ) as pdp:
+                    firsts = await asyncio.gather(
+                        *(
+                            pdp.decide(make_request(f"a{i}", TELLER, 1.0))
+                            for i in range(10)
+                        )
+                    )
+                    seconds = await asyncio.gather(
+                        *(
+                            pdp.decide(make_request(f"a{i}", AUDITOR, 2.0))
+                            for i in range(10)
+                        )
+                    )
+                    assert pdp.negotiated_protocol == 2
+                    return firsts, seconds
+
+            firsts, seconds = asyncio.run(run())
+        assert all(d.granted for d in firsts)
+        assert all(d.denied for d in seconds)
+
+
+class TestNegotiationFallback:
+    def test_auto_falls_back_to_v1_and_remembers(self):
+        with V1OnlyServer() as server:
+            with RemotePDP(
+                "127.0.0.1", server.port, protocol_version="auto", **FAST
+            ) as pdp:
+                first = pdp.decide(make_request("fb", TELLER, 1.0))
+                second = pdp.decide(make_request("fb", AUDITOR, 2.0))
+                assert first.granted
+                assert second.denied
+                assert pdp.negotiated_protocol == 1
+            # The downgrade is remembered: one hello, not one per call.
+            assert server.hello_frames == 1
+
+    def test_forced_v2_against_v1_only_server_raises(self):
+        with V1OnlyServer() as server:
+            with RemotePDP(
+                "127.0.0.1", server.port, protocol_version="v2", **FAST
+            ) as pdp:
+                with pytest.raises(ProtocolError):
+                    pdp.decide(make_request("fx", TELLER, 1.0))
+
+    def test_pipelined_connect_failure_is_retriable_kind(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        with RemotePDP(
+            "127.0.0.1", port, protocol_version="v2", max_retries=1, **FAST
+        ) as pdp:
+            with pytest.raises(PDPConnectError):
+                pdp.decide(make_request("cf", TELLER, 1.0))
+
+
+class TestPostSendDiscipline:
+    def test_batch_sent_then_death_is_unavailable_and_never_replayed(self):
+        with DieAfterBatchServer() as server:
+            with RemotePDP(
+                "127.0.0.1",
+                server.port,
+                protocol_version="v2",
+                max_retries=3,
+                **FAST,
+            ) as pdp:
+                with pytest.raises(PDPUnavailableError) as excinfo:
+                    pdp.decide(make_request("ns", TELLER, 1.0))
+                # Ambiguous loss, not a pre-send connect failure: the
+                # retriable subclass must NOT be what surfaced.
+                assert not isinstance(excinfo.value, PDPConnectError)
+            time.sleep(0.05)  # a replay would need a new connection
+            assert server.batch_frames == 1
+            assert server.connections == 1
+
+
+class TestWireMetrics:
+    def test_wire_counters_in_metrics_verb_and_exposition(self):
+        perf = PerfRecorder()
+        service = make_service(n_shards=2, perf=perf)
+        with ServerThread(service) as server:
+            with RemotePDP(
+                server.host, server.port, timeout=10.0, protocol_version="v2"
+            ) as pdp:
+                for index in range(10):
+                    pdp.decide(make_request(f"m{index}", TELLER, 1.0))
+                body = pdp.metrics()
+                text = pdp.metrics_text()
+
+        snapshot = body["perf"]
+        assert snapshot["counters"]["wire.frames_in"] >= 10
+        assert snapshot["counters"]["wire.bytes_in"] > 0
+        assert snapshot["counters"]["wire.bytes_out"] > 0
+        assert snapshot["sizes"]["wire.batch_size"]["count"] >= 1
+        assert snapshot["sizes"]["wire.batch_size"]["total_s"] == 10
+
+        samples = parse_exposition(text)
+        names = {name for name, _, _ in samples}
+        assert "repro_wire_bytes_in_total" in names
+        assert "repro_wire_bytes_out_total" in names
+        assert "repro_wire_batch_size_bucket" in names
+        assert "repro_wire_batch_size_count" in names
+
+    def test_gather_window_knob(self):
+        service = make_service(n_shards=2, gather_window=0.0015)
+        assert service.gather_window == 0.0015
+        with pytest.raises(ValueError):
+            make_service(n_shards=2, gather_window=-0.001)
+        # Default is adaptive: scaled to the shard count, capped.
+        assert make_service(n_shards=1).gather_window <= 0.002
+        assert (
+            make_service(n_shards=2).gather_window
+            >= make_service(n_shards=1).gather_window
+        )

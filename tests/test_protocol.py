@@ -284,3 +284,218 @@ class TestFuzz:
                 protocol.request_from_wire(decoded.get("request"))
             except ProtocolError:
                 pass
+
+
+def v2_frame_bytes(frame):
+    """Encode and split a v2 frame into (header, payload) for surgery."""
+    data = protocol.encode_frame_v2(frame)
+    return data[: protocol.V2_HEADER_BYTES], data[protocol.V2_HEADER_BYTES :]
+
+
+class TestV2RoundTrips:
+    def test_decide_batch_frame_round_trip(self):
+        requests = [
+            protocol.request_to_wire(make_request(request_id=f"req-{i}"))
+            for i in range(5)
+        ]
+        frame = {
+            "op": protocol.OP_DECIDE_BATCH,
+            "id": "c-77",
+            "epoch": 3,
+            "requests": requests,
+        }
+        header, payload = v2_frame_bytes(frame)
+        assert protocol.v2_payload_length(header) == len(payload)
+        decoded = protocol.decode_frame_v2(payload)
+        assert decoded["v"] == 2  # encode stamps the version
+        restored = protocol.batch_requests_of(decoded)
+        assert [protocol.request_to_wire(r) for r in restored] == requests
+
+    def test_binpack_value_fidelity(self):
+        # Exercise every tag family and its size-boundary transitions.
+        values = [
+            None, True, False,
+            0, 1, -1, 31, 32, 127, 128, 255, 256, 65535, 65536,
+            -32, -33, -128, -129, -32768, -32769,
+            2**31 - 1, 2**31, 2**32, 2**63 - 1, -(2**63),
+            0.0, -0.5, 17.25, 0.1 + 0.2, float("inf"),
+            "", "x", "a" * 31, "a" * 32, "a" * 255, "a" * 256, "π" * 100,
+            b"", b"\x00\xff", b"y" * 300,
+            [], [1, [2, [3]]], list(range(20)),
+            {}, {"k": "v"}, {str(i): i for i in range(40)},
+        ]
+        for value in values:
+            packed = protocol.pack_payload(value)
+            assert protocol.unpack_payload(packed) == value
+
+    def test_float_timestamps_survive_exactly_in_v2(self):
+        request = make_request(timestamp=0.1 + 0.2)
+        packed = protocol.pack_payload(protocol.request_to_wire(request))
+        restored = protocol.request_from_wire(protocol.unpack_payload(packed))
+        assert restored.timestamp == request.timestamp
+
+    def test_decision_survives_v2_payload(self):
+        for decision in (make_grant(), make_deny()):
+            wire = protocol.decision_to_wire(decision)
+            packed = protocol.pack_payload(wire)
+            assert protocol.decision_from_wire(
+                protocol.unpack_payload(packed)
+            ) == decision
+
+
+class TestV2Negotiation:
+    def test_hello_frame_is_v1(self):
+        frame = protocol.hello_frame("c-1")
+        assert frame["v"] == 1 and frame["op"] == protocol.OP_HELLO
+        assert frame["max_version"] == protocol.MAX_PROTOCOL_VERSION
+
+    def test_negotiated_version_caps_at_server_max(self):
+        assert protocol.negotiated_version({"max_version": 1}) == 1
+        assert protocol.negotiated_version({"max_version": 2}) == 2
+        assert protocol.negotiated_version({"max_version": 99}) == (
+            protocol.MAX_PROTOCOL_VERSION
+        )
+
+    @pytest.mark.parametrize("bad", [None, 0, -1, "2", True, [2]])
+    def test_bad_max_version_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.negotiated_version({"max_version": bad})
+
+    @pytest.mark.parametrize("body", [None, "2", [], {"version": "2"},
+                                      {"version": 0}, {"version": True}])
+    def test_bad_hello_body_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            protocol.hello_body_version(body)
+
+    def test_decide_batch_is_not_a_v1_op(self):
+        # v1 endpoints must keep rejecting the batch verb.
+        assert protocol.OP_DECIDE_BATCH not in protocol.KNOWN_OPS
+        assert protocol.OP_DECIDE_BATCH in protocol.V2_OPS
+
+
+class TestV2FramingRejection:
+    def good(self):
+        return v2_frame_bytes(
+            {"op": protocol.OP_DECIDE_BATCH, "id": "c-1",
+             "requests": [protocol.request_to_wire(make_request())]}
+        )
+
+    def test_truncated_header_prefixes(self):
+        header, _ = self.good()
+        for cut in range(len(header)):
+            with pytest.raises(ProtocolError):
+                protocol.v2_payload_length(header[:cut])
+
+    def test_v1_json_crosstalk_detected_as_bad_magic(self):
+        # A v1 client's JSON line read as a v2 header: '{' != magic.
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.v2_payload_length(b'{"v": 1,')
+        assert "magic" in str(excinfo.value)
+
+    def test_v2_magic_is_invalid_utf8_lead_byte(self):
+        # The reverse cross-talk: a v2 header sent to a v1 JSON endpoint
+        # must fail UTF-8 decoding on the very first byte.
+        header, _ = self.good()
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(header + b"\n")
+
+    def test_oversized_declared_length(self):
+        bad = protocol.V2_HEADER.pack(
+            protocol.V2_MAGIC, 2, 0, protocol.MAX_FRAME_BYTES_V2 + 1
+        )
+        with pytest.raises(ProtocolError):
+            protocol.v2_payload_length(bad)
+
+    def test_zero_length_and_reserved_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.v2_payload_length(
+                protocol.V2_HEADER.pack(protocol.V2_MAGIC, 2, 0, 0)
+            )
+        with pytest.raises(ProtocolError):
+            protocol.v2_payload_length(
+                protocol.V2_HEADER.pack(protocol.V2_MAGIC, 2, 7, 10)
+            )
+
+    def test_wrong_version_byte(self):
+        with pytest.raises(ProtocolError):
+            protocol.v2_payload_length(
+                protocol.V2_HEADER.pack(protocol.V2_MAGIC, 1, 0, 10)
+            )
+
+    def test_truncated_payload_prefixes_never_crash(self):
+        _, payload = self.good()
+        for cut in range(len(payload)):
+            with pytest.raises(ProtocolError):
+                protocol.decode_frame_v2(payload[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        _, payload = self.good()
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame_v2(payload + b"\x00")
+
+    def test_non_map_payload_rejected(self):
+        for value in (None, 7, "frame", [1, 2]):
+            with pytest.raises(ProtocolError):
+                protocol.decode_frame_v2(protocol.pack_payload(value))
+
+    def test_random_payload_corruption_never_crashes(self):
+        rng = random.Random(20260808)
+        _, payload = self.good()
+        for _ in range(600):
+            corrupted = bytearray(payload)
+            for _ in range(rng.randrange(1, 6)):
+                corrupted[rng.randrange(len(corrupted))] = rng.randrange(256)
+            try:
+                frame = protocol.decode_frame_v2(bytes(corrupted))
+                protocol.batch_requests_of(frame)
+            except ProtocolError:
+                pass  # the only acceptable failure mode
+
+    def test_random_byte_soup_never_crashes(self):
+        rng = random.Random(11)
+        for _ in range(600):
+            soup = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(1, 64))
+            )
+            try:
+                protocol.decode_frame_v2(soup)
+            except ProtocolError:
+                pass
+
+
+class TestV2BatchRejection:
+    def frame(self, requests):
+        return {"v": 2, "op": protocol.OP_DECIDE_BATCH, "id": "c-2",
+                "requests": requests}
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.batch_requests_of(self.frame([]))
+
+    def test_non_list_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.batch_requests_of(self.frame({"0": {}}))
+
+    def test_oversized_batch_rejected(self):
+        wire = protocol.request_to_wire(make_request())
+        requests = [wire] * (protocol.MAX_WIRE_BATCH + 1)
+        with pytest.raises(ProtocolError):
+            protocol.batch_requests_of(self.frame(requests))
+
+    def test_mid_batch_garbage_rejects_whole_frame(self):
+        # All-or-nothing: one malformed entry poisons the frame before
+        # any sibling request can reach a shard queue.
+        good = protocol.request_to_wire(make_request())
+        for garbage in ({"user_id": 7}, None, "decide me", 4.2,
+                        {**good, "timestamp": "noon"}):
+            with pytest.raises(ProtocolError):
+                protocol.batch_requests_of(self.frame([good, garbage, good]))
+
+    def test_batch_result_count_mismatch_rejected(self):
+        frame = {"v": 2, "ok": True, "id": "c-3",
+                 "op": protocol.OP_DECIDE_BATCH,
+                 "results": [{"ok": True, "decision": None}]}
+        with pytest.raises(ProtocolError):
+            protocol.batch_result_entries(frame, expected=2)
+        with pytest.raises(ProtocolError):
+            protocol.batch_result_entries({"results": "nope"}, expected=1)

@@ -207,6 +207,8 @@ class TestRemotePDP:
             assert len(stub.requests) == 3
 
     def test_overload_raises_after_retry_budget(self):
+        # ScriptedServer speaks scripted v1 JSON, so pin the v1 decide
+        # path (v2 discipline is covered by the pipelined tests).
         script = [overloaded_reply] * 3
         with ScriptedServer(script) as stub:
             pdp = RemotePDP(
@@ -214,6 +216,7 @@ class TestRemotePDP:
                 stub.port,
                 max_retries=1,
                 rng=random.Random(2),
+                protocol_version="v1",
                 **FAST,
             )
             with pdp, pytest.raises(PDPOverloadedError) as excinfo:
@@ -227,7 +230,11 @@ class TestRemotePDP:
         script = [None, None, None]  # close without answering, every time
         with ScriptedServer(script) as stub:
             pdp = RemotePDP(
-                "127.0.0.1", stub.port, max_retries=2, **FAST
+                "127.0.0.1",
+                stub.port,
+                max_retries=2,
+                protocol_version="v1",
+                **FAST,
             )
             with pdp, pytest.raises(PDPUnavailableError):
                 pdp.decide(make_request("dave", TELLER))

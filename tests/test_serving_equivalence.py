@@ -79,30 +79,64 @@ def record_digest(records):
 
 
 class TestDifferentialEquivalence:
-    def test_remote_decisions_equal_in_process_bit_for_bit(self):
-        requests = list(
+    def _requests(self):
+        return list(
             decision_request_stream(
                 300, n_users=40, n_branches=3, n_periods=2,
                 conflict_fraction=0.3, seed=17,
             )
         )
 
+    def _remote_leg(self, requests, protocol_version):
+        """Run the stream through a fresh server over one wire protocol."""
+        store = SQLiteRetainedADIStore(":memory:")
+        engine = MSoDEngine(bank_policy_set(), store)
+        service = AuthorizationService(engine, n_shards=4, batch_max=8)
+        with ServerThread(service) as server:
+            with RemotePDP(
+                server.host,
+                server.port,
+                timeout=10.0,
+                protocol_version=protocol_version,
+            ) as pdp:
+                decisions = [pdp.decide(request) for request in requests]
+                negotiated = pdp.negotiated_protocol
+        digest = store_digest(store)
+        store.close()
+        return decisions, digest, negotiated
+
+    def test_remote_decisions_equal_in_process_bit_for_bit(self):
+        """In-process, v1 wire and v2 batched wire: one identical stream.
+
+        The same request sequence must produce bit-identical decisions
+        (full ``Decision`` equality including ``adi_adds``) and
+        identical retained-ADI store fingerprints on all three paths —
+        the differential guarantee that the binary batched protocol
+        changed the wire, not the semantics.
+        """
+        requests = self._requests()
+
         local_engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
         local_decisions = [local_engine.check(request) for request in requests]
+        local_digest = store_digest(local_engine.store)
 
-        remote_store = SQLiteRetainedADIStore(":memory:")
-        remote_engine = MSoDEngine(bank_policy_set(), remote_store)
-        service = AuthorizationService(remote_engine, n_shards=4, batch_max=8)
-        with ServerThread(service) as server:
-            with RemotePDP(server.host, server.port, timeout=10.0) as pdp:
-                remote_decisions = [pdp.decide(request) for request in requests]
+        v1_decisions, v1_digest, v1_negotiated = self._remote_leg(
+            requests, "v1"
+        )
+        v2_decisions, v2_digest, v2_negotiated = self._remote_leg(
+            requests, "v2"
+        )
+        assert v1_negotiated == 1
+        assert v2_negotiated == 2
 
-        assert len(remote_decisions) == len(local_decisions)
-        for local, remote in zip(local_decisions, remote_decisions):
-            assert remote == local  # full Decision equality incl. adi_adds
+        assert len(v1_decisions) == len(local_decisions)
+        assert len(v2_decisions) == len(local_decisions)
+        for local, v1, v2 in zip(local_decisions, v1_decisions, v2_decisions):
+            assert v1 == local  # full Decision equality incl. adi_adds
+            assert v2 == local
 
-        assert store_digest(remote_store) == store_digest(local_engine.store)
-        remote_store.close()
+        assert v1_digest == local_digest
+        assert v2_digest == local_digest
 
         grants = [d for d in local_decisions if d.granted]
         denies = [d for d in local_decisions if d.denied]
