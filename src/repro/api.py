@@ -56,6 +56,8 @@ __all__ = [
     "open_server",
     "open_cluster",
     "load_policy_source",
+    "verify_policy",
+    "what_if",
     "LocalPDP",
     "ServerHandle",
     "ClusterHandle",
@@ -99,6 +101,49 @@ def load_policy_source(policy: PolicySource) -> MSoDPolicySet:
             "policy source is required (an MSoDPolicySet, a path, or XML text)"
         )
     return _load_policy_set(policy)
+
+
+def verify_policy(policy: PolicySource, *, permis=None, ssd=()):
+    """Statically verify any accepted policy source.
+
+    Returns the structured
+    :class:`~repro.verify.static.VerifyReport` — the same analysis
+    ``swap_policy`` gates on, plus the deeper RBAC cross-reference when
+    a PERMIS companion policy is supplied.
+    """
+    from repro.verify.static import analyze_policy_set
+
+    return analyze_policy_set(
+        load_policy_source(policy), permis=permis, ssd=ssd
+    )
+
+
+def what_if(
+    policy: PolicySource,
+    trail_dir: str,
+    *,
+    audit_key: bytes,
+    last_n_trails: int | None = None,
+    since: float = 0.0,
+):
+    """Differentially replay a recorded trail under a candidate set.
+
+    Convenience wrapper over
+    :func:`repro.verify.whatif.what_if_replay` for operators holding a
+    trail directory: returns the
+    :class:`~repro.verify.whatif.WhatIfReport` of decisions the
+    candidate would flip.
+    """
+    from repro.audit.trail import AuditTrailManager
+    from repro.verify.whatif import what_if_replay
+
+    trails = AuditTrailManager(trail_dir, audit_key, tolerate_ahead=True)
+    return what_if_replay(
+        trails,
+        load_policy_source(policy),
+        last_n_trails=last_n_trails,
+        since=since,
+    )
 
 
 def _parse_store_spec(store: StoreSpec) -> tuple[str, object]:
@@ -196,9 +241,32 @@ class LocalPDP(PolicyDecisionPoint):
         """The :class:`PolicyVersion` this handle's decisions run under."""
         return self._engine.policy_version()
 
-    def reload_policy(self, policy: PolicySource):
-        """Atomically swap the engine's policy set; see ``swap_policy``."""
-        return self._engine.swap_policy(load_policy_source(policy))
+    def reload_policy(
+        self,
+        policy: PolicySource,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ):
+        """Atomically swap the engine's policy set; see ``swap_policy``.
+
+        ``verify=True`` runs the verification gate first (static-only:
+        an in-process handle records no audit trail); ``force=True``
+        overrides the gate.  ``max_flips`` is accepted for signature
+        parity with the remote and cluster handles.
+        """
+        policy_set = load_policy_source(policy)
+        if verify:
+            from repro.verify.gate import evaluate_gate
+
+            gate = evaluate_gate(policy_set, max_flips=max_flips)
+            if not gate.ok and not force:
+                raise PolicyError(
+                    "policy reload refused by verification gate: "
+                    + "; ".join(gate.reasons)
+                )
+        return self._engine.swap_policy(policy_set, force=force)
 
     def notify_context_terminated(self, context: ContextName) -> int:
         """Forward an implied context termination to the engine."""
@@ -335,14 +403,28 @@ class ServerHandle:
         """The :class:`PolicyVersion` the server decides under."""
         return self.engine.policy_version()
 
-    def reload_policy(self, policy: PolicySource):
+    def reload_policy(
+        self,
+        policy: PolicySource,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ):
         """Hot-swap the server's policy set without dropping connections.
 
         Scheduled on the server's event loop (between shard
         micro-batches), so no in-flight decision mixes two versions.
-        Accepts the same source union as :func:`open_server`.
+        Accepts the same source union as :func:`open_server`; the
+        keyword options run the server-side verification gate (see
+        :meth:`AuthorizationService.reload_policy`).
         """
-        return self._thread.reload_policy(load_policy_source(policy))
+        return self._thread.reload_policy(
+            load_policy_source(policy),
+            verify=verify,
+            max_flips=max_flips,
+            force=force,
+        )
 
     def close(self) -> None:
         """Drain, stop the server thread and release owned resources."""
@@ -458,7 +540,14 @@ class ClusterHandle:
         """The cluster-wide :class:`PolicyVersion` (coordinator's view)."""
         return self._cluster.policy_version()
 
-    def reload_policy(self, policy: PolicySource):
+    def reload_policy(
+        self,
+        policy: PolicySource,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ):
         """Roll a new policy set across every node, standby first.
 
         The coordinator swaps each shard's standby before its primary
@@ -466,7 +555,36 @@ class ClusterHandle:
         the rollout still lands on a node already running the new set.
         Accepts the same source union as :func:`open_cluster`.
         """
-        return self._cluster.reload_policy(load_policy_source(policy))
+        return self._cluster.reload_policy(
+            load_policy_source(policy),
+            verify=verify,
+            max_flips=max_flips,
+            force=force,
+        )
+
+    def canary_reload_policy(
+        self,
+        policy: PolicySource,
+        *,
+        shard_name: str | None = None,
+        max_flips: int = 0,
+        min_decisions: int = 0,
+        timeout: float = 5.0,
+    ):
+        """Safe rollout: canary one shard before the cluster-wide roll.
+
+        See :meth:`LocalCluster.canary_reload_policy` — stage the
+        candidate on one shard's standby, mirror that shard's live
+        decide stream through old and candidate sets, and only roll
+        cluster-wide when total flips stay within ``max_flips``.
+        """
+        return self._cluster.canary_reload_policy(
+            load_policy_source(policy),
+            shard_name=shard_name,
+            max_flips=max_flips,
+            min_decisions=min_decisions,
+            timeout=timeout,
+        )
 
     def status(self) -> dict:
         return self._cluster.status()

@@ -130,6 +130,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("policy", help="path to a PermisRBACPolicy XML file")
 
+    verify_cmd = commands.add_parser(
+        "verify",
+        help="statically verify an MSoD policy set (stage 1 of the "
+        "rollout pipeline); exit 1 on error-severity findings",
+    )
+    verify_cmd.add_argument(
+        "policy", help="path to the policy XML (or .msod DSL) file"
+    )
+    verify_cmd.add_argument(
+        "--permis",
+        help="companion PermisRBACPolicy XML enabling the RBAC-layer "
+        "reachability checks (assignable roles, grantable privileges)",
+    )
+    verify_cmd.add_argument(
+        "--host",
+        default=None,
+        help="verify on a running `serve` instance (its engine parses "
+        "the candidate) instead of locally",
+    )
+    verify_cmd.add_argument("--port", type=int, default=8750)
+    verify_cmd.add_argument("--timeout", type=float, default=5.0)
+    verify_cmd.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+
+    whatif_cmd = commands.add_parser(
+        "whatif",
+        help="differentially replay a recorded audit trail under a "
+        "candidate policy set (stage 2); exit 1 when more decisions "
+        "flip than --max-flips allows",
+    )
+    whatif_cmd.add_argument(
+        "policy", help="path to the candidate policy XML (or .msod DSL) file"
+    )
+    whatif_cmd.add_argument(
+        "--audit-dir", help="recorded audit-trail directory to replay"
+    )
+    whatif_cmd.add_argument(
+        "--audit-key",
+        default="audit-trail-key",
+        help="HMAC key sealing the audit trails",
+    )
+    whatif_cmd.add_argument(
+        "--last-n-trails",
+        type=int,
+        default=None,
+        help="replay only the newest N trail files",
+    )
+    whatif_cmd.add_argument(
+        "--since",
+        type=float,
+        default=0.0,
+        help="replay only events at or after this timestamp",
+    )
+    whatif_cmd.add_argument(
+        "--max-flips",
+        type=int,
+        default=0,
+        help="tolerated flipped decisions before exiting 1 (default 0)",
+    )
+    whatif_cmd.add_argument(
+        "--host",
+        default=None,
+        help="replay on a running `serve` instance against its own "
+        "recent trail instead of --audit-dir",
+    )
+    whatif_cmd.add_argument("--port", type=int, default=8750)
+    whatif_cmd.add_argument("--timeout", type=float, default=5.0)
+    whatif_cmd.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+
     explain_cmd = commands.add_parser(
         "explain",
         help="dry-run a request and narrate the §4.2 evaluation "
@@ -284,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     preload.add_argument("policy", help="path to the new policy XML file")
     _remote_address(preload)
+    _verify_flags(preload)
 
     cluster = commands.add_parser(
         "cluster",
@@ -386,6 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     creload.add_argument("policy", help="path to the new policy XML file")
     _coordinator_address(creload)
+    _verify_flags(creload)
+    creload.add_argument(
+        "--canary",
+        action="store_true",
+        help="stage the candidate on one shard's standby and mirror "
+        "that shard's live decide stream through both sets before the "
+        "coordinator-wide rollout",
+    )
 
     cdecide = cluster_cmds.add_parser(
         "decide",
@@ -418,6 +499,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the report as JSON"
     )
     return parser
+
+
+def _verify_flags(cmd: argparse.ArgumentParser) -> None:
+    """Rollout-gate flags shared by ``policy reload`` and ``cluster reload``."""
+    cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="gate the swap on static analysis plus a what-if replay of "
+        "the server's recent audit trail; refuse on error findings or "
+        "flips over --max-flips",
+    )
+    cmd.add_argument(
+        "--max-flips",
+        type=int,
+        default=0,
+        help="with --verify: tolerated flipped decisions (default 0)",
+    )
+    cmd.add_argument(
+        "--force",
+        action="store_true",
+        help="apply even if the verification gate or the policy "
+        "analyzer refuses the candidate",
+    )
 
 
 def _audit_flags(
@@ -535,6 +639,89 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors else 0
 
 
+def _print_verify_body(body: dict, as_json: bool) -> None:
+    """Render a verify-report dict (local or wire) for the terminal."""
+    if as_json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return
+    from repro.verify import VerifyReport
+
+    report = VerifyReport.from_dict(body)
+    if not report.findings:
+        print("no findings")
+    for finding in report.findings:
+        print(finding)
+    counts = report.counts_by_severity()
+    print(
+        f"{'ok' if report.ok else 'REFUSED'}: "
+        f"{counts.get('error', 0)} error(s), "
+        f"{counts.get('warning', 0)} warning(s), "
+        f"{counts.get('info', 0)} info"
+    )
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Statically verify a policy set; exit 1 on error findings."""
+    if args.host is not None:
+        from repro.client import RemotePDP
+
+        with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+            body = pdp.verify_policy(args.policy)
+    else:
+        from repro.api import verify_policy
+
+        permis = None
+        if args.permis:
+            from repro.permis import parse_permis_policy
+
+            with open(args.permis, "r", encoding="utf-8") as handle:
+                permis = parse_permis_policy(handle.read())
+        body = verify_policy(args.policy, permis=permis).to_dict()
+    _print_verify_body(body, args.json)
+    return 0 if body.get("ok") else 1
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Differential what-if replay; exit 1 when flips exceed the budget."""
+    if (args.host is None) == (args.audit_dir is None):
+        print(
+            "error: pass exactly one of --audit-dir (local replay) or "
+            "--host (a running server's own trail)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.host is not None:
+        from repro.client import RemotePDP
+
+        with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
+            body = pdp.what_if(args.policy)
+    else:
+        from repro.api import what_if
+
+        body = what_if(
+            args.policy,
+            args.audit_dir,
+            audit_key=args.audit_key.encode("utf-8"),
+            last_n_trails=args.last_n_trails,
+            since=args.since,
+        ).to_dict()
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        from repro.verify import DecisionFlip
+
+        for flip in body.get("flips", []):
+            print(f"flip: {DecisionFlip.from_dict(flip)}")
+        print(
+            f"replayed {body.get('decisions_replayed', 0)} decision(s) "
+            f"from {body.get('events_scanned', 0)} event(s): "
+            f"{body.get('flip_count', 0)} flip(s) "
+            f"({body.get('grant_to_deny', 0)} grant->deny, "
+            f"{body.get('deny_to_grant', 0)} deny->grant)"
+        )
+    return 0 if body.get("flip_count", 0) <= args.max_flips else 1
+
+
 def cmd_decide(args: argparse.Namespace) -> int:
     """Evaluate one request as its own session; exit 2 on deny."""
     from repro.api import open_pdp
@@ -648,6 +835,7 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
         )
         tracer = DecisionTracer(slow_log=slow_log)
     audit_sink = None
+    trail_reader = None
     if args.audit_dir:
         from repro.audit import (
             EVENT_DECISION,
@@ -670,6 +858,15 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
                 decision_event_payload(decision),
             )
 
+        def trail_reader():
+            # A fresh tolerant reader per what-if: the verifying swap
+            # must not hold the writer's sequence state.
+            return AuditTrailManager(
+                args.audit_dir,
+                args.audit_key.encode("utf-8"),
+                tolerate_ahead=True,
+            )
+
     try:
         engine = MSoDEngine(
             policy_set,
@@ -686,6 +883,7 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
             gather_window=args.gather_window,
             perf=perf,
             audit_sink=audit_sink,
+            trail_reader=trail_reader,
         )
         server = MSoDServer(service, host=args.host, port=args.port)
         await server.start()
@@ -786,7 +984,14 @@ def cmd_policy_reload(args: argparse.Namespace) -> int:
     from repro.client import RemotePDP
 
     with RemotePDP(args.host, args.port, timeout=args.timeout) as pdp:
-        report = pdp.reload_policy(args.policy)
+        report = pdp.reload_policy(
+            args.policy,
+            verify=args.verify,
+            max_flips=args.max_flips,
+            force=args.force,
+        )
+    if args.verify:
+        print("verification gate: passed")
     for finding in report.findings:
         print(f"note: {finding}")
     if report.changed:
@@ -932,7 +1137,13 @@ def cmd_cluster_metrics(args: argparse.Namespace) -> int:
 def cmd_cluster_reload(args: argparse.Namespace) -> int:
     """Roll a new policy XML across every cluster node via the coordinator."""
     with _cluster_client(args) as pdp:
-        body = pdp.reload_policy(args.policy)
+        body = pdp.reload_policy(
+            args.policy,
+            verify=args.verify,
+            max_flips=args.max_flips,
+            force=args.force,
+            canary=args.canary,
+        )
     print(json.dumps(body, indent=2, sort_keys=True))
     return 0
 
@@ -966,15 +1177,19 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
     Boots an N-shard cluster, streams a hot-user + distinct-user
     workload through the routing client, hot-reloads an extended policy
     set a quarter of the way in, kills the hot user's shard primary
-    halfway, and asserts: the standby is promoted, every decision
-    matches a single-node oracle bit for bit, each shard's retained ADI
-    equals the oracle engine fed that shard's substream, the MMER
-    exclusivity invariant holds, every node runs the reloaded policy
-    epoch, every audited decision carries its policy epoch, and the
-    per-node gauges scrape.
+    halfway, then canary-rolls a further (decision-disjoint) policy set
+    through a healthy shard's standby while a background workload keeps
+    that shard's primary deciding, and asserts: the standby is
+    promoted, the canary mirror compares live decisions with zero
+    flips, every decision matches a single-node oracle bit for bit,
+    each shard's retained ADI equals the oracle engine fed that shard's
+    substream, the MMER exclusivity invariant holds, every node runs
+    the final (canary-rolled) policy epoch, every audited decision
+    carries its policy epoch, and the per-node gauges scrape.
     """
     import itertools
     import tempfile
+    import threading
 
     from repro.api import open_cluster
     from repro.audit import EVENT_DECISION, AuditTrailManager
@@ -983,6 +1198,7 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
     from repro.core.policy import MSoDPolicy, MSoDPolicySet
     from repro.workload import (
         AUDITOR,
+        HANDLE_CASH,
         TELLER,
         bank_policy_set,
         decision_request_stream,
@@ -1042,6 +1258,105 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
                     if index == half:
                         report["killed"] = handle.kill_primary(hot_shard)
                     effects.append(pdp.decide(request).effect)
+
+                # Canary rollout under live load: stage a third policy
+                # set — again decision-disjoint (Desk/Cycle, untouched
+                # by any workload), so the oracles stay valid — on a
+                # healthy shard's standby while a background thread
+                # keeps that shard's primary deciding.  The mirror must
+                # observe live decisions and report zero flips before
+                # the coordinator-wide rollout (epoch 3 everywhere).
+                canary_set = MSoDPolicySet(
+                    list(extended_set)
+                    + [
+                        MSoDPolicy(
+                            ContextName.parse("Desk=*, Cycle=!"),
+                            mmers=[MMER([TELLER, AUDITOR], 2)],
+                            policy_id="desk",
+                        )
+                    ]
+                )
+                canary_shard = next(
+                    (
+                        name
+                        for name in handle.shard_names
+                        if name != hot_shard
+                    ),
+                    hot_shard,
+                )
+                canary_user = next(
+                    f"canary-user-{index}"
+                    for index in range(10_000)
+                    if cluster.ring.shard_for(f"canary-user-{index}")
+                    == canary_shard
+                )
+                canary_requests: list = []
+                canary_effects: list = []
+                canary_errors: list = []
+                canary_stop = threading.Event()
+
+                def canary_load() -> None:
+                    serial = 0
+                    while not canary_stop.is_set():
+                        serial += 1
+                        request = DecisionRequest(
+                            user_id=canary_user,
+                            roles=(TELLER,),
+                            operation=HANDLE_CASH.operation,
+                            target=HANDLE_CASH.target,
+                            context_instance=ContextName.parse(
+                                f"Branch=Canary, Period=C{serial}"
+                            ),
+                            timestamp=float(10_000 + serial),
+                        )
+                        try:
+                            effect = pdp.decide(request).effect
+                        except Exception as exc:  # pragma: no cover
+                            canary_errors.append(str(exc))
+                            return
+                        canary_requests.append(request)
+                        canary_effects.append(effect)
+
+                loader = threading.Thread(target=canary_load, daemon=True)
+                loader.start()
+                try:
+                    canary_body = handle.canary_reload_policy(
+                        canary_set,
+                        shard_name=canary_shard,
+                        max_flips=0,
+                        min_decisions=5,
+                        timeout=30.0,
+                    )
+                finally:
+                    canary_stop.set()
+                    loader.join(timeout=30.0)
+                requests.extend(canary_requests)
+                effects.extend(canary_effects)
+                report["requests"] = len(requests)
+                mirror = canary_body["canary"].get("mirror", {})
+                report["canary"] = {
+                    "shard": canary_shard,
+                    "live_decisions": mirror.get("live_decisions", 0),
+                    "flips": mirror.get("flip_count", 0),
+                    "replayed": mirror.get("replay", {}).get(
+                        "decisions_replayed", 0
+                    ),
+                }
+                if canary_errors:
+                    failures.append(
+                        f"canary workload error: {canary_errors[0]}"
+                    )
+                if not canary_body.get("changed"):
+                    failures.append("canary rollout did not apply")
+                if mirror.get("flip_count", 0):
+                    failures.append(
+                        "canary mirror reported decision flips"
+                    )
+                if mirror.get("live_decisions", 0) < 1:
+                    failures.append(
+                        "canary mirror observed no live decisions"
+                    )
+
                 status = pdp.cluster_status()
                 metrics_text = pdp.cluster_metrics_text()
                 node_metrics = pdp.node_metrics_text("hot-user")
@@ -1051,11 +1366,14 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
                 failures.append("no failover happened")
             if not report.get("policy_reload_changed"):
                 failures.append("mid-stream policy reload did not apply")
+            # Epoch 1 boot + mid-stream reload (2) + canary rollout
+            # (3).  The killed primary died between reload and canary,
+            # so only live nodes must be on the final epoch.
             stale = [
                 node["name"]
                 for shard in status["shards"].values()
                 for node in shard["nodes"]
-                if node["policy_epoch"] != 2
+                if node["up"] and node["policy_epoch"] != 3
             ]
             if stale:
                 failures.append(
@@ -1210,6 +1528,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compile": cmd_compile,
         "decompile": cmd_decompile,
         "lint": cmd_lint,
+        "verify": cmd_verify,
+        "whatif": cmd_whatif,
         "decide": cmd_decide,
         "explain": cmd_explain,
         "history": cmd_history,

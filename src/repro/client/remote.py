@@ -826,7 +826,14 @@ class RemotePDP(PolicyDecisionPoint):
         """The policy version the server currently decides under."""
         return _version_from_status_body(self.policy_status())
 
-    def reload_policy(self, policy) -> PolicySwapReport:
+    def reload_policy(
+        self,
+        policy,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ) -> PolicySwapReport:
         """Atomically swap the server's policy set (zero downtime).
 
         Same ``PolicySource`` union and semantics as
@@ -837,13 +844,54 @@ class RemotePDP(PolicyDecisionPoint):
         server-side rejection raises
         :class:`~repro.errors.PolicyError`, leaving the active policy
         untouched.
+
+        ``verify=True`` runs the server-side verification gate first
+        (static analysis plus, when the server records an audit trail,
+        the differential what-if replay): error findings or more than
+        ``max_flips`` flipped decisions refuse the swap; ``force=True``
+        overrides the gate.
         """
         body = self._call(
             protocol.OP_POLICY_RELOAD,
             retriable=True,
             policy_xml=_policy_source_to_xml(policy),
+            verify=verify,
+            max_flips=max_flips,
+            force=force,
         ).get("body")
         return _report_from_reload_body(body)
+
+    def verify_policy(self, policy) -> dict:
+        """Server-side static verification of a candidate set.
+
+        Returns the structured :class:`~repro.verify.static.VerifyReport`
+        body (``{"ok", "counts", "findings"}``) without swapping
+        anything.
+        """
+        body = self._call(
+            protocol.OP_VERIFY,
+            retriable=True,
+            policy_xml=_policy_source_to_xml(policy),
+        ).get("body")
+        if not isinstance(body, dict):
+            raise ProtocolError("verify body must be an object")
+        return body
+
+    def what_if(self, policy) -> dict:
+        """Differentially replay the server's audit trail under a candidate.
+
+        Returns the :class:`~repro.verify.whatif.WhatIfReport` body.
+        Raises :class:`~repro.errors.PolicyError` when the server holds
+        no recorded trail.
+        """
+        body = self._call(
+            protocol.OP_WHATIF,
+            retriable=True,
+            policy_xml=_policy_source_to_xml(policy),
+        ).get("body")
+        if not isinstance(body, dict):
+            raise ProtocolError("whatif body must be an object")
+        return body
 
 
 # ---------------------------------------------------------------------------
@@ -1376,13 +1424,49 @@ class AsyncRemotePDP:
         """The policy version the server currently decides under."""
         return _version_from_status_body(await self.policy_status())
 
-    async def reload_policy(self, policy) -> PolicySwapReport:
+    async def reload_policy(
+        self,
+        policy,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ) -> PolicySwapReport:
         """Atomically swap the server's policy set (coroutine)."""
         body = (
             await self._call(
                 protocol.OP_POLICY_RELOAD,
                 retriable=True,
                 policy_xml=_policy_source_to_xml(policy),
+                verify=verify,
+                max_flips=max_flips,
+                force=force,
             )
         ).get("body")
         return _report_from_reload_body(body)
+
+    async def verify_policy(self, policy) -> dict:
+        """Server-side static verification of a candidate (coroutine)."""
+        body = (
+            await self._call(
+                protocol.OP_VERIFY,
+                retriable=True,
+                policy_xml=_policy_source_to_xml(policy),
+            )
+        ).get("body")
+        if not isinstance(body, dict):
+            raise ProtocolError("verify body must be an object")
+        return body
+
+    async def what_if(self, policy) -> dict:
+        """Differential replay of the server's trail (coroutine)."""
+        body = (
+            await self._call(
+                protocol.OP_WHATIF,
+                retriable=True,
+                policy_xml=_policy_source_to_xml(policy),
+            )
+        ).get("body")
+        if not isinstance(body, dict):
+            raise ProtocolError("whatif body must be an object")
+        return body

@@ -205,7 +205,15 @@ class ClusterPDP(PolicyDecisionPoint):
 
         return _version_from_status_body(self.policy_status())
 
-    def reload_policy(self, policy) -> dict:
+    def reload_policy(
+        self,
+        policy,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+        canary: bool = False,
+    ) -> dict:
         """Roll a new policy set across the whole cluster, standby first.
 
         ``policy`` is the usual source union (set, path, or XML text).
@@ -214,6 +222,13 @@ class ClusterPDP(PolicyDecisionPoint):
         a single :class:`PolicySwapReport`, because a cluster rollout
         is N swaps.  Safe to retry: a repeated rollout of the same set
         is a digest no-op on every node.
+
+        ``verify=True`` runs the coordinator's (static) verification
+        gate and attaches its verdict; ``canary=True`` runs the full
+        canary rollout instead — stage on one shard's standby, mirror
+        that shard's live decide stream under the candidate, and only
+        roll cluster-wide when flips stay within ``max_flips`` (see
+        :meth:`LocalCluster.canary_reload_policy`).
         """
         from repro.client.remote import _policy_source_to_xml
 
@@ -222,6 +237,10 @@ class ClusterPDP(PolicyDecisionPoint):
             protocol.OP_POLICY_RELOAD,
             retriable=True,
             policy_xml=_policy_source_to_xml(policy),
+            verify=verify,
+            max_flips=max_flips,
+            force=force,
+            canary=canary,
         ).get("body")
         if not isinstance(body, dict):
             raise ClusterError(

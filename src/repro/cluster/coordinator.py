@@ -48,6 +48,7 @@ import asyncio
 import logging
 import os
 import threading
+import time
 from typing import Iterable
 
 from repro.audit.trail import AuditTrailManager
@@ -301,45 +302,59 @@ class LocalCluster:
         return first.primary.policy_version()
 
     def policy_status(self) -> dict:
-        """The ``policy-status`` body: cluster and per-node versions."""
+        """The ``policy-status`` body: cluster and per-node versions.
+
+        ``findings`` mirrors the first primary's last-swap analyzer
+        output (the rollout path swaps every node with the same set, so
+        any primary's findings are the cluster's).
+        """
+        first = next(iter(self._shards.values()))
         return {
             "version": self.policy_version().to_dict(),
             "reloads": self._policy_reloads,
+            "findings": first.primary.service.policy_status().get(
+                "findings", []
+            ),
             "nodes": {
                 node.name: node.policy_version().to_dict()
                 for node in self.nodes()
             },
         }
 
-    def reload_policy(self, policy_set: MSoDPolicySet) -> dict:
+    def reload_policy(
+        self,
+        policy_set: MSoDPolicySet,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ) -> dict:
         """Roll a new policy set across every live node, standby first.
 
-        The set is validated once up front (analyzer errors raise
-        :class:`PolicyError` before any node is touched, so a rejected
-        set never partially rolls out).  Each shard then swaps under
-        its own ``state.lock`` — serialising the rollout with that
-        shard's catch-up ticks and any concurrent failover — with the
-        **standby first**: if the primary dies mid-rollout, the node
-        being promoted already runs the new set, so failover during a
-        reload can neither drop the new policy nor resurrect the old
-        one.  The route version bumps after all shards swap, nudging
-        clients to re-fetch (decides in flight stay valid: fencing
-        epochs are untouched).
-        """
-        from repro.permis.analyzer import (
-            SEVERITY_ERROR,
-            analyze_msod_policy_set,
-        )
+        The set is validated once up front through the structured
+        verifier (error-severity findings raise :class:`PolicyError`
+        before any node is touched, so a rejected set never partially
+        rolls out; ``force=True`` overrides).  Each shard then swaps
+        under its own ``state.lock`` — serialising the rollout with
+        that shard's catch-up ticks and any concurrent failover — with
+        the **standby first**: if the primary dies mid-rollout, the
+        node being promoted already runs the new set, so failover
+        during a reload can neither drop the new policy nor resurrect
+        the old one.  The route version bumps after all shards swap,
+        nudging clients to re-fetch (decides in flight stay valid:
+        fencing epochs are untouched).
 
-        errors = [
-            finding
-            for finding in analyze_msod_policy_set(policy_set)
-            if finding.severity == SEVERITY_ERROR
-        ]
-        if errors:
+        ``verify=True`` additionally attaches the full gate verdict to
+        the response body.  The coordinator holds no decision trail of
+        its own, so its gate is static-only; the differential half of a
+        safe cluster rollout is :meth:`canary_reload_policy`.
+        """
+        from repro.verify.gate import evaluate_gate
+
+        gate = evaluate_gate(policy_set, max_flips=max_flips)
+        if not gate.ok and not force:
             raise PolicyError(
-                "policy reload rejected: "
-                + "; ".join(str(finding) for finding in errors)
+                "policy reload rejected: " + "; ".join(gate.reasons)
             )
         reports: dict[str, dict] = {}
         changed = False
@@ -348,19 +363,123 @@ class LocalCluster:
                 for node in (state.standby, state.primary):
                     if node.name in self._dead:
                         continue
-                    report = node.reload_policy(policy_set)
+                    report = node.reload_policy(policy_set, force=force)
                     reports[node.name] = report.to_dict()
                     changed = changed or report.changed
         if changed:
             self._policy_reloads += 1
             with self._route_lock:
                 self._route_version += 1
-        return {
+        body = {
             "changed": changed,
             "version": self.policy_version().to_dict(),
             "reloads": self._policy_reloads,
             "nodes": reports,
+            "findings": [str(finding) for finding in gate.static.findings],
         }
+        if verify:
+            body["gate"] = gate.to_dict()
+        return body
+
+    def canary_reload_policy(
+        self,
+        policy_set: MSoDPolicySet,
+        *,
+        shard_name: str | None = None,
+        max_flips: int = 0,
+        min_decisions: int = 0,
+        timeout: float = 5.0,
+        poll_interval: float = 0.05,
+    ) -> dict:
+        """Safe rollout: verify, canary one shard, then roll the cluster.
+
+        The full pipeline of ``docs/VERIFICATION.md``:
+
+        1. the structured static analyzer rejects the candidate before
+           any node is touched (no ``force`` here — a canary rollout is
+           never blind);
+        2. the candidate is **staged on the canary shard's standby**
+           (proving it parses, compiles and swaps on a real node) and
+           the shard's **primary arms its mirror**: history replayed
+           differentially under the candidate, then every live decision
+           shadow-decided through it;
+        3. the mirror is observed until ``min_decisions`` live
+           decisions were compared (or ``timeout`` elapses); more than
+           ``max_flips`` total flips — or any mirror error — rejects
+           the rollout, rolls the staged standby back to its previous
+           (set, epoch) with :meth:`MSoDEngine.rollback_policy` (so the
+           candidate's epoch never stays resolvable in any lineage) and
+           raises :class:`PolicyError`;
+        4. only then does the ordinary coordinator-wide
+           :meth:`reload_policy` run — the staged standby's second swap
+           is a digest no-op, so every node lands on the same epoch.
+
+        The canary shard's ``state.lock`` is held through stage +
+        observation, serialising the canary with that shard's failover
+        and catch-up; decide traffic is unaffected (decisions do not
+        take shard locks).
+        """
+        from repro.verify.gate import evaluate_gate
+
+        gate = evaluate_gate(policy_set, max_flips=max_flips)
+        if not gate.ok:
+            raise PolicyError(
+                "canary rollout rejected: " + "; ".join(gate.reasons)
+            )
+        name = shard_name if shard_name is not None else next(iter(self._shards))
+        state = self.shard(name)
+        canary: dict = {"shard": name}
+        with state.lock:
+            primary, standby = state.primary, state.standby
+            if primary.name in self._dead:
+                raise ClusterError(
+                    f"shard {name} has no live primary to mirror on"
+                )
+            staged = None
+            if standby.name not in self._dead:
+                pre_stage_set = standby.engine.policy_set
+                pre_stage_epoch = standby.policy_version().epoch
+                staged = standby.reload_policy(policy_set)
+                canary["staged"] = staged.to_dict()
+            if staged is None or staged.changed:
+                primary.mirror_start(policy_set)
+                try:
+                    deadline = time.monotonic() + timeout
+                    while True:
+                        report = primary.mirror_report()
+                        if report["live_decisions"] >= min_decisions:
+                            break
+                        if time.monotonic() >= deadline:
+                            break
+                        time.sleep(poll_interval)
+                finally:
+                    report = primary.mirror_stop()
+                canary["mirror"] = report
+                if (
+                    report["flip_count"] > max_flips
+                    or report["mirror_errors"] > 0
+                ):
+                    if staged is not None:
+                        # Erase the staged candidate from the standby's
+                        # lineage: a plain reload back would leave the
+                        # candidate resolvable at its staged epoch, and
+                        # a later rollout would reuse that epoch number
+                        # for a different set.
+                        standby.engine.rollback_policy(
+                            pre_stage_set, to_epoch=pre_stage_epoch
+                        )
+                    raise PolicyError(
+                        f"canary rollout rejected on shard {name}: "
+                        f"{report['flip_count']} decision flips "
+                        f"(budget {max_flips}), "
+                        f"{report['mirror_errors']} mirror errors over "
+                        f"{report['live_decisions']} live decisions"
+                    )
+            else:
+                canary["noop"] = True
+        body = self.reload_policy(policy_set)
+        body["canary"] = canary
+        return body
 
     # ------------------------------------------------------------------
     def route(self) -> dict:
@@ -716,12 +835,24 @@ class LocalCluster:
         from repro.xmlpolicy import parse_policy_set
 
         xml = protocol.policy_xml_of(frame)
+        verify, max_flips, force = protocol.reload_options_of(frame)
+        canary = frame.get("canary", False)
+        if not isinstance(canary, bool):
+            raise ProtocolError("policy-reload.canary must be a boolean")
         loop = asyncio.get_running_loop()
+
+        def run(policy_set: MSoDPolicySet) -> dict:
+            if canary:
+                return self.canary_reload_policy(
+                    policy_set, max_flips=max_flips
+                )
+            return self.reload_policy(
+                policy_set, verify=verify, max_flips=max_flips, force=force
+            )
+
         try:
             policy_set = parse_policy_set(xml)
-            body = await loop.run_in_executor(
-                None, self.reload_policy, policy_set
-            )
+            body = await loop.run_in_executor(None, run, policy_set)
         except PolicyError as exc:
             await self._send(
                 writer,

@@ -44,11 +44,12 @@ from repro.audit.trail import EVENT_DECISION, AuditTrailManager
 from repro.core.decision import Decision
 from repro.core.engine import MSoDEngine
 from repro.core.policy import MSoDPolicySet
-from repro.core.retained_adi import RetainedADIStore
+from repro.core.retained_adi import InMemoryRetainedADIStore, RetainedADIStore
 from repro.errors import ClusterError
 from repro.server import protocol
 from repro.server.service import AuthorizationService
 from repro.server.testing import ServerThread
+from repro.verify.whatif import DecisionFlip, what_if_replay
 
 ROLE_PRIMARY = "primary"
 ROLE_STANDBY = "standby"
@@ -168,6 +169,10 @@ class ClusterNode:
             max_bytes=audit_max_bytes,
             fsync=fsync,
         )
+        # Canary mirror: when armed, every live decision this primary
+        # acks is also shadow-decided under a candidate policy set and
+        # effect mismatches are counted (see :meth:`mirror_start`).
+        self._mirror: dict | None = None
         self._engine = MSoDEngine(policy_set, store)
         self._service = AuthorizationService(
             self._engine,
@@ -176,6 +181,7 @@ class ClusterNode:
             batch_max=batch_max,
             audit_sink=self._audit_sink,
             health_extra=self._health_extra,
+            trail_reader=self._open_trail_reader,
         )
         self._thread = ServerThread(
             self._service,
@@ -233,15 +239,150 @@ class ClusterNode:
         """The :class:`PolicyVersion` this node decides under."""
         return self._engine.policy_version()
 
-    def reload_policy(self, policy_set: MSoDPolicySet):
+    def reload_policy(
+        self,
+        policy_set: MSoDPolicySet,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ):
         """Swap this node's policy set on its own serving loop.
 
         Routed through :meth:`ServerThread.reload_policy` so the swap
         serialises with the node's shard micro-batches exactly like a
         wire-level reload would.  Returns the
-        :class:`~repro.core.policy_epoch.PolicySwapReport`.
+        :class:`~repro.core.policy_epoch.PolicySwapReport`.  The
+        keyword options mirror
+        :meth:`~repro.server.service.AuthorizationService.reload_policy`
+        (``force`` also advances the epoch for an identical digest —
+        the coordinator uses that to re-align node epoch logs after a
+        rejected canary).
         """
-        return self._thread.reload_policy(policy_set)
+        return self._thread.reload_policy(
+            policy_set, verify=verify, max_flips=max_flips, force=force
+        )
+
+    def _open_trail_reader(self) -> AuditTrailManager:
+        """A fresh live-reader manager over this node's own trail."""
+        return AuditTrailManager(
+            self._trails.directory, self._audit_key, tolerate_ahead=True
+        )
+
+    # ------------------------------------------------------------------
+    def mirror_start(self, candidate_set: MSoDPolicySet) -> dict:
+        """Arm the canary mirror on this (primary) node.
+
+        Replays everything recorded so far differentially under the
+        candidate set (building its retained-ADI state as it goes), then
+        shadow-decides every *subsequent* live decision through the
+        candidate engine, counting effect mismatches.  The whole replay
+        happens under the node lock — the audit sink appends under the
+        same lock, so the trail is quiescent and the live comparison
+        starts exactly where the replay ended: no decision is missed or
+        double-counted.
+
+        Returns the replay half of the report (see
+        :meth:`mirror_report` for the running total).
+        """
+        with self._lock:
+            if self._mirror is not None:
+                raise ClusterError(
+                    f"node {self.name} already has an armed canary mirror"
+                )
+            reader = AuditTrailManager(
+                self._trails.directory, self._audit_key, tolerate_ahead=True
+            )
+            store = InMemoryRetainedADIStore()
+            replay = what_if_replay(
+                reader,
+                candidate_set,
+                store,
+                policy_resolver=self._engine.policy_set_for_epoch,
+            )
+            self._mirror = {
+                "engine": MSoDEngine(candidate_set, store),
+                "replay": replay,
+                "live_decisions": 0,
+                "live_flip_count": 0,
+                "live_flips": [],
+                "errors": 0,
+            }
+            return replay.to_dict()
+
+    def mirror_report(self) -> dict:
+        """The armed mirror's running report (replay + live halves)."""
+        with self._lock:
+            if self._mirror is None:
+                raise ClusterError(
+                    f"node {self.name} has no armed canary mirror"
+                )
+            return self._mirror_report_locked()
+
+    def mirror_stop(self) -> dict | None:
+        """Disarm the mirror; returns its final report (None if unarmed)."""
+        with self._lock:
+            if self._mirror is None:
+                return None
+            report = self._mirror_report_locked()
+            self._mirror = None
+            return report
+
+    def _mirror_report_locked(self) -> dict:
+        mirror = self._mirror
+        replay = mirror["replay"]
+        return {
+            "candidate_digest": replay.candidate_digest,
+            "replay": replay.to_dict(),
+            "live_decisions": mirror["live_decisions"],
+            "live_flip_count": mirror["live_flip_count"],
+            "live_flips": [flip.to_dict() for flip in mirror["live_flips"]],
+            "mirror_errors": mirror["errors"],
+            "flip_count": replay.flip_count + mirror["live_flip_count"],
+        }
+
+    def _mirror_compare(self, decision: Decision) -> None:
+        """Shadow-decide one acked decision under the candidate (locked).
+
+        A mirror failure must never fail a live decision: exceptions
+        are swallowed into an error counter the rollout gate treats as
+        disqualifying noise.
+        """
+        mirror = self._mirror
+        try:
+            shadow = mirror["engine"].check(decision.request)
+        except Exception:
+            mirror["errors"] += 1
+            return
+        mirror["live_decisions"] += 1
+        if shadow.effect == decision.effect:
+            return
+        mirror["live_flip_count"] += 1
+        if len(mirror["live_flips"]) >= 100:
+            return
+        violation = shadow.violation
+        mirror["live_flips"].append(
+            DecisionFlip(
+                request_id=decision.request.request_id,
+                user_id=decision.request.user_id,
+                operation=decision.request.operation,
+                target=decision.request.target,
+                context_instance=str(decision.request.context_instance),
+                timestamp=decision.request.timestamp,
+                recorded_effect=decision.effect,
+                replayed_effect=shadow.effect,
+                recorded_reason=decision.reason,
+                replayed_reason=shadow.reason,
+                replayed_policy_id=(
+                    violation.policy_id
+                    if violation is not None
+                    else ";".join(shadow.matched_policy_ids)
+                ),
+                replayed_constraint=(
+                    violation.constraint_repr if violation is not None else ""
+                ),
+            )
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> "ClusterNode":
@@ -333,6 +474,8 @@ class ClusterNode:
                 EVENT_DECISION, decision.request.timestamp, payload
             )
             self._journal[decision.request.request_id] = payload
+            if self._mirror is not None:
+                self._mirror_compare(decision)
 
     def _health_extra(self) -> dict:
         with self._lock:

@@ -153,7 +153,9 @@ class MSoDEngine:
         in the report).  A set whose content digest equals the active
         one is a **no-op**: the epoch does not advance and compiled
         indexes/memos stay warm — reloading the same file is idempotent.
-        ``force=True`` advances the epoch even for an identical digest.
+        ``force=True`` advances the epoch even for an identical digest
+        and overrides analyzer rejection (the error-severity findings
+        are still returned in the report for the operator to see).
 
         A real swap invalidates the store's per-(user, effective-context)
         memos under the store's transaction discipline and installs the
@@ -162,15 +164,15 @@ class MSoDEngine:
         the top of :meth:`check` finish under the old version, later
         requests see the new one.
         """
-        from repro.permis.analyzer import SEVERITY_ERROR, analyze_msod_policy_set
+        from repro.verify.static import analyze_policy_set, render_findings
 
-        findings = analyze_msod_policy_set(policy_set)
-        errors = [f for f in findings if f.severity == SEVERITY_ERROR]
-        if errors:
+        report = analyze_policy_set(policy_set)
+        if not report.ok and not force:
             raise PolicyError(
-                "policy swap rejected: " + "; ".join(str(f) for f in errors)
+                "policy swap rejected: "
+                + "; ".join(str(f) for f in report.errors)
             )
-        rendered = tuple(str(f) for f in findings)
+        rendered = render_findings(report)
         new_digest = policy_set_digest(policy_set)
         with self._swap_lock:
             _, epoch, digest, _ = self._active
@@ -203,6 +205,31 @@ class MSoDEngine:
                 changed=True,
                 findings=rendered,
             )
+
+    def rollback_policy(
+        self, policy_set: MSoDPolicySet, *, to_epoch: int
+    ) -> None:
+        """Restore ``policy_set`` as the active set at exactly ``to_epoch``.
+
+        The inverse of a staged :meth:`swap_policy`: a rejected canary
+        rollout must leave no trace in this engine's lineage, or a
+        later replay that resolves recorded epochs through the epoch
+        log could interpret history under the rejected candidate.
+        Epoch-log entries above ``to_epoch`` are erased and the active
+        tuple is restored under the same one-assignment discipline as a
+        forward swap.  Callers must guarantee no decision was recorded
+        under the epochs being erased (the cluster stages candidates
+        only on non-deciding standbys).
+        """
+        new_digest = policy_set_digest(policy_set)
+        with self._swap_lock:
+            compiled = CompiledPolicyMatcher(policy_set, to_epoch, new_digest)
+            with self._store.batch():
+                self._store.invalidate_policy_memos()
+                self._active = (policy_set, to_epoch, new_digest, compiled)
+            self._epoch_log.forget_after(to_epoch)
+            self._epoch_log.record(to_epoch, policy_set, new_digest)
+            self._perf.incr("engine.policy_rollbacks")
 
     def replace_policy_set(self, policy_set: MSoDPolicySet) -> None:
         """Swap in a new policy set (PDP re-initialisation).

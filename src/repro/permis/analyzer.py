@@ -224,15 +224,13 @@ def _analyze_rbac_layer(policy: PermisPolicy) -> list[Finding]:
     assignable = frozenset(
         role for rule in policy.assignment_rules for role in rule.roles
     )
+    # A role is reachable when some SOA may assign it directly or may
+    # assign any *transitive* senior of it: close the assignable set
+    # downward over the full hierarchy, not just one hop.
+    reachable = policy.authorized_roles(assignable) if assignable else assignable
     for rule in policy.access_rules:
         if policy.assignment_rules and rule.role not in assignable:
-            # The role may still be reachable via the hierarchy.
-            seniors_assignable = any(
-                senior in assignable
-                for senior, junior in policy.hierarchy_edges()
-                if junior == rule.role
-            )
-            if not seniors_assignable:
+            if rule.role not in reachable:
                 findings.append(
                     Finding(
                         SEVERITY_WARNING,

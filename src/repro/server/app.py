@@ -363,6 +363,10 @@ class MSoDServer:
             )
         elif op == protocol.OP_POLICY_RELOAD:
             await self._handle_policy_reload(writer, frame_id, frame, v2=v2)
+        elif op == protocol.OP_VERIFY:
+            await self._handle_verify(writer, frame_id, frame, v2=v2)
+        elif op == protocol.OP_WHATIF:
+            await self._handle_whatif(writer, frame_id, frame, v2=v2)
         else:
             raise ProtocolError(f"unknown operation {op!r}")
 
@@ -371,18 +375,49 @@ class MSoDServer:
     ) -> None:
         """Parse, validate and atomically install a policy set.
 
-        A rejected set (XML that does not parse, analyzer errors) gets
-        an ``error.kind == "policy"`` response and leaves the active
-        policy untouched.  Runs synchronously on the event loop between
-        worker batches, so the swap cannot interleave with a
-        half-evaluated micro-batch.
+        A rejected set (XML that does not parse, analyzer errors, a
+        failed ``verify`` gate) gets an ``error.kind == "policy"``
+        response and leaves the active policy untouched.  Runs
+        synchronously on the event loop between worker batches, so the
+        swap cannot interleave with a half-evaluated micro-batch.
         """
+        from repro.xmlpolicy import parse_policy_set
+
+        xml = protocol.policy_xml_of(frame)
+        verify, max_flips, force = protocol.reload_options_of(frame)
+        try:
+            policy_set = parse_policy_set(xml)
+            report = self._service.reload_policy(
+                policy_set, verify=verify, max_flips=max_flips, force=force
+            )
+        except PolicyError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(frame_id, protocol.ERR_POLICY, str(exc)),
+                v2=v2,
+            )
+            return
+        body = report.to_dict()
+        if verify and self._service.last_gate is not None:
+            body["gate"] = self._service.last_gate.to_dict()
+        await self._send(
+            writer,
+            protocol.response_frame(
+                frame_id, protocol.OP_POLICY_RELOAD, "body", body
+            ),
+            v2=v2,
+        )
+
+    async def _handle_verify(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict, v2: bool = False
+    ) -> None:
+        """Static verification of a candidate set, without swapping it."""
         from repro.xmlpolicy import parse_policy_set
 
         xml = protocol.policy_xml_of(frame)
         try:
             policy_set = parse_policy_set(xml)
-            report = self._service.reload_policy(policy_set)
+            report = self._service.verify_policy(policy_set)
         except PolicyError as exc:
             await self._send(
                 writer,
@@ -393,7 +428,37 @@ class MSoDServer:
         await self._send(
             writer,
             protocol.response_frame(
-                frame_id, protocol.OP_POLICY_RELOAD, "body", report.to_dict()
+                frame_id, protocol.OP_VERIFY, "body", report.to_dict()
+            ),
+            v2=v2,
+        )
+
+    async def _handle_whatif(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict, v2: bool = False
+    ) -> None:
+        """Differential replay of this server's trail under a candidate.
+
+        Runs synchronously on the event loop (like a reload): the trail
+        read sees a consistent prefix and the answer reflects every
+        decision acked before this frame.
+        """
+        from repro.xmlpolicy import parse_policy_set
+
+        xml = protocol.policy_xml_of(frame)
+        try:
+            policy_set = parse_policy_set(xml)
+            report = self._service.what_if(policy_set)
+        except PolicyError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(frame_id, protocol.ERR_POLICY, str(exc)),
+                v2=v2,
+            )
+            return
+        await self._send(
+            writer,
+            protocol.response_frame(
+                frame_id, protocol.OP_WHATIF, "body", report.to_dict()
             ),
             v2=v2,
         )

@@ -101,6 +101,14 @@ OP_POLICY_RELOAD = "policy-reload"
 #: Old servers answer ``hello`` with a ``protocol`` error, which a
 #: v2-capable client treats as "this endpoint speaks v1 only".
 OP_HELLO = "hello"
+#: Policy verification verbs (additive v1 verbs).  ``verify`` runs the
+#: structured static analyzer over the candidate set carried as
+#: ``policy_xml``; ``whatif`` replays the server's recorded audit trail
+#: under the candidate and reports flipped decisions.  ``policy-reload``
+#: additionally accepts optional ``verify``/``max_flips``/``force``
+#: fields (see :func:`reload_options_of`) gating the swap server-side.
+OP_VERIFY = "verify"
+OP_WHATIF = "whatif"
 KNOWN_OPS = frozenset(
     {
         OP_DECIDE,
@@ -109,6 +117,8 @@ KNOWN_OPS = frozenset(
         OP_SLOWLOG,
         OP_POLICY_STATUS,
         OP_POLICY_RELOAD,
+        OP_VERIFY,
+        OP_WHATIF,
         OP_HELLO,
     }
 )
@@ -562,6 +572,27 @@ def _decision_from_wire(raw: Any, delta_request: DecisionRequest | None) -> Deci
 def policy_xml_of(frame: Mapping[str, Any]) -> str:
     """The validated ``policy_xml`` field of a ``policy-reload`` frame."""
     return _require(frame, "policy_xml", str, "policy-reload")
+
+
+def reload_options_of(frame: Mapping[str, Any]) -> tuple[bool, int, bool]:
+    """The optional verification-gate fields of a ``policy-reload`` frame.
+
+    Returns ``(verify, max_flips, force)``.  All three are optional on
+    the wire (old clients never send them) and default to the ungated
+    pre-verification behaviour: ``(False, 0, False)``.
+    """
+    verify = frame.get("verify", False)
+    if not isinstance(verify, bool):
+        raise ProtocolError("policy-reload.verify must be a boolean")
+    force = frame.get("force", False)
+    if not isinstance(force, bool):
+        raise ProtocolError("policy-reload.force must be a boolean")
+    max_flips = frame.get("max_flips", 0)
+    if isinstance(max_flips, bool) or not isinstance(max_flips, int):
+        raise ProtocolError("policy-reload.max_flips must be an integer")
+    if max_flips < 0:
+        raise ProtocolError("policy-reload.max_flips must be >= 0")
+    return verify, max_flips, force
 
 
 # ---------------------------------------------------------------------------

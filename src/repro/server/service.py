@@ -37,15 +37,21 @@ from __future__ import annotations
 
 import asyncio
 import zlib
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.decision import Decision, DecisionRequest
 from repro.core.engine import MSoDEngine
 from repro.core.policy import MSoDPolicySet
 from repro.core.policy_epoch import PolicySwapReport
-from repro.errors import ReproError
+from repro.errors import PolicyError, ReproError
 from repro.obs.metrics import MetricsRegistry
 from repro.perf import NOOP, PerfRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.trail import AuditTrailManager
+    from repro.verify.gate import GateResult
+    from repro.verify.static import VerifyReport
+    from repro.verify.whatif import WhatIfReport
 
 
 class ServiceOverloadedError(ReproError):
@@ -134,6 +140,12 @@ class AuthorizationService:
         Optional callable returning extra keys merged into the
         ``healthz`` body (a cluster node reports its role and epoch
         this way).
+    trail_reader:
+        Optional callable returning a *fresh* read-only
+        :class:`~repro.audit.trail.AuditTrailManager` over this
+        server's recorded trail (or ``None`` when no trail exists yet).
+        Enables the ``whatif`` verb and the what-if half of verified
+        reloads; without it only static verification runs.
     """
 
     def __init__(
@@ -147,6 +159,7 @@ class AuthorizationService:
         audit_sink: Callable[[Decision], None] | None = None,
         perf: PerfRecorder | None = None,
         health_extra: Callable[[], dict] | None = None,
+        trail_reader: "Callable[[], AuditTrailManager | None] | None" = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -168,6 +181,7 @@ class AuthorizationService:
         self._retry_after = retry_after
         self._audit_sink = audit_sink
         self._health_extra = health_extra
+        self._trail_reader = trail_reader
         self._perf = perf if perf is not None else NOOP
         self._queues: list[asyncio.Queue] = []
         self._workers: list[asyncio.Task] = []
@@ -176,6 +190,10 @@ class AuthorizationService:
         self._started = False
         self._registry: MetricsRegistry | None = None
         self._policy_reloads = 0
+        self._last_findings: tuple[str, ...] = ()
+        self._last_gate: "GateResult | None" = None
+        self._verify_counts: dict[str, int] = {}
+        self._whatif_flips = 0
 
     # ------------------------------------------------------------------
     @property
@@ -271,6 +289,19 @@ class AuthorizationService:
             "Completed policy hot-reloads that changed the active set.",
             lambda: float(self._policy_reloads),
         )
+        registry.register_counter(
+            "verify_findings_total",
+            "Static verification findings observed, by severity.",
+            lambda: [
+                ({"severity": severity}, float(self._verify_counts.get(severity, 0)))
+                for severity in ("error", "warning", "info")
+            ],
+        )
+        registry.register_counter(
+            "whatif_flips_total",
+            "Decision flips observed across what-if replays.",
+            lambda: float(self._whatif_flips),
+        )
         for attr, help_text in (
             ("submitted", "Requests admitted to each shard queue."),
             ("completed", "Decisions completed by each shard worker."),
@@ -292,14 +323,73 @@ class AuthorizationService:
         return self.metrics_registry().render()
 
     def policy_status(self) -> dict:
-        """The ``policy-status`` body: active version + reload count."""
+        """The ``policy-status`` body: version, reload count, findings.
+
+        ``findings`` carries the analyzer output of the most recent
+        successful swap (empty before the first reload) so operators
+        can see outstanding warnings without replaying the reload.
+        """
         version = self._engine.policy_version()
         return {
             "version": version.to_dict(),
             "reloads": self._policy_reloads,
+            "findings": list(self._last_findings),
         }
 
-    def reload_policy(self, policy_set: MSoDPolicySet) -> PolicySwapReport:
+    @property
+    def last_gate(self) -> "GateResult | None":
+        """The gate verdict of the most recent verified reload attempt."""
+        return self._last_gate
+
+    def _open_trails(self) -> "AuditTrailManager | None":
+        if self._trail_reader is None:
+            return None
+        return self._trail_reader()
+
+    def _note_verify(self, report: "VerifyReport") -> None:
+        for severity, count in report.counts_by_severity().items():
+            self._verify_counts[severity] = (
+                self._verify_counts.get(severity, 0) + count
+            )
+
+    def verify_policy(self, policy_set: MSoDPolicySet) -> "VerifyReport":
+        """Run the structured static analyzer over a candidate set."""
+        from repro.verify.static import analyze_policy_set
+
+        report = analyze_policy_set(policy_set)
+        self._note_verify(report)
+        return report
+
+    def what_if(self, policy_set: MSoDPolicySet) -> "WhatIfReport":
+        """Differentially replay this server's trail under a candidate.
+
+        Raises :class:`~repro.errors.PolicyError` when the server has no
+        recorded audit trail to replay.
+        """
+        from repro.verify.whatif import what_if_replay
+
+        trails = self._open_trails()
+        if trails is None:
+            raise PolicyError(
+                "what-if replay needs a recorded audit trail "
+                "(this server has none)"
+            )
+        report = what_if_replay(
+            trails,
+            policy_set,
+            policy_resolver=self._engine.policy_set_for_epoch,
+        )
+        self._whatif_flips += report.flip_count
+        return report
+
+    def reload_policy(
+        self,
+        policy_set: MSoDPolicySet,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ) -> PolicySwapReport:
         """Atomically swap the engine's policy set (see ``swap_policy``).
 
         Must run on the service's event loop (the wire handler already
@@ -310,8 +400,35 @@ class AuthorizationService:
         interleaves a swap into a half-evaluated batch — and the
         engine's one-tuple-read discipline protects even multi-threaded
         embedders.
+
+        With ``verify=True`` the full verification gate runs first:
+        static analysis plus — when this server records an audit trail —
+        the differential what-if replay.  Error-severity findings or
+        more than ``max_flips`` flipped decisions refuse the swap and
+        leave the active epoch untouched; ``force=True`` overrides the
+        gate (and additionally advances the epoch even for an identical
+        digest, see :meth:`~repro.core.engine.MSoDEngine.swap_policy`).
         """
-        report = self._engine.swap_policy(policy_set)
+        if verify:
+            from repro.verify.gate import evaluate_gate
+
+            gate = evaluate_gate(
+                policy_set,
+                trails=self._open_trails(),
+                max_flips=max_flips,
+                policy_resolver=self._engine.policy_set_for_epoch,
+            )
+            self._note_verify(gate.static)
+            if gate.whatif is not None:
+                self._whatif_flips += gate.whatif.flip_count
+            self._last_gate = gate
+            if not gate.ok and not force:
+                raise PolicyError(
+                    "policy reload refused by verification gate: "
+                    + "; ".join(gate.reasons)
+                )
+        report = self._engine.swap_policy(policy_set, force=force)
+        self._last_findings = report.findings
         if report.changed:
             self._policy_reloads += 1
             self._perf.incr("server.policy_reloads")

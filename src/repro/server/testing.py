@@ -83,18 +83,29 @@ class ServerThread:
             raise self._startup_error
         return self
 
-    def reload_policy(self, policy_set):
+    def reload_policy(
+        self,
+        policy_set,
+        *,
+        verify: bool = False,
+        max_flips: int = 0,
+        force: bool = False,
+    ):
         """Thread-safe policy swap: runs the reload on the loop thread.
 
         Scheduling the swap as a loop callback (like the wire handler)
         keeps it serialized with the shard workers' micro-batches.
         Returns the :class:`~repro.core.policy_epoch.PolicySwapReport`.
+        The keyword options mirror
+        :meth:`~repro.server.service.AuthorizationService.reload_policy`.
         """
         if self._loop is None:
             raise RuntimeError("server thread is not running")
 
         async def _swap():
-            return self._server.service.reload_policy(policy_set)
+            return self._server.service.reload_policy(
+                policy_set, verify=verify, max_flips=max_flips, force=force
+            )
 
         return asyncio.run_coroutine_threadsafe(_swap(), self._loop).result(
             timeout=30

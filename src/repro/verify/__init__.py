@@ -1,0 +1,44 @@
+"""Policy verification & safe-rollout pipeline.
+
+Three stages turn hot-reload from merely-atomic into production-safe:
+
+1. :mod:`repro.verify.static` — structured static analysis of an MSoD
+   policy set (machine-readable findings with stable codes);
+2. :mod:`repro.verify.whatif` — differential replay of a recorded audit
+   trail under a candidate set, reporting flipped decisions;
+3. :mod:`repro.verify.gate` — the rollout gate combining both, wired
+   into ``policy reload --verify`` and the cluster canary.
+"""
+
+from repro.verify.gate import GateResult, evaluate_gate
+from repro.verify.static import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    VerifyFinding,
+    VerifyReport,
+    analyze_policy_set,
+    render_findings,
+)
+from repro.verify.whatif import (
+    DecisionFlip,
+    WhatIfReport,
+    decision_request_from_payload,
+    what_if_replay,
+)
+
+__all__ = [
+    "GateResult",
+    "evaluate_gate",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "VerifyFinding",
+    "VerifyReport",
+    "analyze_policy_set",
+    "render_findings",
+    "DecisionFlip",
+    "WhatIfReport",
+    "decision_request_from_payload",
+    "what_if_replay",
+]

@@ -1,0 +1,101 @@
+"""The rollout gate (stage 3): static analysis + what-if as a swap gate.
+
+``policy reload --verify`` (and the cluster canary) funnel through
+:func:`evaluate_gate`: run the static analyzer over the candidate set
+and — when a recorded trail is available — the differential what-if
+replay, then refuse the rollout on error-severity findings or on more
+decision flips than the operator budgeted (``max_flips``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.core.policy import MSoDPolicySet
+from repro.verify.static import VerifyReport, analyze_policy_set
+from repro.verify.whatif import WhatIfReport, what_if_replay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.trail import AuditTrailManager
+    from repro.permis.policy import PermisPolicy
+    from repro.rbac.constraints import SsdConstraint
+
+
+@dataclass(frozen=True, slots=True)
+class GateResult:
+    """The verdict of one verification-gated rollout attempt."""
+
+    static: VerifyReport
+    whatif: WhatIfReport | None
+    max_flips: int
+    ok: bool
+    reasons: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "max_flips": self.max_flips,
+            "reasons": list(self.reasons),
+            "static": self.static.to_dict(),
+            "whatif": self.whatif.to_dict() if self.whatif else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GateResult":
+        whatif = data.get("whatif")
+        return cls(
+            static=VerifyReport.from_dict(data.get("static", {})),
+            whatif=WhatIfReport.from_dict(whatif) if whatif else None,
+            max_flips=int(data.get("max_flips", 0)),
+            ok=bool(data.get("ok", False)),
+            reasons=tuple(str(r) for r in data.get("reasons", ())),
+        )
+
+
+def evaluate_gate(
+    candidate_set: MSoDPolicySet,
+    *,
+    permis: "PermisPolicy | None" = None,
+    ssd: Iterable["SsdConstraint"] = (),
+    trails: "AuditTrailManager | None" = None,
+    max_flips: int = 0,
+    last_n_trails: int | None = None,
+    since: float = 0.0,
+    policy_resolver: Optional[
+        Callable[[int], MSoDPolicySet | None]
+    ] = None,
+) -> GateResult:
+    """Run the verification gate over a candidate policy set.
+
+    Static analysis always runs; the what-if replay runs only when a
+    recorded ``trails`` directory is supplied.  The gate fails on any
+    error-severity static finding and on strictly more than
+    ``max_flips`` flipped decisions.
+    """
+    static = analyze_policy_set(candidate_set, permis=permis, ssd=ssd)
+    reasons: list[str] = []
+    if not static.ok:
+        reasons.extend(str(finding) for finding in static.errors)
+    whatif: WhatIfReport | None = None
+    if trails is not None:
+        whatif = what_if_replay(
+            trails,
+            candidate_set,
+            last_n_trails=last_n_trails,
+            since=since,
+            policy_resolver=policy_resolver,
+        )
+        if whatif.flip_count > max_flips:
+            reasons.append(
+                f"what-if replay flips {whatif.flip_count} recorded "
+                f"decisions (budget {max_flips}): "
+                + "; ".join(str(flip) for flip in whatif.flips[:5])
+            )
+    return GateResult(
+        static=static,
+        whatif=whatif,
+        max_flips=max_flips,
+        ok=not reasons,
+        reasons=tuple(reasons),
+    )

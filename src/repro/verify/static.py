@@ -1,0 +1,555 @@
+"""Static verification of MSoD policy sets (stage 1 of the pipeline).
+
+The paper warns that "the policy writer also needs to know what the
+business contexts are in order to construct a correct policy" — and a
+well-formed set can still be semantically broken: a constraint whose
+cardinality is unreachable, a constraint subsumed by a stricter sibling,
+a policy whose scope is shadowed by a stricter ancestor.  This module
+promotes the :mod:`repro.permis.analyzer` linter into a structured pass
+producing machine-readable findings, each carrying a stable ``code``, a
+``severity``, the ``policy_id`` it concerns, and a human ``detail``.
+
+Severities follow the analyzer convention:
+
+* ``error`` — the set must not be deployed (hot-reload gates refuse it);
+* ``warning`` — deployable but operationally hazardous;
+* ``info`` — notable but harmless.
+
+The pass runs over a bare :class:`~repro.core.policy.MSoDPolicySet`;
+when the surrounding PERMIS policy is supplied the reachability checks
+(assignable roles, grantable privileges, both closed over the transitive
+role hierarchy) run as well, and SSD constraint sets may be supplied to
+detect MMERs that static separation already covers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.policy import MSoDPolicy, MSoDPolicySet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.permis.policy import PermisPolicy
+    from repro.rbac.constraints import SsdConstraint
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+_SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+# Finding codes, grouped by stage.  Stable identifiers: tooling and the
+# rollout gate key off these, not the prose details.
+CONSTRAINT_DUPLICATE = "CONSTRAINT_DUPLICATE"
+POLICY_DUPLICATE = "POLICY_DUPLICATE"
+MMER_REDUNDANT = "MMER_REDUNDANT"
+MMEP_REDUNDANT = "MMEP_REDUNDANT"
+SCOPE_SHADOWED = "SCOPE_SHADOWED"
+SCOPE_UNIVERSAL = "SCOPE_UNIVERSAL"
+SCOPE_OVERLAP = "SCOPE_OVERLAP"
+LIFECYCLE_NO_LAST_STEP = "LIFECYCLE_NO_LAST_STEP"
+LIFECYCLE_SELF_TERMINATING = "LIFECYCLE_SELF_TERMINATING"
+MMER_UNSATISFIABLE = "MMER_UNSATISFIABLE"
+MMER_DEAD_ROLES = "MMER_DEAD_ROLES"
+MMEP_UNSATISFIABLE = "MMEP_UNSATISFIABLE"
+MMEP_DEAD_PRIVILEGES = "MMEP_DEAD_PRIVILEGES"
+FIRST_STEP_UNGRANTABLE = "FIRST_STEP_UNGRANTABLE"
+LAST_STEP_UNGRANTABLE = "LAST_STEP_UNGRANTABLE"
+MMER_COVERED_BY_SSD = "MMER_COVERED_BY_SSD"
+RBAC_UNREACHABLE_RULE = "RBAC_UNREACHABLE_RULE"
+
+
+@dataclass(frozen=True, slots=True)
+class VerifyFinding:
+    """One machine-readable verification result."""
+
+    code: str
+    severity: str
+    policy_id: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code} {self.policy_id}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "policy_id": self.policy_id,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerifyFinding":
+        return cls(
+            code=str(data["code"]),
+            severity=str(data["severity"]),
+            policy_id=str(data["policy_id"]),
+            detail=str(data["detail"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class VerifyReport:
+    """All findings from one static pass, in deterministic order."""
+
+    findings: tuple[VerifyFinding, ...]
+
+    @property
+    def errors(self) -> tuple[VerifyFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> tuple[VerifyFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == SEVERITY_WARNING)
+
+    @property
+    def infos(self) -> tuple[VerifyFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == SEVERITY_INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors
+
+    def counts_by_severity(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in _SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "counts": self.counts_by_severity(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerifyReport":
+        findings = data.get("findings", [])
+        if not isinstance(findings, list):
+            raise TypeError("verify report findings must be a list")
+        return cls(
+            findings=tuple(VerifyFinding.from_dict(item) for item in findings)
+        )
+
+
+def analyze_policy_set(
+    policy_set: MSoDPolicySet,
+    *,
+    permis: "PermisPolicy | None" = None,
+    ssd: Iterable["SsdConstraint"] = (),
+) -> VerifyReport:
+    """Run the full static pass over an MSoD policy set.
+
+    ``permis`` enables the cross-reference checks against the RBAC layer
+    (role assignability and privilege grantability, closed over the
+    transitive role hierarchy).  ``ssd`` supplies static
+    separation-of-duty sets whose coverage of an MMER makes the MMER
+    dead weight.
+    """
+    findings: list[VerifyFinding] = []
+    for policy in policy_set:
+        findings.extend(_intra_policy_findings(policy))
+    findings.extend(_cross_policy_findings(policy_set))
+    if ssd:
+        findings.extend(_ssd_findings(policy_set, tuple(ssd)))
+    if permis is not None:
+        findings.extend(_permis_findings(policy_set, permis))
+        findings.extend(_rbac_layer_findings(permis))
+    return VerifyReport(findings=tuple(findings))
+
+
+def render_findings(report: VerifyReport) -> tuple[str, ...]:
+    """The report's findings as display strings (for ``PolicySwapReport``)."""
+    return tuple(str(finding) for finding in report.findings)
+
+
+# ----------------------------------------------------------------------
+# Intra-policy checks (bare set, no companion needed).
+# ----------------------------------------------------------------------
+def _intra_policy_findings(policy: MSoDPolicy) -> list[VerifyFinding]:
+    findings: list[VerifyFinding] = []
+    pid = policy.policy_id
+
+    findings.extend(
+        _duplicate_constraints(pid, policy.mmers, "MMER")
+    )
+    findings.extend(
+        _duplicate_constraints(pid, policy.mmeps, "MMEP")
+    )
+
+    # Redundancy: a constraint implied by a strictly stricter sibling.
+    # MMER A is implied by B when roles(A) ⊆ roles(B) and m(B) <= m(A):
+    # any history violating A necessarily violates B first.
+    for index, mmer in enumerate(policy.mmers):
+        for other_index, other in enumerate(policy.mmers):
+            if other_index == index or mmer == other:
+                continue
+            if _mmer_implied_by(mmer, other):
+                findings.append(
+                    VerifyFinding(
+                        MMER_REDUNDANT,
+                        SEVERITY_WARNING,
+                        pid,
+                        f"{mmer!r} is implied by stricter sibling {other!r}"
+                        " and can never be the binding constraint",
+                    )
+                )
+                break
+    for index, mmep in enumerate(policy.mmeps):
+        for other_index, other in enumerate(policy.mmeps):
+            if other_index == index or mmep == other:
+                continue
+            if _mmep_implied_by(mmep, other):
+                findings.append(
+                    VerifyFinding(
+                        MMEP_REDUNDANT,
+                        SEVERITY_WARNING,
+                        pid,
+                        f"{mmep!r} is implied by stricter sibling {other!r}"
+                        " and can never be the binding constraint",
+                    )
+                )
+                break
+
+    # Lifecycle hazards (the Section 4.3 growth problem).
+    if policy.last_step is None:
+        findings.append(
+            VerifyFinding(
+                LIFECYCLE_NO_LAST_STEP,
+                SEVERITY_WARNING,
+                pid,
+                "no last step: retained ADI for this context only shrinks "
+                "through the management port (Section 4.3 growth hazard)",
+            )
+        )
+    elif policy.first_step == policy.last_step:
+        findings.append(
+            VerifyFinding(
+                LIFECYCLE_SELF_TERMINATING,
+                SEVERITY_WARNING,
+                pid,
+                f"first and last step are both {policy.last_step}: every "
+                "context instance terminates on the request that starts it, "
+                "so history never accumulates across sessions",
+            )
+        )
+
+    if policy.business_context.is_root:
+        findings.append(
+            VerifyFinding(
+                SCOPE_UNIVERSAL,
+                SEVERITY_INFO,
+                pid,
+                "policy is scoped to the universal context: it applies to "
+                "every access request",
+            )
+        )
+    return findings
+
+
+def _duplicate_constraints(
+    pid: str, constraints: tuple, kind: str
+) -> list[VerifyFinding]:
+    """Exact duplicates (modulo ordering) within one policy are errors:
+    a repeated constraint is always an authoring mistake — the copy can
+    never change a decision."""
+    findings: list[VerifyFinding] = []
+    reported: set[int] = set()
+    for index, constraint in enumerate(constraints):
+        if index in reported:
+            continue
+        for other_index in range(index + 1, len(constraints)):
+            if constraints[other_index] == constraint:
+                reported.add(other_index)
+                findings.append(
+                    VerifyFinding(
+                        CONSTRAINT_DUPLICATE,
+                        SEVERITY_ERROR,
+                        pid,
+                        f"duplicate {kind} constraint {constraint!r} "
+                        "(listed more than once, modulo ordering)",
+                    )
+                )
+                break
+    return findings
+
+
+def _mmer_implied_by(mmer: MMER, other: MMER) -> bool:
+    return (
+        set(mmer.roles) <= set(other.roles)
+        and other.forbidden_cardinality <= mmer.forbidden_cardinality
+    )
+
+
+def _mmep_implied_by(mmep: MMEP, other: MMEP) -> bool:
+    ours, theirs = Counter(mmep.privileges), Counter(other.privileges)
+    return (
+        all(theirs[priv] >= count for priv, count in ours.items())
+        and other.forbidden_cardinality <= mmep.forbidden_cardinality
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-policy checks: duplicates, shadowed scopes, overlaps.
+# ----------------------------------------------------------------------
+def _same_steps(first: MSoDPolicy, second: MSoDPolicy) -> bool:
+    return (
+        first.first_step == second.first_step
+        and first.last_step == second.last_step
+    )
+
+
+def _constraints_equal(first: MSoDPolicy, second: MSoDPolicy) -> bool:
+    return (
+        set(first.mmers) == set(second.mmers)
+        and set(first.mmeps) == set(second.mmeps)
+    )
+
+
+def _constraints_implied(inner: MSoDPolicy, outer: MSoDPolicy) -> bool:
+    """Every constraint of ``inner`` is implied by some ``outer`` one."""
+    return all(
+        any(_mmer_implied_by(mmer, other) for other in outer.mmers)
+        for mmer in inner.mmers
+    ) and all(
+        any(_mmep_implied_by(mmep, other) for other in outer.mmeps)
+        for mmep in inner.mmeps
+    )
+
+
+def _cross_policy_findings(policy_set: MSoDPolicySet) -> list[VerifyFinding]:
+    findings: list[VerifyFinding] = []
+    policies = policy_set.policies
+    shadow_reported: set[str] = set()
+    for index, policy in enumerate(policies):
+        for other in policies[index + 1:]:
+            # Semantic duplicates.  The policy model already rejects
+            # duplicate *ids*, so these are distinct ids carrying the
+            # same context, steps and constraint sets.
+            if (
+                policy.business_context == other.business_context
+                and _same_steps(policy, other)
+                and _constraints_equal(policy, other)
+            ):
+                findings.append(
+                    VerifyFinding(
+                        POLICY_DUPLICATE,
+                        SEVERITY_ERROR,
+                        other.policy_id,
+                        f"duplicate of policy {policy.policy_id!r}: same "
+                        "business context, steps and constraints",
+                    )
+                )
+                continue
+            if policy.business_context == other.business_context:
+                findings.append(
+                    VerifyFinding(
+                        SCOPE_OVERLAP,
+                        SEVERITY_INFO,
+                        policy.policy_id,
+                        f"scope overlaps policy {other.policy_id!r}: both "
+                        "apply to requests in the narrower context",
+                    )
+                )
+                continue
+            for inner, outer in ((policy, other), (other, policy)):
+                if inner.policy_id in shadow_reported:
+                    continue
+                if not inner.business_context.is_equal_or_subordinate_to(
+                    outer.business_context
+                ):
+                    continue
+                # ``inner`` sits under a strictly-wider ancestor scope.
+                # If the ancestor's constraints are at least as strict
+                # over the same enforcement window, the subordinate
+                # policy can never be the binding decision.
+                if _same_steps(inner, outer) and _constraints_implied(
+                    inner, outer
+                ):
+                    shadow_reported.add(inner.policy_id)
+                    findings.append(
+                        VerifyFinding(
+                            SCOPE_SHADOWED,
+                            SEVERITY_WARNING,
+                            inner.policy_id,
+                            "scope is subsumed by stricter ancestor policy "
+                            f"{outer.policy_id!r}: every request it matches "
+                            "is already decided by the ancestor's "
+                            "constraints",
+                        )
+                    )
+                else:
+                    findings.append(
+                        VerifyFinding(
+                            SCOPE_OVERLAP,
+                            SEVERITY_INFO,
+                            inner.policy_id,
+                            f"scope overlaps policy {outer.policy_id!r}: "
+                            "both apply to requests in the narrower context",
+                        )
+                    )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SSD coverage: MMER sets static separation already forbids.
+# ----------------------------------------------------------------------
+def _ssd_findings(
+    policy_set: MSoDPolicySet, ssd: tuple["SsdConstraint", ...]
+) -> list[VerifyFinding]:
+    findings: list[VerifyFinding] = []
+    for policy in policy_set:
+        for mmer in policy.mmers:
+            role_names = {str(role) for role in mmer.roles}
+            for constraint in ssd:
+                if (
+                    role_names <= constraint.roles
+                    and constraint.cardinality <= mmer.forbidden_cardinality
+                ):
+                    findings.append(
+                        VerifyFinding(
+                            MMER_COVERED_BY_SSD,
+                            SEVERITY_WARNING,
+                            policy.policy_id,
+                            f"{mmer!r} is fully covered by static SSD set "
+                            f"{constraint.name!r} (cardinality "
+                            f"{constraint.cardinality}): assignment-time "
+                            "separation already forbids the conflict",
+                        )
+                    )
+                    break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# PERMIS cross-reference: reachability over the transitive hierarchy.
+# ----------------------------------------------------------------------
+def _assignable_roles(permis: "PermisPolicy") -> frozenset[Role]:
+    """Roles a user can end up holding: every role some SOA may assign,
+    closed *downward* over the transitive role hierarchy (holding a
+    senior role confers all its juniors)."""
+    base = frozenset(
+        role for rule in permis.assignment_rules for role in rule.roles
+    )
+    return permis.authorized_roles(base) if base else base
+
+
+def _permis_findings(
+    policy_set: MSoDPolicySet, permis: "PermisPolicy"
+) -> list[VerifyFinding]:
+    findings: list[VerifyFinding] = []
+    assignable = _assignable_roles(permis)
+    grantable = permis.privileges_of(assignable)
+    for policy in policy_set:
+        pid = policy.policy_id
+        for mmer in policy.mmers:
+            dead = [role for role in mmer.roles if role not in assignable]
+            reachable = len(mmer.roles) - len(dead)
+            if reachable < mmer.forbidden_cardinality:
+                findings.append(
+                    VerifyFinding(
+                        MMER_UNSATISFIABLE,
+                        SEVERITY_ERROR,
+                        pid,
+                        f"{mmer!r} can never fire: only {reachable} of its "
+                        "roles are assignable (directly or via a senior "
+                        f"role), but {mmer.forbidden_cardinality} are "
+                        "needed for a conflict",
+                    )
+                )
+            elif dead:
+                findings.append(
+                    VerifyFinding(
+                        MMER_DEAD_ROLES,
+                        SEVERITY_WARNING,
+                        pid,
+                        "MMER names roles no SOA may assign (even via the "
+                        f"hierarchy): {sorted(map(str, dead))}",
+                    )
+                )
+        for mmep in policy.mmeps:
+            counts = Counter(mmep.privileges)
+            dead = sorted(
+                str(priv) for priv in counts if priv not in grantable
+            )
+            reachable = sum(
+                count
+                for priv, count in counts.items()
+                if priv in grantable
+            )
+            if reachable < mmep.forbidden_cardinality:
+                findings.append(
+                    VerifyFinding(
+                        MMEP_UNSATISFIABLE,
+                        SEVERITY_ERROR,
+                        pid,
+                        f"{mmep!r} can never fire: at most {reachable} "
+                        "exercises of its privileges are grantable, but "
+                        f"{mmep.forbidden_cardinality} are needed for a "
+                        "conflict",
+                    )
+                )
+            elif dead:
+                findings.append(
+                    VerifyFinding(
+                        MMEP_DEAD_PRIVILEGES,
+                        SEVERITY_WARNING,
+                        pid,
+                        f"MMEP names privileges granted to no role: {dead}",
+                    )
+                )
+        if policy.first_step is not None:
+            first = Privilege(
+                policy.first_step.operation, policy.first_step.target
+            )
+            if first not in grantable:
+                findings.append(
+                    VerifyFinding(
+                        FIRST_STEP_UNGRANTABLE,
+                        SEVERITY_ERROR,
+                        pid,
+                        f"first step {policy.first_step} is granted to no "
+                        "role: enforcement for this context can never start",
+                    )
+                )
+        if policy.last_step is not None:
+            last = Privilege(
+                policy.last_step.operation, policy.last_step.target
+            )
+            if last not in grantable:
+                findings.append(
+                    VerifyFinding(
+                        LAST_STEP_UNGRANTABLE,
+                        SEVERITY_ERROR,
+                        pid,
+                        f"last step {policy.last_step} is granted to no "
+                        "role: the business context can never terminate",
+                    )
+                )
+    return findings
+
+
+def _rbac_layer_findings(permis: "PermisPolicy") -> list[VerifyFinding]:
+    findings: list[VerifyFinding] = []
+    if not permis.assignment_rules:
+        return findings
+    assignable = _assignable_roles(permis)
+    for rule in permis.access_rules:
+        if rule.role not in assignable:
+            findings.append(
+                VerifyFinding(
+                    RBAC_UNREACHABLE_RULE,
+                    SEVERITY_WARNING,
+                    "rbac",
+                    f"target-access rule for {rule.role} is unreachable: "
+                    "no SOA may assign the role (directly or via any "
+                    "transitive senior)",
+                )
+            )
+    return findings

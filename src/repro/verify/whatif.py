@@ -1,0 +1,276 @@
+"""Differential what-if replay (stage 2 of the verification pipeline).
+
+A recorded audit trail is the ground truth of what the production PDP
+decided.  Replaying its decision stream through a fresh engine loaded
+with a *candidate* policy set answers the operator's question before a
+hot reload: **which past decisions would have gone the other way?**
+
+The replay is sequential and self-contained: the candidate engine
+starts from an empty retained-ADI store (or one pre-seeded through the
+epoch-aware :func:`~repro.audit.recovery.recover_retained_adi`
+machinery, see ``seed_events``) and accumulates its *own* history as it
+re-decides each recorded request in trail order.  Management purges
+recorded in the trail replay against the candidate store too, so
+context terminations line up.
+
+The result is deterministic: trails are read in sealed order, the
+engine is single-threaded, and the stores are exact — the same trail
+and candidate produce bit-identical :class:`WhatIfReport` objects
+whether the replay store is in-memory or SQLite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.audit.recovery import recover_retained_adi
+from repro.audit.trail import EVENT_DECISION, EVENT_PURGE, AuditTrailManager
+from repro.core.context import ContextName
+from repro.core.decision import DecisionRequest
+from repro.core.engine import MODE_STRICT, MSoDEngine
+from repro.core.policy import MSoDPolicySet
+from repro.core.policy_epoch import policy_set_digest
+from repro.core.retained_adi import InMemoryRetainedADIStore, RetainedADIStore
+from repro.errors import AuditTrailError
+
+
+def decision_request_from_payload(payload: dict) -> DecisionRequest:
+    """Reconstruct the request half of a recorded decision event.
+
+    The inverse of the ``request`` sub-dict written by
+    :func:`~repro.audit.recovery.decision_event_payload`.  The trail
+    does not record the environmental inputs (they are not part of the
+    retained ADI), so the reconstructed request carries an empty
+    environment — condition-gated RBAC grants happen *before* the MSoD
+    step and are already folded into the recorded effect.
+    """
+    from repro.core.constraints import Role
+
+    request = payload.get("request")
+    if not isinstance(request, dict):
+        raise AuditTrailError("decision event payload has no request")
+    return DecisionRequest(
+        user_id=str(request["user_id"]),
+        roles=tuple(
+            Role(str(role_type), str(value))
+            for role_type, value in request.get("roles", ())
+        ),
+        operation=str(request["operation"]),
+        target=str(request["target"]),
+        context_instance=ContextName.parse(str(request["context_instance"])),
+        timestamp=float(request.get("timestamp", 0.0)),
+        request_id=str(request.get("request_id", "")),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionFlip:
+    """One recorded decision the candidate set would decide differently."""
+
+    request_id: str
+    user_id: str
+    operation: str
+    target: str
+    context_instance: str
+    timestamp: float
+    recorded_effect: str
+    replayed_effect: str
+    recorded_reason: str
+    replayed_reason: str
+    replayed_policy_id: str
+    replayed_constraint: str
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "user_id": self.user_id,
+            "operation": self.operation,
+            "target": self.target,
+            "context_instance": self.context_instance,
+            "timestamp": self.timestamp,
+            "recorded_effect": self.recorded_effect,
+            "replayed_effect": self.replayed_effect,
+            "recorded_reason": self.recorded_reason,
+            "replayed_reason": self.replayed_reason,
+            "replayed_policy_id": self.replayed_policy_id,
+            "replayed_constraint": self.replayed_constraint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionFlip":
+        return cls(
+            request_id=str(data.get("request_id", "")),
+            user_id=str(data.get("user_id", "")),
+            operation=str(data.get("operation", "")),
+            target=str(data.get("target", "")),
+            context_instance=str(data.get("context_instance", "")),
+            timestamp=float(data.get("timestamp", 0.0)),
+            recorded_effect=str(data.get("recorded_effect", "")),
+            replayed_effect=str(data.get("replayed_effect", "")),
+            recorded_reason=str(data.get("recorded_reason", "")),
+            replayed_reason=str(data.get("replayed_reason", "")),
+            replayed_policy_id=str(data.get("replayed_policy_id", "")),
+            replayed_constraint=str(data.get("replayed_constraint", "")),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.recorded_effect}->{self.replayed_effect} "
+            f"{self.user_id} {self.operation}@{self.target} "
+            f"[{self.context_instance}] ({self.replayed_reason})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WhatIfReport:
+    """The outcome of one differential replay."""
+
+    candidate_digest: str
+    events_scanned: int
+    decisions_replayed: int
+    seeded_events: int
+    flips: tuple[DecisionFlip, ...]
+    # Exact flip total; may exceed ``len(flips)`` when detail was capped.
+    flip_count: int = 0
+
+    @property
+    def grant_to_deny(self) -> int:
+        return sum(
+            1 for flip in self.flips if flip.replayed_effect == "deny"
+        )
+
+    @property
+    def deny_to_grant(self) -> int:
+        return sum(
+            1 for flip in self.flips if flip.replayed_effect == "grant"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "candidate_digest": self.candidate_digest,
+            "events_scanned": self.events_scanned,
+            "decisions_replayed": self.decisions_replayed,
+            "seeded_events": self.seeded_events,
+            "flips": [flip.to_dict() for flip in self.flips],
+            "flip_count": self.flip_count,
+            "grant_to_deny": self.grant_to_deny,
+            "deny_to_grant": self.deny_to_grant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WhatIfReport":
+        flips = data.get("flips", [])
+        if not isinstance(flips, list):
+            raise TypeError("what-if report flips must be a list")
+        details = tuple(DecisionFlip.from_dict(item) for item in flips)
+        return cls(
+            candidate_digest=str(data.get("candidate_digest", "")),
+            events_scanned=int(data.get("events_scanned", 0)),
+            decisions_replayed=int(data.get("decisions_replayed", 0)),
+            seeded_events=int(data.get("seeded_events", 0)),
+            flips=details,
+            flip_count=int(data.get("flip_count", len(details))),
+        )
+
+
+def what_if_replay(
+    trails: AuditTrailManager,
+    candidate_set: MSoDPolicySet,
+    store: RetainedADIStore | None = None,
+    *,
+    last_n_trails: int | None = None,
+    since: float = 0.0,
+    seed_events: int = 0,
+    max_flips_recorded: int = 1000,
+    mode: str = MODE_STRICT,
+    policy_resolver: Optional[
+        Callable[[int], MSoDPolicySet | None]
+    ] = None,
+) -> WhatIfReport:
+    """Replay a recorded decision stream under a candidate policy set.
+
+    Parameters
+    ----------
+    store:
+        The retained-ADI store backing the replay engine (fresh
+        in-memory store by default).  Must start empty unless it holds
+        deliberately pre-seeded state.
+    seed_events:
+        Replay the first N trail events through the epoch-aware
+        :func:`~repro.audit.recovery.recover_retained_adi` machinery
+        instead of re-deciding them: their recorded ADI mutations are
+        applied verbatim (under the policy epoch that produced them,
+        when ``policy_resolver`` can resolve it) and only the events
+        *after* the seed window are compared differentially.
+    max_flips_recorded:
+        Cap on the per-flip detail retained in the report (counts are
+        always exact).
+    """
+    if store is None:
+        store = InMemoryRetainedADIStore()
+    if seed_events > 0:
+        recover_retained_adi(
+            trails,
+            candidate_set,
+            store,
+            last_n_trails=last_n_trails,
+            since=since,
+            max_events=seed_events,
+            policy_resolver=policy_resolver,
+        )
+    engine = MSoDEngine(candidate_set, store, mode=mode)
+    events_scanned = 0
+    decisions_replayed = 0
+    flips: list[DecisionFlip] = []
+    flip_count = 0
+    for event in trails.events(last_n_trails=last_n_trails, since=since):
+        events_scanned += 1
+        if events_scanned <= seed_events:
+            continue
+        if event.event_type == EVENT_PURGE:
+            store.purge_context(ContextName.parse(event.payload["context"]))
+            continue
+        if event.event_type != EVENT_DECISION:
+            continue
+        payload = event.payload
+        request = decision_request_from_payload(payload)
+        replayed = engine.check(request)
+        decisions_replayed += 1
+        recorded_effect = str(payload.get("effect", ""))
+        if replayed.effect == recorded_effect:
+            continue
+        flip_count += 1
+        if len(flips) >= max_flips_recorded:
+            continue
+        violation = replayed.violation
+        flips.append(
+            DecisionFlip(
+                request_id=request.request_id,
+                user_id=request.user_id,
+                operation=request.operation,
+                target=request.target,
+                context_instance=str(request.context_instance),
+                timestamp=request.timestamp,
+                recorded_effect=recorded_effect,
+                replayed_effect=replayed.effect,
+                recorded_reason=str(payload.get("reason", "")),
+                replayed_reason=replayed.reason,
+                replayed_policy_id=(
+                    violation.policy_id
+                    if violation is not None
+                    else ";".join(replayed.matched_policy_ids)
+                ),
+                replayed_constraint=(
+                    violation.constraint_repr if violation is not None else ""
+                ),
+            )
+        )
+    return WhatIfReport(
+        candidate_digest=policy_set_digest(candidate_set),
+        events_scanned=events_scanned,
+        decisions_replayed=decisions_replayed,
+        seeded_events=min(max(seed_events, 0), events_scanned),
+        flips=tuple(flips),
+        flip_count=flip_count,
+    )

@@ -203,6 +203,24 @@ class TestRBACAndScopeFindings:
             "unreachable" in finding.message for finding in findings
         )
 
+    def test_three_level_hierarchy_reachable_rule_not_flagged(self):
+        # Regression: reachability must close over the *transitive*
+        # hierarchy — a role assignable only through a grandparent
+        # senior was falsely flagged by the one-hop check.
+        director = Role("employee", "Director")
+        policy = (
+            PermisPolicyBuilder()
+            .senior_to(director, MANAGER)
+            .senior_to(MANAGER, TELLER)
+            .allow_assignment(SOA, [director], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .build()
+        )
+        findings = analyze_policy(policy)
+        assert not any(
+            "unreachable" in finding.message for finding in findings
+        )
+
     def test_universal_scope_is_info(self):
         from repro.core import MMER, ContextName, MSoDPolicy, MSoDPolicySet
 

@@ -1,0 +1,309 @@
+"""Tests for the rollout gate (pipeline stage 3) and the cluster canary."""
+
+import pytest
+
+from repro.api import open_pdp
+from repro.audit import (
+    EVENT_DECISION,
+    AuditTrailManager,
+    decision_event_payload,
+)
+from repro.cluster import ClusterPDP, LocalCluster
+from repro.core import (
+    MMER,
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Role,
+)
+from repro.errors import PolicyError
+from repro.server.service import AuthorizationService
+from repro.server.testing import ServerThread
+from repro.verify import GateResult, evaluate_gate
+from repro.workload import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+MANAGER = Role("employee", "Manager")
+
+KEY = b"gate-test-key"
+YORK_P1 = ContextName.parse("Branch=York, Period=P1")
+
+
+def policy_set(mmers, policy_id="bank"):
+    return MSoDPolicySet(
+        [
+            MSoDPolicy(
+                ContextName.parse("Branch=*, Period=!"),
+                mmers=mmers,
+                policy_id=policy_id,
+            )
+        ]
+    )
+
+
+def clean_set():
+    return policy_set([MMER([TELLER, AUDITOR], 2)])
+
+
+def broken_set():
+    # The same constraint twice (modulo role order) is an error finding.
+    return policy_set([MMER([TELLER, AUDITOR], 2), MMER([AUDITOR, TELLER], 2)])
+
+
+def swapped_set():
+    # Frees the Teller/Auditor pair: recorded MSoD denies flip to grants.
+    return policy_set([MMER([TELLER, MANAGER], 2)])
+
+
+def make_request(user_id, role=TELLER, context=YORK_P1, timestamp=1.0):
+    operation, target = (
+        ("handleCash", "till://1")
+        if role == TELLER
+        else ("auditBooks", "ledger://1")
+    )
+    return DecisionRequest(
+        user_id=user_id,
+        roles=(role,),
+        operation=operation,
+        target=target,
+        context_instance=context,
+        timestamp=timestamp,
+    )
+
+
+def record_trail(directory, requests):
+    trails = AuditTrailManager(directory, KEY, fsync=False)
+    engine = MSoDEngine(clean_set(), InMemoryRetainedADIStore())
+    for request in requests:
+        trails.append(
+            EVENT_DECISION,
+            request.timestamp,
+            decision_event_payload(engine.check(request)),
+        )
+
+
+def reader(directory):
+    return AuditTrailManager(directory, KEY, tolerate_ahead=True)
+
+
+DENY_HISTORY = [
+    make_request("alice", TELLER, timestamp=1.0),
+    make_request("alice", AUDITOR, timestamp=2.0),  # MSoD deny
+]
+
+
+# ----------------------------------------------------------------------
+class TestEvaluateGate:
+    def test_clean_set_passes_without_a_trail(self):
+        gate = evaluate_gate(clean_set())
+        assert gate.ok
+        assert gate.whatif is None
+        assert gate.reasons == ()
+
+    def test_error_findings_fail_the_gate(self):
+        gate = evaluate_gate(broken_set())
+        assert not gate.ok
+        assert any("CONSTRAINT_DUPLICATE" in reason for reason in gate.reasons)
+
+    def test_flips_over_budget_fail_the_gate(self, tmp_path):
+        record_trail(str(tmp_path), DENY_HISTORY)
+        gate = evaluate_gate(swapped_set(), trails=reader(str(tmp_path)))
+        assert not gate.ok
+        assert gate.whatif.flip_count == 1
+        assert any("budget 0" in reason for reason in gate.reasons)
+
+    def test_flip_budget_admits_known_flips(self, tmp_path):
+        record_trail(str(tmp_path), DENY_HISTORY)
+        gate = evaluate_gate(
+            swapped_set(), trails=reader(str(tmp_path)), max_flips=1
+        )
+        assert gate.ok
+        assert gate.whatif.flip_count == 1
+
+    def test_round_trip(self, tmp_path):
+        record_trail(str(tmp_path), DENY_HISTORY)
+        gate = evaluate_gate(swapped_set(), trails=reader(str(tmp_path)))
+        assert GateResult.from_dict(gate.to_dict()) == gate
+
+
+# ----------------------------------------------------------------------
+class TestLocalPDPGate:
+    def test_verified_reload_refuses_broken_set(self):
+        with open_pdp(clean_set()) as pdp:
+            with pytest.raises(PolicyError, match="verification gate"):
+                pdp.reload_policy(broken_set(), verify=True)
+            assert pdp.policy_version().epoch == 1
+
+    def test_force_overrides_the_gate(self):
+        with open_pdp(clean_set()) as pdp:
+            report = pdp.reload_policy(broken_set(), verify=True, force=True)
+            assert report.changed
+            assert pdp.policy_version().epoch == 2
+
+    def test_verified_reload_applies_a_clean_set(self):
+        with open_pdp(clean_set()) as pdp:
+            report = pdp.reload_policy(swapped_set(), verify=True)
+            assert report.changed
+            assert pdp.policy_version().epoch == 2
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture
+def trail_server(tmp_path):
+    """A server that records its decisions to a replayable audit trail."""
+    trail_dir = str(tmp_path / "trails")
+    trails = AuditTrailManager(trail_dir, KEY, fsync=False)
+
+    def audit_sink(decision):
+        trails.append(
+            EVENT_DECISION,
+            decision.request.timestamp,
+            decision_event_payload(decision),
+        )
+
+    def trail_reader():
+        return AuditTrailManager(trail_dir, KEY, tolerate_ahead=True)
+
+    engine = MSoDEngine(clean_set(), InMemoryRetainedADIStore())
+    service = AuthorizationService(
+        engine,
+        n_shards=2,
+        audit_sink=audit_sink,
+        trail_reader=trail_reader,
+    )
+    with ServerThread(service, owns=[engine.store]) as server:
+        yield server
+
+
+class TestRemotePDPGate:
+    def test_remote_gate_refuses_and_leaves_epoch_untouched(
+        self, trail_server
+    ):
+        from repro.client import RemotePDP
+
+        with RemotePDP(trail_server.host, trail_server.port) as pdp:
+            for request in DENY_HISTORY:
+                pdp.decide(request)
+            # Static half: error findings refuse.
+            with pytest.raises(PolicyError, match="verification gate"):
+                pdp.reload_policy(broken_set(), verify=True)
+            # Differential half: a flip over budget refuses.
+            with pytest.raises(PolicyError, match="flips 1"):
+                pdp.reload_policy(swapped_set(), verify=True, max_flips=0)
+            assert pdp.policy_version().epoch == 1
+            # Budgeting the known flip admits the same candidate.
+            report = pdp.reload_policy(
+                swapped_set(), verify=True, max_flips=1
+            )
+            assert report.changed
+            assert pdp.policy_version().epoch == 2
+
+    def test_remote_verify_and_whatif_verbs(self, trail_server):
+        from repro.client import RemotePDP
+
+        with RemotePDP(trail_server.host, trail_server.port) as pdp:
+            for request in DENY_HISTORY:
+                pdp.decide(request)
+            body = pdp.verify_policy(broken_set())
+            assert body["ok"] is False
+            assert any(
+                "CONSTRAINT_DUPLICATE" in str(f) for f in body["findings"]
+            )
+            whatif = pdp.what_if(swapped_set())
+            assert whatif["flip_count"] == 1
+            assert whatif["deny_to_grant"] == 1
+
+    def test_verify_metrics_counters_render(self, trail_server):
+        from repro.client import RemotePDP
+
+        with RemotePDP(trail_server.host, trail_server.port) as pdp:
+            for request in DENY_HISTORY:
+                pdp.decide(request)
+            pdp.verify_policy(broken_set())
+            pdp.what_if(swapped_set())
+            text = pdp.metrics_text()
+        assert 'repro_verify_findings_total{severity="error"} 1' in text
+        assert "repro_whatif_flips_total 1" in text
+
+    def test_policy_status_surfaces_swap_findings(self, trail_server):
+        from repro.client import RemotePDP
+
+        redundant = policy_set(
+            [MMER([TELLER, AUDITOR], 2), MMER([TELLER, AUDITOR, MANAGER], 2)]
+        )
+        with RemotePDP(trail_server.host, trail_server.port) as pdp:
+            pdp.reload_policy(redundant, verify=True)
+            status = pdp.policy_status()
+        assert any(
+            "MMER_REDUNDANT" in finding for finding in status["findings"]
+        )
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture
+def gate_cluster(tmp_path):
+    cluster = LocalCluster(
+        bank_policy_set(),
+        2,
+        str(tmp_path / "cluster"),
+        store="memory",
+        health_interval=30.0,
+        catchup_interval=30.0,
+        fsync=False,
+    ).start()
+    yield cluster
+    cluster.stop()
+
+
+class TestClusterGate:
+    def test_reload_refuses_broken_set_before_touching_any_node(
+        self, gate_cluster
+    ):
+        with pytest.raises(PolicyError, match="CONSTRAINT_DUPLICATE"):
+            gate_cluster.reload_policy(broken_set())
+        for node in gate_cluster.nodes():
+            assert node.policy_version().epoch == 1
+
+    def test_canary_rollout_applies_cluster_wide(self, gate_cluster):
+        body = gate_cluster.canary_reload_policy(swapped_set())
+        assert body["changed"]
+        assert body["canary"]["staged"]["changed"]
+        for node in gate_cluster.nodes():
+            assert node.policy_version().epoch == 2
+
+    def test_canary_rejects_on_replay_flips_and_rolls_the_standby_back(
+        self, gate_cluster
+    ):
+        # Build MSoD-deny history on one shard through the router.
+        user = next(
+            f"user-{index}"
+            for index in range(1000)
+            if gate_cluster.ring.shard_for(f"user-{index}")
+            == gate_cluster.shard_names[0]
+        )
+        with ClusterPDP((gate_cluster.host, gate_cluster.port)) as pdp:
+            assert pdp.decide(
+                make_request(user, TELLER, timestamp=1.0)
+            ).granted
+            assert not pdp.decide(
+                make_request(user, AUDITOR, timestamp=2.0)
+            ).granted
+        shard = gate_cluster.shard(gate_cluster.shard_names[0])
+        before = shard.standby.policy_version()
+        with pytest.raises(PolicyError, match="canary rollout rejected"):
+            gate_cluster.canary_reload_policy(
+                swapped_set(),
+                shard_name=gate_cluster.shard_names[0],
+                max_flips=0,
+                timeout=0.5,
+            )
+        # The staged standby was rolled back to its pre-stage lineage.
+        after = shard.standby.policy_version()
+        assert after.epoch == before.epoch
+        assert after.digest == before.digest
+        for node in gate_cluster.nodes():
+            assert node.policy_version().epoch == 1

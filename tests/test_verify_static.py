@@ -1,0 +1,452 @@
+"""Tests for the structured static policy verifier (pipeline stage 1)."""
+
+import pytest
+
+from repro.core import (
+    MMEP,
+    MMER,
+    ContextName,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Privilege,
+    Role,
+    Step,
+)
+from repro.permis import PermisPolicyBuilder
+from repro.rbac.constraints import SsdConstraint
+from repro.verify import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    VerifyFinding,
+    VerifyReport,
+    analyze_policy_set,
+    render_findings,
+)
+from repro.verify.static import (
+    CONSTRAINT_DUPLICATE,
+    FIRST_STEP_UNGRANTABLE,
+    LAST_STEP_UNGRANTABLE,
+    LIFECYCLE_NO_LAST_STEP,
+    LIFECYCLE_SELF_TERMINATING,
+    MMEP_DEAD_PRIVILEGES,
+    MMEP_REDUNDANT,
+    MMEP_UNSATISFIABLE,
+    MMER_COVERED_BY_SSD,
+    MMER_DEAD_ROLES,
+    MMER_REDUNDANT,
+    MMER_UNSATISFIABLE,
+    POLICY_DUPLICATE,
+    RBAC_UNREACHABLE_RULE,
+    SCOPE_OVERLAP,
+    SCOPE_SHADOWED,
+    SCOPE_UNIVERSAL,
+)
+from repro.xmlpolicy import bank_policy_set, combined_policy_set, parse_policy_set
+from repro.xmlpolicy.examples import (
+    BANK_POLICY_XML,
+    COMBINED_POLICY_XML,
+    TAX_REFUND_POLICY_XML,
+)
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+CLERK = Role("employee", "Clerk")
+MANAGER = Role("employee", "Manager")
+GHOST = Role("employee", "Ghost")
+
+HANDLE_CASH = Privilege("handleCash", "till://main")
+AUDIT_BOOKS = Privilege("auditBooks", "ledger://main")
+COMMIT_AUDIT = Privilege("CommitAudit", "http://audit.location.com/audit")
+PHANTOM = Privilege("phantomOp", "nowhere://x")
+
+SOA = "cn=soa,o=bank,c=gb"
+
+CTX = ContextName.parse("Branch=*, Period=!")
+
+
+def policy(policy_id="p", context=CTX, **kwargs):
+    return MSoDPolicy(context, policy_id=policy_id, **kwargs)
+
+
+def codes(report):
+    return [finding.code for finding in report.findings]
+
+
+def errors(report):
+    return [f.code for f in report.findings if f.severity == SEVERITY_ERROR]
+
+
+# ----------------------------------------------------------------------
+class TestExamplePoliciesAreClean:
+    """Every shipped example must pass the verifier error-free."""
+
+    @pytest.mark.parametrize(
+        "xml",
+        [BANK_POLICY_XML, TAX_REFUND_POLICY_XML, COMBINED_POLICY_XML],
+        ids=["bank", "tax-refund", "combined"],
+    )
+    def test_example_xml_has_no_errors(self, xml):
+        report = analyze_policy_set(parse_policy_set(xml))
+        assert not errors(report), render_findings(report)
+
+    @pytest.mark.parametrize(
+        "policy_set",
+        [bank_policy_set(), combined_policy_set()],
+        ids=["bank", "combined"],
+    )
+    def test_builtin_sets_have_no_errors(self, policy_set):
+        report = analyze_policy_set(policy_set)
+        assert not errors(report), render_findings(report)
+
+    def test_workload_set_has_no_errors(self):
+        from repro.workload import bank_policy_set as workload_set
+
+        assert not errors(analyze_policy_set(workload_set()))
+
+    def test_combined_set_with_healthy_permis_companion(self):
+        permis = (
+            PermisPolicyBuilder()
+            .allow_assignment(
+                SOA, [TELLER, AUDITOR, CLERK, MANAGER], "o=bank,c=gb"
+            )
+            .grant(TELLER, [HANDLE_CASH])
+            .grant(AUDITOR, [AUDIT_BOOKS, COMMIT_AUDIT])
+            .grant(
+                CLERK,
+                [
+                    Privilege("prepareCheck", "http://www.myTaxOffice.com/Check"),
+                    Privilege("confirmCheck", "http://secret.location.com/audit"),
+                ],
+            )
+            .grant(
+                MANAGER,
+                [
+                    Privilege(
+                        "approve/disapproveCheck",
+                        "http://www.myTaxOffice.com/Check",
+                    ),
+                    Privilege(
+                        "combineResults", "http://secret.location.com/results"
+                    ),
+                ],
+            )
+            .with_msod(combined_policy_set())
+            .build()
+        )
+        report = analyze_policy_set(combined_policy_set(), permis=permis)
+        assert not errors(report), render_findings(report)
+
+
+# ----------------------------------------------------------------------
+class TestBareSetFindings:
+    def test_duplicate_constraint_is_error(self):
+        # Same MMER twice, modulo role ordering.
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        mmers=[
+                            MMER([TELLER, AUDITOR], 2),
+                            MMER([AUDITOR, TELLER], 2),
+                        ]
+                    )
+                ]
+            )
+        )
+        assert CONSTRAINT_DUPLICATE in errors(report)
+
+    def test_duplicate_policy_is_error(self):
+        base = dict(mmers=[MMER([TELLER, AUDITOR], 2)])
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [policy(policy_id="a", **base), policy(policy_id="b", **base)]
+            )
+        )
+        assert POLICY_DUPLICATE in errors(report)
+        finding = next(
+            f for f in report.findings if f.code == POLICY_DUPLICATE
+        )
+        assert finding.policy_id == "b"
+        assert not report.ok
+
+    def test_redundant_mmer_is_warning(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        mmers=[
+                            # Implied: violating it (holding both) always
+                            # violates the wider 2-of-{T,A,C} first.
+                            MMER([TELLER, AUDITOR], 2),
+                            MMER([TELLER, AUDITOR, CLERK], 2),
+                        ]
+                    )
+                ]
+            )
+        )
+        assert MMER_REDUNDANT in codes(report)
+        assert report.ok  # warnings do not block deployment
+
+    def test_redundant_mmep_is_warning(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        mmeps=[
+                            MMEP([HANDLE_CASH, AUDIT_BOOKS], 2),
+                            MMEP([HANDLE_CASH, AUDIT_BOOKS, COMMIT_AUDIT], 2),
+                        ]
+                    )
+                ]
+            )
+        )
+        assert MMEP_REDUNDANT in codes(report)
+
+    def test_missing_last_step_is_growth_warning(self):
+        report = analyze_policy_set(
+            MSoDPolicySet([policy(mmers=[MMER([TELLER, AUDITOR], 2)])])
+        )
+        assert LIFECYCLE_NO_LAST_STEP in codes(report)
+
+    def test_self_terminating_lifecycle_is_warning(self):
+        step = Step("CommitAudit", "http://audit.location.com/audit")
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        first_step=step,
+                        last_step=step,
+                        mmers=[MMER([TELLER, AUDITOR], 2)],
+                    )
+                ]
+            )
+        )
+        assert LIFECYCLE_SELF_TERMINATING in codes(report)
+
+    def test_universal_scope_is_info(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        context=ContextName.root(),
+                        mmers=[MMER([TELLER, AUDITOR], 2)],
+                    )
+                ]
+            )
+        )
+        finding = next(
+            f for f in report.findings if f.code == SCOPE_UNIVERSAL
+        )
+        assert finding.severity == SEVERITY_INFO
+
+    def test_equal_scopes_with_different_constraints_overlap(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(policy_id="a", mmers=[MMER([TELLER, AUDITOR], 2)]),
+                    policy(policy_id="b", mmers=[MMER([TELLER, CLERK], 2)]),
+                ]
+            )
+        )
+        assert SCOPE_OVERLAP in codes(report)
+
+    def test_subordinate_scope_under_stricter_ancestor_is_shadowed(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        policy_id="wide",
+                        context=ContextName.parse("Branch=*, Period=!"),
+                        mmers=[MMER([TELLER, AUDITOR], 2)],
+                    ),
+                    policy(
+                        policy_id="narrow",
+                        context=ContextName.parse("Branch=York, Period=!"),
+                        mmers=[MMER([TELLER, AUDITOR], 2)],
+                    ),
+                ]
+            )
+        )
+        shadowed = [
+            f for f in report.findings if f.code == SCOPE_SHADOWED
+        ]
+        assert [f.policy_id for f in shadowed] == ["narrow"]
+        assert shadowed[0].severity == SEVERITY_WARNING
+
+
+# ----------------------------------------------------------------------
+class TestPermisBackedFindings:
+    def permis(self, assign=(TELLER, AUDITOR), grants=None):
+        builder = PermisPolicyBuilder().allow_assignment(
+            SOA, list(assign), "o=bank,c=gb"
+        )
+        for role, privileges in (grants or {}).items():
+            builder = builder.grant(role, privileges)
+        return builder.build()
+
+    def test_unsatisfiable_mmer_is_error(self):
+        report = analyze_policy_set(
+            MSoDPolicySet([policy(mmers=[MMER([TELLER, AUDITOR], 2)])]),
+            permis=self.permis(assign=(TELLER,)),
+        )
+        assert MMER_UNSATISFIABLE in errors(report)
+
+    def test_dead_mmer_role_is_warning_when_still_satisfiable(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [policy(mmers=[MMER([TELLER, AUDITOR, GHOST], 2)])]
+            ),
+            permis=self.permis(),
+        )
+        assert MMER_DEAD_ROLES in codes(report)
+        assert MMER_UNSATISFIABLE not in codes(report)
+
+    def test_hierarchy_makes_roles_assignable_transitively(self):
+        # Only the top role is directly assignable; the MMER roles are
+        # two and three hops down the hierarchy.
+        director = Role("employee", "Director")
+        permis = (
+            PermisPolicyBuilder()
+            .senior_to(director, MANAGER)
+            .senior_to(MANAGER, TELLER)
+            .senior_to(TELLER, AUDITOR)
+            .allow_assignment(SOA, [director], "o=bank,c=gb")
+            .build()
+        )
+        report = analyze_policy_set(
+            MSoDPolicySet([policy(mmers=[MMER([TELLER, AUDITOR], 2)])]),
+            permis=permis,
+        )
+        assert MMER_UNSATISFIABLE not in codes(report)
+        assert MMER_DEAD_ROLES not in codes(report)
+
+    def test_unsatisfiable_mmep_is_error(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [policy(mmeps=[MMEP([HANDLE_CASH, AUDIT_BOOKS], 2)])]
+            ),
+            permis=self.permis(grants={TELLER: [HANDLE_CASH]}),
+        )
+        assert MMEP_UNSATISFIABLE in errors(report)
+
+    def test_dead_mmep_privilege_is_warning_when_still_satisfiable(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        mmeps=[
+                            MMEP([HANDLE_CASH, AUDIT_BOOKS, PHANTOM], 2)
+                        ]
+                    )
+                ]
+            ),
+            permis=self.permis(
+                grants={TELLER: [HANDLE_CASH], AUDITOR: [AUDIT_BOOKS]}
+            ),
+        )
+        assert MMEP_DEAD_PRIVILEGES in codes(report)
+        assert MMEP_UNSATISFIABLE not in codes(report)
+
+    def test_ungrantable_first_and_last_steps_are_errors(self):
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [
+                    policy(
+                        first_step=Step("phantomOp", "nowhere://x"),
+                        last_step=Step("phantomEnd", "nowhere://y"),
+                        mmers=[MMER([TELLER, AUDITOR], 2)],
+                    )
+                ]
+            ),
+            permis=self.permis(
+                grants={TELLER: [HANDLE_CASH], AUDITOR: [AUDIT_BOOKS]}
+            ),
+        )
+        assert FIRST_STEP_UNGRANTABLE in errors(report)
+        assert LAST_STEP_UNGRANTABLE in errors(report)
+
+    def test_unreachable_access_rule_via_grandparent_not_flagged(self):
+        # Satellite regression: assignability must close over the
+        # *transitive* hierarchy, not one-hop seniors.
+        director = Role("employee", "Director")
+        permis = (
+            PermisPolicyBuilder()
+            .senior_to(director, MANAGER)
+            .senior_to(MANAGER, TELLER)
+            .allow_assignment(SOA, [director], "o=bank,c=gb")
+            .grant(TELLER, [HANDLE_CASH])
+            .build()
+        )
+        report = analyze_policy_set(MSoDPolicySet([]), permis=permis)
+        assert RBAC_UNREACHABLE_RULE not in codes(report)
+
+    def test_truly_unreachable_access_rule_is_flagged(self):
+        permis = (
+            PermisPolicyBuilder()
+            .allow_assignment(SOA, [TELLER], "o=bank,c=gb")
+            .grant(GHOST, [AUDIT_BOOKS])
+            .build()
+        )
+        report = analyze_policy_set(MSoDPolicySet([]), permis=permis)
+        assert RBAC_UNREACHABLE_RULE in codes(report)
+
+
+# ----------------------------------------------------------------------
+class TestSsdCoverage:
+    def test_mmer_covered_by_static_ssd_is_warning(self):
+        ssd = SsdConstraint(
+            "bank-ssd", [str(TELLER), str(AUDITOR)], 2
+        )
+        report = analyze_policy_set(
+            MSoDPolicySet([policy(mmers=[MMER([TELLER, AUDITOR], 2)])]),
+            ssd=[ssd],
+        )
+        assert MMER_COVERED_BY_SSD in codes(report)
+
+    def test_wider_mmer_not_covered(self):
+        ssd = SsdConstraint(
+            "bank-ssd", [str(TELLER), str(AUDITOR)], 2
+        )
+        report = analyze_policy_set(
+            MSoDPolicySet(
+                [policy(mmers=[MMER([TELLER, AUDITOR, CLERK], 3)])]
+            ),
+            ssd=[ssd],
+        )
+        assert MMER_COVERED_BY_SSD not in codes(report)
+
+
+# ----------------------------------------------------------------------
+class TestReportMechanics:
+    def report(self):
+        base = dict(mmers=[MMER([TELLER, AUDITOR], 2)])
+        return analyze_policy_set(
+            MSoDPolicySet(
+                [policy(policy_id="a", **base), policy(policy_id="b", **base)]
+            )
+        )
+
+    def test_counts_by_severity(self):
+        counts = self.report().counts_by_severity()
+        assert counts[SEVERITY_ERROR] == 1
+        assert counts[SEVERITY_WARNING] == 2  # two growth warnings
+
+    def test_round_trip(self):
+        report = self.report()
+        clone = VerifyReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.to_dict() == report.to_dict()
+
+    def test_render_findings_are_strings(self):
+        lines = render_findings(self.report())
+        assert lines
+        assert all(isinstance(line, str) for line in lines)
+        assert any(POLICY_DUPLICATE in line for line in lines)
+
+    def test_finding_str_mentions_severity_and_code(self):
+        finding = VerifyFinding(
+            POLICY_DUPLICATE, SEVERITY_ERROR, "p", "detail"
+        )
+        text = str(finding)
+        assert SEVERITY_ERROR in text and POLICY_DUPLICATE in text
