@@ -8,12 +8,10 @@ grows, for both store backends, and confirms the deny path never writes.
 import pytest
 from conftest import emit, format_rows
 
-from repro.api import open_pdp
+from repro.api import open_pdp, open_store
 from repro.core import (
     ContextName,
     DecisionRequest,
-    InMemoryRetainedADIStore,
-    SQLiteRetainedADIStore,
     store_digest,
 )
 from repro.workload import AUDITOR, TELLER, decision_request_stream
@@ -54,14 +52,14 @@ def probe(engine, index=None):
 
 @pytest.mark.parametrize("size", ADI_SIZES)
 def test_fig3_memory_store_latency(benchmark, size):
-    engine = engine_with_history(InMemoryRetainedADIStore(), size)
+    engine = engine_with_history(open_store("memory"), size)
     decision = benchmark(probe, engine)
     assert decision.granted
 
 
 @pytest.mark.parametrize("size", SQLITE_SIZES)
 def test_fig3_sqlite_store_latency(benchmark, size):
-    store = SQLiteRetainedADIStore(":memory:")
+    store = open_store("sqlite::memory:")
     engine = engine_with_history(store, size)
     decision = benchmark(probe, engine)
     assert decision.granted
@@ -75,8 +73,8 @@ def test_fig3_scaling_series(benchmark):
     rows = []
     for size in (500, 2_000, 8_000):
         for backend, store in (
-            ("memory", InMemoryRetainedADIStore()),
-            ("sqlite", SQLiteRetainedADIStore(":memory:")),
+            ("memory", open_store("memory")),
+            ("sqlite", open_store("sqlite::memory:")),
         ):
             started = time.perf_counter()
             engine = engine_with_history(store, size)
@@ -96,13 +94,13 @@ def test_fig3_scaling_series(benchmark):
     )
     emit("F3_retained_adi_scaling", table)
 
-    engine = engine_with_history(InMemoryRetainedADIStore(), 500)
+    engine = engine_with_history(open_store("memory"), 500)
     benchmark(probe, engine)
 
 
 def test_fig3_deny_never_writes(benchmark):
     """Figure-3 contract: only grants reach the retained ADI."""
-    engine = engine_with_history(InMemoryRetainedADIStore(), 1_000)
+    engine = engine_with_history(open_store("memory"), 1_000)
     ctx = ContextName.parse("Branch=B0, Period=P0")
     engine.check(
         DecisionRequest(

@@ -36,13 +36,12 @@ import time
 from collections import Counter
 from typing import Iterator
 
-from repro.api import open_pdp
+from repro.api import open_pdp, open_store
 from repro.core import (
     MMEP,
     MMER,
     ContextName,
     DecisionRequest,
-    InMemoryRetainedADIStore,
     MODE_LITERAL,
     MODE_STRICT,
     MSoDEngine,
@@ -50,7 +49,6 @@ from repro.core import (
     MSoDPolicySet,
     Privilege,
     Role,
-    SQLiteRetainedADIStore,
     Step,
     store_digest,
 )
@@ -366,13 +364,13 @@ def run_benchmark(
     naive_s, naive_decisions = run_stream(naive_engine, requests)
 
     perf = PerfRecorder()
-    memory_store = InMemoryRetainedADIStore()
+    memory_store = open_store("memory")
     memory_engine = open_pdp(
         build_policy_set(), store=memory_store, mode=mode, perf=perf
     ).engine
     memory_s, memory_decisions = run_stream(memory_engine, requests)
 
-    sqlite_store = SQLiteRetainedADIStore(":memory:")
+    sqlite_store = open_store("sqlite::memory:")
     sqlite_engine = open_pdp(
         build_policy_set(), store=sqlite_store, mode=mode
     ).engine

@@ -21,10 +21,8 @@ from repro.audit import (
     decision_event_payload,
     recover_retained_adi,
 )
-from repro.api import open_pdp
+from repro.api import open_pdp, open_store
 from repro.core import (
-    InMemoryRetainedADIStore,
-    SQLiteRetainedADIStore,
     store_digest,
 )
 from repro.workload import decision_request_stream
@@ -40,7 +38,7 @@ def populate(tmp_path, n_events, sqlite_path=None):
     sqlite_engine = None
     if sqlite_path is not None:
         sqlite_engine = open_pdp(
-            bank_policy_set(), store=SQLiteRetainedADIStore(sqlite_path)
+            bank_policy_set(), store=open_store(f"sqlite:{sqlite_path}")
         ).engine
     for request in decision_request_stream(
         n_events, n_users=max(50, n_events // 20), seed=5
@@ -61,7 +59,7 @@ def test_s1_replay_recovery(benchmark, tmp_path, n_events):
     audit, engine = populate(tmp_path, n_events)
 
     def recover():
-        store = InMemoryRetainedADIStore()
+        store = open_store("memory")
         recover_retained_adi(audit, bank_policy_set(), store)
         return store
 
@@ -74,7 +72,7 @@ def test_s1_sqlite_reopen(benchmark, tmp_path):
     populate(tmp_path / "trails", 4_000, sqlite_path=db_path)
 
     def reopen():
-        store = SQLiteRetainedADIStore(db_path)
+        store = open_store(f"sqlite:{db_path}")
         count = store.count()
         store.close()
         return count
@@ -93,12 +91,12 @@ def test_s1_scalability_table(benchmark, tmp_path):
         audit, engine = populate(trail_dir, n_events, sqlite_path=db_path)
 
         started = time.perf_counter()
-        store = InMemoryRetainedADIStore()
+        store = open_store("memory")
         report = recover_retained_adi(audit, bank_policy_set(), store)
         replay_ms = (time.perf_counter() - started) * 1000
 
         started = time.perf_counter()
-        sqlite_store = SQLiteRetainedADIStore(db_path)
+        sqlite_store = open_store(f"sqlite:{db_path}")
         sqlite_count = sqlite_store.count()
         reopen_ms = (time.perf_counter() - started) * 1000
         sqlite_store.close()
@@ -131,5 +129,5 @@ def test_s1_scalability_table(benchmark, tmp_path):
         recover_retained_adi,
         audit,
         bank_policy_set(),
-        InMemoryRetainedADIStore(),
+        open_store("memory"),
     )

@@ -52,9 +52,9 @@ import time
 
 from bench_hotpath_regression import build_policy_set, request_stream
 
-from repro.api import open_pdp, open_server
+from repro.api import open_pdp, open_server, open_store
 from repro.client import AsyncRemotePDP, PDPOverloadedError, RemotePDP
-from repro.core import MSoDEngine, SQLiteRetainedADIStore
+from repro.core import MSoDEngine
 from repro.perf import PerfRecorder
 from repro.server import AuthorizationService, ServerThread
 
@@ -76,7 +76,7 @@ def percentile(sorted_values: list[float], q: float) -> float:
 # ---------------------------------------------------------------------------
 def run_in_process(n_requests: int, n_users: int) -> dict:
     """``engine.check`` in a bare loop — same workload, same store kind."""
-    store = SQLiteRetainedADIStore(":memory:")
+    store = open_store("sqlite::memory:")
     engine = MSoDEngine(build_policy_set(), store)
     requests = list(request_stream(n_requests, n_users))
     wall_started = time.perf_counter()
@@ -273,7 +273,7 @@ def run_differential(n_requests: int = 600, n_users: int = 40) -> dict:
     """
     requests = list(request_stream(n_requests, n_users))
 
-    store = SQLiteRetainedADIStore(":memory:")
+    store = open_store("sqlite::memory:")
     engine = MSoDEngine(build_policy_set(), store)
     expected_effects = [engine.check(request).effect for request in requests]
     expected_digest = _store_digest(store)
@@ -281,7 +281,7 @@ def run_differential(n_requests: int = 600, n_users: int = 40) -> dict:
 
     legs = {}
     for protocol in ("v1", "v2"):
-        store = SQLiteRetainedADIStore(":memory:")
+        store = open_store("sqlite::memory:")
         engine = MSoDEngine(build_policy_set(), store)
         service = AuthorizationService(engine, n_shards=4)
         with ServerThread(service) as server:
@@ -355,7 +355,7 @@ def run_overload_probe(n_clients: int = 8, n_requests: int = 120) -> dict:
     """
     requests = list(request_stream(n_requests, n_users=16))
     per_client = len(requests) // n_clients
-    store = SQLiteRetainedADIStore(":memory:")
+    store = open_store("sqlite::memory:")
     engine = _SlowEngine(
         open_pdp(build_policy_set(), store=store).engine, delay_s=0.005
     )

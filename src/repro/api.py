@@ -40,16 +40,18 @@ from repro.core.context import ContextName
 from repro.core.decision import Decision, DecisionRequest
 from repro.core.engine import MODE_STRICT, MSoDEngine
 from repro.core.policy import MSoDPolicySet
-from repro.core.retained_adi import (
-    InMemoryRetainedADIStore,
-    RetainedADIStore,
-    SQLiteRetainedADIStore,
-)
-from repro.errors import PolicyError
+from repro.core.retained_adi import RetainedADIStore
+from repro.errors import PolicyError, StoreSpecError
 from repro.framework.pdp import PolicyDecisionPoint
 from repro.obs.slowlog import SlowDecisionLog
 from repro.obs.trace import DecisionTracer
 from repro.perf import NOOP, PerfRecorder
+from repro.storespec import (
+    ParsedStoreSpec,
+    build_store,
+    open_store,
+    parse_store_spec,
+)
 
 __all__ = [
     "open_pdp",
@@ -58,6 +60,11 @@ __all__ = [
     "load_policy_source",
     "verify_policy",
     "what_if",
+    "parse_store_spec",
+    "build_store",
+    "open_store",
+    "ParsedStoreSpec",
+    "StoreSpecError",
     "LocalPDP",
     "ServerHandle",
     "ClusterHandle",
@@ -144,40 +151,6 @@ def what_if(
         last_n_trails=last_n_trails,
         since=since,
     )
-
-
-def _parse_store_spec(store: StoreSpec) -> tuple[str, object]:
-    """Normalise a store spec to ``(kind, detail)``."""
-    if isinstance(store, RetainedADIStore):
-        return "instance", store
-    if not isinstance(store, str):
-        raise PolicyError(
-            "store must be 'memory', 'sqlite:<path>', 'remote:<host>:<port>' "
-            f"or a RetainedADIStore, got {type(store).__name__}"
-        )
-    if store == "memory":
-        return "memory", None
-    if store.startswith("sqlite:"):
-        path = store[len("sqlite:"):]
-        if not path:
-            raise PolicyError("sqlite store spec needs a path: 'sqlite:<path>'")
-        return "sqlite", path
-    if store.startswith("remote:"):
-        rest = store[len("remote:"):]
-        host, sep, port_text = rest.rpartition(":")
-        if not sep or not host:
-            raise PolicyError(
-                "remote store spec must be 'remote:<host>:<port>', "
-                f"got {store!r}"
-            )
-        try:
-            port = int(port_text)
-        except ValueError:
-            raise PolicyError(
-                f"remote store spec has a non-numeric port: {store!r}"
-            ) from None
-        return "remote", (host, port)
-    raise PolicyError(f"unknown store spec {store!r}")
 
 
 def _build_tracer(
@@ -303,8 +276,11 @@ def open_pdp(
         ``remote:`` stores (the server owns the policy).
     store:
         ``"memory"``, ``"sqlite:<path>"``, ``"remote:<host>:<port>"``,
-        or an already-constructed :class:`RetainedADIStore` (whose
-        lifetime then stays with the caller).
+        ``"tiered:<warm-spec>?hot_users=N"`` (hot in-memory aggregates
+        with LRU eviction over a sqlite/memory warm layer — see
+        ``docs/SCALE.md``), or an already-constructed
+        :class:`RetainedADIStore` (whose lifetime then stays with the
+        caller).  See :func:`parse_store_spec` for the full grammar.
     perf:
         Optional :class:`PerfRecorder`; for remote handles it records
         the client-side counters instead.
@@ -323,8 +299,8 @@ def open_pdp(
         pipelined binary v2, fall back to v1), ``"v1"`` or ``"v2"``.
         Ignored for in-process stores.
     """
-    kind, detail = _parse_store_spec(store)
-    if kind == "remote":
+    parsed = parse_store_spec(store)
+    if parsed.is_remote:
         if policy is not None:
             raise PolicyError(
                 "remote PDPs take no policy argument — the server owns "
@@ -337,10 +313,9 @@ def open_pdp(
             )
         from repro.client.remote import RemotePDP
 
-        host, port = detail  # type: ignore[misc]
         return RemotePDP(
-            host,
-            port,
+            parsed.host,
+            parsed.port,
             pool_size=pool_size,
             timeout=timeout,
             max_retries=max_retries,
@@ -349,15 +324,7 @@ def open_pdp(
         )
 
     policy_set = _load_policy_set(policy)
-    if kind == "instance":
-        backend: RetainedADIStore = detail  # type: ignore[assignment]
-        owns_store = False
-    elif kind == "sqlite":
-        backend = SQLiteRetainedADIStore(str(detail))
-        owns_store = True
-    else:
-        backend = InMemoryRetainedADIStore()
-        owns_store = True
+    backend, owns_store = build_store(parsed)
     tracer, slow_log = _build_tracer(trace, slowlog_capacity)
     engine = MSoDEngine(
         policy_set, backend, mode=mode, perf=perf, tracer=tracer
@@ -467,19 +434,14 @@ def open_server(
     from repro.server.service import AuthorizationService
     from repro.server.testing import ServerThread
 
-    kind, detail = _parse_store_spec(store)
-    if kind == "remote":
-        raise PolicyError("open_server runs the server side; use a local store")
+    parsed = parse_store_spec(store)
+    if parsed.is_remote:
+        raise StoreSpecError(
+            "open_server runs the server side; use a local store"
+        )
     policy_set = _load_policy_set(policy)
-    if kind == "instance":
-        backend: RetainedADIStore = detail  # type: ignore[assignment]
-        owned: RetainedADIStore | None = None
-    elif kind == "sqlite":
-        backend = SQLiteRetainedADIStore(str(detail))
-        owned = backend
-    else:
-        backend = InMemoryRetainedADIStore()
-        owned = backend
+    backend, owns_store = build_store(parsed)
+    owned = backend if owns_store else None
     recorder = perf if perf is not None else NOOP
     tracer, _ = _build_tracer(trace, slowlog_capacity)
     engine = MSoDEngine(
@@ -625,17 +587,16 @@ def open_cluster(
     but behind consistent-hash routing by ``user_id``, with each shard
     primary shipping its fsync'd audit trail to a warm standby (see
     :mod:`repro.cluster` and ``docs/CLUSTER.md``).  ``data_dir`` holds
-    every node's trail directory and, with ``store="sqlite"``, its
-    store file.  ``port=0`` binds the coordinator ephemerally — read
-    it back from the handle.
+    every node's trail directory and, for durable stores, its store
+    file.  ``store`` takes the unified spec grammar minus anything
+    pinning a single path or process: ``memory``, bare ``sqlite``
+    (each node gets its own file under ``data_dir``), or
+    ``tiered:sqlite?hot_users=N`` / ``tiered:memory?hot_users=N``.
+    ``port=0`` binds the coordinator ephemerally — read it back from
+    the handle.
     """
     from repro.cluster import LocalCluster
 
-    if store not in ("memory", "sqlite"):
-        raise PolicyError(
-            "cluster store must be 'memory' or 'sqlite' (per-node sqlite "
-            f"files live under data_dir), got {store!r}"
-        )
     policy_set = _load_policy_set(policy)
     cluster = LocalCluster(
         policy_set,

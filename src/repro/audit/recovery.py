@@ -150,6 +150,7 @@ def recover_retained_adi(
     policy_resolver: Optional[
         Callable[[int], MSoDPolicySet | None]
     ] = None,
+    user_filter: Callable[[str], bool] | None = None,
 ) -> RecoveryReport:
     """Rebuild a retained-ADI store by replaying granted decisions.
 
@@ -185,6 +186,14 @@ def recover_retained_adi(
         epochs (history evicted, pre-epoch trails) fall back to the
         current ``policy_set``, which is the paper's original
         "according to its current set of MSoD policies" behaviour.
+    user_filter:
+        Optional ``user_id -> bool`` predicate restricting which adds
+        are replayed; events for other users are skipped (purges still
+        replay unconditionally — context termination is store-wide).
+        This is the targeted-hydration hook for the tiered store: when
+        its warm layer may lag the audit trail, the ``hydrator``
+        callback replays just the faulting user's history instead of
+        the whole org (see ``docs/SCALE.md``).
     """
     events_scanned = 0
     replayed = 0
@@ -226,7 +235,11 @@ def recover_retained_adi(
                         effective_set = resolved
             for record_dict in payload.get("adi_adds", ()):
                 record = RetainedADIRecord.from_dict(record_dict)
-                if not effective_set.is_relevant(record.context_instance):
+                if user_filter is not None and not user_filter(
+                    record.user_id
+                ):
+                    skipped += 1
+                elif not effective_set.is_relevant(record.context_instance):
                     skipped += 1
                 elif preexisting.consume(record):
                     skipped += 1

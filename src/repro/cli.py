@@ -48,13 +48,47 @@ from repro.core import (
     MSoDEngine,
     RetainedADIManagementPort,
     Role,
-    SQLiteRetainedADIStore,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreSpecError
 from repro.xmlpolicy import (
     parse_policy_set_file,
     validate_policy_document,
 )
+
+
+def _add_store_arguments(cmd: argparse.ArgumentParser) -> None:
+    """The store pair every ADI-touching command takes: one is required.
+
+    ``--adi <path>`` stays as the historical shorthand for
+    ``--store sqlite:<path>``; ``--store`` takes the full unified spec
+    grammar (see :func:`repro.api.parse_store_spec`) and wins when both
+    are given.
+    """
+    cmd.add_argument(
+        "--adi",
+        help="SQLite retained-ADI path (shorthand for --store sqlite:<path>)",
+    )
+    cmd.add_argument(
+        "--store",
+        help="retained-ADI store spec: memory, sqlite:<path>, or "
+        "tiered:<warm-spec>?hot_users=N[&shards=M] (overrides --adi)",
+    )
+
+
+def _store_spec(args: argparse.Namespace) -> str:
+    if getattr(args, "store", None):
+        return args.store
+    if getattr(args, "adi", None):
+        return f"sqlite:{args.adi}"
+    raise StoreSpecError("one of --adi or --store is required")
+
+
+def _open_store(args: argparse.Namespace):
+    """Build the command's store through the unified spec parser."""
+    from repro.storespec import build_store, parse_store_spec
+
+    store, _ = build_store(parse_store_spec(_store_spec(args)))
+    return store
 
 
 def _parse_role(text: str) -> Role:
@@ -86,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         "decide", help="evaluate one access request (one 'session')"
     )
     decide.add_argument("policy", help="path to the policy XML file")
-    decide.add_argument("--adi", required=True, help="SQLite retained-ADI path")
+    _add_store_arguments(decide)
     decide.add_argument("--user", required=True, help="user ID")
     decide.add_argument(
         "--role",
@@ -208,7 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(never modifies the retained ADI)",
     )
     explain_cmd.add_argument("policy", help="path to the policy XML file")
-    explain_cmd.add_argument("--adi", required=True)
+    _add_store_arguments(explain_cmd)
     explain_cmd.add_argument("--user", required=True)
     explain_cmd.add_argument(
         "--role", action="append", required=True, type=_parse_role
@@ -220,12 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     history = commands.add_parser(
         "history", help="list the retained-ADI records"
     )
-    history.add_argument("--adi", required=True)
+    _add_store_arguments(history)
 
     purge = commands.add_parser(
         "purge", help="administratively purge retained-ADI records (§4.3)"
     )
-    purge.add_argument("--adi", required=True)
+    _add_store_arguments(purge)
     group = purge.add_mutually_exclusive_group(required=True)
     group.add_argument("--context", help="purge a business context [instance]")
     group.add_argument("--user", help="purge one user's records")
@@ -239,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the sharded MSoD authorization service (JSON-lines TCP)",
     )
     serve.add_argument("policy", help="path to the policy XML file")
-    serve.add_argument("--adi", required=True, help="SQLite retained-ADI path")
+    _add_store_arguments(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8750)
     serve.add_argument(
@@ -384,9 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cserve.add_argument(
         "--store",
-        choices=("memory", "sqlite"),
         default="sqlite",
-        help="per-node retained-ADI backend",
+        help="per-node retained-ADI store spec: memory, sqlite (one file "
+        "per node under --data-dir) or tiered:sqlite?hot_users=N",
     )
     _audit_flags(cserve, fsync_default=True)
 
@@ -406,7 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     cnode.add_argument("--port", type=int, default=0)
     cnode.add_argument(
         "--adi",
-        help="SQLite retained-ADI path (default: in-memory store)",
+        help="SQLite retained-ADI path (default: in-memory store; "
+        "shorthand for --store sqlite:<path>)",
+    )
+    cnode.add_argument(
+        "--store",
+        help="retained-ADI store spec (overrides --adi)",
     )
     cnode.add_argument(
         "--audit-dir", required=True, help="this node's trail directory"
@@ -493,7 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=300, help="workload decisions"
     )
     csmoke.add_argument(
-        "--store", choices=("memory", "sqlite"), default="sqlite"
+        "--store",
+        default="sqlite",
+        help="per-node store spec (memory, sqlite, tiered:sqlite?...)",
     )
     csmoke.add_argument(
         "--json", action="store_true", help="print the report as JSON"
@@ -729,7 +770,7 @@ def cmd_decide(args: argparse.Namespace) -> int:
 
     with open_pdp(
         args.policy,
-        store=f"sqlite:{args.adi}",
+        store=_store_spec(args),
         mode=MODE_LITERAL if args.literal else MODE_STRICT,
         trace=args.trace,
     ) as pdp:
@@ -759,7 +800,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     from repro.core import explain
 
     policy_set = parse_policy_set_file(args.policy)
-    store = SQLiteRetainedADIStore(args.adi)
+    store = _open_store(args)
     try:
         engine = MSoDEngine(policy_set, store)
         explanation = explain(
@@ -781,7 +822,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_history(args: argparse.Namespace) -> int:
     """List every record in the retained-ADI store."""
-    store = SQLiteRetainedADIStore(args.adi)
+    store = _open_store(args)
     try:
         port = RetainedADIManagementPort(store)
         records = port.list_records([CONTROLLER_ROLE])
@@ -800,7 +841,7 @@ def cmd_history(args: argparse.Namespace) -> int:
 
 def cmd_purge(args: argparse.Namespace) -> int:
     """Administratively purge retained-ADI records (Section 4.3)."""
-    store = SQLiteRetainedADIStore(args.adi)
+    store = _open_store(args)
     try:
         port = RetainedADIManagementPort(store)
         roles = [CONTROLLER_ROLE]
@@ -826,7 +867,7 @@ async def _serve_until_interrupted(args: argparse.Namespace) -> int:
     from repro.server import AuthorizationService, MSoDServer
 
     policy_set = parse_policy_set_file(args.policy, strict=not args.relaxed)
-    store = SQLiteRetainedADIStore(args.adi)
+    store = _open_store(args)
     perf = PerfRecorder()
     tracer = None
     if args.trace:
@@ -1069,13 +1110,16 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
 def cmd_cluster_node(args: argparse.Namespace) -> int:
     """Run one standalone cluster node until interrupted."""
     from repro.cluster import ClusterNode
-    from repro.core import InMemoryRetainedADIStore
+    from repro.storespec import build_store, parse_store_spec
 
     policy_set = parse_policy_set_file(args.policy)
-    if args.adi:
-        store = SQLiteRetainedADIStore(args.adi)
+    if args.store:
+        spec = args.store
+    elif args.adi:
+        spec = f"sqlite:{args.adi}"
     else:
-        store = InMemoryRetainedADIStore()
+        spec = "memory"
+    store, _ = build_store(parse_store_spec(spec))
     node = ClusterNode(
         args.name,
         args.shard,

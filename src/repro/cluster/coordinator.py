@@ -54,16 +54,14 @@ from typing import Iterable
 from repro.audit.trail import AuditTrailManager
 from repro.client.remote import RemotePDP
 from repro.core.policy import MSoDPolicySet
-from repro.core.retained_adi import (
-    InMemoryRetainedADIStore,
-    SQLiteRetainedADIStore,
-)
 from repro.errors import (
     ClusterError,
     PDPUnavailableError,
     PolicyError,
     ProtocolError,
+    StoreSpecError,
 )
+from repro.storespec import ParsedStoreSpec, build_store, parse_store_spec
 from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
@@ -86,6 +84,32 @@ class ShardState:
         self.epoch = primary.epoch
         self.failovers = 0
         self.lock = threading.Lock()
+
+
+def _parse_cluster_store(store: str) -> ParsedStoreSpec:
+    """Parse and vet a per-node store spec for cluster use.
+
+    Clusters instantiate one store per node under ``data_dir``, so the
+    spec must not pin a single path: use bare ``sqlite`` (each node
+    gets ``<data_dir>/<node>.db``) or ``tiered:sqlite?...``; ``memory``
+    and ``tiered:memory?...`` work too.  Explicit paths, ``remote:``
+    and pre-built instances are rejected — they cannot be cloned per
+    node.
+    """
+    parsed = parse_store_spec(store)
+    if parsed.kind in ("instance", "remote"):
+        raise StoreSpecError(
+            "cluster nodes each build their own store; pass 'memory', "
+            "'sqlite' or 'tiered:...', not "
+            + ("a store instance" if parsed.kind == "instance" else repr(store))
+        )
+    pinned = parsed.warm if parsed.kind == "tiered" else parsed
+    if pinned is not None and pinned.kind == "sqlite" and pinned.path:
+        raise StoreSpecError(
+            "cluster sqlite files live under data_dir, one per node — "
+            f"use bare 'sqlite' (no path), got {store!r}"
+        )
+    return parsed
 
 
 class LocalCluster:
@@ -121,10 +145,7 @@ class LocalCluster:
     ) -> None:
         if n_shards < 1:
             raise ClusterError("a cluster needs at least one shard")
-        if store not in ("memory", "sqlite"):
-            raise ClusterError(
-                f"cluster store must be 'memory' or 'sqlite', got {store!r}"
-            )
+        parsed_store = _parse_cluster_store(store)
         self._policy_set = policy_set
         self._data_dir = data_dir
         self._audit_key = audit_key
@@ -144,12 +165,12 @@ class LocalCluster:
             for suffix, role, epoch in (("a", ROLE_PRIMARY, 1),
                                         ("b", ROLE_STANDBY, 0)):
                 node_name = f"{shard}-{suffix}"
-                if store == "sqlite":
-                    backend = SQLiteRetainedADIStore(
-                        os.path.join(data_dir, f"{node_name}.db")
-                    )
-                else:
-                    backend = InMemoryRetainedADIStore()
+                backend, _ = build_store(
+                    parsed_store,
+                    default_sqlite_path=os.path.join(
+                        data_dir, f"{node_name}.db"
+                    ),
+                )
                 nodes.append(
                     ClusterNode(
                         node_name,

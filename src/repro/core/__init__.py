@@ -11,8 +11,9 @@ Public surface:
   :class:`~repro.core.policy.MSoDPolicySet` — the policy model
   (Section 3).
 * :class:`~repro.core.retained_adi.InMemoryRetainedADIStore` /
-  :class:`~repro.core.retained_adi.SQLiteRetainedADIStore` — retained-ADI
-  backends (Sections 4.1, 5.2, 6).
+  :class:`~repro.core.retained_adi.SQLiteRetainedADIStore` /
+  :class:`~repro.core.tiered.TieredADIStore` — retained-ADI backends
+  (Sections 4.1, 5.2, 6; tiering in ``docs/SCALE.md``).
 * :class:`~repro.core.engine.MSoDEngine` — the Section 4.2 enforcement
   algorithm.
 * :class:`~repro.core.admin.RetainedADIManagementPort` — the Section 4.3
@@ -53,6 +54,7 @@ from repro.core.policy_epoch import (
     policy_set_digest,
 )
 from repro.core.retained_adi import (
+    ADIApplyOutcome,
     ADIMutation,
     ADIViewSnapshot,
     InMemoryRetainedADIStore,
@@ -61,6 +63,7 @@ from repro.core.retained_adi import (
     SQLiteRetainedADIStore,
     store_digest,
 )
+from repro.core.tiered import TieredADIStore
 
 __all__ = [
     "ALL_INSTANCES",
@@ -86,6 +89,8 @@ __all__ = [
     "RetainedADIStore",
     "InMemoryRetainedADIStore",
     "SQLiteRetainedADIStore",
+    "TieredADIStore",
+    "ADIApplyOutcome",
     "ADIMutation",
     "ADIViewSnapshot",
     "store_digest",

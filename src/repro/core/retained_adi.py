@@ -90,6 +90,23 @@ class RetainedADIRecord:
 
 
 @dataclass(slots=True)
+class ADIApplyOutcome:
+    """What one applied :class:`ADIMutation` actually did to a store.
+
+    ``purged`` keeps each backend's historical counting semantics (the
+    per-context sums the engine reports as ``records_purged``);
+    ``purged_records`` is deduplicated by ``record_id`` so layered
+    stores (the tiered hot/warm split) can retire each deleted record
+    from their aggregates exactly once, and ``added`` carries the
+    stored records with their warm-layer-assigned ids.
+    """
+
+    purged: int
+    purged_records: list[RetainedADIRecord]
+    added: list[RetainedADIRecord]
+
+
+@dataclass(slots=True)
 class ADIMutation:
     """A buffered set of store mutations, committed only on grant.
 
@@ -480,6 +497,38 @@ class RetainedADIStore:
     def close(self) -> None:
         """Release any underlying resources.  Idempotent."""
 
+    def stats(self) -> dict:
+        """Uniform introspection snapshot, shared by every backend.
+
+        Keys present on every store: ``backend``, ``records``,
+        ``resident_users`` (users whose aggregates are held in memory),
+        ``evictions`` and ``hydrations`` (monotonic counters, zero for
+        backends that never evict).  Backends append backend-specific
+        keys (e.g. ``warm_bytes`` for SQLite files, ``hot_capacity``
+        for the tiered store).  Surfaced through the serving layer's
+        ``metrics`` verb and Prometheus exposition.
+        """
+        return {
+            "backend": type(self).__name__,
+            "records": self.count(),
+            "resident_users": 0,
+            "evictions": 0,
+            "hydrations": 0,
+        }
+
+    def context_counts(self) -> dict[ContextName, int]:
+        """Record count per distinct concrete context instance.
+
+        The tiered store seeds its context-presence aggregates from
+        this at attach time; the generic implementation scans
+        :meth:`records`, backends with an index override it.
+        """
+        counts: dict[ContextName, int] = {}
+        for record in self.records():
+            context = record.context_instance
+            counts[context] = counts.get(context, 0) + 1
+        return counts
+
     # ------------------------------------------------------------------
     def apply(self, mutation: ADIMutation) -> int:
         """Apply a buffered mutation: purges first, then adds.
@@ -490,15 +539,30 @@ class RetainedADIStore:
         only puts adds and purges for *different* policies in one
         mutation, and purges always win for their own context.
 
-        Returns the number of purged records.  Backends override this to
-        make the whole mutation atomic (one decision = one transaction).
+        Returns the number of purged records.  Backends override
+        :meth:`apply_detailed` to make the whole mutation atomic (one
+        decision = one transaction).
+        """
+        return self.apply_detailed(mutation).purged
+
+    def apply_detailed(self, mutation: ADIMutation) -> ADIApplyOutcome:
+        """Like :meth:`apply`, but reporting what was deleted and added.
+
+        Layered stores need the concrete record sets — not just counts —
+        to keep derived aggregates in lock-step with the authoritative
+        layer.  The purge count preserves each backend's :meth:`apply`
+        semantics; ``purged_records`` is deduplicated by id.
         """
         purged = 0
+        evicted: dict[int, RetainedADIRecord] = {}
         for context in mutation.purge_contexts:
-            purged += self.purge_context(context)
-        for record in mutation.adds:
-            self.add(record)
-        return purged
+            doomed = self.find(context)
+            purged += len(doomed)
+            for record in doomed:
+                evicted.setdefault(record.record_id, record)
+            self.purge_context(context)
+        added = [self.add(record) for record in mutation.adds]
+        return ADIApplyOutcome(purged, list(evicted.values()), added)
 
     @contextmanager
     def batch(self):
@@ -649,6 +713,33 @@ class InMemoryRetainedADIStore(RetainedADIStore):
     def count(self) -> int:
         return len(self._records)
 
+    def stats(self) -> dict:
+        return {
+            "backend": "memory",
+            "records": len(self._records),
+            "resident_users": len(self._index._by_user),
+            "evictions": 0,
+            "hydrations": 0,
+        }
+
+    def context_counts(self) -> dict[ContextName, int]:
+        return {
+            context: sum(len(bucket.records) for bucket in by_user.values())
+            for context, by_user in self._index._by_context.items()
+        }
+
+    def apply_detailed(self, mutation: ADIMutation) -> ADIApplyOutcome:
+        purged = 0
+        evicted: dict[int, RetainedADIRecord] = {}
+        for context in mutation.purge_contexts:
+            doomed = self._index.context_records(context)
+            purged += len(doomed)
+            for record in doomed:
+                evicted.setdefault(record.record_id, record)
+                self._delete(record)
+        added = [self.add(record) for record in mutation.adds]
+        return ADIApplyOutcome(purged, list(evicted.values()), added)
+
     # Aggregate-backed engine views ----------------------------------
     def invalidate_policy_memos(self) -> None:
         self._index.clear_memos()
@@ -699,7 +790,12 @@ class SQLiteRetainedADIStore(RetainedADIStore):
     #: before sqlite3 raises ``database is locked``.
     BUSY_TIMEOUT_MS = 5_000
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self, path: str = ":memory:", *, max_row_cache: int | None = None
+    ) -> None:
+        if max_row_cache is not None and max_row_cache < 1:
+            raise StoreError("max_row_cache must be >= 1 (or None)")
+        self._max_row_cache = max_row_cache
         try:
             self._conn = sqlite3.connect(path, check_same_thread=False)
             self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
@@ -707,6 +803,11 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             # report their own "memory" mode, which is fine — there is
             # no second connection to contend with.
             self._conn.execute("PRAGMA journal_mode=WAL")
+            # SQLite's default page cache (2 MiB) thrashes the user_id
+            # and context index B-trees once the file outgrows it —
+            # bank-scale preloads drop to a few thousand scattered
+            # inserts/s. 64 MiB keeps the hot interior pages resident.
+            self._conn.execute("PRAGMA cache_size=-65536")
         except sqlite3.Error as exc:  # pragma: no cover - environment issue
             raise StoreError(f"cannot open retained-ADI database {path!r}") from exc
         self._lock = threading.Lock()
@@ -781,7 +882,13 @@ class SQLiteRetainedADIStore(RetainedADIStore):
                     record.granted_at,
                 ),
             )
-            self._conn.commit()
+            # Inside an open batch() the insert joins the batch
+            # transaction and durability is deferred to its single
+            # commit; committing here would close that transaction
+            # early and pay one fsync per record — the difference
+            # between ~3k and ~100k adds/s on bulk replays.
+            if not self._batch_depth:
+                self._conn.commit()
             stored = RetainedADIRecord.from_dict(
                 record.to_dict(), record_id=cursor.lastrowid
             )
@@ -789,10 +896,29 @@ class SQLiteRetainedADIStore(RetainedADIStore):
         return stored
 
     # -- cache/index maintenance (call with the lock held) -------------
+    def _bound_row_cache_locked(self) -> None:
+        """Keep the row cache within its optional bound.
+
+        The cache is an append-mostly id→record map with no recency
+        tracking, so the bound is enforced by wholesale reset: crude,
+        but O(1) amortised, and only layered deployments (where the
+        warm store must not hold every user resident) set a bound at
+        all.  Never resets while the lock-step index is built — the
+        index holds the same record objects, so evicting cache entries
+        underneath it would save nothing.
+        """
+        if (
+            self._max_row_cache is not None
+            and self._index is None
+            and len(self._row_cache) > self._max_row_cache
+        ):
+            self._row_cache = {}
+
     def _admit_locked(self, record: RetainedADIRecord) -> None:
         self._row_cache[record.record_id] = record
         if self._index is not None:
             self._index.add(record)
+        self._bound_row_cache_locked()
 
     def _evict_locked(self, records: Iterable[RetainedADIRecord]) -> None:
         for record in records:
@@ -812,6 +938,7 @@ class SQLiteRetainedADIStore(RetainedADIStore):
                 json.loads(payload), record_id=record_id
             )
             self._row_cache[record_id] = record
+            self._bound_row_cache_locked()
         return record
 
     def _ensure_index_locked(self) -> _UserContextIndex:
@@ -982,6 +1109,42 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             ).fetchone()
         return total
 
+    def stats(self) -> dict:
+        self._ensure_open()
+        with self._lock:
+            (total,) = self._conn.execute(
+                "SELECT COUNT(*) FROM retained_adi"
+            ).fetchone()
+            (page_count,) = self._conn.execute("PRAGMA page_count").fetchone()
+            (page_size,) = self._conn.execute("PRAGMA page_size").fetchone()
+            resident = (
+                len(self._index._by_user) if self._index is not None else 0
+            )
+            row_cache = len(self._row_cache)
+        return {
+            "backend": "sqlite",
+            "records": total,
+            "resident_users": resident,
+            "evictions": 0,
+            "hydrations": 0,
+            "row_cache": row_cache,
+            "warm_bytes": page_count * page_size,
+        }
+
+    def context_counts(self) -> dict[ContextName, int]:
+        """Per-context record counts straight from SQL (no index build).
+
+        One GROUP BY over the indexed ``context`` column — the tiered
+        store seeds its presence aggregates from this without paying
+        :meth:`_ensure_index_locked`'s load of every user.
+        """
+        self._ensure_open()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT context, COUNT(*) FROM retained_adi GROUP BY context"
+            ).fetchall()
+        return {ContextName.parse(text): count for text, count in rows}
+
     def _apply_sql_locked(
         self, mutation: ADIMutation
     ) -> tuple[int, dict[int, RetainedADIRecord], list[RetainedADIRecord]]:
@@ -1021,7 +1184,7 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             )
         return purged, evicted, added
 
-    def apply(self, mutation: ADIMutation) -> int:
+    def apply_detailed(self, mutation: ADIMutation) -> ADIApplyOutcome:
         """Apply the whole mutation in ONE SQLite transaction.
 
         A decision's purges and adds either all land or none do, even if
@@ -1061,7 +1224,7 @@ class SQLiteRetainedADIStore(RetainedADIStore):
             self._evict_locked(evicted.values())
             for record in added:
                 self._admit_locked(record)
-        return purged
+        return ADIApplyOutcome(purged, list(evicted.values()), added)
 
     @contextmanager
     def batch(self):

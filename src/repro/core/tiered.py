@@ -1,0 +1,489 @@
+"""Tiered retained-ADI storage: hot in-memory aggregates over a warm layer.
+
+Every earlier backend keeps one resident aggregate per user *forever*:
+the in-memory store by construction, the SQLite store through its
+lazily-built lock-step index (``_ensure_index_locked`` loads every row).
+Memory therefore grows with **total** users — fatal for a bank-scale
+deployment where 10^6 users exist but only a few percent are active in
+any window.
+
+:class:`TieredADIStore` splits the store in two:
+
+* **warm layer** — any :class:`~repro.core.retained_adi.RetainedADIStore`
+  (in practice SQLite) holding *every* record.  It is the authoritative
+  layer: it assigns record ids, and every mutation commits there first,
+  atomically, before any hot state changes.
+* **hot layer** — per-user aggregate entries (the same
+  :class:`~repro.core.retained_adi._ContextBucket` structures the
+  resident stores use), sharded by ``crc32(user_id)`` with per-shard
+  LRU eviction bounded by ``hot_users``.  A cold user's entry is
+  **lazily hydrated** from the warm layer on first touch, under that
+  user's shard lock; inactive users are evicted without any write-back
+  (the warm layer already holds their records), so RSS scales with the
+  *active* set.
+
+Context presence (algorithm step 3/7 existence checks) is answered from
+a store-wide ``context → record count`` aggregate, seeded once from the
+warm layer's ``context_counts()`` and maintained incrementally — it is
+bounded by the number of distinct concrete contexts, not by users, and
+never touches the warm layer on the hot path.
+
+**Consistency discipline.**  All mutations serialize on one store-wide
+write lock and commit to the warm layer first; hot updates after the
+commit are *idempotent* (guarded by record id), so a hydration racing
+between the warm commit and the hot update — possible because hydration
+runs under only the user's shard lock — can never double-count a
+record.  Reads of one user (including hydration itself) serialize on
+that user's shard lock, so a concurrent decide can never observe a
+partially-hydrated aggregate; reads of distinct users on different
+shards proceed concurrently.  Lock order is always shard → warm (reads)
+or write → warm, then write → shard (mutations); the warm layer never
+calls back into the tier, so the order is acyclic.
+
+When the warm layer itself may be behind (e.g. rebuilt from an older
+snapshot), an optional ``hydrator`` callable runs — still under the
+user's shard lock — before the warm read, typically replaying the
+audit trail for that user via
+:func:`repro.audit.recovery.recover_retained_adi` with a
+``user_filter``.  See ``docs/SCALE.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+from repro.core.constraints import Privilege, Role
+from repro.core.context import ContextName
+from repro.core.retained_adi import (
+    ADIApplyOutcome,
+    ADIMutation,
+    RetainedADIRecord,
+    RetainedADIStore,
+    _ContextBucket,
+)
+from repro.errors import StoreError
+
+_ROOT = ContextName.root()
+
+#: Memo-size guards, matching ``_UserContextIndex``'s discipline.
+_PRESENCE_LIMIT = 4096
+_ECTX_CACHE_LIMIT = 1024
+
+
+class _HotUserEntry:
+    """One resident user's aggregates: buckets per concrete context.
+
+    The bucket structures are shared with the resident stores; what
+    differs is the maintenance discipline: adds and removes are
+    **idempotent** (keyed by record id) because a mutation's hot update
+    may race a hydration that already read the committed warm state.
+    """
+
+    __slots__ = ("buckets", "_ectx_cache")
+
+    def __init__(self) -> None:
+        self.buckets: dict[ContextName, _ContextBucket] = {}
+        self._ectx_cache: dict[ContextName, list[_ContextBucket]] = {}
+
+    def add(self, record: RetainedADIRecord) -> bool:
+        context = record.context_instance
+        bucket = self.buckets.get(context)
+        if bucket is not None and record.record_id in bucket.records:
+            return False  # hydration already saw this committed record
+        if bucket is None:
+            bucket = self.buckets[context] = _ContextBucket()
+            for effective, buckets in self._ectx_cache.items():
+                if effective.matcher.matches(context):
+                    buckets.append(bucket)
+        bucket.add(record)
+        return True
+
+    def remove(self, record: RetainedADIRecord) -> bool:
+        context = record.context_instance
+        bucket = self.buckets.get(context)
+        if bucket is None or record.record_id not in bucket.records:
+            return False  # hydrated after the warm delete: already gone
+        bucket.remove(record)
+        if not bucket.records:
+            del self.buckets[context]
+            # Bucket deletions are rare; drop the memo for lazy rebuild
+            # rather than surgically pruning every cached list.
+            self._ectx_cache = {}
+        return True
+
+    def clear_memos(self) -> None:
+        self._ectx_cache = {}
+
+    def matching_buckets(
+        self, effective_context: ContextName
+    ) -> list[_ContextBucket]:
+        cache = self._ectx_cache
+        buckets = cache.get(effective_context)
+        if buckets is None:
+            if len(cache) >= _ECTX_CACHE_LIMIT:
+                cache.clear()
+            matches = effective_context.matcher.matches
+            buckets = cache[effective_context] = [
+                bucket
+                for context, bucket in self.buckets.items()
+                if matches(context)
+            ]
+        return buckets
+
+    def records(self) -> list[RetainedADIRecord]:
+        found: list[RetainedADIRecord] = []
+        for bucket in self.buckets.values():
+            found.extend(bucket.records.values())
+        found.sort(key=lambda record: record.record_id)
+        return found
+
+
+class _HotShard:
+    """One LRU shard of resident user entries plus its lock."""
+
+    __slots__ = ("lock", "entries", "capacity", "evictions", "hydrations")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.RLock()
+        self.entries: "OrderedDict[str, _HotUserEntry]" = OrderedDict()
+        self.capacity = capacity
+        self.evictions = 0
+        self.hydrations = 0
+
+
+class TieredADIStore(RetainedADIStore):
+    """Hot per-user aggregates with LRU eviction over a warm store.
+
+    Parameters
+    ----------
+    warm:
+        The authoritative backing store holding every record.  The
+        tiered store never calls its resident-index paths
+        (``has_context`` / ``user_roles`` / ``user_privilege_exercises``)
+        — those would pull every user into memory and defeat the tier.
+        Pair a SQLite warm layer with ``max_row_cache`` so its row
+        cache stays bounded too.
+    hot_users:
+        Total resident-user budget, split across the shards.  The
+        hot layer holds at most this many user entries; the LRU tail
+        is evicted (no write-back needed) as new users hydrate.
+    shards:
+        Hot-layer lock shards.  Reads and hydrations of users on
+        different shards proceed concurrently.
+    hydrator:
+        Optional ``hydrator(user_id)`` invoked under the user's shard
+        lock immediately before a hydration reads the warm layer; use
+        it to bring a lagging warm layer up to date from the audit
+        trail (see :func:`repro.audit.recovery.recover_retained_adi`).
+    owns_warm:
+        When true, :meth:`close` closes the warm store too (set by
+        the spec-driven builder in :mod:`repro.api`).
+    """
+
+    def __init__(
+        self,
+        warm: RetainedADIStore,
+        *,
+        hot_users: int = 10_000,
+        shards: int = 8,
+        hydrator: Callable[[str], None] | None = None,
+        owns_warm: bool = False,
+    ) -> None:
+        if hot_users < 1:
+            raise StoreError("tiered store needs hot_users >= 1")
+        if shards < 1:
+            raise StoreError("tiered store needs shards >= 1")
+        if isinstance(warm, TieredADIStore):
+            raise StoreError("tiered warm layer must not itself be tiered")
+        shards = min(shards, hot_users)
+        self._warm = warm
+        self._hydrator = hydrator
+        self._owns_warm = owns_warm
+        self._hot_users = hot_users
+        base, extra = divmod(hot_users, shards)
+        self._shards = [
+            _HotShard(base + (1 if index < extra else 0))
+            for index in range(shards)
+        ]
+        self._write_lock = threading.RLock()
+        self._meta_lock = threading.Lock()
+        self._context_counts: dict[ContextName, int] = dict(
+            warm.context_counts()
+        )
+        self._presence: dict[ContextName, bool] = {}
+
+    # -- sharding ------------------------------------------------------
+    def _shard_for(self, user_id: str) -> _HotShard:
+        return self._shards[
+            zlib.crc32(user_id.encode("utf-8")) % len(self._shards)
+        ]
+
+    def _entry_locked(self, shard: _HotShard, user_id: str) -> _HotUserEntry:
+        """Fetch-or-hydrate one user's entry.  Caller holds the shard lock.
+
+        Hydration — including the optional audit-trail ``hydrator`` and
+        the warm read — happens entirely under the shard lock, so a
+        concurrent reader of the same user blocks until the aggregate
+        is complete rather than observing a partially-built one.
+        """
+        entry = shard.entries.get(user_id)
+        if entry is not None:
+            shard.entries.move_to_end(user_id)
+            return entry
+        if self._hydrator is not None:
+            self._hydrator(user_id)
+        entry = _HotUserEntry()
+        for record in self._warm.find_user(user_id, _ROOT):
+            entry.add(record)
+        shard.entries[user_id] = entry
+        shard.hydrations += 1
+        while len(shard.entries) > shard.capacity:
+            shard.entries.popitem(last=False)
+            shard.evictions += 1
+        return entry
+
+    # -- context-presence aggregate -----------------------------------
+    def _note_added_locked(self, context: ContextName) -> None:
+        count = self._context_counts.get(context, 0)
+        self._context_counts[context] = count + 1
+        if count == 0:
+            presence = self._presence
+            if presence:
+                for effective, present in presence.items():
+                    if not present and effective.matcher.matches(context):
+                        presence[effective] = True
+
+    def _note_removed_locked(self, context: ContextName) -> None:
+        count = self._context_counts.get(context, 0)
+        if count > 1:
+            self._context_counts[context] = count - 1
+            return
+        self._context_counts.pop(context, None)
+        presence = self._presence
+        if presence:
+            stale = [
+                effective
+                for effective, present in presence.items()
+                if present and effective.matcher.matches(context)
+            ]
+            for effective in stale:
+                del presence[effective]
+
+    # -- interface: reads ---------------------------------------------
+    def has_context(self, effective_context: ContextName) -> bool:
+        with self._meta_lock:
+            presence = self._presence
+            present = presence.get(effective_context)
+            if present is None:
+                if len(presence) >= _PRESENCE_LIMIT:
+                    presence.clear()
+                matches = effective_context.matcher.matches
+                present = presence[effective_context] = any(
+                    matches(context) for context in self._context_counts
+                )
+            return present
+
+    def user_roles(
+        self, user_id: str, effective_context: ContextName
+    ) -> frozenset[Role]:
+        shard = self._shard_for(user_id)
+        with shard.lock:
+            entry = self._entry_locked(shard, user_id)
+            roles: set[Role] = set()
+            for bucket in entry.matching_buckets(effective_context):
+                roles.update(bucket.role_counts)
+            return frozenset(roles)
+
+    def user_privilege_exercises(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[Privilege]:
+        shard = self._shard_for(user_id)
+        with shard.lock:
+            entry = self._entry_locked(shard, user_id)
+            entries: list[tuple[int, str, Privilege]] = []
+            for bucket in entry.matching_buckets(effective_context):
+                entries.extend(
+                    (record_id, request_id, privilege)
+                    for request_id, (
+                        record_id,
+                        privilege,
+                    ) in bucket.exercises.items()
+                )
+        entries.sort()
+        seen_requests: set[str] = set()
+        exercises: list[Privilege] = []
+        for _, request_id, privilege in entries:
+            if request_id in seen_requests:
+                continue
+            seen_requests.add(request_id)
+            exercises.append(privilege)
+        return exercises
+
+    def find_user(
+        self, user_id: str, effective_context: ContextName
+    ) -> list[RetainedADIRecord]:
+        shard = self._shard_for(user_id)
+        with shard.lock:
+            entry = self._entry_locked(shard, user_id)
+            found: list[RetainedADIRecord] = []
+            for bucket in entry.matching_buckets(effective_context):
+                found.extend(bucket.records.values())
+        found.sort(key=lambda record: record.record_id)
+        return found
+
+    def find(self, effective_context: ContextName) -> list[RetainedADIRecord]:
+        return self._warm.find(effective_context)
+
+    def records(self) -> Iterator[RetainedADIRecord]:
+        return self._warm.records()
+
+    def count(self) -> int:
+        return self._warm.count()
+
+    def context_counts(self) -> dict[ContextName, int]:
+        with self._meta_lock:
+            return dict(self._context_counts)
+
+    # -- interface: mutations -----------------------------------------
+    def _absorb_outcome_locked(self, outcome: ADIApplyOutcome) -> None:
+        """Fold one committed warm mutation into the hot/meta layers.
+
+        Caller holds the write lock, so no other mutation interleaves;
+        per-user updates take the shard lock and are idempotent, which
+        makes them safe against hydrations that already read the
+        committed warm state.
+        """
+        with self._meta_lock:
+            for record in outcome.purged_records:
+                self._note_removed_locked(record.context_instance)
+            for record in outcome.added:
+                self._note_added_locked(record.context_instance)
+        by_user: dict[
+            str, tuple[list[RetainedADIRecord], list[RetainedADIRecord]]
+        ] = {}
+        for record in outcome.purged_records:
+            by_user.setdefault(record.user_id, ([], []))[0].append(record)
+        for record in outcome.added:
+            by_user.setdefault(record.user_id, ([], []))[1].append(record)
+        for user_id, (removed, added) in by_user.items():
+            shard = self._shard_for(user_id)
+            with shard.lock:
+                entry = shard.entries.get(user_id)
+                if entry is None:
+                    continue  # cold user: warm already holds the truth
+                shard.entries.move_to_end(user_id)
+                for record in removed:
+                    entry.remove(record)
+                for record in added:
+                    entry.add(record)
+
+    def apply_detailed(self, mutation: ADIMutation) -> ADIApplyOutcome:
+        with self._write_lock:
+            outcome = self._warm.apply_detailed(mutation)
+            self._absorb_outcome_locked(outcome)
+        return outcome
+
+    def add(self, record: RetainedADIRecord) -> RetainedADIRecord:
+        with self._write_lock:
+            stored = self._warm.add(record)
+            self._absorb_outcome_locked(ADIApplyOutcome(0, [], [stored]))
+        return stored
+
+    def purge_context(self, effective_context: ContextName) -> int:
+        return self.apply_detailed(
+            ADIMutation(purge_contexts=[effective_context])
+        ).purged
+
+    def purge_user(self, user_id: str) -> int:
+        with self._write_lock:
+            shard = self._shard_for(user_id)
+            with shard.lock:
+                doomed = self._warm.find_user(user_id, _ROOT)
+                purged = self._warm.purge_user(user_id)
+                shard.entries.pop(user_id, None)
+            with self._meta_lock:
+                for record in doomed:
+                    self._note_removed_locked(record.context_instance)
+        return purged
+
+    def purge_older_than(self, cutoff: float) -> int:
+        with self._write_lock:
+            doomed = [
+                record
+                for record in self._warm.records()
+                if record.granted_at < cutoff
+            ]
+            purged = self._warm.purge_older_than(cutoff)
+            self._absorb_outcome_locked(ADIApplyOutcome(purged, doomed, []))
+        return purged
+
+    def clear(self) -> int:
+        with self._write_lock:
+            removed = self._warm.clear()
+            for shard in self._shards:
+                with shard.lock:
+                    shard.entries.clear()
+            with self._meta_lock:
+                self._context_counts = {}
+                self._presence = {}
+        return removed
+
+    # -- lifecycle / plumbing -----------------------------------------
+    @contextmanager
+    def batch(self):
+        with self._warm.batch():
+            yield self
+
+    def invalidate_policy_memos(self) -> None:
+        self._warm.invalidate_policy_memos()
+        with self._meta_lock:
+            # Rebind, not clear: a concurrent query iterating the old
+            # memo finishes against it undisturbed (same discipline as
+            # _UserContextIndex.clear_memos).
+            self._presence = {}
+        for shard in self._shards:
+            with shard.lock:
+                for entry in shard.entries.values():
+                    entry.clear_memos()
+
+    def stats(self) -> dict:
+        resident = 0
+        evictions = 0
+        hydrations = 0
+        for shard in self._shards:
+            with shard.lock:
+                resident += len(shard.entries)
+                evictions += shard.evictions
+                hydrations += shard.hydrations
+        warm_stats = self._warm.stats()
+        return {
+            "backend": "tiered",
+            "records": warm_stats["records"],
+            "resident_users": resident,
+            "evictions": evictions,
+            "hydrations": hydrations,
+            "hot_capacity": self._hot_users,
+            "hot_shards": len(self._shards),
+            "warm": warm_stats,
+        }
+
+    @property
+    def warm(self) -> RetainedADIStore:
+        """The authoritative backing store (test/management access)."""
+        return self._warm
+
+    def resident_users(self) -> list[str]:
+        """User ids currently resident in the hot layer (for tests)."""
+        users: list[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                users.extend(shard.entries)
+        return users
+
+    def close(self) -> None:
+        if self._owns_warm:
+            self._warm.close()

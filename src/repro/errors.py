@@ -52,6 +52,16 @@ class StoreError(ReproError):
     """A retained-ADI store failed (I/O, closed handle, corruption...)."""
 
 
+class StoreSpecError(PolicyError):
+    """A store spec string is malformed or names an unknown backend.
+
+    Subclasses :class:`PolicyError` because every construction entry
+    point (``open_pdp``, ``open_server``, the CLI) historically raised
+    ``PolicyError`` for bad specs; existing handlers keep working while
+    new callers can catch the precise class.
+    """
+
+
 class CredentialError(ReproError):
     """A credential is malformed, untrusted, expired or tampered with."""
 

@@ -234,11 +234,12 @@ class AuthorizationService:
         return body
 
     def metrics(self) -> dict:
-        """The ``/metrics`` JSON body: perf snapshot plus per-shard stats."""
+        """The ``/metrics`` JSON body: perf, per-shard and store stats."""
         return {
             "shards": [stats.to_dict() for stats in self._stats],
             "queue_depths": self.queue_depths(),
             "perf": self._perf.snapshot(),
+            "store": self._engine.store.stats(),
         }
 
     def metrics_registry(self) -> MetricsRegistry:
@@ -278,6 +279,24 @@ class AuthorizationService:
             "shard_max_batch",
             "Largest micro-batch each shard worker has drained.",
             lambda: per_shard(lambda i: self._stats[i].max_batch),
+        )
+        def store_stat(key: str) -> float:
+            return float(self._engine.store.stats().get(key, 0))
+
+        registry.register_gauge(
+            "store_resident_users",
+            "User aggregates resident in the store's hot layer.",
+            lambda: store_stat("resident_users"),
+        )
+        registry.register_counter(
+            "store_evictions_total",
+            "Hot-layer user aggregates evicted to the warm layer.",
+            lambda: store_stat("evictions"),
+        )
+        registry.register_counter(
+            "store_hydrations_total",
+            "Cold user aggregates hydrated from the warm layer.",
+            lambda: store_stat("hydrations"),
         )
         registry.register_gauge(
             "policy_epoch",

@@ -1,0 +1,274 @@
+"""Bank-scale organisation and traffic generator (10^6+ users).
+
+The evaluation workloads top out around ~1200 users — three orders of
+magnitude short of the ROADMAP's millions-of-users target and nothing
+like the multi-national bank the ARBAC policy-engineering literature
+describes: hundreds of roles spread across divisions, deep business
+contexts (region / division / branch / period), and traffic that is
+heavily skewed toward a small *active* population while the long tail
+of users exists only as retained history.
+
+:func:`bank_scale_policy_set` builds the org's MSoD policy set: per
+division, one policy per separated duty pair, each an MMER over
+``Region=*, Division=Dk, Branch=*, Period=!`` (any branch of that
+division, scoped per audit period).  With the defaults that is
+``24 divisions x 4 duty pairs = 96`` policies over ``192`` distinct
+roles.
+
+:func:`bank_scale_request_stream` emits a seeded, store-independent
+decision stream shaped by three knobs the scale bench sweeps:
+
+* ``active_fraction`` — the share of users any request window touches;
+  the tiered store's RSS should track this, not ``n_users``;
+* ``zipf_s`` — skew *within* the active set (rank-``r`` active user
+  drawn with weight ``1/r^s``), so the hot layer's LRU sees realistic
+  reuse instead of a uniform scan;
+* ``churn_fraction`` — requests aimed uniformly at the *whole*
+  population, forcing cold-user hydrations and LRU evictions.
+
+``conflict_fraction`` of requests present the user's *conflicting*
+duty so deny paths (and therefore retained-ADI reads) are exercised;
+everything else exercises the user's home duty and appends history.
+The stream is pure function of the config — replaying it against two
+stores must produce bit-identical decisions, which is what the scale
+bench's differential gate checks.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.constraints import MMER, Privilege, Role
+from repro.core.context import ContextName
+from repro.core.decision import DecisionRequest
+from repro.core.retained_adi import RetainedADIRecord
+from repro.core.policy import MSoDPolicy, MSoDPolicySet
+from repro.errors import PolicyError
+
+__all__ = [
+    "BankScaleConfig",
+    "bank_scale_history",
+    "bank_scale_policy_set",
+    "bank_scale_request_stream",
+    "duty_roles",
+    "duty_privileges",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BankScaleConfig:
+    """Shape of the synthetic multi-national bank.
+
+    The defaults model the full-scale run: a million users across 24
+    divisions in 4 regions, 40 branches per division, 4 separated duty
+    pairs (= 8 roles) per division, 5% of users active in the measured
+    window with Zipf-skewed traffic among them.
+    """
+
+    n_users: int = 1_000_000
+    n_regions: int = 4
+    n_divisions: int = 24
+    branches_per_division: int = 40
+    n_periods: int = 6
+    duty_pairs_per_division: int = 4
+    active_fraction: float = 0.05
+    zipf_s: float = 1.1
+    conflict_fraction: float = 0.1
+    churn_fraction: float = 0.02
+    seed: int = 29
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise PolicyError("bank-scale config needs n_users >= 1")
+        if not 0.0 < self.active_fraction <= 1.0:
+            raise PolicyError("active_fraction must be in (0, 1]")
+        for name in ("n_regions", "n_divisions", "branches_per_division",
+                     "n_periods", "duty_pairs_per_division"):
+            if getattr(self, name) < 1:
+                raise PolicyError(f"bank-scale config needs {name} >= 1")
+
+    @property
+    def n_roles(self) -> int:
+        return 2 * self.duty_pairs_per_division * self.n_divisions
+
+    @property
+    def active_users(self) -> int:
+        return max(1, int(self.n_users * self.active_fraction))
+
+
+def duty_roles(division: int, duty: int) -> tuple[Role, Role]:
+    """The separated (execute, review) role pair of one division duty."""
+    return (
+        Role("employee", f"D{division:02d}-duty{duty}-exec"),
+        Role("employee", f"D{division:02d}-duty{duty}-review"),
+    )
+
+
+def duty_privileges(division: int, duty: int) -> tuple[Privilege, Privilege]:
+    """The privileges the execute/review roles exist to exercise."""
+    return (
+        Privilege(f"executeDuty{duty}", f"svc://division{division:02d}/duty{duty}"),
+        Privilege(f"reviewDuty{duty}", f"svc://division{division:02d}/duty{duty}"),
+    )
+
+
+def bank_scale_policy_set(config: BankScaleConfig) -> MSoDPolicySet:
+    """One MMER policy per (division, duty pair), period-scoped.
+
+    Mirrors the Example-1 bank policy's shape — ``Period=!`` separates
+    duties within one audit period while allowing role changes across
+    periods — but at organisational width: every division carries its
+    own duty pairs over its own branches.  Deliberately without
+    first/last steps, like :func:`repro.workload.bank_policy_set`, so
+    the same stream runs unmodified against user-sharded deployments.
+    """
+    policies = []
+    for division in range(config.n_divisions):
+        context = ContextName.parse(
+            f"Region=*, Division=D{division:02d}, Branch=*, Period=!"
+        )
+        for duty in range(config.duty_pairs_per_division):
+            policies.append(
+                MSoDPolicy(
+                    context,
+                    mmers=[MMER(list(duty_roles(division, duty)), 2)],
+                    policy_id=f"bank-D{division:02d}-duty{duty}",
+                )
+            )
+    return MSoDPolicySet(policies)
+
+
+class _ZipfSampler:
+    """Draw ranks 0..n-1 with weight ``1/(rank+1)**s`` via bisection."""
+
+    __slots__ = ("_cumulative", "_total")
+
+    def __init__(self, n: int, s: float) -> None:
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / float(rank + 1) ** s
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect_right(self._cumulative, rng.random() * self._total)
+
+
+def _home(config: BankScaleConfig, user_index: int) -> tuple[int, int, int]:
+    """A user's deterministic (division, branch, duty) home assignment."""
+    division = user_index % config.n_divisions
+    branch = (user_index // config.n_divisions) % config.branches_per_division
+    duty = (
+        user_index // (config.n_divisions * config.branches_per_division)
+    ) % config.duty_pairs_per_division
+    return division, branch, duty
+
+
+def bank_scale_history(
+    config: BankScaleConfig,
+    per_user: int,
+) -> Iterator[RetainedADIRecord]:
+    """Retained ADI accumulated by the *whole* population before the
+    measured window — the multi-session premise made concrete.
+
+    MSoD history must be retained across sessions, so a real deployment
+    carries records for every user who has ever acted, while only the
+    active fraction generates new traffic.  This yields ``per_user``
+    deterministic records for **each** of the ``n_users`` accounts —
+    the user exercising their home duty's *execute* role in their home
+    branch, one audit period per record — with negative ``granted_at``
+    timestamps so the whole corpus predates any request stream started
+    at timestamp 0.
+
+    Replayed into any backend before the measured stream, this is what
+    separates a resident-memory bill proportional to *total retained
+    history* from one proportional to the *active set*: the tiered
+    store leaves the inactive millions in the warm layer, while the
+    always-resident stores index all of it.
+    """
+    if per_user < 0:
+        raise PolicyError("bank-scale history needs per_user >= 0")
+    region_of_division = [
+        division % config.n_regions for division in range(config.n_divisions)
+    ]
+    total = config.n_users * per_user
+    for user_index in range(config.n_users):
+        division, branch, duty = _home(config, user_index)
+        execute_role, _ = duty_roles(division, duty)
+        execute_priv, _ = duty_privileges(division, duty)
+        for sequence in range(per_user):
+            period = (user_index + sequence) % config.n_periods
+            context = ContextName.parse(
+                f"Region=R{region_of_division[division]}, "
+                f"Division=D{division:02d}, "
+                f"Branch=B{branch:03d}, "
+                f"Period=P{period}"
+            )
+            yield RetainedADIRecord(
+                user_id=f"u{user_index:07d}",
+                roles=(execute_role,),
+                operation=execute_priv.operation,
+                target=execute_priv.target,
+                context_instance=context,
+                granted_at=float(user_index * per_user + sequence - total),
+                request_id=f"h{user_index:07d}-{sequence}",
+            )
+
+
+def bank_scale_request_stream(
+    config: BankScaleConfig,
+    n_requests: int,
+    *,
+    start_timestamp: float = 0.0,
+) -> Iterator[DecisionRequest]:
+    """The seeded bank-scale decision stream (see the module docstring).
+
+    Requests carry monotonically increasing integer timestamps from
+    ``start_timestamp`` so replays across stores stay bit-identical
+    without consulting a clock.
+    """
+    rng = random.Random(config.seed)
+    active_users = config.active_users
+    # The active set is itself a deterministic sample of the population
+    # — NOT the first ``active_users`` indices, or every active user
+    # would share the same few divisions.
+    if active_users >= config.n_users:
+        active = list(range(config.n_users))
+    else:
+        active = rng.sample(range(config.n_users), active_users)
+    zipf = _ZipfSampler(active_users, config.zipf_s)
+    region_of_division = [
+        division % config.n_regions for division in range(config.n_divisions)
+    ]
+    for index in range(n_requests):
+        if config.churn_fraction > 0 and rng.random() < config.churn_fraction:
+            user_index = rng.randrange(config.n_users)
+        else:
+            user_index = active[zipf.sample(rng)]
+        division, branch, duty = _home(config, user_index)
+        execute_role, review_role = duty_roles(division, duty)
+        execute_priv, review_priv = duty_privileges(division, duty)
+        if rng.random() < config.conflict_fraction:
+            role, privilege = review_role, review_priv
+        else:
+            role, privilege = execute_role, execute_priv
+        period = rng.randrange(config.n_periods)
+        context = ContextName.parse(
+            f"Region=R{region_of_division[division]}, "
+            f"Division=D{division:02d}, "
+            f"Branch=B{branch:03d}, "
+            f"Period=P{period}"
+        )
+        yield DecisionRequest(
+            user_id=f"u{user_index:07d}",
+            roles=(role,),
+            operation=privilege.operation,
+            target=privilege.target,
+            context_instance=context,
+            timestamp=start_timestamp + float(index),
+        )

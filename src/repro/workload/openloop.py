@@ -1,0 +1,105 @@
+"""Open-loop (fixed arrival rate) load generation.
+
+The closed-loop harnesses the benches used so far issue the next
+request only after the previous one completes, so under overload the
+*offered* load silently drops to whatever the system sustains and the
+measured latency flatters the server — the classic coordinated-
+omission trap.  Open-loop load fixes the arrival schedule up front
+(request ``i`` arrives at ``start + i/rate`` regardless of progress)
+and measures each request's latency from its **scheduled arrival** to
+its completion, so time spent queued behind a slow decision counts
+against the system, not the generator.
+
+:func:`run_open_loop` drives a single in-process decide callable.
+When the callable keeps up, latency ~= service time; when it does not,
+the backlog grows and the recorded latencies honestly diverge —
+exactly the overload signal ``bench_scale.py`` reports alongside the
+closed-loop throughput numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["OpenLoopReport", "percentile", "run_open_loop"]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` quantile of ``samples`` (nearest-rank, 0..1)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+@dataclass(frozen=True, slots=True)
+class OpenLoopReport:
+    """What one open-loop run offered, achieved and measured."""
+
+    offered_rps: float
+    achieved_rps: float
+    completed: int
+    duration_s: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    max_backlog_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "offered_rps": round(self.offered_rps, 2),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "completed": self.completed,
+            "duration_s": round(self.duration_s, 3),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "max_backlog_s": round(self.max_backlog_s, 3),
+        }
+
+
+def run_open_loop(
+    decide: Callable[[object], object],
+    requests: Iterable[object],
+    arrival_rate: float,
+    *,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> OpenLoopReport:
+    """Issue ``requests`` at a fixed ``arrival_rate`` (requests/second).
+
+    Each request's scheduled arrival is ``start + index/arrival_rate``;
+    the generator sleeps until that instant when it is ahead and issues
+    immediately (carrying the backlog into the latency measurement)
+    when it is behind.  Latency is completion minus *scheduled*
+    arrival, so queueing delay under overload is reported, never
+    hidden.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be > 0")
+    interval = 1.0 / arrival_rate
+    latencies: list[float] = []
+    max_backlog = 0.0
+    start = clock()
+    completed = 0
+    for index, request in enumerate(requests):
+        scheduled = start + index * interval
+        now = clock()
+        if now < scheduled:
+            sleep(scheduled - now)
+        else:
+            max_backlog = max(max_backlog, now - scheduled)
+        decide(request)
+        latencies.append(clock() - scheduled)
+        completed += 1
+    duration = max(clock() - start, 1e-9)
+    return OpenLoopReport(
+        offered_rps=arrival_rate,
+        achieved_rps=completed / duration,
+        completed=completed,
+        duration_s=duration,
+        latency_p50_ms=percentile(latencies, 0.50) * 1000.0,
+        latency_p99_ms=percentile(latencies, 0.99) * 1000.0,
+        max_backlog_s=max_backlog,
+    )
