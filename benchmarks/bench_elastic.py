@@ -1,0 +1,266 @@
+"""BENCH_elastic — what an online 2→4 split buys, and what it costs.
+
+Two questions, two sections:
+
+**Capacity** (the reason to split).  Using BENCH_cluster's methodology
+— every node benched in isolation on its ring slice with the full
+durable stack (SQLite store, fsync'd trail, real wire round trips),
+aggregate = total requests / slowest node wall — measure the 2-node
+baseline and the 4-node post-split topology on the *same* request
+stream.  The acceptance bar: post-split aggregate ≥ 1.4x the 2-node
+baseline.  (Consistent hashing leaves each surviving shard with a
+subset of its old users, so capacity grows with real ring balance, not
+by assumption; a skewed ring fails this bar.)
+
+**Cost** (the price of moving online).  Boot an in-process 2-shard
+``LocalCluster`` under continuous closed-loop client load, run a live
+2→3 split followed by a 3→2 drain, and record what the clients saw:
+throughput before / during / after, the per-migration fenced cutover
+pause (the only window a moving user's decides stall), and the worst
+single-decide latency in each phase.  The cutover bar: every pause
+bounded under ``MAX_CUTOVER_PAUSE_S``.
+
+Results go to ``benchmarks/results/BENCH_elastic.json``::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_elastic.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_cluster import run_topology  # noqa: E402
+
+from repro.cluster import ClusterPDP, LocalCluster  # noqa: E402
+from repro.core import ContextName, DecisionRequest, Role  # noqa: E402
+from repro.workload import (  # noqa: E402
+    bank_policy_set,
+    decision_request_stream,
+)
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "BENCH_elastic.json"
+)
+
+TELLER = Role("employee", "Teller")
+
+#: The fenced window per migration must stay under this (full mode).
+MAX_CUTOVER_PAUSE_S = 1.0
+
+
+def run_live_resize(n_workers: int, seconds_per_phase: float) -> dict:
+    """Closed-loop load through a full split+drain cycle; client view."""
+    counters = [0] * n_workers
+    max_latency = [0.0] * n_workers
+    errors: list[str] = []
+    stop = threading.Event()
+    phase_marks: list[tuple[str, float, int]] = []
+
+    def snapshot(label: str) -> None:
+        phase_marks.append((label, time.perf_counter(), sum(counters)))
+
+    def worker(index: int, pdp: ClusterPDP) -> None:
+        users = [f"elastic-{index}-{i}" for i in range(8)]
+        serial = 0
+        while not stop.is_set():
+            serial += 1
+            user = users[serial % len(users)]
+            request = DecisionRequest(
+                user_id=user,
+                roles=(TELLER,),
+                operation="handleCash",
+                target="till://cash",
+                context_instance=ContextName.parse(
+                    f"Branch={user}, Period={user}-S{serial}"
+                ),
+                timestamp=float(index * 1_000_000 + serial),
+            )
+            started = time.perf_counter()
+            try:
+                pdp.decide(request)
+            except Exception as exc:
+                errors.append(f"worker {index}: {exc}")
+                return
+            latency = time.perf_counter() - started
+            if latency > max_latency[index]:
+                max_latency[index] = latency
+            counters[index] += 1
+
+    with tempfile.TemporaryDirectory() as data_dir:
+        cluster = LocalCluster(
+            bank_policy_set(), 2, data_dir, store="memory", fsync=False
+        ).start()
+        try:
+            with ClusterPDP(
+                (cluster.host, cluster.port), failover_wait=30.0
+            ) as pdp:
+                threads = [
+                    threading.Thread(
+                        target=worker, args=(index, pdp), daemon=True
+                    )
+                    for index in range(n_workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                try:
+                    snapshot("before")
+                    time.sleep(seconds_per_phase)
+
+                    snapshot("split")
+                    added = cluster.add_shard()
+                    split = cluster.wait_reshard(timeout=120.0)[
+                        "last_migration"
+                    ]
+                    time.sleep(seconds_per_phase)
+
+                    snapshot("drain")
+                    cluster.drain_shard(added)
+                    drain = cluster.wait_reshard(timeout=120.0)[
+                        "last_migration"
+                    ]
+                    time.sleep(seconds_per_phase)
+                    snapshot("after")
+                finally:
+                    stop.set()
+                    for thread in threads:
+                        thread.join(timeout=30.0)
+        finally:
+            cluster.stop()
+
+    if errors:
+        raise RuntimeError(errors[0])
+    phases = {}
+    for (label, t0, c0), (_, t1, c1) in zip(phase_marks, phase_marks[1:]):
+        wall = t1 - t0
+        phases[label] = {
+            "requests": c1 - c0,
+            "wall_s": round(wall, 3),
+            "throughput_rps": round((c1 - c0) / wall, 1) if wall else 0.0,
+        }
+    return {
+        "workers": n_workers,
+        "phases": phases,
+        "max_decide_latency_s": round(max(max_latency), 4),
+        "migrations": {
+            "split": {
+                "ticks": split["ticks"],
+                "users_moved": split["users_moved"],
+                "events_imported": split["events_imported"],
+                "cutover_pause_s": round(split["cutover_pause_s"], 5),
+            },
+            "drain": {
+                "ticks": drain["ticks"],
+                "users_moved": drain["users_moved"],
+                "events_imported": drain["events_imported"],
+                "cutover_pause_s": round(drain["cutover_pause_s"], 5),
+            },
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI-sized run"
+    )
+    parser.add_argument(
+        "--output", default=RESULTS_PATH, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_requests, n_users, n_clients = 400, 400, 4
+        live_workers, phase_s = 2, 1.0
+    else:
+        n_requests, n_users, n_clients = 2400, 1200, 8
+        live_workers, phase_s = 4, 3.0
+
+    requests = list(
+        decision_request_stream(n_requests, n_users=n_users, n_branches=8)
+    )
+
+    baseline = run_topology(2, requests, n_clients)
+    print(
+        f"2-node baseline: {baseline['throughput_rps']} rps "
+        f"(slowest shard wall {baseline['wall_s']}s)"
+    )
+    post_split = run_topology(4, requests, n_clients)
+    print(
+        f"4-node post-split: {post_split['throughput_rps']} rps "
+        f"(slowest shard wall {post_split['wall_s']}s)"
+    )
+    factor = (
+        round(post_split["throughput_rps"] / baseline["throughput_rps"], 2)
+        if baseline["throughput_rps"]
+        else 0.0
+    )
+    print(f"post-split factor: {factor}x")
+
+    live = run_live_resize(live_workers, phase_s)
+    pauses = [
+        live["migrations"]["split"]["cutover_pause_s"],
+        live["migrations"]["drain"]["cutover_pause_s"],
+    ]
+    print(
+        "live resize: "
+        + " ".join(
+            f"{label}={phase['throughput_rps']}rps"
+            for label, phase in live["phases"].items()
+        )
+        + f" cutover pauses {pauses} s"
+    )
+
+    report = {
+        "benchmark": "BENCH_elastic",
+        "mode": "smoke" if args.smoke else "full",
+        "methodology": (
+            "capacity: per-node isolated ring-slice capacity as in "
+            "BENCH_cluster (aggregate = total requests / slowest node "
+            "wall); cost: in-process LocalCluster under closed-loop "
+            "load through a live 2->3 split and 3->2 drain"
+        ),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "store": "sqlite (capacity legs), memory (live resize)",
+            "audit_fsync": "capacity legs only",
+            "requests": n_requests,
+            "distinct_users": n_users,
+            "client_threads": n_clients,
+        },
+        "baseline_2_nodes": baseline,
+        "post_split_4_nodes": post_split,
+        "post_split_factor": factor,
+        "live_resize": live,
+    }
+    if not args.smoke:
+        report["acceptance"] = {
+            "target_min_post_split_factor": 1.4,
+            "post_split_factor_pass": factor >= 1.4,
+            "max_cutover_pause_s": MAX_CUTOVER_PAUSE_S,
+            "cutover_pause_pass": max(pauses) <= MAX_CUTOVER_PAUSE_S,
+        }
+
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

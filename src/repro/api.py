@@ -551,6 +551,46 @@ class ClusterHandle:
     def status(self) -> dict:
         return self._cluster.status()
 
+    # -- elastic resharding -------------------------------------------
+    def add_shard(self, name: str | None = None) -> str:
+        """Grow by one shard: start a primary+standby pair and begin a
+        live split migration onto it.  Returns the new shard's name;
+        poll :meth:`reshard_status` or call :meth:`wait_reshard` for
+        completion."""
+        return self._cluster.add_shard(name)
+
+    def drain_shard(self, name: str) -> None:
+        """Shrink by one shard: migrate ``name``'s users to the
+        surviving shards, then retire its nodes (trails are kept as
+        sealed lineages)."""
+        self._cluster.drain_shard(name)
+
+    def rebalance(self, *, threshold: float = 1.5, apply: bool = False):
+        """Imbalance report from per-shard resident-user gauges;
+        ``apply=True`` starts a split when the report recommends one."""
+        return self._cluster.rebalance(threshold=threshold, apply=apply)
+
+    def reshard_status(self) -> dict:
+        """Active-migration state plus migration history counters."""
+        return self._cluster.reshard_status()
+
+    def wait_reshard(self, timeout: float = 60.0) -> dict:
+        """Block until no migration is in flight (raises at timeout)."""
+        return self._cluster.wait_reshard(timeout=timeout)
+
+    def shard_stats(self) -> dict:
+        """Per-shard primary ``store.stats()`` gauges."""
+        return self._cluster.shard_stats()
+
+    def crash_coordinator(self) -> None:
+        """Fault injection: stop the coordinator (nodes keep serving)."""
+        self._cluster.crash_coordinator()
+
+    def restart_coordinator(self) -> None:
+        """Restart a crashed coordinator from its persisted state file;
+        an in-flight migration resumes from its recorded phase."""
+        self._cluster.restart_coordinator()
+
     def close(self) -> None:
         if self._closed:
             return
@@ -580,6 +620,7 @@ def open_cluster(
     health_interval: float = 0.2,
     health_timeout: float = 0.25,
     vnodes: int = 64,
+    resume: bool = True,
 ) -> ClusterHandle:
     """Boot an N-shard MSoD cluster (primary + standby per shard).
 
@@ -594,6 +635,12 @@ def open_cluster(
     ``tiered:sqlite?hot_users=N`` / ``tiered:memory?hot_users=N``.
     ``port=0`` binds the coordinator ephemerally — read it back from
     the handle.
+
+    With ``resume=True`` (the default) a ``data_dir`` that already
+    holds a ``coordinator-state.json`` restores the persisted topology
+    — shard set, ring, epochs, route version and any in-flight
+    migration — instead of rebuilding ``n_shards`` fresh shards, so a
+    cluster restarted mid-resize finishes the resize.
     """
     from repro.cluster import LocalCluster
 
@@ -613,6 +660,7 @@ def open_cluster(
         audit_max_records=audit_max_records,
         audit_max_bytes=audit_max_bytes,
         journal_max=journal_max,
+        resume=resume,
     )
     cluster.start()
     return ClusterHandle(cluster)

@@ -26,7 +26,7 @@ written by a deposed primary after its fencing epoch, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, MutableMapping, Optional
+from typing import Callable, Iterable, MutableMapping, Optional
 
 from repro.core.context import ContextName
 from repro.core.decision import Decision, Effect
@@ -35,6 +35,7 @@ from repro.core.retained_adi import RetainedADIRecord, RetainedADIStore
 from repro.audit.trail import (
     EVENT_DECISION,
     EVENT_PURGE,
+    AuditEvent,
     AuditTrailManager,
 )
 
@@ -138,7 +139,7 @@ class RecoveryReport:
 
 
 def recover_retained_adi(
-    trails: AuditTrailManager,
+    trails: AuditTrailManager | None,
     policy_set: MSoDPolicySet,
     store: RetainedADIStore,
     last_n_trails: int | None = None,
@@ -151,6 +152,7 @@ def recover_retained_adi(
         Callable[[int], MSoDPolicySet | None]
     ] = None,
     user_filter: Callable[[str], bool] | None = None,
+    events: Iterable[AuditEvent] | None = None,
 ) -> RecoveryReport:
     """Rebuild a retained-ADI store by replaying granted decisions.
 
@@ -188,19 +190,33 @@ def recover_retained_adi(
         "according to its current set of MSoD policies" behaviour.
     user_filter:
         Optional ``user_id -> bool`` predicate restricting which adds
-        are replayed; events for other users are skipped (purges still
-        replay unconditionally — context termination is store-wide).
+        are replayed and which decision outcomes enter ``journal``;
+        events for other users are skipped (purges still replay
+        unconditionally — context termination is store-wide).
         This is the targeted-hydration hook for the tiered store: when
         its warm layer may lag the audit trail, the ``hydrator``
         callback replays just the faulting user's history instead of
         the whole org (see ``docs/SCALE.md``).
+    events:
+        Optional pre-verified event source replacing
+        ``trails.events(...)`` (``trails`` may then be ``None``).  A
+        cluster standby passes an incremental
+        :class:`~repro.audit.trail.TrailFollower` stream here so each
+        catch-up tick replays only the new tail instead of re-parsing
+        and re-verifying the whole lineage.  When the source is
+        stateful (a follower advances its position as it yields),
+        bound it with ``itertools.islice`` *before* passing it rather
+        than via ``max_events`` — the ``max_events`` check pulls one
+        event past the cutoff and discards it.
     """
     events_scanned = 0
     replayed = 0
     skipped = 0
     purges = 0
     preexisting = _PreexistingRecords(store)
-    for event in trails.events(last_n_trails=last_n_trails, since=since):
+    if events is None:
+        events = trails.events(last_n_trails=last_n_trails, since=since)
+    for event in events:
         if max_events is not None and events_scanned >= max_events:
             break
         events_scanned += 1
@@ -213,7 +229,10 @@ def recover_retained_adi(
             if journal is not None:
                 request = payload.get("request", {})
                 request_id = request.get("request_id")
-                if request_id:
+                if request_id and (
+                    user_filter is None
+                    or user_filter(request.get("user_id", ""))
+                ):
                     journal[request_id] = payload
             if payload.get("effect") != Effect.GRANT:
                 continue

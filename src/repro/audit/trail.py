@@ -354,6 +354,152 @@ class SecureAuditTrail:
         return count
 
 
+class TrailFollower:
+    """Resumable, verifying live reader over a rotated trail lineage.
+
+    The reshard migration's transfer primitive: a target shard follows
+    a source lineage the way a standby follows its primary, but with a
+    *serialisable position* — ``(segment, byte offset, chain tip,
+    seq)`` — so the coordinator can persist it and a restarted (or
+    different) process resumes exactly where the last poll stopped.
+    Each :meth:`poll` seeks to the stored offset and yields only the
+    events appended since, verifying every record's chain link and
+    HMAC seal against the stored tip as it goes; cost is proportional
+    to the **new tail**, not the lineage's whole history.
+
+    Rotation seals segments — the manager only ever appends to the
+    newest file — so a segment read to its end is advanced past once a
+    newer one exists (each segment restarts its chain at the genesis
+    hash).  A torn or still-being-written final line stops the poll at
+    the last verified record without advancing the position; the next
+    poll retries it.  Tampering anywhere in the polled tail still
+    raises.  The checkpoint sidecar is *not* consulted: a follower
+    only ever accepts records whose own seals verify, and truncation
+    detection remains the writer's (and ``verify_all``'s) concern.
+    """
+
+    def __init__(
+        self, directory: str, key: bytes, *, position: dict | None = None
+    ) -> None:
+        if not key:
+            raise AuditTrailError("audit trail key must be non-empty")
+        self._directory = directory
+        self._key = key
+        if position:
+            self._segment = int(position["segment"])
+            self._offset = int(position["offset"])
+            self._prev_hash = str(position["hash"])
+            self._seq = int(position["seq"])
+        else:
+            self._segment = 0
+            self._offset = 0
+            self._prev_hash = GENESIS_HASH
+            self._seq = 0
+
+    def position(self) -> dict:
+        """The resume point: serialise, persist, pass back as ``position``."""
+        return {
+            "segment": self._segment,
+            "offset": self._offset,
+            "hash": self._prev_hash,
+            "seq": self._seq,
+        }
+
+    def _segment_paths(self) -> list[str]:
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self._directory)
+                if name.startswith("audit-") and name.endswith(".log")
+            )
+        except FileNotFoundError:
+            return []
+        return [os.path.join(self._directory, name) for name in names]
+
+    def poll(self) -> Iterator[AuditEvent]:
+        """Yield the events appended since the last poll, verified."""
+        while True:
+            paths = self._segment_paths()
+            if self._segment >= len(paths):
+                return
+            yield from self._poll_segment(paths[self._segment])
+            # Advance only when a re-listed directory shows a newer
+            # segment — and then only after one more poll of ours: the
+            # writer may have appended to it *and* rotated between our
+            # read and the re-listing.  Once a newer segment exists,
+            # ours is sealed, so that final poll drains it completely.
+            paths = self._segment_paths()
+            if self._segment >= len(paths) - 1:
+                return
+            yield from self._poll_segment(paths[self._segment])
+            self._segment += 1
+            self._offset = 0
+            self._prev_hash = GENESIS_HASH
+            self._seq = 0
+
+    def _poll_segment(self, path: str) -> Iterator[AuditEvent]:
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(self._offset)
+                raw_lines = handle.readlines()
+        except OSError as exc:
+            raise AuditTrailError(f"cannot read {path!r}: {exc}") from exc
+        offset = self._offset
+        for raw in raw_lines:
+            offset += len(raw)
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                line = None
+            if line == "":
+                self._offset = offset
+                continue
+            record = None
+            if line is not None and raw.endswith(b"\n"):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    record = None
+            if record is None or not isinstance(record, dict):
+                # Partial final line: the writer is mid-append (it
+                # completes next poll) or crashed mid-line (the next
+                # append truncates it).  Either way, stop *without*
+                # advancing — never treat it as tampering.
+                return
+            body = {
+                "seq": record.get("seq"),
+                "ts": record.get("ts"),
+                "type": record.get("type"),
+                "payload": record.get("payload"),
+            }
+            if body["seq"] != self._seq:
+                raise AuditTrailError(
+                    f"{path}: sequence break at follower offset "
+                    f"{self._offset} (expected {self._seq}, got "
+                    f"{body['seq']})"
+                )
+            record_hash = _chain_hash(self._prev_hash, body)
+            if record.get("hash") != record_hash:
+                raise AuditTrailError(
+                    f"{path}: hash chain broken at seq {self._seq}"
+                )
+            if not hmac.compare_digest(
+                record.get("tag", ""), _seal(self._key, record_hash)
+            ):
+                raise AuditTrailError(
+                    f"{path}: HMAC seal invalid at seq {self._seq}"
+                )
+            self._prev_hash = record_hash
+            self._seq += 1
+            self._offset = offset
+            yield AuditEvent(
+                seq=body["seq"],
+                timestamp=body["ts"],
+                event_type=body["type"],
+                payload=body["payload"],
+            )
+
+
 class AuditTrailManager:
     """A directory of rotated trails, as processed at PDP start-up.
 

@@ -507,6 +507,61 @@ def build_parser() -> argparse.ArgumentParser:
         "coordinator-wide rollout",
     )
 
+    cresize = cluster_cmds.add_parser(
+        "resize",
+        help="online topology changes: add-node (split), drain, "
+        "rebalance, status — all under live load",
+    )
+    resize_cmds = cresize.add_subparsers(
+        dest="resize_command", required=True
+    )
+    radd = resize_cmds.add_parser(
+        "add-node",
+        help="grow by one shard: boot a primary+standby pair and "
+        "migrate its hash-ring range onto it without downtime",
+    )
+    rdrain = resize_cmds.add_parser(
+        "drain",
+        help="shrink by one shard: migrate its users to the survivors, "
+        "then retire its nodes (trails kept as sealed lineages)",
+    )
+    rdrain.add_argument("shard", help="name of the shard to retire")
+    rrebalance = resize_cmds.add_parser(
+        "rebalance",
+        help="report per-shard resident-user imbalance from the store "
+        "gauges; --apply starts a split when recommended",
+    )
+    rrebalance.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="hottest-shard/mean ratio at which a split is recommended",
+    )
+    rrebalance.add_argument(
+        "--apply",
+        action="store_true",
+        help="start the recommended split instead of only reporting",
+    )
+    rstatus = resize_cmds.add_parser(
+        "status",
+        help="print the active migration (phase, users moved, events "
+        "imported) and migration history counters",
+    )
+    for rcmd in (radd, rdrain, rrebalance, rstatus):
+        _coordinator_address(rcmd)
+    for rcmd in (radd, rdrain, rrebalance):
+        rcmd.add_argument(
+            "--wait",
+            action="store_true",
+            help="poll until the started migration completes",
+        )
+        rcmd.add_argument(
+            "--wait-timeout",
+            type=float,
+            default=120.0,
+            help="seconds to poll with --wait before giving up",
+        )
+
     cdecide = cluster_cmds.add_parser(
         "decide",
         help="evaluate one request through the routing cluster client",
@@ -538,6 +593,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     csmoke.add_argument(
         "--json", action="store_true", help="print the report as JSON"
+    )
+    csmoke.add_argument(
+        "--resize",
+        action="store_true",
+        help="run the elastic-resize fault-injection smoke instead: "
+        "2→3 split and 3→2 drain under live load, with the "
+        "coordinator killed and a source primary killed mid-migration",
     )
     return parser
 
@@ -1215,6 +1277,347 @@ def cmd_cluster_decide(args: argparse.Namespace) -> int:
     return 0 if decision.granted else 2
 
 
+def cmd_cluster_resize(args: argparse.Namespace) -> int:
+    """Online topology changes through the coordinator's reshard verbs."""
+    from repro.server import protocol as _protocol
+
+    with _cluster_client(args) as pdp:
+        if args.resize_command == "status":
+            body = pdp.reshard_status()
+        elif args.resize_command == "add-node":
+            body = pdp.resize(_protocol.RESHARD_ACTION_ADD)
+        elif args.resize_command == "drain":
+            body = pdp.resize(_protocol.RESHARD_ACTION_DRAIN, shard=args.shard)
+        else:  # rebalance
+            body = pdp.resize(
+                _protocol.RESHARD_ACTION_REBALANCE, apply=args.apply
+            )
+            body["threshold"] = args.threshold
+        if getattr(args, "wait", False) and body.get("active"):
+            deadline = time.monotonic() + args.wait_timeout
+            while body.get("active"):
+                if time.monotonic() >= deadline:
+                    print(json.dumps(body, indent=2, sort_keys=True))
+                    print(
+                        f"migration still active after {args.wait_timeout}s",
+                        file=sys.stderr,
+                    )
+                    return 1
+                time.sleep(0.2)
+                body = pdp.reshard_status()
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
+def _cluster_smoke_resize(args: argparse.Namespace) -> int:
+    """The elastic-resize fault-injection smoke (``cluster smoke --resize``).
+
+    Boots a 2-shard cluster under continuous multi-threaded live load,
+    then runs a full resize cycle with the worst faults injected
+    mid-migration:
+
+    * **2→3 split** — add a shard; *while the migration is in flight*
+      kill the coordinator, then (with the coordinator still down) kill
+      a source shard's primary; restart the coordinator from its
+      persisted state file and let it finish the migration it resumed
+      (promoting the dead primary's standby adds a trail lineage the
+      import must also walk).
+    * **3→2 drain** — retire the shard just added; kill the subject
+      shard's primary the moment the drain starts, so the migration
+      finishes from the promoted standby plus the dead primary's
+      sealed trail.
+
+    Afterwards asserts: every live decision matches a per-shard
+    single-node oracle bit for bit (no lost, double-applied or
+    mis-routed decisions), each surviving shard's retained ADI digest
+    equals its oracle's (which also rules out lost or double-applied
+    decisions — an extra or missing record breaks the digest), the
+    MMER exclusivity invariant holds across the merged stores, both
+    migrations completed, both kills actually failed over, and the
+    reshard metric families scrape.
+    """
+    import tempfile
+    import threading
+
+    from repro.api import open_cluster
+    from repro.core import InMemoryRetainedADIStore
+    from repro.workload import AUDIT_BOOKS, AUDITOR, HANDLE_CASH, TELLER
+    from repro.workload import bank_policy_set
+
+    policy_set = bank_policy_set()
+    target_requests = max(args.requests, 120)
+    n_workers = 4
+    report: dict = {
+        "mode": "resize",
+        "target_requests": target_requests,
+        "store": args.store,
+    }
+    failures: list[str] = []
+    worker_errors: list[str] = []
+    stop = threading.Event()
+    # Per-worker ordered decision logs.  Every worker owns a disjoint
+    # user set and every request's *effective policy context* is
+    # private to its user (the user is embedded in the Period value,
+    # the component the policy binds), so per-user issue order — which
+    # each worker preserves by waiting for each decide — is the only
+    # order the oracle replay below depends on.
+    logs: list[list] = [[] for _ in range(n_workers)]
+
+    def worker(index: int, pdp) -> None:
+        users = [f"resize-user-{index}-{i}" for i in range(8)]
+        serial = 0
+        while not stop.is_set():
+            serial += 1
+            user = users[serial % len(users)]
+            # The bank policy's context is "Branch=*, Period=!" — only
+            # the '!' component binds to the instance, so the *user
+            # must be in the Period value* for the effective policy
+            # context to be private to the user.  A shared period
+            # (Period=S1 for everyone) would make the engine's
+            # "context started" check cross-user, and the retained-ADI
+            # copy count would then depend on which user a given
+            # engine served first — unreproducible by any per-user
+            # oracle replay.
+            fresh = ContextName.parse(
+                f"Branch={user}, Period={user}-S{serial}"
+            )
+            probes = [
+                DecisionRequest(
+                    user_id=user,
+                    roles=(TELLER,),
+                    operation=HANDLE_CASH.operation,
+                    target=HANDLE_CASH.target,
+                    context_instance=fresh,
+                    timestamp=float(index * 1_000_000 + serial),
+                )
+            ]
+            if serial % 5 == 0:
+                # Re-enter a context this user already exercised as
+                # Teller, as Auditor: the bank MMER must deny it, on
+                # whichever node owns the user at that moment.
+                probes.append(
+                    DecisionRequest(
+                        user_id=user,
+                        roles=(AUDITOR,),
+                        operation=AUDIT_BOOKS.operation,
+                        target=AUDIT_BOOKS.target,
+                        context_instance=fresh,
+                        timestamp=float(index * 1_000_000 + serial) + 0.5,
+                    )
+                )
+            for request in probes:
+                try:
+                    effect = pdp.decide(request).effect
+                except Exception as exc:
+                    worker_errors.append(
+                        f"worker {index}: {type(exc).__name__}: {exc}"
+                    )
+                    return
+                logs[index].append((request, effect))
+
+    def total_decisions() -> int:
+        return sum(len(log) for log in logs)
+
+    def await_decisions(count: int, timeout: float = 120.0) -> None:
+        deadline = time.monotonic() + timeout
+        while total_decisions() < count and not worker_errors:
+            if time.monotonic() >= deadline:
+                failures.append(
+                    f"live load stalled at {total_decisions()} decisions "
+                    f"(wanted {count})"
+                )
+                return
+            time.sleep(0.02)
+
+    with tempfile.TemporaryDirectory() as data_dir:
+        with open_cluster(
+            policy_set, data_dir, n_shards=2, store=args.store
+        ) as handle:
+            cluster = handle.cluster
+            with handle.client(failover_wait=60.0) as pdp:
+                threads = [
+                    threading.Thread(target=worker, args=(i, pdp), daemon=True)
+                    for i in range(n_workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                try:
+                    await_decisions(target_requests // 6)
+
+                    # ---- 2→3 split with coordinator + primary kills.
+                    added = handle.add_shard()
+                    report["added_shard"] = added
+                    pre_crash = handle.reshard_status()
+                    report["split_active_at_crash"] = pre_crash["active"]
+                    handle.crash_coordinator()
+                    # Coordinator is down: migration frozen mid-phase,
+                    # nodes still serving.  Kill a source primary NOW —
+                    # nobody can promote the standby until the
+                    # coordinator is back, so the death is guaranteed
+                    # to land mid-migration.
+                    source = (
+                        pre_crash["migration"]["old_shards"][0]
+                        if pre_crash.get("migration")
+                        else cluster.shard_names[0]
+                    )
+                    report["split_killed"] = handle.kill_primary(source)
+                    time.sleep(0.3)
+                    handle.restart_coordinator()
+                    report["split"] = handle.wait_reshard(timeout=120.0)[
+                        "last_migration"
+                    ]
+                    if added not in cluster.shard_names:
+                        failures.append("split did not add the new shard")
+
+                    await_decisions(2 * target_requests // 3)
+                    report["rebalance"] = handle.rebalance()
+
+                    # ---- 3→2 drain, killing the subject's primary the
+                    # moment the migration starts (before its first
+                    # catch-up tick races us): the drain must finish
+                    # from the promoted standby plus the dead primary's
+                    # sealed trail lineage.
+                    handle.drain_shard(added)
+                    report["drain_killed"] = handle.kill_primary(added)
+                    report["drain"] = handle.wait_reshard(timeout=120.0)[
+                        "last_migration"
+                    ]
+                    if added in cluster.shard_names:
+                        failures.append("drain did not retire the shard")
+
+                    await_decisions(target_requests)
+                finally:
+                    stop.set()
+                    for thread in threads:
+                        thread.join(timeout=60.0)
+
+                status = pdp.cluster_status()
+                reshard = pdp.reshard_status()
+                metrics_text = pdp.cluster_metrics_text()
+
+            report["requests"] = total_decisions()
+            report["serving_shards"] = reshard["serving_shards"]
+            report["users_moved"] = reshard["users_moved_total"]
+            report["migrations"] = reshard["migrations_total"]
+            if worker_errors:
+                failures.append("worker error: " + worker_errors[0])
+            for kind in ("split", "drain"):
+                done = report.get(kind) or {}
+                if done.get("phase") != "done":
+                    failures.append(f"{kind} migration did not complete")
+            if reshard["active"]:
+                failures.append("a migration is still marked active")
+            if sorted(reshard["serving_shards"]) != ["shard-0", "shard-1"]:
+                failures.append(
+                    "cluster did not return to the 2-shard topology"
+                )
+            failovers = sum(
+                shard["failovers"] for shard in status["shards"].values()
+            )
+            report["failovers"] = failovers
+            if failovers < 1:
+                failures.append("the killed source primary never failed over")
+            for name, shard in status["shards"].items():
+                if "resident_users" not in shard or "stats" not in shard:
+                    failures.append(
+                        f"{name} status lacks resident_users/stats gauges"
+                    )
+            for family in (
+                "repro_reshard_migrations_total",
+                "repro_reshard_users_moved_total",
+                "repro_reshard_cutover_pause_seconds",
+                "repro_cluster_shard_resident_users",
+            ):
+                if family not in metrics_text:
+                    failures.append(f"metrics family {family} missing")
+
+            # ---- the oracle: replay every user's stream, in issue
+            # order, into one fresh single-node engine per *final*
+            # shard.  Every context is private to its user, so this is
+            # exactly the history a never-resharded cluster would hold.
+            oracles = {
+                name: MSoDEngine(policy_set, InMemoryRetainedADIStore())
+                for name in cluster.shard_names
+            }
+            effects = []
+            oracle_effects = []
+            for log in logs:
+                for request, effect in log:
+                    shard_name = cluster.ring.shard_for(request.user_id)
+                    effects.append(effect)
+                    oracle_effects.append(
+                        oracles[shard_name].check(request).effect
+                    )
+            report["grants"] = effects.count("grant")
+            report["denies"] = effects.count("deny")
+            if report["denies"] < 1:
+                failures.append("workload exercised no MMER denial")
+            if effects != oracle_effects:
+                mismatches = sum(
+                    1
+                    for ours, theirs in zip(effects, oracle_effects)
+                    if ours != theirs
+                )
+                failures.append(
+                    f"{mismatches} decision(s) diverged from the oracle"
+                )
+
+            def digest(records):
+                return sorted(
+                    (
+                        record.user_id,
+                        tuple(
+                            sorted(
+                                (role.role_type, role.value)
+                                for role in record.roles
+                            )
+                        ),
+                        record.operation,
+                        record.target,
+                        str(record.context_instance),
+                        record.granted_at,
+                        record.request_id,
+                    )
+                    for record in records
+                )
+
+            merged = []
+            for shard_name in cluster.shard_names:
+                shard_records = list(
+                    cluster.shard(shard_name).primary.store.records()
+                )
+                merged.extend(shard_records)
+                if digest(shard_records) != digest(
+                    oracles[shard_name].store.records()
+                ):
+                    failures.append(
+                        f"{shard_name} retained ADI differs from its "
+                        "single-node oracle after the resize cycle"
+                    )
+            exclusive = 0
+            seen: dict = {}
+            for record in merged:
+                key = (record.user_id, str(record.context_instance))
+                roles = seen.setdefault(key, set())
+                roles.update(record.roles)
+                if TELLER in roles and AUDITOR in roles:
+                    exclusive += 1
+            report["exclusivity_violations"] = exclusive
+            if exclusive:
+                failures.append(
+                    f"{exclusive} MMER exclusivity violation(s) in the "
+                    "retained ADI"
+                )
+    report["ok"] = not failures
+    report["failures"] = failures
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key in sorted(report):
+            print(f"{key}: {report[key]}")
+    return 0 if not failures else 1
+
+
 def cmd_cluster_smoke(args: argparse.Namespace) -> int:
     """The CI cluster smoke: workload + mid-stream reload + primary kill.
 
@@ -1230,7 +1633,13 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
     substream, the MMER exclusivity invariant holds, every node runs
     the final (canary-rolled) policy epoch, every audited decision
     carries its policy epoch, and the per-node gauges scrape.
+
+    With ``--resize`` runs :func:`_cluster_smoke_resize` instead — the
+    elastic split/drain cycle with coordinator and source-primary kills
+    injected mid-migration.
     """
+    if args.resize:
+        return _cluster_smoke_resize(args)
     import itertools
     import tempfile
     import threading
@@ -1556,6 +1965,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         "route": cmd_cluster_route,
         "metrics": cmd_cluster_metrics,
         "reload": cmd_cluster_reload,
+        "resize": cmd_cluster_resize,
         "decide": cmd_cluster_decide,
         "smoke": cmd_cluster_smoke,
     }

@@ -18,21 +18,31 @@ ever grant an MMER/MMEP-violating pair for the same user*.
   fenced failover.
 * :class:`~repro.cluster.client.ClusterPDP` — the routing,
   epoch-stamping, failover-surviving client.
+* :mod:`~repro.cluster.reshard` — online topology changes: versioned
+  ring diffs (:class:`~repro.cluster.ring.RingDiff`), the
+  :class:`~repro.cluster.reshard.Migration` state machine the
+  coordinator drives to split/drain shards under live load with zero
+  MMER violations, and the resident-user rebalance planner.
 
-See ``docs/CLUSTER.md`` for the full design.
+See ``docs/CLUSTER.md`` for the full design (including the "Resizing
+the cluster" cutover-ordering argument).
 """
 
 from repro.cluster.client import ClusterPDP
 from repro.cluster.coordinator import LocalCluster, ShardState
 from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
-from repro.cluster.ring import HashRing
+from repro.cluster.reshard import Migration, plan_rebalance
+from repro.cluster.ring import HashRing, RingDiff
 
 __all__ = [
     "ClusterPDP",
     "ClusterNode",
     "HashRing",
     "LocalCluster",
+    "Migration",
     "ROLE_PRIMARY",
     "ROLE_STANDBY",
+    "RingDiff",
     "ShardState",
+    "plan_rebalance",
 ]

@@ -248,6 +248,50 @@ class ClusterPDP(PolicyDecisionPoint):
             )
         return body
 
+    # -- resharding ----------------------------------------------------
+    def resize(
+        self,
+        action: str,
+        *,
+        shard: str | None = None,
+        apply: bool = False,
+    ) -> dict:
+        """Start (or plan) an online topology change via the coordinator.
+
+        ``action`` is ``"add-node"`` (split: grow by one shard),
+        ``"drain"`` (shrink: migrate ``shard``'s users away and retire
+        it) or ``"rebalance"`` (imbalance report from the per-shard
+        resident-user gauges; ``apply=True`` lets the coordinator start
+        a split when the report recommends one).  Migrations run
+        asynchronously in the coordinator — poll
+        :meth:`reshard_status` until ``active`` is false.
+        """
+        client = self._coordinator_client()
+        body = client._call(
+            protocol.OP_RESHARD,
+            retriable=False,  # starting a migration twice is an error
+            action=action,
+            shard=shard,
+            apply=apply,
+        ).get("body")
+        if not isinstance(body, dict):
+            raise ClusterError(
+                "coordinator returned a malformed reshard response"
+            )
+        return body
+
+    def reshard_status(self) -> dict:
+        """The coordinator's migration status body (active + history)."""
+        client = self._coordinator_client()
+        body = client._call(protocol.OP_RESHARD_STATUS, retriable=True).get(
+            "body"
+        )
+        if not isinstance(body, dict):
+            raise ClusterError(
+                "coordinator returned a malformed reshard status"
+            )
+        return body
+
     def _target_for(self, user_id: str) -> tuple[tuple[str, int], int, str]:
         route = self.route()
         with self._lock:
@@ -282,15 +326,25 @@ class ClusterPDP(PolicyDecisionPoint):
         )
 
     def _await_epoch_bump(
-        self, user_id: str, sent_epoch: int, deadline: float
+        self,
+        user_id: str,
+        sent_epoch: int,
+        sent_shard: str,
+        deadline: float,
     ) -> bool:
         """Wait for the user's shard to fail over past ``sent_epoch``.
 
         Returns True once the routed epoch exceeds the one the failed
         send carried — the old lineage is sealed and fenced, so the
-        resend cannot double-evaluate.  Returns False at the deadline
-        (the primary is alive but slow: the caller must surface the
-        transport error, never resend into the same lineage).
+        resend cannot double-evaluate.  A *reassignment* (the route now
+        sends this user to a different shard) counts the same way:
+        resharding only flips the ring after the old owner was fenced
+        at a bumped epoch and its trail (journal included) was imported
+        by the new owner, so the old lineage is equally sealed and the
+        new owner's journal dedupes anything the old one committed.
+        Returns False at the deadline (the primary is alive but slow:
+        the caller must surface the transport error, never resend into
+        the same lineage).
         """
         while time.monotonic() < deadline:
             self._pause()
@@ -298,8 +352,8 @@ class ClusterPDP(PolicyDecisionPoint):
                 self.refresh_route()
             except (PDPUnavailableError, ClusterError):
                 continue
-            _, epoch, _ = self._target_for(user_id)
-            if epoch > sent_epoch:
+            _, epoch, shard = self._target_for(user_id)
+            if shard != sent_shard or epoch > sent_epoch:
                 return True
         return False
 
@@ -342,7 +396,7 @@ class ClusterPDP(PolicyDecisionPoint):
                 # dedupes anything it committed); otherwise surface the
                 # error rather than risk a double evaluation.
                 if self._coordinator is None or not self._await_epoch_bump(
-                    request.user_id, epoch, deadline
+                    request.user_id, epoch, shard, deadline
                 ):
                     raise exc
 

@@ -45,6 +45,7 @@ stops is strictly worse than one that retries next tick.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import os
 import threading
@@ -65,9 +66,24 @@ from repro.storespec import ParsedStoreSpec, build_store, parse_store_spec
 from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.cluster.node import ROLE_PRIMARY, ROLE_STANDBY, ClusterNode
+from repro.cluster.reshard import (
+    KIND_DRAIN,
+    KIND_SPLIT,
+    PHASE_CATCHUP,
+    PHASE_CUTOVER,
+    PHASE_DONE,
+    Migration,
+    plan_rebalance,
+)
 from repro.cluster.ring import HashRing
 
 logger = logging.getLogger(__name__)
+
+#: File under ``data_dir`` holding the coordinator's durable state:
+#: ring topology, route version, per-shard epochs/roles and the
+#: in-flight migration.  Written atomically (temp + rename) on every
+#: transition so a restarted coordinator resumes instead of resetting.
+STATE_FILENAME = "coordinator-state.json"
 
 
 class ShardState:
@@ -137,11 +153,13 @@ class LocalCluster:
         health_failures: int = 2,
         health_timeout: float = 0.25,
         catchup_interval: float = 0.4,
+        reshard_interval: float = 0.1,
         fsync: bool = True,
         audit_max_records: int = 10_000,
         audit_max_bytes: int | None = None,
         journal_max: int | None = None,
         service_shards: int = 2,
+        resume: bool = True,
     ) -> None:
         if n_shards < 1:
             raise ClusterError("a cluster needs at least one shard")
@@ -155,42 +173,60 @@ class LocalCluster:
         self._health_failures = health_failures
         self._health_timeout = health_timeout
         self._catchup_interval = catchup_interval
+        self._reshard_interval = reshard_interval
+        self._parsed_store = parsed_store
+        self._service_shards = service_shards
+        self._fsync = fsync
+        self._audit_max_records = audit_max_records
+        self._audit_max_bytes = audit_max_bytes
+        self._journal_max = journal_max
         self._route_version = 1
         self._route_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._state_path = os.path.join(data_dir, STATE_FILENAME)
         self._shards: dict[str, ShardState] = {}
+        self._dead: set[str] = set()
+        self._migration: Migration | None = None
+        self._last_migration: dict | None = None
+        self._migrations_total: dict[str, int] = {
+            KIND_SPLIT: 0,
+            KIND_DRAIN: 0,
+        }
+        self._users_moved_total = 0
+        self._cutover_pauses: list[float] = []
+        self._reshard_lock = threading.Lock()
         os.makedirs(data_dir, exist_ok=True)
-        for index in range(n_shards):
-            shard = f"shard-{index}"
-            nodes = []
-            for suffix, role, epoch in (("a", ROLE_PRIMARY, 1),
-                                        ("b", ROLE_STANDBY, 0)):
-                node_name = f"{shard}-{suffix}"
-                backend, _ = build_store(
-                    parsed_store,
-                    default_sqlite_path=os.path.join(
-                        data_dir, f"{node_name}.db"
-                    ),
+        persisted = self._load_state_file() if resume else None
+        if persisted is not None:
+            # Restart-stable topology: the ring, route version, shard
+            # epochs and any in-flight migration come from the state
+            # file, not from CLI flags — a coordinator restarted
+            # mid-migration resumes instead of resetting to
+            # ``shard-0..n-1`` at epoch 1.
+            self._route_version = int(persisted.get("route_version", 1))
+            self._ring = HashRing.from_dict(persisted["ring"])
+            for name, shard_data in persisted.get("shards", {}).items():
+                self._shards[name] = self._build_shard(
+                    name,
+                    primary_name=shard_data.get("primary"),
+                    epoch=int(shard_data.get("epoch", 1)),
+                    failovers=int(shard_data.get("failovers", 0)),
                 )
-                nodes.append(
-                    ClusterNode(
-                        node_name,
-                        shard,
-                        policy_set,
-                        backend,
-                        os.path.join(data_dir, f"{node_name}-trails"),
-                        audit_key,
-                        role=role,
-                        epoch=epoch,
-                        host=host,
-                        service_shards=service_shards,
-                        fsync=fsync,
-                        audit_max_records=audit_max_records,
-                        audit_max_bytes=audit_max_bytes,
-                        journal_max=journal_max,
-                    )
-                )
-            self._shards[shard] = ShardState(shard, nodes[0], nodes[1])
-        self._ring = HashRing(self._shards.keys(), vnodes=vnodes)
+            migration = persisted.get("migration")
+            if migration:
+                self._migration = Migration.from_dict(migration)
+            self._last_migration = persisted.get("last_migration")
+            self._migrations_total.update(
+                persisted.get("migrations_total", {})
+            )
+            self._users_moved_total = int(
+                persisted.get("users_moved_total", 0)
+            )
+        else:
+            for index in range(n_shards):
+                shard = f"shard-{index}"
+                self._shards[shard] = self._build_shard(shard)
+            self._ring = HashRing(self._shards.keys(), vnodes=vnodes)
         self._registry: MetricsRegistry | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -198,9 +234,57 @@ class LocalCluster:
         self._stopping = threading.Event()
         self._server: asyncio.AbstractServer | None = None
         self._coordinator_port = 0
-        self._dead: set[str] = set()
-        self._loop_errors = {"health": 0, "catchup": 0}
+        self._loop_errors = {"health": 0, "catchup": 0, "reshard": 0}
         self._policy_reloads = 0
+
+    def _build_shard(
+        self,
+        shard: str,
+        *,
+        primary_name: str | None = None,
+        epoch: int = 1,
+        failovers: int = 0,
+    ) -> ShardState:
+        """Construct one shard's primary+standby node pair (not started).
+
+        ``primary_name`` restores a persisted role assignment (after a
+        failover the ``-b`` node may be the primary); by default the
+        ``-a`` node leads at ``epoch``.
+        """
+        nodes: dict[str, ClusterNode] = {}
+        if primary_name is None:
+            primary_name = f"{shard}-a"
+        for suffix in ("a", "b"):
+            node_name = f"{shard}-{suffix}"
+            is_primary = node_name == primary_name
+            backend, _ = build_store(
+                self._parsed_store,
+                default_sqlite_path=os.path.join(
+                    self._data_dir, f"{node_name}.db"
+                ),
+            )
+            nodes[node_name] = ClusterNode(
+                node_name,
+                shard,
+                self._policy_set,
+                backend,
+                os.path.join(self._data_dir, f"{node_name}-trails"),
+                self._audit_key,
+                role=ROLE_PRIMARY if is_primary else ROLE_STANDBY,
+                epoch=epoch if is_primary else 0,
+                host=self._host,
+                service_shards=self._service_shards,
+                fsync=self._fsync,
+                audit_max_records=self._audit_max_records,
+                audit_max_bytes=self._audit_max_bytes,
+                journal_max=self._journal_max,
+            )
+        standby_name = next(
+            name for name in nodes if name != primary_name
+        )
+        state = ShardState(shard, nodes[primary_name], nodes[standby_name])
+        state.failovers = failovers
+        return state
 
     # ------------------------------------------------------------------
     @property
@@ -235,13 +319,20 @@ class LocalCluster:
     def start(self) -> "LocalCluster":
         for node in self.nodes():
             node.start()
+            node.install_ring(self._ring)
+        self._start_coordinator_thread()
+        self._save_state()
+        return self
+
+    def _start_coordinator_thread(self) -> None:
+        self._ready.clear()
+        self._stopping.clear()
         self._thread = threading.Thread(
             target=self._run, name="msod-coordinator", daemon=True
         )
         self._thread.start()
         if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
             raise ClusterError("coordinator failed to start in time")
-        return self
 
     def stop(self) -> None:
         if self._thread is not None and self._loop is not None:
@@ -252,6 +343,51 @@ class LocalCluster:
         for node in self.nodes():
             if node.name not in self._dead:
                 node.stop()
+
+    def crash_coordinator(self) -> None:
+        """Fault injection: kill the coordinator, leave every node serving.
+
+        Stops the health/catch-up/reshard loops and the route server
+        mid-whatever-they-were-doing — the in-process analogue of the
+        coordinator process dying.  Nodes keep deciding; clients keep
+        working off their cached route (and merely fail to refresh it).
+        :meth:`restart_coordinator` brings it back *from the persisted
+        state file*, exactly as a real process restart would.
+        """
+        if self._thread is None or self._loop is None:
+            return
+        self._stopping.set()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._server = None
+
+    def restart_coordinator(self) -> "LocalCluster":
+        """Restart a crashed coordinator from the persisted state file.
+
+        Reloads the ring topology, route version and in-flight
+        migration from ``coordinator-state.json`` (anything a mid-tick
+        crash left unpersisted is simply redone — every migration phase
+        is idempotent), rebinds the same coordinator port and resumes
+        the background loops.
+        """
+        if self._thread is not None:
+            raise ClusterError("coordinator is already running")
+        persisted = self._load_state_file()
+        if persisted is not None:
+            with self._route_lock:
+                self._route_version = max(
+                    self._route_version,
+                    int(persisted.get("route_version", 1)),
+                )
+                self._ring = HashRing.from_dict(persisted["ring"])
+            migration = persisted.get("migration")
+            self._migration = (
+                Migration.from_dict(migration) if migration else None
+            )
+            self._last_migration = persisted.get("last_migration")
+        self._start_coordinator_thread()
+        return self
 
     def __enter__(self) -> "LocalCluster":
         return self.start()
@@ -308,7 +444,353 @@ class LocalCluster:
             state.failovers += 1
         with self._route_lock:
             self._route_version += 1
+        self._save_state()
         return new_epoch
+
+    # ------------------------------------------------------------------
+    # Durable coordinator state (restart-stable ring + migrations).
+    # ------------------------------------------------------------------
+    def _load_state_file(self) -> dict | None:
+        try:
+            with open(self._state_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise ClusterError(
+                f"unreadable coordinator state at {self._state_path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or "ring" not in data:
+            raise ClusterError(
+                f"malformed coordinator state at {self._state_path}"
+            )
+        return data
+
+    def _snapshot_state(self) -> dict:
+        with self._route_lock:
+            version = self._route_version
+            ring = self._ring
+        migration = self._migration
+        return {
+            "route_version": version,
+            "ring": ring.to_dict(),
+            "shards": {
+                name: {
+                    "primary": state.primary.name,
+                    "standby": state.standby.name,
+                    "epoch": state.epoch,
+                    "failovers": state.failovers,
+                }
+                for name, state in list(self._shards.items())
+            },
+            "dead": sorted(self._dead),
+            "migration": migration.to_dict() if migration else None,
+            "last_migration": self._last_migration,
+            "migrations_total": dict(self._migrations_total),
+            "users_moved_total": self._users_moved_total,
+        }
+
+    def _save_state(self) -> None:
+        """Atomically persist the coordinator's durable state.
+
+        Temp-file + ``os.replace`` so a crash mid-write leaves the
+        previous state intact; called on every topology/epoch/migration
+        transition, never from a hot path.
+        """
+        with self._state_lock:
+            snapshot = self._snapshot_state()
+            tmp_path = self._state_path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self._state_path)
+
+    # ------------------------------------------------------------------
+    # Online resharding: split (add-node), drain, rebalancing.
+    # ------------------------------------------------------------------
+    def _next_shard_name(self) -> str:
+        index = 0
+        while f"shard-{index}" in self._shards:
+            index += 1
+        return f"shard-{index}"
+
+    def add_shard(self, name: str | None = None) -> str:
+        """Start a split migration onto a freshly created shard.
+
+        Builds and starts the new shard's primary+standby pair (it
+        joins the health and catch-up loops immediately) but does *not*
+        put it on the serving ring: the reshard loop first catches the
+        moving users' history up onto it, and only the cutover flips
+        routing.  Returns the new shard's name; progress is observable
+        through :meth:`reshard_status` / :meth:`wait_reshard`.
+        """
+        with self._reshard_lock:
+            if self._migration is not None:
+                raise ClusterError(
+                    "a reshard migration is already in flight; wait for "
+                    "it to complete"
+                )
+            if name is None:
+                name = self._next_shard_name()
+            if name in self._shards:
+                raise ClusterError(f"shard {name!r} already exists")
+            new_ring = self._ring.with_shard(name)
+            state = self._build_shard(name)
+            for node in (state.primary, state.standby):
+                node.start()
+                # The *old* ring on purpose: until cutover the moving
+                # users are still owned (and served) by their source
+                # shards, so the joining primary's ownership gate must
+                # refuse them — routing there early would split history.
+                node.install_ring(self._ring)
+            self._shards[name] = state
+            self._migration = Migration(
+                KIND_SPLIT,
+                name,
+                self._ring.shard_names,
+                new_ring.shard_names,
+                self._ring.vnodes,
+            )
+            self._save_state()
+            return name
+
+    def drain_shard(self, name: str) -> str:
+        """Start a drain migration moving every user off ``name``.
+
+        The shard keeps serving its users until cutover; afterwards its
+        nodes are stopped and it leaves the topology (its trails remain
+        on disk as sealed lineages).
+        """
+        with self._reshard_lock:
+            if self._migration is not None:
+                raise ClusterError(
+                    "a reshard migration is already in flight; wait for "
+                    "it to complete"
+                )
+            if name not in self._shards:
+                raise ClusterError(f"unknown shard {name!r}")
+            if name not in self._ring.shard_names:
+                raise ClusterError(f"shard {name!r} is not serving")
+            new_ring = self._ring.without_shard(name)
+            self._migration = Migration(
+                KIND_DRAIN,
+                name,
+                self._ring.shard_names,
+                new_ring.shard_names,
+                self._ring.vnodes,
+            )
+            self._save_state()
+            return name
+
+    def shard_stats(self) -> dict[str, dict]:
+        """Per-shard primary ``store.stats()`` (resident users et al.)."""
+        stats = {}
+        for shard_name, state in list(self._shards.items()):
+            try:
+                stats[shard_name] = state.primary.store.stats()
+            except Exception as exc:  # a killed node's closed store
+                stats[shard_name] = {"error": str(exc)}
+        return stats
+
+    def rebalance(
+        self, *, threshold: float = 1.5, apply: bool = False
+    ) -> dict:
+        """Imbalance plan from the per-shard resident-user gauges.
+
+        With ``apply=True`` and the plan recommending a split, starts
+        one (``add_shard``) and reports the joining shard under
+        ``"added"``.
+        """
+        resident = {}
+        for shard_name in self._ring.shard_names:
+            state = self._shards.get(shard_name)
+            if state is None:
+                continue
+            stats = state.primary.store.stats()
+            resident[shard_name] = int(stats.get("resident_users", 0))
+        plan = plan_rebalance(resident, threshold=threshold)
+        if apply and plan["action"] == "split":
+            plan["added"] = self.add_shard()
+        return plan
+
+    def reshard_status(self) -> dict:
+        """The ``reshard-status`` body: live, last and lifetime state."""
+        migration = self._migration
+        with self._route_lock:
+            version = self._route_version
+            serving = list(self._ring.shard_names)
+        return {
+            "active": migration is not None,
+            "migration": migration.to_dict() if migration else None,
+            "last_migration": self._last_migration,
+            "migrations_total": dict(self._migrations_total),
+            "users_moved_total": self._users_moved_total,
+            "serving_shards": serving,
+            "managed_shards": sorted(self._shards.keys()),
+            "route_version": version,
+        }
+
+    def wait_reshard(self, timeout: float = 60.0) -> dict:
+        """Block until the in-flight migration completes; return status.
+
+        Raises :class:`ClusterError` at the deadline — an operator (or
+        the smoke harness) polling a migration that cannot converge
+        should hear about it rather than hang.
+        """
+        deadline = time.monotonic() + timeout
+        while self._migration is not None:
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    "reshard migration did not complete within "
+                    f"{timeout:.1f}s: {self.reshard_status()['migration']}"
+                )
+            time.sleep(0.02)
+        return self.reshard_status()
+
+    def _reshard_tick(self) -> None:
+        """One migration step; phases are idempotent and crash-safe.
+
+        Catch-up ticks import the moving users' events from every
+        source lineage; once the per-tick delta converges to the live
+        tail (``converge_events``) — or the tick budget runs out — the
+        cutover runs as one tick.  State persists on every transition,
+        so a coordinator crash anywhere in here resumes by redoing the
+        current phase.
+        """
+        with self._reshard_lock:
+            migration = self._migration
+            if migration is None:
+                return
+            if migration.phase == PHASE_CATCHUP:
+                delta = 0
+                for source, target, predicate in migration.moves():
+                    source_state = self._shards.get(source)
+                    target_state = self._shards.get(target)
+                    if source_state is None or target_state is None:
+                        continue
+                    migration.note_trail_dir(
+                        source, source_state.primary.trail_dir
+                    )
+                    for trail_dir in migration.trail_dirs[source]:
+                        report = target_state.primary.import_decision_events(
+                            trail_dir,
+                            predicate,
+                            cursor=migration.cursor(target, trail_dir),
+                        )
+                        migration.set_cursor(
+                            target, trail_dir, report["next_cursor"]
+                        )
+                        delta += report["scanned"]
+                        migration.events_imported += report["imported"]
+                migration.ticks += 1
+                if (
+                    delta <= migration.converge_events
+                    or migration.ticks >= migration.max_catchup_ticks
+                ):
+                    migration.phase = PHASE_CUTOVER
+                self._save_state()
+            elif migration.phase == PHASE_CUTOVER:
+                self._cutover(migration)
+
+    def _cutover(self, migration: Migration) -> None:
+        """Fence the movers, drain the tail, flip the ring, re-route.
+
+        The ordering is the whole correctness argument (see
+        ``docs/CLUSTER.md``):
+
+        1. install the new ring on every **source** shard's nodes under
+           a bumped fencing epoch (gate *and* sink now refuse the
+           moving users — their trail history is quiescent from here;
+           the epoch bump also forces every client of those shards to
+           re-fetch the route, so none keeps deciding on a pre-cutover
+           table) and bump the route version;
+        2. one final import per moving range, walking **every** trail
+           lineage the source ever had — with the movers quiescent this
+           captures the complete acknowledged history, journal entries
+           included, so in-flight retries stay exactly-once;
+        3. purge the movers' records and journal entries from the
+           source nodes (including any orphan a fence-refused in-flight
+           decision committed between engine and sink);
+        4. install the new ring on every node, flip the serving ring
+           and bump the route version again — clients re-route the
+           movers to the target, whose journal answers any retry;
+        5. a drain additionally retires the subject shard (nodes
+           stopped, trails kept on disk as sealed lineages).
+        """
+        started = time.monotonic()
+        new_ring = HashRing(migration.new_shards, vnodes=migration.vnodes)
+        sources = migration.sources()
+        for source in sources:
+            state = self._shards.get(source)
+            if state is None:
+                continue
+            with state.lock:
+                state.primary.install_ring(new_ring)
+                state.standby.install_ring(new_ring)
+                new_epoch = state.epoch + 1
+                state.primary.promote(new_epoch)
+                state.epoch = new_epoch
+        with self._route_lock:
+            self._route_version += 1
+        self._save_state()
+        for source, target, predicate in migration.moves():
+            source_state = self._shards.get(source)
+            target_state = self._shards.get(target)
+            if source_state is None or target_state is None:
+                continue
+            migration.note_trail_dir(
+                source, source_state.primary.trail_dir
+            )
+            for trail_dir in migration.trail_dirs[source]:
+                report = target_state.primary.import_decision_events(
+                    trail_dir,
+                    predicate,
+                    cursor=migration.cursor(target, trail_dir),
+                )
+                migration.set_cursor(
+                    target, trail_dir, report["next_cursor"]
+                )
+                migration.events_imported += report["imported"]
+        if migration.kind != KIND_DRAIN:
+            # A drained shard retires whole — nothing to purge.
+            for source in sources:
+                state = self._shards.get(source)
+                if state is None:
+                    continue
+                leaving = migration.leaving_predicate(source)
+                with state.lock:
+                    moved = state.primary.purge_users(leaving)
+                    if state.standby.name not in self._dead:
+                        state.standby.purge_users(leaving)
+                migration.users_moved += moved
+        else:
+            subject_state = self._shards.get(migration.subject)
+            if subject_state is not None:
+                stats = subject_state.primary.store.stats()
+                migration.users_moved += int(
+                    stats.get("resident_users", 0)
+                )
+        for state in list(self._shards.values()):
+            for node in (state.primary, state.standby):
+                node.install_ring(new_ring)
+        with self._route_lock:
+            self._ring = new_ring
+            self._route_version += 1
+        if migration.kind == KIND_DRAIN:
+            retired = self._shards.pop(migration.subject, None)
+            if retired is not None:
+                for node in (retired.primary, retired.standby):
+                    if node.name not in self._dead:
+                        node.stop()
+        migration.cutover_pause_s = time.monotonic() - started
+        migration.phase = PHASE_DONE
+        self._migrations_total[migration.kind] += 1
+        self._users_moved_total += migration.users_moved
+        self._cutover_pauses.append(migration.cutover_pause_s)
+        self._last_migration = migration.to_dict()
+        self._migration = None
+        self._save_state()
 
     # ------------------------------------------------------------------
     def policy_version(self):
@@ -504,28 +986,55 @@ class LocalCluster:
 
     # ------------------------------------------------------------------
     def route(self) -> dict:
-        """The routing table clients consume (see ``ClusterPDP``)."""
+        """The routing table clients consume (see ``ClusterPDP``).
+
+        Built from the **serving ring**, not the managed shard set:
+        during a split the joining shard exists (health-checked,
+        catching up) but carries no users until cutover flips the ring,
+        and ``ClusterPDP`` derives its own ring from exactly this shard
+        list — the route table *is* the topology.
+        """
         with self._route_lock:
             version = self._route_version
+            ring = self._ring
+        shards = {}
+        for name in ring.shard_names:
+            state = self._shards.get(name)
+            if state is None:  # pragma: no cover - mid-retirement race
+                continue
+            shards[name] = {
+                "address": list(state.primary.address),
+                "epoch": state.epoch,
+            }
         return {
             "version": version,
-            "vnodes": self._ring.vnodes,
-            "shards": {
-                name: {
-                    "address": list(state.primary.address),
-                    "epoch": state.epoch,
-                }
-                for name, state in self._shards.items()
-            },
+            "vnodes": ring.vnodes,
+            "shards": shards,
         }
 
     def status(self) -> dict:
-        """The ``cluster-status`` body: every node's role and health."""
+        """The ``cluster-status`` body: every node's role and health.
+
+        Each shard also reports its primary's ``store.stats()`` (with
+        the ``resident_users`` gauge) and whether it is on the serving
+        ring, so operators can see imbalance — and a migration's
+        progress — from one verb instead of scraping every node.
+        """
+        with self._route_lock:
+            version = self._route_version
+            serving = set(self._ring.shard_names)
         shards = {}
-        for name, state in self._shards.items():
+        for name, state in list(self._shards.items()):
+            try:
+                stats = state.primary.store.stats()
+            except Exception as exc:  # a killed node's closed store
+                stats = {"error": str(exc)}
             shards[name] = {
                 "epoch": state.epoch,
                 "failovers": state.failovers,
+                "serving": name in serving,
+                "stats": stats,
+                "resident_users": stats.get("resident_users"),
                 "nodes": [
                     {
                         "name": node.name,
@@ -539,12 +1048,11 @@ class LocalCluster:
                     for node in (state.primary, state.standby)
                 ],
             }
-        with self._route_lock:
-            version = self._route_version
         return {
             "route_version": version,
             "loop_errors": dict(self._loop_errors),
             "policy_reloads": self._policy_reloads,
+            "reshard": self.reshard_status(),
             "shards": shards,
         }
 
@@ -557,7 +1065,7 @@ class LocalCluster:
 
         def per_node(value_of) -> list[tuple[dict[str, str], float]]:
             samples = []
-            for state in self._shards.values():
+            for state in list(self._shards.values()):
                 for node in (state.primary, state.standby):
                     labels = {
                         "node": node.name,
@@ -617,13 +1125,72 @@ class LocalCluster:
             "Standby promotions performed, by shard.",
             lambda: [
                 ({"shard": name}, float(state.failovers))
-                for name, state in self._shards.items()
+                for name, state in list(self._shards.items())
             ],
         )
         registry.register_gauge(
             "cluster_route_version",
             "Monotonic routing-table version (bumps on every failover).",
             lambda: float(self.route()["version"]),
+        )
+        registry.register_gauge(
+            "cluster_shard_resident_users",
+            "Users resident in each shard primary's retained-ADI store "
+            "(the rebalance planner's imbalance signal).",
+            lambda: [
+                ({"shard": shard_name}, float(stats.get("resident_users", 0)))
+                for shard_name, stats in self.shard_stats().items()
+                if "error" not in stats
+            ],
+        )
+        registry.register_counter(
+            "reshard_migrations_total",
+            "Completed online reshard migrations, by kind.",
+            lambda: [
+                ({"kind": kind}, float(count))
+                for kind, count in self._migrations_total.items()
+            ],
+        )
+        registry.register_counter(
+            "reshard_users_moved_total",
+            "Users whose retained ADI moved shards across all completed "
+            "migrations.",
+            lambda: float(self._users_moved_total),
+        )
+        registry.register_gauge(
+            "reshard_active",
+            "1 while a reshard migration is in flight.",
+            lambda: 0.0 if self._migration is None else 1.0,
+        )
+
+        def cutover_pause_samples() -> list[tuple[dict[str, str], float]]:
+            pauses = sorted(self._cutover_pauses)
+            if not pauses:
+                return []
+            def quantile(fraction: float) -> float:
+                rank = min(len(pauses) - 1, int(fraction * len(pauses)))
+                return pauses[rank]
+            return [
+                ({"quantile": "0.5"}, quantile(0.5)),
+                ({"quantile": "0.99"}, quantile(0.99)),
+                ({"quantile": "1.0"}, pauses[-1]),
+            ]
+
+        registry.register_gauge(
+            "reshard_cutover_pause_seconds",
+            "Cutover fence-to-reroute pause per completed migration "
+            "(summary quantiles over this coordinator's lifetime).",
+            cutover_pause_samples,
+        )
+        registry.register_counter(
+            "reshard_cutover_pause_seconds_sum",
+            "Sum of cutover pauses across completed migrations.",
+            lambda: float(sum(self._cutover_pauses)),
+        )
+        registry.register_counter(
+            "reshard_cutover_pause_seconds_count",
+            "Number of completed cutovers observed.",
+            lambda: float(len(self._cutover_pauses)),
         )
         self._registry = registry
         return registry
@@ -645,14 +1212,17 @@ class LocalCluster:
             raise
         health = loop.create_task(self._health_loop())
         catchup = loop.create_task(self._catchup_loop())
+        reshard = loop.create_task(self._reshard_loop())
         self._ready.set()
         try:
             loop.run_forever()
         finally:
-            for task in (health, catchup):
+            for task in (health, catchup, reshard):
                 task.cancel()
             loop.run_until_complete(
-                asyncio.gather(health, catchup, return_exceptions=True)
+                asyncio.gather(
+                    health, catchup, reshard, return_exceptions=True
+                )
             )
             if self._server is not None:
                 self._server.close()
@@ -669,10 +1239,13 @@ class LocalCluster:
             loop.close()
 
     async def _start_server(self) -> None:
+        # A restart rebinds the port the first boot was given (clients
+        # hold the coordinator address; an ephemeral rebind would
+        # orphan them all).
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
-            self._port,
+            self._coordinator_port or self._port,
             limit=protocol.MAX_FRAME_BYTES,
         )
         sockets = self._server.sockets or []
@@ -706,9 +1279,11 @@ class LocalCluster:
         ever fail over again.
         """
         loop = asyncio.get_running_loop()
-        misses: dict[str, int] = {name: 0 for name in self._shards}
+        misses: dict[str, int] = {}
         while not self._stopping.is_set():
-            for name, state in self._shards.items():
+            # Snapshot: a split adds shards and a drain retires them
+            # from other threads while this loop sleeps.
+            for name, state in list(self._shards.items()):
                 try:
                     primary = state.primary
                     if primary.name in self._dead:
@@ -720,7 +1295,7 @@ class LocalCluster:
                     if ok:
                         misses[name] = 0
                         continue
-                    misses[name] += 1
+                    misses[name] = misses.get(name, 0) + 1
                     if misses[name] < self._health_failures:
                         continue
                     self._dead.add(primary.name)
@@ -746,7 +1321,7 @@ class LocalCluster:
         """
         loop = asyncio.get_running_loop()
         while not self._stopping.is_set():
-            for name, state in self._shards.items():
+            for name, state in list(self._shards.items()):
                 standby, primary = state.standby, state.primary
                 if standby.name in self._dead or primary.name in self._dead:
                     continue
@@ -766,6 +1341,26 @@ class LocalCluster:
                         name,
                     )
             await asyncio.sleep(self._catchup_interval)
+
+    async def _reshard_loop(self) -> None:
+        """Drive the in-flight migration; ticks never kill the loop.
+
+        Same discipline as the health and catch-up loops: a tick that
+        raises (a source trail racing its own rotation, a node dying
+        mid-import...) is logged and counted, and the migration — whose
+        phases are idempotent — simply retries next tick.
+        """
+        loop = asyncio.get_running_loop()
+        while not self._stopping.is_set():
+            if self._migration is not None:
+                try:
+                    await loop.run_in_executor(None, self._reshard_tick)
+                except Exception:
+                    self._loop_errors["reshard"] += 1
+                    logger.exception(
+                        "reshard tick failed; retrying next tick"
+                    )
+            await asyncio.sleep(self._reshard_interval)
 
     # ------------------------------------------------------------------
     async def _handle_connection(
@@ -823,6 +1418,11 @@ class LocalCluster:
                 )
             elif op == protocol.OP_POLICY_STATUS:
                 body = self.policy_status()
+            elif op == protocol.OP_RESHARD_STATUS:
+                body = self.reshard_status()
+            elif op == protocol.OP_RESHARD:
+                await self._handle_reshard(writer, frame_id, frame)
+                return True
             elif op == protocol.OP_POLICY_RELOAD:
                 await self._handle_policy_reload(writer, frame_id, frame)
                 return True
@@ -841,6 +1441,48 @@ class LocalCluster:
         except (ConnectionResetError, BrokenPipeError):
             return False
         return True
+
+    async def _handle_reshard(
+        self, writer: asyncio.StreamWriter, frame_id, frame: dict
+    ) -> None:
+        """Start a resize operation (add-node / drain / rebalance).
+
+        Starting a split boots two server threads and everything takes
+        the reshard lock, so the work runs in the executor; the
+        response is the immediate reshard status (or rebalance plan) —
+        the migration itself proceeds asynchronously under the reshard
+        loop, observable via ``reshard-status``.
+        """
+        action, shard, apply = protocol.reshard_options_of(frame)
+        loop = asyncio.get_running_loop()
+
+        def run() -> dict:
+            if action == protocol.RESHARD_ACTION_ADD:
+                added = self.add_shard(shard)
+                body = self.reshard_status()
+                body["added"] = added
+                return body
+            if action == protocol.RESHARD_ACTION_DRAIN:
+                self.drain_shard(shard)
+                return self.reshard_status()
+            return self.rebalance(apply=apply)
+
+        try:
+            body = await loop.run_in_executor(None, run)
+        except ClusterError as exc:
+            await self._send(
+                writer,
+                protocol.error_frame(
+                    frame_id, protocol.ERR_PROTOCOL, str(exc)
+                ),
+            )
+            return
+        await self._send(
+            writer,
+            protocol.response_frame(
+                frame_id, protocol.OP_RESHARD, "body", body
+            ),
+        )
 
     async def _handle_policy_reload(
         self, writer: asyncio.StreamWriter, frame_id, frame: dict

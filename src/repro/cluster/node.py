@@ -34,21 +34,34 @@ does not grow memory with lifetime request volume.
 
 from __future__ import annotations
 
+import itertools
 import threading
+from typing import Callable
 
 from repro.audit.recovery import (
+    _PreexistingRecords,
     decision_event_payload,
     recover_retained_adi,
 )
-from repro.audit.trail import EVENT_DECISION, AuditTrailManager
+from repro.audit.trail import (
+    EVENT_DECISION,
+    AuditTrailManager,
+    TrailFollower,
+)
+from repro.core.context import ContextName
 from repro.core.decision import Decision
 from repro.core.engine import MSoDEngine
 from repro.core.policy import MSoDPolicySet
-from repro.core.retained_adi import InMemoryRetainedADIStore, RetainedADIStore
-from repro.errors import ClusterError
+from repro.core.retained_adi import (
+    InMemoryRetainedADIStore,
+    RetainedADIRecord,
+    RetainedADIStore,
+)
+from repro.errors import ClusterError, RequestFencedError
 from repro.server import protocol
 from repro.server.service import AuthorizationService
 from repro.server.testing import ServerThread
+from repro.cluster.ring import HashRing
 from repro.verify.whatif import DecisionFlip, what_if_replay
 
 ROLE_PRIMARY = "primary"
@@ -169,10 +182,26 @@ class ClusterNode:
             max_bytes=audit_max_bytes,
             fsync=fsync,
         )
+        # Incremental catch-up state, per source lineage directory: the
+        # trail-follower position of the last *successfully replayed*
+        # tick, plus how many events that position represents from the
+        # lineage's start (the ``max_events`` seal budget is counted
+        # from the start).  Committed only after a tick succeeds, so a
+        # tick that raises mid-replay is re-read in full next time —
+        # replay idempotency absorbs the partial application.
+        self._catchup_positions: dict[str, dict] = {}
+        self._catchup_consumed: dict[str, int] = {}
         # Canary mirror: when armed, every live decision this primary
         # acks is also shadow-decided under a candidate policy set and
         # effect mismatches are counted (see :meth:`mirror_start`).
         self._mirror: dict | None = None
+        # The serving ring this node fences ownership against.  When
+        # installed, the decide gate and the audit sink both refuse
+        # users the ring assigns to another shard, which is what makes
+        # a reshard cutover's per-user fencing *derived* (flip the ring
+        # everywhere) instead of an accumulated fence set that could go
+        # stale on a freshly promoted standby.
+        self._ring: HashRing | None = None
         self._engine = MSoDEngine(policy_set, store)
         self._service = AuthorizationService(
             self._engine,
@@ -415,44 +444,255 @@ class ClusterNode:
         with self._lock:
             self._role = ROLE_STANDBY
 
+    def install_ring(self, ring: HashRing | None) -> None:
+        """Install the serving ring this node fences ownership against.
+
+        Shares the node lock with the audit sink: once this returns, no
+        decision for a user the ring assigns elsewhere can enter this
+        node's trail — the reshard cutover's quiescence point.
+        """
+        with self._lock:
+            self._ring = ring
+
+    def owns_user(self, user_id: str) -> bool:
+        """Whether the installed ring assigns this user to this shard."""
+        ring = self._ring
+        return ring is None or ring.shard_for(user_id) == self.shard
+
+    def _ownership_filter(self) -> Callable[[str], bool] | None:
+        """The replay filter matching this node's installed ring."""
+        ring = self._ring
+        if ring is None:
+            return None
+        shard = self.shard
+        return lambda user_id: ring.shard_for(user_id) == shard
+
     def catch_up(
         self,
         source_trail_dir: str,
         *,
         max_events: int | None = None,
         min_epoch: int = 0,
+        user_filter: Callable[[str], bool] | None = None,
     ):
         """Replay a primary's shipped trails into this node's store.
 
-        Reuses :func:`repro.audit.recovery.recover_retained_adi`
-        verbatim — recovery *is* replication here.  Replay is
-        idempotent (see ``tests/test_property_recovery.py``), so the
-        coordinator simply re-runs the full replay on every catch-up
-        tick; records already applied are consumed, not duplicated.
-        The journal fills with every decision outcome seen, which is
-        what makes post-failover client retries exactly-once.
+        Reuses :func:`repro.audit.recovery.recover_retained_adi` —
+        recovery *is* replication here.  Replay is idempotent (see
+        ``tests/test_property_recovery.py``), and each call is
+        **incremental**: a persistent
+        :class:`~repro.audit.trail.TrailFollower` position per source
+        lineage means a tick verifies and replays only the events
+        appended since the last successful tick, not the whole lineage.
+        That bound matters beyond throughput — the coordinator holds
+        the shard lock during catch-up ticks, and a reshard cutover
+        fences sources under that same lock, so O(new-tail) ticks are
+        what keep the fenced cutover pause milliseconds instead of a
+        full-history re-verification.  The follower position commits
+        only after the replay returns; a tick that raises re-reads
+        from the previous position, and idempotency absorbs whatever
+        the failed tick half-applied.  The journal fills with every
+        decision outcome seen, which is what makes post-failover
+        client retries exactly-once.
+
+        ``max_events`` still counts from the lineage's *start* (it is
+        the failover seal: the authoritative record count at
+        promotion), so the budget for a tick is the seal minus what
+        earlier ticks already consumed.
+
+        ``user_filter`` defaults to the installed ring's ownership
+        predicate: after a reshard cutover the source's trail still
+        holds the moved users' history, and an unfiltered replay would
+        resurrect it on the standby the next tick.  (Events consumed
+        before the cutover under the old ring are not re-examined; the
+        cutover's purge step removes the movers' records from both
+        source nodes, which is what keeps the two consistent.)
         """
-        # A live-reader manager: the source primary may append (and
-        # atomically advance its checkpoint) between this replay's read
-        # snapshot and its checkpoint check — not truncation, just a
-        # prefix; the rest arrives next tick.
-        source = AuditTrailManager(
-            source_trail_dir, self._audit_key, tolerate_ahead=True
+        position = self._catchup_positions.get(source_trail_dir)
+        follower = TrailFollower(
+            source_trail_dir, self._audit_key, position=position
         )
+        if user_filter is None:
+            user_filter = self._ownership_filter()
+        events = follower.poll()
+        if max_events is not None:
+            remaining = max_events - self._catchup_consumed.get(
+                source_trail_dir, 0
+            )
+            # islice consumes exactly the bound, so the follower never
+            # advances past an event the replay did not examine.
+            events = itertools.islice(events, max(0, remaining))
         # Replay against the engine's *active* set (which a hot reload
         # may have advanced past the constructor's), resolving each
         # event's recorded policy_epoch through the engine's epoch log
         # so grants made before a reload replicate under the policy
         # that produced them.
-        return recover_retained_adi(
-            source,
+        report = recover_retained_adi(
+            None,
             self._engine.policy_set,
             self._store,
             journal=self._journal,
             min_epoch=min_epoch,
-            max_events=max_events,
             policy_resolver=self._engine.policy_set_for_epoch,
+            user_filter=user_filter,
+            events=events,
         )
+        self._catchup_positions[source_trail_dir] = follower.position()
+        self._catchup_consumed[source_trail_dir] = (
+            self._catchup_consumed.get(source_trail_dir, 0)
+            + report.events_scanned
+        )
+        return report
+
+    def import_decision_events(
+        self,
+        source_trail_dir: str,
+        user_filter: Callable[[str], bool],
+        *,
+        max_events: int | None = None,
+        min_epoch: int = 0,
+        cursor: dict | None = None,
+    ) -> dict:
+        """Import another shard's decision events for users moving here.
+
+        The reshard migration's transfer primitive.  Unlike
+        :meth:`catch_up` (which only rebuilds the *store*), an import
+        appends each moving user's decision events — verbatim, original
+        epoch and all — to this node's **own** trail, so the history
+        survives everything the trail protects against: this shard's
+        own failover (the standby replays it), a later drain of this
+        shard (the next migration re-exports it), and recovery.
+
+        Idempotent per event: a ``request_id`` already journaled is
+        skipped, and a grant whose journal entry was evicted is caught
+        by its record identities already sitting in the store.  Source
+        events are read outside the node lock; dedupe + append + store
+        apply run under it, sharing one acquisition with the audit sink
+        so imported and native history interleave cleanly.
+
+        ``cursor`` is a :class:`~repro.audit.trail.TrailFollower`
+        position: the byte offset, chain tip and segment index where
+        the previous import of this lineage stopped.  Trail lineages
+        are append-only (rotation seals segments, never deletes them),
+        so a position that was valid once stays valid; the coordinator
+        persists it per (target, lineage) and resumes from it every
+        tick, making steady-state ticks proportional to the **new
+        tail** — read, parsed *and verified* from the stored chain tip
+        — instead of the lineage's whole history.  The cursor is an
+        optimisation only: losing it (coordinator crash before the
+        save) merely re-reads from an older position, and the journal
+        / record-identity dedupe below keeps that correct.
+
+        Returns ``{"scanned", "imported", "skipped", "next_cursor"}``,
+        where ``next_cursor`` is the position to pass next time.
+        """
+        follower = TrailFollower(
+            source_trail_dir, self._audit_key, position=cursor
+        )
+        scanned = 0
+        moving_events = []
+        events = follower.poll()
+        if max_events is not None:
+            # islice consumes exactly the bound, so the follower's
+            # position never advances past an unexamined event.
+            events = itertools.islice(events, max_events)
+        for event in events:
+            scanned += 1
+            if event.event_type != EVENT_DECISION:
+                # Admin purges are store-wide, not per-user; a reshard
+                # migration window must not overlap one (documented in
+                # docs/CLUSTER.md's resizing runbook).
+                continue
+            payload = event.payload or {}
+            epoch = payload.get("epoch", 0)
+            if isinstance(epoch, int) and epoch < min_epoch:
+                continue
+            user_id = payload.get("request", {}).get("user_id")
+            if not user_id or not user_filter(user_id):
+                continue
+            moving_events.append(event)
+        imported = skipped = 0
+        with self._lock:
+            preexisting: _PreexistingRecords | None = None
+            for event in moving_events:
+                payload = event.payload
+                request_id = payload["request"].get("request_id")
+                if request_id and request_id in self._journal:
+                    skipped += 1
+                    continue
+                adds = [
+                    RetainedADIRecord.from_dict(record_dict)
+                    for record_dict in payload.get("adi_adds", ())
+                ]
+                if adds and preexisting is None:
+                    # Built lazily: steady-state ticks dedupe entirely
+                    # through the journal and never scan the store.
+                    preexisting = _PreexistingRecords(self._store)
+                fresh = (
+                    [
+                        record
+                        for record in adds
+                        if not preexisting.consume(record)
+                    ]
+                    if adds
+                    else []
+                )
+                if adds and not fresh:
+                    # Already imported; only the journal entry was
+                    # evicted.  Re-journal the outcome, skip the append.
+                    if request_id:
+                        self._journal[request_id] = payload
+                    skipped += 1
+                    continue
+                for context_text in payload.get("adi_purges", ()):
+                    context = ContextName.parse(context_text)
+                    self._store.purge_context(context)
+                    if preexisting is not None:
+                        preexisting.purge(context)
+                for record in fresh:
+                    self._store.add(record)
+                self._trails.append(
+                    EVENT_DECISION, event.timestamp, payload
+                )
+                if request_id:
+                    self._journal[request_id] = payload
+                imported += 1
+        return {
+            "scanned": scanned,
+            "imported": imported,
+            "skipped": skipped,
+            "next_cursor": follower.position(),
+        }
+
+    def purge_users(self, user_filter: Callable[[str], bool]) -> int:
+        """Drop matching users' records and journal entries; count users.
+
+        The reshard cutover's final source-side step: once the moved
+        users' history is imported on the target, their records here
+        are orphans (including any record a fence-refused in-flight
+        decision committed before its sink raised).  Journal entries go
+        too — the ring-ownership gate answers before the journal, so a
+        mover's journaled outcome is unreachable here and the target
+        holds the imported copy.
+        """
+        with self._lock:
+            moved = {
+                record.user_id
+                for record in self._store.records()
+                if user_filter(record.user_id)
+            }
+            for user_id in moved:
+                self._store.purge_user(user_id)
+            dead = [
+                request_id
+                for request_id, payload in self._journal.items()
+                if user_filter(
+                    payload.get("request", {}).get("user_id", "")
+                )
+            ]
+            for request_id in dead:
+                del self._journal[request_id]
+        return len(moved)
 
     # ------------------------------------------------------------------
     def _audit_sink(self, decision: Decision) -> None:
@@ -465,9 +705,25 @@ class ClusterNode:
         # instead of an ack and re-evaluates on the new primary.
         with self._lock:
             if self._role != ROLE_PRIMARY:
-                raise ClusterError(
+                raise RequestFencedError(
                     f"node {self.name} was demoted during evaluation; "
                     "decision not recorded — retry against the new primary"
+                )
+            if self._ring is not None and (
+                self._ring.shard_for(decision.request.user_id) != self.shard
+            ):
+                # Reshard cutover caught this decision in flight: the
+                # user moved off this shard between the gate and the
+                # sink.  Refuse before the append — the event never
+                # enters the trail, so the migration's final import
+                # cannot see it and the client's fenced re-route
+                # re-evaluates exactly once on the new owner.  (Any
+                # records the engine committed to this store are purged
+                # by the cutover's ``purge_users``.)
+                raise RequestFencedError(
+                    f"user {decision.request.user_id!r} moved off shard "
+                    f"{self.shard} during evaluation; decision not "
+                    "recorded — refresh the route and retry"
                 )
             payload["epoch"] = self._epoch
             self._trails.append(
@@ -494,7 +750,7 @@ class ClusterNode:
 
     def _decide_gate(self, frame_id, frame: dict, request) -> dict | None:
         with self._lock:
-            role, epoch = self._role, self._epoch
+            role, epoch, ring = self._role, self._epoch, self._ring
         if role != ROLE_PRIMARY:
             return protocol.error_frame(
                 frame_id,
@@ -509,6 +765,17 @@ class ClusterNode:
                 protocol.ERR_FENCED,
                 f"frame epoch {claimed} != node epoch {epoch} for shard "
                 f"{self.shard}; refresh the route",
+            )
+        if ring is not None and ring.shard_for(request.user_id) != self.shard:
+            # Ownership fence, checked *before* the journal: a moved
+            # user's retry must be answered by the shard that now owns
+            # the user (whose journal holds the imported outcome), not
+            # from this node's stale copy.
+            return protocol.error_frame(
+                frame_id,
+                protocol.ERR_FENCED,
+                f"user {request.user_id!r} is not owned by shard "
+                f"{self.shard} on the current ring; refresh the route",
             )
         journaled = self._journal.get(request.request_id)
         if journaled is not None:

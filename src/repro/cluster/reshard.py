@@ -1,0 +1,239 @@
+"""Online resharding: grow/shrink the cluster under live load.
+
+The cluster pinned users to shards with a fixed-topology hash ring
+because the MSoD invariant demands that one user's retained ADI is
+evaluated by exactly one authority.  This module composes the
+primitives the cluster already trusts — sealed trail lineages, epoch
+fencing, idempotent trail replay (``recover_retained_adi``), the
+exactly-once request journal and route-version bumps — into a
+coordinator-driven migration that changes the topology *without*
+violating that invariant for even one decision:
+
+1. **catch-up** — the target shard's primary imports the moving
+   users' decision events from every trail lineage the source shard
+   has ever produced (a mid-migration failover just adds a lineage),
+   repeatedly, until the per-tick delta converges to the live tail;
+2. **cutover** — the new ring is installed on the source shard's
+   nodes under a bumped fencing epoch, so the source's decide gate
+   *and* audit sink refuse the moving users (``ERR_FENCED``) and the
+   movers' trail history becomes quiescent; one final import drains
+   the tail (journal entries ride along, keeping in-flight
+   ``request_id`` retries exactly-once); the movers' now-orphaned
+   records are purged from the source; the new ring is installed
+   everywhere and the route version bumps so clients re-route.
+
+A :class:`Migration` is a pure, JSON-serialisable state record — the
+coordinator persists it alongside its topology on every transition, so
+a coordinator crash mid-migration resumes the same phase instead of
+resetting (each phase is idempotent by construction: imports dedupe,
+fences re-apply, purges re-purge nothing).
+
+See ``docs/CLUSTER.md`` ("Resizing the cluster") for the operator
+runbook and the full ordering argument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.ring import HashRing, RingDiff
+from repro.errors import ClusterError
+
+KIND_SPLIT = "split"
+KIND_DRAIN = "drain"
+
+PHASE_CATCHUP = "catchup"
+PHASE_CUTOVER = "cutover"
+PHASE_DONE = "done"
+
+_PHASES = (PHASE_CATCHUP, PHASE_CUTOVER, PHASE_DONE)
+
+
+class Migration:
+    """Durable state of one in-flight topology change.
+
+    Everything here is derived-from or serialisable-to plain JSON: the
+    coordinator writes it into ``coordinator-state.json`` on every
+    phase transition, and a restarted coordinator rebuilds the exact
+    same object with :meth:`from_dict` and keeps ticking.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        subject: str,
+        old_shards: tuple[str, ...] | list[str],
+        new_shards: tuple[str, ...] | list[str],
+        vnodes: int,
+        *,
+        phase: str = PHASE_CATCHUP,
+        ticks: int = 0,
+        users_moved: int = 0,
+        events_imported: int = 0,
+        trail_dirs: dict[str, list[str]] | None = None,
+        cursors: dict[str, dict] | None = None,
+        converge_events: int = 32,
+        max_catchup_ticks: int = 50,
+        cutover_pause_s: float | None = None,
+    ) -> None:
+        if kind not in (KIND_SPLIT, KIND_DRAIN):
+            raise ClusterError(f"unknown migration kind {kind!r}")
+        if phase not in _PHASES:
+            raise ClusterError(f"unknown migration phase {phase!r}")
+        self.kind = kind
+        self.subject = subject
+        self.old_shards = tuple(old_shards)
+        self.new_shards = tuple(new_shards)
+        self.vnodes = vnodes
+        self.phase = phase
+        self.ticks = ticks
+        self.users_moved = users_moved
+        self.events_imported = events_imported
+        # Every trail directory each source shard's lineage has ever
+        # exposed.  A source-primary kill mid-migration promotes a
+        # standby with a *fresh* trail; the moved users' older history
+        # lives only in the sealed predecessor, so imports must keep
+        # walking every lineage, not just the current primary's.
+        self.trail_dirs: dict[str, list[str]] = {
+            source: list(dirs) for source, dirs in (trail_dirs or {}).items()
+        }
+        # Import cursors, keyed "<target>@<trail_dir>": the
+        # TrailFollower position (segment, byte offset, chain tip)
+        # where the target's previous import of that lineage stopped.
+        # Purely an optimisation — ticks read, parse and verify only
+        # the *new* tail instead of rescanning history (which would
+        # also defeat convergence: a full rescan's per-tick delta
+        # tracks the live arrival rate, not the remaining lag).  A
+        # crash that loses an update just re-reads from the persisted
+        # position; imports dedupe.
+        self.cursors: dict[str, dict] = {
+            key: dict(value) for key, value in (cursors or {}).items()
+        }
+        self.converge_events = converge_events
+        self.max_catchup_ticks = max_catchup_ticks
+        self.cutover_pause_s = cutover_pause_s
+        self._diff: RingDiff | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def diff(self) -> RingDiff:
+        if self._diff is None:
+            self._diff = RingDiff(
+                HashRing(self.old_shards, vnodes=self.vnodes),
+                HashRing(self.new_shards, vnodes=self.vnodes),
+            )
+        return self._diff
+
+    def moves(self) -> list[tuple[str, str, Callable[[str], bool]]]:
+        """``(source, target, mover_predicate)`` per moving user-range."""
+        diff = self.diff
+        return [
+            (source, target, diff.mover_predicate(source, target))
+            for source, target in diff.moves()
+        ]
+
+    def leaving_predicate(self, source: str) -> Callable[[str], bool]:
+        """``user_id -> bool``: does this user move *off* ``source``?"""
+        diff = self.diff
+
+        def leaving(user_id: str) -> bool:
+            return (
+                diff.old_ring.shard_for(user_id) == source
+                and diff.new_ring.shard_for(user_id) != source
+            )
+
+        return leaving
+
+    def sources(self) -> tuple[str, ...]:
+        """The shards whose users move away (fenced at cutover)."""
+        seen: list[str] = []
+        for source, _ in self.diff.moves():
+            if source not in seen:
+                seen.append(source)
+        return tuple(seen)
+
+    def note_trail_dir(self, source: str, trail_dir: str) -> None:
+        dirs = self.trail_dirs.setdefault(source, [])
+        if trail_dir not in dirs:
+            dirs.append(trail_dir)
+
+    def cursor(self, target: str, trail_dir: str) -> dict | None:
+        return self.cursors.get(f"{target}@{trail_dir}")
+
+    def set_cursor(
+        self, target: str, trail_dir: str, position: dict
+    ) -> None:
+        self.cursors[f"{target}@{trail_dir}"] = position
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "old_shards": list(self.old_shards),
+            "new_shards": list(self.new_shards),
+            "vnodes": self.vnodes,
+            "phase": self.phase,
+            "ticks": self.ticks,
+            "users_moved": self.users_moved,
+            "events_imported": self.events_imported,
+            "trail_dirs": {
+                source: list(dirs)
+                for source, dirs in self.trail_dirs.items()
+            },
+            "cursors": {
+                key: dict(value) for key, value in self.cursors.items()
+            },
+            "converge_events": self.converge_events,
+            "max_catchup_ticks": self.max_catchup_ticks,
+            "cutover_pause_s": self.cutover_pause_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Migration":
+        return cls(
+            data["kind"],
+            data["subject"],
+            data["old_shards"],
+            data["new_shards"],
+            int(data["vnodes"]),
+            phase=data.get("phase", PHASE_CATCHUP),
+            ticks=int(data.get("ticks", 0)),
+            users_moved=int(data.get("users_moved", 0)),
+            events_imported=int(data.get("events_imported", 0)),
+            trail_dirs=data.get("trail_dirs"),
+            cursors=data.get("cursors"),
+            converge_events=int(data.get("converge_events", 32)),
+            max_catchup_ticks=int(data.get("max_catchup_ticks", 50)),
+            cutover_pause_s=data.get("cutover_pause_s"),
+        )
+
+
+def plan_rebalance(
+    resident_users: dict[str, int], *, threshold: float = 1.5
+) -> dict:
+    """Imbalance report from the per-shard ``store.stats()`` gauges.
+
+    ``imbalance`` is the hottest shard's resident-user count over the
+    per-shard mean; at or above ``threshold`` the plan recommends a
+    split (consistent hashing takes load from *every* shard, the
+    hottest most of all, so "split" is the rebalancing move — there is
+    no user shuffling between surviving shards to plan).
+    """
+    if not resident_users:
+        raise ClusterError("rebalance needs at least one serving shard")
+    total = sum(resident_users.values())
+    mean = total / len(resident_users)
+    hot_shard, hot_count = max(
+        resident_users.items(), key=lambda item: (item[1], item[0])
+    )
+    imbalance = (hot_count / mean) if mean > 0 else 1.0
+    return {
+        "resident_users": dict(resident_users),
+        "total_users": total,
+        "mean_users": round(mean, 2),
+        "hot_shard": hot_shard,
+        "imbalance": round(imbalance, 3),
+        "threshold": threshold,
+        "action": "split" if imbalance >= threshold else "none",
+    }

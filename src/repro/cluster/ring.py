@@ -14,13 +14,21 @@ their own hash.  Hashing is BLAKE2b (stdlib, keyed-off, 8-byte digest)
 rather than ``hash()`` — deterministic across processes and Python
 versions, which matters because the client, the coordinator and every
 node must all agree on the mapping without talking to each other.
+
+Resharding (``repro.cluster.reshard``) leans on one more consistent-
+hashing property: adding a shard moves users only *onto* the new shard
+and removing one moves users only *off* it — no user ever moves between
+two surviving shards.  :class:`RingDiff` makes that explicit: it pairs
+an old and a new ring and answers, per user, whether (and where) the
+user moves, which is exactly the predicate the migration state machine
+feeds into ``recover_retained_adi(user_filter=...)``.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 
 def _point(key: str) -> int:
@@ -72,3 +80,104 @@ class HashRing:
         for user_id in user_ids:
             counts[self.shard_for(user_id)] += 1
         return counts
+
+    # -- versioned topologies ------------------------------------------
+    def with_shard(self, name: str) -> "HashRing":
+        """A new ring with ``name`` added (the split topology)."""
+        if name in self._names:
+            raise ValueError(f"shard {name!r} is already on the ring")
+        return HashRing((*self._names, name), vnodes=self._vnodes)
+
+    def without_shard(self, name: str) -> "HashRing":
+        """A new ring with ``name`` removed (the drain topology)."""
+        if name not in self._names:
+            raise ValueError(f"shard {name!r} is not on the ring")
+        survivors = [other for other in self._names if other != name]
+        if not survivors:
+            raise ValueError("cannot drain the last shard")
+        return HashRing(survivors, vnodes=self._vnodes)
+
+    def to_dict(self) -> dict:
+        """Serializable topology (for coordinator-state persistence)."""
+        return {"shards": list(self._names), "vnodes": self._vnodes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HashRing":
+        return cls(data["shards"], vnodes=int(data.get("vnodes", 64)))
+
+    def diff(self, new_ring: "HashRing") -> "RingDiff":
+        """The ownership diff from this ring to ``new_ring``."""
+        return RingDiff(self, new_ring)
+
+
+class RingDiff:
+    """Which users move — and where — between two ring topologies.
+
+    Consistent hashing guarantees a user moves only when the first
+    vnode clockwise of their hash changed owner, so for a single-shard
+    add (split) every move lands *on* the added shard and for a
+    single-shard remove (drain) every move departs *from* the removed
+    shard; :meth:`moves` enumerates the affected ``(source, target)``
+    shard pairs and :meth:`moved` is the per-user predicate the
+    migration feeds into trail-replay catch-up and per-user fencing.
+    """
+
+    def __init__(self, old_ring: HashRing, new_ring: HashRing) -> None:
+        if old_ring.vnodes != new_ring.vnodes:
+            raise ValueError(
+                "ring diffs require identical vnodes on both topologies"
+            )
+        self.old_ring = old_ring
+        self.new_ring = new_ring
+        self.added = tuple(
+            name
+            for name in new_ring.shard_names
+            if name not in old_ring.shard_names
+        )
+        self.removed = tuple(
+            name
+            for name in old_ring.shard_names
+            if name not in new_ring.shard_names
+        )
+
+    def moved(self, user_id: str) -> tuple[str, str] | None:
+        """``(old_owner, new_owner)`` when the user moves, else None."""
+        old_owner = self.old_ring.shard_for(user_id)
+        new_owner = self.new_ring.shard_for(user_id)
+        if old_owner == new_owner:
+            return None
+        return (old_owner, new_owner)
+
+    def moves(self) -> list[tuple[str, str]]:
+        """Every ``(source, target)`` shard pair with a moving range.
+
+        For a pure add, sources are the surviving old shards and the
+        single target is each added shard; for a pure remove, the
+        single source is each removed shard and targets are the
+        survivors.  Mixed diffs fall back to the full cross product of
+        changed ownership directions.
+        """
+        pairs: list[tuple[str, str]] = []
+        for added in self.added:
+            for source in self.old_ring.shard_names:
+                if source not in self.removed:
+                    pairs.append((source, added))
+        for removed in self.removed:
+            for target in self.new_ring.shard_names:
+                if target not in self.added:
+                    pairs.append((removed, target))
+        return pairs
+
+    def mover_predicate(
+        self, source: str, target: str
+    ) -> Callable[[str], bool]:
+        """``user_id -> bool``: does this user move source → target?"""
+        old_ring, new_ring = self.old_ring, self.new_ring
+
+        def moving(user_id: str) -> bool:
+            return (
+                old_ring.shard_for(user_id) == source
+                and new_ring.shard_for(user_id) == target
+            )
+
+        return moving

@@ -265,11 +265,31 @@ class _UserContextIndex:
         """Drop every bucket of one user, returning the removed records."""
         removed: list[RetainedADIRecord] = []
         self._user_cache.pop(user_id, None)
+        vanished: list[ContextName] = []
         for context, bucket in self._by_user.pop(user_id, {}).items():
             removed.extend(bucket.records.values())
             del self._by_context[context][user_id]
             if not self._by_context[context]:
                 del self._by_context[context]
+                vanished.append(context)
+        # Per-context presence invalidation is a full memo sweep with a
+        # matcher call per entry; a user can own hundreds of concrete
+        # contexts (one per grant under per-user period naming), and a
+        # reshard cutover purges many users back to back while the memo
+        # sits at its limit — that product is what a fenced cutover
+        # pause would be made of.  Past a handful of vanished contexts
+        # it is strictly cheaper to drop every ``True`` entry in one
+        # matcher-free sweep: deletions can only stale ``True`` entries
+        # (absent can not become present by removing contexts), and the
+        # memo repopulates lazily.
+        if len(vanished) > 8:
+            presence = self._presence
+            for effective in [
+                e for e, present in presence.items() if present
+            ]:
+                del presence[effective]
+        else:
+            for context in vanished:
                 self._forget_context(context)
         return removed
 

@@ -141,3 +141,15 @@ class PDPNotPrimaryError(PDPUnavailableError):
 class ClusterError(ReproError):
     """A cluster management operation failed (bad topology, no standby
     to promote, duplicate node names...)."""
+
+
+class RequestFencedError(ClusterError):
+    """A node's audit sink refused to record an in-flight decision.
+
+    Raised when the decision's user was fenced (demotion, or a reshard
+    cutover moving the user to another shard) *after* the decide gate
+    admitted the request but *before* the sink appended it.  The
+    decision was never acknowledged and never entered the trail, so the
+    server maps this to the wire's ``fenced`` error and the client can
+    safely re-route and resend the same ``request_id``.
+    """

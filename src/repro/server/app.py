@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.errors import PolicyError, ProtocolError
+from repro.errors import PolicyError, ProtocolError, RequestFencedError
 from repro.server import protocol
 from repro.server.service import (
     AuthorizationService,
@@ -497,6 +497,18 @@ class MSoDServer:
             return
         try:
             decision = await future
+        except RequestFencedError as exc:
+            # The audit sink refused the commit (the user was fenced
+            # mid-flight by a failover or reshard cutover): the client
+            # never saw an ack, so it may re-route and resend safely.
+            await self._send(
+                writer,
+                protocol.error_frame(
+                    frame_id, protocol.ERR_FENCED, str(exc)
+                ),
+                v2=v2,
+            )
+            return
         except Exception as exc:  # engine/store failure, not the client's
             await self._send(
                 writer,
@@ -606,7 +618,15 @@ class MSoDServer:
                 *(future for _, future, _ in pending), return_exceptions=True
             )
             for (slot, _, request), outcome in zip(pending, outcomes):
-                if isinstance(outcome, BaseException):
+                if isinstance(outcome, RequestFencedError):
+                    results[slot] = {
+                        "ok": False,
+                        "error": {
+                            "kind": protocol.ERR_FENCED,
+                            "detail": str(outcome),
+                        },
+                    }
+                elif isinstance(outcome, BaseException):
                     results[slot] = {
                         "ok": False,
                         "error": {

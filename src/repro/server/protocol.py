@@ -139,6 +139,42 @@ V2_OPS = KNOWN_OPS | {OP_DECIDE_BATCH}
 #: ``not-primary``.  ``cluster-status`` is the human-facing summary.
 OP_ROUTE = "route"
 OP_CLUSTER_STATUS = "cluster-status"
+#: Online resharding verbs (coordinator only).  ``reshard`` carries an
+#: ``action`` (``add-node`` / ``drain`` / ``rebalance``) plus an
+#: optional ``shard`` and, for rebalance, ``apply``; the response body
+#: is the resulting reshard status (or rebalance plan).
+#: ``reshard-status`` reports the in-flight migration, the last
+#: completed one and the lifetime counters.
+OP_RESHARD = "reshard"
+OP_RESHARD_STATUS = "reshard-status"
+
+RESHARD_ACTION_ADD = "add-node"
+RESHARD_ACTION_DRAIN = "drain"
+RESHARD_ACTION_REBALANCE = "rebalance"
+RESHARD_ACTIONS = frozenset(
+    {RESHARD_ACTION_ADD, RESHARD_ACTION_DRAIN, RESHARD_ACTION_REBALANCE}
+)
+
+
+def reshard_options_of(
+    frame: Mapping[str, Any],
+) -> tuple[str, str | None, bool]:
+    """The validated ``(action, shard, apply)`` of a reshard frame."""
+    action = frame.get("action")
+    if action not in RESHARD_ACTIONS:
+        raise ProtocolError(
+            f"reshard action must be one of {sorted(RESHARD_ACTIONS)}, "
+            f"got {action!r}"
+        )
+    shard = frame.get("shard")
+    if shard is not None and not isinstance(shard, str):
+        raise ProtocolError("reshard.shard must be a string shard name")
+    if action == RESHARD_ACTION_DRAIN and not shard:
+        raise ProtocolError("reshard drain requires a shard name")
+    apply = frame.get("apply", False)
+    if not isinstance(apply, bool):
+        raise ProtocolError("reshard.apply must be a boolean")
+    return action, shard, apply
 
 #: Bodies the ``metrics`` verb can produce.
 METRICS_FORMAT_JSON = "json"

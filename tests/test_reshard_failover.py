@@ -1,0 +1,183 @@
+"""Fault injection for online resharding.
+
+The worst cases ISSUE 9 names: the coordinator dies mid-migration, and
+a *source* shard's primary dies while its users' history is still being
+imported.  The migration must resume from the persisted state file,
+walk the promoted standby's fresh trail lineage as well as the dead
+primary's sealed one, and finish with placement and history intact —
+no lost decisions, no MMER leaks.
+
+These tests freeze the migration by crashing the coordinator *first*,
+so the primary kill is guaranteed to land mid-migration rather than
+racing a fast catch-up.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import LocalCluster
+from repro.cluster.client import ClusterPDP
+from repro.core import ContextName, DecisionRequest, Role
+from repro.workload import bank_policy_set
+
+TELLER = Role("employee", "Teller")
+AUDITOR = Role("employee", "Auditor")
+
+USERS = [f"fault-user-{i}" for i in range(24)]
+
+
+def teller_request(user, serial):
+    return DecisionRequest(
+        user_id=user,
+        roles=(TELLER,),
+        operation="handleCash",
+        target="till://cash",
+        context_instance=ContextName.parse(
+            f"Branch={user}, Period={user}-S{serial}"
+        ),
+        timestamp=float(serial),
+    )
+
+
+def auditor_probe(user, serial, timestamp):
+    return DecisionRequest(
+        user_id=user,
+        roles=(AUDITOR,),
+        operation="auditBooks",
+        target="ledger://books",
+        context_instance=ContextName.parse(
+            f"Branch={user}, Period={user}-S{serial}"
+        ),
+        timestamp=timestamp,
+    )
+
+
+@pytest.fixture(scope="class")
+def fault_cluster(tmp_path_factory):
+    """Default (fast) health/catch-up loops: kills must fail over."""
+    cluster = LocalCluster(
+        bank_policy_set(),
+        2,
+        str(tmp_path_factory.mktemp("reshard-faults")),
+        store="memory",
+        fsync=False,
+    ).start()
+    yield cluster
+    cluster.stop()
+
+
+@pytest.mark.usefixtures("fault_cluster")
+class TestReshardUnderFaults:
+    def test_split_survives_coordinator_and_source_primary_death(
+        self, fault_cluster
+    ):
+        cluster = fault_cluster
+        with ClusterPDP(
+            (cluster.host, cluster.port), failover_wait=30.0
+        ) as pdp:
+            for serial, user in enumerate(USERS):
+                assert pdp.decide(teller_request(user, serial)).granted
+
+        added = cluster.add_shard()
+        status = cluster.reshard_status()
+        assert status["active"]
+
+        # Freeze the migration, then kill a source primary while it is
+        # frozen: the death is unambiguously mid-migration, and only
+        # the restarted coordinator can promote the standby.
+        cluster.crash_coordinator()
+        source = status["migration"]["old_shards"][0]
+        killed = cluster.kill_primary(source)
+        time.sleep(0.3)
+        cluster.restart_coordinator()
+
+        final = cluster.wait_reshard(timeout=60.0)
+        split = final["last_migration"]
+        assert split["phase"] == "done"
+        assert split["kind"] == "split"
+        # With no live load the catch-up converges on its first tick,
+        # so the import may finish entirely from the dead primary's
+        # sealed lineage; the promotion races behind it.  (The resize
+        # smoke's sustained load exercises the two-lineage import.)
+        assert split["trail_dirs"][source]
+        deadline = time.monotonic() + 15.0
+        while cluster.shard(source).failovers < 1:
+            assert time.monotonic() < deadline, (
+                "killed source primary never failed over"
+            )
+            time.sleep(0.05)
+        assert cluster.shard(source).primary.name != killed
+
+        ring = cluster.ring
+        assert added in ring.shard_names
+        for shard_name in cluster.shard_names:
+            resident = {
+                r.user_id
+                for r in cluster.shard(shard_name).primary.store.records()
+            }
+            expected = {
+                u for u in USERS if ring.shard_for(u) == shard_name
+            }
+            assert resident == expected
+
+        # Post-split decides land for moved users, and imported history
+        # still drives MMER denials on the new owner.
+        moved = [u for u in USERS if ring.shard_for(u) == added]
+        assert moved
+        with ClusterPDP(
+            (cluster.host, cluster.port), failover_wait=30.0
+        ) as pdp:
+            for serial, user in enumerate(moved):
+                assert pdp.decide(
+                    teller_request(user, 200 + serial)
+                ).granted
+            denied = pdp.decide(auditor_probe(moved[0], 0, 500.0))
+            assert not denied.granted
+
+    def test_drain_survives_subject_primary_death(self, fault_cluster):
+        cluster = fault_cluster
+        subject = next(
+            name
+            for name in cluster.shard_names
+            if name not in ("shard-0", "shard-1")
+        )
+        moved_before = {
+            r.user_id
+            for r in cluster.shard(subject).primary.store.records()
+        }
+        assert moved_before
+
+        cluster.drain_shard(subject)
+        cluster.crash_coordinator()
+        cluster.kill_primary(subject)
+        time.sleep(0.3)
+        cluster.restart_coordinator()
+
+        final = cluster.wait_reshard(timeout=60.0)
+        drain = final["last_migration"]
+        assert drain["phase"] == "done"
+        assert drain["kind"] == "drain"
+        assert subject not in cluster.shard_names
+        assert sorted(cluster.shard_names) == ["shard-0", "shard-1"]
+
+        # Every drained user landed on a survivor with history intact.
+        ring = cluster.ring
+        for user in moved_before:
+            owner = ring.shard_for(user)
+            resident = {
+                r.user_id
+                for r in cluster.shard(owner).primary.store.records()
+            }
+            assert user in resident
+
+        with ClusterPDP(
+            (cluster.host, cluster.port), failover_wait=30.0
+        ) as pdp:
+            probe_user = sorted(moved_before)[0]
+            denied = pdp.decide(auditor_probe(probe_user, 0, 600.0))
+            assert not denied.granted
+            serial = 300
+            for user in sorted(moved_before):
+                serial += 1
+                assert pdp.decide(teller_request(user, serial)).granted
