@@ -433,6 +433,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=10_000)
     parser.add_argument("--users", type=int, default=200)
     parser.add_argument("--output", default=RESULTS_PATH)
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_hotpath.json to gate against: fail when "
+        "measured optimized-in-memory throughput drops below "
+        "--min-ratio of the committed run's",
+    )
+    parser.add_argument("--min-ratio", type=float, default=0.95)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -471,6 +479,31 @@ def main(argv: list[str] | None = None) -> int:
         f"  speedup (in-memory) : {strict['speedup_inmemory']:.2f}x\n"
         f"  wrote {args.output}"
     )
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        # Absolute rps is machine- and load-dependent, so the gate is
+        # on the *speedup ratio* (naive vs optimized on the same box,
+        # same run): it must stay within --min-ratio of the committed
+        # run's.  The naive baseline is a fixed workload, so a hot-path
+        # slowdown shows up directly as a shrunken ratio.  Raw rps is
+        # still printed for the human reading the log.
+        committed_speedup = committed["strict"]["speedup_inmemory"]
+        committed_rps = committed["strict"]["throughput_rps"][
+            "optimized_inmemory"
+        ]
+        measured_rps = strict["throughput_rps"]["optimized_inmemory"]
+        ratio = strict["speedup_inmemory"] / committed_speedup
+        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(
+            f"  baseline gate       : speedup {strict['speedup_inmemory']:.2f}x "
+            f"vs committed {committed_speedup:.2f}x = {ratio:.2f} "
+            f"(floor {args.min_ratio:.2f}); "
+            f"rps {measured_rps:.0f} vs {committed_rps:.0f} -> {verdict}"
+        )
+        if ratio < args.min_ratio:
+            return 1
     return 0
 
 

@@ -19,9 +19,9 @@ from repro.audit import (
     decision_event_payload,
     recover_retained_adi,
 )
+from repro.api import open_pdp
 from repro.core import (
     InMemoryRetainedADIStore,
-    MSoDEngine,
     SQLiteRetainedADIStore,
     store_digest,
 )
@@ -39,15 +39,16 @@ def main() -> None:
 
     print(f"Phase 1 — a PDP serves {N_REQUESTS} requests, logging every")
     print("decision (and its retained-ADI mutation) to the audit trail...")
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    pdp = open_pdp(bank_policy_set())
+    engine = pdp.engine
     sqlite_path = tempfile.mktemp(suffix=".db", prefix="retained-adi-")
-    sqlite_store = SQLiteRetainedADIStore(sqlite_path)
-    sqlite_engine = MSoDEngine(bank_policy_set(), sqlite_store)
+    sqlite_pdp = open_pdp(bank_policy_set(), store=f"sqlite:{sqlite_path}")
+    sqlite_store = sqlite_pdp.engine.store
 
     grants = denies = 0
     for request in decision_request_stream(N_REQUESTS, seed=42):
         decision = engine.check(request)
-        sqlite_engine.check(request)  # the Section-6 alternative, in parallel
+        sqlite_pdp.decide(request)  # the Section-6 alternative, in parallel
         audit.append(
             EVENT_DECISION, request.timestamp, decision_event_payload(decision)
         )

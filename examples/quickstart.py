@@ -8,13 +8,12 @@ Run:  python examples/quickstart.py
 from repro import (
     ContextName,
     DecisionRequest,
-    InMemoryRetainedADIStore,
     MMER,
-    MSoDEngine,
     MSoDPolicy,
     MSoDPolicySet,
     Role,
 )
+from repro.api import open_pdp
 from repro.core import Step
 
 TELLER = Role("employee", "Teller")
@@ -30,10 +29,10 @@ def main() -> None:
         last_step=Step("CommitAudit", "http://audit.location.com/audit"),
         policy_id="bank-cash-processing",
     )
-    engine = MSoDEngine(MSoDPolicySet([policy]), InMemoryRetainedADIStore())
+    pdp = open_pdp(MSoDPolicySet([policy]))
 
     def ask(user, role, operation, target, context, at):
-        decision = engine.check(
+        decision = pdp.decide(
             DecisionRequest(
                 user_id=user,
                 roles=(role,),
@@ -63,13 +62,13 @@ def main() -> None:
     print("terminates the context instance and flushes its history:")
     ask("bob", AUDITOR, "CommitAudit", "http://audit.location.com/audit",
         "Branch=York, Period=2006", 500.0)
-    remaining_2006 = len(engine.store.find(
+    remaining_2006 = len(pdp.engine.store.find(
         ContextName.parse("Branch=*, Period=2006").instantiate(
             ContextName.parse("Branch=York, Period=2006")
         )
     ))
     print(f"\n  retained-ADI records left for Period=2006: {remaining_2006}")
-    print(f"  total records (Period=2007 is still open): {engine.store.count()}")
+    print(f"  total records (Period=2007 is still open): {pdp.engine.store.count()}")
 
 
 if __name__ == "__main__":

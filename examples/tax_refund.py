@@ -9,10 +9,9 @@ which is the paper's key difference from Bertino et al. [12].
 Run:  python examples/tax_refund.py
 """
 
+from repro.api import open_pdp
 from repro.core import (
     ContextName,
-    InMemoryRetainedADIStore,
-    MSoDEngine,
     Privilege,
     Role,
 )
@@ -38,9 +37,9 @@ def build_pep() -> PolicyEnforcementPoint:
     access = RoleTargetAccessPolicy(
         {CLERK: [PREPARE, CONFIRM], MANAGER: [APPROVE, COMBINE]}
     )
-    engine = MSoDEngine(tax_refund_policy_set(), InMemoryRetainedADIStore())
+    pdp = open_pdp(tax_refund_policy_set())
     return PolicyEnforcementPoint(
-        ReferenceRBACMSoDPDP(access, engine), SimulatedClock()
+        ReferenceRBACMSoDPDP(access, pdp.engine), SimulatedClock()
     )
 
 

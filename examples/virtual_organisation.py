@@ -12,11 +12,10 @@ Liberty-style identity linking is configured.
 Run:  python examples/virtual_organisation.py
 """
 
+from repro.api import open_pdp
 from repro.core import (
     ContextName,
     DecisionRequest,
-    InMemoryRetainedADIStore,
-    MSoDEngine,
     Role,
 )
 from repro.errors import ConstraintViolationError
@@ -42,8 +41,8 @@ SSD = SsdConstraint("teller-auditor", ["Teller", "Auditor"], 2)
 CTX = ContextName.parse("Branch=York, Period=2006")
 
 
-def check(engine, identity, role, operation, target, at):
-    decision = engine.check(
+def check(pdp, identity, role, operation, target, at):
+    decision = pdp.decide(
         DecisionRequest(
             user_id=identity,
             roles=(role,),
@@ -99,30 +98,30 @@ def main() -> None:
 
     print("\nStep 5 — Alice discloses one role per session.  MSoD links her")
     print("sessions by user ID and denies the second conflicting duty:")
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
-    check(engine, ALICE, TELLER, "handleCash", "till://1", 1.0)
-    check(engine, ALICE, AUDITOR, "auditBooks", "ledger://1", 2.0)
+    pdp = open_pdp(bank_policy_set())
+    check(pdp, ALICE, TELLER, "handleCash", "till://1", 1.0)
+    check(pdp, ALICE, AUDITOR, "auditBooks", "ledger://1", 2.0)
 
     print("\n--- The Section-6 federation limitation ----------------------")
     print("With a Shibboleth IdP issuing a fresh handle per session, the")
     print("PDP cannot join the sessions:")
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    pdp = open_pdp(bank_policy_set())
     idp = ShibbolethIdP("vo-idp")
-    check(engine, idp.new_session("alice"), TELLER, "handleCash", "till://1", 1.0)
-    check(engine, idp.new_session("alice"), AUDITOR, "auditBooks", "ledger://1", 2.0)
+    check(pdp, idp.new_session("alice"), TELLER, "handleCash", "till://1", 1.0)
+    check(pdp, idp.new_session("alice"), AUDITOR, "auditBooks", "ledger://1", 2.0)
     print("    → the conflict went UNDETECTED (the paper's stated limit).")
 
     print("\nWith Liberty pairwise aliases linked to a local identity, the")
     print("PDP keys its retained ADI on the resolved local ID:")
-    engine = MSoDEngine(bank_policy_set(), InMemoryRetainedADIStore())
+    pdp = open_pdp(bank_policy_set())
     aliases = LibertyAliasService()
     linker = IdentityLinker()
     alias_1 = aliases.alias_for("alice", "sp-cash")
     alias_2 = aliases.alias_for("alice", "sp-audit")
     linker.link(alias_1, "alice@local")
     linker.link(alias_2, "alice@local")
-    check(engine, linker.resolve(alias_1), TELLER, "handleCash", "till://1", 1.0)
-    check(engine, linker.resolve(alias_2), AUDITOR, "auditBooks", "ledger://1", 2.0)
+    check(pdp, linker.resolve(alias_1), TELLER, "handleCash", "till://1", 1.0)
+    check(pdp, linker.resolve(alias_2), AUDITOR, "auditBooks", "ledger://1", 2.0)
     print("    → identity linking restores MSoD enforcement.")
 
 

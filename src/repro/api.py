@@ -221,15 +221,30 @@ class LocalPDP(PolicyDecisionPoint):
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ):
         """Atomically swap the engine's policy set; see ``swap_policy``.
 
         ``verify=True`` runs the verification gate first (static-only:
         an in-process handle records no audit trail); ``force=True``
         overrides the gate.  ``max_flips`` is accepted for signature
-        parity with the remote and cluster handles.
+        parity with the remote and cluster handles.  ``principal``
+        names the acting operator: when the outgoing set guards the
+        policy store with an admin boundary, a principal with retained
+        operational decisions is refused (``force`` does not override
+        the boundary).
         """
         policy_set = load_policy_source(policy)
+        if principal is not None:
+            from repro.core.constraints import POLICY_RELOAD_PRIVILEGE
+
+            denial = self._engine.admin_boundary_denial(
+                principal, POLICY_RELOAD_PRIVILEGE
+            )
+            if denial is not None:
+                raise PolicyError(
+                    f"policy reload refused by admin boundary: {denial}"
+                )
         if verify:
             from repro.verify.gate import evaluate_gate
 
@@ -377,6 +392,7 @@ class ServerHandle:
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ):
         """Hot-swap the server's policy set without dropping connections.
 
@@ -391,6 +407,7 @@ class ServerHandle:
             verify=verify,
             max_flips=max_flips,
             force=force,
+            principal=principal,
         )
 
     def close(self) -> None:
@@ -509,6 +526,7 @@ class ClusterHandle:
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ):
         """Roll a new policy set across every node, standby first.
 
@@ -522,6 +540,7 @@ class ClusterHandle:
             verify=verify,
             max_flips=max_flips,
             force=force,
+            principal=principal,
         )
 
     def canary_reload_policy(

@@ -144,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage decision trace after the verdict",
     )
+    decide.add_argument(
+        "--explain",
+        action="store_true",
+        help="narrate the evaluation (all constraint kinds) after the "
+        "verdict, like `explain` but for the decision just taken",
+    )
 
     compile_cmd = commands.add_parser(
         "compile", help="compile the authoring DSL to Appendix-A XML"
@@ -391,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
     preload.add_argument("policy", help="path to the new policy XML file")
     _remote_address(preload)
     _verify_flags(preload)
+    preload.add_argument(
+        "--principal",
+        default=None,
+        help="acting operator: the outgoing set's admin boundaries may "
+        "refuse a principal with retained operational decisions",
+    )
 
     cluster = commands.add_parser(
         "cluster",
@@ -505,6 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage the candidate on one shard's standby and mirror "
         "that shard's live decide stream through both sets before the "
         "coordinator-wide rollout",
+    )
+    creload.add_argument(
+        "--principal",
+        default=None,
+        help="acting operator: every live node's admin boundaries are "
+        "checked before any node swaps",
     )
 
     cresize = cluster_cmds.add_parser(
@@ -696,6 +714,8 @@ def cmd_show(args: argparse.Namespace) -> int:
         for mmep in policy.mmeps:
             privileges = ", ".join(str(priv) for priv in mmep.privileges)
             print(f"  MMEP m={mmep.forbidden_cardinality}: {{{privileges}}}")
+        for constraint in policy.extra_constraints:
+            print(f"  {constraint!r}")
     return 0
 
 
@@ -836,16 +856,22 @@ def cmd_decide(args: argparse.Namespace) -> int:
         mode=MODE_LITERAL if args.literal else MODE_STRICT,
         trace=args.trace,
     ) as pdp:
-        decision = pdp.decide(
-            DecisionRequest(
-                user_id=args.user,
-                roles=tuple(args.role),
-                operation=args.operation,
-                target=args.target,
-                context_instance=ContextName.parse(args.context),
-                timestamp=time.time(),
-            )
+        request = DecisionRequest(
+            user_id=args.user,
+            roles=tuple(args.role),
+            operation=args.operation,
+            target=args.target,
+            context_instance=ContextName.parse(args.context),
+            timestamp=time.time(),
         )
+        explanation = None
+        if args.explain:
+            from repro.core import explain
+
+            # Narrate against pre-decision store state: the decision
+            # below may append retained-ADI records.
+            explanation = explain(pdp.engine, request)
+        decision = pdp.decide(request)
     print(decision)
     if decision.granted:
         print(
@@ -854,6 +880,8 @@ def cmd_decide(args: argparse.Namespace) -> int:
         )
     if args.trace and decision.trace is not None:
         print(decision.trace.render())
+    if explanation is not None:
+        print(explanation.render())
     return 0 if decision.granted else 2
 
 
@@ -1092,6 +1120,7 @@ def cmd_policy_reload(args: argparse.Namespace) -> int:
             verify=args.verify,
             max_flips=args.max_flips,
             force=args.force,
+            principal=args.principal,
         )
     if args.verify:
         print("verification gate: passed")
@@ -1249,6 +1278,7 @@ def cmd_cluster_reload(args: argparse.Namespace) -> int:
             max_flips=args.max_flips,
             force=args.force,
             canary=args.canary,
+            principal=args.principal,
         )
     print(json.dumps(body, indent=2, sort_keys=True))
     return 0
@@ -1647,7 +1677,7 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
     from repro.api import open_cluster
     from repro.audit import EVENT_DECISION, AuditTrailManager
     from repro.core import InMemoryRetainedADIStore
-    from repro.core.constraints import MMER
+    from repro.core.constraints import MMCD, MMER, Privilege
     from repro.core.policy import MSoDPolicy, MSoDPolicySet
     from repro.workload import (
         AUDITOR,
@@ -1658,7 +1688,22 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
         hot_user_stream,
     )
 
-    policy_set = bank_policy_set()
+    # The boot set carries a combination-of-duty policy over a context
+    # no bank workload request touches (Filing/Case): the duty binding
+    # established before the primary kill must still deny a second user
+    # after failover — proving MMCD owner state survives promotion.
+    duty_review = Privilege("review", "filing")
+    duty_signoff = Privilege("signoff", "filing")
+    policy_set = MSoDPolicySet(
+        list(bank_policy_set())
+        + [
+            MSoDPolicy(
+                ContextName.parse("Filing=*, Case=!"),
+                constraints=[MMCD([duty_review, duty_signoff])],
+                policy_id="filing-duty-binding",
+            )
+        ]
+    )
     # The mid-stream reload target: the bank policy plus one extra
     # policy over a *disjoint* context (Region/Quarter, never touched
     # by the bank workload), so the reload changes the digest and
@@ -1700,9 +1745,35 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
             cluster = handle.cluster
             hot_shard = cluster.ring.shard_for("hot-user")
             report["hot_shard"] = hot_shard
+            # Two distinct users on the shard that will lose its
+            # primary: the first binds the duty set pre-kill, the
+            # second must still be denied post-failover.
+            duty_users = [
+                f"duty-user-{index}"
+                for index in range(10_000)
+                if cluster.ring.shard_for(f"duty-user-{index}") == hot_shard
+            ][:2]
+            duty_owner, duty_intruder = duty_users
+            duty_context = ContextName.parse("Filing=Annual, Case=2026")
+
+            def duty_request(user_id, privilege, stamp):
+                return DecisionRequest(
+                    user_id=user_id,
+                    roles=(AUDITOR,),
+                    operation=privilege.operation,
+                    target=privilege.target,
+                    context_instance=duty_context,
+                    timestamp=stamp,
+                )
+
             with handle.client(failover_wait=30.0) as pdp:
                 effects = []
-                for index, request in enumerate(requests):
+                # Phase 1 (pre-kill): the owner performs the first
+                # bound step and becomes the set's owner for this Case.
+                bind = duty_request(duty_owner, duty_review, 1.0)
+                requests.insert(0, bind)
+                effects.append(pdp.decide(bind).effect)
+                for index, request in enumerate(requests[1:]):
                     if index == quarter:
                         reload_body = pdp.reload_policy(extended_set)
                         report["policy_reload_changed"] = reload_body[
@@ -1711,6 +1782,32 @@ def cmd_cluster_smoke(args: argparse.Namespace) -> int:
                     if index == half:
                         report["killed"] = handle.kill_primary(hot_shard)
                     effects.append(pdp.decide(request).effect)
+                # Phase 2 (post-failover): the binding must have
+                # survived promotion — a different user is denied the
+                # remaining bound step, the owner completes it.
+                duty_phase2 = [
+                    duty_request(duty_intruder, duty_signoff, 2.0),
+                    duty_request(duty_owner, duty_signoff, 3.0),
+                ]
+                for request in duty_phase2:
+                    requests.append(request)
+                    effects.append(pdp.decide(request).effect)
+                report["mmcd"] = {
+                    "owner_bind": effects[0],
+                    "intruder_post_failover": effects[-2],
+                    "owner_completion": effects[-1],
+                }
+                if effects[0] != "grant":
+                    failures.append("MMCD owner's first bound step denied")
+                if effects[-2] != "deny":
+                    failures.append(
+                        "MMCD binding lost across failover: intruder's "
+                        "bound step was granted"
+                    )
+                if effects[-1] != "grant":
+                    failures.append(
+                        "MMCD owner denied the remaining bound step"
+                    )
 
                 # Canary rollout under live load: stage a third policy
                 # set — again decision-disjoint (Desk/Cycle, untouched

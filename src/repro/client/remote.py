@@ -833,6 +833,7 @@ class RemotePDP(PolicyDecisionPoint):
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ) -> PolicySwapReport:
         """Atomically swap the server's policy set (zero downtime).
 
@@ -850,7 +851,13 @@ class RemotePDP(PolicyDecisionPoint):
         the differential what-if replay): error findings or more than
         ``max_flips`` flipped decisions refuse the swap; ``force=True``
         overrides the gate.
+
+        ``principal`` names the acting operator; when the server's
+        outgoing policy set carries admin-boundary constraints over the
+        policy store, a principal with retained operational decisions
+        is refused (``force`` does not override the boundary).
         """
+        extra = {} if principal is None else {"principal": principal}
         body = self._call(
             protocol.OP_POLICY_RELOAD,
             retriable=True,
@@ -858,6 +865,7 @@ class RemotePDP(PolicyDecisionPoint):
             verify=verify,
             max_flips=max_flips,
             force=force,
+            **extra,
         ).get("body")
         return _report_from_reload_body(body)
 
@@ -1431,8 +1439,10 @@ class AsyncRemotePDP:
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ) -> PolicySwapReport:
         """Atomically swap the server's policy set (coroutine)."""
+        extra = {} if principal is None else {"principal": principal}
         body = (
             await self._call(
                 protocol.OP_POLICY_RELOAD,
@@ -1441,6 +1451,7 @@ class AsyncRemotePDP:
                 verify=verify,
                 max_flips=max_flips,
                 force=force,
+                **extra,
             )
         ).get("body")
         return _report_from_reload_body(body)

@@ -213,6 +213,7 @@ class ClusterPDP(PolicyDecisionPoint):
         max_flips: int = 0,
         force: bool = False,
         canary: bool = False,
+        principal: str | None = None,
     ) -> dict:
         """Roll a new policy set across the whole cluster, standby first.
 
@@ -233,6 +234,7 @@ class ClusterPDP(PolicyDecisionPoint):
         from repro.client.remote import _policy_source_to_xml
 
         client = self._coordinator_client()
+        extra = {} if principal is None else {"principal": principal}
         body = client._call(
             protocol.OP_POLICY_RELOAD,
             retriable=True,
@@ -241,6 +243,7 @@ class ClusterPDP(PolicyDecisionPoint):
             max_flips=max_flips,
             force=force,
             canary=canary,
+            **extra,
         ).get("body")
         if not isinstance(body, dict):
             raise ClusterError(

@@ -831,6 +831,7 @@ class LocalCluster:
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ) -> dict:
         """Roll a new policy set across every live node, standby first.
 
@@ -854,6 +855,25 @@ class LocalCluster:
         """
         from repro.verify.gate import evaluate_gate
 
+        if principal is not None:
+            # Check every live node's outgoing boundary BEFORE swapping
+            # anything: a mid-rollout refusal would leave the cluster
+            # running two policy versions.
+            from repro.core.constraints import POLICY_RELOAD_PRIVILEGE
+
+            for state in self._shards.values():
+                with state.lock:
+                    for node in (state.standby, state.primary):
+                        if node.name in self._dead:
+                            continue
+                        denial = node.engine.admin_boundary_denial(
+                            principal, POLICY_RELOAD_PRIVILEGE
+                        )
+                        if denial is not None:
+                            raise PolicyError(
+                                "policy reload refused by admin boundary "
+                                f"on node {node.name!r}: {denial}"
+                            )
         gate = evaluate_gate(policy_set, max_flips=max_flips)
         if not gate.ok and not force:
             raise PolicyError(
@@ -1499,6 +1519,7 @@ class LocalCluster:
 
         xml = protocol.policy_xml_of(frame)
         verify, max_flips, force = protocol.reload_options_of(frame)
+        principal = protocol.reload_principal_of(frame)
         canary = frame.get("canary", False)
         if not isinstance(canary, bool):
             raise ProtocolError("policy-reload.canary must be a boolean")
@@ -1510,7 +1531,11 @@ class LocalCluster:
                     policy_set, max_flips=max_flips
                 )
             return self.reload_policy(
-                policy_set, verify=verify, max_flips=max_flips, force=force
+                policy_set,
+                verify=verify,
+                max_flips=max_flips,
+                force=force,
+                principal=principal,
             )
 
         try:

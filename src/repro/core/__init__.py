@@ -26,7 +26,22 @@ from repro.core.admin import (
     ManagementOutcome,
     RetainedADIManagementPort,
 )
-from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.constraints import (
+    CONSTRAINT_KINDS,
+    MMCD,
+    MMEP,
+    MMER,
+    POLICY_EXPORT_PRIVILEGE,
+    POLICY_RELOAD_PRIVILEGE,
+    POLICY_STORE_TARGET,
+    AdminBoundary,
+    ConstraintVerdict,
+    MultiSessionConstraint,
+    Privilege,
+    Role,
+    policy_store_boundary,
+    register_constraint_kind,
+)
 from repro.core.context import (
     ALL_INSTANCES,
     PER_INSTANCE,
@@ -76,6 +91,16 @@ __all__ = [
     "Privilege",
     "MMER",
     "MMEP",
+    "MMCD",
+    "AdminBoundary",
+    "MultiSessionConstraint",
+    "ConstraintVerdict",
+    "CONSTRAINT_KINDS",
+    "register_constraint_kind",
+    "POLICY_STORE_TARGET",
+    "POLICY_RELOAD_PRIVILEGE",
+    "POLICY_EXPORT_PRIVILEGE",
+    "policy_store_boundary",
     "MSoDPolicy",
     "MSoDPolicySet",
     "Step",

@@ -1,4 +1,4 @@
-"""MMER and MMEP constraints (paper Sections 2.3 and 2.4).
+"""Multi-session constraint kinds (paper Sections 2.3-2.4 + extensions).
 
 A *multi-session mutually exclusive roles* (MMER) constraint
 ``MMER({r1..rn}, m, BC)`` forbids a user from activating ``m`` or more of
@@ -12,6 +12,23 @@ times with forbidden cardinality ``k`` caps the number of times a single
 user may exercise it at ``k - 1`` (paper Section 2.4, the
 ``MMEP({p1, p1}, 2, ...)`` example).
 
+Beyond the paper's two families, constraints are pluggable: every kind
+subclasses :class:`MultiSessionConstraint` and registers itself in
+:data:`CONSTRAINT_KINDS`, and the engine runs one generic evaluation
+loop instead of switch-casing on MMER/MMEP.  Two extension kinds ship
+here:
+
+* :class:`MMCD` — multi-session *combination of duty* (binding-of-duty,
+  after Hosseini's combination-of-duty extension for RBAC): once a user
+  performs one step of a bound privilege set within a business context
+  instance, the remaining steps are reserved for that same user; anyone
+  else attempting one is denied.
+* :class:`AdminBoundary` — a self-protecting administrative boundary
+  (the enforcement-point taxonomy of the finance-prototype RBAC
+  design): policy-mutation / data-export privileges are denied to a
+  principal whose retained ADI shows operational decisions in the same
+  scope, an SoD rule over the policy store itself.
+
 The business context itself lives on the enclosing :class:`~repro.core.
 policy.MSoDPolicy`; the constraint classes here carry the role/privilege
 sets and the forbidden cardinality, mirroring the XML of Appendix A.
@@ -21,9 +38,14 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, ClassVar, Iterable, Sequence
 
 from repro.errors import ConstraintError
+
+if TYPE_CHECKING:  # imported lazily to avoid cycles with decision/store
+    from repro.core.context import ContextName
+    from repro.core.decision import DecisionRequest
+    from repro.core.retained_adi import ADIViewSnapshot
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,7 +101,91 @@ def _check_cardinality(size: int, cardinality: int, kind: str) -> None:
         )
 
 
-class MMER:
+@dataclass(frozen=True, slots=True)
+class ConstraintVerdict:
+    """The outcome of evaluating one constraint against one request.
+
+    ``ok=False`` turns the interim grant into a deny with ``detail`` as
+    the violation message.  ``ok=True`` lets the request through and
+    tells the engine which retained-ADI records to buffer: one
+    role-record per entry of ``grant_roles`` (the MMER step 5.iv idiom)
+    or one base exercise record when ``grant_exercise`` is set (steps
+    6.iv / the extension kinds).  A constraint that does not match the
+    request returns the plain OK verdict and records nothing.
+    """
+
+    ok: bool
+    detail: str = ""
+    grant_roles: tuple[Role, ...] = ()
+    grant_exercise: bool = False
+
+
+#: Shared verdicts for the hot path: most constraints either skip the
+#: request entirely or grant-and-record one exercise.
+CONSTRAINT_OK = ConstraintVerdict(True)
+CONSTRAINT_OK_EXERCISE = ConstraintVerdict(True, grant_exercise=True)
+
+
+class MultiSessionConstraint:
+    """Base protocol every multi-session constraint kind implements.
+
+    A kind is a class with a unique ``kind`` string, a request
+    pre-filter (:meth:`matches_request`), the step evaluation
+    (:meth:`evaluate`) and a digest-stable :meth:`canonical` form.
+    Registering the class in :data:`CONSTRAINT_KINDS` (via
+    :func:`register_constraint_kind`) lets the XML/DSL layers, the
+    verifier and the wire protocol discover it without the engine ever
+    switch-casing on concrete families.
+    """
+
+    __slots__ = ()
+
+    #: Unique registry key; also the ``constraint_kind`` stamped on
+    #: violations and wire decision payloads.
+    kind: ClassVar[str] = ""
+
+    def matches_request(self, request: "DecisionRequest") -> bool:
+        """True when this constraint could constrain the request."""
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        request: "DecisionRequest",
+        effective_context: "ContextName",
+        views: "ADIViewSnapshot",
+    ) -> ConstraintVerdict:
+        """Evaluate against the user's retained history for the context."""
+        raise NotImplementedError
+
+    def canonical(self) -> dict:
+        """A JSON-able canonical form (policy-set digest input)."""
+        raise NotImplementedError
+
+
+#: Registry of constraint kinds by their ``kind`` string.
+CONSTRAINT_KINDS: dict[str, type[MultiSessionConstraint]] = {}
+
+
+def register_constraint_kind(
+    cls: type[MultiSessionConstraint],
+) -> type[MultiSessionConstraint]:
+    """Class decorator: register a constraint kind by its ``kind`` key."""
+    if not cls.kind:
+        raise ConstraintError(
+            f"constraint class {cls.__name__} must define a non-empty kind"
+        )
+    existing = CONSTRAINT_KINDS.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ConstraintError(
+            f"constraint kind {cls.kind!r} is already registered "
+            f"by {existing.__name__}"
+        )
+    CONSTRAINT_KINDS[cls.kind] = cls
+    return cls
+
+
+@register_constraint_kind
+class MMER(MultiSessionConstraint):
     """Multi-session mutually exclusive roles: m-out-of-n forbidden.
 
     Roles in an MMER set are distinct (a duplicate role would make the
@@ -89,6 +195,8 @@ class MMER:
     """
 
     __slots__ = ("_roles", "_cardinality")
+
+    kind = "MMER"
 
     def __init__(self, roles: Iterable[Role], forbidden_cardinality: int) -> None:
         role_tuple = tuple(roles)
@@ -120,6 +228,48 @@ class MMER:
         matched_set = set(matched)
         return frozenset(role for role in self._roles if role not in matched_set)
 
+    def matches_request(self, request: "DecisionRequest") -> bool:
+        member = set(self._roles)
+        return any(role in member for role in request.roles)
+
+    def evaluate(
+        self,
+        request: "DecisionRequest",
+        effective_context: "ContextName",
+        views: "ADIViewSnapshot",
+    ) -> ConstraintVerdict:
+        # 5.i: match activated role(s) against MMER role(s).
+        matched = self.matched_roles(request.roles)
+        if not matched:
+            # 5.ii: no match, next constraint.
+            return CONSTRAINT_OK
+        # 5.iii: count remaining MMER roles present in the user's history
+        # for this policy context.
+        remaining = self.remaining_roles(matched)
+        historic = views.user_roles(request.user_id, effective_context)
+        count = len(remaining & historic)
+        # 5.iv: grant-and-record or deny.
+        if count < self._cardinality - len(matched):
+            return ConstraintVerdict(
+                True, grant_roles=tuple(sorted(matched, key=str))
+            )
+        return ConstraintVerdict(
+            False,
+            detail=(
+                f"user {request.user_id!r} would hold {count + len(matched)} of "
+                f"{len(self._roles)} mutually exclusive roles (forbidden "
+                f"cardinality {self._cardinality}) in context "
+                f"[{effective_context}]"
+            ),
+        )
+
+    def canonical(self) -> dict:
+        return {
+            "kind": self.kind,
+            "roles": sorted(str(role) for role in self._roles),
+            "m": self._cardinality,
+        }
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MMER):
             return NotImplemented
@@ -136,7 +286,8 @@ class MMER:
         return f"MMER({{{roles}}}, m={self._cardinality})"
 
 
-class MMEP:
+@register_constraint_kind
+class MMEP(MultiSessionConstraint):
     """Multi-session mutually exclusive privileges: m-out-of-n forbidden.
 
     Unlike MMER, the privilege list is a *multiset*: the same privilege
@@ -145,6 +296,8 @@ class MMEP:
     """
 
     __slots__ = ("_privileges", "_cardinality")
+
+    kind = "MMEP"
 
     def __init__(
         self, privileges: Iterable[Privilege], forbidden_cardinality: int
@@ -178,6 +331,46 @@ class MMEP:
         if remaining[matched] <= 0:
             del remaining[matched]
         return remaining
+
+    def matches_request(self, request: "DecisionRequest") -> bool:
+        return request.privilege in self._privileges
+
+    def evaluate(
+        self,
+        request: "DecisionRequest",
+        effective_context: "ContextName",
+        views: "ADIViewSnapshot",
+    ) -> ConstraintVerdict:
+        # 6.i: match requested operation and target against MMEP
+        # privilege(s).
+        if request.privilege not in self._privileges:
+            # 6.ii: no match, next constraint.
+            return CONSTRAINT_OK
+        # 6.iii: ignoring one occurrence of the matched privilege, count
+        # remaining MMEP entries matching the user's exercise history.
+        remaining = self.remaining_privileges(request.privilege)
+        history = views.user_privilege_exercise_counts(
+            request.user_id, effective_context
+        )
+        count = count_history_matches(remaining, history)
+        if count < self._cardinality - 1:
+            return CONSTRAINT_OK_EXERCISE
+        return ConstraintVerdict(
+            False,
+            detail=(
+                f"user {request.user_id!r} would exercise {count + 1} of "
+                f"{len(self._privileges)} mutually exclusive privileges "
+                f"(forbidden cardinality {self._cardinality}) in "
+                f"context [{effective_context}]"
+            ),
+        )
+
+    def canonical(self) -> dict:
+        return {
+            "kind": self.kind,
+            "privileges": sorted(str(priv) for priv in self._privileges),
+            "m": self._cardinality,
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MMEP):
@@ -216,4 +409,198 @@ def count_history_matches(
     return sum(
         min(multiplicity, history_counts[privilege])
         for privilege, multiplicity in remaining.items()
+    )
+
+
+@register_constraint_kind
+class MMCD(MultiSessionConstraint):
+    """Multi-session combination of duty: bound steps bind to one user.
+
+    The dual of MMEP (binding-of-duty): ``MMCD({p1..pn}, BC)`` requires
+    that every exercised step of the bound privilege set within one
+    business context [instance] is performed by the *same* user.  The
+    first user to perform any bound step becomes the owner of the set
+    for that instance; a different user attempting a bound step is
+    denied.  Real scenario: the auditor who reviews Q1 of a filing must
+    review Q2-Q4 of the same filing too.
+
+    Bound privileges are distinct (repetition carries no meaning here —
+    ownership, not cardinality, is what is enforced) and there is no
+    forbidden cardinality: the bound set binds as a whole.
+    """
+
+    __slots__ = ("_privileges",)
+
+    kind = "MMCD"
+
+    def __init__(self, privileges: Iterable[Privilege]) -> None:
+        priv_tuple = tuple(privileges)
+        if len(set(priv_tuple)) != len(priv_tuple):
+            raise ConstraintError("MMCD bound set must not contain duplicates")
+        if len(priv_tuple) < 2:
+            raise ConstraintError(
+                f"MMCD needs at least 2 bound privileges, got {len(priv_tuple)}"
+            )
+        self._privileges = priv_tuple
+
+    @property
+    def privileges(self) -> tuple[Privilege, ...]:
+        return self._privileges
+
+    def matches_request(self, request: "DecisionRequest") -> bool:
+        return request.privilege in self._privileges
+
+    def evaluate(
+        self,
+        request: "DecisionRequest",
+        effective_context: "ContextName",
+        views: "ADIViewSnapshot",
+    ) -> ConstraintVerdict:
+        if request.privilege not in self._privileges:
+            return CONSTRAINT_OK
+        owners = views.users_with_privileges(
+            self._privileges, effective_context
+        )
+        others = [owner for owner in owners if owner != request.user_id]
+        if not others:
+            return CONSTRAINT_OK_EXERCISE
+        return ConstraintVerdict(
+            False,
+            detail=(
+                f"user {request.user_id!r} attempted bound duty step "
+                f"{request.privilege} in context [{effective_context}], but "
+                f"the combination-of-duty set is already bound to user(s) "
+                f"{', '.join(repr(owner) for owner in sorted(others))}"
+            ),
+        )
+
+    def canonical(self) -> dict:
+        return {
+            "kind": self.kind,
+            "privileges": sorted(str(priv) for priv in self._privileges),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MMCD):
+            return NotImplemented
+        return set(self._privileges) == set(other._privileges)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._privileges))
+
+    def __repr__(self) -> str:
+        privs = ", ".join(str(priv) for priv in self._privileges)
+        return f"MMCD({{{privs}}})"
+
+
+#: Canonical target URI for the PDP's own policy store — the resource
+#: guarded by self-protecting admin boundaries (mirrors the Section 4.3
+#: management port's ``pdp://management/retainedADI``).
+POLICY_STORE_TARGET = "pdp://management/policyStore"
+
+#: The two administrative privileges over the policy store.
+POLICY_RELOAD_PRIVILEGE = Privilege("policy-reload", POLICY_STORE_TARGET)
+POLICY_EXPORT_PRIVILEGE = Privilege("policy-export", POLICY_STORE_TARGET)
+
+
+@register_constraint_kind
+class AdminBoundary(MultiSessionConstraint):
+    """A self-protecting administrative boundary over privileged targets.
+
+    ``AdminBoundary(label, {a1..an})`` guards the listed administrative
+    privileges (policy mutation, data export) with a separation-of-duty
+    rule over the PDP's own state: a principal whose retained ADI shows
+    *operational* (non-administrative) decisions within the policy's
+    business context may not exercise a guarded privilege.  Concretely:
+    ``policy reload`` is denied to a principal who decided under the
+    outgoing policy epoch — the one whose history is still retained.
+    """
+
+    __slots__ = ("_boundary", "_privileges", "_admin_set")
+
+    kind = "ADMIN_BOUNDARY"
+
+    def __init__(self, boundary: str, privileges: Iterable[Privilege]) -> None:
+        if not boundary:
+            raise ConstraintError("admin boundary label must be non-empty")
+        priv_tuple = tuple(privileges)
+        if not priv_tuple:
+            raise ConstraintError(
+                "admin boundary needs at least 1 guarded privilege"
+            )
+        if len(set(priv_tuple)) != len(priv_tuple):
+            raise ConstraintError(
+                "admin boundary guarded set must not contain duplicates"
+            )
+        self._boundary = boundary
+        self._privileges = priv_tuple
+        self._admin_set = frozenset(priv_tuple)
+
+    @property
+    def boundary(self) -> str:
+        return self._boundary
+
+    @property
+    def privileges(self) -> tuple[Privilege, ...]:
+        return self._privileges
+
+    def matches_request(self, request: "DecisionRequest") -> bool:
+        return request.privilege in self._admin_set
+
+    def evaluate(
+        self,
+        request: "DecisionRequest",
+        effective_context: "ContextName",
+        views: "ADIViewSnapshot",
+    ) -> ConstraintVerdict:
+        if request.privilege not in self._admin_set:
+            return CONSTRAINT_OK
+        history = views.user_privilege_exercise_counts(
+            request.user_id, effective_context
+        )
+        operational = [
+            privilege
+            for privilege in history
+            if privilege not in self._admin_set
+        ]
+        if not operational:
+            return CONSTRAINT_OK_EXERCISE
+        return ConstraintVerdict(
+            False,
+            detail=(
+                f"user {request.user_id!r} crosses admin boundary "
+                f"{self._boundary!r}: {len(operational)} operational "
+                f"privilege(s) retained in context [{effective_context}] "
+                f"(e.g. {sorted(str(p) for p in operational)[0]}) forbid "
+                f"{request.privilege}"
+            ),
+        )
+
+    def canonical(self) -> dict:
+        return {
+            "kind": self.kind,
+            "boundary": self._boundary,
+            "privileges": sorted(str(priv) for priv in self._privileges),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdminBoundary):
+            return NotImplemented
+        return (
+            self._boundary == other._boundary
+            and set(self._privileges) == set(other._privileges)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._boundary, frozenset(self._privileges)))
+
+    def __repr__(self) -> str:
+        privs = ", ".join(str(priv) for priv in self._privileges)
+        return f"AdminBoundary({self._boundary!r}, {{{privs}}})"
+
+
+def policy_store_boundary() -> AdminBoundary:
+    """The standard boundary guarding the PDP's own policy store."""
+    return AdminBoundary(
+        "policy-store", (POLICY_RELOAD_PRIVILEGE, POLICY_EXPORT_PRIVILEGE)
     )

@@ -75,7 +75,10 @@ class MSoDViolation:
     """Details of the constraint that triggered a deny."""
 
     policy_id: str
-    constraint_kind: str  # "MMER" or "MMEP"
+    #: A registry key from :data:`repro.core.constraints.CONSTRAINT_KINDS`
+    #: ("MMER", "MMEP", "MMCD", "ADMIN_BOUNDARY", ...).  Free-form on the
+    #: wire so new kinds are additive for v1/v2 peers.
+    constraint_kind: str
     constraint_repr: str
     effective_context: ContextName
     detail: str

@@ -27,9 +27,10 @@ Two evaluation modes are provided:
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Iterable
 
-from repro.core.constraints import MMEP, MMER, count_history_matches
+from repro.core.constraints import AdminBoundary, Privilege
 from repro.core.context import ContextName
 from repro.core.decision import (
     Decision,
@@ -61,17 +62,61 @@ MODE_STRICT = "strict"
 MODE_LITERAL = "literal"
 
 
+class _AdminProbe:
+    """Quacks like a DecisionRequest for admin-boundary evaluation.
+
+    A management action carries no concrete business-context instance,
+    so a real :class:`~repro.core.decision.DecisionRequest` cannot be
+    built for it; boundary evaluation only reads ``user_id`` and
+    ``privilege``.
+    """
+
+    __slots__ = ("user_id", "privilege")
+
+    def __init__(self, user_id: str, privilege: Privilege) -> None:
+        self.user_id = user_id
+        self.privilege = privilege
+
+
 class MSoDEngine:
     """Evaluates MSoD policies over a retained-ADI store."""
 
     def __init__(
         self,
-        policy_set: MSoDPolicySet,
-        store: RetainedADIStore,
+        policy_set: MSoDPolicySet | None = None,
+        store: RetainedADIStore | None = None,
+        /,
         mode: str = MODE_STRICT,
         perf: PerfRecorder | None = None,
         tracer: DecisionTracer | None = None,
+        **legacy,
     ) -> None:
+        if legacy:
+            unknown = set(legacy) - {"policy_set", "store"}
+            if unknown:
+                raise TypeError(
+                    "MSoDEngine() got unexpected keyword argument(s) "
+                    f"{sorted(unknown)}"
+                )
+            warnings.warn(
+                "constructing MSoDEngine with policy_set=/store= keywords "
+                "is deprecated; open a handle with repro.api.open_pdp "
+                "instead (or pass them positionally)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if "policy_set" in legacy:
+                if policy_set is not None:
+                    raise TypeError("MSoDEngine() got policy_set twice")
+                policy_set = legacy["policy_set"]
+            if "store" in legacy:
+                if store is not None:
+                    raise TypeError("MSoDEngine() got store twice")
+                store = legacy["store"]
+        if policy_set is None or store is None:
+            raise PolicyError(
+                "MSoDEngine requires a policy set and a retained-ADI store"
+            )
         if mode not in (MODE_STRICT, MODE_LITERAL):
             raise PolicyError(f"unknown engine mode {mode!r}")
         digest = policy_set_digest(policy_set)
@@ -239,6 +284,37 @@ class MSoDEngine:
         """
         self.swap_policy(policy_set, force=True)
 
+    def admin_boundary_denial(
+        self, user_id: str, privilege: Privilege
+    ) -> str | None:
+        """Deny detail if an active admin boundary forbids ``privilege``.
+
+        The management-port SoD check: before a policy mutation
+        (reload, export) the caller asks whether the acting principal
+        crosses an :class:`~repro.core.constraints.AdminBoundary` of
+        the *active* — soon to be outgoing — policy set.  Each boundary
+        is evaluated over its policy's whole scope (the business-context
+        pattern matches every retained instance), so operational
+        decisions retained anywhere under the boundary's scope block
+        the action.  Returns ``None`` when the privilege is unguarded
+        or the principal is clean.
+        """
+        policy_set = self._active[0]
+        probe = _AdminProbe(user_id, privilege)
+        views = self._store.snapshot_views()
+        for policy in policy_set:
+            for constraint in policy.extra_constraints:
+                if not isinstance(constraint, AdminBoundary):
+                    continue
+                if not constraint.matches_request(probe):
+                    continue
+                verdict = constraint.evaluate(
+                    probe, policy.business_context, views
+                )
+                if not verdict.ok:
+                    return verdict.detail
+        return None
+
     # ------------------------------------------------------------------
     def check(self, request: DecisionRequest) -> Decision:
         """Run the Section 4.2 algorithm for one interim-granted request."""
@@ -378,102 +454,32 @@ class MSoDEngine:
                 self._finish_policy(policy, request, effective_context, pending, mutation)
                 return None
 
-        # Step 5: MMER constraints.
-        for mmer in policy.mmers:
-            violation = self._check_mmer(
-                mmer, policy, request, effective_context, pending, views
-            )
-            if violation is not None:
-                return violation
-
-        # Step 6: MMEP constraints.
-        for mmep in policy.mmeps:
-            violation = self._check_mmep(
-                mmep, policy, request, effective_context, pending, views
-            )
-            if violation is not None:
-                return violation
+        # Steps 5-6, generalised: evaluate every constraint of the
+        # policy in declaration order (MMERs = step 5, MMEPs = step 6,
+        # then extension kinds).  Each kind returns a typed verdict; the
+        # engine materialises the records it asks for, so constraint
+        # classes never touch the store or the record schema.
+        for constraint in policy.constraints:
+            verdict = constraint.evaluate(request, effective_context, views)
+            if not verdict.ok:
+                return MSoDViolation(
+                    policy_id=policy.policy_id,
+                    constraint_kind=constraint.kind,
+                    constraint_repr=repr(constraint),
+                    effective_context=effective_context,
+                    detail=verdict.detail,
+                )
+            if verdict.grant_exercise:
+                pending.append(self._base_record(request))
+            elif verdict.grant_roles:
+                pending.extend(
+                    self._role_record(request, role)
+                    for role in verdict.grant_roles
+                )
 
         # Step 7: last-step handling / store the retainedADIlist.
         self._finish_policy(policy, request, effective_context, pending, mutation)
         return None
-
-    def _check_mmer(
-        self,
-        mmer: MMER,
-        policy: MSoDPolicy,
-        request: DecisionRequest,
-        effective_context: ContextName,
-        pending: list[RetainedADIRecord],
-        views: ADIViewSnapshot,
-    ) -> MSoDViolation | None:
-        # 5.i: match activated role(s) against MMER role(s).
-        matched = mmer.matched_roles(request.roles)
-        if not matched:
-            # 5.ii: no match, next MMER.
-            return None
-        # 5.iii: count remaining MMER roles present in the user's history
-        # for this policy context.
-        remaining = mmer.remaining_roles(matched)
-        historic = views.user_roles(request.user_id, effective_context)
-        count = len(remaining & historic)
-        # 5.iv: grant-and-record or deny.
-        if count < mmer.forbidden_cardinality - len(matched):
-            pending.extend(
-                self._role_record(request, role) for role in sorted(
-                    matched, key=str
-                )
-            )
-            return None
-        return MSoDViolation(
-            policy_id=policy.policy_id,
-            constraint_kind="MMER",
-            constraint_repr=repr(mmer),
-            effective_context=effective_context,
-            detail=(
-                f"user {request.user_id!r} would hold {count + len(matched)} of "
-                f"{len(mmer.roles)} mutually exclusive roles (forbidden "
-                f"cardinality {mmer.forbidden_cardinality}) in context "
-                f"[{effective_context}]"
-            ),
-        )
-
-    def _check_mmep(
-        self,
-        mmep: MMEP,
-        policy: MSoDPolicy,
-        request: DecisionRequest,
-        effective_context: ContextName,
-        pending: list[RetainedADIRecord],
-        views: ADIViewSnapshot,
-    ) -> MSoDViolation | None:
-        # 6.i: match requested operation and target against MMEP
-        # privilege(s).
-        if not mmep.matches(request.privilege):
-            # 6.ii: no match, next MMEP.
-            return None
-        # 6.iii: ignoring one occurrence of the matched privilege, count
-        # remaining MMEP entries matching the user's exercise history.
-        remaining = mmep.remaining_privileges(request.privilege)
-        history = views.user_privilege_exercise_counts(
-            request.user_id, effective_context
-        )
-        count = count_history_matches(remaining, history)
-        if count < mmep.forbidden_cardinality - 1:
-            pending.append(self._base_record(request))
-            return None
-        return MSoDViolation(
-            policy_id=policy.policy_id,
-            constraint_kind="MMEP",
-            constraint_repr=repr(mmep),
-            effective_context=effective_context,
-            detail=(
-                f"user {request.user_id!r} would exercise {count + 1} of "
-                f"{len(mmep.privileges)} mutually exclusive privileges "
-                f"(forbidden cardinality {mmep.forbidden_cardinality}) in "
-                f"context [{effective_context}]"
-            ),
-        )
 
     def _finish_policy(
         self,

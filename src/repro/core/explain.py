@@ -174,6 +174,34 @@ def explain(engine: MSoDEngine, request: DecisionRequest) -> Explanation:
                 explanation.effect = Effect.DENY
                 return explanation
 
+        # Pluggable extension kinds (MMCD, ADMIN_BOUNDARY, ...): narrate
+        # through the same verdict interface the engine's generic loop
+        # uses, against a read-only view snapshot.
+        for constraint in policy.extra_constraints:
+            if not constraint.matches_request(request):
+                lines.append(
+                    TraceLine(
+                        "6",
+                        f"{constraint!r}: requested privilege not covered "
+                        f"by this {constraint.kind} constraint",
+                    )
+                )
+                continue
+            verdict = constraint.evaluate(
+                request, effective, store.snapshot_views()
+            )
+            if verdict.ok:
+                lines.append(
+                    TraceLine(
+                        "6", f"{constraint!r}: no conflict in retained ADI"
+                    )
+                )
+            else:
+                lines.append(TraceLine("6", f"{constraint!r}: VIOLATION"))
+                lines.append(TraceLine("6", verdict.detail))
+                explanation.effect = Effect.DENY
+                return explanation
+
         _explain_step7(policy, request, lines)
 
     return explanation

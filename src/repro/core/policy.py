@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.constraints import (
+    MMEP,
+    MMER,
+    MultiSessionConstraint,
+    Privilege,
+    Role,
+)
 from repro.core.context import ContextName
 from repro.errors import PolicyError
 
@@ -55,7 +61,14 @@ class MSoDPolicy:
         contexts equal or subordinate to it are in scope (paper
         Section 2.3).
     mmers, mmeps:
-        The constraints.  At least one constraint must be present.
+        The paper's two constraint families.  At least one constraint
+        (of any kind) must be present on the policy.
+    constraints:
+        Additional constraints of any registered kind (MMCD,
+        AdminBoundary, ...).  MMER/MMEP instances passed here are
+        folded into the ``mmers``/``mmeps`` families; evaluation order
+        is MMERs (step 5), MMEPs (step 6), then extension kinds in
+        declaration order.
     first_step:
         Optional: enforcement (and history retention) for a context
         instance starts only when this operation/target is invoked.  When
@@ -73,6 +86,8 @@ class MSoDPolicy:
         "_business_context",
         "_mmers",
         "_mmeps",
+        "_extras",
+        "_constraints",
         "_first_step",
         "_last_step",
         "_policy_id",
@@ -86,16 +101,34 @@ class MSoDPolicy:
         first_step: Step | None = None,
         last_step: Step | None = None,
         policy_id: str | None = None,
+        constraints: Iterable[MultiSessionConstraint] = (),
     ) -> None:
         if not isinstance(business_context, ContextName):
             raise PolicyError("business_context must be a ContextName")
-        mmers = tuple(mmers)
-        mmeps = tuple(mmeps)
-        if not mmers and not mmeps:
+        mmer_list = list(mmers)
+        mmep_list = list(mmeps)
+        extra_list: list[MultiSessionConstraint] = []
+        for constraint in constraints:
+            if isinstance(constraint, MMER):
+                mmer_list.append(constraint)
+            elif isinstance(constraint, MMEP):
+                mmep_list.append(constraint)
+            elif isinstance(constraint, MultiSessionConstraint):
+                extra_list.append(constraint)
+            else:
+                raise PolicyError(
+                    "policy constraints must be MultiSessionConstraint "
+                    f"instances, got {type(constraint).__name__}"
+                )
+        if not mmer_list and not mmep_list and not extra_list:
             raise PolicyError("an MSoD policy needs at least one MMER or MMEP")
         self._business_context = business_context
-        self._mmers = mmers
-        self._mmeps = mmeps
+        self._mmers = tuple(mmer_list)
+        self._mmeps = tuple(mmep_list)
+        self._extras = tuple(extra_list)
+        # Evaluation order: the published step order (5 then 6), then
+        # extension kinds.  The engine's generic loop walks this tuple.
+        self._constraints = self._mmers + self._mmeps + self._extras
         self._first_step = first_step
         self._last_step = last_step
         self._policy_id = policy_id or f"msod:{business_context or 'universal'}"
@@ -112,6 +145,22 @@ class MSoDPolicy:
     @property
     def mmeps(self) -> tuple[MMEP, ...]:
         return self._mmeps
+
+    @property
+    def extra_constraints(self) -> tuple[MultiSessionConstraint, ...]:
+        """Constraints of extension kinds (everything beyond MMER/MMEP)."""
+        return self._extras
+
+    @property
+    def constraints(self) -> tuple[MultiSessionConstraint, ...]:
+        """All constraints in evaluation order: MMERs, MMEPs, extras."""
+        return self._constraints
+
+    def constraints_of_kind(
+        self, kind: str
+    ) -> tuple[MultiSessionConstraint, ...]:
+        """The policy's constraints with the given registry kind."""
+        return tuple(c for c in self._constraints if c.kind == kind)
 
     @property
     def first_step(self) -> Step | None:
@@ -143,9 +192,10 @@ class MSoDPolicy:
         )
 
     def __repr__(self) -> str:
+        extras = f", extras={len(self._extras)}" if self._extras else ""
         return (
             f"MSoDPolicy({self._policy_id!r}, context={str(self._business_context)!r},"
-            f" mmers={len(self._mmers)}, mmeps={len(self._mmeps)})"
+            f" mmers={len(self._mmers)}, mmeps={len(self._mmeps)}{extras})"
         )
 
 

@@ -46,8 +46,14 @@ def _canonical_policy(policy: MSoDPolicy) -> dict:
     Constraint members are sorted (MMER roles and MMEP privileges are
     set/multiset-valued), but policy order is preserved by the caller:
     step-1 matching reports policies in set order.
+
+    Extension-kind constraints are emitted under a ``constraints`` key
+    **only when present**, through each kind's ``canonical()`` form:
+    a policy set without them serialises exactly as it did before the
+    pluggable-kind redesign, so existing digests are stable across the
+    upgrade.
     """
-    return {
+    canonical = {
         "id": policy.policy_id,
         "context": str(policy.business_context),
         "mmers": [
@@ -64,6 +70,11 @@ def _canonical_policy(policy: MSoDPolicy) -> dict:
         "first": str(policy.first_step) if policy.first_step else None,
         "last": str(policy.last_step) if policy.last_step else None,
     }
+    if policy.extra_constraints:
+        canonical["constraints"] = [
+            constraint.canonical() for constraint in policy.extra_constraints
+        ]
+    return canonical
 
 
 def policy_set_digest(policy_set: MSoDPolicySet) -> str:
@@ -108,7 +119,15 @@ class CompiledPolicyMatcher:
     which is what keeps hot-reload invalidation of compiled state atomic.
     """
 
-    __slots__ = ("epoch", "digest", "_root", "_buckets", "_memo", "_memo_limit")
+    __slots__ = (
+        "epoch",
+        "digest",
+        "_root",
+        "_buckets",
+        "_memo",
+        "_memo_limit",
+        "_kind_counts",
+    )
 
     def __init__(
         self,
@@ -122,6 +141,15 @@ class CompiledPolicyMatcher:
         self._memo_limit = memo_limit
         self._memo: dict[ContextName, tuple[MSoDPolicy, ...]] = {}
         policies = tuple(policy_set)
+        # Per-kind constraint census, precomputed at swap time so the
+        # serving layer's `policy status` answers without a set scan.
+        kind_counts: dict[str, int] = {}
+        for policy in policies:
+            for constraint in policy.constraints:
+                kind_counts[constraint.kind] = (
+                    kind_counts.get(constraint.kind, 0) + 1
+                )
+        self._kind_counts = kind_counts
         self._root = tuple(
             (policy.business_context.matcher, policy)
             for policy in policies
@@ -170,6 +198,11 @@ class CompiledPolicyMatcher:
 
     def memo_size(self) -> int:
         return len(self._memo)
+
+    @property
+    def constraint_kind_counts(self) -> dict[str, int]:
+        """Constraint count per registry kind across the compiled set."""
+        return dict(self._kind_counts)
 
 
 @dataclass(frozen=True, slots=True)

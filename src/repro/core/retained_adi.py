@@ -429,13 +429,22 @@ class ADIViewSnapshot:
     takes one snapshot per request and routes all reads through it.
     """
 
-    __slots__ = ("_store", "_has_context", "_roles", "_exercise_counts")
+    __slots__ = (
+        "_store",
+        "_has_context",
+        "_roles",
+        "_exercise_counts",
+        "_privilege_owners",
+    )
 
     def __init__(self, store: "RetainedADIStore") -> None:
         self._store = store
         self._has_context: dict[ContextName, bool] = {}
         self._roles: dict[tuple[str, ContextName], frozenset[Role]] = {}
         self._exercise_counts: dict[tuple[str, ContextName], Counter] = {}
+        self._privilege_owners: dict[
+            tuple[tuple[Privilege, ...], ContextName], frozenset[str]
+        ] = {}
 
     def has_context(self, effective_context: ContextName) -> bool:
         memo = self._has_context
@@ -468,6 +477,22 @@ class ADIViewSnapshot:
                 self._store.user_privilege_exercises(user_id, effective_context)
             )
         return counts
+
+    def users_with_privileges(
+        self,
+        privileges: tuple[Privilege, ...],
+        effective_context: ContextName,
+    ) -> frozenset[str]:
+        """Users with a retained exercise of any listed privilege (MMCD)."""
+        key = (privileges, effective_context)
+        owners = self._privilege_owners.get(key)
+        if owners is None:
+            owners = self._privilege_owners[key] = (
+                self._store.users_with_privileges(
+                    privileges, effective_context
+                )
+            )
+        return owners
 
 
 class RetainedADIStore:
@@ -645,6 +670,25 @@ class RetainedADIStore:
             seen_requests.add(record.request_id)
             exercises.append(record.privilege)
         return exercises
+
+    def users_with_privileges(
+        self,
+        privileges: Iterable[Privilege],
+        effective_context: ContextName,
+    ) -> frozenset[str]:
+        """Users with a retained exercise of any listed privilege in scope.
+
+        The combination-of-duty ownership view: which users already
+        performed a step of an MMCD bound set within the effective
+        context.  The generic implementation scans :meth:`find`;
+        backends with per-context indexes may override it.
+        """
+        wanted = set(privileges)
+        return frozenset(
+            record.user_id
+            for record in self.find(effective_context)
+            if record.privilege in wanted
+        )
 
 
 class InMemoryRetainedADIStore(RetainedADIStore):

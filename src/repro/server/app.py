@@ -385,10 +385,15 @@ class MSoDServer:
 
         xml = protocol.policy_xml_of(frame)
         verify, max_flips, force = protocol.reload_options_of(frame)
+        principal = protocol.reload_principal_of(frame)
         try:
             policy_set = parse_policy_set(xml)
             report = self._service.reload_policy(
-                policy_set, verify=verify, max_flips=max_flips, force=force
+                policy_set,
+                verify=verify,
+                max_flips=max_flips,
+                force=force,
+                principal=principal,
             )
         except PolicyError as exc:
             await self._send(

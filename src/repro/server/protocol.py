@@ -631,6 +631,23 @@ def reload_options_of(frame: Mapping[str, Any]) -> tuple[bool, int, bool]:
     return verify, max_flips, force
 
 
+def reload_principal_of(frame: Mapping[str, Any]) -> str | None:
+    """The optional ``principal`` field of a ``policy-reload`` frame.
+
+    Additive: old clients never send it and the swap proceeds unguarded.
+    When present, the server checks the principal against admin-boundary
+    constraints of the *outgoing* policy set before swapping.
+    """
+    principal = frame.get("principal")
+    if principal is None:
+        return None
+    if not isinstance(principal, str) or not principal:
+        raise ProtocolError(
+            "policy-reload.principal must be a non-empty string"
+        )
+    return principal
+
+
 # ---------------------------------------------------------------------------
 # Protocol v2: msgpack-style payload codec ("binpack")
 # ---------------------------------------------------------------------------

@@ -353,6 +353,9 @@ class AuthorizationService:
             "version": version.to_dict(),
             "reloads": self._policy_reloads,
             "findings": list(self._last_findings),
+            # Additive: per-kind constraint census of the active epoch
+            # (old clients ignore it; old servers simply omit it).
+            "constraint_kinds": self._engine.compiled_matcher.constraint_kind_counts,
         }
 
     @property
@@ -408,6 +411,7 @@ class AuthorizationService:
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ) -> PolicySwapReport:
         """Atomically swap the engine's policy set (see ``swap_policy``).
 
@@ -427,7 +431,24 @@ class AuthorizationService:
         leave the active epoch untouched; ``force=True`` overrides the
         gate (and additionally advances the epoch even for an identical
         digest, see :meth:`~repro.core.engine.MSoDEngine.swap_policy`).
+
+        When ``principal`` is given, the *outgoing* policy set's admin
+        boundaries are consulted first: a principal whose retained ADI
+        shows operational decisions under the outgoing epoch may not
+        swap the policy that judged them.  ``force`` does **not**
+        override this refusal — the boundary protects the PDP from its
+        own operators.
         """
+        if principal is not None:
+            from repro.core.constraints import POLICY_RELOAD_PRIVILEGE
+
+            denial = self._engine.admin_boundary_denial(
+                principal, POLICY_RELOAD_PRIVILEGE
+            )
+            if denial is not None:
+                raise PolicyError(
+                    f"policy reload refused by admin boundary: {denial}"
+                )
         if verify:
             from repro.verify.gate import evaluate_gate
 

@@ -90,6 +90,7 @@ class ServerThread:
         verify: bool = False,
         max_flips: int = 0,
         force: bool = False,
+        principal: str | None = None,
     ):
         """Thread-safe policy swap: runs the reload on the loop thread.
 
@@ -104,7 +105,11 @@ class ServerThread:
 
         async def _swap():
             return self._server.service.reload_policy(
-                policy_set, verify=verify, max_flips=max_flips, force=force
+                policy_set,
+                verify=verify,
+                max_flips=max_flips,
+                force=force,
+                principal=principal,
             )
 
         return asyncio.run_coroutine_threadsafe(_swap(), self._loop).result(

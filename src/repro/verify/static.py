@@ -28,7 +28,17 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
-from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.constraints import (
+    MMCD,
+    MMEP,
+    MMER,
+    POLICY_EXPORT_PRIVILEGE,
+    POLICY_RELOAD_PRIVILEGE,
+    AdminBoundary,
+    Privilege,
+    Role,
+    count_history_matches,
+)
 from repro.core.policy import MSoDPolicy, MSoDPolicySet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -60,6 +70,9 @@ FIRST_STEP_UNGRANTABLE = "FIRST_STEP_UNGRANTABLE"
 LAST_STEP_UNGRANTABLE = "LAST_STEP_UNGRANTABLE"
 MMER_COVERED_BY_SSD = "MMER_COVERED_BY_SSD"
 RBAC_UNREACHABLE_RULE = "RBAC_UNREACHABLE_RULE"
+MMCD_UNSATISFIABLE = "MMCD_UNSATISFIABLE"
+MMCD_CONFLICTS_MMER = "MMCD_CONFLICTS_MMER"
+ADMIN_BOUNDARY_UNGUARDED = "ADMIN_BOUNDARY_UNGUARDED"
 
 
 @dataclass(frozen=True, slots=True)
@@ -156,10 +169,13 @@ def analyze_policy_set(
     for policy in policy_set:
         findings.extend(_intra_policy_findings(policy))
     findings.extend(_cross_policy_findings(policy_set))
+    findings.extend(_mmcd_findings(policy_set))
+    findings.extend(_admin_boundary_findings(policy_set))
     if ssd:
         findings.extend(_ssd_findings(policy_set, tuple(ssd)))
     if permis is not None:
         findings.extend(_permis_findings(policy_set, permis))
+        findings.extend(_mmcd_permis_findings(policy_set, permis, tuple(ssd)))
         findings.extend(_rbac_layer_findings(permis))
     return VerifyReport(findings=tuple(findings))
 
@@ -181,6 +197,9 @@ def _intra_policy_findings(policy: MSoDPolicy) -> list[VerifyFinding]:
     )
     findings.extend(
         _duplicate_constraints(pid, policy.mmeps, "MMEP")
+    )
+    findings.extend(
+        _duplicate_constraints(pid, policy.extra_constraints, "extension")
     )
 
     # Redundancy: a constraint implied by a strictly stricter sibling.
@@ -309,17 +328,27 @@ def _constraints_equal(first: MSoDPolicy, second: MSoDPolicy) -> bool:
     return (
         set(first.mmers) == set(second.mmers)
         and set(first.mmeps) == set(second.mmeps)
+        and set(first.extra_constraints) == set(second.extra_constraints)
     )
 
 
 def _constraints_implied(inner: MSoDPolicy, outer: MSoDPolicy) -> bool:
     """Every constraint of ``inner`` is implied by some ``outer`` one."""
-    return all(
-        any(_mmer_implied_by(mmer, other) for other in outer.mmers)
-        for mmer in inner.mmers
-    ) and all(
-        any(_mmep_implied_by(mmep, other) for other in outer.mmeps)
-        for mmep in inner.mmeps
+    return (
+        all(
+            any(_mmer_implied_by(mmer, other) for other in outer.mmers)
+            for mmer in inner.mmers
+        )
+        and all(
+            any(_mmep_implied_by(mmep, other) for other in outer.mmeps)
+            for mmep in inner.mmeps
+        )
+        # Extension kinds have no implication lattice: only an exact
+        # copy in the ancestor shadows them.
+        and all(
+            extra in outer.extra_constraints
+            for extra in inner.extra_constraints
+        )
     )
 
 
@@ -395,6 +424,225 @@ def _cross_policy_findings(policy_set: MSoDPolicySet) -> list[VerifyFinding]:
                         )
                     )
     return findings
+
+
+# ----------------------------------------------------------------------
+# Extension kinds: combination-of-duty satisfiability, admin boundaries.
+# ----------------------------------------------------------------------
+def _scopes_overlap(first: MSoDPolicy, second: MSoDPolicy) -> bool:
+    """True when some concrete instance can match both policies."""
+    return first.business_context.is_equal_or_subordinate_to(
+        second.business_context
+    ) or second.business_context.is_equal_or_subordinate_to(
+        first.business_context
+    )
+
+
+def _mmcd_findings(policy_set: MSoDPolicySet) -> list[VerifyFinding]:
+    """MMCD bound sets a single user can provably never complete.
+
+    A combination-of-duty set requires *one* user to perform every
+    bound step within a context instance; an MMEP over an overlapping
+    scope forbids one user exercising ``m`` of its privileges there.
+    When completing the bound set alone would already trip the MMEP,
+    the MMCD is unsatisfiable: either the duty set can never finish, or
+    finishing it is always denied.
+    """
+    findings: list[VerifyFinding] = []
+    policies = policy_set.policies
+    for policy in policies:
+        for mmcd in (
+            c for c in policy.extra_constraints if isinstance(c, MMCD)
+        ):
+            # One completed duty set = one exercise of each bound step.
+            completion = Counter(mmcd.privileges)
+            for other in policies:
+                if not _scopes_overlap(policy, other):
+                    continue
+                for mmep in other.mmeps:
+                    overlap = count_history_matches(
+                        Counter(mmep.privileges), completion
+                    )
+                    if overlap >= mmep.forbidden_cardinality:
+                        findings.append(
+                            VerifyFinding(
+                                MMCD_UNSATISFIABLE,
+                                SEVERITY_ERROR,
+                                policy.policy_id,
+                                f"{mmcd!r} can never be completed by one "
+                                f"user: finishing the bound set exercises "
+                                f"{overlap} of the privileges in {mmep!r} "
+                                f"(policy {other.policy_id!r}, overlapping "
+                                "scope), reaching its forbidden cardinality "
+                                f"{mmep.forbidden_cardinality}",
+                            )
+                        )
+    return findings
+
+
+def _admin_boundary_findings(
+    policy_set: MSoDPolicySet,
+) -> list[VerifyFinding]:
+    """Partial coverage of the canonical policy-store privileges.
+
+    Only fires on sets that already use admin boundaries: guarding
+    ``policy-reload`` but leaving ``policy-export`` open (or vice
+    versa) lets an operational principal launder state through the
+    unguarded half of the administrative surface.
+    """
+    findings: list[VerifyFinding] = []
+    guarded: set[Privilege] = set()
+    boundary_policies: list[str] = []
+    for policy in policy_set:
+        for constraint in policy.extra_constraints:
+            if isinstance(constraint, AdminBoundary):
+                guarded.update(constraint.privileges)
+                boundary_policies.append(policy.policy_id)
+    if not guarded:
+        return findings
+    canonical = (POLICY_RELOAD_PRIVILEGE, POLICY_EXPORT_PRIVILEGE)
+    missing = [priv for priv in canonical if priv not in guarded]
+    if missing and len(missing) < len(canonical):
+        findings.append(
+            VerifyFinding(
+                ADMIN_BOUNDARY_UNGUARDED,
+                SEVERITY_WARNING,
+                boundary_policies[0],
+                "admin boundaries guard only part of the policy-store "
+                "surface: "
+                f"{', '.join(str(priv) for priv in missing)} "
+                "remain unguarded while "
+                f"{', '.join(str(p) for p in canonical if p in guarded)} "
+                "is protected",
+            )
+        )
+    return findings
+
+
+def _mmcd_permis_findings(
+    policy_set: MSoDPolicySet,
+    permis: "PermisPolicy",
+    ssd: tuple["SsdConstraint", ...],
+) -> list[VerifyFinding]:
+    """MMCD satisfiability against the RBAC layer and MMER/SSD overlap.
+
+    A bound set is completable only if one user can (over time) hold a
+    granting role for *every* bound step.  Enumerate the role choices
+    (one granting role per step, capped to stay cheap); if every choice
+    trips an MMER of an overlapping policy or a static SSD set, no user
+    can legally finish the duty — the binding conflicts with exclusion.
+    """
+    findings: list[VerifyFinding] = []
+    policies = policy_set.policies
+    for policy in policies:
+        mmers_in_scope = [
+            mmer
+            for other in policies
+            if _scopes_overlap(policy, other)
+            for mmer in other.mmers
+        ]
+        for mmcd in (
+            c for c in policy.extra_constraints if isinstance(c, MMCD)
+        ):
+            granting: list[frozenset[Role]] = []
+            dead: list[Privilege] = []
+            for privilege in mmcd.privileges:
+                roles = _granting_roles(permis, privilege)
+                if not roles:
+                    dead.append(privilege)
+                granting.append(roles)
+            if dead:
+                findings.append(
+                    VerifyFinding(
+                        MMCD_UNSATISFIABLE,
+                        SEVERITY_ERROR,
+                        policy.policy_id,
+                        f"{mmcd!r} can never be completed: bound step(s) "
+                        f"{sorted(str(p) for p in dead)} are granted to no "
+                        "role, so no user can perform them",
+                    )
+                )
+                continue
+            if not mmers_in_scope and not ssd:
+                continue
+            conflict = _all_role_choices_conflict(
+                granting, mmers_in_scope, ssd
+            )
+            if conflict is not None:
+                findings.append(
+                    VerifyFinding(
+                        MMCD_CONFLICTS_MMER,
+                        SEVERITY_ERROR,
+                        policy.policy_id,
+                        f"{mmcd!r} conflicts with exclusion constraints: "
+                        "every role combination able to perform the bound "
+                        f"set violates {conflict}, so no single user can "
+                        "legally complete the duty",
+                    )
+                )
+    return findings
+
+
+def _granting_roles(
+    permis: "PermisPolicy", privilege: Privilege
+) -> frozenset[Role]:
+    """Assignable roles whose granted privileges include ``privilege``."""
+    roles = set()
+    for role in _assignable_roles(permis):
+        if privilege in permis.privileges_of(frozenset((role,))):
+            roles.add(role)
+    return frozenset(roles)
+
+
+_MMCD_CHOICE_CAP = 1024
+
+
+def _all_role_choices_conflict(
+    granting: list[frozenset[Role]],
+    mmers: list[MMER],
+    ssd: tuple["SsdConstraint", ...],
+) -> str | None:
+    """If every granting-role choice trips a constraint, name one.
+
+    Returns ``None`` when some choice is conflict-free, when there is
+    nothing to conflict with, or when the choice space exceeds the
+    enumeration cap (soundness: never report an error we did not
+    prove).
+    """
+    total = 1
+    for roles in granting:
+        total *= len(roles)
+        if total > _MMCD_CHOICE_CAP:
+            return None
+    witness: str | None = None
+
+    def conflicts(held: frozenset[Role]) -> str | None:
+        for mmer in mmers:
+            if len(held & set(mmer.roles)) >= mmer.forbidden_cardinality:
+                return repr(mmer)
+        held_names = {str(role) for role in held}
+        for constraint in ssd:
+            if len(held_names & constraint.roles) >= constraint.cardinality:
+                return f"SSD set {constraint.name!r}"
+        return None
+
+    def walk(index: int, held: frozenset[Role]) -> bool:
+        """True when some completion of this prefix is conflict-free."""
+        nonlocal witness
+        if index == len(granting):
+            found = conflicts(held)
+            if found is None:
+                return True
+            witness = found
+            return False
+        for role in sorted(granting[index], key=str):
+            if walk(index + 1, held | {role}):
+                return True
+        return False
+
+    if walk(0, frozenset()):
+        return None
+    return witness
 
 
 # ----------------------------------------------------------------------

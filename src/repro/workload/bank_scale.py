@@ -41,7 +41,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.core.constraints import MMER, Privilege, Role
+from repro.core.constraints import MMCD, MMEP, MMER, Privilege, Role
 from repro.core.context import ContextName
 from repro.core.decision import DecisionRequest
 from repro.core.retained_adi import RetainedADIRecord
@@ -50,11 +50,15 @@ from repro.errors import PolicyError
 
 __all__ = [
     "BankScaleConfig",
+    "bank_scale_duty_binding_policy_set",
     "bank_scale_history",
+    "bank_scale_mmcd_stream",
     "bank_scale_policy_set",
     "bank_scale_request_stream",
     "duty_roles",
     "duty_privileges",
+    "filing_privileges",
+    "four_eyes_filing_policy_set",
 ]
 
 
@@ -139,6 +143,167 @@ def bank_scale_policy_set(config: BankScaleConfig) -> MSoDPolicySet:
                 )
             )
     return MSoDPolicySet(policies)
+
+
+#: The final sign-off on a filing — deliberately *outside* the bound
+#: set, so the four-eyes policy can require it from different eyes.
+_APPROVE_OPERATION = "approveFiling"
+
+
+def filing_privileges(division: int) -> tuple[Privilege, Privilege, Privilege]:
+    """The three bound steps of one division's filing flow.
+
+    Whoever prepares a filing must personally amend and submit it —
+    the combination-of-duty scenario the MMCD workloads exercise.
+    """
+    target = f"svc://division{division:02d}/filing"
+    return (
+        Privilege("prepareFiling", target),
+        Privilege("amendFiling", target),
+        Privilege("submitFiling", target),
+    )
+
+
+def _approve_privilege(division: int) -> Privilege:
+    return Privilege(
+        _APPROVE_OPERATION, f"svc://division{division:02d}/filing"
+    )
+
+
+def bank_scale_duty_binding_policy_set(
+    config: BankScaleConfig,
+) -> MSoDPolicySet:
+    """One MMCD policy per division: the filing flow binds to one user.
+
+    Context ``Region=*, Division=Dk, Branch=*, Filing=!`` — the binding
+    is scoped per filing case but aggregates across every branch of the
+    division, so an owner may advance their case from any branch while
+    a different user is denied from all of them.
+    """
+    policies = []
+    for division in range(config.n_divisions):
+        context = ContextName.parse(
+            f"Region=*, Division=D{division:02d}, Branch=*, Filing=!"
+        )
+        policies.append(
+            MSoDPolicy(
+                context,
+                constraints=[MMCD(filing_privileges(division))],
+                policy_id=f"bank-D{division:02d}-filing-binding",
+            )
+        )
+    return MSoDPolicySet(policies)
+
+
+def four_eyes_filing_policy_set(config: BankScaleConfig) -> MSoDPolicySet:
+    """Binding *and* exclusion layered on the same filing flow.
+
+    Per division, two policies over the same scope: the MMCD binds
+    prepare/amend/submit to one user, while an MMEP over
+    (submit, approve) forbids that user from also signing their own
+    filing off — the classic four-eyes rule, expressed as the two
+    constraint kinds composing.
+    """
+    policies = list(bank_scale_duty_binding_policy_set(config))
+    for division in range(config.n_divisions):
+        context = ContextName.parse(
+            f"Region=*, Division=D{division:02d}, Branch=*, Filing=!"
+        )
+        submit = filing_privileges(division)[2]
+        policies.append(
+            MSoDPolicy(
+                context,
+                mmeps=[MMEP([submit, _approve_privilege(division)], 2)],
+                policy_id=f"bank-D{division:02d}-four-eyes",
+            )
+        )
+    return MSoDPolicySet(policies)
+
+
+def bank_scale_mmcd_stream(
+    config: BankScaleConfig,
+    n_requests: int,
+    *,
+    intruder_fraction: float = 0.15,
+    open_fraction: float = 0.4,
+    four_eyes: bool = False,
+    start_timestamp: float = 0.0,
+) -> Iterator[DecisionRequest]:
+    """Seeded combination-of-duty stream over the filing flows.
+
+    Each request either opens a new filing case (its user performs the
+    first bound step and becomes the case's owner) or advances a
+    random open case: with probability ``intruder_fraction`` the step
+    is attempted by a *different* user — the deny path the MMCD exists
+    for — otherwise the owner performs it.  Branches vary freely
+    within a flow, exercising the ``Branch=*`` aggregation.  With
+    ``four_eyes=True`` a completed flow is followed by a sign-off
+    attempt, half the time by the owner (denied under
+    :func:`four_eyes_filing_policy_set`), half by fresh eyes.
+
+    Like :func:`bank_scale_request_stream`, the stream is a pure
+    function of the config: replaying it against two stores must
+    produce bit-identical decisions.
+    """
+    if not 0.0 <= intruder_fraction <= 1.0:
+        raise PolicyError("intruder_fraction must be in [0, 1]")
+    if not 0.0 < open_fraction <= 1.0:
+        raise PolicyError("open_fraction must be in (0, 1]")
+    rng = random.Random(config.seed ^ 0x4D4D4344)  # "MMCD"
+    region_of_division = [
+        division % config.n_regions for division in range(config.n_divisions)
+    ]
+    # (division, case, owner, next bound step; -1 = awaiting sign-off)
+    flows: list[list] = []
+    case_serial = 0
+    for index in range(n_requests):
+        if flows and rng.random() >= open_fraction:
+            slot = rng.randrange(len(flows))
+            division, case, owner, step_index = flows[slot]
+            steps = filing_privileges(division)
+            if step_index < 0:  # four-eyes sign-off
+                privilege = _approve_privilege(division)
+                user = (
+                    owner
+                    if rng.random() < 0.5
+                    else f"a{rng.randrange(config.n_users):07d}"
+                )
+                flows.pop(slot)
+            elif rng.random() < intruder_fraction:
+                privilege = steps[step_index]
+                user = f"x{rng.randrange(config.n_users):07d}"
+            else:
+                privilege = steps[step_index]
+                user = owner
+                if step_index + 1 < len(steps):
+                    flows[slot][3] = step_index + 1
+                elif four_eyes:
+                    flows[slot][3] = -1
+                else:
+                    flows.pop(slot)
+        else:
+            division = rng.randrange(config.n_divisions)
+            case = case_serial
+            case_serial += 1
+            owner = f"u{rng.randrange(config.n_users):07d}"
+            privilege = filing_privileges(division)[0]
+            user = owner
+            flows.append([division, case, owner, 1])
+        branch = rng.randrange(config.branches_per_division)
+        context = ContextName.parse(
+            f"Region=R{region_of_division[division]}, "
+            f"Division=D{division:02d}, "
+            f"Branch=B{branch:03d}, "
+            f"Filing=F{case:06d}"
+        )
+        yield DecisionRequest(
+            user_id=user,
+            roles=(Role("employee", f"D{division:02d}-filing-clerk"),),
+            operation=privilege.operation,
+            target=privilege.target,
+            context_instance=context,
+            timestamp=start_timestamp + float(index),
+        )
 
 
 class _ZipfSampler:

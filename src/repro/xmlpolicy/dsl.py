@@ -30,14 +30,33 @@ which may wrap onto continuation lines):
 * ``mutually exclusive privileges limit <m>:`` followed by a
   comma-separated list of ``operation on target`` — an MMEP (the same
   privilege may be listed repeatedly, per Section 2.4).
+* ``combination of duty:`` followed by a comma-separated list of
+  ``operation on target`` — an MMCD bound set (all listed steps must
+  be performed by the same user per context instance).
+* ``admin boundary "<label>":`` followed by a comma-separated list of
+  ``operation on target`` — an AdminBoundary guarding administrative
+  privileges with SoD over the PDP's own state.
 
 :func:`compile_policy_set` parses the DSL; :func:`decompile_policy_set`
 renders any policy set back into it; the round trip is property-tested.
+:func:`parse_constraint_repr` round-trips any constraint's ``repr()``
+back into the constraint object.
 """
 
 from __future__ import annotations
 
-from repro.core.constraints import MMEP, MMER, Privilege, Role
+import ast
+import re
+
+from repro.core.constraints import (
+    MMCD,
+    MMEP,
+    MMER,
+    AdminBoundary,
+    MultiSessionConstraint,
+    Privilege,
+    Role,
+)
 from repro.core.context import ContextName
 from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
 from repro.errors import (
@@ -59,6 +78,7 @@ class _Block:
         self.last_step: Step | None = None
         self.mmers: list[MMER] = []
         self.mmeps: list[MMEP] = []
+        self.extras: list[MultiSessionConstraint] = []
 
     def build(self) -> MSoDPolicy:
         try:
@@ -69,6 +89,7 @@ class _Block:
                 first_step=self.first_step,
                 last_step=self.last_step,
                 policy_id=self.policy_id,
+                constraints=self.extras,
             )
         except PolicyError as exc:
             raise PolicyParseError(
@@ -121,27 +142,40 @@ def compile_policy_set(text: str) -> MSoDPolicySet:
     """Compile DSL text into an :class:`MSoDPolicySet`."""
     policies: list[MSoDPolicy] = []
     block: _Block | None = None
-    pending: tuple[str, int, int] | None = None  # (kind, limit, line)
+    # (kind, payload, line): payload is the limit for roles/privileges,
+    # the boundary label for 'boundary', None for 'duty'.
+    pending: tuple[str, object, int] | None = None
     pending_items: list[str] = []
 
     def flush_pending() -> None:
         nonlocal pending, pending_items
         if pending is None:
             return
-        kind, limit, line_no = pending
+        kind, payload, line_no = pending
         items = [item.strip() for item in pending_items if item.strip()]
         if not items:
             raise _fail(line_no, f"'{kind}' list is empty")
         try:
             if kind == "roles":
                 block.mmers.append(
-                    MMER([_parse_role(item, line_no) for item in items], limit)
+                    MMER([_parse_role(item, line_no) for item in items], payload)
                 )
-            else:
+            elif kind == "privileges":
                 block.mmeps.append(
                     MMEP(
                         [_parse_privilege(item, line_no) for item in items],
-                        limit,
+                        payload,
+                    )
+                )
+            elif kind == "duty":
+                block.extras.append(
+                    MMCD([_parse_privilege(item, line_no) for item in items])
+                )
+            else:
+                block.extras.append(
+                    AdminBoundary(
+                        payload,
+                        [_parse_privilege(item, line_no) for item in items],
                     )
                 )
         except ConstraintError as exc:
@@ -217,6 +251,32 @@ def compile_policy_set(text: str) -> MSoDPolicySet:
                 raise _fail(line_no, "limit must be an integer") from exc
             pending = (kind, limit, line_no)
             pending_items = []
+        elif stripped.startswith("combination of duty"):
+            flush_pending()
+            rest = stripped[len("combination of duty"):].strip()
+            if rest != ":":
+                raise _fail(line_no, "expected 'combination of duty:'")
+            pending = ("duty", None, line_no)
+            pending_items = []
+        elif stripped.startswith("admin boundary "):
+            flush_pending()
+            rest = stripped[len("admin boundary "):].strip()
+            if not rest.endswith(":"):
+                raise _fail(line_no, "constraint header must end with ':'")
+            label_text = rest[:-1].strip()
+            if not (
+                len(label_text) >= 2
+                and label_text[0] == '"'
+                and label_text[-1] == '"'
+            ):
+                raise _fail(
+                    line_no, "admin boundary label must be double-quoted"
+                )
+            label = label_text[1:-1]
+            if not label:
+                raise _fail(line_no, "admin boundary label must be non-empty")
+            pending = ("boundary", label, line_no)
+            pending_items = []
         elif pending is not None:
             # Continuation of a constraint's item list.
             pending_items.extend(
@@ -277,5 +337,120 @@ def decompile_policy_set(policy_set: MSoDPolicySet) -> str:
                     for privilege in mmep.privileges
                 )
             )
+        for constraint in policy.extra_constraints:
+            if isinstance(constraint, MMCD):
+                lines.append("    combination of duty:")
+                lines.append(
+                    "        "
+                    + ", ".join(
+                        f"{privilege.operation} on {privilege.target}"
+                        for privilege in constraint.privileges
+                    )
+                )
+            elif isinstance(constraint, AdminBoundary):
+                lines.append(
+                    f'    admin boundary "{constraint.boundary}":'
+                )
+                lines.append(
+                    "        "
+                    + ", ".join(
+                        f"{privilege.operation} on {privilege.target}"
+                        for privilege in constraint.privileges
+                    )
+                )
+            else:
+                raise PolicyError(
+                    "no DSL serialisation for constraint kind "
+                    f"{constraint.kind!r}"
+                )
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+_REPR_PATTERN = re.compile(
+    r"^(?P<cls>MMER|MMEP|MMCD|AdminBoundary)\((?P<body>.*)\)$", re.DOTALL
+)
+
+
+def _split_member_list(body: str, what: str) -> list[str]:
+    if not (body.startswith("{") and body.endswith("}")):
+        raise PolicyParseError(f"{what} members must be brace-enclosed")
+    inner = body[1:-1].strip()
+    if not inner:
+        return []
+    return [token.strip() for token in inner.split(",")]
+
+
+def _role_from_str(token: str) -> Role:
+    role_type, sep, value = token.partition(":")
+    if not sep:
+        raise PolicyParseError(f"role {token!r} must be of the form type:value")
+    return Role(role_type, value)
+
+
+def _privilege_from_str(token: str) -> Privilege:
+    operation, sep, target = token.partition("@")
+    if not sep:
+        raise PolicyParseError(
+            f"privilege {token!r} must be of the form operation@target"
+        )
+    return Privilege(operation, target)
+
+
+def parse_constraint_repr(text: str) -> MultiSessionConstraint:
+    """Parse a constraint's ``repr()`` back into the constraint.
+
+    Every constraint kind's ``repr`` (the form embedded in violation
+    payloads and audit records, e.g. ``MMER({employee:Teller,
+    employee:Auditor}, m=2)``) round-trips through this parser:
+    ``parse_constraint_repr(repr(c)) == c``.  MMEP reprs preserve
+    duplicate privileges — the multiset idiom of Section 2.4 survives
+    the trip.
+    """
+    match = _REPR_PATTERN.match(text.strip())
+    if match is None:
+        raise PolicyParseError(f"unrecognised constraint repr: {text!r}")
+    cls = match.group("cls")
+    body = match.group("body").strip()
+    try:
+        if cls == "AdminBoundary":
+            # Body is "<label-literal>, {members}": the label is a
+            # Python string literal (the repr of the boundary label).
+            split_at = body.rfind(", {")
+            if split_at < 0:
+                raise PolicyParseError(
+                    f"unrecognised AdminBoundary repr: {text!r}"
+                )
+            label = ast.literal_eval(body[:split_at])
+            if not isinstance(label, str):
+                raise PolicyParseError(
+                    f"AdminBoundary label must be a string: {text!r}"
+                )
+            members = _split_member_list(
+                body[split_at + 2:].strip(), "AdminBoundary"
+            )
+            return AdminBoundary(
+                label, [_privilege_from_str(token) for token in members]
+            )
+        if cls == "MMCD":
+            members = _split_member_list(body, "MMCD")
+            return MMCD([_privilege_from_str(token) for token in members])
+        # MMER / MMEP: "{members}, m=<cardinality>".
+        members_part, sep, m_part = body.rpartition(", m=")
+        if not sep:
+            raise PolicyParseError(
+                f"{cls} repr must end with ', m=<cardinality>': {text!r}"
+            )
+        cardinality = int(m_part.strip())
+        members = _split_member_list(members_part.strip(), cls)
+        if cls == "MMER":
+            return MMER(
+                [_role_from_str(token) for token in members], cardinality
+            )
+        return MMEP(
+            [_privilege_from_str(token) for token in members], cardinality
+        )
+    except (ConstraintError, ValueError, SyntaxError) as exc:
+        raise PolicyParseError(
+            f"bad constraint repr {text!r}: {exc}"
+        ) from exc

@@ -2,12 +2,15 @@
 
 The parser accepts the Appendix-A document structure, including the
 Section 3 spelling of privileges (``<Operation value=... target=.../>``)
-alongside the schema spelling (``<Privilege operation=... target=.../>``).
+alongside the schema spelling (``<Privilege operation=... target=.../>``),
+plus the extension constraint kinds ``<MMCD>`` (combination of duty) and
+``<AdminBoundary Boundary=...>`` (self-protecting admin boundary).
 
-By default the parser is *strict* about the Appendix-A ``xs:choice``:
-one policy carries either MMER constraints or MMEP constraints, not
-both.  Pass ``strict=False`` to allow mixed policies (a useful
-generalisation the in-memory model supports).
+By default the parser is *strict* about the Appendix-A ``xs:choice``,
+generalised to the pluggable kinds: one policy carries constraints of
+exactly one family (MMER, MMEP, MMCD or AdminBoundary).  Pass
+``strict=False`` to allow mixed policies (a useful generalisation the
+in-memory model supports).
 """
 
 from __future__ import annotations
@@ -15,7 +18,15 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import IO
 
-from repro.core.constraints import MMEP, MMER, Privilege, Role
+from repro.core.constraints import (
+    MMCD,
+    MMEP,
+    MMER,
+    AdminBoundary,
+    MultiSessionConstraint,
+    Privilege,
+    Role,
+)
 from repro.core.context import ContextName
 from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
 from repro.errors import ContextNameError, ConstraintError, PolicyError, PolicyParseError
@@ -88,6 +99,7 @@ def _parse_policy(element: ET.Element, index: int, strict: bool) -> MSoDPolicy:
     last_step = None
     mmers: list[MMER] = []
     mmeps: list[MMEP] = []
+    extras: list[MultiSessionConstraint] = []
 
     for child in element:
         if child.tag == S.ELEM_FIRST_STEP:
@@ -106,15 +118,30 @@ def _parse_policy(element: ET.Element, index: int, strict: bool) -> MSoDPolicy:
             mmers.append(_parse_mmer(child, index))
         elif child.tag == S.ELEM_MMEP:
             mmeps.append(_parse_mmep(child, index))
+        elif child.tag == S.ELEM_MMCD:
+            extras.append(_parse_mmcd(child, index))
+        elif child.tag == S.ELEM_ADMIN_BOUNDARY:
+            extras.append(_parse_admin_boundary(child, index))
         else:
             raise PolicyParseError(
                 f"policy #{index + 1}: unexpected element <{child.tag}>"
             )
 
-    if strict and mmers and mmeps:
+    families = sum(
+        1
+        for family in (
+            mmers,
+            mmeps,
+            [c for c in extras if isinstance(c, MMCD)],
+            [c for c in extras if isinstance(c, AdminBoundary)],
+        )
+        if family
+    )
+    if strict and families > 1:
         raise PolicyParseError(
-            f"policy #{index + 1}: Appendix A allows either MMER or MMEP "
-            "constraints in one policy, not both (pass strict=False to relax)"
+            f"policy #{index + 1}: one policy carries either MMER or MMEP "
+            "or MMCD or AdminBoundary constraints, not a mixture "
+            "(pass strict=False to relax)"
         )
     try:
         return MSoDPolicy(
@@ -124,6 +151,7 @@ def _parse_policy(element: ET.Element, index: int, strict: bool) -> MSoDPolicy:
             first_step=first_step,
             last_step=last_step,
             policy_id=policy_id,
+            constraints=extras,
         )
     except PolicyError as exc:
         raise PolicyParseError(f"policy #{index + 1}: {exc}") from exc
@@ -169,14 +197,16 @@ def _parse_mmer(element: ET.Element, index: int) -> MMER:
         raise PolicyParseError(f"policy #{index + 1}: bad MMER: {exc}") from exc
 
 
-def _parse_privilege(element: ET.Element, index: int) -> Privilege:
+def _parse_privilege(
+    element: ET.Element, index: int, parent: str = S.ELEM_MMEP
+) -> Privilege:
     if element.tag == S.ELEM_PRIVILEGE:
         operation = _require_attr(element, S.ATTR_PRIV_OPERATION)
     elif element.tag == S.ELEM_OPERATION:
         operation = _require_attr(element, S.ATTR_OPERATION_VALUE)
     else:
         raise PolicyParseError(
-            f"policy #{index + 1}: <{S.ELEM_MMEP}> may only contain "
+            f"policy #{index + 1}: <{parent}> may only contain "
             f"<{S.ELEM_PRIVILEGE}> or <{S.ELEM_OPERATION}> elements, "
             f"got <{element.tag}>"
         )
@@ -194,3 +224,29 @@ def _parse_mmep(element: ET.Element, index: int) -> MMEP:
         return MMEP(privileges, cardinality)
     except ConstraintError as exc:
         raise PolicyParseError(f"policy #{index + 1}: bad MMEP: {exc}") from exc
+
+
+def _parse_mmcd(element: ET.Element, index: int) -> MMCD:
+    # Same privilege spellings as MMEP; no cardinality — a bound set
+    # binds as a whole.
+    privileges = [
+        _parse_privilege(child, index, S.ELEM_MMCD) for child in element
+    ]
+    try:
+        return MMCD(privileges)
+    except ConstraintError as exc:
+        raise PolicyParseError(f"policy #{index + 1}: bad MMCD: {exc}") from exc
+
+
+def _parse_admin_boundary(element: ET.Element, index: int) -> AdminBoundary:
+    boundary = _require_attr(element, S.ATTR_BOUNDARY)
+    privileges = [
+        _parse_privilege(child, index, S.ELEM_ADMIN_BOUNDARY)
+        for child in element
+    ]
+    try:
+        return AdminBoundary(boundary, privileges)
+    except ConstraintError as exc:
+        raise PolicyParseError(
+            f"policy #{index + 1}: bad AdminBoundary: {exc}"
+        ) from exc

@@ -14,6 +14,10 @@ ELEM_FIRST_STEP = "FirstStep"
 ELEM_LAST_STEP = "LastStep"
 ELEM_MMER = "MMER"
 ELEM_MMEP = "MMEP"
+#: Multi-session combination of duty (extension kind; not Appendix A).
+ELEM_MMCD = "MMCD"
+#: Self-protecting administrative boundary (extension kind).
+ELEM_ADMIN_BOUNDARY = "AdminBoundary"
 ELEM_ROLE = "Role"
 ELEM_PRIVILEGE = "Privilege"
 #: Section-3 spelling of a privilege inside an MMEP.
@@ -21,6 +25,8 @@ ELEM_OPERATION = "Operation"
 
 ATTR_BUSINESS_CONTEXT = "BusinessContext"
 ATTR_FORBIDDEN_CARDINALITY = "ForbiddenCardinality"
+#: Label of an <AdminBoundary> constraint.
+ATTR_BOUNDARY = "Boundary"
 ATTR_STEP_OPERATION = "operation"
 ATTR_STEP_TARGET = "targetURI"
 ATTR_ROLE_TYPE = "type"

@@ -64,7 +64,9 @@ def _validate_policy(policy: ET.Element, where: str, strict: bool) -> list[str]:
     last_steps = [c for c in policy if c.tag == S.ELEM_LAST_STEP]
     mmers = [c for c in policy if c.tag == S.ELEM_MMER]
     mmeps = [c for c in policy if c.tag == S.ELEM_MMEP]
-    known = set(first_steps + last_steps + mmers + mmeps)
+    mmcds = [c for c in policy if c.tag == S.ELEM_MMCD]
+    boundaries = [c for c in policy if c.tag == S.ELEM_ADMIN_BOUNDARY]
+    known = set(first_steps + last_steps + mmers + mmeps + mmcds + boundaries)
     for child in policy:
         if child not in known:
             problems.append(f"{where}: unexpected element <{child.tag}>")
@@ -78,11 +80,13 @@ def _validate_policy(policy: ET.Element, where: str, strict: bool) -> list[str]:
             _attr_problems(step, [S.ATTR_STEP_OPERATION, S.ATTR_STEP_TARGET], where)
         )
 
-    if not mmers and not mmeps:
+    if not mmers and not mmeps and not mmcds and not boundaries:
         problems.append(f"{where}: needs at least one MMER or MMEP")
-    if strict and mmers and mmeps:
+    families = sum(1 for f in (mmers, mmeps, mmcds, boundaries) if f)
+    if strict and families > 1:
         problems.append(
             f"{where}: Appendix A allows either MMERs or MMEPs, not both"
+            " (one constraint family per policy)"
         )
 
     for mmer in mmers:
@@ -130,6 +134,57 @@ def _validate_policy(policy: ET.Element, where: str, strict: bool) -> list[str]:
                 problems.append(
                     f"{where}: MMEP contains unexpected <{privilege.tag}>"
                 )
+
+    for mmcd in mmcds:
+        privileges = list(mmcd)
+        if len(privileges) < 2:
+            problems.append(
+                f"{where}: MMCD needs at least two privilege children"
+            )
+        problems.extend(_privilege_child_problems(privileges, "MMCD", where))
+
+    for boundary in boundaries:
+        if boundary.get(S.ATTR_BOUNDARY) is None:
+            problems.append(
+                f"{where}: <{S.ELEM_ADMIN_BOUNDARY}> is missing "
+                f"attribute {S.ATTR_BOUNDARY!r}"
+            )
+        privileges = list(boundary)
+        if not privileges:
+            problems.append(
+                f"{where}: AdminBoundary needs at least one privilege child"
+            )
+        problems.extend(
+            _privilege_child_problems(privileges, "AdminBoundary", where)
+        )
+    return problems
+
+
+def _privilege_child_problems(
+    privileges: list[ET.Element], parent: str, where: str
+) -> list[str]:
+    problems: list[str] = []
+    for privilege in privileges:
+        if privilege.tag == S.ELEM_PRIVILEGE:
+            problems.extend(
+                _attr_problems(
+                    privilege,
+                    [S.ATTR_PRIV_OPERATION, S.ATTR_PRIV_TARGET],
+                    where,
+                )
+            )
+        elif privilege.tag == S.ELEM_OPERATION:
+            problems.extend(
+                _attr_problems(
+                    privilege,
+                    [S.ATTR_OPERATION_VALUE, S.ATTR_PRIV_TARGET],
+                    where,
+                )
+            )
+        else:
+            problems.append(
+                f"{where}: {parent} contains unexpected <{privilege.tag}>"
+            )
     return problems
 
 

@@ -9,7 +9,9 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from xml.dom import minidom
 
+from repro.core.constraints import MMCD, AdminBoundary
 from repro.core.policy import MSoDPolicy, MSoDPolicySet, Step
+from repro.errors import PolicyError
 from repro.xmlpolicy import schema as S
 
 
@@ -64,6 +66,25 @@ def _policy_to_element(policy: MSoDPolicy) -> ET.Element:
             priv_elem = ET.SubElement(mmep_elem, S.ELEM_PRIVILEGE)
             priv_elem.set(S.ATTR_PRIV_OPERATION, privilege.operation)
             priv_elem.set(S.ATTR_PRIV_TARGET, privilege.target)
+    for constraint in policy.extra_constraints:
+        if isinstance(constraint, MMCD):
+            mmcd_elem = ET.SubElement(element, S.ELEM_MMCD)
+            for privilege in constraint.privileges:
+                priv_elem = ET.SubElement(mmcd_elem, S.ELEM_PRIVILEGE)
+                priv_elem.set(S.ATTR_PRIV_OPERATION, privilege.operation)
+                priv_elem.set(S.ATTR_PRIV_TARGET, privilege.target)
+        elif isinstance(constraint, AdminBoundary):
+            boundary_elem = ET.SubElement(element, S.ELEM_ADMIN_BOUNDARY)
+            boundary_elem.set(S.ATTR_BOUNDARY, constraint.boundary)
+            for privilege in constraint.privileges:
+                priv_elem = ET.SubElement(boundary_elem, S.ELEM_PRIVILEGE)
+                priv_elem.set(S.ATTR_PRIV_OPERATION, privilege.operation)
+                priv_elem.set(S.ATTR_PRIV_TARGET, privilege.target)
+        else:
+            raise PolicyError(
+                "no XML serialisation for constraint kind "
+                f"{constraint.kind!r}"
+            )
     return element
 
 

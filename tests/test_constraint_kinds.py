@@ -1,0 +1,548 @@
+"""Tests for the pluggable constraint-kind API (MMCD + admin boundaries).
+
+Covers the registry, the two new families end to end (XML -> engine ->
+wire -> audit -> epoch-aware replay), the self-protecting policy-reload
+guard across every handle flavour, the new static-verifier findings and
+the bank-scale combination-of-duty workloads.
+"""
+
+import pytest
+
+from repro.api import open_pdp
+from repro.audit import (
+    AuditTrailManager,
+    EVENT_DECISION,
+    decision_event_payload,
+    recover_retained_adi,
+)
+from repro.core import (
+    MMEP,
+    MMER,
+    ContextName,
+    DecisionRequest,
+    InMemoryRetainedADIStore,
+    MSoDEngine,
+    MSoDPolicy,
+    MSoDPolicySet,
+    Privilege,
+    Role,
+    store_digest,
+)
+from repro.core.constraints import (
+    CONSTRAINT_KINDS,
+    MMCD,
+    POLICY_EXPORT_PRIVILEGE,
+    POLICY_RELOAD_PRIVILEGE,
+    AdminBoundary,
+    MultiSessionConstraint,
+    policy_store_boundary,
+    register_constraint_kind,
+)
+from repro.core.explain import explain
+from repro.core.policy_epoch import policy_set_digest
+from repro.errors import ConstraintError, PolicyError, ProtocolError
+from repro.permis import PermisPolicyBuilder
+from repro.server import AuthorizationService, ServerThread, protocol
+from repro.client import RemotePDP
+from repro.verify import SEVERITY_ERROR, SEVERITY_WARNING, analyze_policy_set
+from repro.verify.static import (
+    ADMIN_BOUNDARY_UNGUARDED,
+    MMCD_CONFLICTS_MMER,
+    MMCD_UNSATISFIABLE,
+)
+from repro.xmlpolicy import parse_policy_set, write_policy_set
+from repro.xmlpolicy.dsl import (
+    compile_policy_set,
+    decompile_policy_set,
+    parse_constraint_repr,
+)
+
+AUDITOR = Role("employee", "Auditor")
+TELLER = Role("employee", "Teller")
+
+REVIEW = Privilege("review", "filing://annual")
+SIGNOFF = Privilege("signoff", "filing://annual")
+AMEND = Privilege("amend", "filing://annual")
+
+FILING_CTX = ContextName.parse("Filing=Annual, Case=C1")
+OTHER_CTX = ContextName.parse("Filing=Annual, Case=C2")
+
+
+def duty_policy_set(extra=()):
+    return MSoDPolicySet(
+        [
+            MSoDPolicy(
+                ContextName.parse("Filing=*, Case=!"),
+                constraints=[MMCD([REVIEW, SIGNOFF, AMEND])],
+                policy_id="filing-binding",
+            ),
+            *extra,
+        ]
+    )
+
+
+def duty_request(user, privilege, at, context=FILING_CTX):
+    return DecisionRequest(
+        user_id=user,
+        roles=(AUDITOR,),
+        operation=privilege.operation,
+        target=privilege.target,
+        context_instance=context,
+        timestamp=at,
+    )
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        for kind, cls in (
+            ("MMER", MMER),
+            ("MMEP", MMEP),
+            ("MMCD", MMCD),
+            ("ADMIN_BOUNDARY", AdminBoundary),
+        ):
+            assert CONSTRAINT_KINDS[kind] is cls
+
+    def test_register_requires_kind(self):
+        class Anonymous(MultiSessionConstraint):
+            kind = ""
+
+        with pytest.raises(ConstraintError, match="non-empty kind"):
+            register_constraint_kind(Anonymous)
+
+    def test_register_rejects_duplicate_kind(self):
+        class Impostor(MultiSessionConstraint):
+            kind = "MMCD"
+
+        with pytest.raises(ConstraintError, match="already registered"):
+            register_constraint_kind(Impostor)
+        assert CONSTRAINT_KINDS["MMCD"] is MMCD
+
+    def test_reregistering_same_class_is_idempotent(self):
+        assert register_constraint_kind(MMCD) is MMCD
+
+
+class TestMMCDUnit:
+    def test_rejects_duplicates_and_singletons(self):
+        with pytest.raises(ConstraintError, match="duplicates"):
+            MMCD([REVIEW, REVIEW])
+        with pytest.raises(ConstraintError, match="at least 2"):
+            MMCD([REVIEW])
+
+    def test_equality_is_set_based(self):
+        assert MMCD([REVIEW, SIGNOFF]) == MMCD([SIGNOFF, REVIEW])
+        assert hash(MMCD([REVIEW, SIGNOFF])) == hash(MMCD([SIGNOFF, REVIEW]))
+        assert MMCD([REVIEW, SIGNOFF]) != MMCD([REVIEW, AMEND])
+
+    def test_canonical_is_order_stable(self):
+        assert (
+            MMCD([REVIEW, SIGNOFF]).canonical()
+            == MMCD([SIGNOFF, REVIEW]).canonical()
+        )
+        assert MMCD([REVIEW, SIGNOFF]).canonical()["kind"] == "MMCD"
+
+
+class TestAdminBoundaryUnit:
+    def test_validation(self):
+        with pytest.raises(ConstraintError, match="non-empty"):
+            AdminBoundary("", [POLICY_RELOAD_PRIVILEGE])
+        with pytest.raises(ConstraintError, match="at least 1"):
+            AdminBoundary("b", [])
+        with pytest.raises(ConstraintError, match="duplicates"):
+            AdminBoundary(
+                "b", [POLICY_RELOAD_PRIVILEGE, POLICY_RELOAD_PRIVILEGE]
+            )
+
+    def test_standard_boundary_guards_both_privileges(self):
+        boundary = policy_store_boundary()
+        assert set(boundary.privileges) == {
+            POLICY_RELOAD_PRIVILEGE,
+            POLICY_EXPORT_PRIVILEGE,
+        }
+        assert boundary.boundary == "policy-store"
+
+
+class TestMMCDEngine:
+    def test_first_user_binds_the_set(self):
+        engine = MSoDEngine(duty_policy_set(), InMemoryRetainedADIStore())
+        assert engine.check(duty_request("alice", REVIEW, 1.0)).granted
+        denied = engine.check(duty_request("bob", SIGNOFF, 2.0))
+        assert denied.denied
+        assert denied.violation.constraint_kind == "MMCD"
+        assert "already bound" in denied.violation.detail
+        # The owner completes the bound set; repetition is fine too.
+        assert engine.check(duty_request("alice", SIGNOFF, 3.0)).granted
+        assert engine.check(duty_request("alice", AMEND, 4.0)).granted
+        assert engine.check(duty_request("alice", REVIEW, 5.0)).granted
+
+    def test_binding_is_per_context_instance(self):
+        engine = MSoDEngine(duty_policy_set(), InMemoryRetainedADIStore())
+        assert engine.check(duty_request("alice", REVIEW, 1.0)).granted
+        # A different case (the `!` component differs) binds separately.
+        assert engine.check(
+            duty_request("bob", REVIEW, 2.0, context=OTHER_CTX)
+        ).granted
+        assert engine.check(
+            duty_request("alice", SIGNOFF, 3.0, context=OTHER_CTX)
+        ).denied
+
+    def test_denied_attempt_leaves_no_ownership(self):
+        engine = MSoDEngine(duty_policy_set(), InMemoryRetainedADIStore())
+        assert engine.check(duty_request("alice", REVIEW, 1.0)).granted
+        assert engine.check(duty_request("bob", SIGNOFF, 2.0)).denied
+        # bob's denied attempt must not have stolen or shared ownership.
+        assert engine.check(duty_request("alice", SIGNOFF, 3.0)).granted
+
+    def test_mmcd_composes_with_mmep_four_eyes(self):
+        approve = Privilege("approve", "filing://annual")
+        four_eyes = MSoDPolicy(
+            ContextName.parse("Filing=*, Case=!"),
+            mmeps=[MMEP([SIGNOFF, approve], 2)],
+            policy_id="filing-four-eyes",
+        )
+        engine = MSoDEngine(
+            duty_policy_set(extra=[four_eyes]), InMemoryRetainedADIStore()
+        )
+        for privilege, at in ((REVIEW, 1.0), (SIGNOFF, 2.0), (AMEND, 3.0)):
+            assert engine.check(duty_request("alice", privilege, at)).granted
+        # The owner may not also approve their own filing...
+        own = engine.check(duty_request("alice", approve, 4.0))
+        assert own.denied
+        assert own.violation.constraint_kind == "MMEP"
+        # ...but fresh eyes may (approve is outside the bound set).
+        assert engine.check(duty_request("carol", approve, 5.0)).granted
+
+
+MMCD_XML = """\
+<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="Filing=*, Case=!" PolicyId="filing-binding">
+    <MMCD>
+      <Privilege operation="review" target="filing://annual"/>
+      <Privilege operation="signoff" target="filing://annual"/>
+    </MMCD>
+  </MSoDPolicy>
+  <MSoDPolicy BusinessContext="Admin=!" PolicyId="admin-guard">
+    <AdminBoundary Boundary="policy-store">
+      <Privilege operation="policy-reload"
+                 target="pdp://management/policyStore"/>
+      <Privilege operation="policy-export"
+                 target="pdp://management/policyStore"/>
+    </AdminBoundary>
+  </MSoDPolicy>
+</MSoDPolicySet>
+"""
+
+
+class TestSerialization:
+    def test_xml_round_trip(self):
+        parsed = parse_policy_set(MMCD_XML)
+        policies = list(parsed)
+        assert policies[0].extra_constraints == (MMCD([REVIEW, SIGNOFF]),)
+        assert policies[1].extra_constraints == (
+            AdminBoundary(
+                "policy-store",
+                [POLICY_RELOAD_PRIVILEGE, POLICY_EXPORT_PRIVILEGE],
+            ),
+        )
+        again = parse_policy_set(write_policy_set(parsed))
+        assert policy_set_digest(again) == policy_set_digest(parsed)
+
+    def test_dsl_round_trip(self):
+        parsed = parse_policy_set(MMCD_XML)
+        text = decompile_policy_set(parsed)
+        assert "combination of duty:" in text
+        assert 'admin boundary "policy-store":' in text
+        again = compile_policy_set(text)
+        assert policy_set_digest(again) == policy_set_digest(parsed)
+
+    def test_repr_round_trip_all_kinds(self):
+        constraints = [
+            MMER([TELLER, AUDITOR], 2),
+            MMEP([REVIEW, REVIEW, SIGNOFF], 2),
+            MMCD([REVIEW, SIGNOFF, AMEND]),
+            policy_store_boundary(),
+            AdminBoundary("a, odd {label}", [POLICY_RELOAD_PRIVILEGE]),
+        ]
+        for constraint in constraints:
+            assert parse_constraint_repr(repr(constraint)) == constraint
+
+
+class TestExplain:
+    def test_mmcd_narration_grant_and_deny(self):
+        engine = MSoDEngine(duty_policy_set(), InMemoryRetainedADIStore())
+        engine.check(duty_request("alice", REVIEW, 1.0))
+
+        ok = explain(engine, duty_request("alice", SIGNOFF, 2.0))
+        assert ok.granted
+        assert any("no conflict" in line.message for line in ok.lines)
+
+        denied = explain(engine, duty_request("bob", SIGNOFF, 2.0))
+        assert not denied.granted
+        assert any("VIOLATION" in line.message for line in denied.lines)
+        assert any("already bound" in line.message for line in denied.lines)
+        # explain is a dry run: bob must still be denied for real...
+        assert engine.check(duty_request("bob", SIGNOFF, 3.0)).denied
+        # ...and the verdict matches what check() returns.
+        assert explain(
+            engine, duty_request("alice", AMEND, 4.0)
+        ).granted
+
+
+def admin_guard_policy_set():
+    return MSoDPolicySet(
+        list(duty_policy_set())
+        + [
+            MSoDPolicy(
+                ContextName.parse("Filing=*, Case=*"),
+                constraints=[policy_store_boundary()],
+                policy_id="store-guard",
+            )
+        ]
+    )
+
+
+class TestReloadGuardLocal:
+    def test_operational_principal_refused(self):
+        pdp = open_pdp(admin_guard_policy_set())
+        assert pdp.decide(duty_request("alice", REVIEW, 1.0)).granted
+        with pytest.raises(PolicyError, match="admin boundary"):
+            pdp.reload_policy(admin_guard_policy_set(), principal="alice")
+        # force does NOT override a boundary refusal.
+        with pytest.raises(PolicyError, match="admin boundary"):
+            pdp.reload_policy(
+                admin_guard_policy_set(), principal="alice", force=True
+            )
+        # A clean principal (and the anonymous legacy path) still swap.
+        pdp.reload_policy(admin_guard_policy_set(), principal="bob")
+        pdp.reload_policy(admin_guard_policy_set())
+
+    def test_engine_denial_probe(self):
+        pdp = open_pdp(admin_guard_policy_set())
+        pdp.decide(duty_request("alice", REVIEW, 1.0))
+        denial = pdp.engine.admin_boundary_denial(
+            "alice", POLICY_RELOAD_PRIVILEGE
+        )
+        assert denial is not None and "admin boundary" in denial
+        assert (
+            pdp.engine.admin_boundary_denial("bob", POLICY_RELOAD_PRIVILEGE)
+            is None
+        )
+
+
+class TestReloadGuardWire:
+    def make_service(self):
+        engine = MSoDEngine(
+            admin_guard_policy_set(), InMemoryRetainedADIStore()
+        )
+        return AuthorizationService(engine, n_shards=2)
+
+    def test_remote_reload_guard(self):
+        with ServerThread(self.make_service()) as server:
+            with RemotePDP(
+                server.host, server.port, timeout=5.0, max_retries=0
+            ) as pdp:
+                assert pdp.decide(duty_request("carol", REVIEW, 1.0)).granted
+                with pytest.raises(PolicyError, match="admin boundary"):
+                    pdp.reload_policy(
+                        admin_guard_policy_set(), principal="carol"
+                    )
+                report = pdp.reload_policy(
+                    admin_guard_policy_set(), principal="dave"
+                )
+                assert report is not None
+                status = pdp.policy_status()
+                kinds = status["constraint_kinds"]
+                assert kinds["MMCD"] == 1
+                assert kinds["ADMIN_BOUNDARY"] == 1
+
+    def test_protocol_principal_validation(self):
+        assert protocol.reload_principal_of({}) is None
+        assert protocol.reload_principal_of({"principal": "ops"}) == "ops"
+        with pytest.raises(ProtocolError, match="principal"):
+            protocol.reload_principal_of({"principal": ""})
+        with pytest.raises(ProtocolError, match="principal"):
+            protocol.reload_principal_of({"principal": 7})
+
+
+class TestAuditReplay:
+    def test_mmcd_decisions_replay_epoch_aware(self, tmp_path):
+        manager = AuditTrailManager(str(tmp_path), b"trail-key")
+        engine = MSoDEngine(duty_policy_set(), InMemoryRetainedADIStore())
+        stream = [
+            duty_request("alice", REVIEW, 1.0),
+            duty_request("bob", SIGNOFF, 2.0),  # denied: not the owner
+            duty_request("alice", SIGNOFF, 3.0),
+        ]
+        for request in stream:
+            decision = engine.check(request)
+            manager.append(
+                EVENT_DECISION,
+                request.timestamp,
+                decision_event_payload(decision),
+            )
+        assert engine.store.count() > 0
+
+        recovered = InMemoryRetainedADIStore()
+        report = recover_retained_adi(manager, duty_policy_set(), recovered)
+        assert report.records_replayed == engine.store.count()
+        assert store_digest(recovered) == store_digest(engine.store)
+        # The rebuilt store enforces the same binding.
+        replayed = MSoDEngine(duty_policy_set(), recovered)
+        assert replayed.check(duty_request("bob", AMEND, 4.0)).denied
+        assert replayed.check(duty_request("alice", AMEND, 4.0)).granted
+
+    def test_replay_resolves_outgoing_epoch(self, tmp_path):
+        """Decisions made before a reload replay under their own epoch."""
+        manager = AuditTrailManager(str(tmp_path), b"trail-key")
+        engine = MSoDEngine(duty_policy_set(), InMemoryRetainedADIStore())
+        first = engine.check(duty_request("alice", REVIEW, 1.0))
+        manager.append(EVENT_DECISION, 1.0, decision_event_payload(first))
+        # Hot-swap to a set that no longer matches the filing context.
+        unrelated = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("Branch=*, Period=!"),
+                    mmers=[MMER([TELLER, AUDITOR], 2)],
+                    policy_id="bank",
+                )
+            ]
+        )
+        engine.replace_policy_set(unrelated)
+        recovered = InMemoryRetainedADIStore()
+        report = recover_retained_adi(
+            manager,
+            unrelated,
+            recovered,
+            policy_resolver=engine.policy_set_for_epoch,
+        )
+        assert report.records_replayed == engine.store.count()
+        assert recovered.count() == engine.store.count()
+
+
+class TestVerifyFindings:
+    def test_mmcd_vs_mmep_unsatisfiable(self):
+        conflicted = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("Filing=*, Case=!"),
+                    constraints=[MMCD([REVIEW, SIGNOFF])],
+                    policy_id="binding",
+                ),
+                MSoDPolicy(
+                    ContextName.parse("Filing=*, Case=!"),
+                    mmeps=[MMEP([REVIEW, SIGNOFF], 2)],
+                    policy_id="exclusion",
+                ),
+            ]
+        )
+        report = analyze_policy_set(conflicted)
+        findings = [
+            f for f in report.findings if f.code == MMCD_UNSATISFIABLE
+        ]
+        assert findings and findings[0].severity == SEVERITY_ERROR
+
+    def test_admin_boundary_partially_guarded_warns(self):
+        half = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("Admin=!"),
+                    constraints=[
+                        AdminBoundary("half", [POLICY_RELOAD_PRIVILEGE])
+                    ],
+                    policy_id="half-guard",
+                )
+            ]
+        )
+        report = analyze_policy_set(half)
+        findings = [
+            f for f in report.findings if f.code == ADMIN_BOUNDARY_UNGUARDED
+        ]
+        assert findings and findings[0].severity == SEVERITY_WARNING
+        # The full canonical pair (or no boundary at all) stays silent.
+        assert not [
+            f
+            for f in analyze_policy_set(admin_guard_policy_set()).findings
+            if f.code == ADMIN_BOUNDARY_UNGUARDED
+        ]
+        assert not [
+            f
+            for f in analyze_policy_set(duty_policy_set()).findings
+            if f.code == ADMIN_BOUNDARY_UNGUARDED
+        ]
+
+    def test_mmcd_conflicts_mmer_via_permis(self):
+        reviewer = Role("employee", "Reviewer")
+        signer = Role("employee", "Signer")
+        permis = (
+            PermisPolicyBuilder()
+            .allow_assignment(
+                "cn=soa,o=bank,c=gb", [reviewer, signer], "o=bank,c=gb"
+            )
+            .grant(reviewer, [REVIEW])
+            .grant(signer, [SIGNOFF])
+            .build()
+        )
+        conflicted = MSoDPolicySet(
+            [
+                MSoDPolicy(
+                    ContextName.parse("Filing=*, Case=!"),
+                    constraints=[MMCD([REVIEW, SIGNOFF])],
+                    mmers=[MMER([reviewer, signer], 2)],
+                    policy_id="binding",
+                ),
+            ]
+        )
+        report = analyze_policy_set(conflicted, permis=permis)
+        findings = [
+            f for f in report.findings if f.code == MMCD_CONFLICTS_MMER
+        ]
+        assert findings and findings[0].severity == SEVERITY_ERROR
+
+
+class TestBankScaleWorkload:
+    def test_stream_deterministic_and_exercises_denies(self):
+        from repro.workload import (
+            BankScaleConfig,
+            bank_scale_duty_binding_policy_set,
+            bank_scale_mmcd_stream,
+        )
+
+        cfg = BankScaleConfig(
+            n_users=2_000, n_divisions=3, branches_per_division=4
+        )
+
+        def key(request):
+            return (
+                request.user_id,
+                request.operation,
+                request.target,
+                str(request.context_instance),
+                request.timestamp,
+            )
+
+        first = [key(r) for r in bank_scale_mmcd_stream(cfg, 300)]
+        second = [key(r) for r in bank_scale_mmcd_stream(cfg, 300)]
+        assert first == second
+
+        pdp = open_pdp(bank_scale_duty_binding_policy_set(cfg))
+        effects = [
+            pdp.decide(r).effect for r in bank_scale_mmcd_stream(cfg, 300)
+        ]
+        assert "deny" in effects and "grant" in effects
+
+    def test_four_eyes_denies_owner_signoff(self):
+        from repro.workload import (
+            BankScaleConfig,
+            bank_scale_mmcd_stream,
+            four_eyes_filing_policy_set,
+        )
+
+        cfg = BankScaleConfig(
+            n_users=2_000, n_divisions=3, branches_per_division=4
+        )
+        pdp = open_pdp(four_eyes_filing_policy_set(cfg))
+        signoff_effects = set()
+        for request in bank_scale_mmcd_stream(cfg, 500, four_eyes=True):
+            decision = pdp.decide(request)
+            if request.operation == "approveFiling":
+                signoff_effects.add(decision.effect)
+        assert signoff_effects == {"grant", "deny"}
